@@ -1,0 +1,100 @@
+//! Correlation coefficients: Pearson and Spearman.
+
+/// Pearson correlation coefficient of two equal-length samples, in `[-1, 1]`.
+/// Returns 0 when either sample has zero variance.
+pub fn pearson(a: &[f32], b: &[f32]) -> f64 {
+    assert_eq!(a.len(), b.len(), "sample lengths differ: {} vs {}", a.len(), b.len());
+    assert!(!a.is_empty(), "empty samples");
+    let n = a.len() as f64;
+    let mean_a = a.iter().map(|&v| v as f64).sum::<f64>() / n;
+    let mean_b = b.iter().map(|&v| v as f64).sum::<f64>() / n;
+    let (mut cov, mut var_a, mut var_b) = (0.0f64, 0.0f64, 0.0f64);
+    for (&x, &y) in a.iter().zip(b) {
+        let da = x as f64 - mean_a;
+        let db = y as f64 - mean_b;
+        cov += da * db;
+        var_a += da * da;
+        var_b += db * db;
+    }
+    if var_a <= 0.0 || var_b <= 0.0 {
+        return 0.0;
+    }
+    (cov / (var_a.sqrt() * var_b.sqrt())).clamp(-1.0, 1.0)
+}
+
+/// Spearman rank correlation: Pearson on average ranks (ties averaged).
+pub fn spearman(a: &[f32], b: &[f32]) -> f64 {
+    assert_eq!(a.len(), b.len(), "sample lengths differ: {} vs {}", a.len(), b.len());
+    let ra = ranks(a);
+    let rb = ranks(b);
+    pearson(&ra, &rb)
+}
+
+/// Average ranks (1-based) with ties sharing their mean rank.
+fn ranks(v: &[f32]) -> Vec<f32> {
+    let mut idx: Vec<usize> = (0..v.len()).collect();
+    idx.sort_by(|&a, &b| v[a].total_cmp(&v[b]));
+    let mut out = vec![0.0f32; v.len()];
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && v[idx[j + 1]] == v[idx[i]] {
+            j += 1;
+        }
+        let avg = ((i + 1 + j + 1) as f32) / 2.0;
+        for &orig in &idx[i..=j] {
+            out[orig] = avg;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pearson_perfect_linear() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&a, &b) - 1.0).abs() < 1e-9);
+        let neg: Vec<f32> = b.iter().map(|v| -v).collect();
+        assert!((pearson(&a, &neg) + 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pearson_constant_is_zero() {
+        assert_eq!(pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn pearson_independent_near_zero() {
+        use rand::Rng;
+        let mut rng = fairwos_tensor::seeded_rng(0);
+        let a: Vec<f32> = (0..2000).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let b: Vec<f32> = (0..2000).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        assert!(pearson(&a, &b).abs() < 0.07);
+    }
+
+    #[test]
+    fn spearman_monotone_nonlinear_is_one() {
+        // y = x³ is monotone but nonlinear: Spearman 1, Pearson < 1.
+        let a: Vec<f32> = (1..=10).map(|v| v as f32).collect();
+        let b: Vec<f32> = a.iter().map(|v| v.powi(3)).collect();
+        assert!((spearman(&a, &b) - 1.0).abs() < 1e-9);
+        assert!(pearson(&a, &b) < 1.0);
+    }
+
+    #[test]
+    fn ranks_handle_ties() {
+        let r = ranks(&[1.0, 2.0, 2.0, 3.0]);
+        assert_eq!(r, vec![1.0, 2.5, 2.5, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "lengths differ")]
+    fn length_mismatch_panics() {
+        let _ = pearson(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,129 @@
+//! Principal component analysis via power iteration with deflation.
+//!
+//! Only the leading handful of components is ever needed (t-SNE init uses
+//! 2), so power iteration beats a full eigendecomposition.
+
+use fairwos_tensor::Matrix;
+
+/// Projects the rows of `data` onto the top `k` principal components.
+///
+/// Returns the `n × k` projection. Components are computed by power
+/// iteration on the covariance (without materialising it — iterates
+/// `Xᵀ(Xv)`), deflating after each component.
+///
+/// # Panics
+/// If `k` exceeds the feature dimension.
+pub fn pca(data: &Matrix, k: usize, iterations: usize) -> Matrix {
+    let n = data.rows();
+    let d = data.cols();
+    assert!(k <= d, "k = {k} exceeds feature dim {d}");
+
+    // Center columns.
+    let means = data.col_means();
+    let mut x = data.clone();
+    for row in 0..n {
+        let r = x.row_mut(row);
+        for (v, &m) in r.iter_mut().zip(&means) {
+            *v -= m;
+        }
+    }
+
+    let mut components = Matrix::zeros(d, k);
+    for c in 0..k {
+        // Deterministic varied start: basis-ish vector to avoid the zero
+        // vector and correlate poorly with earlier components.
+        let mut v: Vec<f32> = (0..d).map(|i| if i % (c + 2) == 0 { 1.0 } else { 0.5 }).collect();
+        normalize(&mut v);
+        for _ in 0..iterations {
+            // w = Xᵀ (X v)
+            let xv = mat_vec(&x, &v);
+            let mut w = mat_t_vec(&x, &xv);
+            // Deflate: remove projections onto previous components.
+            for prev in 0..c {
+                let comp = components.col(prev);
+                let dot: f32 = w.iter().zip(&comp).map(|(a, b)| a * b).sum();
+                for (wi, ci) in w.iter_mut().zip(&comp) {
+                    *wi -= dot * ci;
+                }
+            }
+            if normalize(&mut w) < 1e-12 {
+                break; // rank-deficient remainder
+            }
+            v = w;
+        }
+        components.set_col(c, &v);
+    }
+    x.matmul(&components)
+}
+
+fn normalize(v: &mut [f32]) -> f32 {
+    let norm = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+    if norm > 0.0 {
+        for x in v.iter_mut() {
+            *x /= norm;
+        }
+    }
+    norm
+}
+
+fn mat_vec(m: &Matrix, v: &[f32]) -> Vec<f32> {
+    m.rows_iter().map(|row| row.iter().zip(v).map(|(a, b)| a * b).sum()).collect()
+}
+
+fn mat_t_vec(m: &Matrix, v: &[f32]) -> Vec<f32> {
+    let mut out = vec![0.0f32; m.cols()];
+    for (row, &scale) in m.rows_iter().zip(v) {
+        for (o, &r) in out.iter_mut().zip(row) {
+            *o += scale * r;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairwos_tensor::seeded_rng;
+
+    #[test]
+    fn recovers_dominant_axis() {
+        // Data stretched 10× along a diagonal: PC1 captures that direction,
+        // so the projection variance along column 0 dominates column 1.
+        let mut rng = seeded_rng(0);
+        let mut data = Matrix::zeros(200, 2);
+        use rand::Rng;
+        for i in 0..200 {
+            let t: f32 = rng.gen_range(-10.0..10.0);
+            let noise: f32 = rng.gen_range(-0.5..0.5);
+            data.set(i, 0, t + noise);
+            data.set(i, 1, t - noise);
+        }
+        let proj = pca(&data, 2, 50);
+        let stds = proj.col_stds();
+        assert!(stds[0] > 5.0 * stds[1], "PC1 std {} vs PC2 std {}", stds[0], stds[1]);
+    }
+
+    #[test]
+    fn projection_is_centered() {
+        let mut rng = seeded_rng(1);
+        let data = Matrix::rand_uniform(50, 5, 0.0, 10.0, &mut rng);
+        let proj = pca(&data, 3, 30);
+        assert_eq!(proj.shape(), (50, 3));
+        for m in proj.col_means() {
+            assert!(m.abs() < 1e-2, "projection mean {m}");
+        }
+    }
+
+    #[test]
+    fn constant_data_projects_to_zero() {
+        let data = Matrix::full(10, 4, 3.0);
+        let proj = pca(&data, 2, 20);
+        assert!(proj.frobenius_norm() < 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds feature dim")]
+    fn k_too_large_panics() {
+        let _ = pca(&Matrix::ones(4, 2), 3, 10);
+    }
+}

@@ -1,0 +1,113 @@
+//! Silhouette score — quantitative cluster separation.
+//!
+//! Fig. 7 of the paper argues visually that pseudo-sensitive attributes
+//! separate the true sensitive groups in t-SNE space. A repository can't
+//! ship an eyeball, so the experiment additionally reports the silhouette of
+//! the sensitive-group partition: positive means separated, ~0 means mixed.
+
+use fairwos_tensor::{sq_dist, Matrix};
+use rayon::prelude::*;
+
+/// Mean silhouette coefficient of the rows of `data` under the given
+/// `labels` partition, in `[-1, 1]`.
+///
+/// Points in singleton clusters get silhouette 0 (scikit-learn convention).
+///
+/// # Panics
+/// If lengths mismatch or fewer than 2 distinct labels exist.
+pub fn silhouette_score(data: &Matrix, labels: &[usize]) -> f64 {
+    let n = data.rows();
+    assert_eq!(labels.len(), n, "labels length {} vs {} rows", labels.len(), n);
+    let k = labels.iter().copied().max().map_or(0, |m| m + 1);
+    let mut counts = vec![0usize; k];
+    for &l in labels {
+        counts[l] += 1;
+    }
+    let distinct = counts.iter().filter(|&&c| c > 0).count();
+    assert!(distinct >= 2, "silhouette needs at least 2 non-empty clusters, got {distinct}");
+
+    let total: f64 = (0..n)
+        .into_par_iter()
+        .map(|i| {
+            // Mean distance (Euclidean) from i to each cluster.
+            let mut sums = vec![0.0f64; k];
+            for j in 0..n {
+                if i != j {
+                    sums[labels[j]] += (sq_dist(data.row(i), data.row(j)) as f64).sqrt();
+                }
+            }
+            let own = labels[i];
+            if counts[own] <= 1 {
+                return 0.0;
+            }
+            let a = sums[own] / (counts[own] - 1) as f64;
+            let b = (0..k)
+                .filter(|&c| c != own && counts[c] > 0)
+                .map(|c| sums[c] / counts[c] as f64)
+                .fold(f64::INFINITY, f64::min);
+            if a.max(b) == 0.0 {
+                0.0
+            } else {
+                (b - a) / a.max(b)
+            }
+        })
+        .sum();
+    total / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn separated_blobs_score_high() {
+        let mut data = Matrix::zeros(20, 2);
+        let mut labels = vec![0usize; 20];
+        for (i, label) in labels.iter_mut().enumerate() {
+            let (c, l) = if i < 10 { (0.0, 0) } else { (100.0, 1) };
+            data.set(i, 0, c + (i % 10) as f32 * 0.1);
+            data.set(i, 1, c);
+            *label = l;
+        }
+        let s = silhouette_score(&data, &labels);
+        assert!(s > 0.95, "silhouette {s}");
+    }
+
+    #[test]
+    fn random_partition_scores_near_zero() {
+        use rand::Rng;
+        let mut rng = fairwos_tensor::seeded_rng(0);
+        let data = Matrix::rand_uniform(60, 2, -1.0, 1.0, &mut rng);
+        let labels: Vec<usize> = (0..60).map(|_| rng.gen_range(0..2)).collect();
+        let s = silhouette_score(&data, &labels);
+        assert!(s.abs() < 0.15, "silhouette {s}");
+    }
+
+    #[test]
+    fn wrong_partition_scores_negative() {
+        // Two blobs but labels split each blob down the middle.
+        let mut data = Matrix::zeros(20, 1);
+        let mut labels = vec![0usize; 20];
+        for (i, label) in labels.iter_mut().enumerate() {
+            data.set(i, 0, if i < 10 { 0.0 } else { 100.0 } + (i % 10) as f32);
+            *label = i % 2;
+        }
+        let s = silhouette_score(&data, &labels);
+        assert!(s < 0.0, "silhouette {s} should be negative for a bad partition");
+    }
+
+    #[test]
+    fn singleton_cluster_contributes_zero() {
+        let data = Matrix::from_rows(&[&[0.0], &[0.1], &[50.0]]);
+        let labels = [0, 0, 1];
+        let s = silhouette_score(&data, &labels);
+        // Two near points score ~1 each, singleton scores 0 ⇒ mean ≈ 2/3.
+        assert!(s > 0.6 && s < 0.7, "silhouette {s}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 non-empty clusters")]
+    fn single_cluster_panics() {
+        let _ = silhouette_score(&Matrix::ones(3, 1), &[0, 0, 0]);
+    }
+}

@@ -1,0 +1,249 @@
+//! Exact t-SNE (Van der Maaten & Hinton, JMLR 2008).
+//!
+//! Used by the Fig. 7 experiment to embed pseudo-sensitive attributes into
+//! 2-D. The test sets involved are a few hundred points, so the exact
+//! O(N²) formulation is both sufficient and simpler to verify than
+//! Barnes–Hut.
+
+use crate::pca;
+use fairwos_tensor::{sq_dist, Matrix};
+use rayon::prelude::*;
+
+/// t-SNE hyper-parameters.
+#[derive(Clone, Debug)]
+pub struct TsneConfig {
+    /// Target perplexity (effective neighbourhood size). Default 30.
+    pub perplexity: f64,
+    /// Gradient-descent iterations. Default 500.
+    pub iterations: usize,
+    /// Learning rate; `0.0` (the default) selects the auto rate
+    /// `max(n / exaggeration, 50)` recommended by Belkina et al. 2019.
+    pub learning_rate: f32,
+    /// Early-exaggeration factor applied for the first quarter of the run.
+    pub exaggeration: f32,
+}
+
+impl Default for TsneConfig {
+    fn default() -> Self {
+        Self { perplexity: 30.0, iterations: 500, learning_rate: 0.0, exaggeration: 12.0 }
+    }
+}
+
+/// Embeds the rows of `data` into 2-D.
+///
+/// Initialisation is PCA (deterministic); optimisation is gradient descent
+/// with momentum 0.5→0.8 and the standard early-exaggeration phase.
+///
+/// # Panics
+/// If `data` has fewer than 4 rows (perplexity is meaningless below that).
+pub fn tsne(data: &Matrix, config: &TsneConfig) -> Matrix {
+    let n = data.rows();
+    assert!(n >= 4, "t-SNE needs at least 4 points, got {n}");
+    let perplexity = config.perplexity.min((n as f64 - 1.0) / 3.0).max(2.0);
+    let learning_rate = if config.learning_rate > 0.0 {
+        config.learning_rate
+    } else {
+        (n as f32 / config.exaggeration).max(50.0)
+    };
+
+    // --- High-dimensional affinities P (symmetrized, perplexity-calibrated).
+    let d2: Vec<Vec<f32>> = (0..n)
+        .into_par_iter()
+        .map(|i| (0..n).map(|j| sq_dist(data.row(i), data.row(j))).collect())
+        .collect();
+    let cond: Vec<Vec<f64>> = d2
+        .par_iter()
+        .enumerate()
+        .map(|(i, row)| conditional_probs(row, i, perplexity))
+        .collect();
+    // Symmetrize: p_ij = (p_{j|i} + p_{i|j}) / 2n.
+    let mut p = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                p[i * n + j] = (cond[i][j] + cond[j][i]) / (2.0 * n as f64);
+            }
+        }
+    }
+    let p_floor = 1e-12;
+
+    // --- Low-dimensional init: PCA scaled small (standard practice).
+    let mut y = pca(data, 2.min(data.cols()), 40);
+    if y.cols() < 2 {
+        y = y.hstack(&Matrix::zeros(n, 2 - y.cols()));
+    }
+    let norm = y.frobenius_norm();
+    if norm > 0.0 {
+        y.scale_assign(1e-2 / norm * (n as f32).sqrt());
+    }
+
+    // --- Gradient descent with momentum.
+    let mut velocity = Matrix::zeros(n, 2);
+    let exaggeration_until = config.iterations / 4;
+    for it in 0..config.iterations {
+        let exag = if it < exaggeration_until { config.exaggeration as f64 } else { 1.0 };
+        let momentum = if it < exaggeration_until { 0.5 } else { 0.8 };
+
+        // Student-t affinities Q (unnormalized numerators W and their sum).
+        let w: Vec<f64> = (0..n * n)
+            .into_par_iter()
+            .map(|idx| {
+                let (i, j) = (idx / n, idx % n);
+                if i == j {
+                    0.0
+                } else {
+                    1.0 / (1.0 + sq_dist(y.row(i), y.row(j)) as f64)
+                }
+            })
+            .collect();
+        let w_sum: f64 = w.iter().sum();
+
+        // Gradient: dC/dy_i = 4 Σ_j (exag·p_ij − q_ij) w_ij (y_i − y_j).
+        let grads: Vec<[f64; 2]> = (0..n)
+            .into_par_iter()
+            .map(|i| {
+                let mut g = [0.0f64; 2];
+                let yi = y.row(i);
+                for j in 0..n {
+                    if i == j {
+                        continue;
+                    }
+                    let wij = w[i * n + j];
+                    let q = wij / w_sum;
+                    let coeff = 4.0 * (exag * p[i * n + j].max(p_floor) - q) * wij;
+                    let yj = y.row(j);
+                    g[0] += coeff * (yi[0] - yj[0]) as f64;
+                    g[1] += coeff * (yi[1] - yj[1]) as f64;
+                }
+                g
+            })
+            .collect();
+
+        for (i, g) in grads.iter().enumerate() {
+            let v = velocity.row_mut(i);
+            v[0] = momentum as f32 * v[0] - learning_rate * g[0] as f32;
+            v[1] = momentum as f32 * v[1] - learning_rate * g[1] as f32;
+        }
+        y.add_assign(&velocity);
+
+        // Re-center to keep the embedding bounded.
+        let means = y.col_means();
+        for i in 0..n {
+            let r = y.row_mut(i);
+            r[0] -= means[0];
+            r[1] -= means[1];
+        }
+    }
+    y
+}
+
+/// Binary-searches the Gaussian bandwidth for row `i` so the conditional
+/// distribution hits the target perplexity; returns `p_{j|i}`.
+fn conditional_probs(d2_row: &[f32], i: usize, perplexity: f64) -> Vec<f64> {
+    let n = d2_row.len();
+    let target_entropy = perplexity.ln();
+    let mut beta = 1.0f64; // precision = 1 / (2σ²)
+    let (mut beta_min, mut beta_max) = (f64::NEG_INFINITY, f64::INFINITY);
+    let mut probs = vec![0.0f64; n];
+    for _ in 0..64 {
+        // Compute shifted Gaussian kernel and entropy at this beta.
+        let mut sum = 0.0f64;
+        for (j, &d) in d2_row.iter().enumerate() {
+            probs[j] = if j == i { 0.0 } else { (-(d as f64) * beta).exp() };
+            sum += probs[j];
+        }
+        if sum <= 0.0 {
+            // All mass collapsed; relax beta.
+            beta_max = beta;
+            beta = if beta_min.is_finite() { (beta + beta_min) / 2.0 } else { beta / 2.0 };
+            continue;
+        }
+        let mut entropy = 0.0f64;
+        for pj in probs.iter_mut() {
+            *pj /= sum;
+            if *pj > 1e-12 {
+                entropy -= *pj * pj.ln();
+            }
+        }
+        let diff = entropy - target_entropy;
+        if diff.abs() < 1e-5 {
+            break;
+        }
+        if diff > 0.0 {
+            beta_min = beta;
+            beta = if beta_max.is_finite() { (beta + beta_max) / 2.0 } else { beta * 2.0 };
+        } else {
+            beta_max = beta;
+            beta = if beta_min.is_finite() { (beta + beta_min) / 2.0 } else { beta / 2.0 };
+        }
+    }
+    probs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::silhouette_score;
+    use fairwos_tensor::seeded_rng;
+    use rand::Rng;
+
+    #[test]
+    fn conditional_probs_sum_to_one() {
+        let d2 = vec![0.0, 1.0, 4.0, 9.0, 16.0];
+        let p = conditional_probs(&d2, 0, 2.0);
+        let sum: f64 = p.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6, "sum {sum}");
+        assert_eq!(p[0], 0.0);
+        // Nearer points get more mass.
+        assert!(p[1] > p[2] && p[2] > p[3]);
+    }
+
+    #[test]
+    fn separated_clusters_stay_separated() {
+        // Two 10-D blobs; the 2-D embedding must keep them apart.
+        let mut rng = seeded_rng(0);
+        let n = 60;
+        let mut data = Matrix::zeros(n, 10);
+        let mut labels = vec![0usize; n];
+        for (i, label) in labels.iter_mut().enumerate() {
+            let (c, l) = if i < n / 2 { (0.0, 0) } else { (8.0, 1) };
+            *label = l;
+            for j in 0..10 {
+                data.set(i, j, c + rng.gen_range(-0.5..0.5));
+            }
+        }
+        let config = TsneConfig { iterations: 400, perplexity: 10.0, ..Default::default() };
+        let emb = tsne(&data, &config);
+        assert_eq!(emb.shape(), (n, 2));
+        assert!(!emb.has_non_finite());
+        // A clearly positive silhouette means the embedding keeps the blobs
+        // apart (t-SNE clusters are separated but not compact, so ~0.3+ is
+        // the realistic bar, not ~0.9).
+        let s = silhouette_score(&emb, &labels);
+        assert!(s > 0.3, "embedding silhouette {s} — clusters merged");
+    }
+
+    #[test]
+    fn output_is_centered() {
+        let mut rng = seeded_rng(1);
+        let data = Matrix::rand_uniform(30, 5, -1.0, 1.0, &mut rng);
+        let emb = tsne(&data, &TsneConfig { iterations: 50, ..Default::default() });
+        for m in emb.col_means() {
+            assert!(m.abs() < 1e-3, "mean {m}");
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let mut rng = seeded_rng(2);
+        let data = Matrix::rand_uniform(20, 4, -1.0, 1.0, &mut rng);
+        let cfg = TsneConfig { iterations: 30, ..Default::default() };
+        assert_eq!(tsne(&data, &cfg), tsne(&data, &cfg));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 4 points")]
+    fn too_few_points_panics() {
+        let _ = tsne(&Matrix::ones(3, 2), &TsneConfig::default());
+    }
+}

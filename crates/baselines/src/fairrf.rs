@@ -1,0 +1,176 @@
+//! `FairRF` (Zhao, Dai, Shu & Wang, WSDM 2022): trains the classifier while
+//! minimizing the (squared Pearson) correlation between its predictions and
+//! each *related feature* — a feature suspected to proxy the sensitive
+//! attribute.
+//!
+//! As in the paper (§V-A3), the i.i.d. method is applied on our backbone
+//! GNN; the related-feature list is the same domain knowledge RemoveR gets.
+//! Where RemoveR deletes the columns, FairRF keeps them but decorrelates the
+//! logits from them.
+
+use crate::common::{predict_probs, train_gnn, TrainOpts};
+use fairwos_core::{FairMethod, TrainInput};
+use fairwos_nn::Backbone;
+use fairwos_tensor::Matrix;
+
+/// Correlation-minimization baseline.
+pub struct FairRF {
+    opts: TrainOpts,
+    /// Feature columns treated as related to the hidden sensitive attribute.
+    related: Vec<usize>,
+    /// Regularizer weight.
+    pub gamma: f32,
+}
+
+impl FairRF {
+    /// FairRF on the given backbone with the related-feature list.
+    pub fn new(backbone: Backbone, related: Vec<usize>) -> Self {
+        Self { opts: TrainOpts::default_for(backbone), related, gamma: 1.0 }
+    }
+
+    /// FairRF with explicit knobs.
+    pub fn with_params(opts: TrainOpts, related: Vec<usize>, gamma: f32) -> Self {
+        Self { opts, related, gamma }
+    }
+}
+
+/// `γ Σ_j ρ(x_j, z)²` over the train nodes and its gradient w.r.t. `z`.
+///
+/// With both series centered, `dρ/dz_v = x̃_v/(s_x s_z) − ρ·z̃_v/s_z²`; the
+/// centering projection is the identity on this expression because both
+/// centered series sum to zero.
+fn correlation_penalty(
+    logits: &Matrix,
+    features: &Matrix,
+    related: &[usize],
+    train: &[usize],
+    gamma: f32,
+) -> (f32, Matrix) {
+    let n = train.len();
+    let mut grad = Matrix::zeros(logits.rows(), 1);
+    if n < 2 {
+        return (0.0, grad);
+    }
+    let z: Vec<f32> = train.iter().map(|&v| logits.get(v, 0)).collect();
+    let z_mean = z.iter().sum::<f32>() / n as f32;
+    let z_c: Vec<f32> = z.iter().map(|&v| v - z_mean).collect();
+    let sz = z_c.iter().map(|v| v * v).sum::<f32>().sqrt();
+    if sz < 1e-8 {
+        return (0.0, grad);
+    }
+    let mut loss = 0.0f32;
+    for &j in related {
+        let x: Vec<f32> = train.iter().map(|&v| features.get(v, j)).collect();
+        let x_mean = x.iter().sum::<f32>() / n as f32;
+        let x_c: Vec<f32> = x.iter().map(|&v| v - x_mean).collect();
+        let sx = x_c.iter().map(|v| v * v).sum::<f32>().sqrt();
+        if sx < 1e-8 {
+            continue;
+        }
+        let rho = x_c.iter().zip(&z_c).map(|(a, b)| a * b).sum::<f32>() / (sx * sz);
+        loss += gamma * rho * rho;
+        for (idx, &v) in train.iter().enumerate() {
+            let drho = x_c[idx] / (sx * sz) - rho * z_c[idx] / (sz * sz);
+            let g = grad.get(v, 0) + 2.0 * gamma * rho * drho;
+            grad.set(v, 0, g);
+        }
+    }
+    (loss, grad)
+}
+
+impl FairMethod for FairRF {
+    fn name(&self) -> String {
+        "FairRF".to_string()
+    }
+
+    fn fit_predict(&self, input: &TrainInput<'_>, seed: u64) -> Vec<f32> {
+        input.validate();
+        let features = input.features;
+        let related = &self.related;
+        let train = input.train;
+        let gamma = self.gamma;
+        let mut reg =
+            move |logits: &Matrix| correlation_penalty(logits, features, related, train, gamma);
+        let (gnn, ctx, _) = train_gnn(
+            input.graph,
+            input.features,
+            input.labels,
+            input.train,
+            input.val,
+            &self.opts,
+            seed,
+            Some(&mut reg),
+        );
+        predict_probs(&gnn, &ctx, input.features)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::test_support::{dataset, input, test_accuracy};
+    use fairwos_tensor::{approx_eq, seeded_rng};
+
+    #[test]
+    fn penalty_gradient_matches_finite_differences() {
+        let mut rng = seeded_rng(0);
+        let features = Matrix::rand_uniform(6, 3, -1.0, 1.0, &mut rng);
+        let logits = Matrix::rand_uniform(6, 1, -1.0, 1.0, &mut rng);
+        let train = [0usize, 1, 2, 3, 4, 5];
+        let related = [0usize, 2];
+        let (_, grad) = correlation_penalty(&logits, &features, &related, &train, 0.9);
+        let eps = 1e-3;
+        for v in 0..6 {
+            let mut up = logits.clone();
+            up.set(v, 0, logits.get(v, 0) + eps);
+            let mut dn = logits.clone();
+            dn.set(v, 0, logits.get(v, 0) - eps);
+            let (lu, _) = correlation_penalty(&up, &features, &related, &train, 0.9);
+            let (ld, _) = correlation_penalty(&dn, &features, &related, &train, 0.9);
+            let fd = (lu - ld) / (2.0 * eps);
+            assert!(approx_eq(fd, grad.get(v, 0), 2e-2), "node {v}: {fd} vs {}", grad.get(v, 0));
+        }
+    }
+
+    #[test]
+    fn penalty_zero_for_uncorrelated() {
+        // Orthogonal series: logits (1,-1,1,-1), feature (1,1,-1,-1).
+        let logits = Matrix::from_rows(&[&[1.0], &[-1.0], &[1.0], &[-1.0]]);
+        let features = Matrix::from_rows(&[&[1.0], &[1.0], &[-1.0], &[-1.0]]);
+        let train = [0usize, 1, 2, 3];
+        let (loss, _) = correlation_penalty(&logits, &features, &[0], &train, 1.0);
+        assert!(loss.abs() < 1e-10);
+    }
+
+    #[test]
+    fn penalty_max_for_identical_series() {
+        let logits = Matrix::from_rows(&[&[1.0], &[2.0], &[3.0], &[4.0]]);
+        let features = logits.clone();
+        let train = [0usize, 1, 2, 3];
+        let (loss, _) = correlation_penalty(&logits, &features, &[0], &train, 1.0);
+        assert!(approx_eq(loss, 1.0, 1e-5), "ρ² should be 1, got {loss}");
+    }
+
+    #[test]
+    fn constant_feature_is_skipped() {
+        let logits = Matrix::from_rows(&[&[1.0], &[2.0], &[3.0]]);
+        let features = Matrix::full(3, 1, 7.0);
+        let train = [0usize, 1, 2];
+        let (loss, grad) = correlation_penalty(&logits, &features, &[0], &train, 1.0);
+        assert_eq!(loss, 0.0);
+        assert_eq!(grad.frobenius_norm(), 0.0);
+    }
+
+    #[test]
+    fn fairrf_learns() {
+        let ds = dataset();
+        let related: Vec<usize> = (0..ds.spec.corr_features).collect();
+        let probs = FairRF::new(Backbone::Gcn, related).fit_predict(&input(&ds), 0);
+        assert!(test_accuracy(&ds, &probs) > 0.55);
+    }
+
+    #[test]
+    fn name_matches_paper() {
+        assert_eq!(FairRF::new(Backbone::Gcn, vec![]).name(), "FairRF");
+    }
+}

@@ -1,0 +1,24 @@
+//! Benchmarks of synthetic dataset generation — the setup cost of every
+//! experiment, dominated by stratified edge sampling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fairwos_datasets::{DatasetSpec, FairGraphDataset};
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dataset_generation");
+    group.sample_size(10);
+    for (name, spec) in [
+        ("nba_full", DatasetSpec::nba()),
+        ("bail_5pct", DatasetSpec::bail().scaled(0.05)),
+        ("credit_5pct", DatasetSpec::credit().scaled(0.05)),
+        ("pokec_z_2pct", DatasetSpec::pokec_z().scaled(0.02)),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &spec, |b, s| {
+            b.iter(|| FairGraphDataset::generate(s, 7))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_generation);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Benchmarks of the Fairwos-specific machinery: the top-K counterfactual
+//! search (the dominant fine-tuning cost), the λ simplex projection, and
+//! the median binarization of pseudo-sensitive attributes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fairwos_core::counterfactual::{search_topk, SearchSpace};
+use fairwos_core::{project_to_simplex, update_lambda};
+use fairwos_tensor::{seeded_rng, Matrix};
+use rand::Rng;
+
+fn bench_counterfactual_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("counterfactual_search");
+    group.sample_size(20);
+    for &n in &[500usize, 2000] {
+        let mut rng = seeded_rng(0);
+        let embeddings = Matrix::rand_uniform(n, 16, -1.0, 1.0, &mut rng);
+        let pseudo_labels: Vec<bool> = (0..n).map(|_| rng.gen_bool(0.5)).collect();
+        let bits: Vec<Vec<bool>> = (0..n).map(|_| (0..16).map(|_| rng.gen_bool(0.5)).collect()).collect();
+        let candidates: Vec<usize> = (0..n / 2).collect();
+        let queries: Vec<usize> = (0..n / 2).collect();
+        group.bench_with_input(BenchmarkId::new("topk2_16attrs", n), &n, |b, _| {
+            b.iter(|| {
+                let space = SearchSpace {
+                    embeddings: &embeddings,
+                    pseudo_labels: &pseudo_labels,
+                    pseudo_sensitive: &bits,
+                    candidates: &candidates,
+                };
+                search_topk(&space, &queries, 2)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_lambda(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lambda_update");
+    for &dim in &[16usize, 256, 4096] {
+        let mut rng = seeded_rng(1);
+        let d: Vec<f32> = (0..dim).map(|_| rng.gen_range(0.0..5.0)).collect();
+        group.bench_with_input(BenchmarkId::new("kkt_closed_form", dim), &dim, |b, _| {
+            b.iter(|| update_lambda(&d, 2.0))
+        });
+        group.bench_with_input(BenchmarkId::new("simplex_projection", dim), &dim, |b, _| {
+            b.iter(|| project_to_simplex(&d))
+        });
+    }
+    group.finish();
+}
+
+fn bench_binarize(c: &mut Criterion) {
+    let mut rng = seeded_rng(2);
+    let x0 = Matrix::rand_uniform(5000, 16, -1.0, 1.0, &mut rng);
+    c.bench_function("binarize_at_medians_5000x16", |b| {
+        b.iter(|| x0.col_medians())
+    });
+}
+
+criterion_group!(benches, bench_counterfactual_search, bench_lambda, bench_binarize);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Micro-benchmarks of the numeric kernels everything else is built on:
+//! dense GEMM (three variants), sparse-dense SPMM on a realistic graph, and
+//! the squared-distance primitive of the counterfactual search.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fairwos_graph::{gcn_normalized_adjacency, generate};
+use fairwos_tensor::{seeded_rng, sq_dist, Matrix};
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm");
+    for &n in &[64usize, 256] {
+        let mut rng = seeded_rng(0);
+        let a = Matrix::rand_uniform(n, n, -1.0, 1.0, &mut rng);
+        let b = Matrix::rand_uniform(n, n, -1.0, 1.0, &mut rng);
+        group.bench_with_input(BenchmarkId::new("matmul", n), &n, |bch, _| {
+            bch.iter(|| a.matmul(&b))
+        });
+        group.bench_with_input(BenchmarkId::new("matmul_tn", n), &n, |bch, _| {
+            bch.iter(|| a.matmul_tn(&b))
+        });
+        group.bench_with_input(BenchmarkId::new("matmul_nt", n), &n, |bch, _| {
+            bch.iter(|| a.matmul_nt(&b))
+        });
+    }
+    group.finish();
+}
+
+fn bench_spmm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spmm");
+    for &n in &[1000usize, 5000] {
+        let mut rng = seeded_rng(1);
+        let sens: Vec<bool> = (0..n).map(|i| i % 2 == 0).collect();
+        // Degree ≈ 20, the Table-I regime.
+        let p = 20.0 / n as f64;
+        let g = generate::sensitive_sbm(&sens, p * 1.6, p * 0.4, &mut rng);
+        let a_hat = gcn_normalized_adjacency(&g);
+        let x = Matrix::rand_uniform(n, 16, -1.0, 1.0, &mut rng);
+        group.bench_with_input(BenchmarkId::new("gcn_prop_16d", n), &n, |bch, _| {
+            bch.iter(|| a_hat.spmm(&x))
+        });
+    }
+    group.finish();
+}
+
+fn bench_sq_dist(c: &mut Criterion) {
+    let mut rng = seeded_rng(2);
+    let m = Matrix::rand_uniform(1000, 16, -1.0, 1.0, &mut rng);
+    c.bench_function("sq_dist_row_vs_all_16d", |b| {
+        b.iter(|| {
+            let q = m.row(0);
+            (1..m.rows()).map(|i| sq_dist(q, m.row(i))).sum::<f32>()
+        })
+    });
+}
+
+criterion_group!(benches, bench_gemm, bench_spmm, bench_sq_dist);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Layer-level benchmarks: one forward + backward of each conv flavour on a
+//! Table-I-shaped graph — the per-epoch cost driver of every experiment.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fairwos_graph::generate;
+use fairwos_nn::loss::bce_with_logits_masked;
+use fairwos_nn::{Backbone, Gnn, GnnConfig, GraphContext};
+use fairwos_tensor::{seeded_rng, Matrix};
+
+fn bench_layers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("conv_epoch");
+    for backbone in [Backbone::Gcn, Backbone::Gin] {
+        for &n in &[500usize, 2000] {
+            let mut rng = seeded_rng(0);
+            let sens: Vec<bool> = (0..n).map(|i| i % 2 == 0).collect();
+            let p = 20.0 / n as f64;
+            let g = generate::sensitive_sbm(&sens, p * 1.6, p * 0.4, &mut rng);
+            let ctx = GraphContext::new(&g);
+            let x = Matrix::rand_uniform(n, 39, -1.0, 1.0, &mut rng);
+            let labels: Vec<f32> = (0..n).map(|i| (i % 2) as f32).collect();
+            let train: Vec<usize> = (0..n / 2).collect();
+            let mut gnn = Gnn::new(GnnConfig::paper_default(backbone, 39), &mut rng);
+            group.bench_with_input(
+                BenchmarkId::new(format!("{backbone}_fwd_bwd"), n),
+                &n,
+                |b, _| {
+                    b.iter(|| {
+                        gnn.zero_grad();
+                        let out = gnn.forward_train(&ctx, &x, &mut rng);
+                        let (_, dlogits) = bce_with_logits_masked(&out.logits, &labels, &train);
+                        gnn.backward(&ctx, &dlogits, None);
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_layers);
+criterion_main!(benches);

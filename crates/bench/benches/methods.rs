@@ -1,0 +1,32 @@
+//! End-to-end training cost per method on the NBA dataset — the Criterion
+//! counterpart of Fig. 8 (the `exp_fig8_runtime` binary reports wall-clock
+//! of the same runs in the paper's format).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fairwos_bench::{build_method, run_method, MethodKind};
+use fairwos_datasets::{DatasetSpec, FairGraphDataset};
+use fairwos_nn::Backbone;
+
+fn bench_methods(c: &mut Criterion) {
+    let ds = FairGraphDataset::generate(&DatasetSpec::nba(), 0);
+    let mut group = c.benchmark_group("train_nba");
+    group.sample_size(10);
+    for kind in [
+        MethodKind::Vanilla,
+        MethodKind::RemoveR,
+        MethodKind::KSmote,
+        MethodKind::FairRF,
+        MethodKind::FairGkd,
+        MethodKind::FairwosWoF,
+        MethodKind::Fairwos,
+    ] {
+        let method = build_method(kind, Backbone::Gcn, &ds);
+        group.bench_with_input(BenchmarkId::new("gcn", method.name()), &kind, |b, _| {
+            b.iter(|| run_method(method.as_ref(), &ds, 42))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_methods);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Dev tool: calibration of the synthetic benchmarks and the Fairwos α.
+//! Not part of the paper's experiment set; kept for tuning the harness.
+
+use fairwos_bench::harness::fairwos_config;
+use fairwos_bench::{build_method, run_method, MethodKind};
+use fairwos_core::{FairwosConfig, FairwosTrainer};
+use fairwos_datasets::{all_benchmarks, FairGraphDataset};
+use fairwos_nn::Backbone;
+
+fn main() {
+    let scale: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.03);
+    for spec in all_benchmarks(scale) {
+        let ds = FairGraphDataset::generate(&spec, 1);
+        let (p0, p1) = ds.base_rates();
+        print!("{:<11} n={:<5} rates=({:.2},{:.2})", spec.name, ds.num_nodes(), p0, p1);
+        for kind in [MethodKind::Vanilla, MethodKind::Fairwos] {
+            let m = build_method(kind, Backbone::Gcn, &ds);
+            let mut acc = 0.0; let mut dsp = 0.0; let mut deo = 0.0;
+            let runs = 3;
+            for r in 0..runs {
+                let (rep, _) = run_method(m.as_ref(), &ds, 42 + r);
+                acc += rep.accuracy; dsp += rep.delta_sp; deo += rep.delta_eo;
+            }
+            let f = runs as f64;
+            print!("  | {} acc {:.1} dsp {:.1} deo {:.1}", m.name(), 100.0*acc/f, 100.0*dsp/f, 100.0*deo/f);
+        }
+        println!();
+    }
+    // α sweeps
+    for name in ["nba", "pokec-z"] {
+    let mut spec = fairwos_datasets::DatasetSpec::by_name(name).unwrap();
+    if name != "nba" { spec = spec.scaled(0.03); }
+    let ds = FairGraphDataset::generate(&spec, 1);
+    for alpha in [0.25f32, 1.0, 2.0, 4.0, 8.0] {
+        let m = FairwosTrainer::new(FairwosConfig { alpha, ..fairwos_config(Backbone::Gcn) });
+        let mut acc = 0.0; let mut dsp = 0.0; let mut deo = 0.0;
+        for r in 0..3 {
+            let (rep, _) = run_method(&m, &ds, 42 + r);
+            acc += rep.accuracy; dsp += rep.delta_sp; deo += rep.delta_eo;
+        }
+        println!("{name} Fairwos α={alpha:<4} acc {:.1} dsp {:.1} deo {:.1}", 100.0*acc/3.0, 100.0*dsp/3.0, 100.0*deo/3.0);
+    }
+    }
+}

@@ -1,0 +1,73 @@
+//! **Extension ablation** — the λ-update direction.
+//!
+//! The paper's §III-E prose says attributes with a *large* counterfactual
+//! distance `Dᵢ` (strong causal link to the prediction) should receive a
+//! *large* λᵢ, but the KKT solution it derives (Eq. 24) provably does the
+//! opposite — `λᵢ` decreases with `Dᵢ`. This binary measures both readings
+//! on NBA and Bail, plus the `w/o W` uniform-λ control, so the repository
+//! documents which rule the mechanism actually benefits from rather than
+//! leaving the discrepancy unexamined.
+
+use fairwos_bench::harness::fairwos_config;
+use fairwos_bench::{run_method, Args, MethodKind, MethodRun};
+use fairwos_core::{FairwosConfig, FairwosTrainer, WeightMode};
+use fairwos_datasets::{DatasetSpec, FairGraphDataset};
+use fairwos_fairness::{MeanStd, RunAggregator};
+use fairwos_nn::Backbone;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct LambdaRecord {
+    dataset: String,
+    mode: String,
+    accuracy: MeanStd,
+    delta_sp: MeanStd,
+    delta_eo: MeanStd,
+}
+
+fn main() {
+    let args = Args::parse(0.03, 3);
+    let mut records = Vec::new();
+    println!("Extension ablation: λ-update direction (scale {}, {} runs)", args.scale, args.runs);
+    for spec in [DatasetSpec::nba(), DatasetSpec::bail().scaled(args.scale)] {
+        let ds = FairGraphDataset::generate(&spec, args.seed);
+        println!("\n=== {} ({} nodes) ===", spec.name, ds.num_nodes());
+        println!(
+            "{:<22} | {:>14} | {:>14} | {:>14}",
+            "λ rule", "ACC(↑)", "ΔSP(↓)", "ΔEO(↓)"
+        );
+
+        // Uniform-λ control (Fwos w/o W).
+        let wow = MethodRun::execute(MethodKind::FairwosWoW, Backbone::Gcn, &ds, args.runs, args.seed);
+        println!("{:<22} | {}", "uniform (w/o W)", wow.table_row().split_once('|').expect("row has columns").1.trim_start());
+
+        for (label, mode) in [
+            ("KKT (Eq. 24, small-D)", WeightMode::KktClosedForm),
+            ("∝ D (prose, large-D)", WeightMode::ProportionalToDistance),
+        ] {
+            let cfg = FairwosConfig { weight_mode: mode, ..fairwos_config(Backbone::Gcn) };
+            let trainer = FairwosTrainer::new(cfg);
+            let mut agg = RunAggregator::new();
+            for r in 0..args.runs {
+                let (report, _) = run_method(&trainer, &ds, args.seed + r as u64);
+                agg.push_report(&report);
+            }
+            let cell = |m: &str| agg.mean_std(m).expect("recorded");
+            println!(
+                "{:<22} | {:>14} | {:>14} | {:>14}",
+                label,
+                cell("accuracy").percent_cell(),
+                cell("delta_sp").percent_cell(),
+                cell("delta_eo").percent_cell()
+            );
+            records.push(LambdaRecord {
+                dataset: spec.name.clone(),
+                mode: label.to_string(),
+                accuracy: cell("accuracy"),
+                delta_sp: cell("delta_sp"),
+                delta_eo: cell("delta_eo"),
+            });
+        }
+    }
+    args.write_out(&records);
+}

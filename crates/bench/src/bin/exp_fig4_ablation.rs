@@ -1,0 +1,34 @@
+//! **Fig. 4** — ablation study on the NBA and Bail datasets: the backbone
+//! GNN vs. `Fwos w/o E` (no encoder) vs. `Fwos w/o F` (no fairness
+//! promotion) vs. `Fwos w/o W` (no weight updating) vs. full Fairwos,
+//! under both backbones.
+//!
+//! Expected shape (paper §V-C): every variant is fairer than the raw
+//! backbone; the full model is fairest; removing the encoder costs the most
+//! accuracy (and, per Fig. 8, the most runtime).
+
+use fairwos_bench::{Args, MethodKind, MethodRun, RunRecord};
+use fairwos_datasets::{DatasetSpec, FairGraphDataset};
+use fairwos_nn::Backbone;
+
+fn main() {
+    let args = Args::parse(0.03, 3);
+    let mut records: Vec<RunRecord> = Vec::new();
+    println!("Fig. 4: ablation on NBA and Bail (scale {}, {} runs)", args.scale, args.runs);
+    for spec in [DatasetSpec::nba(), DatasetSpec::bail().scaled(args.scale)] {
+        let ds = FairGraphDataset::generate(&spec, args.seed);
+        for backbone in [Backbone::Gcn, Backbone::Gin] {
+            println!("\n=== {} / {backbone} ({} nodes) ===", spec.name, ds.num_nodes());
+            println!(
+                "{:<12} | {:>14} | {:>14} | {:>14}",
+                "Variant", "ACC(↑)", "ΔSP(↓)", "ΔEO(↓)"
+            );
+            for kind in MethodKind::fig4() {
+                let run = MethodRun::execute(kind, backbone, &ds, args.runs, args.seed);
+                println!("{}", run.table_row());
+                records.push(run.record(&spec.name, backbone));
+            }
+        }
+    }
+    args.write_out(&records);
+}

@@ -1,0 +1,80 @@
+//! **Fig. 5** — sensitivity to the encoder dimension on the GCN backbone:
+//! Fairwos and `Fairwos w/o F` across dim ∈ {2, 8, 16, 32}, with the
+//! backbone GNN as the dimension-independent reference line.
+//!
+//! Expected shape (paper §V-D, RQ3): shrinking the dimension lowers both
+//! accuracy and bias; down to a moderate dimension (~8) the encoder variant
+//! still beats the raw backbone's accuracy, below that utility collapses
+//! because too much task information is compressed away.
+
+use fairwos_bench::harness::fairwos_config;
+use fairwos_bench::{run_method, Args, MethodKind, MethodRun};
+use fairwos_core::{FairwosConfig, FairwosTrainer};
+use fairwos_datasets::{DatasetSpec, FairGraphDataset};
+use fairwos_fairness::{MeanStd, RunAggregator};
+use fairwos_nn::Backbone;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct DimRecord {
+    dataset: String,
+    variant: String,
+    dim: usize,
+    accuracy: MeanStd,
+    delta_sp: MeanStd,
+    delta_eo: MeanStd,
+}
+
+fn main() {
+    let args = Args::parse(0.03, 3);
+    let dims = [2usize, 8, 16, 32];
+    let mut records = Vec::new();
+    println!("Fig. 5: encoder-dimension study on GCN (scale {}, {} runs)", args.scale, args.runs);
+    for spec in [DatasetSpec::bail().scaled(args.scale), DatasetSpec::nba()] {
+        let ds = FairGraphDataset::generate(&spec, args.seed);
+        println!("\n=== {} ({} nodes) ===", spec.name, ds.num_nodes());
+
+        // Dimension-independent reference: the raw backbone.
+        let vanilla = MethodRun::execute(MethodKind::Vanilla, Backbone::Gcn, &ds, args.runs, args.seed);
+        println!("reference    | {}", vanilla.table_row());
+
+        println!(
+            "{:<12} {:>4} | {:>14} | {:>14} | {:>14}",
+            "Variant", "dim", "ACC(↑)", "ΔSP(↓)", "ΔEO(↓)"
+        );
+        for use_fairness in [true, false] {
+            for &dim in &dims {
+                let cfg = FairwosConfig {
+                    encoder_dim: dim,
+                    use_fairness,
+                    ..fairwos_config(Backbone::Gcn)
+                };
+                let trainer = FairwosTrainer::new(cfg);
+                let mut agg = RunAggregator::new();
+                for r in 0..args.runs {
+                    let (report, _) = run_method(&trainer, &ds, args.seed + r as u64);
+                    agg.push_report(&report);
+                }
+                let cell = |m: &str| agg.mean_std(m).expect("recorded");
+                let variant = if use_fairness { "Fairwos" } else { "Fwos w/o F" };
+                println!(
+                    "{:<12} {:>4} | {:>14} | {:>14} | {:>14}",
+                    variant,
+                    dim,
+                    cell("accuracy").percent_cell(),
+                    cell("delta_sp").percent_cell(),
+                    cell("delta_eo").percent_cell()
+                );
+                records.push(DimRecord {
+                    dataset: spec.name.clone(),
+                    variant: variant.to_string(),
+                    dim,
+                    accuracy: cell("accuracy"),
+                    delta_sp: cell("delta_sp"),
+                    delta_eo: cell("delta_eo"),
+                });
+            }
+        }
+    }
+    args.write_out(&records);
+}

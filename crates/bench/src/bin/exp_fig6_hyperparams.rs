@@ -1,0 +1,101 @@
+//! **Fig. 6** — hyper-parameter study on the Bail dataset (GCN backbone):
+//! the α × K grid of ACC / ΔSP / ΔEO heatmaps.
+//!
+//! α values are in *this implementation's* units — our fairness term is
+//! normalized per counterfactual pair and by the embedding scale, so our
+//! geometric grid {1, 4, 16, 64} spans the same qualitative range (too weak
+//! → balanced → utility collapse) as the paper's raw-sum grid {0.01…0.08}
+//! (see EXPERIMENTS.md, "α correspondence").
+//!
+//! Expected shape (paper §V-D, RQ4): fairness improves as α or K grows;
+//! past a threshold utility drops sharply; below a threshold fairness stops
+//! improving — a visible utility/fairness trade-off surface.
+
+use fairwos_bench::harness::fairwos_config;
+use fairwos_bench::{run_method, Args};
+use fairwos_core::{FairwosConfig, FairwosTrainer};
+use fairwos_datasets::{DatasetSpec, FairGraphDataset};
+use fairwos_fairness::{MeanStd, RunAggregator};
+use fairwos_nn::Backbone;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct CellRecord {
+    dataset: String,
+    alpha: f32,
+    k: usize,
+    accuracy: MeanStd,
+    delta_sp: MeanStd,
+    delta_eo: MeanStd,
+}
+
+fn main() {
+    let args = Args::parse(0.03, 3);
+    let alphas = [0.0f32, 1.0, 8.0, 64.0];
+    let ks = [1usize, 2, 3, 4];
+    let mut records = Vec::new();
+    for spec in [DatasetSpec::bail().scaled(args.scale), DatasetSpec::nba()] {
+    let ds = FairGraphDataset::generate(&spec, args.seed);
+    println!(
+        "\nFig. 6: α × K study on {}/GCN ({} nodes, {} runs; α = 0 ⇒ fairness stage off)",
+        spec.name,
+        ds.num_nodes(),
+        args.runs
+    );
+
+    let mut grid: Vec<Vec<(MeanStd, MeanStd, MeanStd)>> = Vec::new();
+    for &alpha in &alphas {
+        let mut row = Vec::new();
+        for &k in &ks {
+            let cfg = FairwosConfig {
+                alpha,
+                top_k: k,
+                use_fairness: alpha > 0.0,
+                ..fairwos_config(Backbone::Gcn)
+            };
+            let trainer = FairwosTrainer::new(cfg);
+            let mut agg = RunAggregator::new();
+            for r in 0..args.runs {
+                let (report, _) = run_method(&trainer, &ds, args.seed + r as u64);
+                agg.push_report(&report);
+            }
+            let acc = agg.mean_std("accuracy").expect("recorded");
+            let sp = agg.mean_std("delta_sp").expect("recorded");
+            let eo = agg.mean_std("delta_eo").expect("recorded");
+            records.push(CellRecord {
+                dataset: spec.name.clone(),
+                alpha,
+                k,
+                accuracy: acc,
+                delta_sp: sp,
+                delta_eo: eo,
+            });
+            row.push((acc, sp, eo));
+        }
+        grid.push(row);
+    }
+
+    for (title, pick) in [
+        ("ACC (%)", 0usize),
+        ("ΔSP (%)", 1),
+        ("ΔEO (%)", 2),
+    ] {
+        println!("\n{title}  (rows: α, cols: K = {ks:?})");
+        for (ai, &alpha) in alphas.iter().enumerate() {
+            let cells: Vec<String> = grid[ai]
+                .iter()
+                .map(|c| {
+                    let m = match pick {
+                        0 => c.0,
+                        1 => c.1,
+                        _ => c.2,
+                    };
+                    format!("{:>6.2}", m.mean * 100.0)
+                })
+                .collect();
+            println!("α={alpha:<4} | {}", cells.join(" "));
+        }
+    }
+    }
+    args.write_out(&records);
+}

@@ -1,0 +1,36 @@
+//! **Table II** — the main comparison: node-classification utility (ACC)
+//! and fairness (ΔDP, ΔEO) of all six methods on all six datasets under
+//! both backbones, mean ± std over repeated runs.
+//!
+//! Defaults (`--scale 0.02 --runs 3`) complete a full 72-cell grid in CPU
+//! minutes; raise `--scale`/`--runs` toward the paper's full protocol
+//! (scale 1, 10 runs) as budget allows. NBA always runs at its true size.
+
+use fairwos_bench::{Args, MethodKind, MethodRun, RunRecord};
+use fairwos_datasets::{all_benchmarks, FairGraphDataset};
+use fairwos_nn::Backbone;
+
+fn main() {
+    let args = Args::parse(0.02, 3);
+    let mut records: Vec<RunRecord> = Vec::new();
+    println!(
+        "Table II: node classification comparison (scale {}, {} runs; percent, mean ± std)",
+        args.scale, args.runs
+    );
+    for backbone in [Backbone::Gcn, Backbone::Gin] {
+        for spec in all_benchmarks(args.scale) {
+            let ds = FairGraphDataset::generate(&spec, args.seed);
+            println!("\n=== {backbone} / {} ({} nodes) ===", spec.name, ds.num_nodes());
+            println!(
+                "{:<12} | {:>14} | {:>14} | {:>14}",
+                "Method", "ACC(↑)", "ΔDP(↓)", "ΔEO(↓)"
+            );
+            for kind in MethodKind::table2() {
+                let run = MethodRun::execute(kind, backbone, &ds, args.runs, args.seed);
+                println!("{}", run.table_row());
+                records.push(run.record(&spec.name, backbone));
+            }
+        }
+    }
+    args.write_out(&records);
+}

@@ -1,0 +1,23 @@
+//! Experiment harness regenerating every table and figure of the Fairwos
+//! paper. Each `exp_*` binary in `src/bin/` prints the same rows/series the
+//! paper reports and writes a machine-readable JSON log next to it.
+//!
+//! | Binary | Reproduces |
+//! |---|---|
+//! | `exp_table1` | Table I — dataset statistics |
+//! | `exp_table2` | Table II — main utility/fairness comparison |
+//! | `exp_fig4_ablation` | Fig. 4 — ablation on NBA & Bail |
+//! | `exp_fig5_encoder_dim` | Fig. 5 — encoder-dimension sensitivity |
+//! | `exp_fig6_hyperparams` | Fig. 6 — α / K sweep on Bail |
+//! | `exp_fig7_tsne` | Fig. 7 — t-SNE of pseudo-sensitive attributes |
+//! | `exp_fig8_runtime` | Fig. 8 — runtime comparison on NBA |
+//!
+//! All binaries accept `--scale <f64>` (node-count scale of the Table-I-sized
+//! datasets), `--runs <n>`, `--seed <n>`, and `--out <path>`; defaults keep
+//! a full sweep within CPU minutes.
+
+pub mod cli;
+pub mod harness;
+
+pub use cli::Args;
+pub use harness::{build_method, run_method, MethodKind, MethodRun, RunRecord};

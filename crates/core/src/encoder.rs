@@ -1,0 +1,211 @@
+//! The encoder module (paper §III-B, Eq. 4–6): learns low-dimensional node
+//! attributes `X⁰` whose dimensions serve as pseudo-sensitive attributes.
+
+use crate::TrainInput;
+use fairwos_nn::loss::softmax_cross_entropy_masked;
+use fairwos_nn::{Adam, GcnConv, GraphContext, Linear, Optimizer};
+use fairwos_tensor::Matrix;
+use rand::Rng;
+
+/// A GCN encoder with a linear softmax head, pre-trained on the node
+/// classification task (Eq. 4–5) and then used as a frozen feature
+/// extractor (Eq. 6).
+///
+/// The encoder is *supervised by the task*, not by the sensitive attribute
+/// (which is unavailable): because `s` influences the graph structure and
+/// the non-sensitive features (Fig. 3), a task-trained compression of both
+/// necessarily carries the channels through which `s` can leak — exactly
+/// what the downstream regularizer needs to control.
+pub struct Encoder {
+    conv: GcnConv,
+    head: Linear,
+    /// Cross-entropy per pre-training epoch (diagnostics).
+    pub losses: Vec<f32>,
+}
+
+impl Encoder {
+    /// Pre-trains an encoder of output dimension `dim` for `epochs` epochs
+    /// with Adam(`lr`) on the labeled nodes of `input`.
+    pub fn pretrain(
+        input: &TrainInput<'_>,
+        ctx: &GraphContext,
+        dim: usize,
+        epochs: usize,
+        lr: f32,
+        rng: &mut impl Rng,
+    ) -> Self {
+        input.validate();
+        let mut conv = GcnConv::new(input.features.cols(), dim, rng);
+        let mut head = Linear::new(dim, 2, rng);
+        let labels: Vec<usize> = input.labels.iter().map(|&y| (y >= 0.5) as usize).collect();
+        let mut opt = Adam::new(lr);
+        let mut losses = Vec::with_capacity(epochs);
+        for _ in 0..epochs {
+            conv.zero_grad();
+            head.zero_grad();
+            // ReLU between conv and head, as in the classifier backbone.
+            let mut h = conv.forward(ctx, input.features);
+            let mask: Vec<bool> = h.as_slice().iter().map(|&v| v > 0.0).collect();
+            h.map_assign(|v| v.max(0.0));
+            let logits = head.forward(&h);
+            let (loss, dlogits) = softmax_cross_entropy_masked(&logits, &labels, input.train);
+            losses.push(loss);
+            let mut dh = head.backward(&dlogits);
+            for (g, &m) in dh.as_mut_slice().iter_mut().zip(&mask) {
+                if !m {
+                    *g = 0.0;
+                }
+            }
+            let _ = conv.backward(ctx, &dh);
+            let mut params = conv.params_mut();
+            params.extend(head.params_mut());
+            opt.step(&mut params);
+        }
+        Self { conv, head, losses }
+    }
+
+    /// Extracts `X⁰ = Encoder(G)` (Eq. 6): the post-ReLU encoder activations
+    /// for every node, `N × dim`.
+    pub fn extract(&self, ctx: &GraphContext, features: &Matrix) -> Matrix {
+        self.conv.forward_inference(ctx, features).map(|v| v.max(0.0))
+    }
+
+    /// Class probabilities from the encoder's own head (used to initialise
+    /// pseudo-labels before the classifier exists).
+    pub fn predict_probs(&self, ctx: &GraphContext, features: &Matrix) -> Matrix {
+        let h = self.extract(ctx, features);
+        self.head.forward_inference(&h).softmax_rows()
+    }
+
+    /// Output dimension of the extracted attributes.
+    pub fn dim(&self) -> usize {
+        self.conv.w.value.cols()
+    }
+
+    /// Input feature dimension the encoder was trained on.
+    pub fn in_dim(&self) -> usize {
+        self.conv.w.value.rows()
+    }
+
+    /// Snapshots the encoder's weights (conv then head) for persistence.
+    pub fn export_weights(&mut self) -> Vec<Matrix> {
+        let mut params = self.conv.params_mut();
+        params.extend(self.head.params_mut());
+        params.iter().map(|p| p.value.clone()).collect()
+    }
+
+    /// Rebuilds an encoder from exported weights; `in_dim`/`dim` must match
+    /// the exporting encoder's architecture.
+    ///
+    /// # Panics
+    /// If the weight count or shapes disagree.
+    pub fn from_weights(in_dim: usize, dim: usize, weights: &[Matrix]) -> Self {
+        let mut rng = fairwos_tensor::seeded_rng(0);
+        let mut enc = Self {
+            conv: GcnConv::new(in_dim, dim, &mut rng),
+            head: Linear::new(dim, 2, &mut rng),
+            losses: Vec::new(),
+        };
+        let mut params = enc.conv.params_mut();
+        params.extend(enc.head.params_mut());
+        assert_eq!(params.len(), weights.len(), "encoder weight count mismatch");
+        for (p, w) in params.into_iter().zip(weights) {
+            assert_eq!(p.value.shape(), w.shape(), "encoder weight shape mismatch");
+            p.value = w.clone();
+        }
+        enc
+    }
+}
+
+/// Binarizes each column of `x0` at its median: entry `(v, i)` is `true`
+/// when node `v` sits above the median of pseudo-sensitive attribute `i`.
+///
+/// The paper's counterfactual constraint `x_i⁰ ≠ x_j⁰` needs a notion of
+/// "different value" for a continuous attribute; a median split is the
+/// minimal discretization that makes both sides non-empty.
+pub fn binarize_at_medians(x0: &Matrix) -> Vec<Vec<bool>> {
+    let medians = x0.col_medians();
+    (0..x0.rows())
+        .map(|v| x0.row(v).iter().zip(&medians).map(|(&x, &m)| x > m).collect())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairwos_graph::GraphBuilder;
+    use fairwos_tensor::seeded_rng;
+
+    fn toy_input() -> (fairwos_graph::Graph, Matrix, Vec<f32>, Vec<usize>, Vec<usize>) {
+        // Two feature-separated classes on a small graph.
+        let g = GraphBuilder::new(8)
+            .edge(0, 1)
+            .edge(1, 2)
+            .edge(2, 3)
+            .edge(4, 5)
+            .edge(5, 6)
+            .edge(6, 7)
+            .edge(3, 4)
+            .build();
+        let mut x = Matrix::zeros(8, 4);
+        let mut labels = vec![0.0f32; 8];
+        let mut rng = seeded_rng(99);
+        use rand::Rng as _;
+        for (v, label) in labels.iter_mut().enumerate() {
+            let y = (v >= 4) as usize;
+            *label = y as f32;
+            for j in 0..4 {
+                x.set(v, j, if y == 1 { 1.0 } else { -1.0 } + rng.gen_range(-0.3..0.3));
+            }
+        }
+        (g, x, labels, vec![0, 1, 2, 4, 5, 6], vec![3, 7])
+    }
+
+    #[test]
+    fn pretrain_reduces_loss_and_learns_task() {
+        let (g, x, labels, train, val) = toy_input();
+        let input = TrainInput { graph: &g, features: &x, labels: &labels, train: &train, val: &val };
+        let ctx = GraphContext::new(&g);
+        let mut rng = seeded_rng(0);
+        let enc = Encoder::pretrain(&input, &ctx, 4, 200, 0.05, &mut rng);
+        assert!(enc.losses.last().unwrap() < &(enc.losses[0] * 0.5), "loss did not halve");
+        // Predictions recover the labels.
+        let probs = enc.predict_probs(&ctx, &x);
+        for (v, &label) in labels.iter().enumerate() {
+            let pred = (probs.get(v, 1) >= 0.5) as usize as f32;
+            assert_eq!(pred, label, "node {v}");
+        }
+    }
+
+    #[test]
+    fn extract_shape_and_nonnegativity() {
+        let (g, x, labels, train, val) = toy_input();
+        let input = TrainInput { graph: &g, features: &x, labels: &labels, train: &train, val: &val };
+        let ctx = GraphContext::new(&g);
+        let enc = Encoder::pretrain(&input, &ctx, 3, 50, 0.05, &mut seeded_rng(1));
+        let x0 = enc.extract(&ctx, &x);
+        assert_eq!(x0.shape(), (8, 3));
+        assert_eq!(enc.dim(), 3);
+        assert!(x0.as_slice().iter().all(|&v| v >= 0.0), "post-ReLU must be non-negative");
+    }
+
+    #[test]
+    fn binarize_splits_at_median() {
+        let m = Matrix::from_rows(&[&[1.0, 10.0], &[2.0, 20.0], &[3.0, 30.0], &[4.0, 40.0]]);
+        let b = binarize_at_medians(&m);
+        // medians: 2.5, 25 → rows 0,1 false; rows 2,3 true for both cols.
+        assert_eq!(b[0], vec![false, false]);
+        assert_eq!(b[1], vec![false, false]);
+        assert_eq!(b[2], vec![true, true]);
+        assert_eq!(b[3], vec![true, true]);
+    }
+
+    #[test]
+    fn binarize_handles_constant_column() {
+        let m = Matrix::from_rows(&[&[5.0], &[5.0], &[5.0]]);
+        let b = binarize_at_medians(&m);
+        // x > median is false everywhere; no split exists, which the
+        // counterfactual search must tolerate (no candidates for that dim).
+        assert!(b.iter().all(|row| !row[0]));
+    }
+}

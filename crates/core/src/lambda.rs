@@ -1,0 +1,202 @@
+//! The weight-updating module: closed-form λ from the KKT conditions
+//! (paper Eq. 17–24).
+//!
+//! The subproblem `min_λ α·Σᵢ λᵢ Dᵢ + ‖λ‖²  s.t.  λ ≥ 0, Σλ = 1` is, after
+//! completing the square, the Euclidean projection of the point `−α·D / 2`
+//! onto the probability simplex. The paper derives the same solution via
+//! Lagrange multipliers and a rank-ordering of the Dᵢ (their Eq. 24); the
+//! sort-based projection below computes it in `O(I log I)` and the tests
+//! verify the two forms agree and beat a brute-force grid search.
+//!
+//! Interpretation (paper §III-E): attributes with a *small* aggregated
+//! counterfactual distance `Dᵢ` receive *large* weight, pushing the model to
+//! keep already-aligned attributes aligned while the `‖λ‖²` term stops any
+//! single pseudo-sensitive attribute from monopolising the regularizer.
+
+/// Euclidean projection of `v` onto the probability simplex
+/// `{λ : λᵢ ≥ 0, Σλᵢ = 1}` (Held–Wolfe–Crowder / Duchi et al. algorithm).
+///
+/// # Panics
+/// If `v` is empty.
+pub fn project_to_simplex(v: &[f32]) -> Vec<f32> {
+    assert!(!v.is_empty(), "cannot project an empty vector");
+    let mut sorted: Vec<f32> = v.to_vec();
+    sorted.sort_by(|a, b| b.total_cmp(a)); // descending
+    // Find ρ = max { j : sorted[j] − (Σ_{i≤j} sorted[i] − 1)/(j+1) > 0 }.
+    let mut cumsum = 0.0f32;
+    let mut rho = 0usize;
+    let mut rho_cumsum = 0.0f32;
+    for (j, &u) in sorted.iter().enumerate() {
+        cumsum += u;
+        if u - (cumsum - 1.0) / (j as f32 + 1.0) > 0.0 {
+            rho = j;
+            rho_cumsum = cumsum;
+        }
+    }
+    let theta = (rho_cumsum - 1.0) / (rho as f32 + 1.0);
+    v.iter().map(|&x| (x - theta).max(0.0)).collect()
+}
+
+/// Solves the paper's λ subproblem (Eq. 17): given the aggregated
+/// per-attribute counterfactual distances `d` (`Dᵢᴷ` in the paper) and the
+/// regularization weight `alpha`, returns the optimal simplex weights.
+pub fn update_lambda(d: &[f32], alpha: f32) -> Vec<f32> {
+    assert!(alpha >= 0.0, "alpha must be non-negative, got {alpha}");
+    let target: Vec<f32> = d.iter().map(|&di| -alpha * di / 2.0).collect();
+    project_to_simplex(&target)
+}
+
+/// The large-D reading of the paper's §III-E prose: λᵢ ∝ Dᵢ (normalized to
+/// the simplex; uniform when every distance is zero). Emphasizes the
+/// attributes with the *strongest* remaining causal link.
+pub fn update_lambda_proportional(d: &[f32]) -> Vec<f32> {
+    assert!(!d.is_empty(), "cannot weight zero attributes");
+    let total: f32 = d.iter().sum();
+    if total <= 0.0 {
+        return vec![1.0 / d.len() as f32; d.len()];
+    }
+    d.iter().map(|&x| (x / total).max(0.0)).collect()
+}
+
+/// Reference implementation of the paper's own closed form (Eq. 22–24):
+/// finds the multiplier `b` by scanning the descending ranking of `Dᵢ`,
+/// then evaluates `λᵢ = max(0, (−b − Dᵢ)/2)`. Only used by tests to confirm
+/// the simplex-projection route reproduces the paper's algebra exactly
+/// (with `D` pre-scaled by α as in Eq. 17).
+pub fn update_lambda_paper_form(d: &[f32], alpha: f32) -> Vec<f32> {
+    let scaled: Vec<f32> = d.iter().map(|&x| alpha * x).collect();
+    let mut order: Vec<usize> = (0..scaled.len()).collect();
+    order.sort_by(|&a, &b| scaled[b].total_cmp(&scaled[a])); // descending D'
+    // Try support sets of the j..I smallest-D attributes (descending list
+    // indices j..I), i.e. the paper's assumption b ∈ [−D'_{j−1}, −D'_j].
+    let i_total = scaled.len();
+    for j in 0..i_total {
+        let tail: f32 = order[j..].iter().map(|&i| scaled[i]).sum();
+        let count = (i_total - j) as f32;
+        let b = -(2.0 + tail) / count;
+        // Validate the bracket: b must satisfy −D'_{j−1} ≤ b ≤ −D'_j
+        // (D' descending ⇒ −D' ascending).
+        let upper_ok = -scaled[order[j]] >= b;
+        let lower_ok = j == 0 || b >= -scaled[order[j - 1]];
+        if upper_ok && lower_ok {
+            let mut lambda = vec![0.0f32; i_total];
+            for &i in &order[j..] {
+                lambda[i] = ((-b - scaled[i]) / 2.0).max(0.0);
+            }
+            return lambda;
+        }
+    }
+    // Fallback (degenerate ties): full-support solution.
+    let tail: f32 = scaled.iter().sum();
+    let b = -(2.0 + tail) / i_total as f32;
+    scaled.iter().map(|&x| ((-b - x) / 2.0).max(0.0)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairwos_tensor::approx_eq;
+
+    fn is_simplex(v: &[f32]) -> bool {
+        v.iter().all(|&x| x >= 0.0) && (v.iter().sum::<f32>() - 1.0).abs() < 1e-4
+    }
+
+    #[test]
+    fn projection_of_simplex_point_is_identity() {
+        let v = [0.2, 0.3, 0.5];
+        let p = project_to_simplex(&v);
+        for (a, b) in p.iter().zip(&v) {
+            assert!(approx_eq(*a, *b, 1e-5));
+        }
+    }
+
+    #[test]
+    fn projection_known_case() {
+        // Classic example: project (1, 0.5) → (0.75, 0.25).
+        let p = project_to_simplex(&[1.0, 0.5]);
+        assert!(approx_eq(p[0], 0.75, 1e-5));
+        assert!(approx_eq(p[1], 0.25, 1e-5));
+    }
+
+    #[test]
+    fn projection_clips_dominated_coordinates() {
+        let p = project_to_simplex(&[10.0, 0.0, -5.0]);
+        assert!(approx_eq(p[0], 1.0, 1e-5));
+        assert_eq!(p[1], 0.0);
+        assert_eq!(p[2], 0.0);
+    }
+
+    #[test]
+    fn update_lambda_prefers_small_distances() {
+        // Paper §III-E: small Dᵢ ⇒ large λᵢ.
+        let lambda = update_lambda(&[5.0, 1.0, 3.0], 1.0);
+        assert!(is_simplex(&lambda));
+        assert!(lambda[1] > lambda[2] && lambda[2] >= lambda[0], "{lambda:?}");
+    }
+
+    #[test]
+    fn update_lambda_zero_alpha_is_uniform() {
+        let lambda = update_lambda(&[9.0, 1.0, 4.0, 2.0], 0.0);
+        for l in &lambda {
+            assert!(approx_eq(*l, 0.25, 1e-5));
+        }
+    }
+
+    #[test]
+    fn update_lambda_large_alpha_sparsifies() {
+        // With a huge α only the smallest-D attribute keeps weight.
+        let lambda = update_lambda(&[5.0, 1.0, 3.0], 100.0);
+        assert!(is_simplex(&lambda));
+        assert!(approx_eq(lambda[1], 1.0, 1e-4), "{lambda:?}");
+    }
+
+    #[test]
+    fn matches_paper_closed_form() {
+        let cases: &[(&[f32], f32)] = &[
+            (&[5.0, 1.0, 3.0], 1.0),
+            (&[0.1, 0.2, 0.3, 0.4], 0.04),
+            (&[2.0, 2.0, 2.0], 0.5),
+            (&[10.0, 0.0], 3.0),
+            (&[1.0], 1.0),
+        ];
+        for (d, alpha) in cases {
+            let ours = update_lambda(d, *alpha);
+            let paper = update_lambda_paper_form(d, *alpha);
+            assert!(is_simplex(&ours), "ours not simplex for {d:?}");
+            for (a, b) in ours.iter().zip(&paper) {
+                assert!(
+                    approx_eq(*a, *b, 1e-3),
+                    "mismatch for d={d:?} α={alpha}: {ours:?} vs {paper:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn beats_random_feasible_points() {
+        // The KKT solution must minimise α·λ·D + ‖λ‖² over the simplex.
+        use rand::Rng;
+        let mut rng = fairwos_tensor::seeded_rng(0);
+        let d = [4.0f32, 0.5, 2.0, 1.0];
+        let alpha = 0.7;
+        let objective = |l: &[f32]| -> f32 {
+            alpha * l.iter().zip(&d).map(|(a, b)| a * b).sum::<f32>()
+                + l.iter().map(|x| x * x).sum::<f32>()
+        };
+        let star = update_lambda(&d, alpha);
+        let f_star = objective(&star);
+        for _ in 0..500 {
+            // Random simplex point via normalized exponentials.
+            let raw: Vec<f32> = (0..4).map(|_| -rng.gen::<f32>().max(1e-6).ln()).collect();
+            let sum: f32 = raw.iter().sum();
+            let l: Vec<f32> = raw.iter().map(|x| x / sum).collect();
+            assert!(f_star <= objective(&l) + 1e-4, "found better point {l:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty vector")]
+    fn empty_projection_panics() {
+        let _ = project_to_simplex(&[]);
+    }
+}

@@ -1,0 +1,88 @@
+//! The uniform interface every fair-learning method in the workspace
+//! implements, so the experiment harness (Table II, Fig. 8) can run
+//! Fairwos, its ablations, and the baselines through one code path.
+
+use fairwos_graph::Graph;
+use fairwos_tensor::Matrix;
+
+/// Borrowed view of everything a sensitive-attribute-free method may see at
+/// training time. Deliberately excludes the sensitive attribute — the type
+/// system enforces the paper's problem setting (`S ∉ F`).
+#[derive(Clone, Copy)]
+pub struct TrainInput<'a> {
+    /// The graph.
+    pub graph: &'a Graph,
+    /// Node features (no sensitive column).
+    pub features: &'a Matrix,
+    /// Labels for *all* nodes; implementations must only read entries listed
+    /// in `train` (and `val` for early stopping / model selection).
+    pub labels: &'a [f32],
+    /// Labeled training nodes (`V_L`).
+    pub train: &'a [usize],
+    /// Validation nodes.
+    pub val: &'a [usize],
+}
+
+impl TrainInput<'_> {
+    /// Basic consistency checks; call at the top of `fit` implementations.
+    pub fn validate(&self) {
+        let n = self.graph.num_nodes();
+        assert_eq!(self.features.rows(), n, "feature rows vs nodes");
+        assert_eq!(self.labels.len(), n, "labels vs nodes");
+        assert!(!self.train.is_empty(), "no training nodes");
+        assert!(self.train.iter().chain(self.val).all(|&v| v < n), "split index out of range");
+    }
+
+    /// Training labels only.
+    pub fn train_labels(&self) -> Vec<f32> {
+        self.train.iter().map(|&v| self.labels[v]).collect()
+    }
+}
+
+/// A method that trains without sensitive attributes and predicts
+/// `P(y = 1)` for every node.
+///
+/// Implementations: Fairwos itself ([`crate::FairwosTrainer`] via a thin
+/// adapter), Vanilla\S, RemoveR, KSMOTE, FairRF, FairGKD\S.
+pub trait FairMethod {
+    /// Display name as used in the paper's tables ("Fairwos", "RemoveR", …).
+    fn name(&self) -> String;
+
+    /// Trains on `input` with the given seed and returns `P(y = 1)` for
+    /// every node of the graph (callers slice out the test set).
+    fn fit_predict(&self, input: &TrainInput<'_>, seed: u64) -> Vec<f32>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairwos_graph::GraphBuilder;
+
+    #[test]
+    fn validate_accepts_consistent_input() {
+        let g = GraphBuilder::new(3).edge(0, 1).build();
+        let x = Matrix::ones(3, 2);
+        let labels = [1.0, 0.0, 1.0];
+        let input = TrainInput { graph: &g, features: &x, labels: &labels, train: &[0, 1], val: &[2] };
+        input.validate();
+        assert_eq!(input.train_labels(), vec![1.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no training nodes")]
+    fn validate_rejects_empty_train() {
+        let g = GraphBuilder::new(2).build();
+        let x = Matrix::ones(2, 1);
+        let labels = [0.0, 1.0];
+        TrainInput { graph: &g, features: &x, labels: &labels, train: &[], val: &[] }.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "feature rows vs nodes")]
+    fn validate_rejects_mismatched_features() {
+        let g = GraphBuilder::new(2).build();
+        let x = Matrix::ones(3, 1);
+        let labels = [0.0, 1.0];
+        TrainInput { graph: &g, features: &x, labels: &labels, train: &[0], val: &[] }.validate();
+    }
+}

@@ -1,0 +1,189 @@
+//! Model persistence: serialize a trained Fairwos model to JSON and restore
+//! it against a graph for inference.
+//!
+//! The file stores weights and configuration only — the graph and feature
+//! matrix are the caller's data. Restoring recomputes the derived artifacts
+//! (X⁰, median bits, pseudo-labels) from the stored weights, with one
+//! semantic difference from a freshly trained model: pseudo-labels come
+//! from model predictions for *all* nodes (at restore time there is no
+//! record of which nodes were training nodes). This only affects
+//! [`crate::TrainedFairwos::counterfactual_pairs`], not predictions.
+
+use crate::encoder::{binarize_at_medians, Encoder};
+use crate::trainer::TrainedFairwos;
+use crate::FairwosConfig;
+use fairwos_graph::Graph;
+use fairwos_nn::loss::sigmoid;
+use fairwos_nn::{Gnn, GnnConfig, GraphContext};
+use fairwos_tensor::{seeded_rng, Matrix};
+use serde::{Deserialize, Serialize};
+
+/// The on-disk representation of a trained model.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FairwosModelFile {
+    /// Format version for forward compatibility.
+    pub version: u32,
+    /// The training configuration.
+    pub config: FairwosConfig,
+    /// Input feature dimension the encoder expects.
+    pub in_dim: usize,
+    /// Encoder weights (conv + head), absent for the w/o E variant.
+    pub encoder_weights: Option<Vec<Matrix>>,
+    /// Classifier weights in [`Gnn::export_weights`] order.
+    pub gnn_weights: Vec<Matrix>,
+    /// Final per-attribute weights λ.
+    pub lambda: Vec<f32>,
+}
+
+/// Current file-format version.
+pub const MODEL_FILE_VERSION: u32 = 1;
+
+impl FairwosModelFile {
+    /// Serializes to a JSON string.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("model file serializes")
+    }
+
+    /// Parses from JSON, validating the version.
+    pub fn from_json(json: &str) -> Result<Self, String> {
+        let file: Self = serde_json::from_str(json).map_err(|e| e.to_string())?;
+        if file.version != MODEL_FILE_VERSION {
+            return Err(format!(
+                "unsupported model file version {} (expected {MODEL_FILE_VERSION})",
+                file.version
+            ));
+        }
+        Ok(file)
+    }
+
+    /// Rebuilds a usable model against `graph`/`features` (which must match
+    /// the training data's shape).
+    ///
+    /// # Panics
+    /// If `features` width disagrees with the stored `in_dim`, or weight
+    /// shapes disagree with the stored config.
+    pub fn restore(&self, graph: &Graph, features: &Matrix) -> TrainedFairwos {
+        assert_eq!(
+            features.cols(),
+            self.in_dim,
+            "feature dim {} does not match model in_dim {}",
+            features.cols(),
+            self.in_dim
+        );
+        let ctx = GraphContext::new(graph);
+        let (encoder, x0) = match &self.encoder_weights {
+            Some(w) => {
+                let enc = Encoder::from_weights(self.in_dim, self.config.encoder_dim, w);
+                let x0 = enc.extract(&ctx, features);
+                (Some(enc), x0)
+            }
+            None => (None, features.clone()),
+        };
+        let mut gnn = Gnn::new(
+            GnnConfig {
+                backbone: self.config.backbone,
+                in_dim: x0.cols(),
+                hidden_dim: self.config.hidden_dim,
+                num_layers: self.config.num_layers,
+                dropout: 0.0,
+            },
+            &mut seeded_rng(0),
+        );
+        gnn.import_weights(&self.gnn_weights);
+
+        let probs = sigmoid(&gnn.forward_inference(&ctx, &x0).logits).col(0);
+        let pseudo_labels: Vec<bool> = probs.iter().map(|&p| p >= 0.5).collect();
+        let bits = binarize_at_medians(&x0);
+        TrainedFairwos::from_parts(
+            self.config.clone(),
+            ctx,
+            encoder,
+            gnn,
+            x0,
+            self.lambda.clone(),
+            pseudo_labels,
+            bits,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FairwosTrainer, TrainInput};
+    use fairwos_datasets::{DatasetSpec, FairGraphDataset};
+    use fairwos_nn::Backbone;
+
+    fn quick_config() -> FairwosConfig {
+        FairwosConfig {
+            encoder_epochs: 40,
+            classifier_epochs: 60,
+            finetune_epochs: 4,
+            learning_rate: 0.01,
+            encoder_dim: 6,
+            ..FairwosConfig::paper_default(Backbone::Gcn)
+        }
+    }
+
+    #[test]
+    fn save_restore_preserves_predictions() {
+        let ds = FairGraphDataset::generate(&DatasetSpec::nba().scaled(0.4), 1);
+        let input = TrainInput {
+            graph: &ds.graph,
+            features: &ds.features,
+            labels: &ds.labels,
+            train: &ds.split.train,
+            val: &ds.split.val,
+        };
+        let mut trained = FairwosTrainer::new(quick_config()).fit(&input, 0);
+        let file = trained.to_model_file();
+        let json = file.to_json();
+        let restored = FairwosModelFile::from_json(&json)
+            .expect("valid file")
+            .restore(&ds.graph, &ds.features);
+        assert_eq!(restored.predict_probs(), trained.predict_probs());
+        assert_eq!(restored.lambda(), trained.lambda());
+        assert_eq!(restored.pseudo_sensitive_attributes(), trained.pseudo_sensitive_attributes());
+    }
+
+    #[test]
+    fn save_restore_without_encoder() {
+        let ds = FairGraphDataset::generate(&DatasetSpec::nba().scaled(0.3), 2);
+        let input = TrainInput {
+            graph: &ds.graph,
+            features: &ds.features,
+            labels: &ds.labels,
+            train: &ds.split.train,
+            val: &ds.split.val,
+        };
+        let cfg = FairwosConfig { use_encoder: false, ..quick_config() };
+        let mut trained = FairwosTrainer::new(cfg).fit(&input, 0);
+        let restored = trained.to_model_file().restore(&ds.graph, &ds.features);
+        assert!(!restored.has_encoder());
+        assert_eq!(restored.predict_probs(), trained.predict_probs());
+    }
+
+    #[test]
+    fn version_check_rejects_future_files() {
+        let err = FairwosModelFile::from_json(
+            r#"{"version":99,"config":null,"in_dim":1,"encoder_weights":null,"gnn_weights":[],"lambda":[]}"#,
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match model in_dim")]
+    fn restore_rejects_wrong_feature_width() {
+        let ds = FairGraphDataset::generate(&DatasetSpec::nba().scaled(0.3), 3);
+        let input = TrainInput {
+            graph: &ds.graph,
+            features: &ds.features,
+            labels: &ds.labels,
+            train: &ds.split.train,
+            val: &ds.split.val,
+        };
+        let mut trained = FairwosTrainer::new(quick_config()).fit(&input, 0);
+        let wrong = fairwos_tensor::Matrix::zeros(ds.num_nodes(), 2);
+        let _ = trained.to_model_file().restore(&ds.graph, &wrong);
+    }
+}

@@ -1,0 +1,589 @@
+//! Algorithm 1: the full Fairwos training procedure.
+//!
+//! ```text
+//! 1  pre-train encoder (Eq. 5)                 [stage 1 — unless w/o E]
+//! 2  λ ← 1/I
+//! 3  X⁰ ← Encoder(G)                           (Eq. 6)
+//! 4  pre-train GNN classifier on (V, E, X⁰)    [stage 2, early-stopped]
+//! 5  repeat (fine-tuning, 15 epochs)           [stage 3]
+//! 6      find top-K graph counterfactuals      (Eq. 12)
+//! 7      h, h̄ ← f_G(Gᵢ), f_G(Gᵢᵏ)
+//! 8      θ-step on L_U + α Σᵢ λᵢ Σₖ Dᵢ(h, h̄ᵏ)  (Eq. 16)
+//! 9-12   λ ← KKT closed form                   (Eq. 24)
+//! 13 until convergence
+//! ```
+
+use crate::counterfactual::{search_topk, SearchSpace};
+use crate::encoder::{binarize_at_medians, Encoder};
+use crate::lambda::{update_lambda, update_lambda_proportional};
+use crate::{CfStrategy, FairMethod, FairwosConfig, TrainInput, WeightMode};
+use fairwos_fairness::accuracy;
+use fairwos_nn::loss::{bce_with_logits_masked, sigmoid, weighted_sq_l2_rows};
+use fairwos_nn::{Adam, Gnn, GnnConfig, GraphContext, Optimizer};
+use fairwos_tensor::{seeded_rng, Matrix};
+use serde::{Deserialize, Serialize};
+
+/// Per-epoch diagnostics of the fine-tuning stage.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FinetuneEpochStats {
+    /// Utility (BCE) loss on the training nodes.
+    pub utility_loss: f32,
+    /// Weighted fairness loss `α Σᵢ λᵢ Dᵢ`.
+    pub fairness_loss: f32,
+    /// Per-attribute aggregated counterfactual distances `Dᵢᴷ`.
+    pub attr_distances: Vec<f32>,
+    /// The λ in effect during this epoch.
+    pub lambda: Vec<f32>,
+}
+
+/// Loss traces of all three training stages.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct TrainingHistory {
+    /// Encoder pre-training cross-entropy per epoch (empty for w/o E).
+    pub encoder_losses: Vec<f32>,
+    /// Classifier pre-training BCE per epoch (until early stop).
+    pub classifier_losses: Vec<f32>,
+    /// Fine-tuning diagnostics per epoch.
+    pub finetune: Vec<FinetuneEpochStats>,
+}
+
+/// A trained Fairwos model: frozen encoder, fine-tuned classifier, and the
+/// artifacts the experiments inspect (X⁰, λ, histories).
+pub struct TrainedFairwos {
+    config: FairwosConfig,
+    ctx: GraphContext,
+    encoder: Option<Encoder>,
+    gnn: Gnn,
+    x0: Matrix,
+    lambda: Vec<f32>,
+    pseudo_labels: Vec<bool>,
+    bits: Vec<Vec<bool>>,
+    /// Loss traces of every stage.
+    pub history: TrainingHistory,
+}
+
+impl TrainedFairwos {
+    /// `P(y = 1)` for every node of the training graph.
+    pub fn predict_probs(&self) -> Vec<f32> {
+        let out = self.gnn.forward_inference(&self.ctx, &self.x0);
+        sigmoid(&out.logits).col(0)
+    }
+
+    /// Final node embeddings `h` (`N × hidden`).
+    pub fn embeddings(&self) -> Matrix {
+        self.gnn.forward_inference(&self.ctx, &self.x0).embeddings
+    }
+
+    /// The pseudo-sensitive attributes `X⁰` (Fig. 7 visualises these).
+    pub fn pseudo_sensitive_attributes(&self) -> &Matrix {
+        &self.x0
+    }
+
+    /// The final per-attribute weights λ.
+    pub fn lambda(&self) -> &[f32] {
+        &self.lambda
+    }
+
+    /// The configuration this model was trained with.
+    pub fn config(&self) -> &FairwosConfig {
+        &self.config
+    }
+
+    /// Whether an encoder stage was used (false for the w/o E ablation).
+    pub fn has_encoder(&self) -> bool {
+        self.encoder.is_some()
+    }
+
+    /// `Π_k ‖W_a^k‖_F` of the classifier — the Theorem 2 bound on the
+    /// embedding gap between a node and its counterfactual.
+    pub fn weight_product_norm(&self) -> f32 {
+        self.gnn.weight_product_norm()
+    }
+
+    /// Crate-internal constructor used by model restoration
+    /// ([`crate::FairwosModelFile::restore`]).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_parts(
+        config: FairwosConfig,
+        ctx: GraphContext,
+        encoder: Option<Encoder>,
+        gnn: Gnn,
+        x0: Matrix,
+        lambda: Vec<f32>,
+        pseudo_labels: Vec<bool>,
+        bits: Vec<Vec<bool>>,
+    ) -> Self {
+        Self {
+            config,
+            ctx,
+            encoder,
+            gnn,
+            x0,
+            lambda,
+            pseudo_labels,
+            bits,
+            history: TrainingHistory::default(),
+        }
+    }
+
+    /// Exports the model into its on-disk representation
+    /// ([`crate::FairwosModelFile`]).
+    pub fn to_model_file(&mut self) -> crate::FairwosModelFile {
+        let in_dim = self.encoder.as_ref().map_or(self.x0.cols(), Encoder::in_dim);
+        crate::FairwosModelFile {
+            version: crate::persist::MODEL_FILE_VERSION,
+            config: self.config.clone(),
+            in_dim,
+            encoder_weights: self.encoder.as_mut().map(Encoder::export_weights),
+            gnn_weights: self.gnn.export_weights(),
+            lambda: self.lambda.clone(),
+        }
+    }
+
+    /// Finds each query node's top-K graph counterfactuals under the final
+    /// embeddings (searching among `candidates`), and returns the deduped
+    /// `(query, counterfactual)` pairs across all pseudo-sensitive
+    /// attributes — the input of
+    /// [`fairwos_fairness::counterfactual_consistency`].
+    pub fn counterfactual_pairs(
+        &self,
+        queries: &[usize],
+        candidates: &[usize],
+        k: usize,
+    ) -> Vec<(usize, usize)> {
+        let emb = self.embeddings();
+        let space = SearchSpace {
+            embeddings: &emb,
+            pseudo_labels: &self.pseudo_labels,
+            pseudo_sensitive: &self.bits,
+            candidates,
+        };
+        let sets = search_topk(&space, queries, k);
+        let mut pairs = std::collections::BTreeSet::new();
+        for i in 0..sets.num_attrs() {
+            for (q_idx, cfs) in sets.for_attr(i).iter().enumerate() {
+                for &u in cfs {
+                    pairs.insert((sets.queries[q_idx], u));
+                }
+            }
+        }
+        pairs.into_iter().collect()
+    }
+}
+
+/// Builder/driver for Algorithm 1.
+pub struct FairwosTrainer {
+    config: FairwosConfig,
+}
+
+impl FairwosTrainer {
+    /// A trainer with the given configuration (validated here).
+    pub fn new(config: FairwosConfig) -> Self {
+        config.validate();
+        Self { config }
+    }
+
+    /// Runs Algorithm 1 end-to-end on `input` with a fixed seed.
+    pub fn fit(&self, input: &TrainInput<'_>, seed: u64) -> TrainedFairwos {
+        input.validate();
+        let cfg = &self.config;
+        let mut rng = seeded_rng(seed);
+        let ctx = GraphContext::new(input.graph);
+
+        // Stage 1: encoder pre-training → pseudo-sensitive attributes X⁰.
+        let (encoder, x0) = if cfg.use_encoder {
+            let enc = Encoder::pretrain(
+                input,
+                &ctx,
+                cfg.encoder_dim,
+                cfg.encoder_epochs,
+                cfg.learning_rate,
+                &mut rng,
+            );
+            let x0 = enc.extract(&ctx, input.features);
+            (Some(enc), x0)
+        } else {
+            // w/o E: every raw feature is its own pseudo-sensitive attribute.
+            (None, input.features.clone())
+        };
+        let encoder_losses = encoder.as_ref().map(|e| e.losses.clone()).unwrap_or_default();
+
+        // Line 2: λ ← 1/I.
+        let num_attrs = x0.cols();
+        let mut lambda = vec![1.0 / num_attrs as f32; num_attrs];
+
+        // Stage 2: classifier pre-training with early stopping on val ACC.
+        let mut gnn = Gnn::new(
+            GnnConfig {
+                backbone: cfg.backbone,
+                in_dim: x0.cols(),
+                hidden_dim: cfg.hidden_dim,
+                num_layers: cfg.num_layers,
+                dropout: 0.0,
+            },
+            &mut rng,
+        );
+        let mut opt = Adam::new(cfg.learning_rate);
+        let mut classifier_losses = Vec::new();
+        let mut best_val = f64::NEG_INFINITY;
+        let mut best_params: Vec<Matrix> = Vec::new();
+        let mut since_best = 0usize;
+        for _ in 0..cfg.classifier_epochs {
+            gnn.zero_grad();
+            let out = gnn.forward_train(&ctx, &x0, &mut rng);
+            let (loss, dlogits) = bce_with_logits_masked(&out.logits, input.labels, input.train);
+            classifier_losses.push(loss);
+            gnn.backward(&ctx, &dlogits, None);
+            opt.step(&mut gnn.params_mut());
+
+            let val_acc = if input.val.is_empty() {
+                -(loss as f64)
+            } else {
+                let probs = sigmoid(&out.logits).col(0);
+                let val_probs: Vec<f32> = input.val.iter().map(|&v| probs[v]).collect();
+                let val_labels: Vec<f32> = input.val.iter().map(|&v| input.labels[v]).collect();
+                accuracy(&val_probs, &val_labels)
+            };
+            if val_acc > best_val {
+                best_val = val_acc;
+                best_params = snapshot(&mut gnn);
+                since_best = 0;
+            } else {
+                since_best += 1;
+                if since_best >= cfg.patience {
+                    break;
+                }
+            }
+        }
+        if !best_params.is_empty() {
+            restore(&mut gnn, &best_params);
+        }
+
+        // Pseudo-labels: ground truth on V_L, classifier prediction elsewhere
+        // (the paper pre-trains the classifier precisely to supply these).
+        let probs = sigmoid(&gnn.forward_inference(&ctx, &x0).logits).col(0);
+        let mut pseudo_labels: Vec<bool> = probs.iter().map(|&p| p >= 0.5).collect();
+        for &v in input.train {
+            pseudo_labels[v] = input.labels[v] >= 0.5;
+        }
+        let bits = binarize_at_medians(&x0);
+
+        // Stage 3: fine-tuning (lines 5–13).
+        let mut finetune = Vec::with_capacity(cfg.finetune_epochs);
+        if cfg.use_fairness && cfg.alpha > 0.0 {
+            // Fresh optimizer state for the new objective, at the gentler
+            // fine-tuning rate.
+            let mut opt = Adam::new(cfg.finetune_learning_rate);
+            let medians = x0.col_medians();
+            for _ in 0..cfg.finetune_epochs {
+                gnn.zero_grad();
+                let out = gnn.forward_train(&ctx, &x0, &mut rng);
+                let (loss_u, dlogits) = bce_with_logits_masked(&out.logits, input.labels, input.train);
+
+                // Normalize by the mean squared embedding norm so α is
+                // scale-free across backbones: GIN's sum aggregation yields
+                // embeddings orders of magnitude larger than GCN's, and an
+                // unnormalized ‖h−h̄‖² gradient would drown the BCE term.
+                let h_scale = {
+                    let s: f32 = input
+                        .train
+                        .iter()
+                        .map(|&v| {
+                            out.embeddings.row(v).iter().map(|x| x * x).sum::<f32>()
+                        })
+                        .sum();
+                    (s / input.train.len() as f32).max(1e-6)
+                };
+
+                // Line 6–8: obtain counterfactual targets and the fused L2
+                // gradient on the embeddings, per the configured strategy.
+                let (d, loss_fair, dh) = match cfg.counterfactual {
+                    CfStrategy::SearchReal => {
+                        // The paper's method: refresh the top-K search from
+                        // the current embeddings.
+                        let space = SearchSpace {
+                            embeddings: &out.embeddings,
+                            pseudo_labels: &pseudo_labels,
+                            pseudo_sensitive: &bits,
+                            candidates: input.train,
+                        };
+                        let sets = search_topk(&space, input.train, cfg.top_k);
+                        let d: Vec<f32> = sets
+                            .attr_distances(&out.embeddings)
+                            .iter()
+                            .map(|&x| x / h_scale)
+                            .collect();
+                        let mut pairs = Vec::new();
+                        for (i, &li) in lambda.iter().enumerate() {
+                            if li > 0.0 {
+                                pairs.extend(sets.weighted_pairs(i, cfg.alpha * li / h_scale));
+                            }
+                        }
+                        let (loss_fair, dh) =
+                            weighted_sq_l2_rows(&out.embeddings, &out.embeddings, &pairs);
+                        (d, loss_fair, dh)
+                    }
+                    CfStrategy::PerturbAttribute => {
+                        // Ablation: NIFTY/GEAR-style perturbation. For each
+                        // pseudo-sensitive dimension, mirror it around its
+                        // median, re-encode, and pull each node toward its
+                        // own perturbed embedding — a potentially
+                        // non-realistic counterfactual.
+                        let mut d = Vec::with_capacity(num_attrs);
+                        let mut loss_fair = 0.0f32;
+                        let mut dh =
+                            Matrix::zeros(out.embeddings.rows(), out.embeddings.cols());
+                        let self_pairs: Vec<(usize, usize, f32)> = input
+                            .train
+                            .iter()
+                            .map(|&v| (v, v, 1.0 / input.train.len() as f32))
+                            .collect();
+                        for i in 0..num_attrs {
+                            let mut x0p = x0.clone();
+                            let m = medians[i];
+                            for v in 0..x0p.rows() {
+                                let old = x0p.get(v, i);
+                                x0p.set(v, i, 2.0 * m - old);
+                            }
+                            let target = gnn.forward_inference(&ctx, &x0p).embeddings;
+                            let (di, _) =
+                                weighted_sq_l2_rows(&out.embeddings, &target, &self_pairs);
+                            d.push(di / h_scale);
+                            if lambda[i] > 0.0 {
+                                let w = cfg.alpha * lambda[i] / h_scale;
+                                let weighted: Vec<(usize, usize, f32)> = self_pairs
+                                    .iter()
+                                    .map(|&(a, b, base)| (a, b, base * w))
+                                    .collect();
+                                let (li, dhi) =
+                                    weighted_sq_l2_rows(&out.embeddings, &target, &weighted);
+                                loss_fair += li;
+                                dh.add_assign(&dhi);
+                            }
+                        }
+                        (d, loss_fair, dh)
+                    }
+                };
+                gnn.backward(&ctx, &dlogits, Some(&dh));
+                opt.step(&mut gnn.params_mut());
+
+                // Lines 9–12: λ update.
+                if cfg.use_weight_update {
+                    lambda = match cfg.weight_mode {
+                        WeightMode::KktClosedForm => update_lambda(&d, cfg.alpha),
+                        WeightMode::ProportionalToDistance => update_lambda_proportional(&d),
+                    };
+                }
+                finetune.push(FinetuneEpochStats {
+                    utility_loss: loss_u,
+                    fairness_loss: loss_fair,
+                    attr_distances: d,
+                    lambda: lambda.clone(),
+                });
+            }
+        }
+
+        TrainedFairwos {
+            config: cfg.clone(),
+            ctx,
+            encoder,
+            gnn,
+            x0,
+            lambda,
+            pseudo_labels,
+            bits,
+            history: TrainingHistory { encoder_losses, classifier_losses, finetune },
+        }
+    }
+}
+
+impl FairMethod for FairwosTrainer {
+    fn name(&self) -> String {
+        self.config.variant_name().to_string()
+    }
+
+    fn fit_predict(&self, input: &TrainInput<'_>, seed: u64) -> Vec<f32> {
+        self.fit(input, seed).predict_probs()
+    }
+}
+
+fn snapshot(gnn: &mut Gnn) -> Vec<Matrix> {
+    gnn.params_mut().iter().map(|p| p.value.clone()).collect()
+}
+
+fn restore(gnn: &mut Gnn, params: &[Matrix]) {
+    for (p, saved) in gnn.params_mut().into_iter().zip(params) {
+        p.value = saved.clone();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairwos_datasets::{DatasetSpec, FairGraphDataset};
+    use fairwos_nn::Backbone;
+
+    fn fast_config(backbone: Backbone) -> FairwosConfig {
+        FairwosConfig {
+            encoder_epochs: 60,
+            classifier_epochs: 80,
+            finetune_epochs: 8,
+            learning_rate: 0.01,
+            patience: 30,
+            encoder_dim: 8,
+            ..FairwosConfig::paper_default(backbone)
+        }
+    }
+
+    fn small_dataset() -> FairGraphDataset {
+        FairGraphDataset::generate(&DatasetSpec::nba().scaled(0.6), 5)
+    }
+
+    fn input_of(ds: &FairGraphDataset) -> TrainInput<'_> {
+        TrainInput {
+            graph: &ds.graph,
+            features: &ds.features,
+            labels: &ds.labels,
+            train: &ds.split.train,
+            val: &ds.split.val,
+        }
+    }
+
+    #[test]
+    fn fit_produces_consistent_artifacts() {
+        let ds = small_dataset();
+        let trained = FairwosTrainer::new(fast_config(Backbone::Gcn)).fit(&input_of(&ds), 0);
+        let n = ds.num_nodes();
+        assert_eq!(trained.predict_probs().len(), n);
+        assert_eq!(trained.embeddings().rows(), n);
+        assert_eq!(trained.pseudo_sensitive_attributes().shape(), (n, 8));
+        assert_eq!(trained.lambda().len(), 8);
+        assert!(trained.has_encoder());
+        assert!(trained.weight_product_norm() > 0.0);
+        // λ stays on the simplex.
+        let sum: f32 = trained.lambda().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-3, "λ sums to {sum}");
+        assert!(trained.lambda().iter().all(|&l| l >= 0.0));
+        // Histories populated.
+        assert!(!trained.history.encoder_losses.is_empty());
+        assert!(!trained.history.classifier_losses.is_empty());
+        assert_eq!(trained.history.finetune.len(), 8);
+    }
+
+    #[test]
+    fn learns_better_than_chance() {
+        let ds = small_dataset();
+        let trained = FairwosTrainer::new(fast_config(Backbone::Gcn)).fit(&input_of(&ds), 1);
+        let probs = trained.predict_probs();
+        let test_probs: Vec<f32> = ds.split.test.iter().map(|&v| probs[v]).collect();
+        let test_labels = ds.labels_of(&ds.split.test);
+        let acc = accuracy(&test_probs, &test_labels);
+        assert!(acc > 0.6, "test accuracy {acc} barely better than chance");
+    }
+
+    #[test]
+    fn without_encoder_uses_raw_features() {
+        let ds = small_dataset();
+        let cfg = FairwosConfig { use_encoder: false, finetune_epochs: 2, ..fast_config(Backbone::Gcn) };
+        let trained = FairwosTrainer::new(cfg).fit(&input_of(&ds), 2);
+        assert!(!trained.has_encoder());
+        assert_eq!(trained.pseudo_sensitive_attributes().cols(), ds.features.cols());
+        assert_eq!(trained.lambda().len(), ds.features.cols());
+        assert!(trained.history.encoder_losses.is_empty());
+    }
+
+    #[test]
+    fn without_fairness_skips_finetuning() {
+        let ds = small_dataset();
+        let cfg = FairwosConfig { use_fairness: false, ..fast_config(Backbone::Gcn) };
+        let trained = FairwosTrainer::new(cfg).fit(&input_of(&ds), 3);
+        assert!(trained.history.finetune.is_empty());
+    }
+
+    #[test]
+    fn without_weight_update_keeps_lambda_uniform() {
+        let ds = small_dataset();
+        let cfg = FairwosConfig { use_weight_update: false, ..fast_config(Backbone::Gcn) };
+        let trained = FairwosTrainer::new(cfg).fit(&input_of(&ds), 4);
+        for &l in trained.lambda() {
+            assert!((l - 1.0 / 8.0).abs() < 1e-6, "λ changed without weight updates");
+        }
+        // With weight updates λ moves away from uniform.
+        let trained2 = FairwosTrainer::new(fast_config(Backbone::Gcn)).fit(&input_of(&ds), 4);
+        let uniform_dev: f32 =
+            trained2.lambda().iter().map(|&l| (l - 1.0 / 8.0).abs()).sum();
+        assert!(uniform_dev > 1e-4, "λ never updated: {:?}", trained2.lambda());
+    }
+
+    #[test]
+    fn gin_backbone_works() {
+        let ds = small_dataset();
+        let trained = FairwosTrainer::new(fast_config(Backbone::Gin)).fit(&input_of(&ds), 5);
+        assert_eq!(trained.predict_probs().len(), ds.num_nodes());
+    }
+
+    #[test]
+    fn perturbation_strategy_trains() {
+        let ds = small_dataset();
+        let cfg = FairwosConfig {
+            counterfactual: crate::CfStrategy::PerturbAttribute,
+            finetune_epochs: 5,
+            ..fast_config(Backbone::Gcn)
+        };
+        let trained = FairwosTrainer::new(cfg).fit(&input_of(&ds), 8);
+        assert_eq!(trained.history.finetune.len(), 5);
+        let probs = trained.predict_probs();
+        assert!(probs.iter().all(|p| p.is_finite() && (0.0..=1.0).contains(p)));
+        // The perturbation distances are populated per attribute.
+        assert_eq!(trained.history.finetune[0].attr_distances.len(), 8);
+    }
+
+    #[test]
+    fn sage_backbone_works() {
+        let ds = small_dataset();
+        let trained = FairwosTrainer::new(fast_config(Backbone::Sage)).fit(&input_of(&ds), 5);
+        let probs = trained.predict_probs();
+        assert_eq!(probs.len(), ds.num_nodes());
+        assert!(probs.iter().all(|p| p.is_finite()));
+    }
+
+    #[test]
+    fn gat_backbone_works() {
+        let ds = small_dataset();
+        let trained = FairwosTrainer::new(fast_config(Backbone::Gat)).fit(&input_of(&ds), 5);
+        let probs = trained.predict_probs();
+        assert_eq!(probs.len(), ds.num_nodes());
+        assert!(probs.iter().all(|p| p.is_finite()));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let ds = small_dataset();
+        let a = FairwosTrainer::new(fast_config(Backbone::Gcn)).fit(&input_of(&ds), 9);
+        let b = FairwosTrainer::new(fast_config(Backbone::Gcn)).fit(&input_of(&ds), 9);
+        assert_eq!(a.predict_probs(), b.predict_probs());
+        assert_eq!(a.lambda(), b.lambda());
+    }
+
+    #[test]
+    fn fair_method_adapter() {
+        let ds = small_dataset();
+        let trainer = FairwosTrainer::new(fast_config(Backbone::Gcn));
+        assert_eq!(trainer.name(), "Fairwos");
+        let probs = trainer.fit_predict(&input_of(&ds), 6);
+        assert_eq!(probs.len(), ds.num_nodes());
+        assert!(probs.iter().all(|&p| (0.0..=1.0).contains(&p)));
+    }
+
+    #[test]
+    fn finetuning_reduces_attr_distances() {
+        // The fairness stage should shrink the counterfactual gap it
+        // penalises: mean Dᵢ at the last epoch ≤ at the first.
+        let ds = small_dataset();
+        let cfg = FairwosConfig { alpha: 0.5, finetune_epochs: 10, ..fast_config(Backbone::Gcn) };
+        let trained = FairwosTrainer::new(cfg).fit(&input_of(&ds), 7);
+        let first: f32 = trained.history.finetune.first().unwrap().attr_distances.iter().sum();
+        let last: f32 = trained.history.finetune.last().unwrap().attr_distances.iter().sum();
+        assert!(last <= first * 1.1, "ΣDᵢ grew from {first} to {last}");
+    }
+}

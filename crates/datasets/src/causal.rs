@@ -1,0 +1,270 @@
+//! The causal bias model behind every synthetic benchmark.
+//!
+//! ```text
+//!        s (hidden sensitive attribute)
+//!       /|\
+//!      / | \
+//!     ▼  ▼  ▼
+//!  X_corr  edges  y          (paper Fig. 3: s → {features, structure} → ŷ)
+//!     \      |   /▲
+//!      \     |  / └ X_label (label-informative features)
+//!       ▼    ▼ ▼
+//!        GNN input
+//! ```
+//!
+//! `s` never enters the feature matrix; it reaches a classifier only through
+//! the correlated features, the homophilous edges, and the label base-rate
+//! gap — exactly the three leakage channels the paper's pseudo-sensitive
+//! attributes are designed to capture.
+
+use crate::DatasetSpec;
+use fairwos_graph::{generate, Graph, GraphBuilder};
+use fairwos_tensor::Matrix;
+use rand::Rng;
+use rand_distr::{Bernoulli, Distribution, Normal};
+
+/// The sampled ground-truth variables of one dataset realization.
+pub struct BiasModel {
+    /// Hidden sensitive attribute per node.
+    pub sensitive: Vec<bool>,
+    /// Binary label per node.
+    pub labels: Vec<f32>,
+    /// Node features (`N × spec.features`), sensitive attribute excluded.
+    pub features: Matrix,
+    /// The sampled graph.
+    pub graph: Graph,
+}
+
+/// Samples a full dataset realization from `spec`.
+pub fn sample(spec: &DatasetSpec, rng: &mut impl Rng) -> BiasModel {
+    assert!(
+        spec.corr_features + spec.label_features <= spec.features,
+        "{}: corr ({}) + label ({}) features exceed total ({})",
+        spec.name,
+        spec.corr_features,
+        spec.label_features,
+        spec.features
+    );
+    let n = spec.nodes;
+
+    // 1. Sensitive attribute.
+    let sens_dist = Bernoulli::new(spec.sens_rate).expect("sens_rate in [0,1]");
+    let sensitive: Vec<bool> = (0..n).map(|_| sens_dist.sample(rng)).collect();
+
+    // 2. Label: logit = a·u + bias·(2s−1), with latent talent u ~ N(0,1).
+    //    The (2s−1) form keeps the marginal label rate near 1/2 while
+    //    opening a base-rate gap of ≈ 2·σ'(0)·bias between groups.
+    let normal = Normal::new(0.0f32, 1.0).expect("unit normal");
+    let labels: Vec<f32> = sensitive
+        .iter()
+        .map(|&s| {
+            let u: f32 = normal.sample(rng);
+            let logit = u as f64 + spec.label_sens_bias * if s { 1.0 } else { -1.0 };
+            let p = 1.0 / (1.0 + (-logit).exp());
+            if rng.gen_bool(p) {
+                1.0
+            } else {
+                0.0
+            }
+        })
+        .collect();
+
+    // 3. Features: [0, corr) shifted by s; [corr, corr+label) shifted by y;
+    //    the rest pure noise. All unit variance.
+    let mut features = Matrix::zeros(n, spec.features);
+    for v in 0..n {
+        let s_shift = if sensitive[v] { spec.corr_strength / 2.0 } else { -spec.corr_strength / 2.0 };
+        let y_shift = if labels[v] == 1.0 { spec.label_strength / 2.0 } else { -spec.label_strength / 2.0 };
+        let row = features.row_mut(v);
+        for (j, cell) in row.iter_mut().enumerate() {
+            let mean = if j < spec.corr_features {
+                s_shift
+            } else if j < spec.corr_features + spec.label_features {
+                y_shift
+            } else {
+                0.0
+            };
+            *cell = mean + normal.sample(rng);
+        }
+    }
+
+    // 4. Edges: stratified SBM over (s, y) with independent multiplicative
+    //    homophily factors, base rate solved to hit the target degree.
+    let graph = sample_edges(spec, &sensitive, &labels, rng);
+
+    BiasModel { sensitive, labels, features, graph }
+}
+
+/// Stratified SBM: nodes are bucketed by `(s, y)`; a pair in buckets
+/// `(b1, b2)` links with probability
+/// `p_base · r_s^[same s] · r_y^[same y]`, where `p_base` is solved so the
+/// expected average degree matches `spec.target_avg_degree`.
+fn sample_edges(
+    spec: &DatasetSpec,
+    sensitive: &[bool],
+    labels: &[f32],
+    rng: &mut impl Rng,
+) -> Graph {
+    let n = sensitive.len();
+    // Bucket index: 2·s + y.
+    let mut buckets: [Vec<usize>; 4] = Default::default();
+    for v in 0..n {
+        let idx = (sensitive[v] as usize) * 2 + (labels[v] as usize);
+        buckets[idx].push(v);
+    }
+
+    // Pair counts and homophily factor per bucket pair.
+    let factor = |b1: usize, b2: usize| -> f64 {
+        let same_s = (b1 / 2) == (b2 / 2);
+        let same_y = (b1 % 2) == (b2 % 2);
+        (if same_s { spec.homophily_ratio } else { 1.0 })
+            * (if same_y { spec.label_homophily_ratio } else { 1.0 })
+    };
+    let mut weighted_pairs = 0.0f64;
+    for b1 in 0..4 {
+        for b2 in b1..4 {
+            let pairs = if b1 == b2 {
+                let m = buckets[b1].len();
+                (m * m.saturating_sub(1) / 2) as f64
+            } else {
+                (buckets[b1].len() * buckets[b2].len()) as f64
+            };
+            weighted_pairs += pairs * factor(b1, b2);
+        }
+    }
+    let target_edges = spec.target_avg_degree * n as f64 / 2.0;
+    let p_base = if weighted_pairs > 0.0 { target_edges / weighted_pairs } else { 0.0 };
+
+    let mut builder = GraphBuilder::new(n);
+    for b1 in 0..4 {
+        for b2 in b1..4 {
+            let p = (p_base * factor(b1, b2)).min(1.0);
+            if b1 == b2 {
+                generate::sample_pairs_within(&buckets[b1], p, rng, &mut builder);
+            } else {
+                generate::sample_pairs_between(&buckets[b1], &buckets[b2], p, rng, &mut builder);
+            }
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairwos_tensor::seeded_rng;
+
+    fn small_spec() -> DatasetSpec {
+        DatasetSpec::nba() // 403 nodes, runs fast at full size
+    }
+
+    #[test]
+    fn sample_shapes() {
+        let spec = small_spec();
+        let m = sample(&spec, &mut seeded_rng(0));
+        assert_eq!(m.sensitive.len(), 403);
+        assert_eq!(m.labels.len(), 403);
+        assert_eq!(m.features.shape(), (403, 39));
+        assert_eq!(m.graph.num_nodes(), 403);
+    }
+
+    #[test]
+    fn average_degree_near_target() {
+        let spec = small_spec();
+        let m = sample(&spec, &mut seeded_rng(1));
+        let deg = m.graph.average_degree();
+        assert!(
+            (deg - spec.target_avg_degree).abs() < 0.2 * spec.target_avg_degree,
+            "degree {deg} vs target {}",
+            spec.target_avg_degree
+        );
+    }
+
+    #[test]
+    fn sensitive_rate_near_spec() {
+        let spec = DatasetSpec::bail().scaled(0.05); // ~944 nodes
+        let m = sample(&spec, &mut seeded_rng(2));
+        let rate = m.sensitive.iter().filter(|&&s| s).count() as f64 / m.sensitive.len() as f64;
+        assert!((rate - spec.sens_rate).abs() < 0.08, "rate {rate} vs {}", spec.sens_rate);
+    }
+
+    #[test]
+    fn label_base_rates_differ_by_group() {
+        // The injected unfairness: P(y=1 | s=1) > P(y=1 | s=0).
+        let spec = small_spec();
+        let m = sample(&spec, &mut seeded_rng(3));
+        let (mut p1, mut n1, mut p0, mut n0) = (0.0, 0, 0.0, 0);
+        for (i, &s) in m.sensitive.iter().enumerate() {
+            if s {
+                p1 += m.labels[i];
+                n1 += 1;
+            } else {
+                p0 += m.labels[i];
+                n0 += 1;
+            }
+        }
+        let gap = p1 / n1 as f32 - p0 / n0 as f32;
+        assert!(gap > 0.1, "base-rate gap {gap} too small for NBA's bias level");
+    }
+
+    #[test]
+    fn correlated_features_separate_groups() {
+        let spec = small_spec();
+        let m = sample(&spec, &mut seeded_rng(4));
+        // Mean of feature 0 (s-correlated) differs across groups by ~corr_strength.
+        let (mut m1, mut c1, mut m0, mut c0) = (0.0f32, 0, 0.0f32, 0);
+        for (i, &s) in m.sensitive.iter().enumerate() {
+            let v = m.features.get(i, 0);
+            if s {
+                m1 += v;
+                c1 += 1;
+            } else {
+                m0 += v;
+                c0 += 1;
+            }
+        }
+        let gap = m1 / c1 as f32 - m0 / c0 as f32;
+        assert!((gap - spec.corr_strength).abs() < 0.4, "gap {gap} vs {}", spec.corr_strength);
+        // Noise features don't separate.
+        let j = spec.corr_features + spec.label_features; // first noise column
+        let (mut m1, mut m0) = (0.0f32, 0.0f32);
+        for (i, &s) in m.sensitive.iter().enumerate() {
+            if s {
+                m1 += m.features.get(i, j) / c1 as f32;
+            } else {
+                m0 += m.features.get(i, j) / c0 as f32;
+            }
+        }
+        assert!((m1 - m0).abs() < 0.3, "noise feature separates groups: {}", m1 - m0);
+    }
+
+    #[test]
+    fn graph_exhibits_sensitive_homophily() {
+        let spec = small_spec();
+        let m = sample(&spec, &mut seeded_rng(5));
+        let h = generate::sensitive_homophily(&m.graph, &m.sensitive);
+        // Random mixing for a 25/75 split would give ≈ 0.625; homophily_ratio
+        // 5 should push it well above.
+        assert!(h > 0.7, "sensitive homophily {h} too low");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let spec = small_spec();
+        let a = sample(&spec, &mut seeded_rng(6));
+        let b = sample(&spec, &mut seeded_rng(6));
+        assert_eq!(a.sensitive, b.sensitive);
+        assert_eq!(a.labels, b.labels);
+        assert_eq!(a.features, b.features);
+        assert_eq!(a.graph, b.graph);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed total")]
+    fn rejects_overfull_feature_budget() {
+        let mut spec = small_spec();
+        spec.corr_features = 30;
+        spec.label_features = 30; // 60 > 39
+        let _ = sample(&spec, &mut seeded_rng(7));
+    }
+}

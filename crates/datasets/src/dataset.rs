@@ -1,0 +1,191 @@
+//! The assembled dataset type consumed by trainers and baselines.
+
+use crate::{causal, DatasetSpec, Split};
+use fairwos_graph::Graph;
+use fairwos_tensor::{seeded_rng, Matrix};
+use serde::{Deserialize, Serialize};
+
+/// A fully realized fair-graph benchmark: graph, features, labels, the
+/// *hidden* sensitive attribute, and the paper's 50/25/25 split.
+///
+/// Training code must only read `graph`, `features`, `labels[train]`, and
+/// `split`; `sensitive` exists solely for evaluation (the paper's protocol:
+/// "sensitive attributes can be requested during the testing phase").
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FairGraphDataset {
+    /// The spec this dataset was generated from.
+    pub spec: DatasetSpec,
+    /// Undirected graph over the nodes.
+    pub graph: Graph,
+    /// Node features (`N × spec.features`), standardized per column.
+    pub features: Matrix,
+    /// Binary labels in `{0.0, 1.0}` for every node (training code may only
+    /// look at `split.train` entries).
+    pub labels: Vec<f32>,
+    /// The hidden binary sensitive attribute — evaluation only.
+    pub sensitive: Vec<bool>,
+    /// Train/val/test node partition.
+    pub split: Split,
+    /// The seed this realization was drawn with (reproducibility record).
+    pub seed: u64,
+}
+
+impl FairGraphDataset {
+    /// Samples a dataset from `spec` with the given seed and the paper's
+    /// 50/25/25 split. Features are standardized column-wise (zero mean,
+    /// unit variance), the usual preprocessing for these benchmarks.
+    pub fn generate(spec: &DatasetSpec, seed: u64) -> Self {
+        let mut rng = seeded_rng(seed);
+        let model = causal::sample(spec, &mut rng);
+        let mut features = model.features;
+        features.standardize_cols_assign();
+        let split = Split::paper_default(spec.nodes, &mut rng);
+        Self {
+            spec: spec.clone(),
+            graph: model.graph,
+            features,
+            labels: model.labels,
+            sensitive: model.sensitive,
+            split,
+            seed,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.graph.num_nodes()
+    }
+
+    /// Labels restricted to a node set — convenience for metric code.
+    pub fn labels_of(&self, nodes: &[usize]) -> Vec<f32> {
+        nodes.iter().map(|&v| self.labels[v]).collect()
+    }
+
+    /// Sensitive attribute restricted to a node set.
+    pub fn sensitive_of(&self, nodes: &[usize]) -> Vec<bool> {
+        nodes.iter().map(|&v| self.sensitive[v]).collect()
+    }
+
+    /// Positive-label rate per sensitive group `(P(y=1|s=0), P(y=1|s=1))` —
+    /// the injected base-rate gap, useful for sanity checks and docs.
+    pub fn base_rates(&self) -> (f64, f64) {
+        let (mut p0, mut n0, mut p1, mut n1) = (0.0f64, 0usize, 0.0f64, 0usize);
+        for (i, &s) in self.sensitive.iter().enumerate() {
+            if s {
+                p1 += self.labels[i] as f64;
+                n1 += 1;
+            } else {
+                p0 += self.labels[i] as f64;
+                n0 += 1;
+            }
+        }
+        (p0 / n0.max(1) as f64, p1 / n1.max(1) as f64)
+    }
+
+    /// Serializes to pretty JSON (the on-disk interchange format).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("dataset serializes")
+    }
+
+    /// Deserializes from JSON, validating the split.
+    pub fn from_json(json: &str) -> Result<Self, String> {
+        let ds: Self = serde_json::from_str(json).map_err(|e| e.to_string())?;
+        if ds.labels.len() != ds.graph.num_nodes()
+            || ds.sensitive.len() != ds.graph.num_nodes()
+            || ds.features.rows() != ds.graph.num_nodes()
+        {
+            return Err(format!(
+                "inconsistent sizes: {} nodes, {} labels, {} sensitive, {} feature rows",
+                ds.graph.num_nodes(),
+                ds.labels.len(),
+                ds.sensitive.len(),
+                ds.features.rows()
+            ));
+        }
+        if !ds.split.is_partition_of(ds.graph.num_nodes()) {
+            return Err("split is not a partition of the node set".into());
+        }
+        Ok(ds)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nba() -> FairGraphDataset {
+        FairGraphDataset::generate(&DatasetSpec::nba(), 7)
+    }
+
+    #[test]
+    fn generate_consistent_sizes() {
+        let d = nba();
+        assert_eq!(d.num_nodes(), 403);
+        assert_eq!(d.labels.len(), 403);
+        assert_eq!(d.sensitive.len(), 403);
+        assert_eq!(d.features.rows(), 403);
+        assert!(d.split.is_partition_of(403));
+    }
+
+    #[test]
+    fn features_are_standardized() {
+        let d = nba();
+        for mean in d.features.col_means() {
+            assert!(mean.abs() < 1e-3, "col mean {mean}");
+        }
+        for std in d.features.col_stds() {
+            assert!((std - 1.0).abs() < 1e-2, "col std {std}");
+        }
+    }
+
+    #[test]
+    fn labels_are_binary() {
+        let d = nba();
+        assert!(d.labels.iter().all(|&y| y == 0.0 || y == 1.0));
+        // Both classes present.
+        let pos: f32 = d.labels.iter().sum();
+        assert!(pos > 0.0 && pos < 403.0);
+    }
+
+    #[test]
+    fn base_rate_gap_positive() {
+        let (p0, p1) = nba().base_rates();
+        assert!(p1 > p0 + 0.1, "gap {} too small", p1 - p0);
+    }
+
+    #[test]
+    fn label_and_sensitive_subsets() {
+        let d = nba();
+        let test_labels = d.labels_of(&d.split.test);
+        assert_eq!(test_labels.len(), d.split.test.len());
+        let test_sens = d.sensitive_of(&d.split.test);
+        assert_eq!(test_sens.len(), d.split.test.len());
+        assert_eq!(test_labels[0], d.labels[d.split.test[0]]);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let d = FairGraphDataset::generate(&DatasetSpec::nba().scaled(0.2), 8);
+        let json = d.to_json();
+        let back = FairGraphDataset::from_json(&json).expect("valid json");
+        assert_eq!(back.labels, d.labels);
+        assert_eq!(back.graph, d.graph);
+        assert_eq!(back.split, d.split);
+    }
+
+    #[test]
+    fn from_json_rejects_inconsistent() {
+        let d = nba();
+        let mut val = serde_json::to_value(&d).unwrap();
+        val["labels"] = serde_json::json!([1.0, 0.0]);
+        let err = FairGraphDataset::from_json(&val.to_string()).unwrap_err();
+        assert!(err.contains("inconsistent sizes"), "{err}");
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = FairGraphDataset::generate(&DatasetSpec::nba(), 1);
+        let b = FairGraphDataset::generate(&DatasetSpec::nba(), 2);
+        assert_ne!(a.labels, b.labels);
+    }
+}

@@ -1,0 +1,270 @@
+//! Ingestion of *real* graph data in the common text formats the original
+//! benchmarks ship in: a whitespace/comma-separated edge list plus a CSV of
+//! node attributes.
+//!
+//! The synthetic generators stand in for the six benchmarks when the real
+//! data is unavailable (see the crate docs); this loader is the adoption
+//! path for users who *do* hold the originals (or any other dataset): parse,
+//! designate the label and sensitive columns, and get the same
+//! [`FairGraphDataset`] the rest of the workspace consumes — with the
+//! sensitive column stripped from the feature matrix, enforcing the paper's
+//! `S ∉ F` setting at load time.
+
+use crate::{DatasetSpec, FairGraphDataset, Split};
+use fairwos_graph::GraphBuilder;
+use fairwos_tensor::{seeded_rng, Matrix};
+
+/// Which CSV columns carry the label and the sensitive attribute.
+#[derive(Clone, Debug)]
+pub struct ColumnRoles {
+    /// 0-based index of the binary label column.
+    pub label: usize,
+    /// 0-based index of the binary sensitive-attribute column. It is
+    /// removed from the features and kept only for evaluation.
+    pub sensitive: usize,
+}
+
+/// Parses an edge list: one `u v` pair per line, whitespace- or
+/// comma-separated; `#`-prefixed lines and blank lines are ignored.
+///
+/// Returns the edges and the implied node count (`max id + 1`).
+pub fn parse_edge_list(text: &str) -> Result<(Vec<(usize, usize)>, usize), String> {
+    let mut edges = Vec::new();
+    let mut max_id = 0usize;
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split(|c: char| c == ',' || c.is_whitespace()).filter(|p| !p.is_empty());
+        let parse = |tok: Option<&str>| -> Result<usize, String> {
+            tok.ok_or_else(|| format!("line {}: missing endpoint", lineno + 1))?
+                .parse::<usize>()
+                .map_err(|e| format!("line {}: {e}", lineno + 1))
+        };
+        let u = parse(parts.next())?;
+        let v = parse(parts.next())?;
+        if parts.next().is_some() {
+            return Err(format!("line {}: more than two fields", lineno + 1));
+        }
+        max_id = max_id.max(u).max(v);
+        edges.push((u, v));
+    }
+    if edges.is_empty() {
+        return Err("edge list contains no edges".into());
+    }
+    Ok((edges, max_id + 1))
+}
+
+/// Parses a headerless numeric CSV into a matrix (row = node, in id order).
+pub fn parse_feature_csv(text: &str) -> Result<Matrix, String> {
+    let mut rows: Vec<Vec<f32>> = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let row: Result<Vec<f32>, String> = line
+            .split(',')
+            .map(|tok| tok.trim().parse::<f32>().map_err(|e| format!("line {}: {e}", lineno + 1)))
+            .collect();
+        let row = row?;
+        if let Some(first) = rows.first() {
+            if row.len() != first.len() {
+                return Err(format!(
+                    "line {}: {} fields, expected {}",
+                    lineno + 1,
+                    row.len(),
+                    first.len()
+                ));
+            }
+        }
+        rows.push(row);
+    }
+    if rows.is_empty() {
+        return Err("feature CSV contains no rows".into());
+    }
+    let cols = rows[0].len();
+    let data: Vec<f32> = rows.into_iter().flatten().collect();
+    Ok(Matrix::from_vec(data.len() / cols, cols, data))
+}
+
+/// Assembles a [`FairGraphDataset`] from parsed real data.
+///
+/// * The `roles.sensitive` column is stripped from the features (evaluation
+///   only) and `roles.label` becomes the target; both must be binary
+///   (0/1 up to float noise).
+/// * Remaining features are standardized column-wise.
+/// * A fresh 50/25/25 split is drawn with `seed`.
+pub fn assemble(
+    name: &str,
+    edges: Vec<(usize, usize)>,
+    num_nodes: usize,
+    table: Matrix,
+    roles: &ColumnRoles,
+    seed: u64,
+) -> Result<FairGraphDataset, String> {
+    if table.rows() != num_nodes {
+        return Err(format!(
+            "feature table has {} rows but the edge list implies {num_nodes} nodes",
+            table.rows()
+        ));
+    }
+    let cols = table.cols();
+    if roles.label >= cols || roles.sensitive >= cols {
+        return Err(format!("column roles {roles:?} out of range for {cols} columns"));
+    }
+    if roles.label == roles.sensitive {
+        return Err("label and sensitive columns must differ".into());
+    }
+    let to_binary = |col: usize, what: &str| -> Result<Vec<f32>, String> {
+        table
+            .col(col)
+            .into_iter()
+            .map(|v| {
+                if (v - 0.0).abs() < 1e-6 {
+                    Ok(0.0)
+                } else if (v - 1.0).abs() < 1e-6 {
+                    Ok(1.0)
+                } else {
+                    Err(format!("{what} column {col} contains non-binary value {v}"))
+                }
+            })
+            .collect()
+    };
+    let labels = to_binary(roles.label, "label")?;
+    let sensitive: Vec<bool> = to_binary(roles.sensitive, "sensitive")?
+        .into_iter()
+        .map(|v| v >= 0.5)
+        .collect();
+
+    let keep: Vec<usize> =
+        (0..cols).filter(|&c| c != roles.label && c != roles.sensitive).collect();
+    if keep.is_empty() {
+        return Err("no feature columns left after removing label and sensitive".into());
+    }
+    let mut features = table.select_cols(&keep);
+    features.standardize_cols_assign();
+
+    let mut builder = GraphBuilder::new(num_nodes);
+    builder.extend_edges(edges);
+    let graph = builder.build();
+
+    let mut rng = seeded_rng(seed);
+    let split = Split::paper_default(num_nodes, &mut rng);
+    // A minimal spec documenting provenance; generator knobs are zeroed
+    // because this realization did not come from the causal model.
+    let spec = DatasetSpec {
+        name: name.to_string(),
+        nodes: num_nodes,
+        features: keep.len(),
+        target_avg_degree: graph.average_degree(),
+        sens_rate: sensitive.iter().filter(|&&s| s).count() as f64 / num_nodes as f64,
+        corr_features: 0,
+        corr_strength: 0.0,
+        label_features: 0,
+        label_strength: 0.0,
+        label_sens_bias: 0.0,
+        homophily_ratio: 1.0,
+        label_homophily_ratio: 1.0,
+        sensitive_name: format!("column {}", roles.sensitive),
+        label_name: format!("column {}", roles.label),
+        description: "Loaded".into(),
+    };
+    Ok(FairGraphDataset { spec, graph, features, labels, sensitive, split, seed })
+}
+
+/// One-call loader from file contents (edge-list text + feature CSV text).
+pub fn load_from_text(
+    name: &str,
+    edge_list: &str,
+    feature_csv: &str,
+    roles: &ColumnRoles,
+    seed: u64,
+) -> Result<FairGraphDataset, String> {
+    let (edges, num_nodes) = parse_edge_list(edge_list)?;
+    let table = parse_feature_csv(feature_csv)?;
+    assemble(name, edges, num_nodes, table, roles, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EDGES: &str = "# toy graph\n0 1\n1,2\n2 3\n\n3 0\n";
+    // columns: f0, label, f1, sensitive
+    const CSV: &str = "0.5, 1, 2.0, 0\n-0.5, 0, 1.0, 1\n0.1, 1, 0.5, 0\n-0.1, 0, -1.0, 1\n";
+
+    fn roles() -> ColumnRoles {
+        ColumnRoles { label: 1, sensitive: 3 }
+    }
+
+    #[test]
+    fn parse_edge_list_mixed_separators() {
+        let (edges, n) = parse_edge_list(EDGES).unwrap();
+        assert_eq!(edges, vec![(0, 1), (1, 2), (2, 3), (3, 0)]);
+        assert_eq!(n, 4);
+    }
+
+    #[test]
+    fn parse_edge_list_rejects_garbage() {
+        assert!(parse_edge_list("0 x").unwrap_err().contains("line 1"));
+        assert!(parse_edge_list("0 1 2").unwrap_err().contains("more than two"));
+        assert!(parse_edge_list("# only comments\n").unwrap_err().contains("no edges"));
+    }
+
+    #[test]
+    fn parse_csv_shapes_and_errors() {
+        let m = parse_feature_csv(CSV).unwrap();
+        assert_eq!(m.shape(), (4, 4));
+        assert_eq!(m.get(0, 1), 1.0);
+        assert!(parse_feature_csv("1,2\n3\n").unwrap_err().contains("expected 2"));
+        assert!(parse_feature_csv("a,b\n").unwrap_err().contains("line 1"));
+        assert!(parse_feature_csv("").unwrap_err().contains("no rows"));
+    }
+
+    #[test]
+    fn load_strips_label_and_sensitive_from_features() {
+        let ds = load_from_text("toy", EDGES, CSV, &roles(), 0).unwrap();
+        assert_eq!(ds.num_nodes(), 4);
+        assert_eq!(ds.features.cols(), 2); // f0, f1 only
+        assert_eq!(ds.labels, vec![1.0, 0.0, 1.0, 0.0]);
+        assert_eq!(ds.sensitive, vec![false, true, false, true]);
+        assert!(ds.split.is_partition_of(4));
+        assert_eq!(ds.spec.description, "Loaded");
+        // Standardized features have ~zero column means.
+        for m in ds.features.col_means() {
+            assert!(m.abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn load_rejects_inconsistencies() {
+        // Node count mismatch: CSV has 4 rows, edge list implies 5 nodes.
+        let err = load_from_text("t", "0 4\n", CSV, &roles(), 0).unwrap_err();
+        assert!(err.contains("implies 5 nodes"), "{err}");
+        // Non-binary label.
+        let bad_csv = "0.5, 2, 1.0, 0\n0.5, 1, 1.0, 1\n";
+        let err = load_from_text("t", "0 1\n", bad_csv, &roles(), 0).unwrap_err();
+        assert!(err.contains("non-binary"), "{err}");
+        // Same column for both roles.
+        let err = load_from_text(
+            "t",
+            "0 1\n",
+            "1, 0\n0, 1\n",
+            &ColumnRoles { label: 0, sensitive: 0 },
+            0,
+        )
+        .unwrap_err();
+        assert!(err.contains("must differ"), "{err}");
+    }
+
+    #[test]
+    fn loaded_dataset_trains() {
+        // The loaded dataset round-trips into the standard JSON format and
+        // has consistent shapes for the trainer path.
+        let ds = load_from_text("toy", EDGES, CSV, &roles(), 0).unwrap();
+        let back = FairGraphDataset::from_json(&ds.to_json()).unwrap();
+        assert_eq!(back.labels, ds.labels);
+    }
+}

@@ -1,0 +1,262 @@
+//! Dataset specifications: the knobs of the causal bias model plus the
+//! published statistics each preset mirrors.
+
+use serde::{Deserialize, Serialize};
+
+/// Full parameterization of one synthetic benchmark.
+///
+/// The six presets ([`DatasetSpec::bail`] …) pin `nodes`, `features`,
+/// `target_avg_degree`, and the metadata columns to the values of the
+/// paper's Table I; the bias knobs (`sens_rate`, `corr_*`, `label_sens_bias`,
+/// `homophily_ratio`) are chosen per dataset to reflect its documented bias
+/// level (e.g. the paper reports ΔSP ≈ 28 for vanilla GCN on NBA but ≈ 1.4 on
+/// Pokec-n, so NBA gets strong label–sensitive coupling and Pokec-n weak).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DatasetSpec {
+    /// Machine-readable name (`bail`, `credit`, …).
+    pub name: String,
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Number of non-sensitive attributes.
+    pub features: usize,
+    /// Average degree the edge sampler targets (Table I column).
+    pub target_avg_degree: f64,
+    /// `P(s = 1)` — sensitive-group balance.
+    pub sens_rate: f64,
+    /// How many features are correlated with `s` (the proxy channel).
+    pub corr_features: usize,
+    /// Mean shift of the `s`-correlated features between groups, in units of
+    /// their (unit) standard deviation.
+    pub corr_strength: f32,
+    /// How many features are informative for the label.
+    pub label_features: usize,
+    /// Mean shift of the label-informative features between classes.
+    pub label_strength: f32,
+    /// Log-odds shift of the label given `s = 1` (base-rate gap — the root
+    /// cause of unfairness).
+    pub label_sens_bias: f64,
+    /// Ratio of same-sensitive-group to cross-group edge probability
+    /// (`> 1` ⇒ sensitive homophily).
+    pub homophily_ratio: f64,
+    /// Ratio of same-label to cross-label edge probability (`> 1` ⇒ label
+    /// homophily; this is what makes the graph useful for classification).
+    pub label_homophily_ratio: f64,
+    /// Human-readable sensitive attribute (Table I `Sens.` column).
+    pub sensitive_name: String,
+    /// Human-readable label (Table I `Label` column).
+    pub label_name: String,
+    /// Table I `Description` column.
+    pub description: String,
+}
+
+impl DatasetSpec {
+    /// Scales the node count by `f` (min 50 nodes), keeping degree and
+    /// dimensionality. Use to shrink Table-I-sized graphs for CPU runs.
+    #[must_use]
+    pub fn scaled(mut self, f: f64) -> Self {
+        assert!(f > 0.0, "scale must be positive, got {f}");
+        self.nodes = ((self.nodes as f64 * f).round() as usize).max(50);
+        self
+    }
+
+    /// Bail / Recidivism: 18,876 defendants, 18 attributes, race as the
+    /// sensitive attribute, bail decision as the label.
+    pub fn bail() -> Self {
+        Self {
+            name: "bail".into(),
+            nodes: 18_876,
+            features: 18,
+            target_avg_degree: 34.04,
+            sens_rate: 0.45,
+            corr_features: 5,
+            corr_strength: 0.9,
+            label_features: 6,
+            label_strength: 0.6,
+            label_sens_bias: 0.2,
+            homophily_ratio: 6.0,
+            label_homophily_ratio: 2.0,
+            sensitive_name: "Race".into(),
+            label_name: "Bail/no bail".into(),
+            description: "Semi-synthetic".into(),
+        }
+    }
+
+    /// Credit: 30,000 card holders, 13 attributes, age as the sensitive
+    /// attribute, default prediction as the label.
+    pub fn credit() -> Self {
+        Self {
+            name: "credit".into(),
+            nodes: 30_000,
+            features: 13,
+            target_avg_degree: 95.79,
+            sens_rate: 0.30,
+            corr_features: 4,
+            corr_strength: 0.7,
+            label_features: 5,
+            label_strength: 0.45,
+            label_sens_bias: 0.35,
+            homophily_ratio: 4.0,
+            label_homophily_ratio: 1.5,
+            sensitive_name: "Age".into(),
+            label_name: "default/no default".into(),
+            description: "Semi-synthetic".into(),
+        }
+    }
+
+    /// Pokec-z: 67,797 social-network users, 277 attributes, region as the
+    /// sensitive attribute, working field as the label.
+    pub fn pokec_z() -> Self {
+        Self {
+            name: "pokec-z".into(),
+            nodes: 67_797,
+            features: 277,
+            target_avg_degree: 19.23,
+            sens_rate: 0.5,
+            corr_features: 30,
+            corr_strength: 0.5,
+            label_features: 40,
+            label_strength: 0.18,
+            label_sens_bias: 0.25,
+            homophily_ratio: 3.0,
+            label_homophily_ratio: 1.5,
+            sensitive_name: "Region".into(),
+            label_name: "Working Field".into(),
+            description: "Facebook".into(),
+        }
+    }
+
+    /// Pokec-n: 66,569 users, 266 attributes; the lower-bias sibling of
+    /// Pokec-z (vanilla ΔSP ≈ 1.4 in the paper).
+    pub fn pokec_n() -> Self {
+        Self {
+            name: "pokec-n".into(),
+            nodes: 66_569,
+            features: 266,
+            target_avg_degree: 16.53,
+            sens_rate: 0.5,
+            corr_features: 20,
+            corr_strength: 0.3,
+            label_features: 40,
+            label_strength: 0.18,
+            label_sens_bias: 0.05,
+            homophily_ratio: 3.0,
+            label_homophily_ratio: 1.5,
+            sensitive_name: "Region".into(),
+            label_name: "Working Field".into(),
+            description: "Facebook".into(),
+        }
+    }
+
+    /// NBA: 403 players, 39 attributes, nationality as the sensitive
+    /// attribute, above-median salary as the label. The highest-bias dataset
+    /// (vanilla ΔSP ≈ 28 in the paper).
+    pub fn nba() -> Self {
+        Self {
+            name: "nba".into(),
+            nodes: 403,
+            features: 39,
+            target_avg_degree: 53.71,
+            sens_rate: 0.25,
+            corr_features: 10,
+            corr_strength: 1.2,
+            label_features: 8,
+            label_strength: 0.3,
+            label_sens_bias: 0.35,
+            homophily_ratio: 5.0,
+            label_homophily_ratio: 1.4,
+            sensitive_name: "Nationality".into(),
+            label_name: "Salary".into(),
+            description: "Twitter".into(),
+        }
+    }
+
+    /// Occupation: 6,951 Twitter users, 768 (embedding) attributes, gender
+    /// as the sensitive attribute, CS-vs-psychology as the label. High bias
+    /// (vanilla ΔSP ≈ 28.6 in the paper).
+    pub fn occupation() -> Self {
+        Self {
+            name: "occupation".into(),
+            nodes: 6_951,
+            features: 768,
+            target_avg_degree: 13.71,
+            sens_rate: 0.5,
+            corr_features: 80,
+            corr_strength: 0.8,
+            label_features: 80,
+            label_strength: 0.25,
+            label_sens_bias: 0.5,
+            homophily_ratio: 6.0,
+            label_homophily_ratio: 2.0,
+            sensitive_name: "Gender".into(),
+            label_name: "Psy/CS".into(),
+            description: "Twitter".into(),
+        }
+    }
+
+    /// Looks a preset up by name (`bail`, `credit`, `pokec-z`, `pokec-n`,
+    /// `nba`, `occupation`). Returns `None` for unknown names.
+    pub fn by_name(name: &str) -> Option<Self> {
+        match name {
+            "bail" => Some(Self::bail()),
+            "credit" => Some(Self::credit()),
+            "pokec-z" => Some(Self::pokec_z()),
+            "pokec-n" => Some(Self::pokec_n()),
+            "nba" => Some(Self::nba()),
+            "occupation" => Some(Self::occupation()),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_table1_statistics() {
+        // (name, nodes, features, avg degree) straight from Table I.
+        let expected: [(&str, usize, usize, f64); 6] = [
+            ("bail", 18_876, 18, 34.04),
+            ("credit", 30_000, 13, 95.79),
+            ("pokec-z", 67_797, 277, 19.23),
+            ("pokec-n", 66_569, 266, 16.53),
+            ("nba", 403, 39, 53.71),
+            ("occupation", 6_951, 768, 13.71),
+        ];
+        for (name, nodes, features, deg) in expected {
+            let s = DatasetSpec::by_name(name).expect(name);
+            assert_eq!(s.nodes, nodes, "{name} nodes");
+            assert_eq!(s.features, features, "{name} features");
+            assert!((s.target_avg_degree - deg).abs() < 1e-9, "{name} degree");
+        }
+    }
+
+    #[test]
+    fn by_name_unknown_is_none() {
+        assert!(DatasetSpec::by_name("imaginary").is_none());
+    }
+
+    #[test]
+    fn scaling_respects_floor() {
+        let s = DatasetSpec::nba().scaled(0.001);
+        assert_eq!(s.nodes, 50);
+        let s2 = DatasetSpec::bail().scaled(0.5);
+        assert_eq!(s2.nodes, 9438);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must be positive")]
+    fn zero_scale_panics() {
+        let _ = DatasetSpec::nba().scaled(0.0);
+    }
+
+    #[test]
+    fn bias_ordering_reflects_paper() {
+        // NBA and Occupation are the high-bias datasets; Pokec-n the lowest.
+        let nba = DatasetSpec::nba();
+        let pn = DatasetSpec::pokec_n();
+        let occ = DatasetSpec::occupation();
+        assert!(nba.label_sens_bias > pn.label_sens_bias);
+        assert!(occ.label_sens_bias > pn.label_sens_bias);
+    }
+}

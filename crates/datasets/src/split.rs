@@ -1,0 +1,109 @@
+//! Train/validation/test splits (the paper's 50%/25%/25% random split).
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Disjoint node-index sets for training, validation, and testing.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Split {
+    /// Labeled training nodes (`V_L` of the paper).
+    pub train: Vec<usize>,
+    /// Validation nodes (model selection / early stopping).
+    pub val: Vec<usize>,
+    /// Test nodes (all metrics, including fairness, are computed here).
+    pub test: Vec<usize>,
+}
+
+impl Split {
+    /// A uniformly random split of `n` nodes into the given fractions.
+    ///
+    /// # Panics
+    /// If the fractions are not positive or sum to more than 1.
+    pub fn random(n: usize, train_frac: f64, val_frac: f64, rng: &mut impl Rng) -> Self {
+        assert!(train_frac > 0.0 && val_frac > 0.0, "fractions must be positive");
+        assert!(train_frac + val_frac < 1.0, "train + val must leave room for test");
+        let mut idx: Vec<usize> = (0..n).collect();
+        idx.shuffle(rng);
+        let n_train = ((n as f64) * train_frac).round() as usize;
+        let n_val = ((n as f64) * val_frac).round() as usize;
+        let train = idx[..n_train].to_vec();
+        let val = idx[n_train..n_train + n_val].to_vec();
+        let test = idx[n_train + n_val..].to_vec();
+        Self { train, val, test }
+    }
+
+    /// The paper's split: 50% train, 25% val, 25% test.
+    pub fn paper_default(n: usize, rng: &mut impl Rng) -> Self {
+        Self::random(n, 0.50, 0.25, rng)
+    }
+
+    /// Total number of nodes covered.
+    pub fn len(&self) -> usize {
+        self.train.len() + self.val.len() + self.test.len()
+    }
+
+    /// True when the split covers no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Checks the split is a partition of `0..n` (used by tests and loaders).
+    pub fn is_partition_of(&self, n: usize) -> bool {
+        if self.len() != n {
+            return false;
+        }
+        let mut seen = vec![false; n];
+        for &v in self.train.iter().chain(&self.val).chain(&self.test) {
+            if v >= n || seen[v] {
+                return false;
+            }
+            seen[v] = true;
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairwos_tensor::seeded_rng;
+
+    #[test]
+    fn paper_default_proportions() {
+        let s = Split::paper_default(1000, &mut seeded_rng(0));
+        assert_eq!(s.train.len(), 500);
+        assert_eq!(s.val.len(), 250);
+        assert_eq!(s.test.len(), 250);
+        assert!(s.is_partition_of(1000));
+    }
+
+    #[test]
+    fn partition_detects_overlap() {
+        let s = Split { train: vec![0, 1], val: vec![1], test: vec![2] };
+        assert!(!s.is_partition_of(3));
+        // wrong count
+        assert!(!s.is_partition_of(4));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = Split::paper_default(100, &mut seeded_rng(1));
+        let b = Split::paper_default(100, &mut seeded_rng(1));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn odd_sizes_still_partition() {
+        for n in [3, 7, 101, 403] {
+            let s = Split::paper_default(n, &mut seeded_rng(2));
+            assert!(s.is_partition_of(n), "n = {n}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "leave room for test")]
+    fn rejects_full_train_val() {
+        let _ = Split::random(10, 0.8, 0.2, &mut seeded_rng(3));
+    }
+}

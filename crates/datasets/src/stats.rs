@@ -1,0 +1,100 @@
+//! Dataset statistics — the rows of the paper's Table I.
+
+use crate::FairGraphDataset;
+use serde::{Deserialize, Serialize};
+
+/// One row of Table I.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DatasetStats {
+    /// Dataset name.
+    pub name: String,
+    /// `#Nodes`.
+    pub nodes: usize,
+    /// `#attributes`.
+    pub attributes: usize,
+    /// `#Edges` (undirected, counted once).
+    pub edges: usize,
+    /// `Average Degree` (`2|E| / |V|`).
+    pub average_degree: f64,
+    /// `Sens.` column.
+    pub sensitive: String,
+    /// `Label` column.
+    pub label: String,
+    /// `#Train/Val/Test` as percentages.
+    pub split_percent: (u8, u8, u8),
+    /// `Description` column.
+    pub description: String,
+}
+
+impl DatasetStats {
+    /// Computes the Table I row for a realized dataset.
+    pub fn of(ds: &FairGraphDataset) -> Self {
+        let n = ds.num_nodes() as f64;
+        let pct = |len: usize| ((len as f64 / n) * 100.0).round() as u8;
+        Self {
+            name: ds.spec.name.clone(),
+            nodes: ds.num_nodes(),
+            attributes: ds.features.cols(),
+            edges: ds.graph.num_edges(),
+            average_degree: ds.graph.average_degree(),
+            sensitive: ds.spec.sensitive_name.clone(),
+            label: ds.spec.label_name.clone(),
+            split_percent: (pct(ds.split.train.len()), pct(ds.split.val.len()), pct(ds.split.test.len())),
+            description: ds.spec.description.clone(),
+        }
+    }
+
+    /// Formats as a Table-I-style row.
+    pub fn table_row(&self) -> String {
+        format!(
+            "| {:<10} | {:>7} | {:>6} | {:>9} | {:>7.2} | {:<11} | {:<18} | {}%/{}%/{}% | {} |",
+            self.name,
+            self.nodes,
+            self.attributes,
+            self.edges,
+            self.average_degree,
+            self.sensitive,
+            self.label,
+            self.split_percent.0,
+            self.split_percent.1,
+            self.split_percent.2,
+            self.description
+        )
+    }
+
+    /// The table header matching [`DatasetStats::table_row`].
+    pub fn table_header() -> String {
+        format!(
+            "| {:<10} | {:>7} | {:>6} | {:>9} | {:>7} | {:<11} | {:<18} | Train/Val/Test | Description |",
+            "Dataset", "#Nodes", "#Attrs", "#Edges", "AvgDeg", "Sens.", "Label"
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DatasetSpec;
+
+    #[test]
+    fn stats_match_dataset() {
+        let ds = FairGraphDataset::generate(&DatasetSpec::nba(), 0);
+        let st = DatasetStats::of(&ds);
+        assert_eq!(st.nodes, 403);
+        assert_eq!(st.attributes, 39);
+        assert_eq!(st.edges, ds.graph.num_edges());
+        assert_eq!(st.sensitive, "Nationality");
+        assert_eq!(st.split_percent, (50, 25, 25));
+        assert!((st.average_degree - ds.graph.average_degree()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table_row_formats() {
+        let ds = FairGraphDataset::generate(&DatasetSpec::nba(), 0);
+        let row = DatasetStats::of(&ds).table_row();
+        assert!(row.contains("nba"));
+        assert!(row.contains("Nationality"));
+        assert!(row.contains("50%/25%/25%"));
+        assert!(DatasetStats::table_header().contains("#Nodes"));
+    }
+}

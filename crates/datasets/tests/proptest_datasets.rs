@@ -1,0 +1,51 @@
+//! Property-based tests for dataset generation invariants.
+
+use fairwos_datasets::{DatasetSpec, FairGraphDataset, Split};
+use fairwos_tensor::seeded_rng;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn generated_dataset_invariants(seed in 0u64..1000, scale_pct in 1u32..8) {
+        // Small scaled bail instances (50–~150 nodes).
+        let spec = DatasetSpec::bail().scaled(scale_pct as f64 / 1000.0);
+        let ds = FairGraphDataset::generate(&spec, seed);
+        let n = ds.num_nodes();
+        prop_assert_eq!(ds.labels.len(), n);
+        prop_assert_eq!(ds.sensitive.len(), n);
+        prop_assert_eq!(ds.features.rows(), n);
+        prop_assert_eq!(ds.features.cols(), spec.features);
+        prop_assert!(ds.split.is_partition_of(n));
+        prop_assert!(ds.labels.iter().all(|&y| y == 0.0 || y == 1.0));
+        prop_assert!(!ds.features.has_non_finite());
+    }
+
+    #[test]
+    fn generation_is_deterministic(seed in 0u64..1000) {
+        let spec = DatasetSpec::nba().scaled(0.3);
+        let a = FairGraphDataset::generate(&spec, seed);
+        let b = FairGraphDataset::generate(&spec, seed);
+        prop_assert_eq!(a.labels, b.labels);
+        prop_assert_eq!(a.sensitive, b.sensitive);
+        prop_assert_eq!(a.graph, b.graph);
+        prop_assert_eq!(a.split, b.split);
+    }
+
+    #[test]
+    fn split_fractions_hold_for_any_n(n in 50usize..500, seed in 0u64..100) {
+        let s = Split::paper_default(n, &mut seeded_rng(seed));
+        prop_assert!(s.is_partition_of(n));
+        let train_frac = s.train.len() as f64 / n as f64;
+        prop_assert!((train_frac - 0.5).abs() < 0.02, "train frac {train_frac}");
+    }
+
+    #[test]
+    fn json_roundtrip_any_seed(seed in 0u64..50) {
+        let ds = FairGraphDataset::generate(&DatasetSpec::nba().scaled(0.15), seed);
+        let back = FairGraphDataset::from_json(&ds.to_json()).unwrap();
+        prop_assert_eq!(back.labels, ds.labels);
+        prop_assert_eq!(back.sensitive, ds.sensitive);
+    }
+}

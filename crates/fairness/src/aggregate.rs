@@ -1,0 +1,145 @@
+//! Aggregation of metrics over repeated runs (Table II is 10-run mean±std).
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A mean ± sample standard deviation pair.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MeanStd {
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (n−1 denominator; 0 for a single run).
+    pub std: f64,
+}
+
+impl MeanStd {
+    /// Computes mean ± std of a sample.
+    ///
+    /// # Panics
+    /// If `values` is empty.
+    pub fn of(values: &[f64]) -> Self {
+        assert!(!values.is_empty(), "cannot aggregate zero runs");
+        let n = values.len() as f64;
+        let mean = values.iter().sum::<f64>() / n;
+        let std = if values.len() < 2 {
+            0.0
+        } else {
+            (values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1.0)).sqrt()
+        };
+        Self { mean, std }
+    }
+
+    /// Table II cell format: `86.56 ± 2.74` (inputs scaled by 100).
+    pub fn percent_cell(&self) -> String {
+        format!("{:.2} ± {:.2}", self.mean * 100.0, self.std * 100.0)
+    }
+}
+
+impl std::fmt::Display for MeanStd {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.4} ± {:.4}", self.mean, self.std)
+    }
+}
+
+/// Collects named metric values across runs and reports mean ± std per name.
+///
+/// BTreeMap keeps output ordering deterministic for the experiment logs.
+#[derive(Clone, Debug, Default)]
+pub struct RunAggregator {
+    values: BTreeMap<String, Vec<f64>>,
+}
+
+impl RunAggregator {
+    /// An empty aggregator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one value of `metric` from one run.
+    pub fn push(&mut self, metric: &str, value: f64) {
+        self.values.entry(metric.to_string()).or_default().push(value);
+    }
+
+    /// Records every field of an eval report at once.
+    pub fn push_report(&mut self, report: &crate::EvalReport) {
+        self.push("accuracy", report.accuracy);
+        self.push("delta_sp", report.delta_sp);
+        self.push("delta_eo", report.delta_eo);
+        self.push("auc", report.auc);
+        self.push("f1", report.f1);
+    }
+
+    /// Mean ± std of a metric, or `None` if it was never pushed.
+    pub fn mean_std(&self, metric: &str) -> Option<MeanStd> {
+        self.values.get(metric).map(|v| MeanStd::of(v))
+    }
+
+    /// Number of runs recorded for a metric.
+    pub fn run_count(&self, metric: &str) -> usize {
+        self.values.get(metric).map_or(0, Vec::len)
+    }
+
+    /// All metric names in deterministic order.
+    pub fn metrics(&self) -> impl Iterator<Item = &str> {
+        self.values.keys().map(String::as_str)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_std_known() {
+        let m = MeanStd::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((m.mean - 5.0).abs() < 1e-12);
+        // sample std of this classic example is ~2.138
+        assert!((m.std - 2.138089935).abs() < 1e-6);
+    }
+
+    #[test]
+    fn single_run_zero_std() {
+        let m = MeanStd::of(&[0.7]);
+        assert_eq!(m.mean, 0.7);
+        assert_eq!(m.std, 0.0);
+    }
+
+    #[test]
+    fn percent_cell_format() {
+        let m = MeanStd { mean: 0.8656, std: 0.0274 };
+        assert_eq!(m.percent_cell(), "86.56 ± 2.74");
+    }
+
+    #[test]
+    fn aggregator_counts_and_order() {
+        let mut a = RunAggregator::new();
+        a.push("z_metric", 1.0);
+        a.push("a_metric", 2.0);
+        a.push("a_metric", 4.0);
+        assert_eq!(a.run_count("a_metric"), 2);
+        assert_eq!(a.run_count("nope"), 0);
+        let names: Vec<&str> = a.metrics().collect();
+        assert_eq!(names, ["a_metric", "z_metric"]);
+        assert_eq!(a.mean_std("a_metric").unwrap().mean, 3.0);
+    }
+
+    #[test]
+    fn push_report_records_all_fields() {
+        let mut a = RunAggregator::new();
+        a.push_report(&crate::EvalReport {
+            accuracy: 0.9,
+            delta_sp: 0.1,
+            delta_eo: 0.05,
+            auc: 0.95,
+            f1: 0.88,
+        });
+        assert_eq!(a.metrics().count(), 5);
+        assert_eq!(a.mean_std("delta_eo").unwrap().mean, 0.05);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero runs")]
+    fn empty_aggregate_panics() {
+        let _ = MeanStd::of(&[]);
+    }
+}

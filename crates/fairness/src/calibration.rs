@@ -1,0 +1,178 @@
+//! Probability calibration diagnostics.
+//!
+//! Fairness interventions reshape the score distribution; a model can
+//! satisfy ΔSP while becoming badly miscalibrated (scores no longer mean
+//! probabilities), which matters when downstream decisions threshold at
+//! values other than 0.5. The experiments report ECE alongside the paper's
+//! metrics so that regression is visible.
+
+use serde::{Deserialize, Serialize};
+
+/// One bucket of a reliability diagram.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct ReliabilityBin {
+    /// Mean predicted probability of the samples in the bin.
+    pub mean_confidence: f64,
+    /// Empirical positive rate of the samples in the bin.
+    pub empirical_rate: f64,
+    /// Number of samples in the bin.
+    pub count: usize,
+}
+
+/// Expected calibration error over `bins` equal-width probability buckets:
+/// `ECE = Σ_b (n_b / N) · |conf_b − acc_b|`, in `[0, 1]`.
+///
+/// Also returns the reliability diagram. Empty bins are skipped.
+pub fn expected_calibration_error(
+    probs: &[f32],
+    labels: &[f32],
+    bins: usize,
+) -> (f64, Vec<ReliabilityBin>) {
+    assert_eq!(probs.len(), labels.len(), "probs vs labels length");
+    assert!(bins >= 1, "need at least one bin");
+    assert!(!probs.is_empty(), "empty evaluation set");
+    let mut conf_sum = vec![0.0f64; bins];
+    let mut pos_sum = vec![0.0f64; bins];
+    let mut counts = vec![0usize; bins];
+    for (&p, &y) in probs.iter().zip(labels) {
+        let b = ((p as f64 * bins as f64) as usize).min(bins - 1);
+        conf_sum[b] += p as f64;
+        pos_sum[b] += y as f64;
+        counts[b] += 1;
+    }
+    let n = probs.len() as f64;
+    let mut ece = 0.0f64;
+    let mut diagram = Vec::new();
+    for b in 0..bins {
+        if counts[b] == 0 {
+            continue;
+        }
+        let conf = conf_sum[b] / counts[b] as f64;
+        let rate = pos_sum[b] / counts[b] as f64;
+        ece += (counts[b] as f64 / n) * (conf - rate).abs();
+        diagram.push(ReliabilityBin { mean_confidence: conf, empirical_rate: rate, count: counts[b] });
+    }
+    (ece, diagram)
+}
+
+/// Per-sensitive-group breakdown of utility and score statistics — the
+/// subgroup table behind the ΔSP/ΔEO headline numbers.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct GroupReport {
+    /// Group size.
+    pub count: usize,
+    /// Accuracy within the group.
+    pub accuracy: f64,
+    /// Positive prediction rate `P(ŷ=1)`.
+    pub positive_rate: f64,
+    /// True positive rate `P(ŷ=1 | y=1)` (0 when the group has no positives).
+    pub tpr: f64,
+    /// Mean predicted probability.
+    pub mean_score: f64,
+}
+
+/// Computes [`GroupReport`]s for `(s = false, s = true)`.
+pub fn group_reports(probs: &[f32], labels: &[f32], sens: &[bool]) -> (GroupReport, GroupReport) {
+    assert!(
+        probs.len() == labels.len() && labels.len() == sens.len(),
+        "evaluation arrays disagree"
+    );
+    let report_for = |flag: bool| -> GroupReport {
+        let idx: Vec<usize> = (0..sens.len()).filter(|&i| sens[i] == flag).collect();
+        if idx.is_empty() {
+            return GroupReport { count: 0, accuracy: 0.0, positive_rate: 0.0, tpr: 0.0, mean_score: 0.0 };
+        }
+        let n = idx.len() as f64;
+        let correct = idx.iter().filter(|&&i| (probs[i] >= 0.5) == (labels[i] >= 0.5)).count();
+        let pos_pred = idx.iter().filter(|&&i| probs[i] >= 0.5).count();
+        let actual_pos: Vec<usize> = idx.iter().copied().filter(|&i| labels[i] >= 0.5).collect();
+        let tp = actual_pos.iter().filter(|&&i| probs[i] >= 0.5).count();
+        GroupReport {
+            count: idx.len(),
+            accuracy: correct as f64 / n,
+            positive_rate: pos_pred as f64 / n,
+            tpr: if actual_pos.is_empty() { 0.0 } else { tp as f64 / actual_pos.len() as f64 },
+            mean_score: idx.iter().map(|&i| probs[i] as f64).sum::<f64>() / n,
+        }
+    };
+    (report_for(false), report_for(true))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfectly_calibrated_scores_give_zero_ece() {
+        // Scores 0.25 with 25% positives, 0.75 with 75% positives.
+        let mut probs = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..100 {
+            probs.push(0.25);
+            labels.push(if i % 4 == 0 { 1.0 } else { 0.0 });
+            probs.push(0.75);
+            labels.push(if i % 4 != 0 { 1.0 } else { 0.0 });
+        }
+        let (ece, diagram) = expected_calibration_error(&probs, &labels, 10);
+        assert!(ece < 1e-9, "ece {ece}");
+        assert_eq!(diagram.len(), 2);
+    }
+
+    #[test]
+    fn overconfident_scores_give_high_ece() {
+        // Always predicts 0.99 but only half are positive.
+        let probs = vec![0.99f32; 100];
+        let labels: Vec<f32> = (0..100).map(|i| (i % 2) as f32).collect();
+        let (ece, _) = expected_calibration_error(&probs, &labels, 10);
+        assert!((ece - 0.49).abs() < 1e-2, "ece {ece}");
+    }
+
+    #[test]
+    fn ece_bounds() {
+        let probs = [0.1, 0.6, 0.8, 0.3];
+        let labels = [0.0, 1.0, 1.0, 1.0];
+        let (ece, _) = expected_calibration_error(&probs, &labels, 5);
+        assert!((0.0..=1.0).contains(&ece));
+    }
+
+    #[test]
+    fn group_reports_hand_computed() {
+        let probs = [0.9, 0.1, 0.8, 0.2];
+        let labels = [1.0, 1.0, 0.0, 0.0];
+        let sens = [false, false, true, true];
+        let (g0, g1) = group_reports(&probs, &labels, &sens);
+        assert_eq!(g0.count, 2);
+        assert_eq!(g0.accuracy, 0.5); // 0.9→1 ok, 0.1→1 wrong
+        assert_eq!(g0.positive_rate, 0.5);
+        assert_eq!(g0.tpr, 0.5);
+        assert!((g0.mean_score - 0.5).abs() < 1e-6);
+        assert_eq!(g1.tpr, 0.0); // no actual positives in group 1
+        assert_eq!(g1.accuracy, 0.5); // 0.8→1 wrong, 0.2→0 ok
+    }
+
+    #[test]
+    fn group_reports_consistent_with_gap_metrics() {
+        let probs = [0.9, 0.2, 0.7, 0.6, 0.3, 0.8];
+        let labels = [1.0, 1.0, 0.0, 1.0, 0.0, 1.0];
+        let sens = [false, true, false, true, false, true];
+        let (g0, g1) = group_reports(&probs, &labels, &sens);
+        let sp = crate::delta_sp(&probs, &sens);
+        assert!((sp - (g0.positive_rate - g1.positive_rate).abs()) < 1e-12);
+        let eo = crate::delta_eo(&probs, &labels, &sens);
+        assert!((eo - (g0.tpr - g1.tpr).abs()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_group_is_zeroed() {
+        let (g0, g1) = group_reports(&[0.9], &[1.0], &[false]);
+        assert_eq!(g0.count, 1);
+        assert_eq!(g1.count, 0);
+        assert_eq!(g1.accuracy, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty evaluation set")]
+    fn ece_empty_panics() {
+        let _ = expected_calibration_error(&[], &[], 4);
+    }
+}

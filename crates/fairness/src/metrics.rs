@@ -1,0 +1,372 @@
+//! The metrics themselves: accuracy, AUC, F1, ΔSP, ΔEO.
+
+use serde::{Deserialize, Serialize};
+
+/// Validates the three parallel evaluation arrays and panics with a clear
+/// message on mismatch.
+fn check_lengths(preds: usize, labels: usize, sens: usize) {
+    assert!(
+        preds == labels && labels == sens,
+        "evaluation arrays disagree: {preds} preds, {labels} labels, {sens} sensitive"
+    );
+}
+
+/// Classification accuracy of thresholded predictions.
+///
+/// `probs[i]` is `P(y=1)`; the threshold is 0.5.
+pub fn accuracy(probs: &[f32], labels: &[f32]) -> f64 {
+    assert_eq!(probs.len(), labels.len(), "probs vs labels length");
+    assert!(!probs.is_empty(), "empty evaluation set");
+    let correct = probs
+        .iter()
+        .zip(labels)
+        .filter(|(&p, &y)| (p >= 0.5) == (y >= 0.5))
+        .count();
+    correct as f64 / probs.len() as f64
+}
+
+/// Statistical parity gap (paper Eq. 43):
+/// `ΔSP = |P(ŷ=1 | s=0) − P(ŷ=1 | s=1)|`, in `[0, 1]`.
+///
+/// Returns 0 when either group is empty (no gap is measurable).
+pub fn delta_sp(probs: &[f32], sens: &[bool]) -> f64 {
+    assert_eq!(probs.len(), sens.len(), "probs vs sensitive length");
+    let (mut pos0, mut n0, mut pos1, mut n1) = (0usize, 0usize, 0usize, 0usize);
+    for (&p, &s) in probs.iter().zip(sens) {
+        let positive = p >= 0.5;
+        if s {
+            n1 += 1;
+            pos1 += positive as usize;
+        } else {
+            n0 += 1;
+            pos0 += positive as usize;
+        }
+    }
+    if n0 == 0 || n1 == 0 {
+        return 0.0;
+    }
+    (pos0 as f64 / n0 as f64 - pos1 as f64 / n1 as f64).abs()
+}
+
+/// Equal opportunity gap (paper Eq. 44):
+/// `ΔEO = |P(ŷ=1 | y=1, s=0) − P(ŷ=1 | y=1, s=1)|`, in `[0, 1]`.
+///
+/// Returns 0 when either group has no positive instances.
+pub fn delta_eo(probs: &[f32], labels: &[f32], sens: &[bool]) -> f64 {
+    check_lengths(probs.len(), labels.len(), sens.len());
+    let (mut tp0, mut p0, mut tp1, mut p1) = (0usize, 0usize, 0usize, 0usize);
+    for ((&p, &y), &s) in probs.iter().zip(labels).zip(sens) {
+        if y < 0.5 {
+            continue;
+        }
+        let positive = p >= 0.5;
+        if s {
+            p1 += 1;
+            tp1 += positive as usize;
+        } else {
+            p0 += 1;
+            tp0 += positive as usize;
+        }
+    }
+    if p0 == 0 || p1 == 0 {
+        return 0.0;
+    }
+    (tp0 as f64 / p0 as f64 - tp1 as f64 / p1 as f64).abs()
+}
+
+/// Area under the ROC curve via the rank statistic (Mann–Whitney U).
+/// Ties in scores contribute half. Returns 0.5 when one class is absent.
+pub fn auc_roc(probs: &[f32], labels: &[f32]) -> f64 {
+    assert_eq!(probs.len(), labels.len(), "probs vs labels length");
+    let mut pos: Vec<f32> = Vec::new();
+    let mut neg: Vec<f32> = Vec::new();
+    for (&p, &y) in probs.iter().zip(labels) {
+        if y >= 0.5 {
+            pos.push(p)
+        } else {
+            neg.push(p)
+        }
+    }
+    if pos.is_empty() || neg.is_empty() {
+        return 0.5;
+    }
+    // Sort-based O((n+m) log(n+m)) computation.
+    let mut all: Vec<(f32, bool)> = pos
+        .iter()
+        .map(|&p| (p, true))
+        .chain(neg.iter().map(|&p| (p, false)))
+        .collect();
+    all.sort_by(|a, b| a.0.total_cmp(&b.0));
+    // Assign average ranks over tie groups.
+    let mut rank_sum_pos = 0.0f64;
+    let mut i = 0;
+    while i < all.len() {
+        let mut j = i;
+        while j + 1 < all.len() && all[j + 1].0 == all[i].0 {
+            j += 1;
+        }
+        let avg_rank = ((i + 1 + j + 1) as f64) / 2.0;
+        for item in &all[i..=j] {
+            if item.1 {
+                rank_sum_pos += avg_rank;
+            }
+        }
+        i = j + 1;
+    }
+    let n_pos = pos.len() as f64;
+    let n_neg = neg.len() as f64;
+    (rank_sum_pos - n_pos * (n_pos + 1.0) / 2.0) / (n_pos * n_neg)
+}
+
+/// F1 score of the positive class. Returns 0 when precision+recall is 0.
+pub fn f1_score(probs: &[f32], labels: &[f32]) -> f64 {
+    assert_eq!(probs.len(), labels.len(), "probs vs labels length");
+    let (mut tp, mut fp, mut fn_) = (0usize, 0usize, 0usize);
+    for (&p, &y) in probs.iter().zip(labels) {
+        let pred = p >= 0.5;
+        let actual = y >= 0.5;
+        match (pred, actual) {
+            (true, true) => tp += 1,
+            (true, false) => fp += 1,
+            (false, true) => fn_ += 1,
+            (false, false) => {}
+        }
+    }
+    let denom = 2 * tp + fp + fn_;
+    if denom == 0 {
+        0.0
+    } else {
+        2.0 * tp as f64 / denom as f64
+    }
+}
+
+/// Counterfactual consistency: the fraction of `(node, counterfactual)`
+/// pairs whose thresholded predictions agree.
+///
+/// This is the direct operationalisation of graph counterfactual fairness —
+/// a prediction should not change when a node is swapped for its
+/// counterfactual. 1.0 = perfectly consistent.
+///
+/// Returns 1.0 for an empty pair list (nothing to violate).
+pub fn counterfactual_consistency(probs: &[f32], pairs: &[(usize, usize)]) -> f64 {
+    if pairs.is_empty() {
+        return 1.0;
+    }
+    let agree = pairs
+        .iter()
+        .filter(|&&(a, b)| (probs[a] >= 0.5) == (probs[b] >= 0.5))
+        .count();
+    agree as f64 / pairs.len() as f64
+}
+
+/// Per-sensitive-group confusion counts, for subgroup analysis.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GroupConfusion {
+    /// True positives.
+    pub tp: usize,
+    /// False positives.
+    pub fp: usize,
+    /// True negatives.
+    pub tn: usize,
+    /// False negatives.
+    pub fn_: usize,
+}
+
+impl GroupConfusion {
+    /// Group size.
+    pub fn total(&self) -> usize {
+        self.tp + self.fp + self.tn + self.fn_
+    }
+
+    /// Positive prediction rate `P(ŷ=1)` within the group.
+    pub fn positive_rate(&self) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            0.0
+        } else {
+            (self.tp + self.fp) as f64 / t as f64
+        }
+    }
+
+    /// True positive rate `P(ŷ=1 | y=1)` within the group.
+    pub fn tpr(&self) -> f64 {
+        let p = self.tp + self.fn_;
+        if p == 0 {
+            0.0
+        } else {
+            self.tp as f64 / p as f64
+        }
+    }
+}
+
+/// Confusion counts for `(s = false, s = true)`.
+pub fn group_confusion(probs: &[f32], labels: &[f32], sens: &[bool]) -> (GroupConfusion, GroupConfusion) {
+    check_lengths(probs.len(), labels.len(), sens.len());
+    let mut g = (GroupConfusion::default(), GroupConfusion::default());
+    for ((&p, &y), &s) in probs.iter().zip(labels).zip(sens) {
+        let gc = if s { &mut g.1 } else { &mut g.0 };
+        match (p >= 0.5, y >= 0.5) {
+            (true, true) => gc.tp += 1,
+            (true, false) => gc.fp += 1,
+            (false, false) => gc.tn += 1,
+            (false, true) => gc.fn_ += 1,
+        }
+    }
+    g
+}
+
+/// The full evaluation bundle for one trained model on one test set — the
+/// three columns of Table II plus AUC/F1 extras.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct EvalReport {
+    /// Accuracy (Table II `ACC`, as a fraction — multiply by 100 to match).
+    pub accuracy: f64,
+    /// Statistical parity gap (Table II `ΔDP`).
+    pub delta_sp: f64,
+    /// Equal opportunity gap (Table II `ΔEO`).
+    pub delta_eo: f64,
+    /// Area under ROC.
+    pub auc: f64,
+    /// Positive-class F1.
+    pub f1: f64,
+}
+
+impl EvalReport {
+    /// Evaluates thresholded probabilities against labels and the revealed
+    /// sensitive attribute.
+    pub fn compute(probs: &[f32], labels: &[f32], sens: &[bool]) -> Self {
+        check_lengths(probs.len(), labels.len(), sens.len());
+        Self {
+            accuracy: accuracy(probs, labels),
+            delta_sp: delta_sp(probs, sens),
+            delta_eo: delta_eo(probs, labels, sens),
+            auc: auc_roc(probs, labels),
+            f1: f1_score(probs, labels),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_known() {
+        assert_eq!(accuracy(&[0.9, 0.1, 0.6], &[1.0, 0.0, 0.0]), 2.0 / 3.0);
+        assert_eq!(accuracy(&[0.9], &[1.0]), 1.0);
+    }
+
+    #[test]
+    fn delta_sp_hand_computed() {
+        // group0: preds 1,0 → rate 0.5; group1: preds 1,1 → rate 1.0.
+        let probs = [0.9, 0.1, 0.8, 0.7];
+        let sens = [false, false, true, true];
+        assert!((delta_sp(&probs, &sens) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delta_sp_zero_for_identical_rates() {
+        let probs = [0.9, 0.1, 0.9, 0.1];
+        let sens = [false, false, true, true];
+        assert_eq!(delta_sp(&probs, &sens), 0.0);
+    }
+
+    #[test]
+    fn delta_sp_empty_group_is_zero() {
+        assert_eq!(delta_sp(&[0.9, 0.2], &[false, false]), 0.0);
+    }
+
+    #[test]
+    fn delta_eo_hand_computed() {
+        // positives: idx0 (s=0, pred 1), idx2 (s=1, pred 0)
+        // TPR group0 = 1, TPR group1 = 0 → ΔEO = 1.
+        let probs = [0.9, 0.9, 0.1, 0.1];
+        let labels = [1.0, 0.0, 1.0, 0.0];
+        let sens = [false, false, true, true];
+        assert_eq!(delta_eo(&probs, &labels, &sens), 1.0);
+    }
+
+    #[test]
+    fn delta_eo_ignores_negatives() {
+        // All negatives in group1 ⇒ no positive instances ⇒ gap 0.
+        let probs = [0.9, 0.9];
+        let labels = [1.0, 0.0];
+        let sens = [false, true];
+        assert_eq!(delta_eo(&probs, &labels, &sens), 0.0);
+    }
+
+    #[test]
+    fn auc_perfect_and_inverted() {
+        let labels = [1.0, 1.0, 0.0, 0.0];
+        assert_eq!(auc_roc(&[0.9, 0.8, 0.2, 0.1], &labels), 1.0);
+        assert_eq!(auc_roc(&[0.1, 0.2, 0.8, 0.9], &labels), 0.0);
+    }
+
+    #[test]
+    fn auc_ties_give_half() {
+        let labels = [1.0, 0.0];
+        assert_eq!(auc_roc(&[0.5, 0.5], &labels), 0.5);
+    }
+
+    #[test]
+    fn auc_single_class_is_half() {
+        assert_eq!(auc_roc(&[0.9, 0.8], &[1.0, 1.0]), 0.5);
+    }
+
+    #[test]
+    fn f1_known() {
+        // tp=1, fp=1, fn=1 ⇒ F1 = 2/4 = 0.5.
+        let probs = [0.9, 0.9, 0.1, 0.1];
+        let labels = [1.0, 0.0, 1.0, 0.0];
+        assert_eq!(f1_score(&probs, &labels), 0.5);
+        assert_eq!(f1_score(&[0.1], &[0.0]), 0.0);
+    }
+
+    #[test]
+    fn group_confusion_counts() {
+        let probs = [0.9, 0.9, 0.1, 0.1];
+        let labels = [1.0, 0.0, 1.0, 0.0];
+        let sens = [false, true, false, true];
+        let (g0, g1) = group_confusion(&probs, &labels, &sens);
+        assert_eq!(g0, GroupConfusion { tp: 1, fp: 0, tn: 0, fn_: 1 });
+        assert_eq!(g1, GroupConfusion { tp: 0, fp: 1, tn: 1, fn_: 0 });
+        assert_eq!(g0.tpr(), 0.5);
+        assert_eq!(g1.positive_rate(), 0.5);
+    }
+
+    #[test]
+    fn metric_gaps_match_group_confusion() {
+        let probs = [0.9, 0.2, 0.7, 0.6, 0.3, 0.8];
+        let labels = [1.0, 1.0, 0.0, 1.0, 0.0, 1.0];
+        let sens = [false, true, false, true, false, true];
+        let (g0, g1) = group_confusion(&probs, &labels, &sens);
+        let sp = delta_sp(&probs, &sens);
+        assert!((sp - (g0.positive_rate() - g1.positive_rate()).abs()) < 1e-12);
+        let eo = delta_eo(&probs, &labels, &sens);
+        assert!((eo - (g0.tpr() - g1.tpr()).abs()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn counterfactual_consistency_counts_agreement() {
+        let probs = [0.9, 0.8, 0.1, 0.6];
+        // (0,1) agree, (0,2) disagree, (2,3) disagree.
+        let pairs = [(0usize, 1usize), (0, 2), (2, 3)];
+        assert!((counterfactual_consistency(&probs, &pairs) - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(counterfactual_consistency(&probs, &[]), 1.0);
+        assert_eq!(counterfactual_consistency(&probs, &[(0, 0)]), 1.0);
+    }
+
+    #[test]
+    fn eval_report_bundles() {
+        let r = EvalReport::compute(&[0.9, 0.1], &[1.0, 0.0], &[false, true]);
+        assert_eq!(r.accuracy, 1.0);
+        assert_eq!(r.auc, 1.0);
+        assert!(r.delta_sp > 0.0); // group0 always positive, group1 never
+    }
+
+    #[test]
+    #[should_panic(expected = "evaluation arrays disagree")]
+    fn mismatched_lengths_panic() {
+        let _ = delta_eo(&[0.5], &[1.0, 0.0], &[true, false]);
+    }
+}

@@ -1,0 +1,81 @@
+//! Property-based tests for the fairness metrics.
+
+use fairwos_fairness::{accuracy, auc_roc, delta_eo, delta_sp, f1_score, EvalReport, MeanStd};
+use proptest::prelude::*;
+
+/// Strategy: parallel (probs, labels, sensitive) arrays.
+fn eval_arrays(n: std::ops::Range<usize>) -> impl Strategy<Value = (Vec<f32>, Vec<f32>, Vec<bool>)> {
+    n.prop_flat_map(|len| {
+        (
+            prop::collection::vec(0.0f32..1.0, len),
+            prop::collection::vec(prop::bool::ANY, len),
+            prop::collection::vec(prop::bool::ANY, len),
+        )
+            .prop_map(|(p, y, s)| (p, y.into_iter().map(|b| if b { 1.0 } else { 0.0 }).collect(), s))
+    })
+}
+
+proptest! {
+    #[test]
+    fn all_metrics_in_unit_interval((p, y, s) in eval_arrays(1..40)) {
+        let r = EvalReport::compute(&p, &y, &s);
+        for v in [r.accuracy, r.delta_sp, r.delta_eo, r.auc, r.f1] {
+            prop_assert!((0.0..=1.0).contains(&v), "metric {v} outside [0,1]");
+        }
+    }
+
+    #[test]
+    fn delta_sp_symmetric_in_group_swap((p, _y, s) in eval_arrays(1..40)) {
+        let flipped: Vec<bool> = s.iter().map(|&b| !b).collect();
+        prop_assert_eq!(delta_sp(&p, &s), delta_sp(&p, &flipped));
+    }
+
+    #[test]
+    fn delta_eo_symmetric_in_group_swap((p, y, s) in eval_arrays(1..40)) {
+        let flipped: Vec<bool> = s.iter().map(|&b| !b).collect();
+        prop_assert_eq!(delta_eo(&p, &y, &s), delta_eo(&p, &y, &flipped));
+    }
+
+    #[test]
+    fn perfect_predictions_have_max_utility((_, y, s) in eval_arrays(2..40)) {
+        let p: Vec<f32> = y.iter().map(|&v| if v >= 0.5 { 0.99 } else { 0.01 }).collect();
+        prop_assert_eq!(accuracy(&p, &y), 1.0);
+        let has_both = y.iter().any(|&v| v >= 0.5) && y.iter().any(|&v| v < 0.5);
+        if has_both {
+            prop_assert_eq!(auc_roc(&p, &y), 1.0);
+            prop_assert_eq!(f1_score(&p, &y), 1.0);
+        }
+        // Perfect prediction ⇒ ΔEO = |1 − 1| = 0 whenever both groups have positives.
+        let g0_pos = y.iter().zip(&s).any(|(&v, &g)| v >= 0.5 && !g);
+        let g1_pos = y.iter().zip(&s).any(|(&v, &g)| v >= 0.5 && g);
+        if g0_pos && g1_pos {
+            prop_assert_eq!(delta_eo(&p, &y, &s), 0.0);
+        }
+    }
+
+    #[test]
+    fn constant_prediction_is_perfectly_sp_fair((_, y, s) in eval_arrays(1..40), c in 0.0f32..1.0) {
+        let p = vec![c; y.len()];
+        prop_assert_eq!(delta_sp(&p, &s), 0.0);
+        prop_assert_eq!(delta_eo(&p, &y, &s), 0.0);
+    }
+
+    #[test]
+    fn auc_invariant_under_monotone_transform((p, y, _) in eval_arrays(2..30)) {
+        let squashed: Vec<f32> = p.iter().map(|&v| v * v * 0.5).collect(); // strictly monotone on [0,1]
+        let a1 = auc_roc(&p, &y);
+        let a2 = auc_roc(&squashed, &y);
+        prop_assert!((a1 - a2).abs() < 1e-9, "{a1} vs {a2}");
+    }
+
+    #[test]
+    fn mean_std_bounds(values in prop::collection::vec(0.0f64..1.0, 1..20)) {
+        let m = MeanStd::of(&values);
+        let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(m.mean >= lo - 1e-12 && m.mean <= hi + 1e-12);
+        prop_assert!(m.std >= 0.0);
+        // std is at most half the range times sqrt(n/(n-1)) — loose bound: range.
+        prop_assert!(m.std <= (hi - lo) + 1e-12 || values.len() == 1);
+    }
+}

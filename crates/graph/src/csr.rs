@@ -1,0 +1,250 @@
+//! General sparse matrix in CSR form with `f32` values, and its
+//! sparse–dense products (SPMM).
+
+use fairwos_tensor::Matrix;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// A sparse `rows × cols` matrix in CSR form.
+///
+/// Used for normalized adjacencies: the GCN propagation `Â·X` and its
+/// backward pass `Âᵀ·dH` are both [`CsrMatrix::spmm`] calls (for the
+/// symmetric `Â` the transpose is free; [`CsrMatrix::transpose`] exists for
+/// the general case).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    values: Vec<f32>,
+}
+
+impl CsrMatrix {
+    /// Builds from COO triplets. Entries must not repeat (adjacency
+    /// construction guarantees this); order is arbitrary.
+    pub fn from_triplets(rows: usize, cols: usize, triplets: &[(usize, usize, f32)]) -> Self {
+        let mut deg = vec![0usize; rows];
+        for &(r, c, _) in triplets {
+            assert!(r < rows && c < cols, "entry ({r},{c}) out of {rows}x{cols}");
+            deg[r] += 1;
+        }
+        let mut row_ptr = vec![0usize; rows + 1];
+        for r in 0..rows {
+            row_ptr[r + 1] = row_ptr[r] + deg[r];
+        }
+        let nnz = row_ptr[rows];
+        let mut col_idx = vec![0usize; nnz];
+        let mut values = vec![0.0f32; nnz];
+        let mut cursor = row_ptr.clone();
+        for &(r, c, v) in triplets {
+            col_idx[cursor[r]] = c;
+            values[cursor[r]] = v;
+            cursor[r] += 1;
+        }
+        // Sort each row by column for deterministic iteration.
+        for r in 0..rows {
+            let lo = row_ptr[r];
+            let hi = row_ptr[r + 1];
+            let mut pairs: Vec<(usize, f32)> =
+                col_idx[lo..hi].iter().copied().zip(values[lo..hi].iter().copied()).collect();
+            pairs.sort_unstable_by_key(|&(c, _)| c);
+            for (i, (c, v)) in pairs.into_iter().enumerate() {
+                col_idx[lo + i] = c;
+                values[lo + i] = v;
+            }
+        }
+        Self { rows, cols, row_ptr, col_idx, values }
+    }
+
+    /// The `n × n` identity as CSR.
+    pub fn identity(n: usize) -> Self {
+        let triplets: Vec<(usize, usize, f32)> = (0..n).map(|i| (i, i, 1.0)).collect();
+        Self::from_triplets(n, n, &triplets)
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The stored entries of row `r` as parallel `(columns, values)` slices.
+    #[inline]
+    pub fn row(&self, r: usize) -> (&[usize], &[f32]) {
+        let lo = self.row_ptr[r];
+        let hi = self.row_ptr[r + 1];
+        (&self.col_idx[lo..hi], &self.values[lo..hi])
+    }
+
+    /// Reads entry `(r, c)`, 0.0 when absent.
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        let (cols, vals) = self.row(r);
+        match cols.binary_search(&c) {
+            Ok(i) => vals[i],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Sparse–dense product `self · dense`.
+    ///
+    /// The GCN forward propagation. Parallelises over output rows.
+    ///
+    /// # Panics
+    /// If `self.cols() != dense.rows()`.
+    pub fn spmm(&self, dense: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols,
+            dense.rows(),
+            "spmm: sparse {}x{} · dense {}x{}",
+            self.rows,
+            self.cols,
+            dense.rows(),
+            dense.cols()
+        );
+        let d = dense.cols();
+        let mut out = Matrix::zeros(self.rows, d);
+        let body = |(r, out_row): (usize, &mut [f32])| {
+            let (cols, vals) = self.row(r);
+            for (&c, &v) in cols.iter().zip(vals) {
+                let src = dense.row(c);
+                for (o, &s) in out_row.iter_mut().zip(src) {
+                    *o += v * s;
+                }
+            }
+        };
+        if self.nnz() * d >= 1 << 16 {
+            out.as_mut_slice().par_chunks_mut(d).enumerate().for_each(body);
+        } else {
+            out.as_mut_slice().chunks_mut(d).enumerate().for_each(body);
+        }
+        out
+    }
+
+    /// The transpose as a new CSR matrix.
+    pub fn transpose(&self) -> CsrMatrix {
+        let mut triplets = Vec::with_capacity(self.nnz());
+        for r in 0..self.rows {
+            let (cols, vals) = self.row(r);
+            for (&c, &v) in cols.iter().zip(vals) {
+                triplets.push((c, r, v));
+            }
+        }
+        CsrMatrix::from_triplets(self.cols, self.rows, &triplets)
+    }
+
+    /// True if the matrix equals its transpose within `tol` (the normalized
+    /// adjacency of an undirected graph must be).
+    pub fn is_symmetric(&self, tol: f32) -> bool {
+        if self.rows != self.cols {
+            return false;
+        }
+        for r in 0..self.rows {
+            let (cols, vals) = self.row(r);
+            for (&c, &v) in cols.iter().zip(vals) {
+                if (self.get(c, r) - v).abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Densifies (test/debug helper; quadratic memory).
+    pub fn to_dense(&self) -> Matrix {
+        let mut m = Matrix::zeros(self.rows, self.cols);
+        for r in 0..self.rows {
+            let (cols, vals) = self.row(r);
+            for (&c, &v) in cols.iter().zip(vals) {
+                m.set(r, c, v);
+            }
+        }
+        m
+    }
+
+    /// Per-row sums of stored values.
+    pub fn row_sums(&self) -> Vec<f32> {
+        (0..self.rows).map(|r| self.row(r).1.iter().sum()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairwos_tensor::approx_eq;
+
+    fn sample() -> CsrMatrix {
+        CsrMatrix::from_triplets(3, 3, &[(0, 1, 2.0), (1, 0, 3.0), (2, 2, 1.0), (0, 2, 4.0)])
+    }
+
+    #[test]
+    fn construction_and_access() {
+        let m = sample();
+        assert_eq!(m.nnz(), 4);
+        assert_eq!(m.get(0, 1), 2.0);
+        assert_eq!(m.get(0, 2), 4.0);
+        assert_eq!(m.get(0, 0), 0.0);
+        let (cols, vals) = m.row(0);
+        assert_eq!(cols, &[1, 2]); // sorted by column
+        assert_eq!(vals, &[2.0, 4.0]);
+    }
+
+    #[test]
+    fn identity_spmm_is_noop() {
+        let i = CsrMatrix::identity(4);
+        let x = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0], &[7.0, 8.0]]);
+        assert_eq!(i.spmm(&x), x);
+    }
+
+    #[test]
+    fn spmm_matches_dense() {
+        let s = sample();
+        let x = Matrix::from_rows(&[&[1.0, 0.5], &[2.0, 1.5], &[3.0, 2.5]]);
+        let sparse_result = s.spmm(&x);
+        let dense_result = s.to_dense().matmul(&x);
+        for (a, b) in sparse_result.as_slice().iter().zip(dense_result.as_slice()) {
+            assert!(approx_eq(*a, *b, 1e-5));
+        }
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let s = sample();
+        assert_eq!(s.transpose().transpose(), s);
+        assert_eq!(s.transpose().get(1, 0), 2.0);
+    }
+
+    #[test]
+    fn symmetry_detection() {
+        let sym = CsrMatrix::from_triplets(2, 2, &[(0, 1, 1.0), (1, 0, 1.0)]);
+        assert!(sym.is_symmetric(1e-6));
+        let asym = CsrMatrix::from_triplets(2, 2, &[(0, 1, 1.0)]);
+        assert!(!asym.is_symmetric(1e-6));
+        let rect = CsrMatrix::from_triplets(2, 3, &[]);
+        assert!(!rect.is_symmetric(1e-6));
+    }
+
+    #[test]
+    fn row_sums() {
+        let s = sample();
+        assert_eq!(s.row_sums(), vec![6.0, 3.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn from_triplets_rejects_out_of_range() {
+        let _ = CsrMatrix::from_triplets(2, 2, &[(0, 5, 1.0)]);
+    }
+}

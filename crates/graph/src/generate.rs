@@ -1,0 +1,248 @@
+//! Random-graph generators.
+//!
+//! Two families:
+//!
+//! * [`erdos_renyi`] — the null model, used by tests and micro-benchmarks.
+//! * [`sensitive_sbm`] — a two-block stochastic block model whose blocks are
+//!   the *sensitive groups*. This is the structural half of the bias model
+//!   behind every synthetic benchmark: real fairness datasets exhibit
+//!   *sensitive homophily* (same-group nodes link more often), which is how
+//!   a GNN's message passing leaks the hidden sensitive attribute even when
+//!   the attribute itself is absent from the features.
+
+use crate::{Graph, GraphBuilder};
+use rand::Rng;
+
+/// Erdős–Rényi `G(n, p)`: every unordered pair is an edge independently with
+/// probability `p`.
+///
+/// Sampling uses geometric skips, so the cost is `O(n + |E|)` rather than
+/// `O(n²)` — `G(n, p)` at Table-I scale (30k nodes) stays fast.
+pub fn erdos_renyi(n: usize, p: f64, rng: &mut impl Rng) -> Graph {
+    assert!((0.0..=1.0).contains(&p), "p = {p} outside [0, 1]");
+    let mut b = GraphBuilder::new(n);
+    if p <= 0.0 || n < 2 {
+        return b.build();
+    }
+    if p >= 1.0 {
+        for u in 0..n {
+            for v in (u + 1)..n {
+                b.add_edge(u, v);
+            }
+        }
+        return b.build();
+    }
+    // Walk the strictly-upper-triangular pairs in row-major order, skipping
+    // geometrically distributed gaps between successes.
+    let log_q = (1.0 - p).ln();
+    let total_pairs = n * (n - 1) / 2;
+    let mut idx: u64 = 0;
+    loop {
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let skip = (u.ln() / log_q).floor() as u64;
+        idx = idx.saturating_add(skip).saturating_add(1);
+        if idx > total_pairs as u64 {
+            break;
+        }
+        let (a, bb) = pair_from_index(n, (idx - 1) as usize);
+        b.add_edge(a, bb);
+    }
+    b.build()
+}
+
+/// Maps a linear index in `[0, n(n-1)/2)` to the corresponding unordered
+/// pair `(u, v)` with `u < v`, enumerated row-major.
+fn pair_from_index(n: usize, idx: usize) -> (usize, usize) {
+    // Row u contributes (n - 1 - u) pairs. Find u by walking rows; n is at
+    // most tens of thousands so the loop is negligible next to edge work.
+    let mut remaining = idx;
+    for u in 0..n {
+        let row = n - 1 - u;
+        if remaining < row {
+            return (u, u + 1 + remaining);
+        }
+        remaining -= row;
+    }
+    unreachable!("index {idx} out of range for n = {n}")
+}
+
+/// Two-block stochastic block model keyed by a binary sensitive attribute.
+///
+/// `sens[v] ∈ {0, 1}` assigns each node to a block; same-block pairs link
+/// with probability `p_intra`, cross-block pairs with `p_inter`.
+/// `p_intra > p_inter` produces sensitive homophily; the ratio controls how
+/// much structure leaks the hidden attribute.
+pub fn sensitive_sbm(sens: &[bool], p_intra: f64, p_inter: f64, rng: &mut impl Rng) -> Graph {
+    assert!((0.0..=1.0).contains(&p_intra) && (0.0..=1.0).contains(&p_inter));
+    let n = sens.len();
+    let mut b = GraphBuilder::new(n);
+    // Sample per-pair; block sizes in our benchmarks keep this tractable at
+    // the default scale, and the geometric-skip trick is applied per stratum.
+    let groups: [Vec<usize>; 2] = {
+        let mut g0 = Vec::new();
+        let mut g1 = Vec::new();
+        for (v, &s) in sens.iter().enumerate() {
+            if s {
+                g1.push(v)
+            } else {
+                g0.push(v)
+            }
+        }
+        [g0, g1]
+    };
+    // Intra-block edges for each group.
+    for group in &groups {
+        sample_pairs_within(group, p_intra, rng, &mut b);
+    }
+    // Inter-block edges.
+    sample_pairs_between(&groups[0], &groups[1], p_inter, rng, &mut b);
+    b.build()
+}
+
+/// Samples Bernoulli(`p`) edges among all unordered pairs within `nodes`,
+/// adding them to `b`. Exposed for stratified generators (the synthetic
+/// benchmarks sample edges per (sensitive, label) stratum).
+pub fn sample_pairs_within(nodes: &[usize], p: f64, rng: &mut impl Rng, b: &mut GraphBuilder) {
+    let m = nodes.len();
+    if m < 2 || p <= 0.0 {
+        return;
+    }
+    let total = m * (m - 1) / 2;
+    for idx in sample_indices(total, p, rng) {
+        let (i, j) = pair_from_index(m, idx);
+        b.add_edge(nodes[i], nodes[j]);
+    }
+}
+
+/// Samples Bernoulli(`p`) edges among all pairs between the disjoint node
+/// sets `a` and `c`, adding them to `b`.
+pub fn sample_pairs_between(a: &[usize], c: &[usize], p: f64, rng: &mut impl Rng, b: &mut GraphBuilder) {
+    if a.is_empty() || c.is_empty() || p <= 0.0 {
+        return;
+    }
+    let total = a.len() * c.len();
+    for idx in sample_indices(total, p, rng) {
+        b.add_edge(a[idx / c.len()], c[idx % c.len()]);
+    }
+}
+
+/// Indices of successes among `total` Bernoulli(p) trials via geometric skips.
+fn sample_indices(total: usize, p: f64, rng: &mut impl Rng) -> Vec<usize> {
+    if p >= 1.0 {
+        return (0..total).collect();
+    }
+    let log_q = (1.0 - p).ln();
+    let mut out = Vec::new();
+    let mut idx: u64 = 0;
+    loop {
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let skip = (u.ln() / log_q).floor() as u64;
+        idx = idx.saturating_add(skip).saturating_add(1);
+        if idx > total as u64 {
+            break;
+        }
+        out.push((idx - 1) as usize);
+    }
+    out
+}
+
+/// Fraction of edges whose endpoints share the sensitive attribute.
+/// 0.5 means no homophily; 1.0 means perfectly segregated.
+pub fn sensitive_homophily(g: &Graph, sens: &[bool]) -> f64 {
+    assert_eq!(sens.len(), g.num_nodes());
+    let mut same = 0usize;
+    let mut total = 0usize;
+    for (u, v) in g.edges() {
+        total += 1;
+        if sens[u] == sens[v] {
+            same += 1;
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        same as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairwos_tensor::seeded_rng;
+
+    #[test]
+    fn pair_from_index_enumerates_all_pairs() {
+        let n = 6;
+        let mut seen = std::collections::HashSet::new();
+        for idx in 0..n * (n - 1) / 2 {
+            let (u, v) = pair_from_index(n, idx);
+            assert!(u < v && v < n);
+            assert!(seen.insert((u, v)), "duplicate pair ({u},{v})");
+        }
+        assert_eq!(seen.len(), 15);
+    }
+
+    #[test]
+    fn erdos_renyi_extremes() {
+        let mut rng = seeded_rng(7);
+        let empty = erdos_renyi(10, 0.0, &mut rng);
+        assert_eq!(empty.num_edges(), 0);
+        let complete = erdos_renyi(10, 1.0, &mut rng);
+        assert_eq!(complete.num_edges(), 45);
+    }
+
+    #[test]
+    fn erdos_renyi_density_close_to_p() {
+        let mut rng = seeded_rng(8);
+        let n = 300;
+        let p = 0.05;
+        let g = erdos_renyi(n, p, &mut rng);
+        let expected = p * (n * (n - 1) / 2) as f64;
+        let got = g.num_edges() as f64;
+        assert!(
+            (got - expected).abs() < 0.15 * expected,
+            "edges {got} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn erdos_renyi_deterministic_given_seed() {
+        let a = erdos_renyi(50, 0.1, &mut seeded_rng(3));
+        let b = erdos_renyi(50, 0.1, &mut seeded_rng(3));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sbm_produces_homophily() {
+        let mut rng = seeded_rng(9);
+        let sens: Vec<bool> = (0..400).map(|i| i % 2 == 0).collect();
+        let g = sensitive_sbm(&sens, 0.05, 0.005, &mut rng);
+        let h = sensitive_homophily(&g, &sens);
+        assert!(h > 0.8, "homophily {h} too low for 10:1 intra/inter ratio");
+        assert!(g.num_edges() > 0);
+    }
+
+    #[test]
+    fn sbm_no_homophily_when_rates_equal() {
+        let mut rng = seeded_rng(10);
+        let sens: Vec<bool> = (0..400).map(|i| i % 2 == 0).collect();
+        let g = sensitive_sbm(&sens, 0.02, 0.02, &mut rng);
+        let h = sensitive_homophily(&g, &sens);
+        assert!((h - 0.5).abs() < 0.1, "homophily {h} should be ~0.5");
+    }
+
+    #[test]
+    fn sbm_handles_single_group() {
+        let mut rng = seeded_rng(11);
+        let sens = vec![false; 20];
+        let g = sensitive_sbm(&sens, 0.3, 0.9, &mut rng);
+        assert!(g.num_edges() > 0);
+        assert_eq!(sensitive_homophily(&g, &sens), 1.0);
+    }
+
+    #[test]
+    fn homophily_empty_graph_is_zero() {
+        let g = GraphBuilder::new(3).build();
+        assert_eq!(sensitive_homophily(&g, &[true, false, true]), 0.0);
+    }
+}

@@ -1,0 +1,306 @@
+//! Undirected graph in CSR (compressed sparse row) form.
+
+use serde::{Deserialize, Serialize};
+
+/// An undirected, unweighted graph over nodes `0..num_nodes`.
+///
+/// Stored in CSR form with both directions of every edge materialised, so
+/// `neighbors(v)` is a single contiguous, sorted slice — the access pattern
+/// of message passing. Self-loops are not stored (GCN normalization adds the
+/// implicit self-loop itself); parallel edges are deduplicated at build time.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Graph {
+    num_nodes: usize,
+    /// CSR row pointers, length `num_nodes + 1`.
+    row_ptr: Vec<usize>,
+    /// CSR column indices (neighbour lists, each sorted ascending).
+    col_idx: Vec<usize>,
+}
+
+impl Graph {
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of undirected edges (each counted once).
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.col_idx.len() / 2
+    }
+
+    /// Number of directed arcs stored (twice [`Graph::num_edges`]).
+    #[inline]
+    pub fn num_arcs(&self) -> usize {
+        self.col_idx.len()
+    }
+
+    /// The sorted neighbour list of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: usize) -> &[usize] {
+        assert!(v < self.num_nodes, "node {v} out of {} nodes", self.num_nodes);
+        &self.col_idx[self.row_ptr[v]..self.row_ptr[v + 1]]
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: usize) -> usize {
+        self.row_ptr[v + 1] - self.row_ptr[v]
+    }
+
+    /// Average degree `2|E| / |V|`. The statistic reported in Table I.
+    pub fn average_degree(&self) -> f64 {
+        if self.num_nodes == 0 {
+            0.0
+        } else {
+            self.num_arcs() as f64 / self.num_nodes as f64
+        }
+    }
+
+    /// True if the undirected edge `{u, v}` exists (binary search).
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        u < self.num_nodes && v < self.num_nodes && self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Iterator over each undirected edge once, as `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        (0..self.num_nodes)
+            .flat_map(move |u| self.neighbors(u).iter().filter(move |&&v| u < v).map(move |&v| (u, v)))
+    }
+
+    /// The raw CSR row-pointer array.
+    #[inline]
+    pub fn row_ptr(&self) -> &[usize] {
+        &self.row_ptr
+    }
+
+    /// The raw CSR column-index array.
+    #[inline]
+    pub fn col_idx(&self) -> &[usize] {
+        &self.col_idx
+    }
+
+    /// Induced subgraph on `nodes` (deduplicated internally). Returns the
+    /// subgraph and the mapping `new index -> old index`.
+    pub fn induced_subgraph(&self, nodes: &[usize]) -> (Graph, Vec<usize>) {
+        let mut keep: Vec<usize> = nodes.to_vec();
+        keep.sort_unstable();
+        keep.dedup();
+        let mut old_to_new = vec![usize::MAX; self.num_nodes];
+        for (new, &old) in keep.iter().enumerate() {
+            assert!(old < self.num_nodes, "node {old} out of {} nodes", self.num_nodes);
+            old_to_new[old] = new;
+        }
+        let mut b = GraphBuilder::new(keep.len());
+        for &u in &keep {
+            for &v in self.neighbors(u) {
+                if u < v && old_to_new[v] != usize::MAX {
+                    b = b.edge(old_to_new[u], old_to_new[v]);
+                }
+            }
+        }
+        (b.build(), keep)
+    }
+
+    /// Degree histogram up to `max_degree` (last bucket collects the tail).
+    pub fn degree_histogram(&self, max_degree: usize) -> Vec<usize> {
+        let mut hist = vec![0usize; max_degree + 1];
+        for v in 0..self.num_nodes {
+            hist[self.degree(v).min(max_degree)] += 1;
+        }
+        hist
+    }
+}
+
+/// Incremental edge-list builder for [`Graph`].
+///
+/// Accepts duplicate edges and self-loops and silently drops/merges them at
+/// [`GraphBuilder::build`]; generators can therefore sample edges without
+/// bookkeeping.
+#[derive(Clone, Debug)]
+pub struct GraphBuilder {
+    num_nodes: usize,
+    edges: Vec<(usize, usize)>,
+}
+
+impl GraphBuilder {
+    /// A builder for a graph over `num_nodes` nodes and no edges yet.
+    pub fn new(num_nodes: usize) -> Self {
+        Self { num_nodes, edges: Vec::new() }
+    }
+
+    /// Adds the undirected edge `{u, v}` (by value, chainable).
+    ///
+    /// # Panics
+    /// If `u` or `v` is out of range.
+    #[must_use]
+    pub fn edge(mut self, u: usize, v: usize) -> Self {
+        self.add_edge(u, v);
+        self
+    }
+
+    /// Adds the undirected edge `{u, v}` (by reference, for loops).
+    pub fn add_edge(&mut self, u: usize, v: usize) {
+        assert!(
+            u < self.num_nodes && v < self.num_nodes,
+            "edge ({u},{v}) out of {} nodes",
+            self.num_nodes
+        );
+        self.edges.push((u, v));
+    }
+
+    /// Adds every edge in `list`.
+    pub fn extend_edges(&mut self, list: impl IntoIterator<Item = (usize, usize)>) {
+        for (u, v) in list {
+            self.add_edge(u, v);
+        }
+    }
+
+    /// Number of (possibly duplicate) edges accepted so far.
+    pub fn pending_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Finalizes into CSR form: drops self-loops, dedups parallel edges,
+    /// sorts each neighbour list.
+    pub fn build(self) -> Graph {
+        let n = self.num_nodes;
+        // Count arcs per node (both directions), skipping self-loops.
+        let mut deg = vec![0usize; n];
+        for &(u, v) in &self.edges {
+            if u != v {
+                deg[u] += 1;
+                deg[v] += 1;
+            }
+        }
+        let mut row_ptr = vec![0usize; n + 1];
+        for v in 0..n {
+            row_ptr[v + 1] = row_ptr[v] + deg[v];
+        }
+        let mut col_idx = vec![0usize; row_ptr[n]];
+        let mut cursor = row_ptr.clone();
+        for &(u, v) in &self.edges {
+            if u != v {
+                col_idx[cursor[u]] = v;
+                cursor[u] += 1;
+                col_idx[cursor[v]] = u;
+                cursor[v] += 1;
+            }
+        }
+        // Sort and dedup each neighbour list, then recompact.
+        let mut new_col = Vec::with_capacity(col_idx.len());
+        let mut new_ptr = vec![0usize; n + 1];
+        for v in 0..n {
+            let list = &mut col_idx[row_ptr[v]..row_ptr[v + 1]];
+            list.sort_unstable();
+            let start = new_col.len();
+            for &u in list.iter() {
+                if new_col.len() == start || *new_col.last().expect("non-empty after push") != u {
+                    new_col.push(u);
+                }
+            }
+            new_ptr[v + 1] = new_col.len();
+        }
+        Graph { num_nodes: n, row_ptr: new_ptr, col_idx: new_col }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Graph {
+        GraphBuilder::new(3).edge(0, 1).edge(1, 2).edge(2, 0).build()
+    }
+
+    #[test]
+    fn basic_counts() {
+        let g = triangle();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.num_arcs(), 6);
+        assert_eq!(g.average_degree(), 2.0);
+    }
+
+    #[test]
+    fn neighbors_sorted() {
+        let g = GraphBuilder::new(4).edge(2, 0).edge(2, 3).edge(2, 1).build();
+        assert_eq!(g.neighbors(2), &[0, 1, 3]);
+        assert_eq!(g.degree(2), 3);
+        assert_eq!(g.degree(0), 1);
+    }
+
+    #[test]
+    fn duplicates_and_self_loops_dropped() {
+        let g = GraphBuilder::new(3)
+            .edge(0, 1)
+            .edge(1, 0)
+            .edge(0, 1)
+            .edge(2, 2)
+            .build();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.neighbors(0), &[1]);
+        assert_eq!(g.neighbors(2), &[] as &[usize]);
+        assert!(!g.has_edge(2, 2));
+    }
+
+    #[test]
+    fn has_edge_symmetry() {
+        let g = triangle();
+        for (u, v) in [(0, 1), (1, 2), (2, 0)] {
+            assert!(g.has_edge(u, v));
+            assert!(g.has_edge(v, u));
+        }
+        assert!(!g.has_edge(0, 0));
+    }
+
+    #[test]
+    fn edges_iterator_counts_each_once() {
+        let g = triangle();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges, vec![(0, 1), (0, 2), (1, 2)]);
+    }
+
+    #[test]
+    fn induced_subgraph_remaps() {
+        let g = GraphBuilder::new(5).edge(0, 1).edge(1, 2).edge(2, 3).edge(3, 4).build();
+        let (sub, map) = g.induced_subgraph(&[1, 3, 2]);
+        assert_eq!(map, vec![1, 2, 3]);
+        assert_eq!(sub.num_nodes(), 3);
+        // Edges 1-2 and 2-3 survive; 0-1 and 3-4 are cut.
+        assert_eq!(sub.num_edges(), 2);
+        assert!(sub.has_edge(0, 1)); // old 1-2
+        assert!(sub.has_edge(1, 2)); // old 2-3
+        assert!(!sub.has_edge(0, 2));
+    }
+
+    #[test]
+    fn degree_histogram_tail_bucket() {
+        let g = GraphBuilder::new(4).edge(0, 1).edge(0, 2).edge(0, 3).build();
+        // degrees: 3,1,1,1
+        assert_eq!(g.degree_histogram(2), vec![0, 3, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of 2 nodes")]
+    fn builder_rejects_out_of_range() {
+        let _ = GraphBuilder::new(2).edge(0, 5);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::new(0).build();
+        assert_eq!(g.num_nodes(), 0);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.average_degree(), 0.0);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let g = triangle();
+        let json = serde_json::to_string(&g).unwrap();
+        let back: Graph = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, g);
+    }
+}

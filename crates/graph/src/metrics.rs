@@ -1,0 +1,175 @@
+//! Structural graph metrics used as bias diagnostics.
+//!
+//! The paper's causal story is that the *structure* leaks the sensitive
+//! attribute (Fig. 3: `s → edges`). These metrics quantify how much, for a
+//! given graph, before any model is trained:
+//!
+//! * [`sensitive_assortativity`] — the correlation of the sensitive
+//!   attribute across edges (Newman's attribute assortativity for a binary
+//!   attribute). 0 = structure carries no group signal; 1 = perfectly
+//!   segregated. The continuous refinement of
+//!   [`crate::generate::sensitive_homophily`].
+//! * [`clustering_coefficient`] / [`average_clustering`] — triangle density,
+//!   reported alongside Table-I-style statistics.
+//! * [`density`] — edge density relative to the complete graph.
+
+use crate::Graph;
+
+/// Edge density: `|E| / (n(n−1)/2)`, in `[0, 1]`. 0 for graphs with < 2
+/// nodes.
+pub fn density(g: &Graph) -> f64 {
+    let n = g.num_nodes();
+    if n < 2 {
+        return 0.0;
+    }
+    g.num_edges() as f64 / (n * (n - 1) / 2) as f64
+}
+
+/// Local clustering coefficient of `v`: the fraction of `v`'s neighbour
+/// pairs that are themselves connected. 0 for degree < 2.
+pub fn clustering_coefficient(g: &Graph, v: usize) -> f64 {
+    let neighbors = g.neighbors(v);
+    let d = neighbors.len();
+    if d < 2 {
+        return 0.0;
+    }
+    let mut closed = 0usize;
+    for (i, &a) in neighbors.iter().enumerate() {
+        for &b in &neighbors[i + 1..] {
+            if g.has_edge(a, b) {
+                closed += 1;
+            }
+        }
+    }
+    closed as f64 / (d * (d - 1) / 2) as f64
+}
+
+/// Mean local clustering coefficient over all nodes (Watts–Strogatz).
+pub fn average_clustering(g: &Graph) -> f64 {
+    let n = g.num_nodes();
+    if n == 0 {
+        return 0.0;
+    }
+    (0..n).map(|v| clustering_coefficient(g, v)).sum::<f64>() / n as f64
+}
+
+/// Newman's assortativity of a binary node attribute: the Pearson
+/// correlation of the attribute across edge endpoints, in `[-1, 1]`.
+///
+/// 0 when edges mix groups at random, 1 when every edge stays within a
+/// group, negative for disassortative (bipartite-like) mixing. Returns 0
+/// for graphs with no edges or a constant attribute.
+pub fn sensitive_assortativity(g: &Graph, attr: &[bool]) -> f64 {
+    assert_eq!(attr.len(), g.num_nodes(), "attribute length vs node count");
+    // Edge-endpoint mixing matrix for the binary attribute, counting each
+    // undirected edge in both orientations (the standard symmetrized form).
+    let mut e = [[0.0f64; 2]; 2];
+    let mut total = 0.0f64;
+    for (u, v) in g.edges() {
+        let (a, b) = (attr[u] as usize, attr[v] as usize);
+        e[a][b] += 1.0;
+        e[b][a] += 1.0;
+        total += 2.0;
+    }
+    if total == 0.0 {
+        return 0.0;
+    }
+    for row in &mut e {
+        for cell in row.iter_mut() {
+            *cell /= total;
+        }
+    }
+    // r = (Σᵢ eᵢᵢ − Σᵢ aᵢ bᵢ) / (1 − Σᵢ aᵢ bᵢ), with aᵢ = Σⱼ eᵢⱼ = bᵢ.
+    let a0 = e[0][0] + e[0][1];
+    let a1 = e[1][0] + e[1][1];
+    let trace = e[0][0] + e[1][1];
+    let expected = a0 * a0 + a1 * a1;
+    if (1.0 - expected).abs() < 1e-12 {
+        return 0.0; // constant attribute
+    }
+    (trace - expected) / (1.0 - expected)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    #[test]
+    fn density_known() {
+        let g = GraphBuilder::new(4).edge(0, 1).edge(1, 2).edge(2, 3).build();
+        assert_eq!(density(&g), 3.0 / 6.0);
+        assert_eq!(density(&GraphBuilder::new(1).build()), 0.0);
+    }
+
+    #[test]
+    fn triangle_has_full_clustering() {
+        let g = GraphBuilder::new(3).edge(0, 1).edge(1, 2).edge(2, 0).build();
+        assert_eq!(clustering_coefficient(&g, 0), 1.0);
+        assert_eq!(average_clustering(&g), 1.0);
+    }
+
+    #[test]
+    fn path_has_zero_clustering() {
+        let g = GraphBuilder::new(4).edge(0, 1).edge(1, 2).edge(2, 3).build();
+        assert_eq!(average_clustering(&g), 0.0);
+    }
+
+    #[test]
+    fn square_with_diagonal_clustering() {
+        // 4-cycle + diagonal 0–2: node 0 sees neighbours {1, 2, 3} with the
+        // pairs (1,2) and (2,3) closed — 2 of 3; node 1 sees {0, 2}, closed.
+        let g = GraphBuilder::new(4).edge(0, 1).edge(1, 2).edge(2, 3).edge(3, 0).edge(0, 2).build();
+        assert!((clustering_coefficient(&g, 0) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((clustering_coefficient(&g, 1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn assortativity_perfectly_segregated() {
+        // Two disjoint edges, one per group.
+        let g = GraphBuilder::new(4).edge(0, 1).edge(2, 3).build();
+        let attr = [false, false, true, true];
+        assert!((sensitive_assortativity(&g, &attr) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn assortativity_bipartite_is_minus_one() {
+        // Every edge crosses groups.
+        let g = GraphBuilder::new(4).edge(0, 2).edge(0, 3).edge(1, 2).edge(1, 3).build();
+        let attr = [false, false, true, true];
+        assert!((sensitive_assortativity(&g, &attr) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn assortativity_random_mixing_near_zero() {
+        use rand::Rng;
+        let mut rng = fairwos_tensor::seeded_rng(0);
+        let n = 600;
+        let attr: Vec<bool> = (0..n).map(|_| rng.gen_bool(0.5)).collect();
+        let g = crate::generate::erdos_renyi(n, 0.02, &mut rng);
+        let r = sensitive_assortativity(&g, &attr);
+        assert!(r.abs() < 0.05, "assortativity {r} should be ~0 for ER mixing");
+    }
+
+    #[test]
+    fn assortativity_degenerate_cases() {
+        let empty = GraphBuilder::new(3).build();
+        assert_eq!(sensitive_assortativity(&empty, &[true, false, true]), 0.0);
+        let g = GraphBuilder::new(2).edge(0, 1).build();
+        // Constant attribute ⇒ 0 by convention.
+        assert_eq!(sensitive_assortativity(&g, &[true, true]), 0.0);
+    }
+
+    #[test]
+    fn assortativity_tracks_sbm_homophily() {
+        use fairwos_tensor::seeded_rng;
+        let mut rng = seeded_rng(1);
+        let attr: Vec<bool> = (0..400).map(|i| i % 2 == 0).collect();
+        let strong = crate::generate::sensitive_sbm(&attr, 0.05, 0.005, &mut rng);
+        let weak = crate::generate::sensitive_sbm(&attr, 0.03, 0.02, &mut rng);
+        let r_strong = sensitive_assortativity(&strong, &attr);
+        let r_weak = sensitive_assortativity(&weak, &attr);
+        assert!(r_strong > r_weak, "{r_strong} vs {r_weak}");
+        assert!(r_strong > 0.6);
+    }
+}

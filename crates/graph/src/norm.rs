@@ -1,0 +1,127 @@
+//! Adjacency normalizations used by the GNN layers.
+
+use crate::{CsrMatrix, Graph};
+
+/// The Kipf–Welling symmetrically normalized adjacency with self-loops:
+///
+/// `Â = D̃^{-1/2} (A + I) D̃^{-1/2}`, where `D̃ = D + I`.
+///
+/// This is the propagation matrix of the GCN backbone (paper Eq. 7–8 with
+/// GCN's AGGREGATE/COMBINE). `Â` is symmetric, so the backward pass reuses
+/// the same matrix.
+pub fn gcn_normalized_adjacency(g: &Graph) -> CsrMatrix {
+    let n = g.num_nodes();
+    let inv_sqrt: Vec<f32> =
+        (0..n).map(|v| 1.0 / ((g.degree(v) + 1) as f32).sqrt()).collect();
+    let mut triplets = Vec::with_capacity(g.num_arcs() + n);
+    for u in 0..n {
+        // Self-loop term.
+        triplets.push((u, u, inv_sqrt[u] * inv_sqrt[u]));
+        for &v in g.neighbors(u) {
+            triplets.push((u, v, inv_sqrt[u] * inv_sqrt[v]));
+        }
+    }
+    CsrMatrix::from_triplets(n, n, &triplets)
+}
+
+/// The plain (unnormalized) adjacency `A` as a CSR matrix with unit values.
+///
+/// GIN's sum aggregation `Σ_{v∈N(u)} h_v` is `A·H` with this matrix.
+pub fn sum_adjacency(g: &Graph) -> CsrMatrix {
+    let n = g.num_nodes();
+    let mut triplets = Vec::with_capacity(g.num_arcs());
+    for u in 0..n {
+        for &v in g.neighbors(u) {
+            triplets.push((u, v, 1.0));
+        }
+    }
+    CsrMatrix::from_triplets(n, n, &triplets)
+}
+
+/// Row-normalized adjacency `D^{-1} A` (mean aggregation), without
+/// self-loops. Isolated nodes get an all-zero row.
+///
+/// Used by the structure-only teacher in the FairGKD baseline.
+pub fn row_normalized_adjacency(g: &Graph) -> CsrMatrix {
+    let n = g.num_nodes();
+    let mut triplets = Vec::with_capacity(g.num_arcs());
+    for u in 0..n {
+        let d = g.degree(u);
+        if d == 0 {
+            continue;
+        }
+        let w = 1.0 / d as f32;
+        for &v in g.neighbors(u) {
+            triplets.push((u, v, w));
+        }
+    }
+    CsrMatrix::from_triplets(n, n, &triplets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+    use fairwos_tensor::approx_eq;
+
+    #[test]
+    fn gcn_norm_two_node_path() {
+        // Path 0-1: both nodes have degree 1, D̃ = 2.
+        let g = GraphBuilder::new(2).edge(0, 1).build();
+        let a = gcn_normalized_adjacency(&g);
+        assert!(approx_eq(a.get(0, 0), 0.5, 1e-6));
+        assert!(approx_eq(a.get(0, 1), 0.5, 1e-6));
+        assert!(approx_eq(a.get(1, 1), 0.5, 1e-6));
+    }
+
+    #[test]
+    fn gcn_norm_is_symmetric() {
+        let g = GraphBuilder::new(5).edge(0, 1).edge(1, 2).edge(2, 3).edge(3, 4).edge(4, 0).edge(1, 3).build();
+        let a = gcn_normalized_adjacency(&g);
+        assert!(a.is_symmetric(1e-6));
+    }
+
+    #[test]
+    fn gcn_norm_isolated_node_keeps_self_loop() {
+        let g = GraphBuilder::new(2).build();
+        let a = gcn_normalized_adjacency(&g);
+        assert!(approx_eq(a.get(0, 0), 1.0, 1e-6));
+        assert!(approx_eq(a.get(1, 1), 1.0, 1e-6));
+        assert_eq!(a.nnz(), 2);
+    }
+
+    #[test]
+    fn gcn_norm_spectral_norm_at_most_one() {
+        // Eigenvalues of D̃^{-1/2}(A+I)D̃^{-1/2} lie in (-1, 1], so Â is a
+        // contraction in ℓ2: ‖Âx‖ ≤ ‖x‖. Check on a star graph (maximally
+        // irregular) with random vectors.
+        let mut b = GraphBuilder::new(6);
+        for i in 1..6 {
+            b.add_edge(0, i);
+        }
+        let a = gcn_normalized_adjacency(&b.build());
+        let mut rng = fairwos_tensor::seeded_rng(0);
+        for _ in 0..10 {
+            let x = fairwos_tensor::Matrix::rand_uniform(6, 1, -1.0, 1.0, &mut rng);
+            let y = a.spmm(&x);
+            assert!(
+                y.frobenius_norm() <= x.frobenius_norm() * (1.0 + 1e-5),
+                "‖Âx‖ = {} > ‖x‖ = {}",
+                y.frobenius_norm(),
+                x.frobenius_norm()
+            );
+        }
+    }
+
+    #[test]
+    fn row_norm_rows_sum_to_one_or_zero() {
+        let g = GraphBuilder::new(4).edge(0, 1).edge(0, 2).build();
+        let a = row_normalized_adjacency(&g);
+        let sums = a.row_sums();
+        assert!(approx_eq(sums[0], 1.0, 1e-6));
+        assert!(approx_eq(sums[1], 1.0, 1e-6));
+        assert!(approx_eq(sums[2], 1.0, 1e-6));
+        assert_eq!(sums[3], 0.0); // isolated
+        assert!(approx_eq(a.get(0, 1), 0.5, 1e-6));
+    }
+}

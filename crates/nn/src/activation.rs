@@ -1,0 +1,155 @@
+//! Stateless-parameter layers: ReLU and (inverted) dropout.
+
+use fairwos_tensor::Matrix;
+use rand::Rng;
+
+/// ReLU activation with cached mask for backward.
+pub struct Relu {
+    mask: Option<Vec<bool>>,
+}
+
+impl Default for Relu {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Relu {
+    /// A fresh ReLU layer.
+    pub fn new() -> Self {
+        Self { mask: None }
+    }
+
+    /// `max(x, 0)`, caching the activity mask.
+    pub fn forward(&mut self, x: &Matrix) -> Matrix {
+        let mask: Vec<bool> = x.as_slice().iter().map(|&v| v > 0.0).collect();
+        let y = x.map(|v| v.max(0.0));
+        self.mask = Some(mask);
+        y
+    }
+
+    /// Gates the upstream gradient by the cached mask.
+    pub fn backward(&mut self, dy: &Matrix) -> Matrix {
+        let mask = self.mask.as_ref().expect("Relu::backward before forward");
+        assert_eq!(mask.len(), dy.len(), "gradient shape changed between forward and backward");
+        let mut dx = dy.clone();
+        for (g, &m) in dx.as_mut_slice().iter_mut().zip(mask) {
+            if !m {
+                *g = 0.0;
+            }
+        }
+        dx
+    }
+}
+
+/// Inverted dropout: at train time zeroes each element with probability `p`
+/// and scales survivors by `1/(1-p)`, so inference needs no rescaling.
+pub struct Dropout {
+    /// Drop probability in `[0, 1)`.
+    pub p: f32,
+    scale: f32,
+    mask: Option<Vec<bool>>,
+}
+
+impl Dropout {
+    /// Dropout with drop probability `p`.
+    ///
+    /// # Panics
+    /// If `p` is not in `[0, 1)`.
+    pub fn new(p: f32) -> Self {
+        assert!((0.0..1.0).contains(&p), "dropout p = {p} outside [0, 1)");
+        Self { p, scale: 1.0 / (1.0 - p), mask: None }
+    }
+
+    /// Training-mode forward: samples a fresh mask from `rng`.
+    pub fn forward_train(&mut self, x: &Matrix, rng: &mut impl Rng) -> Matrix {
+        if self.p == 0.0 {
+            self.mask = Some(vec![true; x.len()]);
+            return x.clone();
+        }
+        let mask: Vec<bool> = (0..x.len()).map(|_| rng.gen::<f32>() >= self.p).collect();
+        let mut y = x.clone();
+        for (v, &keep) in y.as_mut_slice().iter_mut().zip(&mask) {
+            *v = if keep { *v * self.scale } else { 0.0 };
+        }
+        self.mask = Some(mask);
+        y
+    }
+
+    /// Inference-mode forward: identity (inverted dropout).
+    pub fn forward_inference(&self, x: &Matrix) -> Matrix {
+        x.clone()
+    }
+
+    /// Gates and rescales the upstream gradient by the cached mask.
+    pub fn backward(&mut self, dy: &Matrix) -> Matrix {
+        let mask = self.mask.as_ref().expect("Dropout::backward before forward_train");
+        assert_eq!(mask.len(), dy.len(), "gradient shape changed between forward and backward");
+        let mut dx = dy.clone();
+        for (g, &keep) in dx.as_mut_slice().iter_mut().zip(mask) {
+            *g = if keep { *g * self.scale } else { 0.0 };
+        }
+        dx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairwos_tensor::seeded_rng;
+
+    #[test]
+    fn relu_forward_backward() {
+        let mut r = Relu::new();
+        let x = Matrix::from_rows(&[&[-1.0, 0.0, 2.0]]);
+        let y = r.forward(&x);
+        assert_eq!(y.row(0), &[0.0, 0.0, 2.0]);
+        let dx = r.backward(&Matrix::from_rows(&[&[5.0, 5.0, 5.0]]));
+        assert_eq!(dx.row(0), &[0.0, 0.0, 5.0]);
+    }
+
+    #[test]
+    fn dropout_zero_p_is_identity() {
+        let mut d = Dropout::new(0.0);
+        let x = Matrix::ones(2, 3);
+        let y = d.forward_train(&x, &mut seeded_rng(0));
+        assert_eq!(y, x);
+        assert_eq!(d.backward(&x), x);
+    }
+
+    #[test]
+    fn dropout_preserves_expectation() {
+        let mut d = Dropout::new(0.5);
+        let x = Matrix::ones(100, 100);
+        let y = d.forward_train(&x, &mut seeded_rng(1));
+        // E[y] = x under inverted dropout.
+        assert!((y.mean() - 1.0).abs() < 0.05, "mean {}", y.mean());
+        // Survivors are scaled by 2.
+        assert!(y.as_slice().iter().all(|&v| v == 0.0 || (v - 2.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn dropout_backward_matches_mask() {
+        let mut d = Dropout::new(0.3);
+        let x = Matrix::ones(10, 10);
+        let y = d.forward_train(&x, &mut seeded_rng(2));
+        let dx = d.backward(&Matrix::ones(10, 10));
+        // Gradient is nonzero exactly where the output was kept.
+        for (o, g) in y.as_slice().iter().zip(dx.as_slice()) {
+            assert_eq!(*o == 0.0, *g == 0.0);
+        }
+    }
+
+    #[test]
+    fn dropout_inference_is_identity() {
+        let d = Dropout::new(0.9);
+        let x = Matrix::ones(3, 3);
+        assert_eq!(d.forward_inference(&x), x);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1)")]
+    fn dropout_rejects_p_one() {
+        let _ = Dropout::new(1.0);
+    }
+}

@@ -1,0 +1,82 @@
+//! Per-graph propagation context shared by all layers.
+
+use fairwos_graph::{gcn_normalized_adjacency, row_normalized_adjacency, sum_adjacency, CsrMatrix, Graph};
+
+/// The propagation matrices of one graph, precomputed once.
+///
+/// Full-batch training re-multiplies against these every epoch, so both the
+/// GCN matrix `Â` and the GIN sum-aggregation matrix `A` are materialised at
+/// construction. Both are symmetric (undirected graphs), which the backward
+/// passes exploit: `Âᵀ = Â`, `Aᵀ = A`.
+pub struct GraphContext {
+    num_nodes: usize,
+    /// Kipf–Welling normalized adjacency with self-loops, `Â`.
+    gcn_adj: CsrMatrix,
+    /// Plain adjacency `A` (unit values, no self-loops) for GIN sums.
+    sum_adj: CsrMatrix,
+    /// Row-normalized adjacency `M = D^{-1}A` for GraphSAGE means.
+    mean_adj: CsrMatrix,
+    /// `Mᵀ` — row normalization breaks symmetry, so SAGE's backward pass
+    /// needs the transpose explicitly.
+    mean_adj_t: CsrMatrix,
+}
+
+impl GraphContext {
+    /// Precomputes propagation matrices for `g`.
+    pub fn new(g: &Graph) -> Self {
+        let mean_adj = row_normalized_adjacency(g);
+        let mean_adj_t = mean_adj.transpose();
+        Self {
+            num_nodes: g.num_nodes(),
+            gcn_adj: gcn_normalized_adjacency(g),
+            sum_adj: sum_adjacency(g),
+            mean_adj,
+            mean_adj_t,
+        }
+    }
+
+    /// Number of nodes in the underlying graph.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// `Â` — the GCN propagation matrix.
+    pub fn gcn_adj(&self) -> &CsrMatrix {
+        &self.gcn_adj
+    }
+
+    /// `A` — the GIN sum-aggregation matrix.
+    pub fn sum_adj(&self) -> &CsrMatrix {
+        &self.sum_adj
+    }
+
+    /// `M = D^{-1}A` — the GraphSAGE mean-aggregation matrix.
+    pub fn mean_adj(&self) -> &CsrMatrix {
+        &self.mean_adj
+    }
+
+    /// `Mᵀ` — used by SAGE's backward pass.
+    pub fn mean_adj_t(&self) -> &CsrMatrix {
+        &self.mean_adj_t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairwos_graph::GraphBuilder;
+    use fairwos_tensor::Matrix;
+
+    #[test]
+    fn context_matrices_consistent() {
+        let g = GraphBuilder::new(3).edge(0, 1).edge(1, 2).build();
+        let ctx = GraphContext::new(&g);
+        assert_eq!(ctx.num_nodes(), 3);
+        assert!(ctx.gcn_adj().is_symmetric(1e-6));
+        assert!(ctx.sum_adj().is_symmetric(1e-6));
+        // Sum aggregation of ones = degree vector.
+        let ones = Matrix::ones(3, 1);
+        let deg = ctx.sum_adj().spmm(&ones);
+        assert_eq!(deg.col(0), vec![1.0, 2.0, 1.0]);
+    }
+}

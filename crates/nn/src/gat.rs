@@ -1,0 +1,370 @@
+//! Graph attention convolution (Veličković et al., ICLR 2018), single head:
+//!
+//! ```text
+//! z_i   = W·x_i
+//! e_ij  = LeakyReLU(a_src·z_i + a_dst·z_j)        j ∈ N(i) ∪ {i}
+//! α_ij  = softmax_j(e_ij)                          (per neighbourhood)
+//! h_i   = Σ_j α_ij z_j
+//! ```
+//!
+//! The backward pass chains through the per-neighbourhood softmax
+//! analytically; the finite-difference tests pin it down like every other
+//! layer in this crate.
+
+use crate::{GraphContext, Param};
+use fairwos_tensor::{dot, glorot_uniform, Matrix};
+use rand::Rng;
+
+const LEAKY_SLOPE: f32 = 0.2;
+
+/// Per-node attention state: `(targets, raw logits, normalized α)`, each
+/// outer vector indexed by node, inner vectors parallel within a node.
+type Attention = (Vec<Vec<usize>>, Vec<Vec<f32>>, Vec<Vec<f32>>);
+
+#[inline]
+fn leaky_relu(v: f32) -> f32 {
+    if v > 0.0 {
+        v
+    } else {
+        LEAKY_SLOPE * v
+    }
+}
+
+#[inline]
+fn leaky_relu_grad(v: f32) -> f32 {
+    if v > 0.0 {
+        1.0
+    } else {
+        LEAKY_SLOPE
+    }
+}
+
+/// Cached per-forward state: the neighbour lists (with self-loops), raw
+/// attention logits, and normalized coefficients.
+struct GatCache {
+    x: Matrix,
+    z: Matrix,
+    /// For each node: its attention targets (self first, then neighbours).
+    targets: Vec<Vec<usize>>,
+    /// Pre-activation attention logits, parallel to `targets`.
+    logits: Vec<Vec<f32>>,
+    /// Softmax-normalized coefficients, parallel to `targets`.
+    alpha: Vec<Vec<f32>>,
+}
+
+/// Single-head graph attention layer.
+pub struct GatConv {
+    /// Feature transform, `in_dim × out_dim`. (The `W_a` of Theorem 2.)
+    pub w: Param,
+    /// Source attention vector, `1 × out_dim`.
+    pub a_src: Param,
+    /// Destination attention vector, `1 × out_dim`.
+    pub a_dst: Param,
+    cache: Option<GatCache>,
+}
+
+impl GatConv {
+    /// Glorot-initialized GAT layer.
+    pub fn new(in_dim: usize, out_dim: usize, rng: &mut impl Rng) -> Self {
+        Self {
+            w: Param::new(glorot_uniform(in_dim, out_dim, rng)),
+            a_src: Param::new(glorot_uniform(1, out_dim, rng)),
+            a_dst: Param::new(glorot_uniform(1, out_dim, rng)),
+            cache: None,
+        }
+    }
+
+    fn attention(&self, ctx: &GraphContext, z: &Matrix) -> Attention {
+        let n = z.rows();
+        let src_score: Vec<f32> = (0..n).map(|i| dot(self.a_src.value.row(0), z.row(i))).collect();
+        let dst_score: Vec<f32> = (0..n).map(|i| dot(self.a_dst.value.row(0), z.row(i))).collect();
+        let mut targets = Vec::with_capacity(n);
+        let mut logits = Vec::with_capacity(n);
+        let mut alpha = Vec::with_capacity(n);
+        for (i, &s_i) in src_score.iter().enumerate() {
+            let (cols, _) = ctx.sum_adj().row(i);
+            let mut t: Vec<usize> = Vec::with_capacity(cols.len() + 1);
+            t.push(i); // self-loop first
+            t.extend_from_slice(cols);
+            let raw: Vec<f32> =
+                t.iter().map(|&j| leaky_relu(s_i + dst_score[j])).collect();
+            // Stable softmax over the neighbourhood.
+            let m = raw.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let exps: Vec<f32> = raw.iter().map(|&e| (e - m).exp()).collect();
+            let sum: f32 = exps.iter().sum();
+            let a: Vec<f32> = exps.iter().map(|&e| e / sum).collect();
+            targets.push(t);
+            logits.push(raw);
+            alpha.push(a);
+        }
+        (targets, logits, alpha)
+    }
+
+    /// Forward pass, caching attention state for backward.
+    pub fn forward(&mut self, ctx: &GraphContext, x: &Matrix) -> Matrix {
+        let z = x.matmul(&self.w.value);
+        let (targets, logits, alpha) = self.attention(ctx, &z);
+        let mut h = Matrix::zeros(z.rows(), z.cols());
+        for i in 0..z.rows() {
+            let out = h.row_mut(i);
+            for (&j, &a) in targets[i].iter().zip(&alpha[i]) {
+                for (o, &v) in out.iter_mut().zip(z.row(j)) {
+                    *o += a * v;
+                }
+            }
+        }
+        self.cache = Some(GatCache { x: x.clone(), z, targets, logits, alpha });
+        h
+    }
+
+    /// Inference-only forward (no caching).
+    pub fn forward_inference(&self, ctx: &GraphContext, x: &Matrix) -> Matrix {
+        let z = x.matmul(&self.w.value);
+        let (targets, _, alpha) = self.attention(ctx, &z);
+        let mut h = Matrix::zeros(z.rows(), z.cols());
+        for i in 0..z.rows() {
+            let out = h.row_mut(i);
+            for (&j, &a) in targets[i].iter().zip(&alpha[i]) {
+                for (o, &v) in out.iter_mut().zip(z.row(j)) {
+                    *o += a * v;
+                }
+            }
+        }
+        h
+    }
+
+    /// Accumulates gradients; returns `dX`.
+    pub fn backward(&mut self, ctx: &GraphContext, dh: &Matrix) -> Matrix {
+        let _ = ctx; // neighbourhood structure lives in the cache
+        let cache = self.cache.as_ref().expect("GatConv::backward before forward");
+        let n = cache.z.rows();
+        let d = cache.z.cols();
+
+        // dZ accumulates three contributions:
+        //  (1) through the aggregation values:    dZ_j += α_ij · dH_i
+        //  (2) through the attention coefficients: dα_ij = dH_i · z_j,
+        //      chained through the softmax and LeakyReLU into z_i (a_src
+        //      side) and z_j (a_dst side),
+        //  plus the gradients of a_src / a_dst themselves.
+        let mut dz = Matrix::zeros(n, d);
+        let mut da_src = vec![0.0f32; d];
+        let mut da_dst = vec![0.0f32; d];
+
+        for i in 0..n {
+            let dh_i = dh.row(i);
+            let targets = &cache.targets[i];
+            let alpha = &cache.alpha[i];
+            let logits = &cache.logits[i];
+
+            // (1) value path + dα_ij.
+            let dalpha: Vec<f32> = targets
+                .iter()
+                .zip(alpha)
+                .map(|(&j, &a)| {
+                    let zj = cache.z.row(j);
+                    let g = dot(dh_i, zj);
+                    let dzj = dz.row_mut(j);
+                    for (o, &v) in dzj.iter_mut().zip(dh_i) {
+                        *o += a * v;
+                    }
+                    g
+                })
+                .collect();
+
+            // (2) softmax backward: de_k = α_k (dα_k − Σ_m α_m dα_m).
+            let inner: f32 = alpha.iter().zip(&dalpha).map(|(&a, &g)| a * g).sum();
+            for ((&j, (&a, &g)), &raw) in
+                targets.iter().zip(alpha.iter().zip(&dalpha)).zip(logits)
+            {
+                let de = a * (g - inner) * leaky_relu_grad(unleaky(raw));
+                // e_ij = LeakyReLU(a_src·z_i + a_dst·z_j):
+                //   d(a_src) += de · z_i,  d(a_dst) += de · z_j,
+                //   dz_i += de · a_src,    dz_j += de · a_dst.
+                for ((s, t), (&zi, &zj)) in da_src
+                    .iter_mut()
+                    .zip(da_dst.iter_mut())
+                    .zip(cache.z.row(i).iter().zip(cache.z.row(j)))
+                {
+                    *s += de * zi;
+                    *t += de * zj;
+                }
+                let a_src_row = self.a_src.value.row(0);
+                let a_dst_row = self.a_dst.value.row(0);
+                {
+                    let dzi = dz.row_mut(i);
+                    for (o, &v) in dzi.iter_mut().zip(a_src_row) {
+                        *o += de * v;
+                    }
+                }
+                {
+                    let dzj = dz.row_mut(j);
+                    for (o, &v) in dzj.iter_mut().zip(a_dst_row) {
+                        *o += de * v;
+                    }
+                }
+            }
+        }
+
+        for (g, v) in self.a_src.grad.row_mut(0).iter_mut().zip(&da_src) {
+            *g += v;
+        }
+        for (g, v) in self.a_dst.grad.row_mut(0).iter_mut().zip(&da_dst) {
+            *g += v;
+        }
+        // z = x·W ⇒ dW = xᵀ·dZ, dX = dZ·Wᵀ.
+        self.w.grad.add_assign(&cache.x.matmul_tn(&dz));
+        dz.matmul_nt(&self.w.value)
+    }
+
+    /// The layer's parameters.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.w, &mut self.a_src, &mut self.a_dst]
+    }
+
+    /// Clears gradients.
+    pub fn zero_grad(&mut self) {
+        self.w.zero_grad();
+        self.a_src.zero_grad();
+        self.a_dst.zero_grad();
+    }
+}
+
+/// Inverts LeakyReLU on a stored post-activation logit so the gradient can
+/// be evaluated at the pre-activation point. LeakyReLU with slope > 0 is a
+/// bijection: positive outputs came from positive inputs.
+#[inline]
+fn unleaky(post: f32) -> f32 {
+    if post > 0.0 {
+        post
+    } else {
+        post / LEAKY_SLOPE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairwos_graph::GraphBuilder;
+    use fairwos_tensor::{approx_eq, seeded_rng};
+
+    fn ctx() -> GraphContext {
+        GraphContext::new(&GraphBuilder::new(4).edge(0, 1).edge(1, 2).edge(2, 3).edge(3, 0).build())
+    }
+
+    #[test]
+    fn attention_coefficients_are_distributions() {
+        let mut rng = seeded_rng(0);
+        let c = ctx();
+        let mut conv = GatConv::new(3, 4, &mut rng);
+        let x = Matrix::rand_uniform(4, 3, -1.0, 1.0, &mut rng);
+        let _ = conv.forward(&c, &x);
+        let cache = conv.cache.as_ref().unwrap();
+        for (i, alpha) in cache.alpha.iter().enumerate() {
+            let sum: f32 = alpha.iter().sum();
+            assert!(approx_eq(sum, 1.0, 1e-5), "node {i} α sum {sum}");
+            assert!(alpha.iter().all(|&a| a > 0.0));
+            // self + 2 neighbours on a 4-cycle.
+            assert_eq!(cache.targets[i].len(), 3);
+        }
+    }
+
+    #[test]
+    fn uniform_attention_on_identical_features() {
+        // All-equal inputs ⇒ all logits equal ⇒ uniform attention ⇒ output
+        // equals z for every node.
+        let mut rng = seeded_rng(1);
+        let c = ctx();
+        let mut conv = GatConv::new(2, 3, &mut rng);
+        let x = Matrix::ones(4, 2);
+        let h = conv.forward(&c, &x);
+        let z = x.matmul(&conv.w.value);
+        for (a, b) in h.as_slice().iter().zip(z.as_slice()) {
+            assert!(approx_eq(*a, *b, 1e-5));
+        }
+    }
+
+    #[test]
+    fn inference_matches_train() {
+        let mut rng = seeded_rng(2);
+        let c = ctx();
+        let mut conv = GatConv::new(3, 3, &mut rng);
+        let x = Matrix::rand_uniform(4, 3, -1.0, 1.0, &mut rng);
+        let a = conv.forward(&c, &x);
+        let b = conv.forward_inference(&c, &x);
+        for (p, q) in a.as_slice().iter().zip(b.as_slice()) {
+            assert!(approx_eq(*p, *q, 1e-6));
+        }
+    }
+
+    #[test]
+    fn parameter_gradients_match_finite_differences() {
+        use crate::gradcheck::check_param_gradient;
+        use crate::loss::bce_with_logits_masked;
+        let mut rng = seeded_rng(3);
+        let c = ctx();
+        let x = Matrix::rand_uniform(4, 3, -1.0, 1.0, &mut rng);
+        let targets = [1.0, 0.0, 1.0, 0.0];
+        let mask = [0usize, 1, 2, 3];
+        // out_dim 1 so the conv output doubles as logits.
+        let mut conv = GatConv::new(3, 1, &mut rng);
+        conv.zero_grad();
+        let logits = conv.forward(&c, &x);
+        let (_, dlogits) = bce_with_logits_masked(&logits, &targets, &mask);
+        let _ = conv.backward(&c, &dlogits);
+        let analytic: Vec<Matrix> = vec![
+            conv.w.grad.clone(),
+            conv.a_src.grad.clone(),
+            conv.a_dst.grad.clone(),
+        ];
+        let conv_ptr: *mut GatConv = &mut conv;
+        let c_ref = &c;
+        let x_ref = &x;
+        for (pi, grad) in analytic.iter().enumerate() {
+            let loss_fn = move || {
+                let logits = unsafe { &*conv_ptr }.forward_inference(c_ref, x_ref);
+                bce_with_logits_masked(&logits, &targets, &mask).0
+            };
+            let params = unsafe { &mut *conv_ptr }.params_mut();
+            let p: &mut Param = params.into_iter().nth(pi).expect("param in range");
+            let report = check_param_gradient(p, grad, loss_fn, 1e-2);
+            assert!(
+                report.passes(3e-2),
+                "param {pi}: abs {} rel {}",
+                report.max_abs_err,
+                report.max_rel_err
+            );
+        }
+    }
+
+    #[test]
+    fn input_gradient_matches_finite_differences() {
+        use crate::loss::bce_with_logits_masked;
+        let mut rng = seeded_rng(4);
+        let c = ctx();
+        let x = Matrix::rand_uniform(4, 2, -1.0, 1.0, &mut rng);
+        let targets = [0.0, 1.0, 0.0, 1.0];
+        let mask = [0usize, 1, 2, 3];
+        let mut conv = GatConv::new(2, 1, &mut rng);
+        conv.zero_grad();
+        let logits = conv.forward(&c, &x);
+        let (_, dlogits) = bce_with_logits_masked(&logits, &targets, &mask);
+        let dx = conv.backward(&c, &dlogits);
+        let eps = 1e-2;
+        for v in 0..4 {
+            for j in 0..2 {
+                let mut up = x.clone();
+                up.set(v, j, x.get(v, j) + eps);
+                let mut dn = x.clone();
+                dn.set(v, j, x.get(v, j) - eps);
+                let lu = bce_with_logits_masked(&conv.forward_inference(&c, &up), &targets, &mask).0;
+                let ld = bce_with_logits_masked(&conv.forward_inference(&c, &dn), &targets, &mask).0;
+                let fd = (lu - ld) / (2.0 * eps);
+                assert!(
+                    approx_eq(fd, dx.get(v, j), 3e-2),
+                    "dX[{v},{j}]: fd {fd} vs analytic {}",
+                    dx.get(v, j)
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,328 @@
+//! Trainable layers: dense, GCN convolution, GIN convolution.
+//!
+//! Each layer caches in `forward` exactly what its hand-derived backward
+//! pass needs, and `backward` *accumulates* parameter gradients (so utility
+//! and fairness losses can both contribute before an optimizer step) and
+//! returns the gradient w.r.t. the layer input.
+
+use crate::{GraphContext, Param, Relu};
+use fairwos_tensor::{glorot_uniform, he_normal, Matrix};
+use rand::Rng;
+
+/// Fully connected layer `Y = X·W + b`.
+///
+/// Backward (given `dY`):
+/// `dW = Xᵀ·dY`, `db = column sums of dY`, `dX = dY·Wᵀ`.
+pub struct Linear {
+    /// Weight, `in_dim × out_dim`.
+    pub w: Param,
+    /// Bias, `1 × out_dim`.
+    pub b: Param,
+    cached_input: Option<Matrix>,
+}
+
+impl Linear {
+    /// Glorot-initialized dense layer.
+    pub fn new(in_dim: usize, out_dim: usize, rng: &mut impl Rng) -> Self {
+        Self {
+            w: Param::new(glorot_uniform(in_dim, out_dim, rng)),
+            b: Param::new(Matrix::zeros(1, out_dim)),
+            cached_input: None,
+        }
+    }
+
+    /// He-initialized dense layer (for ReLU MLPs, i.e. GIN).
+    pub fn new_he(in_dim: usize, out_dim: usize, rng: &mut impl Rng) -> Self {
+        Self {
+            w: Param::new(he_normal(in_dim, out_dim, rng)),
+            b: Param::new(Matrix::zeros(1, out_dim)),
+            cached_input: None,
+        }
+    }
+
+    /// Input dimension.
+    pub fn in_dim(&self) -> usize {
+        self.w.value.rows()
+    }
+
+    /// Output dimension.
+    pub fn out_dim(&self) -> usize {
+        self.w.value.cols()
+    }
+
+    /// `X·W + b`, caching `X` for backward.
+    pub fn forward(&mut self, x: &Matrix) -> Matrix {
+        let mut y = x.matmul(&self.w.value);
+        y.add_row_broadcast(self.b.value.row(0));
+        self.cached_input = Some(x.clone());
+        y
+    }
+
+    /// Forward without caching — inference-only path.
+    pub fn forward_inference(&self, x: &Matrix) -> Matrix {
+        let mut y = x.matmul(&self.w.value);
+        y.add_row_broadcast(self.b.value.row(0));
+        y
+    }
+
+    /// Accumulates `dW`, `db`; returns `dX`.
+    ///
+    /// # Panics
+    /// If called before `forward`.
+    pub fn backward(&mut self, dy: &Matrix) -> Matrix {
+        let x = self.cached_input.as_ref().expect("Linear::backward before forward");
+        self.w.grad.add_assign(&x.matmul_tn(dy));
+        let db = dy.col_sums();
+        for (g, d) in self.b.grad.row_mut(0).iter_mut().zip(db) {
+            *g += d;
+        }
+        dy.matmul_nt(&self.w.value)
+    }
+
+    /// The layer's parameters, for optimizers.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.w, &mut self.b]
+    }
+
+    /// Clears cached activations and gradients.
+    pub fn zero_grad(&mut self) {
+        self.w.zero_grad();
+        self.b.zero_grad();
+    }
+}
+
+/// Graph convolution (Kipf & Welling): `H' = Â·X·W + b`.
+///
+/// This matches the paper's Eq. 7–8 with GCN's mean-style AGGREGATE and
+/// additive COMBINE folded into one propagation. Activation is applied by a
+/// separate [`Relu`] layer so the final conv can stay linear.
+///
+/// Backward (given `dH'`, using `Âᵀ = Â`):
+/// `dW = (Â·X)ᵀ·dH'`, `db = col sums`, `dX = Â·(dH'·Wᵀ)`.
+pub struct GcnConv {
+    /// Weight, `in_dim × out_dim`. (The `W_a` of Theorem 2.)
+    pub w: Param,
+    /// Bias, `1 × out_dim`.
+    pub b: Param,
+    cached_ax: Option<Matrix>,
+}
+
+impl GcnConv {
+    /// Glorot-initialized GCN convolution.
+    pub fn new(in_dim: usize, out_dim: usize, rng: &mut impl Rng) -> Self {
+        Self {
+            w: Param::new(glorot_uniform(in_dim, out_dim, rng)),
+            b: Param::new(Matrix::zeros(1, out_dim)),
+            cached_ax: None,
+        }
+    }
+
+    /// `Â·X·W + b`, caching `Â·X`.
+    pub fn forward(&mut self, ctx: &GraphContext, x: &Matrix) -> Matrix {
+        let ax = ctx.gcn_adj().spmm(x);
+        let mut y = ax.matmul(&self.w.value);
+        y.add_row_broadcast(self.b.value.row(0));
+        self.cached_ax = Some(ax);
+        y
+    }
+
+    /// Inference-only forward.
+    pub fn forward_inference(&self, ctx: &GraphContext, x: &Matrix) -> Matrix {
+        let ax = ctx.gcn_adj().spmm(x);
+        let mut y = ax.matmul(&self.w.value);
+        y.add_row_broadcast(self.b.value.row(0));
+        y
+    }
+
+    /// Accumulates gradients; returns `dX`.
+    pub fn backward(&mut self, ctx: &GraphContext, dy: &Matrix) -> Matrix {
+        let ax = self.cached_ax.as_ref().expect("GcnConv::backward before forward");
+        self.w.grad.add_assign(&ax.matmul_tn(dy));
+        let db = dy.col_sums();
+        for (g, d) in self.b.grad.row_mut(0).iter_mut().zip(db) {
+            *g += d;
+        }
+        // dX = Âᵀ · (dY · Wᵀ); Â symmetric.
+        ctx.gcn_adj().spmm(&dy.matmul_nt(&self.w.value))
+    }
+
+    /// The layer's parameters.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.w, &mut self.b]
+    }
+
+    /// Clears gradients.
+    pub fn zero_grad(&mut self) {
+        self.w.zero_grad();
+        self.b.zero_grad();
+    }
+}
+
+/// Graph isomorphism convolution (Xu et al. 2019):
+/// `H' = MLP((1 + ε)·X + A·X)` with a 2-layer ReLU MLP.
+///
+/// `ε` is fixed (GIN-0 style by default), matching the common benchmark
+/// configuration; the expressive power comes from the MLP.
+pub struct GinConv {
+    /// First MLP layer (He init, feeds ReLU).
+    pub fc1: Linear,
+    /// Hidden activation of the MLP.
+    relu: Relu,
+    /// Second MLP layer.
+    pub fc2: Linear,
+    /// The (1+ε) self-weighting; ε = 0 by default.
+    pub eps: f32,
+}
+
+impl GinConv {
+    /// GIN convolution with an `in → out → out` MLP and ε = 0.
+    pub fn new(in_dim: usize, out_dim: usize, rng: &mut impl Rng) -> Self {
+        Self {
+            fc1: Linear::new_he(in_dim, out_dim, rng),
+            relu: Relu::new(),
+            fc2: Linear::new_he(out_dim, out_dim, rng),
+            eps: 0.0,
+        }
+    }
+
+    /// `MLP((1+ε)X + A·X)`.
+    pub fn forward(&mut self, ctx: &GraphContext, x: &Matrix) -> Matrix {
+        let mut m = ctx.sum_adj().spmm(x);
+        m.add_scaled(1.0 + self.eps, x);
+        let h = self.fc1.forward(&m);
+        let h = self.relu.forward(&h);
+        self.fc2.forward(&h)
+    }
+
+    /// Inference-only forward.
+    pub fn forward_inference(&self, ctx: &GraphContext, x: &Matrix) -> Matrix {
+        let mut m = ctx.sum_adj().spmm(x);
+        m.add_scaled(1.0 + self.eps, x);
+        let h = self.fc1.forward_inference(&m);
+        let h = h.map(|v| v.max(0.0));
+        self.fc2.forward_inference(&h)
+    }
+
+    /// Accumulates gradients; returns `dX`.
+    pub fn backward(&mut self, ctx: &GraphContext, dy: &Matrix) -> Matrix {
+        let dh = self.fc2.backward(dy);
+        let dh = self.relu.backward(&dh);
+        let dm = self.fc1.backward(&dh);
+        // m = (1+ε)x + A·x  ⇒  dx = (1+ε)·dm + Aᵀ·dm; A symmetric.
+        let mut dx = ctx.sum_adj().spmm(&dm);
+        dx.add_scaled(1.0 + self.eps, &dm);
+        dx
+    }
+
+    /// The layer's parameters.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut p = self.fc1.params_mut();
+        p.extend(self.fc2.params_mut());
+        p
+    }
+
+    /// Clears gradients.
+    pub fn zero_grad(&mut self) {
+        self.fc1.zero_grad();
+        self.fc2.zero_grad();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairwos_graph::GraphBuilder;
+    use fairwos_tensor::{approx_eq, seeded_rng};
+
+    fn ctx() -> GraphContext {
+        GraphContext::new(&GraphBuilder::new(4).edge(0, 1).edge(1, 2).edge(2, 3).build())
+    }
+
+    #[test]
+    fn linear_forward_known() {
+        let mut rng = seeded_rng(0);
+        let mut l = Linear::new(2, 1, &mut rng);
+        l.w.value = Matrix::from_rows(&[&[2.0], &[3.0]]);
+        l.b.value = Matrix::from_rows(&[&[1.0]]);
+        let y = l.forward(&Matrix::from_rows(&[&[1.0, 1.0], &[0.0, 2.0]]));
+        assert_eq!(y.col(0), vec![6.0, 7.0]);
+        assert_eq!(l.forward_inference(&Matrix::from_rows(&[&[1.0, 1.0]])).get(0, 0), 6.0);
+    }
+
+    #[test]
+    fn linear_backward_shapes_and_bias_grad() {
+        let mut rng = seeded_rng(1);
+        let mut l = Linear::new(3, 2, &mut rng);
+        let x = Matrix::rand_uniform(5, 3, -1.0, 1.0, &mut rng);
+        let _ = l.forward(&x);
+        let dy = Matrix::ones(5, 2);
+        let dx = l.backward(&dy);
+        assert_eq!(dx.shape(), (5, 3));
+        assert_eq!(l.w.grad.shape(), (3, 2));
+        // db = column sums of dY = 5 for all-ones dY.
+        assert!(l.b.grad.row(0).iter().all(|&g| approx_eq(g, 5.0, 1e-5)));
+    }
+
+    #[test]
+    fn linear_backward_accumulates() {
+        let mut rng = seeded_rng(2);
+        let mut l = Linear::new(2, 2, &mut rng);
+        let x = Matrix::ones(1, 2);
+        let _ = l.forward(&x);
+        let dy = Matrix::ones(1, 2);
+        let _ = l.backward(&dy);
+        let g1 = l.w.grad.clone();
+        let _ = l.backward(&dy);
+        assert_eq!(l.w.grad, g1.scale(2.0));
+        l.zero_grad();
+        assert_eq!(l.w.grad.sum(), 0.0);
+    }
+
+    #[test]
+    fn gcn_forward_propagates_neighbors() {
+        let mut rng = seeded_rng(3);
+        let c = ctx();
+        let mut conv = GcnConv::new(1, 1, &mut rng);
+        conv.w.value = Matrix::from_rows(&[&[1.0]]);
+        conv.b.value = Matrix::zeros(1, 1);
+        // One-hot feature on node 0 spreads mass to node 1 only (1 hop).
+        let x = Matrix::from_rows(&[&[1.0], &[0.0], &[0.0], &[0.0]]);
+        let y = conv.forward(&c, &x);
+        assert!(y.get(0, 0) > 0.0);
+        assert!(y.get(1, 0) > 0.0);
+        assert_eq!(y.get(2, 0), 0.0);
+        assert_eq!(y.get(3, 0), 0.0);
+    }
+
+    #[test]
+    fn gin_forward_uses_sum_aggregation() {
+        let mut rng = seeded_rng(4);
+        let c = ctx();
+        let mut conv = GinConv::new(1, 2, &mut rng);
+        let x = Matrix::ones(4, 1);
+        let y = conv.forward(&c, &x);
+        assert_eq!(y.shape(), (4, 2));
+        // Inference path agrees with training path (no dropout inside).
+        let y2 = conv.forward_inference(&c, &x);
+        for (a, b) in y.as_slice().iter().zip(y2.as_slice()) {
+            assert!(approx_eq(*a, *b, 1e-5));
+        }
+    }
+
+    #[test]
+    fn param_collections() {
+        let mut rng = seeded_rng(5);
+        let mut gcn = GcnConv::new(3, 4, &mut rng);
+        assert_eq!(gcn.params_mut().len(), 2);
+        let mut gin = GinConv::new(3, 4, &mut rng);
+        assert_eq!(gin.params_mut().len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "backward before forward")]
+    fn backward_without_forward_panics() {
+        let mut rng = seeded_rng(6);
+        let mut l = Linear::new(2, 2, &mut rng);
+        let _ = l.backward(&Matrix::ones(1, 2));
+    }
+}

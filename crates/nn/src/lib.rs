@@ -1,0 +1,53 @@
+//! Neural-network layers with hand-derived analytic backpropagation.
+//!
+//! The Fairwos paper trains everything with stochastic gradient descent over
+//! a handful of differentiable blocks (Eq. 4–16). Instead of depending on an
+//! autodiff framework (thin on graph primitives in Rust), this crate derives
+//! each layer's backward pass by hand and pins it down with finite-difference
+//! gradient checks ([`gradcheck`]).
+//!
+//! # Architecture
+//!
+//! * [`Param`] — a weight matrix paired with its gradient accumulator.
+//! * [`GraphContext`] — the propagation matrices of one graph (`Â` for GCN,
+//!   `A` for GIN), built once and shared by every forward/backward call.
+//! * Layers — [`Linear`], [`GcnConv`], [`GinConv`], [`Relu`], [`Dropout`];
+//!   each caches what its backward pass needs in `forward`.
+//! * [`Gnn`] — the backbone models of the paper (GCN / GIN + linear
+//!   classification head), producing node embeddings `h` and logits, and
+//!   accepting an *extra* embedding gradient in `backward` — that is how the
+//!   fairness regularizer (Eq. 13) flows into the shared encoder.
+//! * Losses ([`loss`]) — masked BCE-with-logits (paper Eq. 10), masked
+//!   softmax cross-entropy (encoder pre-training, Eq. 5), and the squared-L2
+//!   representation distance (Eq. 33).
+//! * Optimizers ([`Adam`], [`Sgd`]) — the paper uses Adam with lr 1e-3.
+//!
+//! # Gradient flow for the full Fairwos objective
+//!
+//! ```text
+//! L = L_U(logits)  +  α Σ_i λ_i Σ_k ‖h − h̄ᵏ‖²      (Eq. 15)
+//!       │                          │
+//!       ▼                          ▼
+//!   d logits                  d h (extra)
+//!       └──── head backward ──────┴──► conv layers backward ──► d params
+//! ```
+
+pub mod activation;
+mod context;
+mod gat;
+pub mod gradcheck;
+pub mod layers;
+pub mod loss;
+mod model;
+pub mod optim;
+mod param;
+mod sage;
+
+pub use activation::{Dropout, Relu};
+pub use context::GraphContext;
+pub use gat::GatConv;
+pub use layers::{GcnConv, GinConv, Linear};
+pub use model::{Backbone, Gnn, GnnConfig, GnnOutput};
+pub use optim::{Adam, Optimizer, Sgd};
+pub use param::Param;
+pub use sage::SageConv;

@@ -1,0 +1,199 @@
+//! Loss functions. Each returns `(loss_value, gradient_w.r.t._input)` so the
+//! trainer composes losses by summing gradients before the backward pass.
+
+use fairwos_tensor::Matrix;
+
+/// Binary cross-entropy over sigmoid logits, averaged over `mask` rows
+/// (paper Eq. 10, with `mask` = the labeled training nodes `V_L`).
+///
+/// `logits` is `N × 1`, `targets[v] ∈ {0.0, 1.0}`. Rows outside `mask` get a
+/// zero gradient. Uses the numerically stable fused form
+/// `BCE(z, y) = max(z, 0) − z·y + ln(1 + e^{−|z|})` and the exact gradient
+/// `σ(z) − y`.
+pub fn bce_with_logits_masked(logits: &Matrix, targets: &[f32], mask: &[usize]) -> (f32, Matrix) {
+    assert_eq!(logits.cols(), 1, "binary loss expects N×1 logits, got {:?}", logits.shape());
+    assert_eq!(logits.rows(), targets.len(), "logits rows vs targets length");
+    assert!(!mask.is_empty(), "empty training mask");
+    let inv = 1.0 / mask.len() as f32;
+    let mut grad = Matrix::zeros(logits.rows(), 1);
+    let mut loss = 0.0f32;
+    for &v in mask {
+        let z = logits.get(v, 0);
+        let y = targets[v];
+        debug_assert!(y == 0.0 || y == 1.0, "target {y} not binary");
+        loss += z.max(0.0) - z * y + (-z.abs()).exp().ln_1p();
+        let sigma = 1.0 / (1.0 + (-z).exp());
+        grad.set(v, 0, (sigma - y) * inv);
+    }
+    (loss * inv, grad)
+}
+
+/// Softmax cross-entropy averaged over `mask` rows (encoder pre-training,
+/// paper Eq. 5). `logits` is `N × C`, `labels[v] ∈ 0..C`.
+pub fn softmax_cross_entropy_masked(
+    logits: &Matrix,
+    labels: &[usize],
+    mask: &[usize],
+) -> (f32, Matrix) {
+    assert_eq!(logits.rows(), labels.len(), "logits rows vs labels length");
+    assert!(!mask.is_empty(), "empty training mask");
+    let c = logits.cols();
+    let inv = 1.0 / mask.len() as f32;
+    let log_probs = logits.log_softmax_rows();
+    let mut grad = Matrix::zeros(logits.rows(), c);
+    let mut loss = 0.0f32;
+    for &v in mask {
+        let y = labels[v];
+        assert!(y < c, "label {y} out of {c} classes at node {v}");
+        loss -= log_probs.get(v, y);
+        let row = log_probs.row(v);
+        let g = grad.row_mut(v);
+        for (j, &lp) in row.iter().enumerate() {
+            g[j] = (lp.exp() - if j == y { 1.0 } else { 0.0 }) * inv;
+        }
+    }
+    (loss * inv, grad)
+}
+
+/// Squared-L2 representation distance `‖a_rowᵢ − b_rowᵢ‖²` summed over the
+/// given `(i, j, weight)` pairs, with the gradient w.r.t. `a` only.
+///
+/// This is the fairness regularizer `D_i(h, h̄ᵏ)` of paper Eq. 13/33: `a` is
+/// the live embedding matrix `H` (gradient flows), `b` holds the
+/// counterfactual targets `h̄` (detached, as in the paper's implementation —
+/// the counterfactual embedding is a search result, not a function being
+/// differentiated through).
+pub fn weighted_sq_l2_rows(a: &Matrix, b: &Matrix, pairs: &[(usize, usize, f32)]) -> (f32, Matrix) {
+    assert_eq!(a.cols(), b.cols(), "embedding dims differ: {} vs {}", a.cols(), b.cols());
+    let mut grad = Matrix::zeros(a.rows(), a.cols());
+    let mut loss = 0.0f32;
+    for &(i, j, w) in pairs {
+        let ra = a.row(i);
+        let rb = b.row(j);
+        let g = grad.row_mut(i);
+        for ((ga, &x), &y) in g.iter_mut().zip(ra).zip(rb) {
+            let d = x - y;
+            loss += w * d * d;
+            *ga += 2.0 * w * d;
+        }
+    }
+    (loss, grad)
+}
+
+/// Elementwise sigmoid of an `N × 1` logits matrix — predictions `ŷ` for the
+/// fairness metrics.
+pub fn sigmoid(logits: &Matrix) -> Matrix {
+    logits.map(|z| 1.0 / (1.0 + (-z).exp()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairwos_tensor::approx_eq;
+
+    #[test]
+    fn bce_known_values() {
+        // z = 0 ⇒ p = 0.5 ⇒ loss = ln 2 regardless of target.
+        let logits = Matrix::zeros(2, 1);
+        let (loss, grad) = bce_with_logits_masked(&logits, &[1.0, 0.0], &[0, 1]);
+        assert!(approx_eq(loss, std::f32::consts::LN_2, 1e-5));
+        assert!(approx_eq(grad.get(0, 0), -0.25, 1e-5)); // (0.5-1)/2
+        assert!(approx_eq(grad.get(1, 0), 0.25, 1e-5));
+    }
+
+    #[test]
+    fn bce_mask_excludes_rows() {
+        let logits = Matrix::from_rows(&[&[5.0], &[100.0]]);
+        let (_, grad) = bce_with_logits_masked(&logits, &[1.0, 0.0], &[0]);
+        assert_eq!(grad.get(1, 0), 0.0);
+    }
+
+    #[test]
+    fn bce_stable_at_extreme_logits() {
+        let logits = Matrix::from_rows(&[&[1000.0], &[-1000.0]]);
+        let (loss, grad) = bce_with_logits_masked(&logits, &[1.0, 0.0], &[0, 1]);
+        assert!(loss.is_finite());
+        assert!(!grad.has_non_finite());
+        assert!(approx_eq(loss, 0.0, 1e-4)); // perfectly confident & correct
+    }
+
+    #[test]
+    fn bce_gradient_finite_difference() {
+        let targets = [1.0, 0.0, 1.0];
+        let mask = [0, 1, 2];
+        let z0 = Matrix::from_rows(&[&[0.3], &[-0.7], &[1.2]]);
+        let (_, grad) = bce_with_logits_masked(&z0, &targets, &mask);
+        let eps = 1e-3;
+        for v in 0..3 {
+            let mut zp = z0.clone();
+            zp.set(v, 0, z0.get(v, 0) + eps);
+            let mut zm = z0.clone();
+            zm.set(v, 0, z0.get(v, 0) - eps);
+            let (lp, _) = bce_with_logits_masked(&zp, &targets, &mask);
+            let (lm, _) = bce_with_logits_masked(&zm, &targets, &mask);
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!(approx_eq(fd, grad.get(v, 0), 1e-2), "node {v}: fd {fd} vs {}", grad.get(v, 0));
+        }
+    }
+
+    #[test]
+    fn softmax_ce_known_and_fd() {
+        let logits = Matrix::from_rows(&[&[1.0, 2.0, 0.5], &[0.0, 0.0, 0.0]]);
+        let labels = [1usize, 2usize];
+        let mask = [0, 1];
+        let (loss, grad) = softmax_cross_entropy_masked(&logits, &labels, &mask);
+        assert!(loss > 0.0);
+        // Gradient rows sum to zero (softmax simplex tangent).
+        for v in 0..2 {
+            let s: f32 = grad.row(v).iter().sum();
+            assert!(approx_eq(s, 0.0, 1e-5), "row {v} grad sum {s}");
+        }
+        // Finite differences.
+        let eps = 1e-3;
+        for v in 0..2 {
+            for c in 0..3 {
+                let mut zp = logits.clone();
+                zp.set(v, c, logits.get(v, c) + eps);
+                let mut zm = logits.clone();
+                zm.set(v, c, logits.get(v, c) - eps);
+                let (lp, _) = softmax_cross_entropy_masked(&zp, &labels, &mask);
+                let (lm, _) = softmax_cross_entropy_masked(&zm, &labels, &mask);
+                let fd = (lp - lm) / (2.0 * eps);
+                assert!(approx_eq(fd, grad.get(v, c), 1e-2));
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_sq_l2_known() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[0.0, 0.0]]);
+        let b = Matrix::from_rows(&[&[0.0, 0.0], &[1.0, 1.0]]);
+        // pair (0 -> b row 1) with weight 2: d = (0,1), loss = 2*(0+1) = 2
+        let (loss, grad) = weighted_sq_l2_rows(&a, &b, &[(0, 1, 2.0)]);
+        assert!(approx_eq(loss, 2.0, 1e-6));
+        assert_eq!(grad.row(0), &[0.0, 4.0]);
+        assert_eq!(grad.row(1), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn weighted_sq_l2_zero_for_identical() {
+        let a = Matrix::ones(2, 3);
+        let (loss, grad) = weighted_sq_l2_rows(&a, &a, &[(0, 0, 1.0), (1, 1, 0.5)]);
+        assert_eq!(loss, 0.0);
+        assert_eq!(grad.sum(), 0.0);
+    }
+
+    #[test]
+    fn sigmoid_range() {
+        let p = sigmoid(&Matrix::from_rows(&[&[-100.0], &[0.0], &[100.0]]));
+        assert!(approx_eq(p.get(0, 0), 0.0, 1e-5));
+        assert!(approx_eq(p.get(1, 0), 0.5, 1e-5));
+        assert!(approx_eq(p.get(2, 0), 1.0, 1e-5));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty training mask")]
+    fn bce_empty_mask_panics() {
+        let _ = bce_with_logits_masked(&Matrix::zeros(1, 1), &[0.0], &[]);
+    }
+}

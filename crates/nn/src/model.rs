@@ -1,0 +1,380 @@
+//! The GNN backbones of the paper: GCN / GIN stacks with a linear
+//! classification head (paper Eq. 7–9).
+
+use crate::{Dropout, GatConv, GcnConv, GinConv, GraphContext, Linear, Param, Relu, SageConv};
+use fairwos_tensor::Matrix;
+use rand::Rng;
+
+/// Which message-passing backbone to use. The paper evaluates both.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum Backbone {
+    /// Kipf–Welling graph convolution, `H' = Â·X·W`.
+    Gcn,
+    /// Graph isomorphism network, `H' = MLP((1+ε)X + A·X)`.
+    Gin,
+    /// GraphSAGE with the mean aggregator,
+    /// `H' = X·W_self + (D^{-1}A·X)·W_neigh`.
+    Sage,
+    /// Graph attention network (single head),
+    /// `H'_i = Σ_j α_ij·W·x_j` with learned attention α.
+    Gat,
+}
+
+impl std::fmt::Display for Backbone {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Backbone::Gcn => write!(f, "GCN"),
+            Backbone::Gin => write!(f, "GIN"),
+            Backbone::Sage => write!(f, "SAGE"),
+            Backbone::Gat => write!(f, "GAT"),
+        }
+    }
+}
+
+/// Architecture of a [`Gnn`].
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct GnnConfig {
+    /// Message-passing flavour.
+    pub backbone: Backbone,
+    /// Input feature dimension.
+    pub in_dim: usize,
+    /// Hidden (= embedding) dimension. The paper uses 16.
+    pub hidden_dim: usize,
+    /// Number of conv layers. The paper uses 1.
+    pub num_layers: usize,
+    /// Dropout probability applied to embeddings during training.
+    pub dropout: f32,
+}
+
+impl GnnConfig {
+    /// The paper's default backbone configuration: 1 layer, 16 hidden units,
+    /// no dropout.
+    pub fn paper_default(backbone: Backbone, in_dim: usize) -> Self {
+        Self { backbone, in_dim, hidden_dim: 16, num_layers: 1, dropout: 0.0 }
+    }
+}
+
+enum Conv {
+    Gcn(GcnConv),
+    Gin(GinConv),
+    Sage(SageConv),
+    Gat(GatConv),
+}
+
+impl Conv {
+    fn forward(&mut self, ctx: &GraphContext, x: &Matrix) -> Matrix {
+        match self {
+            Conv::Gcn(c) => c.forward(ctx, x),
+            Conv::Gin(c) => c.forward(ctx, x),
+            Conv::Sage(c) => c.forward(ctx, x),
+            Conv::Gat(c) => c.forward(ctx, x),
+        }
+    }
+
+    fn forward_inference(&self, ctx: &GraphContext, x: &Matrix) -> Matrix {
+        match self {
+            Conv::Gcn(c) => c.forward_inference(ctx, x),
+            Conv::Gin(c) => c.forward_inference(ctx, x),
+            Conv::Sage(c) => c.forward_inference(ctx, x),
+            Conv::Gat(c) => c.forward_inference(ctx, x),
+        }
+    }
+
+    fn backward(&mut self, ctx: &GraphContext, dy: &Matrix) -> Matrix {
+        match self {
+            Conv::Gcn(c) => c.backward(ctx, dy),
+            Conv::Gin(c) => c.backward(ctx, dy),
+            Conv::Sage(c) => c.backward(ctx, dy),
+            Conv::Gat(c) => c.backward(ctx, dy),
+        }
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        match self {
+            Conv::Gcn(c) => c.params_mut(),
+            Conv::Gin(c) => c.params_mut(),
+            Conv::Sage(c) => c.params_mut(),
+            Conv::Gat(c) => c.params_mut(),
+        }
+    }
+
+    fn zero_grad(&mut self) {
+        match self {
+            Conv::Gcn(c) => c.zero_grad(),
+            Conv::Gin(c) => c.zero_grad(),
+            Conv::Sage(c) => c.zero_grad(),
+            Conv::Gat(c) => c.zero_grad(),
+        }
+    }
+
+    /// Frobenius norm of the layer's self-transformation weight `W_a`
+    /// (Theorem 2). For GIN the MLP's first layer plays that role.
+    fn self_weight_norm(&self) -> f32 {
+        match self {
+            Conv::Gcn(c) => c.w.value.frobenius_norm(),
+            Conv::Gin(c) => c.fc1.w.value.frobenius_norm(),
+            Conv::Sage(c) => c.w_self.value.frobenius_norm(),
+            Conv::Gat(c) => c.w.value.frobenius_norm(),
+        }
+    }
+}
+
+/// Output of one forward pass.
+pub struct GnnOutput {
+    /// Node embeddings `h` after the last conv + activation (`N × hidden`).
+    pub embeddings: Matrix,
+    /// Classification logits (`N × 1` for the binary tasks).
+    pub logits: Matrix,
+}
+
+/// A GNN node classifier: conv stack → ReLU (+ dropout) → linear head.
+///
+/// `backward` accepts an *extra* gradient on the embeddings, which is how
+/// the fairness regularizer of Eq. 13 reaches the shared conv weights
+/// alongside the utility loss.
+pub struct Gnn {
+    config: GnnConfig,
+    convs: Vec<Conv>,
+    relus: Vec<Relu>,
+    dropout: Dropout,
+    /// Linear classification head (paper Eq. 9).
+    pub head: Linear,
+}
+
+impl Gnn {
+    /// Builds a model with freshly initialized weights.
+    ///
+    /// # Panics
+    /// If `num_layers == 0` or any dimension is zero.
+    pub fn new(config: GnnConfig, rng: &mut impl Rng) -> Self {
+        assert!(config.num_layers >= 1, "need at least one conv layer");
+        assert!(config.in_dim >= 1 && config.hidden_dim >= 1, "zero-sized layer");
+        let mut convs = Vec::with_capacity(config.num_layers);
+        let mut relus = Vec::with_capacity(config.num_layers);
+        for l in 0..config.num_layers {
+            let in_dim = if l == 0 { config.in_dim } else { config.hidden_dim };
+            convs.push(match config.backbone {
+                Backbone::Gcn => Conv::Gcn(GcnConv::new(in_dim, config.hidden_dim, rng)),
+                Backbone::Gin => Conv::Gin(GinConv::new(in_dim, config.hidden_dim, rng)),
+                Backbone::Sage => Conv::Sage(SageConv::new(in_dim, config.hidden_dim, rng)),
+                Backbone::Gat => Conv::Gat(GatConv::new(in_dim, config.hidden_dim, rng)),
+            });
+            relus.push(Relu::new());
+        }
+        let head = Linear::new(config.hidden_dim, 1, rng);
+        let dropout = Dropout::new(config.dropout);
+        Self { config, convs, relus, dropout, head }
+    }
+
+    /// The architecture this model was built with.
+    pub fn config(&self) -> &GnnConfig {
+        &self.config
+    }
+
+    /// Training-mode forward pass (caches activations, samples dropout).
+    pub fn forward_train(&mut self, ctx: &GraphContext, x: &Matrix, rng: &mut impl Rng) -> GnnOutput {
+        let mut h = x.clone();
+        for (conv, relu) in self.convs.iter_mut().zip(&mut self.relus) {
+            h = relu.forward(&conv.forward(ctx, &h));
+        }
+        let h_dropped = self.dropout.forward_train(&h, rng);
+        let logits = self.head.forward(&h_dropped);
+        GnnOutput { embeddings: h, logits }
+    }
+
+    /// Inference forward pass (no caching, no dropout).
+    pub fn forward_inference(&self, ctx: &GraphContext, x: &Matrix) -> GnnOutput {
+        let mut h = x.clone();
+        for conv in &self.convs {
+            h = conv.forward_inference(ctx, &h).map(|v| v.max(0.0));
+        }
+        let logits = self.head.forward_inference(&h);
+        GnnOutput { embeddings: h, logits }
+    }
+
+    /// Backward pass from the logits gradient, optionally adding a direct
+    /// gradient on the embeddings (the fairness term of Eq. 15/16).
+    ///
+    /// Must follow a `forward_train` call with the same `ctx`.
+    pub fn backward(&mut self, ctx: &GraphContext, dlogits: &Matrix, dh_extra: Option<&Matrix>) {
+        let dh_head = self.head.backward(dlogits);
+        let mut dh = self.dropout.backward(&dh_head);
+        if let Some(extra) = dh_extra {
+            dh.add_assign(extra);
+        }
+        for (conv, relu) in self.convs.iter_mut().zip(&mut self.relus).rev() {
+            let d = relu.backward(&dh);
+            dh = conv.backward(ctx, &d);
+        }
+    }
+
+    /// All trainable parameters (convs then head), in a stable order.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut p = Vec::new();
+        for conv in &mut self.convs {
+            p.extend(conv.params_mut());
+        }
+        p.extend(self.head.params_mut());
+        p
+    }
+
+    /// Zeroes every parameter gradient.
+    pub fn zero_grad(&mut self) {
+        for conv in &mut self.convs {
+            conv.zero_grad();
+        }
+        self.head.zero_grad();
+    }
+
+    /// `Π_k ‖W_a^k‖_F` over the conv layers — the upper bound of Theorem 2
+    /// on the embedding difference between a graph and its counterfactual.
+    pub fn weight_product_norm(&self) -> f32 {
+        self.convs.iter().map(Conv::self_weight_norm).product()
+    }
+
+    /// Number of scalar parameters.
+    pub fn num_parameters(&mut self) -> usize {
+        self.params_mut().iter().map(|p| p.len()).sum()
+    }
+
+    /// Snapshots all weights in the stable [`Gnn::params_mut`] order, for
+    /// persistence.
+    pub fn export_weights(&mut self) -> Vec<Matrix> {
+        self.params_mut().iter().map(|p| p.value.clone()).collect()
+    }
+
+    /// Restores weights exported by [`Gnn::export_weights`] from a model
+    /// with the same [`GnnConfig`].
+    ///
+    /// # Panics
+    /// If the count or any shape disagrees with this model's parameters.
+    pub fn import_weights(&mut self, weights: &[Matrix]) {
+        let params = self.params_mut();
+        assert_eq!(params.len(), weights.len(), "parameter count mismatch");
+        for (p, w) in params.into_iter().zip(weights) {
+            assert_eq!(p.value.shape(), w.shape(), "parameter shape mismatch");
+            p.value = w.clone();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairwos_graph::GraphBuilder;
+    use fairwos_tensor::seeded_rng;
+
+    fn small_ctx() -> GraphContext {
+        GraphContext::new(&GraphBuilder::new(5).edge(0, 1).edge(1, 2).edge(2, 3).edge(3, 4).build())
+    }
+
+    #[test]
+    fn forward_shapes() {
+        for backbone in [Backbone::Gcn, Backbone::Gin] {
+            let mut rng = seeded_rng(0);
+            let ctx = small_ctx();
+            let mut gnn = Gnn::new(
+                GnnConfig { backbone, in_dim: 3, hidden_dim: 8, num_layers: 2, dropout: 0.0 },
+                &mut rng,
+            );
+            let x = Matrix::rand_uniform(5, 3, -1.0, 1.0, &mut rng);
+            let out = gnn.forward_train(&ctx, &x, &mut rng);
+            assert_eq!(out.embeddings.shape(), (5, 8));
+            assert_eq!(out.logits.shape(), (5, 1));
+        }
+    }
+
+    #[test]
+    fn inference_matches_train_without_dropout() {
+        let mut rng = seeded_rng(1);
+        let ctx = small_ctx();
+        let mut gnn = Gnn::new(GnnConfig::paper_default(Backbone::Gcn, 4), &mut rng);
+        let x = Matrix::rand_uniform(5, 4, -1.0, 1.0, &mut rng);
+        let train = gnn.forward_train(&ctx, &x, &mut rng);
+        let infer = gnn.forward_inference(&ctx, &x);
+        for (a, b) in train.logits.as_slice().iter().zip(infer.logits.as_slice()) {
+            assert!(fairwos_tensor::approx_eq(*a, *b, 1e-5));
+        }
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        use crate::loss::bce_with_logits_masked;
+        use crate::optim::{Adam, Optimizer};
+        let mut rng = seeded_rng(2);
+        let ctx = small_ctx();
+        let mut gnn = Gnn::new(GnnConfig::paper_default(Backbone::Gcn, 2), &mut rng);
+        let x = Matrix::rand_uniform(5, 2, -1.0, 1.0, &mut rng);
+        let targets = [1.0, 0.0, 1.0, 0.0, 1.0];
+        let mask = [0, 1, 2, 3, 4];
+        let mut opt = Adam::new(0.05);
+        let mut losses = Vec::new();
+        for _ in 0..60 {
+            gnn.zero_grad();
+            let out = gnn.forward_train(&ctx, &x, &mut rng);
+            let (loss, dlogits) = bce_with_logits_masked(&out.logits, &targets, &mask);
+            gnn.backward(&ctx, &dlogits, None);
+            opt.step(&mut gnn.params_mut());
+            losses.push(loss);
+        }
+        assert!(
+            losses.last().unwrap() < &(losses[0] * 0.8),
+            "loss {} -> {} did not drop",
+            losses[0],
+            losses.last().unwrap()
+        );
+    }
+
+    #[test]
+    fn extra_embedding_gradient_changes_updates() {
+        let mut rng = seeded_rng(3);
+        let ctx = small_ctx();
+        let mut a = Gnn::new(GnnConfig::paper_default(Backbone::Gcn, 2), &mut rng);
+        let x = Matrix::rand_uniform(5, 2, -1.0, 1.0, &mut rng);
+
+        // Same model, same forward; backward once without and once with an
+        // extra embedding gradient — conv gradients must differ.
+        let dlogits = Matrix::zeros(5, 1);
+        let _ = a.forward_train(&ctx, &x, &mut rng);
+        a.zero_grad();
+        a.backward(&ctx, &dlogits, None);
+        let g_plain = a.params_mut()[0].grad.clone();
+
+        let _ = a.forward_train(&ctx, &x, &mut rng);
+        a.zero_grad();
+        let extra = Matrix::ones(5, 16);
+        a.backward(&ctx, &dlogits, Some(&extra));
+        let g_extra = a.params_mut()[0].grad.clone();
+
+        assert_eq!(g_plain.sum(), 0.0, "zero dlogits and no extra ⇒ zero grads");
+        assert!(g_extra.frobenius_norm() > 0.0, "extra gradient did not reach conv weights");
+    }
+
+    #[test]
+    fn weight_product_norm_positive() {
+        let mut rng = seeded_rng(4);
+        let gnn = Gnn::new(
+            GnnConfig { backbone: Backbone::Gcn, in_dim: 3, hidden_dim: 4, num_layers: 3, dropout: 0.0 },
+            &mut rng,
+        );
+        assert!(gnn.weight_product_norm() > 0.0);
+    }
+
+    #[test]
+    fn num_parameters_counts() {
+        let mut rng = seeded_rng(5);
+        let mut gnn = Gnn::new(GnnConfig::paper_default(Backbone::Gcn, 10), &mut rng);
+        // GCN: 10*16 + 16 (conv) + 16*1 + 1 (head) = 193.
+        assert_eq!(gnn.num_parameters(), 193);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one conv layer")]
+    fn zero_layers_rejected() {
+        let mut rng = seeded_rng(6);
+        let _ = Gnn::new(
+            GnnConfig { backbone: Backbone::Gcn, in_dim: 2, hidden_dim: 2, num_layers: 0, dropout: 0.0 },
+            &mut rng,
+        );
+    }
+}

@@ -1,0 +1,232 @@
+//! First-order optimizers. The paper trains everything with Adam (lr 1e-3).
+
+use crate::Param;
+use fairwos_tensor::Matrix;
+
+/// A first-order optimizer updating a flat list of parameters.
+///
+/// Parameters must be passed in the same order every step: stateful
+/// optimizers (Adam) key their moment buffers by position.
+pub trait Optimizer {
+    /// Applies one update step using each parameter's accumulated gradient.
+    fn step(&mut self, params: &mut [&mut Param]);
+
+    /// The current learning rate.
+    fn learning_rate(&self) -> f32;
+
+    /// Overrides the learning rate (e.g. decay schedules).
+    fn set_learning_rate(&mut self, lr: f32);
+}
+
+/// Plain SGD with optional momentum.
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    velocity: Vec<Matrix>,
+}
+
+impl Sgd {
+    /// SGD with learning rate `lr` and no momentum.
+    pub fn new(lr: f32) -> Self {
+        Self::with_momentum(lr, 0.0)
+    }
+
+    /// SGD with classical momentum `μ ∈ [0, 1)`.
+    pub fn with_momentum(lr: f32, momentum: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive, got {lr}");
+        assert!((0.0..1.0).contains(&momentum), "momentum {momentum} outside [0, 1)");
+        Self { lr, momentum, velocity: Vec::new() }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &mut [&mut Param]) {
+        if self.momentum == 0.0 {
+            for p in params.iter_mut() {
+                p.value.add_scaled(-self.lr, &p.grad);
+            }
+            return;
+        }
+        if self.velocity.len() < params.len() {
+            for p in params[self.velocity.len()..].iter() {
+                self.velocity.push(Matrix::zeros(p.value.rows(), p.value.cols()));
+            }
+        }
+        for (p, v) in params.iter_mut().zip(&mut self.velocity) {
+            v.scale_assign(self.momentum);
+            v.add_assign(&p.grad);
+            p.value.add_scaled(-self.lr, v);
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Adam (Kingma & Ba 2015) with bias correction.
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: u64,
+    m: Vec<Matrix>,
+    v: Vec<Matrix>,
+}
+
+impl Adam {
+    /// Adam with the standard hyper-parameters (β₁ = 0.9, β₂ = 0.999,
+    /// ε = 1e-8). The paper uses `lr = 1e-3`.
+    pub fn new(lr: f32) -> Self {
+        Self::with_betas(lr, 0.9, 0.999, 1e-8)
+    }
+
+    /// Adam with explicit betas.
+    pub fn with_betas(lr: f32, beta1: f32, beta2: f32, eps: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive, got {lr}");
+        assert!((0.0..1.0).contains(&beta1) && (0.0..1.0).contains(&beta2));
+        Self { lr, beta1, beta2, eps, t: 0, m: Vec::new(), v: Vec::new() }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &mut [&mut Param]) {
+        if self.m.len() < params.len() {
+            for p in params[self.m.len()..].iter() {
+                self.m.push(Matrix::zeros(p.value.rows(), p.value.cols()));
+                self.v.push(Matrix::zeros(p.value.rows(), p.value.cols()));
+            }
+        }
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for ((p, m), v) in params.iter_mut().zip(&mut self.m).zip(&mut self.v) {
+            assert_eq!(
+                p.value.shape(),
+                m.shape(),
+                "parameter order/shape changed between Adam steps"
+            );
+            let value = p.value.as_mut_slice();
+            let grad = p.grad.as_slice();
+            for i in 0..value.len() {
+                let g = grad[i];
+                let mi = self.beta1 * m.as_slice()[i] + (1.0 - self.beta1) * g;
+                let vi = self.beta2 * v.as_slice()[i] + (1.0 - self.beta2) * g * g;
+                m.as_mut_slice()[i] = mi;
+                v.as_mut_slice()[i] = vi;
+                let m_hat = mi / bc1;
+                let v_hat = vi / bc2;
+                value[i] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+            }
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Rescales gradients in place so their global L2 norm is at most
+/// `max_norm`. Returns the pre-clip norm.
+pub fn clip_grad_norm(params: &mut [&mut Param], max_norm: f32) -> f32 {
+    let total: f32 = params
+        .iter()
+        .map(|p| p.grad.as_slice().iter().map(|g| g * g).sum::<f32>())
+        .sum::<f32>()
+        .sqrt();
+    if total > max_norm && total > 0.0 {
+        let scale = max_norm / total;
+        for p in params.iter_mut() {
+            p.grad.scale_assign(scale);
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairwos_tensor::approx_eq;
+
+    /// Minimise f(x) = (x - 3)² from x = 0; gradient is 2(x - 3).
+    fn run_quadratic(opt: &mut dyn Optimizer, steps: usize) -> f32 {
+        let mut p = Param::new(Matrix::zeros(1, 1));
+        for _ in 0..steps {
+            p.zero_grad();
+            let x = p.value.get(0, 0);
+            p.grad.set(0, 0, 2.0 * (x - 3.0));
+            opt.step(&mut [&mut p]);
+        }
+        p.value.get(0, 0)
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let x = run_quadratic(&mut Sgd::new(0.1), 100);
+        assert!(approx_eq(x, 3.0, 1e-3), "x = {x}");
+    }
+
+    #[test]
+    fn sgd_momentum_converges() {
+        let x = run_quadratic(&mut Sgd::with_momentum(0.05, 0.9), 200);
+        assert!(approx_eq(x, 3.0, 1e-2), "x = {x}");
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let x = run_quadratic(&mut Adam::new(0.1), 300);
+        assert!(approx_eq(x, 3.0, 1e-2), "x = {x}");
+    }
+
+    #[test]
+    fn adam_first_step_is_lr_sized() {
+        // With bias correction, the very first Adam step ≈ lr·sign(grad).
+        let mut p = Param::new(Matrix::zeros(1, 1));
+        p.grad.set(0, 0, 42.0);
+        let mut opt = Adam::new(0.01);
+        opt.step(&mut [&mut p]);
+        assert!(approx_eq(p.value.get(0, 0), -0.01, 1e-4), "step {}", p.value.get(0, 0));
+    }
+
+    #[test]
+    fn learning_rate_accessors() {
+        let mut opt = Adam::new(0.5);
+        assert_eq!(opt.learning_rate(), 0.5);
+        opt.set_learning_rate(0.25);
+        assert_eq!(opt.learning_rate(), 0.25);
+    }
+
+    #[test]
+    fn clip_grad_norm_scales_down() {
+        let mut p = Param::new(Matrix::zeros(1, 2));
+        p.grad.set_row(0, &[3.0, 4.0]); // norm 5
+        let pre = clip_grad_norm(&mut [&mut p], 1.0);
+        assert!(approx_eq(pre, 5.0, 1e-5));
+        assert!(approx_eq(p.grad.row(0)[0], 0.6, 1e-5));
+        assert!(approx_eq(p.grad.row(0)[1], 0.8, 1e-5));
+    }
+
+    #[test]
+    fn clip_grad_norm_noop_below_threshold() {
+        let mut p = Param::new(Matrix::zeros(1, 2));
+        p.grad.set_row(0, &[0.3, 0.4]);
+        let pre = clip_grad_norm(&mut [&mut p], 1.0);
+        assert!(approx_eq(pre, 0.5, 1e-5));
+        assert_eq!(p.grad.row(0), &[0.3, 0.4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "learning rate must be positive")]
+    fn rejects_nonpositive_lr() {
+        let _ = Adam::new(0.0);
+    }
+}

@@ -1,0 +1,62 @@
+//! Trainable parameters: a value matrix plus its gradient accumulator.
+
+use fairwos_tensor::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// A trainable weight matrix and the gradient accumulated for it during the
+/// current backward pass.
+///
+/// Layers *accumulate* into `grad` (`+=`) rather than overwrite, so several
+/// loss terms (utility + fairness) can contribute to one step; trainers call
+/// [`Param::zero_grad`] before each backward pass.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Param {
+    /// Current value.
+    pub value: Matrix,
+    /// Gradient of the loss w.r.t. `value`, accumulated since `zero_grad`.
+    pub grad: Matrix,
+}
+
+impl Param {
+    /// Wraps an initial value with a zeroed gradient.
+    pub fn new(value: Matrix) -> Self {
+        let grad = Matrix::zeros(value.rows(), value.cols());
+        Self { value, grad }
+    }
+
+    /// Resets the gradient accumulator to zero.
+    pub fn zero_grad(&mut self) {
+        self.grad.as_mut_slice().fill(0.0);
+    }
+
+    /// Number of scalar parameters.
+    pub fn len(&self) -> usize {
+        self.value.len()
+    }
+
+    /// True for an empty (0-element) parameter.
+    pub fn is_empty(&self) -> bool {
+        self.value.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_param_has_zero_grad() {
+        let p = Param::new(Matrix::ones(2, 3));
+        assert_eq!(p.grad, Matrix::zeros(2, 3));
+        assert_eq!(p.len(), 6);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn zero_grad_clears() {
+        let mut p = Param::new(Matrix::ones(2, 2));
+        p.grad.as_mut_slice().fill(3.0);
+        p.zero_grad();
+        assert_eq!(p.grad.sum(), 0.0);
+    }
+}

@@ -1,0 +1,198 @@
+//! GraphSAGE convolution (Hamilton, Ying & Leskovec, NeurIPS 2017) with the
+//! mean aggregator:
+//!
+//! `H' = X·W_self + (D^{-1}A·X)·W_neigh + b`
+//!
+//! The paper notes Fairwos "is flexible for various backbones"; GraphSAGE is
+//! the third backbone offered here (§VI-A of the paper lists it among the
+//! standard spatial GNNs). The mean aggregator keeps activations at the
+//! same scale as GCN, unlike GIN's sums.
+
+use crate::{GraphContext, Param};
+use fairwos_tensor::{glorot_uniform, Matrix};
+use rand::Rng;
+
+/// Mean-aggregator GraphSAGE layer.
+///
+/// Backward (given `dY`, with `M = D^{-1}A` row-normalized):
+/// `dW_self = Xᵀ·dY`, `dW_neigh = (M·X)ᵀ·dY`, `db = col sums`,
+/// `dX = dY·W_selfᵀ + Mᵀ·(dY·W_neighᵀ)`.
+pub struct SageConv {
+    /// Self-transformation weight (`W_a` of Theorem 2).
+    pub w_self: Param,
+    /// Neighbour-aggregation weight.
+    pub w_neigh: Param,
+    /// Bias, `1 × out_dim`.
+    pub b: Param,
+    cached_x: Option<Matrix>,
+    cached_mx: Option<Matrix>,
+}
+
+impl SageConv {
+    /// Glorot-initialized SAGE layer.
+    pub fn new(in_dim: usize, out_dim: usize, rng: &mut impl Rng) -> Self {
+        Self {
+            w_self: Param::new(glorot_uniform(in_dim, out_dim, rng)),
+            w_neigh: Param::new(glorot_uniform(in_dim, out_dim, rng)),
+            b: Param::new(Matrix::zeros(1, out_dim)),
+            cached_x: None,
+            cached_mx: None,
+        }
+    }
+
+    /// `X·W_self + (M·X)·W_neigh + b`, caching both operands.
+    pub fn forward(&mut self, ctx: &GraphContext, x: &Matrix) -> Matrix {
+        let mx = ctx.mean_adj().spmm(x);
+        let mut y = x.matmul(&self.w_self.value);
+        y.add_assign(&mx.matmul(&self.w_neigh.value));
+        y.add_row_broadcast(self.b.value.row(0));
+        self.cached_x = Some(x.clone());
+        self.cached_mx = Some(mx);
+        y
+    }
+
+    /// Inference-only forward.
+    pub fn forward_inference(&self, ctx: &GraphContext, x: &Matrix) -> Matrix {
+        let mx = ctx.mean_adj().spmm(x);
+        let mut y = x.matmul(&self.w_self.value);
+        y.add_assign(&mx.matmul(&self.w_neigh.value));
+        y.add_row_broadcast(self.b.value.row(0));
+        y
+    }
+
+    /// Accumulates gradients; returns `dX`.
+    pub fn backward(&mut self, ctx: &GraphContext, dy: &Matrix) -> Matrix {
+        let x = self.cached_x.as_ref().expect("SageConv::backward before forward");
+        let mx = self.cached_mx.as_ref().expect("SageConv::backward before forward");
+        self.w_self.grad.add_assign(&x.matmul_tn(dy));
+        self.w_neigh.grad.add_assign(&mx.matmul_tn(dy));
+        let db = dy.col_sums();
+        for (g, d) in self.b.grad.row_mut(0).iter_mut().zip(db) {
+            *g += d;
+        }
+        // dX = dY·W_selfᵀ + Mᵀ·(dY·W_neighᵀ); M is NOT symmetric (row
+        // normalization), so the transposed propagation matrix is explicit.
+        let mut dx = dy.matmul_nt(&self.w_self.value);
+        dx.add_assign(&ctx.mean_adj_t().spmm(&dy.matmul_nt(&self.w_neigh.value)));
+        dx
+    }
+
+    /// The layer's parameters.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.w_self, &mut self.w_neigh, &mut self.b]
+    }
+
+    /// Clears gradients.
+    pub fn zero_grad(&mut self) {
+        self.w_self.zero_grad();
+        self.w_neigh.zero_grad();
+        self.b.zero_grad();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairwos_graph::GraphBuilder;
+    use fairwos_tensor::{approx_eq, seeded_rng};
+
+    fn ctx() -> GraphContext {
+        GraphContext::new(&GraphBuilder::new(4).edge(0, 1).edge(1, 2).edge(2, 3).build())
+    }
+
+    #[test]
+    fn forward_mean_aggregates() {
+        let mut rng = seeded_rng(0);
+        let c = ctx();
+        let mut conv = SageConv::new(1, 1, &mut rng);
+        conv.w_self.value = Matrix::from_rows(&[&[0.0]]); // isolate neighbour term
+        conv.w_neigh.value = Matrix::from_rows(&[&[1.0]]);
+        conv.b.value = Matrix::zeros(1, 1);
+        let x = Matrix::from_rows(&[&[2.0], &[4.0], &[6.0], &[8.0]]);
+        let y = conv.forward(&c, &x);
+        // node 1's neighbours are {0, 2}: mean = 4.
+        assert!(approx_eq(y.get(1, 0), 4.0, 1e-5));
+        // node 0's only neighbour is 1: mean = 4.
+        assert!(approx_eq(y.get(0, 0), 4.0, 1e-5));
+    }
+
+    #[test]
+    fn inference_matches_train() {
+        let mut rng = seeded_rng(1);
+        let c = ctx();
+        let mut conv = SageConv::new(3, 5, &mut rng);
+        let x = Matrix::rand_uniform(4, 3, -1.0, 1.0, &mut rng);
+        let a = conv.forward(&c, &x);
+        let b = conv.forward_inference(&c, &x);
+        for (p, q) in a.as_slice().iter().zip(b.as_slice()) {
+            assert!(approx_eq(*p, *q, 1e-6));
+        }
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        use crate::gradcheck::check_param_gradient;
+        use crate::loss::bce_with_logits_masked;
+        let mut rng = seeded_rng(2);
+        let c = ctx();
+        let x = Matrix::rand_uniform(4, 3, -1.0, 1.0, &mut rng);
+        let targets = [1.0, 0.0, 1.0, 0.0];
+        let mask = [0usize, 1, 2, 3];
+        let mut conv = SageConv::new(3, 1, &mut rng);
+
+        conv.zero_grad();
+        let logits = conv.forward(&c, &x);
+        let (_, dlogits) = bce_with_logits_masked(&logits, &targets, &mask);
+        let _ = conv.backward(&c, &dlogits);
+        let analytic: Vec<Matrix> = vec![
+            conv.w_self.grad.clone(),
+            conv.w_neigh.grad.clone(),
+            conv.b.grad.clone(),
+        ];
+        let conv_ptr: *mut SageConv = &mut conv;
+        let c_ref = &c;
+        let x_ref = &x;
+        for (pi, grad) in analytic.iter().enumerate() {
+            let loss_fn = move || {
+                let logits = unsafe { &*conv_ptr }.forward_inference(c_ref, x_ref);
+                bce_with_logits_masked(&logits, &targets, &mask).0
+            };
+            let params = unsafe { &mut *conv_ptr }.params_mut();
+            let p: &mut Param = params.into_iter().nth(pi).expect("param in range");
+            let report = check_param_gradient(p, grad, loss_fn, 1e-2);
+            assert!(report.passes(2e-2), "param {pi}: abs {} rel {}", report.max_abs_err, report.max_rel_err);
+        }
+    }
+
+    #[test]
+    fn input_gradient_matches_finite_differences() {
+        use crate::loss::bce_with_logits_masked;
+        let mut rng = seeded_rng(3);
+        let c = ctx();
+        let x = Matrix::rand_uniform(4, 2, -1.0, 1.0, &mut rng);
+        let targets = [1.0, 1.0, 0.0, 0.0];
+        let mask = [0usize, 1, 2, 3];
+        let mut conv = SageConv::new(2, 1, &mut rng);
+        conv.zero_grad();
+        let logits = conv.forward(&c, &x);
+        let (_, dlogits) = bce_with_logits_masked(&logits, &targets, &mask);
+        let dx = conv.backward(&c, &dlogits);
+        let eps = 1e-2;
+        for v in 0..4 {
+            for j in 0..2 {
+                let mut up = x.clone();
+                up.set(v, j, x.get(v, j) + eps);
+                let mut dn = x.clone();
+                dn.set(v, j, x.get(v, j) - eps);
+                let lu = bce_with_logits_masked(&conv.forward_inference(&c, &up), &targets, &mask).0;
+                let ld = bce_with_logits_masked(&conv.forward_inference(&c, &dn), &targets, &mask).0;
+                let fd = (lu - ld) / (2.0 * eps);
+                assert!(
+                    approx_eq(fd, dx.get(v, j), 2e-2),
+                    "dX[{v},{j}]: fd {fd} vs analytic {}",
+                    dx.get(v, j)
+                );
+            }
+        }
+    }
+}

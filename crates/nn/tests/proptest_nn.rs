@@ -1,0 +1,120 @@
+//! Property-based tests for layers, losses, and optimizers.
+
+use fairwos_nn::loss::{bce_with_logits_masked, sigmoid, softmax_cross_entropy_masked, weighted_sq_l2_rows};
+use fairwos_nn::{Adam, Backbone, Gnn, GnnConfig, GraphContext, Optimizer, Relu};
+use fairwos_graph::GraphBuilder;
+use fairwos_tensor::{approx_eq, seeded_rng, Matrix};
+use proptest::prelude::*;
+
+fn logits_strategy(n: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-8.0f32..8.0, n).prop_map(move |v| Matrix::from_vec(n, 1, v))
+}
+
+proptest! {
+    #[test]
+    fn bce_loss_nonnegative_and_grad_bounded(logits in logits_strategy(6), bits in prop::collection::vec(any::<bool>(), 6)) {
+        let targets: Vec<f32> = bits.iter().map(|&b| if b { 1.0 } else { 0.0 }).collect();
+        let mask: Vec<usize> = (0..6).collect();
+        let (loss, grad) = bce_with_logits_masked(&logits, &targets, &mask);
+        prop_assert!(loss >= 0.0);
+        prop_assert!(loss.is_finite());
+        // |σ(z) − y| ≤ 1, averaged over 6 ⇒ each grad entry ≤ 1/6.
+        prop_assert!(grad.as_slice().iter().all(|g| g.abs() <= 1.0 / 6.0 + 1e-6));
+    }
+
+    #[test]
+    fn bce_perfect_prediction_gives_small_loss(bits in prop::collection::vec(any::<bool>(), 4)) {
+        let targets: Vec<f32> = bits.iter().map(|&b| if b { 1.0 } else { 0.0 }).collect();
+        let logits = Matrix::from_vec(4, 1, bits.iter().map(|&b| if b { 50.0 } else { -50.0 }).collect());
+        let (loss, _) = bce_with_logits_masked(&logits, &targets, &[0, 1, 2, 3]);
+        prop_assert!(loss < 1e-4);
+    }
+
+    #[test]
+    fn softmax_ce_grad_rows_sum_zero(data in prop::collection::vec(-5.0f32..5.0, 12), labels in prop::collection::vec(0usize..3, 4)) {
+        let logits = Matrix::from_vec(4, 3, data);
+        let mask: Vec<usize> = (0..4).collect();
+        let (loss, grad) = softmax_cross_entropy_masked(&logits, &labels, &mask);
+        prop_assert!(loss >= 0.0);
+        for r in 0..4 {
+            let s: f32 = grad.row(r).iter().sum();
+            prop_assert!(approx_eq(s, 0.0, 1e-4));
+        }
+    }
+
+    #[test]
+    fn weighted_l2_zero_iff_identical(data in prop::collection::vec(-3.0f32..3.0, 8)) {
+        let a = Matrix::from_vec(2, 4, data);
+        let (loss, grad) = weighted_sq_l2_rows(&a, &a, &[(0, 0, 1.0), (1, 1, 1.0)]);
+        prop_assert_eq!(loss, 0.0);
+        prop_assert_eq!(grad.sum(), 0.0);
+        // Against a shifted copy the loss is the squared shift times dims.
+        let b = a.map(|v| v + 1.0);
+        let (loss2, _) = weighted_sq_l2_rows(&a, &b, &[(0, 0, 1.0)]);
+        prop_assert!(approx_eq(loss2, 4.0, 1e-4));
+    }
+
+    #[test]
+    fn sigmoid_monotone_and_bounded(z in prop::collection::vec(-20.0f32..20.0, 10)) {
+        let mut sorted = z.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let p = sigmoid(&Matrix::from_vec(10, 1, sorted));
+        let col = p.col(0);
+        prop_assert!(col.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        for w in col.windows(2) {
+            prop_assert!(w[0] <= w[1] + 1e-7);
+        }
+    }
+
+    #[test]
+    fn relu_idempotent(data in prop::collection::vec(-5.0f32..5.0, 12)) {
+        let x = Matrix::from_vec(3, 4, data);
+        let mut r1 = Relu::new();
+        let mut r2 = Relu::new();
+        let once = r1.forward(&x);
+        let twice = r2.forward(&once);
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn adam_reduces_convex_loss(start in -10.0f32..10.0, target in -5.0f32..5.0) {
+        let mut p = fairwos_nn::Param::new(Matrix::full(1, 1, start));
+        let mut opt = Adam::new(0.1);
+        let loss = |x: f32| (x - target) * (x - target);
+        // ~|lr| progress per step plus damping time near the optimum:
+        // 400 steps covers the worst case of the sampled range.
+        for _ in 0..400 {
+            p.zero_grad();
+            let x = p.value.get(0, 0);
+            p.grad.set(0, 0, 2.0 * (x - target));
+            opt.step(&mut [&mut p]);
+        }
+        // Adam's steps have ~lr magnitude near the optimum, so it lands in
+        // a ball of radius ≈ lr around the target rather than exactly on it.
+        let final_loss = loss(p.value.get(0, 0));
+        prop_assert!(final_loss < 0.1, "final loss {final_loss}");
+    }
+
+    #[test]
+    fn gnn_forward_deterministic_given_seed(seed in 0u64..200) {
+        let g = GraphBuilder::new(6).edge(0, 1).edge(2, 3).edge(4, 5).edge(1, 2).build();
+        let ctx = GraphContext::new(&g);
+        let x = Matrix::rand_uniform(6, 3, -1.0, 1.0, &mut seeded_rng(seed));
+        let a = Gnn::new(GnnConfig::paper_default(Backbone::Gcn, 3), &mut seeded_rng(seed));
+        let b = Gnn::new(GnnConfig::paper_default(Backbone::Gcn, 3), &mut seeded_rng(seed));
+        let oa = a.forward_inference(&ctx, &x);
+        let ob = b.forward_inference(&ctx, &x);
+        prop_assert_eq!(oa.logits, ob.logits);
+        prop_assert_eq!(oa.embeddings, ob.embeddings);
+    }
+
+    #[test]
+    fn gnn_embeddings_nonnegative_after_relu(seed in 0u64..50) {
+        let g = GraphBuilder::new(5).edge(0, 1).edge(1, 2).edge(3, 4).build();
+        let ctx = GraphContext::new(&g);
+        let x = Matrix::rand_uniform(5, 3, -1.0, 1.0, &mut seeded_rng(seed));
+        let gnn = Gnn::new(GnnConfig::paper_default(Backbone::Gin, 3), &mut seeded_rng(seed));
+        let out = gnn.forward_inference(&ctx, &x);
+        prop_assert!(out.embeddings.as_slice().iter().all(|&v| v >= 0.0));
+    }
+}

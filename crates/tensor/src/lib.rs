@@ -1,0 +1,68 @@
+//! Dense row-major `f32` linear algebra for the Fairwos reproduction.
+//!
+//! This crate is the numeric substrate underneath every other crate in the
+//! workspace: graph convolutions, the encoder, the fairness losses, k-means,
+//! and t-SNE all reduce to operations on [`Matrix`].
+//!
+//! # Design
+//!
+//! * **Row-major `Vec<f32>` storage.** Node-feature matrices are tall and
+//!   skinny (`N × d` with `d ≤ a few hundred`), so row-major layout keeps a
+//!   node's feature vector contiguous — the access pattern of message
+//!   passing, top-K counterfactual search, and per-row losses.
+//! * **Shape errors are bugs, not data.** Dimension mismatches panic with a
+//!   message naming both shapes. This mirrors `ndarray`/BLAS conventions:
+//!   shapes are static properties of the model architecture, not runtime
+//!   inputs, so a `Result` would only push `unwrap`s to every call site.
+//! * **Parallelism where it pays.** Matrix multiplication parallelises over
+//!   row blocks with rayon once the output is large enough to amortise the
+//!   fork/join; everything else is a straight loop the compiler vectorises.
+//!
+//! # Quick example
+//!
+//! ```
+//! use fairwos_tensor::Matrix;
+//!
+//! let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+//! let b = Matrix::eye(2);
+//! let c = a.matmul(&b);
+//! assert_eq!(c, a);
+//! assert_eq!(c.row_sums(), vec![3.0, 7.0]);
+//! ```
+
+mod init;
+mod matmul;
+mod matrix;
+mod ops;
+mod reduce;
+
+pub use init::{glorot_uniform, he_normal, seeded_rng};
+pub use matmul::{dot, sq_dist};
+pub use matrix::Matrix;
+
+/// Tolerance-based float comparison used across the workspace's tests.
+///
+/// Returns `true` when `a` and `b` differ by at most `tol` absolutely *or*
+/// relatively (whichever is looser), which is the right notion for values
+/// that span several orders of magnitude (losses vs. gradients).
+pub fn approx_eq(a: f32, b: f32, tol: f32) -> bool {
+    let diff = (a - b).abs();
+    if diff <= tol {
+        return true;
+    }
+    let scale = a.abs().max(b.abs());
+    diff <= tol * scale
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn approx_eq_absolute_and_relative() {
+        assert!(approx_eq(1.0, 1.0 + 1e-7, 1e-5));
+        assert!(approx_eq(1e6, 1e6 * (1.0 + 1e-6), 1e-5));
+        assert!(!approx_eq(1.0, 1.1, 1e-3));
+        assert!(approx_eq(0.0, 0.0, 1e-9));
+    }
+}

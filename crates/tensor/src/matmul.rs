@@ -1,0 +1,303 @@
+//! Matrix multiplication kernels.
+//!
+//! Three GEMM variants are provided because backpropagation needs products
+//! against transposes and materialising the transpose of a large activation
+//! matrix every step would double memory traffic:
+//!
+//! * `matmul`      — `C = A · B`
+//! * `matmul_tn`   — `C = Aᵀ · B` (weight gradients: `dW = Xᵀ · dY`)
+//! * `matmul_nt`   — `C = A · Bᵀ` (input gradients: `dX = dY · Wᵀ`)
+//!
+//! All kernels use an i-k-j loop order so the innermost loop is a contiguous
+//! saxpy over the output row (auto-vectorises), and parallelise over output
+//! row blocks with rayon when the work is large enough to amortise fork/join.
+
+use crate::Matrix;
+use rayon::prelude::*;
+
+/// Below this many multiply-adds the rayon fork/join overhead dominates and
+/// kernels run single-threaded.
+const PAR_THRESHOLD: usize = 64 * 1024;
+
+#[inline]
+fn saxpy(acc: &mut [f32], scale: f32, row: &[f32]) {
+    debug_assert_eq!(acc.len(), row.len());
+    for (a, &b) in acc.iter_mut().zip(row) {
+        *a += scale * b;
+    }
+}
+
+impl Matrix {
+    /// `self · other`.
+    ///
+    /// # Panics
+    /// If `self.cols() != other.rows()`.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols(),
+            other.rows(),
+            "matmul: {}x{} · {}x{} shape mismatch",
+            self.rows(),
+            self.cols(),
+            other.rows(),
+            other.cols()
+        );
+        let (m, k) = self.shape();
+        let n = other.cols();
+        let mut out = Matrix::zeros(m, n);
+
+        let body = |(i, out_row): (usize, &mut [f32])| {
+            let a_row = self.row(i);
+            for (p, &a) in a_row.iter().enumerate() {
+                if a != 0.0 {
+                    saxpy(out_row, a, other.row(p));
+                }
+            }
+        };
+
+        if m * k * n >= PAR_THRESHOLD {
+            out.as_mut_slice().par_chunks_mut(n).enumerate().for_each(body);
+        } else {
+            out.as_mut_slice().chunks_mut(n).enumerate().for_each(body);
+        }
+        out
+    }
+
+    /// `selfᵀ · other` without materialising the transpose.
+    ///
+    /// The typical use is the weight gradient `dW = Xᵀ · dY` where `X` is
+    /// `N × in` and `dY` is `N × out`; the result is small (`in × out`).
+    ///
+    /// # Panics
+    /// If `self.rows() != other.rows()`.
+    pub fn matmul_tn(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.rows(),
+            other.rows(),
+            "matmul_tn: {}x{} ᵀ· {}x{} shape mismatch",
+            self.rows(),
+            self.cols(),
+            other.rows(),
+            other.cols()
+        );
+        let (n_samples, m) = self.shape();
+        let n = other.cols();
+
+        // Accumulate per-thread partial products then reduce: the output is
+        // small, so the reduction is cheap and rows of both inputs stream.
+        let work = n_samples * m * n;
+        if work >= PAR_THRESHOLD {
+            let chunk = (n_samples / rayon::current_num_threads().max(1)).max(64);
+            let partials: Vec<Vec<f32>> = (0..n_samples)
+                .into_par_iter()
+                .chunks(chunk)
+                .map(|idxs| {
+                    let mut acc = vec![0.0f32; m * n];
+                    for s in idxs {
+                        let a_row = self.row(s);
+                        let b_row = other.row(s);
+                        for (i, &a) in a_row.iter().enumerate() {
+                            if a != 0.0 {
+                                saxpy(&mut acc[i * n..(i + 1) * n], a, b_row);
+                            }
+                        }
+                    }
+                    acc
+                })
+                .collect();
+            let mut out = Matrix::zeros(m, n);
+            for p in partials {
+                for (o, v) in out.as_mut_slice().iter_mut().zip(p) {
+                    *o += v;
+                }
+            }
+            out
+        } else {
+            let mut out = Matrix::zeros(m, n);
+            for s in 0..n_samples {
+                let a_row = self.row(s);
+                let b_row = other.row(s);
+                for (i, &a) in a_row.iter().enumerate() {
+                    if a != 0.0 {
+                        saxpy(&mut out.as_mut_slice()[i * n..(i + 1) * n], a, b_row);
+                    }
+                }
+            }
+            out
+        }
+    }
+
+    /// `self · otherᵀ` without materialising the transpose.
+    ///
+    /// The typical use is the input gradient `dX = dY · Wᵀ` where `dY` is
+    /// `N × out` and `W` is `in × out`. Each output element is a dot product
+    /// of two contiguous rows.
+    ///
+    /// # Panics
+    /// If `self.cols() != other.cols()`.
+    pub fn matmul_nt(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols(),
+            other.cols(),
+            "matmul_nt: {}x{} · {}x{}ᵀ shape mismatch",
+            self.rows(),
+            self.cols(),
+            other.rows(),
+            other.cols()
+        );
+        let m = self.rows();
+        let n = other.rows();
+        let k = self.cols();
+        let mut out = Matrix::zeros(m, n);
+
+        let body = |(i, out_row): (usize, &mut [f32])| {
+            let a_row = self.row(i);
+            for (j, o) in out_row.iter_mut().enumerate() {
+                *o = dot(a_row, other.row(j));
+            }
+        };
+
+        if m * k * n >= PAR_THRESHOLD {
+            out.as_mut_slice().par_chunks_mut(n).enumerate().for_each(body);
+        } else {
+            out.as_mut_slice().chunks_mut(n).enumerate().for_each(body);
+        }
+        out
+    }
+}
+
+/// Dot product of two equal-length slices.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    // 4-way unrolled accumulation: keeps dependency chains short so LLVM can
+    // vectorise, and reduces float-order sensitivity vs. a single accumulator.
+    let mut acc = [0.0f32; 4];
+    let chunks = a.len() / 4;
+    for i in 0..chunks {
+        let o = i * 4;
+        acc[0] += a[o] * b[o];
+        acc[1] += a[o + 1] * b[o + 1];
+        acc[2] += a[o + 2] * b[o + 2];
+        acc[3] += a[o + 3] * b[o + 3];
+    }
+    let mut s = acc[0] + acc[1] + acc[2] + acc[3];
+    for i in chunks * 4..a.len() {
+        s += a[i] * b[i];
+    }
+    s
+}
+
+/// Squared Euclidean distance between two equal-length slices.
+///
+/// Hot path of the counterfactual top-K search and k-means.
+#[inline]
+pub fn sq_dist(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut s = 0.0f32;
+    for (&x, &y) in a.iter().zip(b) {
+        let d = x - y;
+        s += d * d;
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut c = Matrix::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for j in 0..b.cols() {
+                let mut s = 0.0;
+                for p in 0..a.cols() {
+                    s += a.get(i, p) * b.get(p, j);
+                }
+                c.set(i, j, s);
+            }
+        }
+        c
+    }
+
+    fn rand_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut rng = crate::seeded_rng(seed);
+        use rand::Rng;
+        let data: Vec<f32> = (0..rows * cols).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        Matrix::from_vec(rows, cols, data)
+    }
+
+    fn assert_close(a: &Matrix, b: &Matrix) {
+        assert_eq!(a.shape(), b.shape());
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            assert!(crate::approx_eq(*x, *y, 1e-4), "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn matmul_small_known() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c, Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]));
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = rand_matrix(7, 5, 1);
+        assert_close(&a.matmul(&Matrix::eye(5)), &a);
+    }
+
+    #[test]
+    fn matmul_matches_naive() {
+        let a = rand_matrix(13, 9, 2);
+        let b = rand_matrix(9, 11, 3);
+        assert_close(&a.matmul(&b), &naive_matmul(&a, &b));
+    }
+
+    #[test]
+    fn matmul_parallel_path_matches_naive() {
+        // Large enough to cross PAR_THRESHOLD.
+        let a = rand_matrix(80, 70, 4);
+        let b = rand_matrix(70, 60, 5);
+        assert_close(&a.matmul(&b), &naive_matmul(&a, &b));
+    }
+
+    #[test]
+    fn matmul_tn_matches_transpose() {
+        let a = rand_matrix(17, 6, 6);
+        let b = rand_matrix(17, 4, 7);
+        assert_close(&a.matmul_tn(&b), &a.transpose().matmul(&b));
+    }
+
+    #[test]
+    fn matmul_tn_parallel_matches_transpose() {
+        let a = rand_matrix(400, 24, 8);
+        let b = rand_matrix(400, 16, 9);
+        assert_close(&a.matmul_tn(&b), &a.transpose().matmul(&b));
+    }
+
+    #[test]
+    fn matmul_nt_matches_transpose() {
+        let a = rand_matrix(12, 7, 10);
+        let b = rand_matrix(9, 7, 11);
+        assert_close(&a.matmul_nt(&b), &a.matmul(&b.transpose()));
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn matmul_shape_mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(4, 2);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn dot_and_sq_dist() {
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let b = [5.0, 4.0, 3.0, 2.0, 1.0];
+        assert_eq!(dot(&a, &b), 35.0);
+        assert_eq!(sq_dist(&a, &b), 16.0 + 4.0 + 0.0 + 4.0 + 16.0);
+        assert_eq!(sq_dist(&a, &a), 0.0);
+    }
+}

@@ -1,0 +1,376 @@
+//! The dense row-major matrix type and its constructors/accessors.
+
+use serde::{Deserialize, Serialize};
+
+/// A dense, row-major matrix of `f32`.
+///
+/// The workhorse type of the workspace. Rows are contiguous, so
+/// [`Matrix::row`] returns a plain slice and per-node operations (feature
+/// lookups, row losses, distance computations) are cache-friendly.
+#[derive(Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl std::fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        let show = self.rows.min(6);
+        for r in 0..show {
+            let row = self.row(r);
+            let cells: Vec<String> = row.iter().take(8).map(|v| format!("{v:>9.4}")).collect();
+            let ellipsis = if self.cols > 8 { ", …" } else { "" };
+            writeln!(f, "  [{}{}]", cells.join(", "), ellipsis)?;
+        }
+        if self.rows > show {
+            writeln!(f, "  … {} more rows", self.rows - show)?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl Matrix {
+    /// Creates a `rows × cols` matrix filled with `value`.
+    pub fn full(rows: usize, cols: usize, value: f32) -> Self {
+        Self { rows, cols, data: vec![value; rows * cols] }
+    }
+
+    /// Creates a `rows × cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self::full(rows, cols, 0.0)
+    }
+
+    /// Creates a `rows × cols` matrix of ones.
+    pub fn ones(rows: usize, cols: usize) -> Self {
+        Self::full(rows, cols, 1.0)
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn eye(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m.data[i * n + i] = 1.0;
+        }
+        m
+    }
+
+    /// Wraps an existing row-major buffer.
+    ///
+    /// # Panics
+    /// If `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "buffer length {} does not match shape {rows}x{cols}",
+            data.len()
+        );
+        Self { rows, cols, data }
+    }
+
+    /// Builds a matrix from row slices.
+    ///
+    /// # Panics
+    /// If rows have unequal lengths or `rows` is empty.
+    pub fn from_rows(rows: &[&[f32]]) -> Self {
+        assert!(!rows.is_empty(), "from_rows requires at least one row");
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for (i, r) in rows.iter().enumerate() {
+            assert_eq!(r.len(), cols, "row {i} has length {} but row 0 has {cols}", r.len());
+            data.extend_from_slice(r);
+        }
+        Self { rows: rows.len(), cols, data }
+    }
+
+    /// Builds a single-row matrix from a slice.
+    pub fn row_vector(v: &[f32]) -> Self {
+        Self::from_vec(1, v.len(), v.to_vec())
+    }
+
+    /// Builds a single-column matrix from a slice.
+    pub fn col_vector(v: &[f32]) -> Self {
+        Self::from_vec(v.len(), 1, v.to_vec())
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair, for shape assertions and error messages.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the matrix has zero elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The underlying row-major buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable access to the underlying row-major buffer.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix, returning its buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element at `(r, c)`.
+    ///
+    /// # Panics
+    /// If out of bounds (debug-style check is always on; this is not a hot
+    /// path — kernels iterate over rows directly).
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of {}x{}", self.rows, self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Sets the element at `(r, c)`.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of {}x{}", self.rows, self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Row `r` as a contiguous slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        assert!(r < self.rows, "row {r} out of {} rows", self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Row `r` as a mutable slice.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        assert!(r < self.rows, "row {r} out of {} rows", self.rows);
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Iterator over rows as slices.
+    pub fn rows_iter(&self) -> impl Iterator<Item = &[f32]> {
+        self.data.chunks_exact(self.cols.max(1))
+    }
+
+    /// Column `c` copied into a fresh `Vec` (columns are strided).
+    pub fn col(&self, c: usize) -> Vec<f32> {
+        assert!(c < self.cols, "col {c} out of {} cols", self.cols);
+        (0..self.rows).map(|r| self.data[r * self.cols + c]).collect()
+    }
+
+    /// Copies `src` into row `r`.
+    pub fn set_row(&mut self, r: usize, src: &[f32]) {
+        assert_eq!(src.len(), self.cols, "row source has length {}, expected {}", src.len(), self.cols);
+        self.row_mut(r).copy_from_slice(src);
+    }
+
+    /// Writes `src` into column `c`.
+    pub fn set_col(&mut self, c: usize, src: &[f32]) {
+        assert_eq!(src.len(), self.rows, "col source has length {}, expected {}", src.len(), self.rows);
+        for (r, &v) in src.iter().enumerate() {
+            self.data[r * self.cols + c] = v;
+        }
+    }
+
+    /// Returns a new matrix containing the selected rows, in order.
+    ///
+    /// Used for building minibatches and train/val/test feature subsets.
+    pub fn select_rows(&self, indices: &[usize]) -> Matrix {
+        let mut out = Matrix::zeros(indices.len(), self.cols);
+        for (i, &r) in indices.iter().enumerate() {
+            out.set_row(i, self.row(r));
+        }
+        out
+    }
+
+    /// Returns a new matrix containing the selected columns, in order.
+    ///
+    /// Used by `RemoveR` to drop candidate-related attributes.
+    pub fn select_cols(&self, indices: &[usize]) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, indices.len());
+        for r in 0..self.rows {
+            let src = self.row(r);
+            let dst = out.row_mut(r);
+            for (j, &c) in indices.iter().enumerate() {
+                assert!(c < self.cols, "col {c} out of {} cols", self.cols);
+                dst[j] = src[c];
+            }
+        }
+        out
+    }
+
+    /// Horizontally concatenates `self` and `other` (same row count).
+    pub fn hstack(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows, other.rows, "hstack: {} rows vs {} rows", self.rows, other.rows);
+        let mut out = Matrix::zeros(self.rows, self.cols + other.cols);
+        for r in 0..self.rows {
+            out.row_mut(r)[..self.cols].copy_from_slice(self.row(r));
+            out.row_mut(r)[self.cols..].copy_from_slice(other.row(r));
+        }
+        out
+    }
+
+    /// Vertically concatenates `self` and `other` (same column count).
+    pub fn vstack(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.cols, "vstack: {} cols vs {} cols", self.cols, other.cols);
+        let mut data = Vec::with_capacity(self.data.len() + other.data.len());
+        data.extend_from_slice(&self.data);
+        data.extend_from_slice(&other.data);
+        Matrix { rows: self.rows + other.rows, cols: self.cols, data }
+    }
+
+    /// Returns the transpose as a new matrix.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        // Blocked to keep both source rows and destination rows in cache.
+        const B: usize = 32;
+        for rb in (0..self.rows).step_by(B) {
+            for cb in (0..self.cols).step_by(B) {
+                for r in rb..(rb + B).min(self.rows) {
+                    for c in cb..(cb + B).min(self.cols) {
+                        out.data[c * self.rows + r] = self.data[r * self.cols + c];
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// True if any element is NaN or infinite. Cheap sanity check used by
+    /// trainers after each epoch.
+    pub fn has_non_finite(&self) -> bool {
+        self.data.iter().any(|v| !v.is_finite())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_shape() {
+        let z = Matrix::zeros(2, 3);
+        assert_eq!(z.shape(), (2, 3));
+        assert_eq!(z.len(), 6);
+        assert!(z.as_slice().iter().all(|&v| v == 0.0));
+
+        let o = Matrix::ones(3, 1);
+        assert_eq!(o.col(0), vec![1.0, 1.0, 1.0]);
+
+        let e = Matrix::eye(3);
+        assert_eq!(e.get(0, 0), 1.0);
+        assert_eq!(e.get(0, 1), 0.0);
+        assert_eq!(e.get(2, 2), 1.0);
+    }
+
+    #[test]
+    fn from_rows_and_access() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        assert_eq!(m.row(1), &[4.0, 5.0, 6.0]);
+        assert_eq!(m.col(2), vec![3.0, 6.0]);
+        assert_eq!(m.get(1, 0), 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "row 1 has length")]
+    fn from_rows_ragged_panics() {
+        let _ = Matrix::from_rows(&[&[1.0, 2.0], &[1.0]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer length")]
+    fn from_vec_bad_len_panics() {
+        let _ = Matrix::from_vec(2, 2, vec![0.0; 3]);
+    }
+
+    #[test]
+    fn set_row_col_roundtrip() {
+        let mut m = Matrix::zeros(2, 2);
+        m.set_row(0, &[1.0, 2.0]);
+        m.set_col(1, &[9.0, 8.0]);
+        assert_eq!(m.row(0), &[1.0, 9.0]);
+        assert_eq!(m.row(1), &[0.0, 8.0]);
+    }
+
+    #[test]
+    fn select_rows_cols() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0], &[7.0, 8.0, 9.0]]);
+        let r = m.select_rows(&[2, 0]);
+        assert_eq!(r.row(0), &[7.0, 8.0, 9.0]);
+        assert_eq!(r.row(1), &[1.0, 2.0, 3.0]);
+        let c = m.select_cols(&[2, 1]);
+        assert_eq!(c.row(0), &[3.0, 2.0]);
+        assert_eq!(c.row(2), &[9.0, 8.0]);
+    }
+
+    #[test]
+    fn stack_ops() {
+        let a = Matrix::from_rows(&[&[1.0], &[2.0]]);
+        let b = Matrix::from_rows(&[&[3.0], &[4.0]]);
+        let h = a.hstack(&b);
+        assert_eq!(h.shape(), (2, 2));
+        assert_eq!(h.row(0), &[1.0, 3.0]);
+        let v = a.vstack(&b);
+        assert_eq!(v.shape(), (4, 1));
+        assert_eq!(v.col(0), vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let t = m.transpose();
+        assert_eq!(t.shape(), (3, 2));
+        assert_eq!(t.row(0), &[1.0, 4.0]);
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn non_finite_detection() {
+        let mut m = Matrix::zeros(2, 2);
+        assert!(!m.has_non_finite());
+        m.set(1, 1, f32::NAN);
+        assert!(m.has_non_finite());
+    }
+
+    #[test]
+    fn rows_iter_yields_all_rows() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let rows: Vec<&[f32]> = m.rows_iter().collect();
+        assert_eq!(rows, vec![&[1.0, 2.0][..], &[3.0, 4.0][..]]);
+    }
+
+    #[test]
+    fn debug_format_is_truncated() {
+        let m = Matrix::zeros(10, 10);
+        let s = format!("{m:?}");
+        assert!(s.contains("more rows"));
+        assert!(s.contains("…"));
+    }
+}

@@ -1,0 +1,204 @@
+//! Elementwise arithmetic, broadcasts, and maps.
+//!
+//! In-place variants (`*_assign`) are provided for the training loop's hot
+//! paths so optimizer steps and activation gradients don't allocate.
+
+use crate::Matrix;
+
+impl Matrix {
+    fn assert_same_shape(&self, other: &Matrix, op: &str) {
+        assert_eq!(
+            self.shape(),
+            other.shape(),
+            "{op}: shape {:?} vs {:?}",
+            self.shape(),
+            other.shape()
+        );
+    }
+
+    /// Elementwise sum `self + other`.
+    pub fn add(&self, other: &Matrix) -> Matrix {
+        let mut out = self.clone();
+        out.add_assign(other);
+        out
+    }
+
+    /// In-place elementwise `self += other`.
+    pub fn add_assign(&mut self, other: &Matrix) {
+        self.assert_same_shape(other, "add");
+        for (a, &b) in self.as_mut_slice().iter_mut().zip(other.as_slice()) {
+            *a += b;
+        }
+    }
+
+    /// Elementwise difference `self - other`.
+    pub fn sub(&self, other: &Matrix) -> Matrix {
+        let mut out = self.clone();
+        out.sub_assign(other);
+        out
+    }
+
+    /// In-place elementwise `self -= other`.
+    pub fn sub_assign(&mut self, other: &Matrix) {
+        self.assert_same_shape(other, "sub");
+        for (a, &b) in self.as_mut_slice().iter_mut().zip(other.as_slice()) {
+            *a -= b;
+        }
+    }
+
+    /// Elementwise (Hadamard) product.
+    pub fn hadamard(&self, other: &Matrix) -> Matrix {
+        let mut out = self.clone();
+        out.hadamard_assign(other);
+        out
+    }
+
+    /// In-place elementwise `self *= other`.
+    pub fn hadamard_assign(&mut self, other: &Matrix) {
+        self.assert_same_shape(other, "hadamard");
+        for (a, &b) in self.as_mut_slice().iter_mut().zip(other.as_slice()) {
+            *a *= b;
+        }
+    }
+
+    /// Scalar multiple `self * s`.
+    pub fn scale(&self, s: f32) -> Matrix {
+        let mut out = self.clone();
+        out.scale_assign(s);
+        out
+    }
+
+    /// In-place scalar multiply.
+    pub fn scale_assign(&mut self, s: f32) {
+        for a in self.as_mut_slice() {
+            *a *= s;
+        }
+    }
+
+    /// In-place `self += scale * other` (axpy). The optimizer's workhorse.
+    pub fn add_scaled(&mut self, scale: f32, other: &Matrix) {
+        self.assert_same_shape(other, "add_scaled");
+        for (a, &b) in self.as_mut_slice().iter_mut().zip(other.as_slice()) {
+            *a += scale * b;
+        }
+    }
+
+    /// Adds `bias` (length = cols) to every row. Bias broadcast of a dense
+    /// layer.
+    pub fn add_row_broadcast(&mut self, bias: &[f32]) {
+        assert_eq!(bias.len(), self.cols(), "bias length {} vs {} cols", bias.len(), self.cols());
+        let cols = self.cols();
+        for row in self.as_mut_slice().chunks_exact_mut(cols) {
+            for (a, &b) in row.iter_mut().zip(bias) {
+                *a += b;
+            }
+        }
+    }
+
+    /// Multiplies every row elementwise by `scales` (length = cols).
+    pub fn mul_row_broadcast(&mut self, scales: &[f32]) {
+        assert_eq!(scales.len(), self.cols(), "scale length {} vs {} cols", scales.len(), self.cols());
+        let cols = self.cols();
+        for row in self.as_mut_slice().chunks_exact_mut(cols) {
+            for (a, &s) in row.iter_mut().zip(scales) {
+                *a *= s;
+            }
+        }
+    }
+
+    /// Multiplies row `r` by `scales[r]` for every row (length = rows).
+    /// Degree scaling in graph normalization.
+    pub fn mul_col_broadcast(&mut self, scales: &[f32]) {
+        assert_eq!(scales.len(), self.rows(), "scale length {} vs {} rows", scales.len(), self.rows());
+        let cols = self.cols();
+        for (row, &s) in self.as_mut_slice().chunks_exact_mut(cols).zip(scales) {
+            for a in row {
+                *a *= s;
+            }
+        }
+    }
+
+    /// Applies `f` to every element, returning a new matrix.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
+        let mut out = self.clone();
+        out.map_assign(f);
+        out
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_assign(&mut self, f: impl Fn(f32) -> f32) {
+        for a in self.as_mut_slice() {
+            *a = f(*a);
+        }
+    }
+
+    /// Clamps every element into `[lo, hi]` in place. Used for probability
+    /// outputs before taking logs.
+    pub fn clamp_assign(&mut self, lo: f32, hi: f32) {
+        self.map_assign(|v| v.clamp(lo, hi));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[0.5, 0.5], &[0.5, 0.5]]);
+        let c = a.add(&b).sub(&b);
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn hadamard_and_scale() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let h = a.hadamard(&a);
+        assert_eq!(h, Matrix::from_rows(&[&[1.0, 4.0], &[9.0, 16.0]]));
+        assert_eq!(a.scale(2.0), a.add(&a));
+    }
+
+    #[test]
+    fn add_scaled_is_axpy() {
+        let mut a = Matrix::ones(2, 2);
+        let g = Matrix::full(2, 2, 4.0);
+        a.add_scaled(-0.25, &g);
+        assert_eq!(a, Matrix::zeros(2, 2));
+    }
+
+    #[test]
+    fn row_broadcast() {
+        let mut m = Matrix::zeros(2, 3);
+        m.add_row_broadcast(&[1.0, 2.0, 3.0]);
+        assert_eq!(m.row(0), &[1.0, 2.0, 3.0]);
+        assert_eq!(m.row(1), &[1.0, 2.0, 3.0]);
+        m.mul_row_broadcast(&[2.0, 0.0, 1.0]);
+        assert_eq!(m.row(1), &[2.0, 0.0, 3.0]);
+    }
+
+    #[test]
+    fn col_broadcast_scales_rows() {
+        let mut m = Matrix::ones(3, 2);
+        m.mul_col_broadcast(&[1.0, 2.0, 3.0]);
+        assert_eq!(m.row(0), &[1.0, 1.0]);
+        assert_eq!(m.row(1), &[2.0, 2.0]);
+        assert_eq!(m.row(2), &[3.0, 3.0]);
+    }
+
+    #[test]
+    fn map_and_clamp() {
+        let m = Matrix::from_rows(&[&[-2.0, 0.5, 3.0]]);
+        let relu = m.map(|v| v.max(0.0));
+        assert_eq!(relu.row(0), &[0.0, 0.5, 3.0]);
+        let mut c = m.clone();
+        c.clamp_assign(-1.0, 1.0);
+        assert_eq!(c.row(0), &[-1.0, 0.5, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "add: shape")]
+    fn mismatched_add_panics() {
+        let _ = Matrix::zeros(2, 2).add(&Matrix::zeros(2, 3));
+    }
+}

@@ -1,0 +1,142 @@
+//! Property-based tests for the linear-algebra substrate.
+//!
+//! These pin down the algebraic identities the rest of the workspace relies
+//! on: GEMM associativity/distributivity within float tolerance, transpose
+//! duality of the fused kernels, softmax invariants, and reduction
+//! consistency.
+
+use fairwos_tensor::{approx_eq, Matrix};
+use proptest::prelude::*;
+
+/// Strategy: a matrix with bounded shape and entries in [-5, 5].
+fn matrix(rows: std::ops::Range<usize>, cols: std::ops::Range<usize>) -> impl Strategy<Value = Matrix> {
+    (rows, cols).prop_flat_map(|(r, c)| {
+        prop::collection::vec(-5.0f32..5.0, r * c).prop_map(move |data| Matrix::from_vec(r, c, data))
+    })
+}
+
+/// Two chained matrices (A: m×k, B: k×n).
+fn matmul_pair() -> impl Strategy<Value = (Matrix, Matrix)> {
+    (1usize..12, 1usize..12, 1usize..12).prop_flat_map(|(m, k, n)| {
+        (
+            prop::collection::vec(-3.0f32..3.0, m * k).prop_map(move |d| Matrix::from_vec(m, k, d)),
+            prop::collection::vec(-3.0f32..3.0, k * n).prop_map(move |d| Matrix::from_vec(k, n, d)),
+        )
+    })
+}
+
+fn matrices_close(a: &Matrix, b: &Matrix, tol: f32) -> bool {
+    a.shape() == b.shape()
+        && a.as_slice().iter().zip(b.as_slice()).all(|(x, y)| approx_eq(*x, *y, tol))
+}
+
+proptest! {
+    #[test]
+    fn matmul_identity_left_right((a, _) in matmul_pair()) {
+        prop_assert!(matrices_close(&Matrix::eye(a.rows()).matmul(&a), &a, 1e-4));
+        prop_assert!(matrices_close(&a.matmul(&Matrix::eye(a.cols())), &a, 1e-4));
+    }
+
+    #[test]
+    fn matmul_distributes_over_add((a, b) in matmul_pair(), c_seed in 0u64..1000) {
+        use rand::Rng;
+        let mut rng = fairwos_tensor::seeded_rng(c_seed);
+        let c = Matrix::from_vec(
+            b.rows(), b.cols(),
+            (0..b.len()).map(|_| rng.gen_range(-3.0..3.0)).collect(),
+        );
+        let lhs = a.matmul(&b.add(&c));
+        let rhs = a.matmul(&b).add(&a.matmul(&c));
+        prop_assert!(matrices_close(&lhs, &rhs, 1e-3));
+    }
+
+    #[test]
+    fn matmul_tn_equals_explicit_transpose((a, b) in matmul_pair()) {
+        // aᵀ·(a·b) via fused kernel vs. explicit transpose.
+        let ab = a.matmul(&b);
+        prop_assert!(matrices_close(&a.matmul_tn(&ab), &a.transpose().matmul(&ab), 1e-3));
+    }
+
+    #[test]
+    fn matmul_nt_equals_explicit_transpose((a, b) in matmul_pair()) {
+        // a·bᵀᵀ = a·b: feed bᵀ to the fused kernel and compare to plain GEMM.
+        let bt = b.transpose();
+        prop_assert!(matrices_close(&a.matmul_nt(&bt), &a.matmul(&b), 1e-3));
+    }
+
+    #[test]
+    fn transpose_is_involution(m in matrix(1..20, 1..20)) {
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn transpose_swaps_row_col_sums(m in matrix(1..15, 1..15)) {
+        let t = m.transpose();
+        let rs = m.row_sums();
+        let cs = t.col_sums();
+        for (a, b) in rs.iter().zip(&cs) {
+            prop_assert!(approx_eq(*a, *b, 1e-4));
+        }
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions(m in matrix(1..10, 1..10)) {
+        let s = m.softmax_rows();
+        prop_assert!(!s.has_non_finite());
+        prop_assert!(s.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
+        for sum in s.row_sums() {
+            prop_assert!(approx_eq(sum, 1.0, 1e-4));
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant(m in matrix(1..8, 2..8), shift in -10.0f32..10.0) {
+        let shifted = m.map(|v| v + shift);
+        prop_assert!(matrices_close(&m.softmax_rows(), &shifted.softmax_rows(), 1e-3));
+    }
+
+    #[test]
+    fn select_rows_preserves_content(m in matrix(1..12, 1..6)) {
+        let idx: Vec<usize> = (0..m.rows()).rev().collect();
+        let sel = m.select_rows(&idx);
+        for (i, &r) in idx.iter().enumerate() {
+            prop_assert_eq!(sel.row(i), m.row(r));
+        }
+    }
+
+    #[test]
+    fn hstack_vstack_shapes(m in matrix(1..8, 1..8)) {
+        let h = m.hstack(&m);
+        prop_assert_eq!(h.shape(), (m.rows(), m.cols() * 2));
+        let v = m.vstack(&m);
+        prop_assert_eq!(v.shape(), (m.rows() * 2, m.cols()));
+        prop_assert!(approx_eq(h.sum(), 2.0 * m.sum(), 1e-3));
+        prop_assert!(approx_eq(v.sum(), 2.0 * m.sum(), 1e-3));
+    }
+
+    #[test]
+    fn standardize_cols_gives_zero_mean(m in matrix(2..20, 1..6)) {
+        let mut s = m.clone();
+        s.standardize_cols_assign();
+        for mean in s.col_means() {
+            prop_assert!(mean.abs() < 1e-3, "column mean {mean} not ~0");
+        }
+    }
+
+    #[test]
+    fn sq_dist_matches_norm(m in matrix(2..10, 1..8)) {
+        let a = m.row(0);
+        let b = m.row(1);
+        let d = fairwos_tensor::sq_dist(a, b);
+        let manual: f32 = a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum();
+        prop_assert!(approx_eq(d, manual, 1e-4));
+        prop_assert!(d >= 0.0);
+    }
+
+    #[test]
+    fn serde_roundtrip(m in matrix(1..8, 1..8)) {
+        let json = serde_json::to_string(&m).unwrap();
+        let back: Matrix = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(back, m);
+    }
+}

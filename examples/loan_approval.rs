@@ -1,0 +1,109 @@
+//! The paper's running example (Fig. 1): loan approval where race is
+//! legally unavailable at training time but leaks through correlated
+//! attributes (postal code) and through who-knows-whom edges.
+//!
+//! Builds the scenario from scratch with the library's primitives — no
+//! dataset presets — to show the full manual workflow: graph construction,
+//! feature assembly, training, and counterfactual inspection.
+//!
+//! ```sh
+//! cargo run --release --example loan_approval
+//! ```
+
+use fairwos::prelude::*;
+use fairwos_tensor::seeded_rng;
+use rand::Rng;
+
+fn main() {
+    let mut rng = seeded_rng(7);
+    let n = 400;
+
+    // --- The hidden protected attribute: race group A or B.
+    let race: Vec<bool> = (0..n).map(|_| rng.gen_bool(0.5)).collect();
+
+    // --- Features (race itself is NOT included):
+    //   col 0: income          (legitimate signal for repayment)
+    //   col 1: credit history  (legitimate signal)
+    //   col 2: zip code index  (strongly race-correlated — the proxy)
+    let mut features = Matrix::zeros(n, 3);
+    let mut repaid = vec![0.0f32; n];
+    for v in 0..n {
+        let income: f32 = rng.gen_range(-1.0..1.0);
+        let history: f32 = rng.gen_range(-1.0..1.0);
+        // Residential segregation: zip correlates with race.
+        let zip = if race[v] { 1.0 } else { -1.0 } + rng.gen_range(-0.6..0.6f32);
+        features.set(v, 0, income);
+        features.set(v, 1, history);
+        features.set(v, 2, zip);
+        // Ground truth repayment depends on income+history, plus a small
+        // historical-disadvantage effect tied to race (the root bias).
+        let logit = 1.4 * income + 1.0 * history + if race[v] { 0.5 } else { -0.5 };
+        repaid[v] = (rng.gen_bool(1.0 / (1.0 + (-logit as f64).exp()))) as u8 as f32;
+    }
+    features.standardize_cols_assign();
+
+    // --- Social edges: people know people in their own neighbourhood
+    //     (race-homophilous), plus some ties among co-repayers.
+    let mut builder = GraphBuilder::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            let base = 0.012;
+            let f = if race[u] == race[v] { 4.0 } else { 1.0 }
+                * if repaid[u] == repaid[v] { 1.5 } else { 1.0 };
+            if rng.gen_bool((base * f as f64).min(1.0)) {
+                builder.add_edge(u, v);
+            }
+        }
+    }
+    let graph = builder.build();
+    println!(
+        "loan graph: {n} applicants, {} edges, race homophily {:.2}",
+        graph.num_edges(),
+        fairwos::graph::generate::sensitive_homophily(&graph, &race)
+    );
+
+    // --- Split and train.
+    let split = Split::paper_default(n, &mut seeded_rng(1));
+    let input = TrainInput {
+        graph: &graph,
+        features: &features,
+        labels: &repaid,
+        train: &split.train,
+        val: &split.val,
+    };
+    let eval = |name: &str, probs: &[f32]| {
+        let tp: Vec<f32> = split.test.iter().map(|&v| probs[v]).collect();
+        let tl: Vec<f32> = split.test.iter().map(|&v| repaid[v]).collect();
+        let ts: Vec<bool> = split.test.iter().map(|&v| race[v]).collect();
+        let r = EvalReport::compute(&tp, &tl, &ts);
+        println!(
+            "{name:<10} approval-ACC {:.1}%  ΔSP {:.1}%  ΔEO {:.1}%",
+            r.accuracy * 100.0,
+            r.delta_sp * 100.0,
+            r.delta_eo * 100.0
+        );
+    };
+
+    let vanilla = Vanilla::new(Backbone::Gcn).fit_predict(&input, 3);
+    eval("Vanilla", &vanilla);
+
+    let config = FairwosConfig {
+        alpha: 2.0,
+        encoder_dim: 8,
+        finetune_epochs: 40,
+        ..FairwosConfig::fast(Backbone::Gcn)
+    };
+    let trained = FairwosTrainer::new(config).fit(&input, 3);
+    eval("Fairwos", &trained.predict_probs());
+
+    // --- How much does each pseudo-sensitive attribute proxy race?
+    //     (Correlation of each encoder dimension with the hidden attribute.)
+    let x0 = trained.pseudo_sensitive_attributes();
+    let race_f: Vec<f32> = race.iter().map(|&r| r as u8 as f32).collect();
+    println!("\n|corr(pseudo-sensitive dim, race)| and learned λ per dimension:");
+    for i in 0..x0.cols() {
+        let col = x0.col(i);
+        let corr = fairwos::analysis::pearson(&col, &race_f).abs();
+        println!("  dim {i}: corr {:.2}, λ {:.3}", corr, trained.lambda()[i]);
+    }
+}

@@ -1,0 +1,79 @@
+//! **fairwos** — a complete Rust reproduction of
+//! *"Towards Fair Graph Neural Networks via Graph Counterfactual without
+//! Sensitive Attributes"* (Wang, Gu, Bao & Chang, ICDE 2025).
+//!
+//! This facade crate re-exports the workspace's public API under one roof:
+//!
+//! * [`tensor`] — dense `f32` linear algebra ([`Matrix`]).
+//! * [`graph`] — CSR graphs, GCN normalization, generators.
+//! * [`nn`] — GCN/GIN layers with analytic backprop, losses, Adam.
+//! * [`datasets`] — synthetic equivalents of the six fairness benchmarks.
+//! * [`fairness`] — ACC / AUC / F1 / ΔSP / ΔEO metrics.
+//! * [`analysis`] — k-means, PCA, t-SNE, correlation, silhouette.
+//! * [`core`] — the Fairwos framework itself ([`FairwosTrainer`]).
+//! * [`baselines`] — Vanilla\S, RemoveR, KSMOTE, FairRF, FairGKD\S.
+//!
+//! # End-to-end example
+//!
+//! ```
+//! use fairwos::prelude::*;
+//!
+//! // A small realization of the NBA benchmark (403 players).
+//! let ds = FairGraphDataset::generate(&DatasetSpec::nba().scaled(0.4), 42);
+//!
+//! // Train Fairwos (short schedule for the doctest).
+//! let config = FairwosConfig {
+//!     encoder_epochs: 40,
+//!     classifier_epochs: 60,
+//!     finetune_epochs: 5,
+//!     learning_rate: 0.01,
+//!     ..FairwosConfig::paper_default(Backbone::Gcn)
+//! };
+//! let input = TrainInput {
+//!     graph: &ds.graph,
+//!     features: &ds.features,
+//!     labels: &ds.labels,
+//!     train: &ds.split.train,
+//!     val: &ds.split.val,
+//! };
+//! let trained = FairwosTrainer::new(config).fit(&input, 0);
+//!
+//! // Evaluate utility and fairness on the test split.
+//! let probs = trained.predict_probs();
+//! let test_probs: Vec<f32> = ds.split.test.iter().map(|&v| probs[v]).collect();
+//! let report = EvalReport::compute(
+//!     &test_probs,
+//!     &ds.labels_of(&ds.split.test),
+//!     &ds.sensitive_of(&ds.split.test),
+//! );
+//! assert!(report.accuracy > 0.5);
+//! assert!((0.0..=1.0).contains(&report.delta_sp));
+//! ```
+
+pub use fairwos_analysis as analysis;
+pub use fairwos_baselines as baselines;
+pub use fairwos_core as core;
+pub use fairwos_datasets as datasets;
+pub use fairwos_fairness as fairness;
+pub use fairwos_graph as graph;
+pub use fairwos_nn as nn;
+pub use fairwos_tensor as tensor;
+
+pub use fairwos_core::{FairMethod, FairwosConfig, FairwosTrainer, TrainInput, TrainedFairwos};
+pub use fairwos_datasets::{DatasetSpec, FairGraphDataset};
+pub use fairwos_fairness::EvalReport;
+pub use fairwos_nn::Backbone;
+pub use fairwos_tensor::Matrix;
+
+/// One-stop imports for applications.
+pub mod prelude {
+    pub use crate::baselines::{FairGkd, FairRF, KSmote, RemoveR, Vanilla};
+    pub use crate::core::{
+        FairMethod, FairwosConfig, FairwosTrainer, TrainInput, TrainedFairwos,
+    };
+    pub use crate::datasets::{DatasetSpec, DatasetStats, FairGraphDataset, Split};
+    pub use crate::fairness::{accuracy, delta_eo, delta_sp, EvalReport, MeanStd, RunAggregator};
+    pub use crate::graph::{Graph, GraphBuilder};
+    pub use crate::nn::Backbone;
+    pub use crate::tensor::Matrix;
+}

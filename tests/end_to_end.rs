@@ -1,0 +1,156 @@
+//! End-to-end shape assertions: the qualitative claims of the paper that
+//! must hold for the reproduction to count (see DESIGN.md §3).
+//!
+//! Each assertion aggregates several seeded runs so the tests are stable;
+//! the full-strength versions of these comparisons live in the `exp_*`
+//! binaries.
+
+use fairwos::prelude::*;
+
+fn dataset() -> FairGraphDataset {
+    // NBA at true size: the paper's high-bias small dataset.
+    FairGraphDataset::generate(&DatasetSpec::nba(), 3)
+}
+
+fn input(ds: &FairGraphDataset) -> TrainInput<'_> {
+    TrainInput {
+        graph: &ds.graph,
+        features: &ds.features,
+        labels: &ds.labels,
+        train: &ds.split.train,
+        val: &ds.split.val,
+    }
+}
+
+fn mean_report(method: &dyn FairMethod, ds: &FairGraphDataset, seeds: &[u64]) -> (f64, f64, f64) {
+    let (mut acc, mut sp, mut eo) = (0.0, 0.0, 0.0);
+    for &seed in seeds {
+        let probs = method.fit_predict(&input(ds), seed);
+        let tp: Vec<f32> = ds.split.test.iter().map(|&v| probs[v]).collect();
+        let r = EvalReport::compute(&tp, &ds.labels_of(&ds.split.test), &ds.sensitive_of(&ds.split.test));
+        acc += r.accuracy;
+        sp += r.delta_sp;
+        eo += r.delta_eo;
+    }
+    let n = seeds.len() as f64;
+    (acc / n, sp / n, eo / n)
+}
+
+fn fairwos_config() -> FairwosConfig {
+    // α = 4: the upper edge of the Fig. 6 sweet spot, where the fairness
+    // effect is large enough to clear seed noise in a 6-run average.
+    FairwosConfig { alpha: 4.0, finetune_epochs: 40, ..FairwosConfig::fast(Backbone::Gcn) }
+}
+
+#[test]
+fn fairwos_beats_vanilla_on_fairness_without_losing_utility() {
+    // Averaged over several dataset realizations *and* training seeds: on a
+    // single realization a weak vanilla model can be accidentally fair
+    // (its errors mask the base-rate gap), which is noise, not fairness.
+    let seeds = [10u64, 11];
+    let (mut v_acc, mut v_sp, mut v_eo) = (0.0, 0.0, 0.0);
+    let (mut f_acc, mut f_sp, mut f_eo) = (0.0, 0.0, 0.0);
+    let mut n = 0.0;
+    for ds_seed in [1u64, 2, 3] {
+        let ds = FairGraphDataset::generate(&DatasetSpec::nba(), ds_seed);
+        let (a, s, e) = mean_report(&Vanilla::new(Backbone::Gcn), &ds, &seeds);
+        v_acc += a;
+        v_sp += s;
+        v_eo += e;
+        let trainer = FairwosTrainer::new(fairwos_config());
+        let (a, s, e) = mean_report(&trainer, &ds, &seeds);
+        f_acc += a;
+        f_sp += s;
+        f_eo += e;
+        n += 1.0;
+    }
+    let (v_acc, v_sp, v_eo) = (v_acc / n, v_sp / n, v_eo / n);
+    let (f_acc, f_sp, f_eo) = (f_acc / n, f_sp / n, f_eo / n);
+
+    // Table II shape: combined bias improves…
+    assert!(
+        f_sp + f_eo < v_sp + v_eo,
+        "Fairwos ΔSP+ΔEO {:.3} not below vanilla {:.3}",
+        f_sp + f_eo,
+        v_sp + v_eo
+    );
+    // …without a significant utility drop (the paper even reports gains).
+    assert!(
+        f_acc > v_acc - 0.03,
+        "Fairwos ACC {f_acc:.3} dropped too far below vanilla {v_acc:.3}"
+    );
+}
+
+#[test]
+fn fairness_stage_reduces_bias_relative_to_its_own_backbone() {
+    // Fig. 4 shape, encoder variant pair: full Fairwos is fairer than the
+    // identical pipeline with the fairness stage disabled (Fwos w/o F).
+    let ds = dataset();
+    let seeds = [20, 21, 22];
+    let wof = FairwosTrainer::new(FairwosConfig { use_fairness: false, ..fairwos_config() });
+    let full = FairwosTrainer::new(fairwos_config());
+    let (_, sp_wof, eo_wof) = mean_report(&wof, &ds, &seeds);
+    let (_, sp_full, eo_full) = mean_report(&full, &ds, &seeds);
+    assert!(
+        sp_full + eo_full < sp_wof + eo_wof,
+        "fairness stage did not reduce bias: ΔSP+ΔEO {:.3} vs {:.3}",
+        sp_full + eo_full,
+        sp_wof + eo_wof
+    );
+}
+
+#[test]
+fn all_table2_methods_produce_valid_predictions() {
+    let ds = FairGraphDataset::generate(&DatasetSpec::bail().scaled(0.01), 5);
+    let proxies: Vec<usize> = (0..ds.spec.corr_features).collect();
+    let methods: Vec<Box<dyn FairMethod>> = vec![
+        Box::new(Vanilla::new(Backbone::Gcn)),
+        Box::new(RemoveR::new(Backbone::Gcn, proxies.clone())),
+        Box::new(KSmote::new(Backbone::Gcn)),
+        Box::new(FairRF::new(Backbone::Gcn, proxies)),
+        Box::new(FairGkd::new(Backbone::Gcn)),
+        Box::new(FairwosTrainer::new(fairwos_config())),
+    ];
+    for m in &methods {
+        let probs = m.fit_predict(&input(&ds), 0);
+        assert_eq!(probs.len(), ds.num_nodes(), "{}", m.name());
+        assert!(
+            probs.iter().all(|p| p.is_finite() && (0.0..=1.0).contains(p)),
+            "{} produced invalid probabilities",
+            m.name()
+        );
+    }
+}
+
+#[test]
+fn both_backbones_complete_the_full_pipeline() {
+    let ds = FairGraphDataset::generate(&DatasetSpec::nba().scaled(0.5), 6);
+    for backbone in [Backbone::Gcn, Backbone::Gin] {
+        let cfg = FairwosConfig {
+            alpha: 2.0,
+            finetune_epochs: 10,
+            encoder_epochs: 60,
+            classifier_epochs: 80,
+            ..FairwosConfig::fast(backbone)
+        };
+        let trained = FairwosTrainer::new(cfg).fit(&input(&ds), 1);
+        let probs = trained.predict_probs();
+        assert!(probs.iter().all(|p| p.is_finite()), "{backbone} produced NaN");
+        assert!(!trained.embeddings().has_non_finite(), "{backbone} embeddings NaN");
+    }
+}
+
+#[test]
+fn pseudo_sensitive_attributes_proxy_the_hidden_attribute() {
+    // Fig. 7 shape: the encoder output separates the true sensitive groups
+    // (positive silhouette), even though it never saw them.
+    let ds = dataset();
+    let trained = FairwosTrainer::new(fairwos_config()).fit(&input(&ds), 30);
+    let x0 = trained.pseudo_sensitive_attributes().select_rows(&ds.split.test);
+    let labels: Vec<usize> = ds.sensitive_of(&ds.split.test).iter().map(|&s| s as usize).collect();
+    let sil = fairwos::analysis::silhouette_score(&x0, &labels);
+    assert!(
+        sil > 0.0,
+        "pseudo-sensitive attributes do not separate the sensitive groups (silhouette {sil:.3})"
+    );
+}

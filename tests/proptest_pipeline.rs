@@ -1,0 +1,83 @@
+//! Cross-crate property tests: whatever the dataset realization, the full
+//! pipeline must uphold its contracts.
+
+use fairwos::prelude::*;
+use proptest::prelude::*;
+
+fn short_config(backbone: Backbone) -> FairwosConfig {
+    FairwosConfig {
+        encoder_dim: 4,
+        encoder_epochs: 20,
+        classifier_epochs: 30,
+        finetune_epochs: 3,
+        learning_rate: 0.02,
+        patience: 30,
+        ..FairwosConfig::paper_default(backbone)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn pipeline_contracts_hold_for_any_realization(seed in 0u64..10_000) {
+        let ds = FairGraphDataset::generate(&DatasetSpec::nba().scaled(0.2), seed);
+        let input = TrainInput {
+            graph: &ds.graph,
+            features: &ds.features,
+            labels: &ds.labels,
+            train: &ds.split.train,
+            val: &ds.split.val,
+        };
+        let trained = FairwosTrainer::new(short_config(Backbone::Gcn)).fit(&input, seed);
+
+        // Predictions are probabilities for every node.
+        let probs = trained.predict_probs();
+        prop_assert_eq!(probs.len(), ds.num_nodes());
+        prop_assert!(probs.iter().all(|p| p.is_finite() && (0.0..=1.0).contains(p)));
+
+        // λ stays on the simplex whatever happened during training.
+        let lsum: f32 = trained.lambda().iter().sum();
+        prop_assert!((lsum - 1.0).abs() < 1e-3, "λ sum {}", lsum);
+        prop_assert!(trained.lambda().iter().all(|&l| l >= 0.0));
+
+        // Artifacts are finite.
+        prop_assert!(!trained.embeddings().has_non_finite());
+        prop_assert!(!trained.pseudo_sensitive_attributes().has_non_finite());
+        prop_assert!(trained.weight_product_norm().is_finite());
+    }
+
+    #[test]
+    fn metrics_of_any_model_are_bounded(seed in 0u64..10_000) {
+        let ds = FairGraphDataset::generate(&DatasetSpec::nba().scaled(0.15), seed);
+        let input = TrainInput {
+            graph: &ds.graph,
+            features: &ds.features,
+            labels: &ds.labels,
+            train: &ds.split.train,
+            val: &ds.split.val,
+        };
+        let probs = Vanilla::new(Backbone::Gcn).fit_predict(&input, seed);
+        let tp: Vec<f32> = ds.split.test.iter().map(|&v| probs[v]).collect();
+        let r = EvalReport::compute(&tp, &ds.labels_of(&ds.split.test), &ds.sensitive_of(&ds.split.test));
+        for v in [r.accuracy, r.delta_sp, r.delta_eo, r.auc, r.f1] {
+            prop_assert!((0.0..=1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn training_is_reproducible(seed in 0u64..1_000) {
+        let ds = FairGraphDataset::generate(&DatasetSpec::nba().scaled(0.15), seed);
+        let input = TrainInput {
+            graph: &ds.graph,
+            features: &ds.features,
+            labels: &ds.labels,
+            train: &ds.split.train,
+            val: &ds.split.val,
+        };
+        let a = FairwosTrainer::new(short_config(Backbone::Gcn)).fit(&input, seed);
+        let b = FairwosTrainer::new(short_config(Backbone::Gcn)).fit(&input, seed);
+        prop_assert_eq!(a.predict_probs(), b.predict_probs());
+        prop_assert_eq!(a.lambda(), b.lambda());
+    }
+}
