@@ -2,6 +2,9 @@
 
 /// Pearson correlation coefficient of two equal-length samples, in `[-1, 1]`.
 /// Returns 0 when either sample has zero variance.
+///
+/// # Panics
+/// If the samples have different lengths or are empty.
 pub fn pearson(a: &[f32], b: &[f32]) -> f64 {
     assert_eq!(a.len(), b.len(), "sample lengths differ: {} vs {}", a.len(), b.len());
     assert!(!a.is_empty(), "empty samples");
@@ -23,6 +26,9 @@ pub fn pearson(a: &[f32], b: &[f32]) -> f64 {
 }
 
 /// Spearman rank correlation: Pearson on average ranks (ties averaged).
+///
+/// # Panics
+/// If the samples have different lengths or are empty.
 pub fn spearman(a: &[f32], b: &[f32]) -> f64 {
     assert_eq!(a.len(), b.len(), "sample lengths differ: {} vs {}", a.len(), b.len());
     let ra = ranks(a);

@@ -11,6 +11,9 @@
 use std::collections::HashMap;
 
 /// Shannon entropy (nats) of a discrete sample.
+///
+/// # Panics
+/// If the sample is empty.
 pub fn entropy(xs: &[usize]) -> f64 {
     assert!(!xs.is_empty(), "entropy of an empty sample");
     let mut counts: HashMap<usize, usize> = HashMap::new();
@@ -29,6 +32,9 @@ pub fn entropy(xs: &[usize]) -> f64 {
 
 /// Plug-in mutual information `I(X; Y)` (nats) between two equal-length
 /// discrete samples. Non-negative up to floating error; `I(X; X) = H(X)`.
+///
+/// # Panics
+/// If the samples have different lengths or are empty.
 pub fn mutual_information(xs: &[usize], ys: &[usize]) -> f64 {
     assert_eq!(xs.len(), ys.len(), "sample lengths differ: {} vs {}", xs.len(), ys.len());
     assert!(!xs.is_empty(), "mutual information of empty samples");
@@ -55,6 +61,9 @@ pub fn mutual_information(xs: &[usize], ys: &[usize]) -> f64 {
 
 /// Discretizes a continuous sample into `bins` equal-frequency buckets
 /// (quantile binning), returning bucket indices. Ties share a bucket.
+///
+/// # Panics
+/// If `bins` is zero.
 pub fn discretize(values: &[f32], bins: usize) -> Vec<usize> {
     assert!(bins >= 1, "need at least one bin");
     let mut sorted: Vec<f32> = values.to_vec();

@@ -100,6 +100,7 @@ pub fn kmeans(data: &Matrix, k: usize, max_iter: usize, rng: &mut impl Rng) -> K
                         sq_dist(data.row(a), centroids.row(assignments[a]))
                             .total_cmp(&sq_dist(data.row(b), centroids.row(assignments[b])))
                     })
+                    // audit:allow(FW001): 0..n is non-empty, so max_by always yields a point
                     .expect("n >= 1");
                 centroids.set_row(c, data.row(far));
             } else {

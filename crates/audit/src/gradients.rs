@@ -1,0 +1,510 @@
+//! Workspace-wide finite-difference gradient sweep.
+//!
+//! Every hand-derived backward pass in `fairwos-nn` is re-verified here
+//! against the central difference `(L(θ+ε) − L(θ−ε)) / 2ε`, per parameter
+//! and per (strided) coordinate:
+//!
+//! * the four [`Gnn`] backbones — `GcnConv`, `GinConv`, `SageConv`,
+//!   `GatConv` stacks with `Relu`, `Dropout` and the `Linear` head — under
+//!   the masked BCE utility loss;
+//! * a plain MLP path (`Linear` → `Relu` → `Dropout` → `Linear`) that
+//!   exercises `Relu::backward` and `Dropout::backward` outside a conv;
+//! * the encoder path (`GcnConv` + `Linear` under masked softmax CE);
+//! * the input gradients of the three losses (`bce_with_logits_masked`,
+//!   `softmax_cross_entropy_masked`, `weighted_sq_l2_rows`).
+//!
+//! A coordinate passes when `min(abs_err, rel_err) ≤ tol` — close in
+//! absolute *or* relative terms, the same criterion as
+//! `fairwos_nn::gradcheck::GradCheckReport::passes`. Coordinates that fail
+//! at the base step size are retried at `ε/2` and `ε/4` (ReLU kinks make
+//! the central difference itself noisy; the analytic gradient is judged on
+//! the best-conditioned estimate).
+
+use fairwos_graph::{Graph, GraphBuilder};
+use fairwos_nn::loss::{bce_with_logits_masked, softmax_cross_entropy_masked, weighted_sq_l2_rows};
+use fairwos_nn::{Backbone, Dropout, GcnConv, Gnn, GnnConfig, GraphContext, Linear, Relu};
+use fairwos_tensor::{seeded_rng, Matrix};
+use serde::{Deserialize, Serialize};
+
+/// Base finite-difference step; failing coordinates retry at `2ε`, `ε/2`
+/// and `ε/4` (smaller steps dodge ReLU kinks, the larger one suppresses
+/// f32 cancellation on near-flat coordinates).
+const BASE_EPS: f32 = 2e-3;
+
+/// Worst finite-difference errors for one parameter of one sweep target.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ParamSweep {
+    /// Human-readable target, e.g. `"Gnn/Gin (GinConv stack)"`.
+    pub target: String,
+    /// Parameter index within the target's stable parameter order.
+    pub param: usize,
+    /// Number of coordinates checked (strided for large parameters).
+    pub coords_checked: usize,
+    /// Largest `|analytic − numeric|` over the checked coordinates.
+    pub max_abs_err: f32,
+    /// Largest `|analytic − numeric| / max(|analytic|, |numeric|, 1e-6)`.
+    pub max_rel_err: f32,
+    /// Largest per-coordinate `min(abs_err, rel_err)` — the pass criterion.
+    pub max_err: f32,
+    /// Whether `max_err ≤ tolerance`.
+    pub pass: bool,
+}
+
+/// The full sweep result, serialized to `results/gradient_report.json`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GradientReport {
+    /// Per-coordinate tolerance on `min(abs_err, rel_err)`.
+    pub tolerance: f32,
+    /// One entry per (target, parameter).
+    pub sweeps: Vec<ParamSweep>,
+}
+
+impl GradientReport {
+    /// True when every parameter of every target passed.
+    pub fn ok(&self) -> bool {
+        self.sweeps.iter().all(|s| s.pass)
+    }
+
+    /// Number of failing parameter sweeps.
+    pub fn failures(&self) -> usize {
+        self.sweeps.iter().filter(|s| !s.pass).count()
+    }
+}
+
+/// A model under sweep: indexed access to a flat list of parameter
+/// matrices plus a scalar loss recomputed from the current values.
+///
+/// `loss` must use the inference forward path so it reads live parameter
+/// values without disturbing cached activations.
+trait SweepTarget {
+    /// Number of parameter matrices.
+    fn num_params(&mut self) -> usize;
+    /// Number of scalar coordinates in parameter `pi`.
+    fn coords(&mut self, pi: usize) -> usize;
+    /// Reads coordinate `i` of parameter `pi`.
+    fn get(&mut self, pi: usize, i: usize) -> f32;
+    /// Writes coordinate `i` of parameter `pi`.
+    fn set(&mut self, pi: usize, i: usize, v: f32);
+    /// Full forward + loss from the current parameter values.
+    fn loss(&mut self) -> f32;
+}
+
+/// Central finite difference of the target's loss at one parameter
+/// coordinate, restoring the original value afterwards. This function is
+/// also the gradient-check marker the FW003 lint looks for.
+fn finite_difference(t: &mut dyn SweepTarget, pi: usize, i: usize, eps: f32) -> f32 {
+    let orig = t.get(pi, i);
+    t.set(pi, i, orig + eps);
+    let up = t.loss();
+    t.set(pi, i, orig - eps);
+    let down = t.loss();
+    t.set(pi, i, orig);
+    (up - down) / (2.0 * eps)
+}
+
+/// Sweeps every parameter of `t` against the analytic gradients, appending
+/// one [`ParamSweep`] per parameter.
+fn sweep_target(
+    label: &str,
+    t: &mut dyn SweepTarget,
+    analytic: &[Matrix],
+    tol: f32,
+    out: &mut Vec<ParamSweep>,
+) {
+    assert_eq!(analytic.len(), t.num_params(), "one analytic gradient per parameter");
+    for (pi, grad) in analytic.iter().enumerate() {
+        let n = t.coords(pi);
+        // Check every coordinate up to 64, then stride to bound runtime.
+        let stride = (n / 64).max(1);
+        let mut max_abs = 0.0f32;
+        let mut max_rel = 0.0f32;
+        let mut max_err = 0.0f32;
+        let mut checked = 0usize;
+        for i in (0..n).step_by(stride) {
+            assert!(i < grad.len(), "analytic gradient shorter than parameter");
+            let a = grad.as_slice()[i];
+            let (mut abs, mut rel, mut score) = (f32::INFINITY, f32::INFINITY, f32::INFINITY);
+            // Retry noisy coordinates at smaller steps; keep the best
+            // (best-conditioned) estimate.
+            for eps in [BASE_EPS, BASE_EPS * 2.0, BASE_EPS / 2.0, BASE_EPS / 4.0] {
+                let numeric = finite_difference(t, pi, i, eps);
+                let e_abs = (a - numeric).abs();
+                let e_rel = e_abs / a.abs().max(numeric.abs()).max(1e-6);
+                let e = e_abs.min(e_rel);
+                if e < score {
+                    (abs, rel, score) = (e_abs, e_rel, e);
+                }
+                if score <= tol {
+                    break;
+                }
+            }
+            max_abs = max_abs.max(abs);
+            max_rel = max_rel.max(rel);
+            max_err = max_err.max(score);
+            checked += 1;
+        }
+        out.push(ParamSweep {
+            target: label.to_string(),
+            param: pi,
+            coords_checked: checked,
+            max_abs_err: max_abs,
+            max_rel_err: max_rel,
+            max_err,
+            pass: max_err <= tol,
+        });
+    }
+}
+
+/// The 6-node ring-with-chord used by every graph sweep (matches the
+/// gradient-check fixtures in `fairwos-nn`).
+fn ring_with_chord() -> Graph {
+    GraphBuilder::new(6)
+        .edge(0, 1)
+        .edge(1, 2)
+        .edge(2, 3)
+        .edge(3, 4)
+        .edge(4, 5)
+        .edge(5, 0)
+        .edge(1, 4)
+        .build()
+}
+
+const TARGETS: [f32; 6] = [1.0, 0.0, 1.0, 1.0, 0.0, 0.0];
+const MASK: [usize; 6] = [0, 1, 2, 3, 4, 5];
+
+/// A full [`Gnn`] under the masked BCE loss.
+struct GnnBce<'a> {
+    gnn: &'a mut Gnn,
+    ctx: &'a GraphContext,
+    x: &'a Matrix,
+}
+
+impl SweepTarget for GnnBce<'_> {
+    fn num_params(&mut self) -> usize {
+        self.gnn.params_mut().len()
+    }
+
+    fn coords(&mut self, pi: usize) -> usize {
+        let params = self.gnn.params_mut();
+        assert!(pi < params.len(), "parameter index in range");
+        params[pi].len()
+    }
+
+    fn get(&mut self, pi: usize, i: usize) -> f32 {
+        let params = self.gnn.params_mut();
+        assert!(pi < params.len() && i < params[pi].len(), "coordinate in range");
+        params[pi].value.as_slice()[i]
+    }
+
+    fn set(&mut self, pi: usize, i: usize, v: f32) {
+        let mut params = self.gnn.params_mut();
+        assert!(pi < params.len() && i < params[pi].len(), "coordinate in range");
+        params[pi].value.as_mut_slice()[i] = v;
+    }
+
+    fn loss(&mut self) -> f32 {
+        let out = self.gnn.forward_inference(self.ctx, self.x);
+        bce_with_logits_masked(&out.logits, &TARGETS, &MASK).0
+    }
+}
+
+/// Sweeps one backbone end to end (conv stack + head under BCE).
+fn sweep_backbone(backbone: Backbone, label: &str, tol: f32, out: &mut Vec<ParamSweep>) {
+    let mut rng = seeded_rng(17);
+    let graph = ring_with_chord();
+    let ctx = GraphContext::new(&graph);
+    let x = Matrix::rand_uniform(6, 3, -1.0, 1.0, &mut rng);
+    let mut gnn = Gnn::new(
+        GnnConfig { backbone, in_dim: 3, hidden_dim: 4, num_layers: 2, dropout: 0.0 },
+        &mut rng,
+    );
+
+    gnn.zero_grad();
+    let fwd = gnn.forward_train(&ctx, &x, &mut rng);
+    let (_, dlogits) = bce_with_logits_masked(&fwd.logits, &TARGETS, &MASK);
+    gnn.backward(&ctx, &dlogits, None);
+    let analytic: Vec<Matrix> = gnn.params_mut().iter().map(|p| p.grad.clone()).collect();
+
+    let mut target = GnnBce { gnn: &mut gnn, ctx: &ctx, x: &x };
+    sweep_target(label, &mut target, &analytic, tol, out);
+}
+
+/// The non-graph path: `Linear` → `Relu` → `Dropout(0)` → `Linear` under
+/// BCE. At `p = 0` dropout is the identity map but its backward pass still
+/// runs, so the sweep covers `Relu::backward` and `Dropout::backward`.
+struct MlpBce<'a> {
+    l1: &'a mut Linear,
+    l2: &'a mut Linear,
+    x: &'a Matrix,
+}
+
+impl MlpBce<'_> {
+    /// Parameter order: `l1.w`, `l1.b`, `l2.w`, `l2.b`.
+    fn param(&mut self, pi: usize) -> &mut fairwos_nn::Param {
+        assert!(pi < 4, "MLP has 4 parameters");
+        match pi {
+            0 => &mut self.l1.w,
+            1 => &mut self.l1.b,
+            2 => &mut self.l2.w,
+            _ => &mut self.l2.b,
+        }
+    }
+}
+
+impl SweepTarget for MlpBce<'_> {
+    fn num_params(&mut self) -> usize {
+        4
+    }
+
+    fn coords(&mut self, pi: usize) -> usize {
+        self.param(pi).len()
+    }
+
+    fn get(&mut self, pi: usize, i: usize) -> f32 {
+        let p = self.param(pi);
+        assert!(i < p.len(), "coordinate in range");
+        p.value.as_slice()[i]
+    }
+
+    fn set(&mut self, pi: usize, i: usize, v: f32) {
+        let p = self.param(pi);
+        assert!(i < p.len(), "coordinate in range");
+        p.value.as_mut_slice()[i] = v;
+    }
+
+    fn loss(&mut self) -> f32 {
+        // Inference path: ReLU elementwise, Dropout(0) is the identity.
+        let h = self.l1.forward_inference(self.x).map(|v| v.max(0.0));
+        bce_with_logits_masked(&self.l2.forward_inference(&h), &TARGETS, &MASK).0
+    }
+}
+
+fn sweep_mlp(tol: f32, out: &mut Vec<ParamSweep>) {
+    let mut rng = seeded_rng(23);
+    let x = Matrix::rand_uniform(6, 3, -1.0, 1.0, &mut rng);
+    let mut l1 = Linear::new(3, 4, &mut rng);
+    let mut relu = Relu::new();
+    let mut dropout = Dropout::new(0.0);
+    let mut l2 = Linear::new(4, 1, &mut rng);
+
+    l1.zero_grad();
+    l2.zero_grad();
+    let h = l1.forward(&x);
+    let h = relu.forward(&h);
+    let h = dropout.forward_train(&h, &mut rng);
+    let logits = l2.forward(&h);
+    let (_, dlogits) = bce_with_logits_masked(&logits, &TARGETS, &MASK);
+    let dh = l2.backward(&dlogits);
+    let dh = dropout.backward(&dh);
+    let dh = relu.backward(&dh);
+    let _ = l1.backward(&dh);
+    let analytic =
+        [l1.w.grad.clone(), l1.b.grad.clone(), l2.w.grad.clone(), l2.b.grad.clone()];
+
+    let mut target = MlpBce { l1: &mut l1, l2: &mut l2, x: &x };
+    sweep_target("Mlp (Linear-Relu-Dropout-Linear)", &mut target, &analytic, tol, out);
+}
+
+/// The encoder pre-training path: `GcnConv` + `Linear` head under masked
+/// softmax cross-entropy (paper Eq. 5).
+struct EncoderCe<'a> {
+    conv: &'a mut GcnConv,
+    head: &'a mut Linear,
+    ctx: &'a GraphContext,
+    x: &'a Matrix,
+    labels: &'a [usize],
+}
+
+impl EncoderCe<'_> {
+    /// Parameter order: `conv.w`, `conv.b`, `head.w`, `head.b`.
+    fn param(&mut self, pi: usize) -> &mut fairwos_nn::Param {
+        assert!(pi < 4, "encoder has 4 parameters");
+        match pi {
+            0 => &mut self.conv.w,
+            1 => &mut self.conv.b,
+            2 => &mut self.head.w,
+            _ => &mut self.head.b,
+        }
+    }
+}
+
+impl SweepTarget for EncoderCe<'_> {
+    fn num_params(&mut self) -> usize {
+        4
+    }
+
+    fn coords(&mut self, pi: usize) -> usize {
+        self.param(pi).len()
+    }
+
+    fn get(&mut self, pi: usize, i: usize) -> f32 {
+        let p = self.param(pi);
+        assert!(i < p.len(), "coordinate in range");
+        p.value.as_slice()[i]
+    }
+
+    fn set(&mut self, pi: usize, i: usize, v: f32) {
+        let p = self.param(pi);
+        assert!(i < p.len(), "coordinate in range");
+        p.value.as_mut_slice()[i] = v;
+    }
+
+    fn loss(&mut self) -> f32 {
+        let h = self.conv.forward_inference(self.ctx, self.x);
+        let logits = self.head.forward_inference(&h);
+        softmax_cross_entropy_masked(&logits, self.labels, &MASK).0
+    }
+}
+
+fn sweep_encoder(tol: f32, out: &mut Vec<ParamSweep>) {
+    let mut rng = seeded_rng(29);
+    let graph = ring_with_chord();
+    let ctx = GraphContext::new(&graph);
+    let x = Matrix::rand_uniform(6, 3, -1.0, 1.0, &mut rng);
+    let labels = [0usize, 1, 0, 1, 0, 1];
+    let mut conv = GcnConv::new(3, 4, &mut rng);
+    let mut head = Linear::new(4, 2, &mut rng);
+
+    conv.zero_grad();
+    head.zero_grad();
+    let h = conv.forward(&ctx, &x);
+    let logits = head.forward(&h);
+    let (_, dlogits) = softmax_cross_entropy_masked(&logits, &labels, &MASK);
+    let dh = head.backward(&dlogits);
+    let _ = conv.backward(&ctx, &dh);
+    let analytic =
+        [conv.w.grad.clone(), conv.b.grad.clone(), head.w.grad.clone(), head.b.grad.clone()];
+
+    let mut target = EncoderCe { conv: &mut conv, head: &mut head, ctx: &ctx, x: &x, labels: &labels };
+    sweep_target("Encoder (GcnConv + softmax CE)", &mut target, &analytic, tol, out);
+}
+
+/// A loss function checked on its *input* gradient: the single "parameter"
+/// is the input matrix itself.
+struct LossInput<'a> {
+    input: Matrix,
+    eval: &'a dyn Fn(&Matrix) -> f32,
+}
+
+impl SweepTarget for LossInput<'_> {
+    fn num_params(&mut self) -> usize {
+        1
+    }
+
+    fn coords(&mut self, pi: usize) -> usize {
+        assert!(pi == 0, "loss inputs have one parameter");
+        self.input.len()
+    }
+
+    fn get(&mut self, pi: usize, i: usize) -> f32 {
+        assert!(pi == 0 && i < self.input.len(), "coordinate in range");
+        self.input.as_slice()[i]
+    }
+
+    fn set(&mut self, pi: usize, i: usize, v: f32) {
+        assert!(pi == 0 && i < self.input.len(), "coordinate in range");
+        self.input.as_mut_slice()[i] = v;
+    }
+
+    fn loss(&mut self) -> f32 {
+        (self.eval)(&self.input)
+    }
+}
+
+fn sweep_losses(tol: f32, out: &mut Vec<ParamSweep>) {
+    let mut rng = seeded_rng(31);
+
+    // BCE-with-logits input gradient.
+    let logits = Matrix::rand_uniform(6, 1, -1.5, 1.5, &mut rng);
+    let (_, grad) = bce_with_logits_masked(&logits, &TARGETS, &MASK);
+    let eval = |z: &Matrix| bce_with_logits_masked(z, &TARGETS, &MASK).0;
+    let mut t = LossInput { input: logits, eval: &eval };
+    sweep_target("loss/bce_with_logits_masked", &mut t, &[grad], tol, out);
+
+    // Softmax cross-entropy input gradient.
+    let logits = Matrix::rand_uniform(6, 3, -1.5, 1.5, &mut rng);
+    let labels = [0usize, 1, 2, 0, 1, 2];
+    let (_, grad) = softmax_cross_entropy_masked(&logits, &labels, &MASK);
+    let eval = |z: &Matrix| softmax_cross_entropy_masked(z, &labels, &MASK).0;
+    let mut t = LossInput { input: logits, eval: &eval };
+    sweep_target("loss/softmax_cross_entropy_masked", &mut t, &[grad], tol, out);
+
+    // Weighted squared-L2 rows: gradient w.r.t. the live embedding `a`.
+    let a = Matrix::rand_uniform(6, 4, -1.0, 1.0, &mut rng);
+    let b = Matrix::rand_uniform(6, 4, -1.0, 1.0, &mut rng);
+    let pairs = [(0usize, 1usize, 0.5f32), (2, 3, 0.25), (4, 5, 0.25)];
+    let (_, grad) = weighted_sq_l2_rows(&a, &b, &pairs);
+    let eval = |m: &Matrix| weighted_sq_l2_rows(m, &b, &pairs).0;
+    let mut t = LossInput { input: a, eval: &eval };
+    sweep_target("loss/weighted_sq_l2_rows", &mut t, &[grad], tol, out);
+}
+
+/// Runs the full gradient sweep at the given per-coordinate tolerance.
+pub fn run_sweep(tol: f32) -> GradientReport {
+    let mut sweeps = Vec::new();
+    sweep_backbone(Backbone::Gcn, "Gnn/Gcn (GcnConv stack)", tol, &mut sweeps);
+    sweep_backbone(Backbone::Gin, "Gnn/Gin (GinConv stack)", tol, &mut sweeps);
+    sweep_backbone(Backbone::Sage, "Gnn/Sage (SageConv stack)", tol, &mut sweeps);
+    sweep_backbone(Backbone::Gat, "Gnn/Gat (GatConv stack)", tol, &mut sweeps);
+    sweep_mlp(tol, &mut sweeps);
+    sweep_encoder(tol, &mut sweeps);
+    sweep_losses(tol, &mut sweeps);
+    GradientReport { tolerance: tol, sweeps }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_sweep_passes_at_default_tolerance() {
+        let report = run_sweep(1e-2);
+        assert!(!report.sweeps.is_empty());
+        let failed: Vec<String> = report
+            .sweeps
+            .iter()
+            .filter(|s| !s.pass)
+            .map(|s| format!("{} param {}: max_err {}", s.target, s.param, s.max_err))
+            .collect();
+        assert!(report.ok(), "failing sweeps: {failed:?}");
+    }
+
+    #[test]
+    fn report_serializes_and_round_trips() {
+        let report = GradientReport {
+            tolerance: 1e-2,
+            sweeps: vec![ParamSweep {
+                target: "Gnn/Gin (GinConv stack)".to_string(),
+                param: 0,
+                coords_checked: 12,
+                max_abs_err: 1e-4,
+                max_rel_err: 2e-3,
+                max_err: 1e-4,
+                pass: true,
+            }],
+        };
+        let json = serde_json::to_string(&report).unwrap_or_default();
+        let back: GradientReport = match serde_json::from_str(&json) {
+            Ok(r) => r,
+            Err(e) => panic!("round-trip failed: {e}"),
+        };
+        assert_eq!(back.sweeps.len(), 1);
+        assert_eq!(back.sweeps[0].coords_checked, 12);
+        assert!(back.ok());
+        assert_eq!(back.failures(), 0);
+    }
+
+    #[test]
+    fn finite_difference_detects_a_wrong_gradient() {
+        // Sabotage: claim the gradient of BCE is all zeros; the sweep must
+        // fail (the loss surface is clearly non-flat at random logits).
+        let mut rng = seeded_rng(3);
+        let logits = Matrix::rand_uniform(6, 1, -1.5, 1.5, &mut rng);
+        let zero_grad = Matrix::zeros(6, 1);
+        let eval = |z: &Matrix| bce_with_logits_masked(z, &TARGETS, &MASK).0;
+        let mut t = LossInput { input: logits, eval: &eval };
+        let mut out = Vec::new();
+        sweep_target("sabotaged", &mut t, &[zero_grad], 1e-3, &mut out);
+        assert!(!out[0].pass, "zero gradient must not pass: {:?}", out[0]);
+    }
+}

@@ -1,0 +1,20 @@
+//! `fairwos-audit`: the workspace's self-auditing subsystem.
+//!
+//! Two subcommands (see `src/main.rs`):
+//!
+//! * `lint` — walks every `crates/*/src` tree and enforces the numerics and
+//!   panic-hygiene contracts (FW001–FW004) described in
+//!   `docs/INVARIANTS.md`, emitting a JSON report and a nonzero exit code on
+//!   violation. The lint engine is pure `std` so it can be compiled and run
+//!   in isolation.
+//! * `gradients` — re-derives every layer's gradient by central finite
+//!   differences (GCN/GIN/SAGE/GAT backbones, the MLP path, the losses and
+//!   the encoder head) and writes a per-parameter error report, failing when
+//!   any coordinate flunks both the absolute and the relative tolerance.
+//!
+//! Both are wired into `scripts/ci.sh`.
+
+/// Finite-difference gradient sweep across every differentiable block.
+pub mod gradients;
+/// The FW001–FW004 static lints over the workspace source tree.
+pub mod lints;

@@ -1,0 +1,877 @@
+// Source-level lint pass over `crates/*/src`.
+//
+// This module is deliberately dependency-free (std only) so the lint engine
+// can be compiled and exercised standalone (plain `rustc`) as well as through
+// cargo. The JSON report is hand-serialized here and deserialized back with
+// serde_json in the crate's tests to prove the format round-trips.
+//
+// Lints (see docs/INVARIANTS.md for the rationale behind each):
+//
+// * FW001 — no `.unwrap()` / `.expect(` in non-test library code.
+// * FW002 — public functions that invoke panic-family macros directly must
+//   carry a `# Panics` section in their doc comment.
+// * FW003 — every public `backward*` function in fairwos-nn / fairwos-core
+//   must have its owning type referenced from a gradient-check site (a file
+//   containing `check_param_gradient` or `finite_difference`).
+// * FW004 — functions that index the raw `Matrix` buffer
+//   (`as_slice()[` / `as_mut_slice()[`) must state a shape assertion in the
+//   same function body.
+//
+// Suppression: a line, or the comment/attribute block directly above an item,
+// may carry `audit:allow(FWxxx): reason` to silence one lint at that site.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Lint identifiers with their one-line descriptions, in report order.
+pub const LINTS: &[(&str, &str)] = &[
+    ("FW001", "no unwrap()/expect() in non-test library code outside the allowlist"),
+    ("FW002", "public functions invoking panic/assert macros directly must document # Panics"),
+    ("FW003", "backward functions in fairwos-nn/fairwos-core need a gradient-check site"),
+    ("FW004", "raw Matrix buffer indexing requires a shape assertion in the same function"),
+];
+
+/// Path fragments excluded from every lint: binary targets and the
+/// experiment harness are not library code.
+const PATH_ALLOWLIST: &[&str] = &["crates/bench/", "/src/bin/"];
+
+/// Crate roots whose `backward*` functions FW003 applies to.
+const FW003_ROOTS: &[&str] = &["crates/nn/src", "crates/core/src"];
+
+/// A file counts as a gradient-check site when its raw text contains one of
+/// these markers.
+const GRADCHECK_MARKERS: &[&str] = &["check_param_gradient", "finite_difference"];
+
+/// One lint violation at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Lint identifier, e.g. `FW001`.
+    pub lint: String,
+    /// Path relative to the workspace root, `/`-separated.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+/// The result of one lint run over a workspace tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LintReport {
+    /// Number of `.rs` files scanned.
+    pub files_checked: usize,
+    /// All violations, ordered by file then line.
+    pub violations: Vec<Violation>,
+}
+
+impl LintReport {
+    /// True when the tree is clean.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Serializes the report as JSON (machine-readable CI output).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(1024);
+        s.push_str("{\n  \"tool\": \"fairwos-audit\",\n  \"schema_version\": 1,\n");
+        s.push_str(&format!("  \"files_checked\": {},\n", self.files_checked));
+        s.push_str("  \"lints\": [\n");
+        for (i, (id, desc)) in LINTS.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"id\": {}, \"description\": {}}}{}\n",
+                json_string(id),
+                json_string(desc),
+                if i + 1 < LINTS.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ],\n  \"violations\": [\n");
+        for (i, v) in self.violations.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"lint\": {}, \"file\": {}, \"line\": {}, \"message\": {}}}{}\n",
+                json_string(&v.lint),
+                json_string(&v.file),
+                v.line,
+                json_string(&v.message),
+                if i + 1 < self.violations.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+/// Escapes `v` as a JSON string literal.
+fn json_string(v: &str) -> String {
+    let mut out = String::with_capacity(v.len() + 2);
+    out.push('"');
+    for c in v.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A function item extracted from one source file.
+#[derive(Debug)]
+struct FnInfo {
+    name: String,
+    is_pub: bool,
+    /// 1-based line of the `fn` keyword.
+    line: usize,
+    /// Masked body text (empty for bodyless trait-method declarations).
+    body: String,
+    /// Innermost `impl` type owning this fn, if any.
+    owner: Option<String>,
+    /// Doc-comment text collected from the lines directly above.
+    doc: String,
+    /// Lints suppressed at this item via `audit:allow(..)`.
+    allowed: Vec<String>,
+}
+
+/// Per-file analysis: masked source plus extracted items.
+struct FileAnalysis {
+    rel: String,
+    original_lines: Vec<String>,
+    masked_lines: Vec<String>,
+    /// True for lines inside a `#[cfg(test)]` region.
+    test_line: Vec<bool>,
+    fns: Vec<FnInfo>,
+}
+
+/// Runs every lint over `root` (the workspace directory containing `crates/`).
+///
+/// Returns `Err` only for I/O-level problems (missing directory, unreadable
+/// file); lint violations are data in the `Ok` report.
+pub fn run_lints(root: &Path) -> Result<LintReport, String> {
+    let files = collect_rs_files(root)?;
+    if files.is_empty() {
+        return Err(format!("no .rs files found under {}/crates/*/src", root.display()));
+    }
+    let mut analyses = Vec::with_capacity(files.len());
+    for path in &files {
+        let src = fs::read_to_string(path)
+            .map_err(|e| format!("reading {}: {e}", path.display()))?;
+        analyses.push(analyze_file(&relative_path(root, path), &src));
+    }
+    // Gradient-check sites live in src trees and in crates/*/tests.
+    let site_text = gradcheck_site_text(root)?;
+
+    let mut violations = Vec::new();
+    for fa in &analyses {
+        lint_fw001(fa, &mut violations);
+        lint_fw002(fa, &mut violations);
+        lint_fw003(fa, &site_text, &mut violations);
+        lint_fw004(fa, &mut violations);
+    }
+    violations.sort_by(|a, b| {
+        (&a.file, a.line, &a.lint).cmp(&(&b.file, b.line, &b.lint))
+    });
+    Ok(LintReport { files_checked: analyses.len(), violations })
+}
+
+/// `root`-relative path with `/` separators.
+fn relative_path(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+fn is_allowlisted(rel: &str) -> bool {
+    PATH_ALLOWLIST.iter().any(|p| rel.contains(p))
+}
+
+/// All `.rs` files under `crates/*/src`, minus the path allowlist, sorted.
+fn collect_rs_files(root: &Path) -> Result<Vec<PathBuf>, String> {
+    let crates_dir = root.join("crates");
+    let entries = fs::read_dir(&crates_dir)
+        .map_err(|e| format!("reading {}: {e}", crates_dir.display()))?;
+    let mut files = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("reading {}: {e}", crates_dir.display()))?;
+        let src = entry.path().join("src");
+        if src.is_dir() {
+            walk_rs(&src, &mut files)?;
+        }
+    }
+    files.retain(|p| !is_allowlisted(&relative_path(root, p)));
+    files.sort();
+    Ok(files)
+}
+
+fn walk_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries =
+        fs::read_dir(dir).map_err(|e| format!("reading {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("reading {}: {e}", dir.display()))?;
+        let path = entry.path();
+        if path.is_dir() {
+            walk_rs(&path, out)?;
+        } else if path.extension().map(|e| e == "rs").unwrap_or(false) {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Concatenated raw text of every file (in `crates/*/src` and
+/// `crates/*/tests`) that contains a gradient-check marker.
+fn gradcheck_site_text(root: &Path) -> Result<String, String> {
+    let crates_dir = root.join("crates");
+    let entries = fs::read_dir(&crates_dir)
+        .map_err(|e| format!("reading {}: {e}", crates_dir.display()))?;
+    let mut files = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("reading {}: {e}", crates_dir.display()))?;
+        for sub in ["src", "tests"] {
+            let dir = entry.path().join(sub);
+            if dir.is_dir() {
+                walk_rs(&dir, &mut files)?;
+            }
+        }
+    }
+    files.sort();
+    let mut text = String::new();
+    for path in files {
+        let src = fs::read_to_string(&path)
+            .map_err(|e| format!("reading {}: {e}", path.display()))?;
+        if GRADCHECK_MARKERS.iter().any(|m| src.contains(m)) {
+            text.push_str(&src);
+            text.push('\n');
+        }
+    }
+    Ok(text)
+}
+
+// ---------------------------------------------------------------------------
+// Source masking: blank out comments, string and char literals while keeping
+// the line structure, so lints only ever match real code tokens.
+// ---------------------------------------------------------------------------
+
+fn mask_source(src: &str) -> String {
+    let b: Vec<char> = src.chars().collect();
+    let n = b.len();
+    let mut out = String::with_capacity(src.len());
+    let push_masked = |out: &mut String, c: char| {
+        out.push(if c == '\n' { '\n' } else { ' ' });
+    };
+    let mut i = 0usize;
+    while i < n {
+        let c = b[i];
+        match c {
+            '/' if i + 1 < n && b[i + 1] == '/' => {
+                while i < n && b[i] != '\n' {
+                    out.push(' ');
+                    i += 1;
+                }
+            }
+            '/' if i + 1 < n && b[i + 1] == '*' => {
+                let mut depth = 1usize;
+                out.push_str("  ");
+                i += 2;
+                while i < n && depth > 0 {
+                    if i + 1 < n && b[i] == '/' && b[i + 1] == '*' {
+                        depth += 1;
+                        out.push_str("  ");
+                        i += 2;
+                    } else if i + 1 < n && b[i] == '*' && b[i + 1] == '/' {
+                        depth -= 1;
+                        out.push_str("  ");
+                        i += 2;
+                    } else {
+                        push_masked(&mut out, b[i]);
+                        i += 1;
+                    }
+                }
+            }
+            '"' => {
+                out.push(' ');
+                i += 1;
+                while i < n {
+                    if b[i] == '\\' && i + 1 < n {
+                        out.push_str("  ");
+                        i += 2;
+                    } else if b[i] == '"' {
+                        out.push(' ');
+                        i += 1;
+                        break;
+                    } else {
+                        push_masked(&mut out, b[i]);
+                        i += 1;
+                    }
+                }
+            }
+            'r' | 'b' if is_raw_string_start(&b, i) => {
+                // r"..."  r#"..."#  br"..."  etc.
+                let mut j = i + 1;
+                if b[j] == '#' || (b[j] == 'r' || b[j] == '"') {
+                    // advance past optional second prefix char (`br`)
+                }
+                if b[i] == 'b' && j < n && b[j] == 'r' {
+                    out.push(' ');
+                    j += 1;
+                }
+                out.push(' ');
+                let mut hashes = 0usize;
+                while j < n && b[j] == '#' {
+                    hashes += 1;
+                    out.push(' ');
+                    j += 1;
+                }
+                // opening quote
+                out.push(' ');
+                j += 1;
+                while j < n {
+                    if b[j] == '"' {
+                        let mut k = 0usize;
+                        while k < hashes && j + 1 + k < n && b[j + 1 + k] == '#' {
+                            k += 1;
+                        }
+                        if k == hashes {
+                            for _ in 0..(hashes + 1) {
+                                out.push(' ');
+                            }
+                            j += hashes + 1;
+                            break;
+                        }
+                    }
+                    push_masked(&mut out, b[j]);
+                    j += 1;
+                }
+                i = j;
+            }
+            '\'' => {
+                // Lifetime (`'a`) vs char literal (`'x'`, `'\n'`).
+                let is_lifetime = i + 1 < n
+                    && (b[i + 1].is_alphabetic() || b[i + 1] == '_')
+                    && b[i + 1] != '\\'
+                    && !(i + 2 < n && b[i + 2] == '\'');
+                if is_lifetime {
+                    out.push('\'');
+                    i += 1;
+                } else {
+                    out.push(' ');
+                    i += 1;
+                    while i < n {
+                        if b[i] == '\\' && i + 1 < n {
+                            out.push_str("  ");
+                            i += 2;
+                        } else if b[i] == '\'' {
+                            out.push(' ');
+                            i += 1;
+                            break;
+                        } else {
+                            push_masked(&mut out, b[i]);
+                            i += 1;
+                        }
+                    }
+                }
+            }
+            _ => {
+                out.push(c);
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+fn is_raw_string_start(b: &[char], i: usize) -> bool {
+    // Must not be the tail of an identifier (`for`, `attr`, ...).
+    if i > 0 && (b[i - 1].is_alphanumeric() || b[i - 1] == '_') {
+        return false;
+    }
+    let n = b.len();
+    match b[i] {
+        'r' => {
+            let mut j = i + 1;
+            while j < n && b[j] == '#' {
+                j += 1;
+            }
+            j < n && b[j] == '"' && (j > i + 1 || b[i + 1] == '"' || b[i + 1] == '#')
+        }
+        'b' => {
+            if i + 1 < n && b[i + 1] == '"' {
+                return true;
+            }
+            if i + 1 < n && b[i + 1] == 'r' {
+                let mut j = i + 2;
+                while j < n && b[j] == '#' {
+                    j += 1;
+                }
+                return j < n && b[j] == '"';
+            }
+            false
+        }
+        _ => false,
+    }
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+// ---------------------------------------------------------------------------
+// Item extraction over the masked text.
+// ---------------------------------------------------------------------------
+
+/// Byte offset of each line start in `text` (index 0 = line 1).
+fn line_starts(text: &str) -> Vec<usize> {
+    let mut starts = vec![0usize];
+    for (i, c) in text.char_indices() {
+        if c == '\n' {
+            starts.push(i + 1);
+        }
+    }
+    starts
+}
+
+/// 1-based line of byte offset `pos`.
+fn line_of(starts: &[usize], pos: usize) -> usize {
+    match starts.binary_search(&pos) {
+        Ok(i) => i + 1,
+        Err(i) => i,
+    }
+}
+
+/// Offset of the matching `}` for the `{` at `open` (byte offsets into
+/// `masked`), or `None` when unbalanced.
+fn match_brace(masked: &[u8], open: usize) -> Option<usize> {
+    let mut depth = 0i64;
+    let mut i = open;
+    while i < masked.len() {
+        match masked[i] {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i);
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Marks lines covered by `#[cfg(test)] { .. }` regions.
+fn test_lines(masked: &str, starts: &[usize], num_lines: usize) -> Vec<bool> {
+    let bytes = masked.as_bytes();
+    let mut flags = vec![false; num_lines + 2];
+    let needle = "#[cfg(test)]";
+    let mut from = 0usize;
+    while let Some(found) = masked[from..].find(needle) {
+        let at = from + found;
+        from = at + needle.len();
+        // The region is the next `{ .. }` block unless a `;` ends the item
+        // first (e.g. a cfg'd `use`).
+        let mut i = from;
+        let mut open = None;
+        while i < bytes.len() {
+            match bytes[i] {
+                b'{' => {
+                    open = Some(i);
+                    break;
+                }
+                b';' => break,
+                _ => {}
+            }
+            i += 1;
+        }
+        if let Some(open) = open {
+            if let Some(close) = match_brace(bytes, open) {
+                let first = line_of(starts, at);
+                let last = line_of(starts, close);
+                for line in first..=last {
+                    if line < flags.len() {
+                        flags[line] = true;
+                    }
+                }
+            }
+        }
+    }
+    flags
+}
+
+/// `impl` blocks with their owning type name and body byte range.
+fn impl_blocks(masked: &str) -> Vec<(usize, usize, String)> {
+    let bytes = masked.as_bytes();
+    let chars: Vec<char> = masked.chars().collect();
+    let mut blocks = Vec::new();
+    let mut from = 0usize;
+    while let Some(found) = masked[from..].find("impl") {
+        let at = from + found;
+        from = at + 4;
+        // Token boundary on both sides.
+        let before_ok = at == 0 || !is_ident_char(masked[..at].chars().next_back().unwrap_or(' '));
+        let after = masked[at + 4..].chars().next().unwrap_or(' ');
+        if !before_ok || is_ident_char(after) {
+            continue;
+        }
+        // Collect header text up to the opening brace (or `;`).
+        let mut i = at + 4;
+        let mut header = String::new();
+        let mut open = None;
+        while i < bytes.len() {
+            match bytes[i] {
+                b'{' => {
+                    open = Some(i);
+                    break;
+                }
+                b';' => break,
+                _ => header.push(bytes[i] as char),
+            }
+            i += 1;
+        }
+        let Some(open) = open else { continue };
+        let Some(close) = match_brace(bytes, open) else { continue };
+        let _ = &chars;
+        if let Some(name) = impl_type_name(&header) {
+            blocks.push((open, close, name));
+        }
+    }
+    blocks
+}
+
+/// Extracts the implemented type's final identifier from an `impl` header,
+/// e.g. `<T: Rng> Display for graph::Graph<T>` → `Graph`.
+fn impl_type_name(header: &str) -> Option<String> {
+    let mut rest = header.trim();
+    // Skip leading generic parameter list.
+    if rest.starts_with('<') {
+        let mut depth = 0i64;
+        let mut cut = rest.len();
+        for (i, c) in rest.char_indices() {
+            match c {
+                '<' => depth += 1,
+                '>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        cut = i + 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        rest = rest[cut..].trim();
+    }
+    // `impl Trait for Type` → the part after `for`.
+    if let Some(pos) = find_token(rest, "for") {
+        rest = rest[pos + 3..].trim();
+    }
+    // Drop generic arguments and `where` clauses, take the last path segment.
+    let end = rest.find(['<', ' ', '\n']).unwrap_or(rest.len());
+    let path = &rest[..end];
+    let seg = path.rsplit("::").next().unwrap_or(path);
+    let name: String = seg.chars().filter(|c| is_ident_char(*c)).collect();
+    if name.is_empty() {
+        None
+    } else {
+        Some(name)
+    }
+}
+
+/// Position of `word` as a standalone token in `s`.
+fn find_token(s: &str, word: &str) -> Option<usize> {
+    let mut from = 0usize;
+    while let Some(found) = s[from..].find(word) {
+        let at = from + found;
+        from = at + word.len();
+        let before_ok = at == 0 || !is_ident_char(s[..at].chars().next_back().unwrap_or(' '));
+        let after_ok = !s[at + word.len()..]
+            .chars()
+            .next()
+            .map(is_ident_char)
+            .unwrap_or(false);
+        if before_ok && after_ok {
+            return Some(at);
+        }
+    }
+    None
+}
+
+/// Collects doc comments and `audit:allow` annotations from the comment /
+/// attribute block directly above `line` (1-based).
+fn collect_doc_and_allows(original_lines: &[String], line: usize) -> (String, Vec<String>) {
+    let mut doc = String::new();
+    let mut allowed = Vec::new();
+    // The signature line itself may carry a trailing annotation.
+    if line >= 1 && line <= original_lines.len() {
+        parse_allows(&original_lines[line - 1], &mut allowed);
+    }
+    let mut i = line.saturating_sub(1); // index of the line above, 1-based - 1
+    while i >= 1 {
+        let text = original_lines[i - 1].trim();
+        if text.starts_with("///") || text.starts_with("//") || text.starts_with("#[") || text.starts_with("#!") {
+            if let Some(stripped) = text.strip_prefix("///") {
+                doc.insert_str(0, stripped);
+                doc.insert(0, '\n');
+            }
+            parse_allows(text, &mut allowed);
+            i -= 1;
+        } else {
+            break;
+        }
+    }
+    (doc, allowed)
+}
+
+/// Appends every `FWxxx` id named in `audit:allow(...)` markers on `line`.
+fn parse_allows(line: &str, out: &mut Vec<String>) {
+    let mut from = 0usize;
+    while let Some(found) = line[from..].find("audit:allow(") {
+        let at = from + found + "audit:allow(".len();
+        from = at;
+        if let Some(close) = line[at..].find(')') {
+            for id in line[at..at + close].split(',') {
+                let id = id.trim().to_string();
+                if !id.is_empty() {
+                    out.push(id);
+                }
+            }
+        }
+    }
+}
+
+/// Parses one source file into masked lines, test regions, and fn items.
+fn analyze_file(rel: &str, src: &str) -> FileAnalysis {
+    let masked = mask_source(src);
+    let starts = line_starts(&masked);
+    let original_lines: Vec<String> = src.lines().map(|l| l.to_string()).collect();
+    let masked_lines: Vec<String> = masked.lines().map(|l| l.to_string()).collect();
+    let test_line = test_lines(&masked, &starts, original_lines.len());
+    let impls = impl_blocks(&masked);
+    let bytes = masked.as_bytes();
+
+    let mut fns = Vec::new();
+    let mut from = 0usize;
+    while let Some(found) = masked[from..].find("fn ") {
+        let at = from + found;
+        from = at + 3;
+        let before_ok = at == 0 || !is_ident_char(masked[..at].chars().next_back().unwrap_or(' '));
+        if !before_ok {
+            continue;
+        }
+        // Function name.
+        let mut i = at + 3;
+        while i < bytes.len() && (bytes[i] as char).is_whitespace() {
+            i += 1;
+        }
+        let name_start = i;
+        while i < bytes.len() && is_ident_char(bytes[i] as char) {
+            i += 1;
+        }
+        if i == name_start {
+            continue;
+        }
+        let name = masked[name_start..i].to_string();
+        // Find the body: first `{` at paren depth 0, unless `;` ends the
+        // declaration first.
+        let mut paren = 0i64;
+        let mut body = String::new();
+        let mut open = None;
+        while i < bytes.len() {
+            match bytes[i] {
+                b'(' => paren += 1,
+                b')' => paren -= 1,
+                b'{' if paren == 0 => {
+                    open = Some(i);
+                    break;
+                }
+                b';' if paren == 0 => break,
+                _ => {}
+            }
+            i += 1;
+        }
+        if let Some(open) = open {
+            if let Some(close) = match_brace(bytes, open) {
+                body = masked[open..=close].to_string();
+                from = close + 1;
+            }
+        }
+        let line = line_of(&starts, at);
+        // Visibility: the tokens on the line before the `fn` keyword.
+        let line_start = starts[line - 1];
+        let prefix = &masked[line_start..at];
+        let is_pub = prefix.split_whitespace().any(|t| t == "pub");
+        let owner = impls
+            .iter()
+            .filter(|(o, c, _)| *o < at && at < *c)
+            .max_by_key(|(o, _, _)| *o)
+            .map(|(_, _, n)| n.clone());
+        let (doc, allowed) = collect_doc_and_allows(&original_lines, line);
+        fns.push(FnInfo { name, is_pub, line, body, owner, doc, allowed });
+    }
+
+    FileAnalysis {
+        rel: rel.to_string(),
+        original_lines,
+        masked_lines,
+        test_line,
+        fns,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The lints themselves.
+// ---------------------------------------------------------------------------
+
+fn line_allows(fa: &FileAnalysis, line: usize, lint: &str) -> bool {
+    let mut allowed = Vec::new();
+    if line >= 1 && line <= fa.original_lines.len() {
+        parse_allows(&fa.original_lines[line - 1], &mut allowed);
+    }
+    if line >= 2 {
+        parse_allows(&fa.original_lines[line - 2], &mut allowed);
+    }
+    allowed.iter().any(|a| a == lint)
+}
+
+/// FW001: `.unwrap()` / `.expect(` in non-test code.
+fn lint_fw001(fa: &FileAnalysis, out: &mut Vec<Violation>) {
+    for (idx, masked) in fa.masked_lines.iter().enumerate() {
+        let line = idx + 1;
+        if *fa.test_line.get(line).unwrap_or(&false) {
+            continue;
+        }
+        for pattern in [".unwrap()", ".expect("] {
+            if masked.contains(pattern) && !line_allows(fa, line, "FW001") {
+                out.push(Violation {
+                    lint: "FW001".to_string(),
+                    file: fa.rel.clone(),
+                    line,
+                    message: format!(
+                        "`{}` in library code; return a Result or add `audit:allow(FW001): reason`",
+                        pattern.trim_end_matches('(')
+                    ),
+                });
+            }
+        }
+    }
+}
+
+const PANIC_MACROS: &[&str] =
+    &["panic!(", "assert!(", "assert_eq!(", "assert_ne!(", "unreachable!("];
+
+/// FW002: public fns that invoke panic-family macros need `# Panics` docs.
+fn lint_fw002(fa: &FileAnalysis, out: &mut Vec<Violation>) {
+    for f in &fa.fns {
+        if !f.is_pub
+            || f.body.is_empty()
+            || *fa.test_line.get(f.line).unwrap_or(&false)
+            || f.allowed.iter().any(|a| a == "FW002")
+        {
+            continue;
+        }
+        let macro_hit = PANIC_MACROS.iter().find(|m| {
+            // `assert!` must not match inside `debug_assert!`.
+            let mut from = 0usize;
+            while let Some(found) = f.body[from..].find(*m) {
+                let at = from + found;
+                from = at + 1;
+                let prev = f.body[..at].chars().next_back().unwrap_or(' ');
+                if !is_ident_char(prev) && prev != '_' {
+                    return true;
+                }
+            }
+            false
+        });
+        if let Some(m) = macro_hit {
+            if !f.doc.contains("# Panics") {
+                out.push(Violation {
+                    lint: "FW002".to_string(),
+                    file: fa.rel.clone(),
+                    line: f.line,
+                    message: format!(
+                        "public fn `{}` invokes `{}` but its docs have no `# Panics` section",
+                        f.name,
+                        m.trim_end_matches('(')
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// FW003: backward fns in nn/core must have a gradient-check site naming
+/// their owning type.
+fn lint_fw003(fa: &FileAnalysis, site_text: &str, out: &mut Vec<Violation>) {
+    if !FW003_ROOTS.iter().any(|r| fa.rel.starts_with(r)) {
+        return;
+    }
+    for f in &fa.fns {
+        let is_backward = f.name == "backward"
+            || f.name.starts_with("backward_")
+            || f.name.ends_with("_backward");
+        if !is_backward
+            || !f.is_pub
+            || f.body.is_empty()
+            || *fa.test_line.get(f.line).unwrap_or(&false)
+            || f.allowed.iter().any(|a| a == "FW003")
+        {
+            continue;
+        }
+        match &f.owner {
+            Some(ty) => {
+                if find_token(site_text, ty).is_none() {
+                    out.push(Violation {
+                        lint: "FW003".to_string(),
+                        file: fa.rel.clone(),
+                        line: f.line,
+                        message: format!(
+                            "`{ty}::{}` has no gradient-check site (no file with {} mentions `{ty}`)",
+                            f.name,
+                            GRADCHECK_MARKERS.join("/"),
+                        ),
+                    });
+                }
+            }
+            None => out.push(Violation {
+                lint: "FW003".to_string(),
+                file: fa.rel.clone(),
+                line: f.line,
+                message: format!(
+                    "free fn `{}` looks like a backward pass; move it into an impl covered by a gradient check or annotate it",
+                    f.name
+                ),
+            }),
+        }
+    }
+}
+
+/// FW004: raw buffer indexing without a shape assertion in the same fn.
+fn lint_fw004(fa: &FileAnalysis, out: &mut Vec<Violation>) {
+    for f in &fa.fns {
+        if f.body.is_empty()
+            || *fa.test_line.get(f.line).unwrap_or(&false)
+            || f.allowed.iter().any(|a| a == "FW004")
+        {
+            continue;
+        }
+        let indexes = ["as_slice()[", "as_mut_slice()["]
+            .iter()
+            .any(|p| f.body.contains(p));
+        if indexes && !f.body.contains("assert") {
+            out.push(Violation {
+                lint: "FW004".to_string(),
+                file: fa.rel.clone(),
+                line: f.line,
+                message: format!(
+                    "fn `{}` indexes a raw Matrix buffer without any assertion in scope",
+                    f.name
+                ),
+            });
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Integration tests for the FW lint engine: JSON schema round-trip, a
+//! clean-tree run over the real workspace, and seeded-violation detection
+//! over a synthetic tree.
+
+use fairwos_audit::lints::{run_lints, LINTS};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// A scratch workspace with one crate; removed on drop.
+struct ScratchTree {
+    root: PathBuf,
+}
+
+impl ScratchTree {
+    fn new(tag: &str, source: &str) -> Self {
+        let root = std::env::temp_dir().join(format!("fairwos_audit_test_{tag}"));
+        let src = root.join("crates").join("demo").join("src");
+        fs::create_dir_all(&src).expect("create scratch tree");
+        fs::write(src.join("lib.rs"), source).expect("write scratch source");
+        Self { root }
+    }
+
+    fn path(&self) -> &Path {
+        &self.root
+    }
+}
+
+impl Drop for ScratchTree {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.root);
+    }
+}
+
+/// `cargo test` runs with the crate directory as cwd; the workspace root is
+/// two levels up.
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..")
+}
+
+#[test]
+fn workspace_tree_is_clean() {
+    let report = run_lints(&workspace_root()).expect("lint run succeeds");
+    let pretty: Vec<String> = report
+        .violations
+        .iter()
+        .map(|v| format!("{}:{} [{}] {}", v.file, v.line, v.lint, v.message))
+        .collect();
+    assert!(report.ok(), "workspace has lint violations:\n{}", pretty.join("\n"));
+    assert!(report.files_checked > 50, "only {} files scanned", report.files_checked);
+}
+
+#[test]
+fn seeded_unwrap_violation_is_detected() {
+    let tree = ScratchTree::new(
+        "fw001",
+        "/// Doc.\npub fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n",
+    );
+    let report = run_lints(tree.path()).expect("lint run succeeds");
+    assert!(!report.ok());
+    assert!(
+        report.violations.iter().any(|v| v.lint == "FW001" && v.line == 3),
+        "expected an FW001 violation at line 3, got {:?}",
+        report.violations
+    );
+}
+
+#[test]
+fn seeded_undocumented_panic_is_detected() {
+    let tree = ScratchTree::new(
+        "fw002",
+        "/// Doc without the panic section.\npub fn f(n: usize) {\n    assert!(n > 0, \"n must be positive\");\n}\n",
+    );
+    let report = run_lints(tree.path()).expect("lint run succeeds");
+    assert!(
+        report.violations.iter().any(|v| v.lint == "FW002"),
+        "expected an FW002 violation, got {:?}",
+        report.violations
+    );
+}
+
+#[test]
+fn lint_json_round_trips_through_serde() {
+    let tree = ScratchTree::new(
+        "json",
+        "/// Doc.\npub fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n",
+    );
+    let report = run_lints(tree.path()).expect("lint run succeeds");
+    let json = report.to_json();
+    let value: serde_json::Value = serde_json::from_str(&json).expect("report JSON parses");
+
+    assert_eq!(value["tool"], "fairwos-audit");
+    assert_eq!(value["schema_version"], 1);
+    assert_eq!(value["files_checked"], report.files_checked as u64);
+    let lints = value["lints"].as_array().expect("lints array");
+    assert_eq!(lints.len(), LINTS.len());
+    let violations = value["violations"].as_array().expect("violations array");
+    assert_eq!(violations.len(), report.violations.len());
+    for (v_json, v) in violations.iter().zip(&report.violations) {
+        assert_eq!(v_json["lint"], v.lint.as_str());
+        assert_eq!(v_json["file"], v.file.as_str());
+        assert_eq!(v_json["line"], v.line as u64);
+        assert_eq!(v_json["message"], v.message.as_str());
+    }
+}

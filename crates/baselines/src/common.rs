@@ -47,6 +47,10 @@ pub type LogitRegularizer<'r> = dyn FnMut(&Matrix) -> (f32, Matrix) + 'r;
 
 /// Trains a GNN with BCE + an optional logit regularizer; returns the model,
 /// its graph context, and the per-epoch total losses.
+///
+/// # Panics
+/// If `features` has a row count other than the node count, or `train` is
+/// empty.
 #[allow(clippy::too_many_arguments)]
 pub fn train_gnn(
     graph: &fairwos_graph::Graph,

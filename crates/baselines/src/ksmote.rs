@@ -29,6 +29,9 @@ impl KSmote {
     }
 
     /// KSMOTE with explicit knobs.
+    ///
+    /// # Panics
+    /// If `k < 2`.
     pub fn with_params(opts: TrainOpts, k: usize, gamma: f32) -> Self {
         assert!(k >= 2, "need at least 2 pseudo-groups");
         Self { opts, k, gamma }

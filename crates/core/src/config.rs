@@ -125,6 +125,9 @@ impl FairwosConfig {
     }
 
     /// Validates internal consistency; called by the trainer.
+    ///
+    /// # Panics
+    /// If any dimension/iteration knob is zero or a rate is non-positive.
     pub fn validate(&self) {
         assert!(self.encoder_dim >= 1, "encoder_dim must be ≥ 1");
         assert!(self.hidden_dim >= 1, "hidden_dim must be ≥ 1");

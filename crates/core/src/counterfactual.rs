@@ -100,6 +100,10 @@ impl CounterfactualSets {
 
 /// Runs the top-K search of Eq. 12 for every query node and every
 /// pseudo-sensitive attribute.
+///
+/// # Panics
+/// If `k` is zero or the search-space arrays disagree with the embedding
+/// row count.
 pub fn search_topk(space: &SearchSpace<'_>, queries: &[usize], k: usize) -> CounterfactualSets {
     assert!(k >= 1, "top-K needs k ≥ 1");
     let n = space.embeddings.rows();

@@ -40,6 +40,9 @@ pub fn project_to_simplex(v: &[f32]) -> Vec<f32> {
 /// Solves the paper's λ subproblem (Eq. 17): given the aggregated
 /// per-attribute counterfactual distances `d` (`Dᵢᴷ` in the paper) and the
 /// regularization weight `alpha`, returns the optimal simplex weights.
+///
+/// # Panics
+/// If `alpha` is negative.
 pub fn update_lambda(d: &[f32], alpha: f32) -> Vec<f32> {
     assert!(alpha >= 0.0, "alpha must be non-negative, got {alpha}");
     let target: Vec<f32> = d.iter().map(|&di| -alpha * di / 2.0).collect();
@@ -49,6 +52,9 @@ pub fn update_lambda(d: &[f32], alpha: f32) -> Vec<f32> {
 /// The large-D reading of the paper's §III-E prose: λᵢ ∝ Dᵢ (normalized to
 /// the simplex; uniform when every distance is zero). Emphasizes the
 /// attributes with the *strongest* remaining causal link.
+///
+/// # Panics
+/// If `d` is empty.
 pub fn update_lambda_proportional(d: &[f32]) -> Vec<f32> {
     assert!(!d.is_empty(), "cannot weight zero attributes");
     let total: f32 = d.iter().sum();

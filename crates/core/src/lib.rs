@@ -52,5 +52,5 @@ pub use counterfactual::{CounterfactualSets, SearchSpace};
 pub use encoder::Encoder;
 pub use lambda::{project_to_simplex, update_lambda};
 pub use method::{FairMethod, TrainInput};
-pub use persist::FairwosModelFile;
+pub use persist::{FairwosModelFile, PersistError};
 pub use trainer::{FairwosTrainer, FinetuneEpochStats, TrainedFairwos, TrainingHistory};

@@ -25,6 +25,10 @@ pub struct TrainInput<'a> {
 
 impl TrainInput<'_> {
     /// Basic consistency checks; call at the top of `fit` implementations.
+    ///
+    /// # Panics
+    /// If features/labels/splits disagree with the graph's node count or
+    /// `train` is empty.
     pub fn validate(&self) {
         let n = self.graph.num_nodes();
         assert_eq!(self.features.rows(), n, "feature rows vs nodes");

@@ -18,6 +18,54 @@ use fairwos_nn::{Gnn, GnnConfig, GraphContext};
 use fairwos_tensor::{seeded_rng, Matrix};
 use serde::{Deserialize, Serialize};
 
+/// Errors raised while saving or loading model checkpoints.
+///
+/// Hand-written (`thiserror`-style) so checkpoint failures surface to the
+/// training loop as values instead of aborting the process mid-run.
+#[derive(Debug)]
+pub enum PersistError {
+    /// The in-memory model could not be serialized to JSON.
+    Serialize(String),
+    /// The input is not a valid model JSON document.
+    Parse(String),
+    /// The file's format version is not understood by this build.
+    UnsupportedVersion {
+        /// Version found in the file.
+        found: u32,
+        /// Version this build reads and writes.
+        expected: u32,
+    },
+    /// An I/O failure while reading or writing `path`.
+    Io {
+        /// The file being read or written.
+        path: String,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Serialize(e) => write!(f, "model file serialization failed: {e}"),
+            PersistError::Parse(e) => write!(f, "model file parse failed: {e}"),
+            PersistError::UnsupportedVersion { found, expected } => {
+                write!(f, "unsupported model file version {found} (expected {expected})")
+            }
+            PersistError::Io { path, source } => write!(f, "model file I/O on {path}: {source}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
 /// The on-disk representation of a trained model.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct FairwosModelFile {
@@ -40,20 +88,37 @@ pub const MODEL_FILE_VERSION: u32 = 1;
 
 impl FairwosModelFile {
     /// Serializes to a JSON string.
-    pub fn to_json(&self) -> String {
-        serde_json::to_string(self).expect("model file serializes")
+    pub fn to_json(&self) -> Result<String, PersistError> {
+        serde_json::to_string(self).map_err(|e| PersistError::Serialize(e.to_string()))
     }
 
     /// Parses from JSON, validating the version.
-    pub fn from_json(json: &str) -> Result<Self, String> {
-        let file: Self = serde_json::from_str(json).map_err(|e| e.to_string())?;
+    pub fn from_json(json: &str) -> Result<Self, PersistError> {
+        let file: Self =
+            serde_json::from_str(json).map_err(|e| PersistError::Parse(e.to_string()))?;
         if file.version != MODEL_FILE_VERSION {
-            return Err(format!(
-                "unsupported model file version {} (expected {MODEL_FILE_VERSION})",
-                file.version
-            ));
+            return Err(PersistError::UnsupportedVersion {
+                found: file.version,
+                expected: MODEL_FILE_VERSION,
+            });
         }
         Ok(file)
+    }
+
+    /// Writes the model to `path` as JSON.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> Result<(), PersistError> {
+        let path = path.as_ref();
+        let json = self.to_json()?;
+        std::fs::write(path, json)
+            .map_err(|e| PersistError::Io { path: path.display().to_string(), source: e })
+    }
+
+    /// Reads and parses a model from `path`, validating the version.
+    pub fn load(path: impl AsRef<std::path::Path>) -> Result<Self, PersistError> {
+        let path = path.as_ref();
+        let json = std::fs::read_to_string(path)
+            .map_err(|e| PersistError::Io { path: path.display().to_string(), source: e })?;
+        Self::from_json(&json)
     }
 
     /// Rebuilds a usable model against `graph`/`features` (which must match
@@ -137,13 +202,46 @@ mod tests {
         };
         let mut trained = FairwosTrainer::new(quick_config()).fit(&input, 0);
         let file = trained.to_model_file();
-        let json = file.to_json();
+        let json = file.to_json().expect("model serializes");
         let restored = FairwosModelFile::from_json(&json)
             .expect("valid file")
             .restore(&ds.graph, &ds.features);
         assert_eq!(restored.predict_probs(), trained.predict_probs());
         assert_eq!(restored.lambda(), trained.lambda());
         assert_eq!(restored.pseudo_sensitive_attributes(), trained.pseudo_sensitive_attributes());
+    }
+
+    #[test]
+    fn save_load_roundtrip_on_disk() {
+        let ds = FairGraphDataset::generate(&DatasetSpec::nba().scaled(0.3), 7);
+        let input = TrainInput {
+            graph: &ds.graph,
+            features: &ds.features,
+            labels: &ds.labels,
+            train: &ds.split.train,
+            val: &ds.split.val,
+        };
+        let mut trained = FairwosTrainer::new(quick_config()).fit(&input, 0);
+        let file = trained.to_model_file();
+        let path = std::env::temp_dir().join("fairwos_persist_roundtrip_test.json");
+        file.save(&path).expect("save succeeds");
+        let loaded = FairwosModelFile::load(&path).expect("load succeeds");
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(loaded.version, file.version);
+        assert_eq!(loaded.in_dim, file.in_dim);
+        assert_eq!(loaded.gnn_weights, file.gnn_weights);
+        assert_eq!(loaded.lambda, file.lambda);
+    }
+
+    #[test]
+    fn load_missing_file_reports_io_error_with_path() {
+        let err = FairwosModelFile::load("/nonexistent/fairwos/model.json")
+            .expect_err("missing file must fail");
+        match &err {
+            PersistError::Io { path, .. } => assert!(path.contains("model.json")),
+            other => panic!("expected Io error, got {other:?}"),
+        }
+        assert!(err.to_string().contains("model file I/O"));
     }
 
     #[test]
@@ -168,7 +266,37 @@ mod tests {
         let err = FairwosModelFile::from_json(
             r#"{"version":99,"config":null,"in_dim":1,"encoder_weights":null,"gnn_weights":[],"lambda":[]}"#,
         );
-        assert!(err.is_err());
+        match err {
+            Err(PersistError::Parse(_)) => {} // config:null fails to parse first
+            Err(PersistError::UnsupportedVersion { found, expected }) => {
+                assert_eq!(found, 99);
+                assert_eq!(expected, MODEL_FILE_VERSION);
+            }
+            other => panic!("expected an error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unsupported_version_is_detected_on_valid_documents() {
+        let ds = FairGraphDataset::generate(&DatasetSpec::nba().scaled(0.3), 8);
+        let input = TrainInput {
+            graph: &ds.graph,
+            features: &ds.features,
+            labels: &ds.labels,
+            train: &ds.split.train,
+            val: &ds.split.val,
+        };
+        let mut trained = FairwosTrainer::new(quick_config()).fit(&input, 0);
+        let mut file = trained.to_model_file();
+        file.version = MODEL_FILE_VERSION + 1;
+        let json = file.to_json().expect("model serializes");
+        match FairwosModelFile::from_json(&json) {
+            Err(PersistError::UnsupportedVersion { found, expected }) => {
+                assert_eq!(found, MODEL_FILE_VERSION + 1);
+                assert_eq!(expected, MODEL_FILE_VERSION);
+            }
+            other => panic!("expected UnsupportedVersion, got {other:?}"),
+        }
     }
 
     #[test]

@@ -36,6 +36,10 @@ pub struct BiasModel {
 }
 
 /// Samples a full dataset realization from `spec`.
+///
+/// # Panics
+/// If the spec's feature-budget split exceeds the total feature count, or
+/// `sens_rate` lies outside `[0, 1]`.
 pub fn sample(spec: &DatasetSpec, rng: &mut impl Rng) -> BiasModel {
     assert!(
         spec.corr_features + spec.label_features <= spec.features,
@@ -48,12 +52,14 @@ pub fn sample(spec: &DatasetSpec, rng: &mut impl Rng) -> BiasModel {
     let n = spec.nodes;
 
     // 1. Sensitive attribute.
+    // audit:allow(FW001): the panic is this function's documented contract on sens_rate
     let sens_dist = Bernoulli::new(spec.sens_rate).expect("sens_rate in [0,1]");
     let sensitive: Vec<bool> = (0..n).map(|_| sens_dist.sample(rng)).collect();
 
     // 2. Label: logit = a·u + bias·(2s−1), with latent talent u ~ N(0,1).
     //    The (2s−1) form keeps the marginal label rate near 1/2 while
     //    opening a base-rate gap of ≈ 2·σ'(0)·bias between groups.
+    // audit:allow(FW001): constant parameters (mean 0, std 1) can never fail
     let normal = Normal::new(0.0f32, 1.0).expect("unit normal");
     let labels: Vec<f32> = sensitive
         .iter()

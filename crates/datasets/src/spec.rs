@@ -52,6 +52,9 @@ pub struct DatasetSpec {
 impl DatasetSpec {
     /// Scales the node count by `f` (min 50 nodes), keeping degree and
     /// dimensionality. Use to shrink Table-I-sized graphs for CPU runs.
+    ///
+    /// # Panics
+    /// If `f` is not positive.
     #[must_use]
     pub fn scaled(mut self, f: f64) -> Self {
         assert!(f > 0.0, "scale must be positive, got {f}");

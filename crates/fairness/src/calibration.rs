@@ -23,6 +23,10 @@ pub struct ReliabilityBin {
 /// `ECE = Σ_b (n_b / N) · |conf_b − acc_b|`, in `[0, 1]`.
 ///
 /// Also returns the reliability diagram. Empty bins are skipped.
+///
+/// # Panics
+/// If `probs` and `labels` have different lengths, `probs` is empty, or
+/// `bins` is zero.
 pub fn expected_calibration_error(
     probs: &[f32],
     labels: &[f32],
@@ -72,6 +76,9 @@ pub struct GroupReport {
 }
 
 /// Computes [`GroupReport`]s for `(s = false, s = true)`.
+///
+/// # Panics
+/// If the three evaluation arrays have different lengths.
 pub fn group_reports(probs: &[f32], labels: &[f32], sens: &[bool]) -> (GroupReport, GroupReport) {
     assert!(
         probs.len() == labels.len() && labels.len() == sens.len(),

@@ -14,6 +14,9 @@ fn check_lengths(preds: usize, labels: usize, sens: usize) {
 /// Classification accuracy of thresholded predictions.
 ///
 /// `probs[i]` is `P(y=1)`; the threshold is 0.5.
+///
+/// # Panics
+/// If `probs` and `labels` have different lengths or are empty.
 pub fn accuracy(probs: &[f32], labels: &[f32]) -> f64 {
     assert_eq!(probs.len(), labels.len(), "probs vs labels length");
     assert!(!probs.is_empty(), "empty evaluation set");
@@ -29,6 +32,9 @@ pub fn accuracy(probs: &[f32], labels: &[f32]) -> f64 {
 /// `ΔSP = |P(ŷ=1 | s=0) − P(ŷ=1 | s=1)|`, in `[0, 1]`.
 ///
 /// Returns 0 when either group is empty (no gap is measurable).
+///
+/// # Panics
+/// If `probs` and `sens` have different lengths.
 pub fn delta_sp(probs: &[f32], sens: &[bool]) -> f64 {
     assert_eq!(probs.len(), sens.len(), "probs vs sensitive length");
     let (mut pos0, mut n0, mut pos1, mut n1) = (0usize, 0usize, 0usize, 0usize);
@@ -76,6 +82,9 @@ pub fn delta_eo(probs: &[f32], labels: &[f32], sens: &[bool]) -> f64 {
 
 /// Area under the ROC curve via the rank statistic (Mann–Whitney U).
 /// Ties in scores contribute half. Returns 0.5 when one class is absent.
+///
+/// # Panics
+/// If `probs` and `labels` have different lengths.
 pub fn auc_roc(probs: &[f32], labels: &[f32]) -> f64 {
     assert_eq!(probs.len(), labels.len(), "probs vs labels length");
     let mut pos: Vec<f32> = Vec::new();
@@ -119,6 +128,9 @@ pub fn auc_roc(probs: &[f32], labels: &[f32]) -> f64 {
 }
 
 /// F1 score of the positive class. Returns 0 when precision+recall is 0.
+///
+/// # Panics
+/// If `probs` and `labels` have different lengths.
 pub fn f1_score(probs: &[f32], labels: &[f32]) -> f64 {
     assert_eq!(probs.len(), labels.len(), "probs vs labels length");
     let (mut tp, mut fp, mut fn_) = (0usize, 0usize, 0usize);

@@ -23,6 +23,9 @@ pub struct CsrMatrix {
 impl CsrMatrix {
     /// Builds from COO triplets. Entries must not repeat (adjacency
     /// construction guarantees this); order is arbitrary.
+    ///
+    /// # Panics
+    /// If any triplet indexes outside `rows × cols`.
     pub fn from_triplets(rows: usize, cols: usize, triplets: &[(usize, usize, f32)]) -> Self {
         let mut deg = vec![0usize; rows];
         for &(r, c, _) in triplets {

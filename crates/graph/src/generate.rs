@@ -18,6 +18,9 @@ use rand::Rng;
 ///
 /// Sampling uses geometric skips, so the cost is `O(n + |E|)` rather than
 /// `O(n²)` — `G(n, p)` at Table-I scale (30k nodes) stays fast.
+///
+/// # Panics
+/// If `p` is outside `[0, 1]`.
 pub fn erdos_renyi(n: usize, p: f64, rng: &mut impl Rng) -> Graph {
     assert!((0.0..=1.0).contains(&p), "p = {p} outside [0, 1]");
     let mut b = GraphBuilder::new(n);
@@ -72,6 +75,9 @@ fn pair_from_index(n: usize, idx: usize) -> (usize, usize) {
 /// with probability `p_intra`, cross-block pairs with `p_inter`.
 /// `p_intra > p_inter` produces sensitive homophily; the ratio controls how
 /// much structure leaks the hidden attribute.
+///
+/// # Panics
+/// If `p_intra` or `p_inter` is outside `[0, 1]`.
 pub fn sensitive_sbm(sens: &[bool], p_intra: f64, p_inter: f64, rng: &mut impl Rng) -> Graph {
     assert!((0.0..=1.0).contains(&p_intra) && (0.0..=1.0).contains(&p_inter));
     let n = sens.len();
@@ -148,6 +154,9 @@ fn sample_indices(total: usize, p: f64, rng: &mut impl Rng) -> Vec<usize> {
 
 /// Fraction of edges whose endpoints share the sensitive attribute.
 /// 0.5 means no homophily; 1.0 means perfectly segregated.
+///
+/// # Panics
+/// If `sens.len()` differs from the node count.
 pub fn sensitive_homophily(g: &Graph, sens: &[bool]) -> f64 {
     assert_eq!(sens.len(), g.num_nodes());
     let mut same = 0usize;

@@ -37,6 +37,9 @@ impl Graph {
     }
 
     /// The sorted neighbour list of `v`.
+    ///
+    /// # Panics
+    /// If `v` is out of range.
     #[inline]
     pub fn neighbors(&self, v: usize) -> &[usize] {
         assert!(v < self.num_nodes, "node {v} out of {} nodes", self.num_nodes);
@@ -83,6 +86,9 @@ impl Graph {
 
     /// Induced subgraph on `nodes` (deduplicated internally). Returns the
     /// subgraph and the mapping `new index -> old index`.
+    ///
+    /// # Panics
+    /// If any node in `nodes` is out of range.
     pub fn induced_subgraph(&self, nodes: &[usize]) -> (Graph, Vec<usize>) {
         let mut keep: Vec<usize> = nodes.to_vec();
         keep.sort_unstable();
@@ -141,6 +147,9 @@ impl GraphBuilder {
     }
 
     /// Adds the undirected edge `{u, v}` (by reference, for loops).
+    ///
+    /// # Panics
+    /// If `u` or `v` is out of range.
     pub fn add_edge(&mut self, u: usize, v: usize) {
         assert!(
             u < self.num_nodes && v < self.num_nodes,
@@ -196,7 +205,9 @@ impl GraphBuilder {
             list.sort_unstable();
             let start = new_col.len();
             for &u in list.iter() {
-                if new_col.len() == start || *new_col.last().expect("non-empty after push") != u {
+                // `new_col.len() > start` guarantees the index is in bounds
+                // and belongs to this row's (sorted) neighbour list.
+                if new_col.len() == start || new_col[new_col.len() - 1] != u {
                     new_col.push(u);
                 }
             }

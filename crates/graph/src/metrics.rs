@@ -59,6 +59,9 @@ pub fn average_clustering(g: &Graph) -> f64 {
 /// 0 when edges mix groups at random, 1 when every edge stays within a
 /// group, negative for disassortative (bipartite-like) mixing. Returns 0
 /// for graphs with no edges or a constant attribute.
+///
+/// # Panics
+/// If `attr.len()` differs from the node count.
 pub fn sensitive_assortativity(g: &Graph, attr: &[bool]) -> f64 {
     assert_eq!(attr.len(), g.num_nodes(), "attribute length vs node count");
     // Edge-endpoint mixing matrix for the binary attribute, counting each

@@ -10,6 +10,9 @@ use crate::Graph;
 use std::collections::VecDeque;
 
 /// Nodes within `k` hops of `source` (including `source`), in BFS order.
+///
+/// # Panics
+/// If `source` is out of range.
 pub fn khop_nodes(g: &Graph, source: usize, k: usize) -> Vec<usize> {
     assert!(source < g.num_nodes(), "source {source} out of {} nodes", g.num_nodes());
     let mut dist = vec![usize::MAX; g.num_nodes()];
@@ -34,9 +37,13 @@ pub fn khop_nodes(g: &Graph, source: usize, k: usize) -> Vec<usize> {
 
 /// The k-hop ego subgraph around `source`: the induced subgraph on
 /// [`khop_nodes`] plus the index of `source` inside it.
+///
+/// # Panics
+/// If `source` is out of range.
 pub fn khop_subgraph(g: &Graph, source: usize, k: usize) -> (Graph, Vec<usize>, usize) {
     let nodes = khop_nodes(g, source, k);
     let (sub, map) = g.induced_subgraph(&nodes);
+    // audit:allow(FW001): khop_nodes always includes source, so the lookup cannot fail
     let center = map.iter().position(|&old| old == source).expect("source is in its own k-hop set");
     (sub, map, center)
 }

@@ -29,7 +29,12 @@ impl Relu {
     }
 
     /// Gates the upstream gradient by the cached mask.
+    ///
+    /// # Panics
+    /// If called before [`Relu::forward`], or if `dy`'s size differs from
+    /// the cached activation's.
     pub fn backward(&mut self, dy: &Matrix) -> Matrix {
+        // audit:allow(FW001): call-order contract documented under # Panics
         let mask = self.mask.as_ref().expect("Relu::backward before forward");
         assert_eq!(mask.len(), dy.len(), "gradient shape changed between forward and backward");
         let mut dx = dy.clone();
@@ -82,7 +87,12 @@ impl Dropout {
     }
 
     /// Gates and rescales the upstream gradient by the cached mask.
+    ///
+    /// # Panics
+    /// If called before [`Dropout::forward_train`], or if `dy`'s size
+    /// differs from the cached activation's.
     pub fn backward(&mut self, dy: &Matrix) -> Matrix {
+        // audit:allow(FW001): call-order contract documented under # Panics
         let mask = self.mask.as_ref().expect("Dropout::backward before forward_train");
         assert_eq!(mask.len(), dy.len(), "gradient shape changed between forward and backward");
         let mut dx = dy.clone();

@@ -134,8 +134,12 @@ impl GatConv {
     }
 
     /// Accumulates gradients; returns `dX`.
+    ///
+    /// # Panics
+    /// If called before `forward`.
     pub fn backward(&mut self, ctx: &GraphContext, dh: &Matrix) -> Matrix {
         let _ = ctx; // neighbourhood structure lives in the cache
+        // audit:allow(FW001): call-order contract documented under # Panics
         let cache = self.cache.as_ref().expect("GatConv::backward before forward");
         let n = cache.z.rows();
         let d = cache.z.cols();

@@ -70,6 +70,7 @@ impl Linear {
     /// # Panics
     /// If called before `forward`.
     pub fn backward(&mut self, dy: &Matrix) -> Matrix {
+        // audit:allow(FW001): call-order contract documented under # Panics
         let x = self.cached_input.as_ref().expect("Linear::backward before forward");
         self.w.grad.add_assign(&x.matmul_tn(dy));
         let db = dy.col_sums();
@@ -135,7 +136,11 @@ impl GcnConv {
     }
 
     /// Accumulates gradients; returns `dX`.
+    ///
+    /// # Panics
+    /// If called before `forward`.
     pub fn backward(&mut self, ctx: &GraphContext, dy: &Matrix) -> Matrix {
+        // audit:allow(FW001): call-order contract documented under # Panics
         let ax = self.cached_ax.as_ref().expect("GcnConv::backward before forward");
         self.w.grad.add_assign(&ax.matmul_tn(dy));
         let db = dy.col_sums();

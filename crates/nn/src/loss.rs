@@ -10,6 +10,9 @@ use fairwos_tensor::Matrix;
 /// zero gradient. Uses the numerically stable fused form
 /// `BCE(z, y) = max(z, 0) − z·y + ln(1 + e^{−|z|})` and the exact gradient
 /// `σ(z) − y`.
+///
+/// # Panics
+/// If `logits` is not `N × 1`, `targets.len() != N`, or `mask` is empty.
 pub fn bce_with_logits_masked(logits: &Matrix, targets: &[f32], mask: &[usize]) -> (f32, Matrix) {
     assert_eq!(logits.cols(), 1, "binary loss expects N×1 logits, got {:?}", logits.shape());
     assert_eq!(logits.rows(), targets.len(), "logits rows vs targets length");
@@ -30,6 +33,9 @@ pub fn bce_with_logits_masked(logits: &Matrix, targets: &[f32], mask: &[usize]) 
 
 /// Softmax cross-entropy averaged over `mask` rows (encoder pre-training,
 /// paper Eq. 5). `logits` is `N × C`, `labels[v] ∈ 0..C`.
+///
+/// # Panics
+/// If `labels.len() != N`, `mask` is empty, or a masked label is `>= C`.
 pub fn softmax_cross_entropy_masked(
     logits: &Matrix,
     labels: &[usize],
@@ -63,6 +69,9 @@ pub fn softmax_cross_entropy_masked(
 /// counterfactual targets `h̄` (detached, as in the paper's implementation —
 /// the counterfactual embedding is a search result, not a function being
 /// differentiated through).
+///
+/// # Panics
+/// If `a` and `b` have different column counts.
 pub fn weighted_sq_l2_rows(a: &Matrix, b: &Matrix, pairs: &[(usize, usize, f32)]) -> (f32, Matrix) {
     assert_eq!(a.cols(), b.cols(), "embedding dims differ: {} vs {}", a.cols(), b.cols());
     let mut grad = Matrix::zeros(a.rows(), a.cols());

@@ -32,6 +32,9 @@ impl Sgd {
     }
 
     /// SGD with classical momentum `μ ∈ [0, 1)`.
+    ///
+    /// # Panics
+    /// If `lr <= 0` or `momentum` is outside `[0, 1)`.
     pub fn with_momentum(lr: f32, momentum: f32) -> Self {
         assert!(lr > 0.0, "learning rate must be positive, got {lr}");
         assert!((0.0..1.0).contains(&momentum), "momentum {momentum} outside [0, 1)");
@@ -87,6 +90,9 @@ impl Adam {
     }
 
     /// Adam with explicit betas.
+    ///
+    /// # Panics
+    /// If `lr <= 0` or either beta is outside `[0, 1)`.
     pub fn with_betas(lr: f32, beta1: f32, beta2: f32, eps: f32) -> Self {
         assert!(lr > 0.0, "learning rate must be positive, got {lr}");
         assert!((0.0..1.0).contains(&beta1) && (0.0..1.0).contains(&beta2));

@@ -61,8 +61,13 @@ impl SageConv {
     }
 
     /// Accumulates gradients; returns `dX`.
+    ///
+    /// # Panics
+    /// If called before `forward`.
     pub fn backward(&mut self, ctx: &GraphContext, dy: &Matrix) -> Matrix {
+        // audit:allow(FW001): call-order contract documented under # Panics
         let x = self.cached_x.as_ref().expect("SageConv::backward before forward");
+        // audit:allow(FW001): call-order contract documented under # Panics
         let mx = self.cached_mx.as_ref().expect("SageConv::backward before forward");
         self.w_self.grad.add_assign(&x.matmul_tn(dy));
         self.w_neigh.grad.add_assign(&mx.matmul_tn(dy));

@@ -1,0 +1,39 @@
+//! Debug numerics contracts behind the `checked` cargo feature.
+//!
+//! With `--features checked` in a debug build, every instrumented kernel
+//! verifies that its operands and results are finite and panics with the
+//! *op name* and the offending coordinate when they are not — turning a
+//! silent NaN that would corrupt downstream fairness numbers into an
+//! immediate, attributable failure. In release builds (or without the
+//! feature) the contract compiles to nothing.
+
+#[cfg(all(feature = "checked", debug_assertions))]
+use crate::Matrix;
+
+/// Panics when `m` contains a non-finite value, attributing it to `op`.
+///
+/// `role` names the operand being checked (`"lhs"`, `"rhs"`, `"output"`).
+///
+/// # Panics
+/// With `--features checked` in a debug build, if any entry of `m` is NaN
+/// or infinite. Never panics otherwise.
+#[cfg(all(feature = "checked", debug_assertions))]
+pub fn contract_finite(op: &str, role: &str, m: &Matrix) {
+    for (idx, &v) in m.as_slice().iter().enumerate() {
+        if !v.is_finite() {
+            let (r, c) = (idx / m.cols().max(1), idx % m.cols().max(1));
+            panic!(
+                "numerics contract violated in op `{op}`: {role} has non-finite \
+                 value {v} at ({r},{c}) of a {}x{} matrix",
+                m.rows(),
+                m.cols()
+            );
+        }
+    }
+}
+
+/// No-op stand-in compiled when the `checked` feature is off or the build
+/// is optimized; the call disappears entirely.
+#[cfg(not(all(feature = "checked", debug_assertions)))]
+#[inline(always)]
+pub fn contract_finite<T>(_op: &str, _role: &str, _m: &T) {}

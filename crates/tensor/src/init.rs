@@ -30,6 +30,7 @@ pub fn glorot_uniform(fan_in: usize, fan_out: usize, rng: &mut impl Rng) -> Matr
 /// The standard choice for ReLU MLPs (the GIN update function).
 pub fn he_normal(fan_in: usize, fan_out: usize, rng: &mut impl Rng) -> Matrix {
     let std = (2.0 / fan_in as f32).sqrt();
+    // audit:allow(FW001): std is computed above and always positive and finite
     let normal = Normal::new(0.0f32, std).expect("std is positive and finite");
     let data = (0..fan_in * fan_out).map(|_| normal.sample(rng)).collect();
     Matrix::from_vec(fan_in, fan_out, data)
@@ -37,6 +38,9 @@ pub fn he_normal(fan_in: usize, fan_out: usize, rng: &mut impl Rng) -> Matrix {
 
 impl Matrix {
     /// A matrix with entries drawn i.i.d. from `U(lo, hi)`.
+    ///
+    /// # Panics
+    /// If `lo >= hi`.
     pub fn rand_uniform(rows: usize, cols: usize, lo: f32, hi: f32, rng: &mut impl Rng) -> Self {
         assert!(lo < hi, "rand_uniform: empty range [{lo}, {hi})");
         let data = (0..rows * cols).map(|_| rng.gen_range(lo..hi)).collect();
@@ -44,7 +48,11 @@ impl Matrix {
     }
 
     /// A matrix with entries drawn i.i.d. from `N(mean, std²)`.
+    ///
+    /// # Panics
+    /// If `mean` is non-finite or `std` is not positive and finite.
     pub fn rand_normal(rows: usize, cols: usize, mean: f32, std: f32, rng: &mut impl Rng) -> Self {
+        // audit:allow(FW001): the panic is this constructor's documented contract
         let normal = Normal::new(mean, std).expect("finite mean and positive std");
         let data = (0..rows * cols).map(|_| normal.sample(rng)).collect();
         Matrix::from_vec(rows, cols, data)

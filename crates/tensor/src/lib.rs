@@ -18,6 +18,19 @@
 //!   row blocks with rayon once the output is large enough to amortise the
 //!   fork/join; everything else is a straight loop the compiler vectorises.
 //!
+//! # The `checked` feature
+//!
+//! Building with `--features checked` arms debug numerics contracts in the
+//! matmul, elementwise, and softmax kernels: after (and for matmul, before)
+//! each instrumented op, every operand is scanned for NaN/Inf and a violation
+//! panics with the **op name**, the operand role, and the offending
+//! coordinate — e.g. `numerics contract violated in op `matmul`: lhs has
+//! non-finite value NaN at (0,1) of a 2x2 matrix`. The contracts are only
+//! active when `debug_assertions` are on; in release builds (and in any build
+//! without the feature) the checks compile to nothing, so the feature is safe
+//! to leave enabled in dev profiles. Run the workspace's numerics tests with
+//! `cargo test -p fairwos-tensor --features checked`.
+//!
 //! # Quick example
 //!
 //! ```
@@ -30,6 +43,7 @@
 //! assert_eq!(c.row_sums(), vec![3.0, 7.0]);
 //! ```
 
+mod checked;
 mod init;
 mod matmul;
 mod matrix;

@@ -12,6 +12,7 @@
 //! saxpy over the output row (auto-vectorises), and parallelise over output
 //! row blocks with rayon when the work is large enough to amortise fork/join.
 
+use crate::checked::contract_finite;
 use crate::Matrix;
 use rayon::prelude::*;
 
@@ -42,6 +43,8 @@ impl Matrix {
             other.rows(),
             other.cols()
         );
+        contract_finite("matmul", "lhs", self);
+        contract_finite("matmul", "rhs", other);
         let (m, k) = self.shape();
         let n = other.cols();
         let mut out = Matrix::zeros(m, n);
@@ -60,6 +63,7 @@ impl Matrix {
         } else {
             out.as_mut_slice().chunks_mut(n).enumerate().for_each(body);
         }
+        contract_finite("matmul", "output", &out);
         out
     }
 
@@ -80,13 +84,15 @@ impl Matrix {
             other.rows(),
             other.cols()
         );
+        contract_finite("matmul_tn", "lhs", self);
+        contract_finite("matmul_tn", "rhs", other);
         let (n_samples, m) = self.shape();
         let n = other.cols();
 
         // Accumulate per-thread partial products then reduce: the output is
         // small, so the reduction is cheap and rows of both inputs stream.
         let work = n_samples * m * n;
-        if work >= PAR_THRESHOLD {
+        let out = if work >= PAR_THRESHOLD {
             let chunk = (n_samples / rayon::current_num_threads().max(1)).max(64);
             let partials: Vec<Vec<f32>> = (0..n_samples)
                 .into_par_iter()
@@ -124,7 +130,9 @@ impl Matrix {
                 }
             }
             out
-        }
+        };
+        contract_finite("matmul_tn", "output", &out);
+        out
     }
 
     /// `self · otherᵀ` without materialising the transpose.
@@ -145,6 +153,8 @@ impl Matrix {
             other.rows(),
             other.cols()
         );
+        contract_finite("matmul_nt", "lhs", self);
+        contract_finite("matmul_nt", "rhs", other);
         let m = self.rows();
         let n = other.rows();
         let k = self.cols();
@@ -162,6 +172,7 @@ impl Matrix {
         } else {
             out.as_mut_slice().chunks_mut(n).enumerate().for_each(body);
         }
+        contract_finite("matmul_nt", "output", &out);
         out
     }
 }

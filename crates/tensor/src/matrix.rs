@@ -154,6 +154,9 @@ impl Matrix {
     }
 
     /// Sets the element at `(r, c)`.
+    ///
+    /// # Panics
+    /// If `(r, c)` is out of bounds.
     #[inline]
     pub fn set(&mut self, r: usize, c: usize, v: f32) {
         assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of {}x{}", self.rows, self.cols);
@@ -161,6 +164,9 @@ impl Matrix {
     }
 
     /// Row `r` as a contiguous slice.
+    ///
+    /// # Panics
+    /// If `r` is out of range.
     #[inline]
     pub fn row(&self, r: usize) -> &[f32] {
         assert!(r < self.rows, "row {r} out of {} rows", self.rows);
@@ -168,6 +174,9 @@ impl Matrix {
     }
 
     /// Row `r` as a mutable slice.
+    ///
+    /// # Panics
+    /// If `r` is out of range.
     #[inline]
     pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
         assert!(r < self.rows, "row {r} out of {} rows", self.rows);
@@ -180,18 +189,27 @@ impl Matrix {
     }
 
     /// Column `c` copied into a fresh `Vec` (columns are strided).
+    ///
+    /// # Panics
+    /// If `c` is out of range.
     pub fn col(&self, c: usize) -> Vec<f32> {
         assert!(c < self.cols, "col {c} out of {} cols", self.cols);
         (0..self.rows).map(|r| self.data[r * self.cols + c]).collect()
     }
 
     /// Copies `src` into row `r`.
+    ///
+    /// # Panics
+    /// If `src.len() != cols` or `r` is out of range.
     pub fn set_row(&mut self, r: usize, src: &[f32]) {
         assert_eq!(src.len(), self.cols, "row source has length {}, expected {}", src.len(), self.cols);
         self.row_mut(r).copy_from_slice(src);
     }
 
     /// Writes `src` into column `c`.
+    ///
+    /// # Panics
+    /// If `src.len() != rows`.
     pub fn set_col(&mut self, c: usize, src: &[f32]) {
         assert_eq!(src.len(), self.rows, "col source has length {}, expected {}", src.len(), self.rows);
         for (r, &v) in src.iter().enumerate() {
@@ -213,6 +231,9 @@ impl Matrix {
     /// Returns a new matrix containing the selected columns, in order.
     ///
     /// Used by `RemoveR` to drop candidate-related attributes.
+    ///
+    /// # Panics
+    /// If any index in `indices` is out of range.
     pub fn select_cols(&self, indices: &[usize]) -> Matrix {
         let mut out = Matrix::zeros(self.rows, indices.len());
         for r in 0..self.rows {
@@ -227,6 +248,9 @@ impl Matrix {
     }
 
     /// Horizontally concatenates `self` and `other` (same row count).
+    ///
+    /// # Panics
+    /// If the row counts differ.
     pub fn hstack(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.rows, other.rows, "hstack: {} rows vs {} rows", self.rows, other.rows);
         let mut out = Matrix::zeros(self.rows, self.cols + other.cols);
@@ -238,6 +262,9 @@ impl Matrix {
     }
 
     /// Vertically concatenates `self` and `other` (same column count).
+    ///
+    /// # Panics
+    /// If the column counts differ.
     pub fn vstack(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.cols, other.cols, "vstack: {} cols vs {} cols", self.cols, other.cols);
         let mut data = Vec::with_capacity(self.data.len() + other.data.len());

@@ -3,6 +3,7 @@
 //! In-place variants (`*_assign`) are provided for the training loop's hot
 //! paths so optimizer steps and activation gradients don't allocate.
 
+use crate::checked::contract_finite;
 use crate::Matrix;
 
 impl Matrix {
@@ -29,6 +30,7 @@ impl Matrix {
         for (a, &b) in self.as_mut_slice().iter_mut().zip(other.as_slice()) {
             *a += b;
         }
+        contract_finite("add", "output", self);
     }
 
     /// Elementwise difference `self - other`.
@@ -44,6 +46,7 @@ impl Matrix {
         for (a, &b) in self.as_mut_slice().iter_mut().zip(other.as_slice()) {
             *a -= b;
         }
+        contract_finite("sub", "output", self);
     }
 
     /// Elementwise (Hadamard) product.
@@ -59,6 +62,7 @@ impl Matrix {
         for (a, &b) in self.as_mut_slice().iter_mut().zip(other.as_slice()) {
             *a *= b;
         }
+        contract_finite("hadamard", "output", self);
     }
 
     /// Scalar multiple `self * s`.
@@ -81,10 +85,14 @@ impl Matrix {
         for (a, &b) in self.as_mut_slice().iter_mut().zip(other.as_slice()) {
             *a += scale * b;
         }
+        contract_finite("add_scaled", "output", self);
     }
 
     /// Adds `bias` (length = cols) to every row. Bias broadcast of a dense
     /// layer.
+    ///
+    /// # Panics
+    /// If `bias.len()` differs from the column count.
     pub fn add_row_broadcast(&mut self, bias: &[f32]) {
         assert_eq!(bias.len(), self.cols(), "bias length {} vs {} cols", bias.len(), self.cols());
         let cols = self.cols();
@@ -96,6 +104,9 @@ impl Matrix {
     }
 
     /// Multiplies every row elementwise by `scales` (length = cols).
+    ///
+    /// # Panics
+    /// If `scales.len()` differs from the column count.
     pub fn mul_row_broadcast(&mut self, scales: &[f32]) {
         assert_eq!(scales.len(), self.cols(), "scale length {} vs {} cols", scales.len(), self.cols());
         let cols = self.cols();
@@ -108,6 +119,9 @@ impl Matrix {
 
     /// Multiplies row `r` by `scales[r]` for every row (length = rows).
     /// Degree scaling in graph normalization.
+    ///
+    /// # Panics
+    /// If `scales.len()` differs from the row count.
     pub fn mul_col_broadcast(&mut self, scales: &[f32]) {
         assert_eq!(scales.len(), self.rows(), "scale length {} vs {} rows", scales.len(), self.rows());
         let cols = self.cols();

@@ -1,5 +1,6 @@
 //! Reductions, norms, and row-wise softmax utilities.
 
+use crate::checked::contract_finite;
 use crate::Matrix;
 
 impl Matrix {
@@ -127,6 +128,7 @@ impl Matrix {
                 *v *= inv;
             }
         }
+        contract_finite("softmax_rows", "output", self);
     }
 
     /// Numerically stable row-wise log-softmax.
@@ -140,6 +142,7 @@ impl Matrix {
                 *v -= lse;
             }
         }
+        contract_finite("log_softmax_rows", "output", &out);
         out
     }
 

@@ -1,0 +1,117 @@
+//! Tests for the `checked` numerics contracts: a non-finite value must
+//! trigger a panic that names the *originating* op, not a later consumer.
+//!
+//! Run with `cargo test -p fairwos-tensor --features checked`. The contract
+//! is active only in debug builds (it compiles to nothing under
+//! `--release`), so every test is additionally gated on
+//! `debug_assertions`; without the feature this file still compiles and the
+//! non-panicking tests confirm the no-op path.
+
+use fairwos_tensor::Matrix;
+
+fn nan_at_origin(rows: usize, cols: usize) -> Matrix {
+    let mut m = Matrix::ones(rows, cols);
+    m.as_mut_slice()[0] = f32::NAN;
+    m
+}
+
+#[test]
+fn finite_inputs_never_trip_the_contract() {
+    let a = Matrix::ones(3, 4);
+    let b = Matrix::ones(4, 2);
+    let out = a.matmul(&b);
+    assert_eq!(out.get(0, 0), 4.0);
+    let mut c = Matrix::ones(3, 4);
+    c.add_assign(&a);
+    assert_eq!(c.get(2, 3), 2.0);
+    let mut s = Matrix::ones(2, 3);
+    s.softmax_rows_assign();
+    assert!((s.get(0, 0) - 1.0 / 3.0).abs() < 1e-6);
+}
+
+#[cfg(all(feature = "checked", debug_assertions))]
+mod active {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "op `matmul`")]
+    fn nan_lhs_is_attributed_to_matmul() {
+        let a = nan_at_origin(2, 3);
+        let b = Matrix::ones(3, 2);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "`matmul`: rhs has non-finite value NaN at (0,0) of a 3x2 matrix")]
+    fn nan_rhs_names_role_and_coordinate() {
+        let a = Matrix::ones(2, 3);
+        let b = nan_at_origin(3, 2);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "op `matmul_tn`")]
+    fn fused_transpose_kernel_names_itself() {
+        let a = nan_at_origin(3, 2);
+        let b = Matrix::ones(3, 4);
+        let _ = a.matmul_tn(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "op `matmul_nt`")]
+    fn fused_nt_kernel_names_itself() {
+        let a = Matrix::ones(2, 3);
+        let b = nan_at_origin(4, 3);
+        let _ = a.matmul_nt(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "op `add`")]
+    fn overflow_to_infinity_is_attributed_to_add() {
+        // Both inputs are finite; the *output* of `add` overflows — the
+        // contract must blame `add`, the op where non-finiteness appeared.
+        let mut a = Matrix::full(2, 2, f32::MAX);
+        let b = Matrix::full(2, 2, f32::MAX);
+        a.add_assign(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "op `add`")]
+    fn provenance_points_at_the_origin_not_a_downstream_op() {
+        // NaN enters during `add`; the later matmul never runs, so the
+        // failure names the true origin instead of the first consumer.
+        let mut a = Matrix::ones(2, 2);
+        a.as_mut_slice()[3] = f32::NAN;
+        let mut b = Matrix::ones(2, 2);
+        b.add_assign(&a); // panics here, naming `add`
+        let _ = b.matmul(&Matrix::ones(2, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "op `hadamard`")]
+    fn hadamard_is_instrumented() {
+        let mut a = Matrix::ones(2, 2);
+        a.hadamard_assign(&nan_at_origin(2, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "op `softmax_rows`")]
+    fn softmax_is_instrumented() {
+        let mut m = nan_at_origin(2, 3);
+        m.softmax_rows_assign();
+    }
+}
+
+#[cfg(not(all(feature = "checked", debug_assertions)))]
+mod inactive {
+    use super::*;
+
+    #[test]
+    fn contracts_compile_to_nothing_without_the_feature() {
+        // NaN flows through silently — the documented release behavior.
+        let a = nan_at_origin(2, 3);
+        let b = Matrix::ones(3, 2);
+        let out = a.matmul(&b);
+        assert!(out.get(0, 0).is_nan());
+    }
+}

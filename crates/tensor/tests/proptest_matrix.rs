@@ -139,4 +139,66 @@ proptest! {
         let back: Matrix = serde_json::from_str(&json).unwrap();
         prop_assert_eq!(back, m);
     }
+
+    #[test]
+    fn from_vec_preserves_row_major_layout(
+        (r, c) in (1usize..12, 1usize..12),
+        seed in 0u64..1000,
+    ) {
+        use rand::Rng;
+        let mut rng = fairwos_tensor::seeded_rng(seed);
+        let data: Vec<f32> = (0..r * c).map(|_| rng.gen_range(-5.0..5.0)).collect();
+        let m = Matrix::from_vec(r, c, data.clone());
+        prop_assert_eq!(m.shape(), (r, c));
+        prop_assert_eq!(m.as_slice(), &data[..]);
+        for i in 0..r {
+            for j in 0..c {
+                prop_assert_eq!(m.get(i, j), data[i * c + j]);
+            }
+        }
+    }
+
+    #[test]
+    fn from_vec_rejects_wrong_buffer_length(
+        (r, c) in (1usize..10, 1usize..10),
+        off in prop::sample::select(vec![-1i64, 1, 7]),
+    ) {
+        let n = (r * c) as i64 + off;
+        prop_assume!(n >= 0);
+        let result = std::panic::catch_unwind(|| {
+            Matrix::from_vec(r, c, vec![0.0; n as usize])
+        });
+        prop_assert!(result.is_err(), "shape {r}x{c} accepted a {n}-element buffer");
+    }
+
+    #[test]
+    fn from_rows_agrees_with_from_vec(m in matrix(1..10, 1..10)) {
+        let rows: Vec<&[f32]> = (0..m.rows()).map(|i| m.row(i)).collect();
+        let rebuilt = Matrix::from_rows(&rows);
+        prop_assert_eq!(rebuilt, m);
+    }
+
+    #[test]
+    fn from_rows_rejects_ragged_input((c, extra) in (1usize..8, 1usize..4)) {
+        let first = vec![0.0f32; c];
+        let ragged = vec![0.0f32; c + extra];
+        let result = std::panic::catch_unwind(|| {
+            Matrix::from_rows(&[&first, &ragged])
+        });
+        prop_assert!(result.is_err(), "ragged rows ({c} vs {}) were accepted", c + extra);
+    }
+
+    #[test]
+    fn eye_is_matmul_neutral_and_kronecker(n in 1usize..12, m in matrix(1..8, 1..8)) {
+        let id = Matrix::eye(n);
+        prop_assert_eq!(id.shape(), (n, n));
+        for i in 0..n {
+            for j in 0..n {
+                prop_assert_eq!(id.get(i, j), if i == j { 1.0 } else { 0.0 });
+            }
+        }
+        prop_assert!(approx_eq(id.sum(), n as f32, 1e-5));
+        // eye(rows)·M = M exactly (0/1 coefficients introduce no rounding).
+        prop_assert_eq!(Matrix::eye(m.rows()).matmul(&m), m);
+    }
 }

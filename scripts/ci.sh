@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# The full CI gate, runnable locally: formatting, release build, tests,
+# the FW static lints, and the finite-difference gradient sweep.
+# Mirrors .github/workflows/ci.yml.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test"
+cargo test --workspace -q
+
+echo "==> cargo test -p fairwos-tensor --features checked"
+cargo test -p fairwos-tensor --features checked -q
+
+echo "==> fairwos-audit lint"
+cargo run --release -p fairwos-audit -- lint
+
+echo "==> fairwos-audit gradients"
+cargo run --release -p fairwos-audit -- gradients
+
+echo "CI gate passed."

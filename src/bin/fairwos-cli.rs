@@ -136,18 +136,17 @@ fn main() {
             };
             let mut trained = FairwosTrainer::new(config).fit(&input, seed);
             let out = required(&flags, "out");
-            std::fs::write(out, trained.to_model_file().to_json()).expect("write model");
+            trained.to_model_file().save(out).unwrap_or_else(|e| {
+                eprintln!("writing model: {e}");
+                exit(1);
+            });
             println!("trained; λ = {:?}", trained.lambda());
             println!("wrote {out}");
         }
         "evaluate" | "predict" => {
             let ds = load_dataset(&flags);
             let model_path = required(&flags, "model");
-            let model_json = std::fs::read_to_string(model_path).unwrap_or_else(|e| {
-                eprintln!("reading {model_path}: {e}");
-                exit(1);
-            });
-            let model = FairwosModelFile::from_json(&model_json).unwrap_or_else(|e| {
+            let model = FairwosModelFile::load(model_path).unwrap_or_else(|e| {
                 eprintln!("invalid model file: {e}");
                 exit(1);
             });
