@@ -9,7 +9,7 @@
 //! counterfactual machinery runs per raw attribute instead of per encoder
 //! dimension).
 
-use fairwos_bench::{Args, MethodKind, MethodRun, RunRecord};
+use fairwos_bench::{write_pipeline_metrics, Args, MethodKind, MethodRun, RunRecord};
 use fairwos_datasets::{DatasetSpec, FairGraphDataset};
 use fairwos_nn::Backbone;
 
@@ -38,6 +38,7 @@ fn main() {
         MethodKind::Fairwos,
     ];
     let mut records: Vec<RunRecord> = Vec::new();
+    let mut pipeline: Vec<fairwos_obs::RunMetrics> = Vec::new();
     for ds in &datasets {
         println!(
             "Fig. 8: runtime on {} ({} nodes, {} attrs, {} runs)",
@@ -54,9 +55,11 @@ fn main() {
                 let t = run.time_stats();
                 println!("{:<12} | {:>9.3} ± {:.3}", run.name, t.mean, t.std);
                 records.push(run.record(&ds.spec.name, backbone));
+                pipeline.extend(run.pipeline);
             }
         }
         println!();
     }
     args.write_out(&records);
+    write_pipeline_metrics(&pipeline);
 }

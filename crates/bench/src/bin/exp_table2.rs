@@ -6,13 +6,14 @@
 //! minutes; raise `--scale`/`--runs` toward the paper's full protocol
 //! (scale 1, 10 runs) as budget allows. NBA always runs at its true size.
 
-use fairwos_bench::{Args, MethodKind, MethodRun, RunRecord};
+use fairwos_bench::{write_pipeline_metrics, Args, MethodKind, MethodRun, RunRecord};
 use fairwos_datasets::{all_benchmarks, FairGraphDataset};
 use fairwos_nn::Backbone;
 
 fn main() {
     let args = Args::parse(0.02, 3);
     let mut records: Vec<RunRecord> = Vec::new();
+    let mut pipeline: Vec<fairwos_obs::RunMetrics> = Vec::new();
     println!(
         "Table II: node classification comparison (scale {}, {} runs; percent, mean ± std)",
         args.scale, args.runs
@@ -29,8 +30,10 @@ fn main() {
                 let run = MethodRun::execute(kind, backbone, &ds, args.runs, args.seed);
                 println!("{}", run.table_row());
                 records.push(run.record(&spec.name, backbone));
+                pipeline.extend(run.pipeline);
             }
         }
     }
     args.write_out(&records);
+    write_pipeline_metrics(&pipeline);
 }

@@ -122,6 +122,9 @@ pub struct MethodRun {
     pub agg: RunAggregator,
     /// Wall-clock seconds per run.
     pub times: Vec<f64>,
+    /// Per-run observability snapshots (stage spans, kernel counters).
+    /// Empty unless the workspace is built with the `obs` feature.
+    pub pipeline: Vec<fairwos_obs::RunMetrics>,
 }
 
 impl MethodRun {
@@ -136,12 +139,24 @@ impl MethodRun {
         let method = build_method(kind, backbone, ds);
         let mut agg = RunAggregator::new();
         let mut times = Vec::with_capacity(runs);
+        let mut pipeline = Vec::new();
         for r in 0..runs {
-            let (report, secs) = run_method(method.as_ref(), ds, base_seed + r as u64);
+            let seed = base_seed + r as u64;
+            fairwos_obs::reset();
+            let (report, secs) = run_method(method.as_ref(), ds, seed);
             agg.push_report(&report);
             times.push(secs);
+            if fairwos_obs::is_enabled() {
+                pipeline.push(fairwos_obs::RunMetrics::capture(
+                    &method.name(),
+                    &ds.spec.name,
+                    &backbone.to_string(),
+                    seed,
+                    secs,
+                ));
+            }
         }
-        Self { name: method.name(), agg, times }
+        Self { name: method.name(), agg, times, pipeline }
     }
 
     /// A Table-II-style text row: `ACC ΔDP ΔEO`, percent, mean±std.
@@ -175,6 +190,27 @@ impl MethodRun {
             metrics,
             seconds: self.time_stats(),
         }
+    }
+}
+
+/// Default location of the observability batch the experiment binaries
+/// write when built with the `obs` feature.
+pub const PIPELINE_METRICS_PATH: &str = "results/bench_pipeline.json";
+
+/// Writes the accumulated per-run observability snapshots to
+/// [`PIPELINE_METRICS_PATH`] in the stable `fairwos-obs` pipeline schema.
+///
+/// Does nothing in uninstrumented builds, so binaries can call it
+/// unconditionally. A write failure is reported on stderr rather than
+/// aborting — metrics must never take down an experiment that already ran.
+pub fn write_pipeline_metrics(runs: &[fairwos_obs::RunMetrics]) {
+    if !fairwos_obs::is_enabled() {
+        return;
+    }
+    let path = std::path::Path::new(PIPELINE_METRICS_PATH);
+    match fairwos_obs::write_pipeline_json(path, runs) {
+        Ok(()) => eprintln!("wrote {PIPELINE_METRICS_PATH} ({} runs)", runs.len()),
+        Err(e) => eprintln!("warning: could not write {PIPELINE_METRICS_PATH}: {e}"),
     }
 }
 

@@ -20,4 +20,7 @@ pub mod cli;
 pub mod harness;
 
 pub use cli::Args;
-pub use harness::{build_method, run_method, MethodKind, MethodRun, RunRecord};
+pub use harness::{
+    build_method, run_method, write_pipeline_metrics, MethodKind, MethodRun, RunRecord,
+    PIPELINE_METRICS_PATH,
+};

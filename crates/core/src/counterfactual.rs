@@ -105,6 +105,7 @@ impl CounterfactualSets {
 /// If `k` is zero or the search-space arrays disagree with the embedding
 /// row count.
 pub fn search_topk(space: &SearchSpace<'_>, queries: &[usize], k: usize) -> CounterfactualSets {
+    let _obs = fairwos_obs::span("core/cf_search");
     assert!(k >= 1, "top-K needs k ≥ 1");
     let n = space.embeddings.rows();
     assert_eq!(space.pseudo_labels.len(), n, "pseudo-labels vs embeddings");

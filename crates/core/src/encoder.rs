@@ -41,6 +41,7 @@ impl Encoder {
         let mut opt = Adam::new(lr);
         let mut losses = Vec::with_capacity(epochs);
         for _ in 0..epochs {
+            let _obs = fairwos_obs::span("train/stage1/epoch");
             conv.zero_grad();
             head.zero_grad();
             // ReLU between conv and head, as in the classifier backbone.

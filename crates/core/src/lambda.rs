@@ -44,6 +44,7 @@ pub fn project_to_simplex(v: &[f32]) -> Vec<f32> {
 /// # Panics
 /// If `alpha` is negative.
 pub fn update_lambda(d: &[f32], alpha: f32) -> Vec<f32> {
+    let _obs = fairwos_obs::span("core/lambda_kkt");
     assert!(alpha >= 0.0, "alpha must be non-negative, got {alpha}");
     let target: Vec<f32> = d.iter().map(|&di| -alpha * di / 2.0).collect();
     project_to_simplex(&target)

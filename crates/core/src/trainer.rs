@@ -188,10 +188,16 @@ impl FairwosTrainer {
         input.validate();
         let cfg = &self.config;
         let mut rng = seeded_rng(seed);
-        let ctx = GraphContext::new(input.graph);
+        fairwos_obs::scale_max("train/nodes", input.graph.num_nodes() as u64);
+        fairwos_obs::scale_max("train/edges", input.graph.num_edges() as u64);
+        let ctx = {
+            let _obs = fairwos_obs::span("train/graph_context");
+            GraphContext::new(input.graph)
+        };
 
         // Stage 1: encoder pre-training → pseudo-sensitive attributes X⁰.
         let (encoder, x0) = if cfg.use_encoder {
+            let _obs = fairwos_obs::span("train/stage1_encoder");
             let enc = Encoder::pretrain(
                 input,
                 &ctx,
@@ -228,7 +234,9 @@ impl FairwosTrainer {
         let mut best_val = f64::NEG_INFINITY;
         let mut best_params: Vec<Matrix> = Vec::new();
         let mut since_best = 0usize;
+        let obs_stage2 = fairwos_obs::span("train/stage2_classifier");
         for _ in 0..cfg.classifier_epochs {
+            let _obs = fairwos_obs::span("train/stage2/epoch");
             gnn.zero_grad();
             let out = gnn.forward_train(&ctx, &x0, &mut rng);
             let (loss, dlogits) = bce_with_logits_masked(&out.logits, input.labels, input.train);
@@ -258,6 +266,7 @@ impl FairwosTrainer {
         if !best_params.is_empty() {
             restore(&mut gnn, &best_params);
         }
+        drop(obs_stage2);
 
         // Pseudo-labels: ground truth on V_L, classifier prediction elsewhere
         // (the paper pre-trains the classifier precisely to supply these).
@@ -271,11 +280,13 @@ impl FairwosTrainer {
         // Stage 3: fine-tuning (lines 5–13).
         let mut finetune = Vec::with_capacity(cfg.finetune_epochs);
         if cfg.use_fairness && cfg.alpha > 0.0 {
+            let _obs = fairwos_obs::span("train/stage3_finetune");
             // Fresh optimizer state for the new objective, at the gentler
             // fine-tuning rate.
             let mut opt = Adam::new(cfg.finetune_learning_rate);
             let medians = x0.col_medians();
             for _ in 0..cfg.finetune_epochs {
+                let _obs = fairwos_obs::span("train/stage3/epoch");
                 gnn.zero_grad();
                 let out = gnn.forward_train(&ctx, &x0, &mut rng);
                 let (loss_u, dlogits) = bce_with_logits_masked(&out.logits, input.labels, input.train);
@@ -369,6 +380,7 @@ impl FairwosTrainer {
 
                 // Lines 9–12: λ update.
                 if cfg.use_weight_update {
+                    let _obs = fairwos_obs::span("train/stage3/lambda_update");
                     lambda = match cfg.weight_mode {
                         WeightMode::KktClosedForm => update_lambda(&d, cfg.alpha),
                         WeightMode::ProportionalToDistance => update_lambda_proportional(&d),

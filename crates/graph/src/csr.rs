@@ -1,6 +1,7 @@
 //! General sparse matrix in CSR form with `f32` values, and its
 //! sparse–dense products (SPMM).
 
+use fairwos_tensor::checked::{contract_finite, contract_finite_slice};
 use fairwos_tensor::Matrix;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -106,7 +107,8 @@ impl CsrMatrix {
     /// The GCN forward propagation. Parallelises over output rows.
     ///
     /// # Panics
-    /// If `self.cols() != dense.rows()`.
+    /// If `self.cols() != dense.rows()`. With `--features checked` in a
+    /// debug build, also if an operand or the output contains NaN/Inf.
     pub fn spmm(&self, dense: &Matrix) -> Matrix {
         assert_eq!(
             self.cols,
@@ -117,7 +119,10 @@ impl CsrMatrix {
             dense.rows(),
             dense.cols()
         );
+        contract_finite_slice("spmm", "sparse values", &self.values);
+        contract_finite("spmm", "dense", dense);
         let d = dense.cols();
+        fairwos_obs::counter_add("graph/spmm/fma", (self.nnz() * d) as u64);
         let mut out = Matrix::zeros(self.rows, d);
         let body = |(r, out_row): (usize, &mut [f32])| {
             let (cols, vals) = self.row(r);
@@ -133,6 +138,7 @@ impl CsrMatrix {
         } else {
             out.as_mut_slice().chunks_mut(d).enumerate().for_each(body);
         }
+        contract_finite("spmm", "output", &out);
         out
     }
 

@@ -1,0 +1,78 @@
+//! `checked`-feature contract tests for the SPMM kernel, mirroring
+//! `crates/tensor/tests/checked_contracts.rs`: a non-finite value in any
+//! operand must panic naming the kernel (`spmm`) and the operand role.
+//!
+//! Run with `cargo test -p fairwos-graph --features checked`. The contract
+//! is active only in debug builds; without the feature the non-panicking
+//! test confirms the no-op path.
+
+use fairwos_graph::CsrMatrix;
+use fairwos_tensor::Matrix;
+
+fn sparse_2x3() -> CsrMatrix {
+    CsrMatrix::from_triplets(2, 3, &[(0, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0)])
+}
+
+fn nan_sparse_2x3() -> CsrMatrix {
+    CsrMatrix::from_triplets(2, 3, &[(0, 0, 1.0), (0, 2, f32::NAN), (1, 1, 3.0)])
+}
+
+fn nan_dense(rows: usize, cols: usize) -> Matrix {
+    let mut m = Matrix::ones(rows, cols);
+    m.as_mut_slice()[0] = f32::NAN;
+    m
+}
+
+#[test]
+fn finite_inputs_never_trip_the_contract() {
+    let out = sparse_2x3().spmm(&Matrix::ones(3, 2));
+    assert_eq!(out.get(0, 0), 3.0);
+    assert_eq!(out.get(1, 1), 3.0);
+}
+
+#[cfg(all(feature = "checked", debug_assertions))]
+mod active {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "op `spmm`: sparse values has non-finite value NaN")]
+    fn nan_in_sparse_values_names_kernel_and_role() {
+        let _ = nan_sparse_2x3().spmm(&Matrix::ones(3, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "op `spmm`: dense has non-finite value NaN")]
+    fn nan_in_dense_operand_names_kernel_and_role() {
+        let _ = sparse_2x3().spmm(&nan_dense(3, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "op `spmm`")]
+    fn infinity_is_caught_like_nan() {
+        let mut dense = Matrix::ones(3, 2);
+        dense.as_mut_slice()[5] = f32::INFINITY;
+        let _ = sparse_2x3().spmm(&dense);
+    }
+
+    #[test]
+    #[should_panic(expected = "op `spmm`: output has non-finite value")]
+    fn overflow_in_the_product_is_attributed_to_the_output() {
+        // Finite operands whose product overflows f32: the contract must
+        // blame spmm's output, not wait for a downstream consumer.
+        let s = CsrMatrix::from_triplets(1, 1, &[(0, 0, f32::MAX)]);
+        let dense = Matrix::full(1, 1, f32::MAX);
+        let _ = s.spmm(&dense);
+    }
+}
+
+#[cfg(not(all(feature = "checked", debug_assertions)))]
+mod inactive {
+    use super::*;
+
+    #[test]
+    fn contracts_compile_to_nothing_without_the_feature() {
+        // NaN flows through silently — the documented release behavior.
+        let out = nan_sparse_2x3().spmm(&Matrix::ones(3, 2));
+        assert!(out.get(0, 0).is_nan());
+    }
+}

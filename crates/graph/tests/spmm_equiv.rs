@@ -1,0 +1,106 @@
+//! Property-based sparse/dense equivalence for the SPMM kernels.
+//!
+//! `CsrMatrix::spmm` is the GCN propagation — if it disagrees with the
+//! dense reference product, every forward and backward pass in the
+//! workspace is silently wrong. Random COO matrices (duplicate-free, as
+//! adjacency construction guarantees) are multiplied both ways and
+//! compared within 1e-5, including through `transpose()` and on inputs
+//! large enough to take the rayon parallel path.
+
+use fairwos_graph::CsrMatrix;
+use fairwos_tensor::{approx_eq, seeded_rng, Matrix};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// A random sparse matrix (as deduped COO triplets) and a compatible dense
+/// right-hand side.
+fn spmm_case() -> impl Strategy<Value = (CsrMatrix, Matrix)> {
+    (1usize..16, 1usize..16, 1usize..7).prop_flat_map(|(rows, cols, d)| {
+        let triplets = prop::collection::vec(
+            (0..rows, 0..cols, -10.0f32..10.0),
+            0..rows * cols,
+        )
+        .prop_map(move |raw| {
+            // from_triplets forbids repeated (r,c) entries; keep the last.
+            let dedup: BTreeMap<(usize, usize), f32> =
+                raw.into_iter().map(|(r, c, v)| ((r, c), v)).collect();
+            let flat: Vec<(usize, usize, f32)> =
+                dedup.into_iter().map(|((r, c), v)| (r, c, v)).collect();
+            CsrMatrix::from_triplets(rows, cols, &flat)
+        });
+        let dense = prop::collection::vec(-10.0f32..10.0, cols * d)
+            .prop_map(move |data| Matrix::from_vec(cols, d, data));
+        (triplets, dense)
+    })
+}
+
+fn assert_matrices_close(sparse_result: &Matrix, dense_result: &Matrix) -> Result<(), TestCaseError> {
+    prop_assert_eq!(sparse_result.shape(), dense_result.shape());
+    for (i, (a, b)) in
+        sparse_result.as_slice().iter().zip(dense_result.as_slice()).enumerate()
+    {
+        prop_assert!(approx_eq(*a, *b, 1e-5), "entry {i}: sparse {a} vs dense {b}");
+    }
+    Ok(())
+}
+
+proptest! {
+    #[test]
+    fn spmm_equals_dense_matmul((s, x) in spmm_case()) {
+        assert_matrices_close(&s.spmm(&x), &s.to_dense().matmul(&x))?;
+    }
+
+    #[test]
+    fn transposed_spmm_equals_dense_transposed_product((s, _) in spmm_case()) {
+        // Build an RHS compatible with sᵀ (rows(s) tall).
+        let d = 3;
+        let mut rng = seeded_rng(7);
+        use rand::Rng;
+        let data: Vec<f32> = (0..s.rows() * d).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let x = Matrix::from_vec(s.rows(), d, data);
+        assert_matrices_close(
+            &s.transpose().spmm(&x),
+            &s.to_dense().transpose().matmul(&x),
+        )?;
+    }
+
+    #[test]
+    fn spmm_then_transpose_roundtrip_preserves_shape((s, x) in spmm_case()) {
+        let y = s.spmm(&x);
+        prop_assert_eq!(y.rows(), s.rows());
+        prop_assert_eq!(y.cols(), x.cols());
+        let yt = s.transpose().spmm(&y);
+        prop_assert_eq!(yt.rows(), s.cols());
+    }
+}
+
+#[test]
+fn parallel_path_matches_dense() {
+    // nnz × d must clear the 1<<16 threshold in `spmm` so the rayon branch
+    // runs; proptest's small cases never reach it.
+    let n = 400;
+    let d = 32;
+    let mut rng = seeded_rng(3);
+    use rand::Rng;
+    let mut triplets = Vec::new();
+    for r in 0..n {
+        for _ in 0..8 {
+            let c = rng.gen_range(0..n);
+            triplets.push((r, c, rng.gen_range(-1.0f32..1.0)));
+        }
+    }
+    let dedup: BTreeMap<(usize, usize), f32> =
+        triplets.into_iter().map(|(r, c, v)| ((r, c), v)).collect();
+    let flat: Vec<(usize, usize, f32)> =
+        dedup.into_iter().map(|((r, c), v)| (r, c, v)).collect();
+    let s = CsrMatrix::from_triplets(n, n, &flat);
+    let data: Vec<f32> = (0..n * d).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+    let x = Matrix::from_vec(n, d, data);
+    assert!(s.nnz() * d >= 1 << 16, "case too small to exercise the parallel path");
+
+    let sparse_result = s.spmm(&x);
+    let dense_result = s.to_dense().matmul(&x);
+    for (a, b) in sparse_result.as_slice().iter().zip(dense_result.as_slice()) {
+        assert!(approx_eq(*a, *b, 1e-5), "parallel spmm drifted: {a} vs {b}");
+    }
+}

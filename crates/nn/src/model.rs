@@ -173,6 +173,7 @@ impl Gnn {
 
     /// Training-mode forward pass (caches activations, samples dropout).
     pub fn forward_train(&mut self, ctx: &GraphContext, x: &Matrix, rng: &mut impl Rng) -> GnnOutput {
+        let _obs = fairwos_obs::span("nn/forward_train");
         let mut h = x.clone();
         for (conv, relu) in self.convs.iter_mut().zip(&mut self.relus) {
             h = relu.forward(&conv.forward(ctx, &h));
@@ -184,6 +185,7 @@ impl Gnn {
 
     /// Inference forward pass (no caching, no dropout).
     pub fn forward_inference(&self, ctx: &GraphContext, x: &Matrix) -> GnnOutput {
+        let _obs = fairwos_obs::span("nn/forward_inference");
         let mut h = x.clone();
         for conv in &self.convs {
             h = conv.forward_inference(ctx, &h).map(|v| v.max(0.0));
@@ -197,6 +199,7 @@ impl Gnn {
     ///
     /// Must follow a `forward_train` call with the same `ctx`.
     pub fn backward(&mut self, ctx: &GraphContext, dlogits: &Matrix, dh_extra: Option<&Matrix>) {
+        let _obs = fairwos_obs::span("nn/backward");
         let dh_head = self.head.backward(dlogits);
         let mut dh = self.dropout.backward(&dh_head);
         if let Some(extra) = dh_extra {

@@ -1,0 +1,74 @@
+//! Minimal hand-rolled JSON emission, because this crate takes no
+//! dependencies. Only what [`crate::report`] needs: escaped strings and
+//! finite-guarded floats, written into a growing `String`.
+
+/// Appends `s` as a JSON string literal, escaping per RFC 8259.
+pub(crate) fn push_str_literal(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends `v` as a JSON number. JSON has no NaN/Infinity, so non-finite
+/// values (which the `checked` feature exists to catch much earlier) are
+/// emitted as `null` rather than producing an unparseable file.
+pub(crate) fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        // `{:?}` round-trips f64 exactly with the shortest representation
+        // and never produces a locale-dependent separator.
+        out.push_str(&format!("{v:?}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Appends `n` two-space indentation levels.
+pub(crate) fn push_indent(out: &mut String, n: usize) {
+    for _ in 0..n {
+        out.push_str("  ");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(s: &str) -> String {
+        let mut out = String::new();
+        push_str_literal(&mut out, s);
+        out
+    }
+
+    #[test]
+    fn escapes_quotes_backslashes_and_control_chars() {
+        assert_eq!(lit("plain"), "\"plain\"");
+        assert_eq!(lit("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(lit("line\nbreak\ttab"), "\"line\\nbreak\\ttab\"");
+        assert_eq!(lit("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn floats_round_trip_and_non_finite_becomes_null() {
+        let mut out = String::new();
+        push_f64(&mut out, 1.25);
+        out.push(' ');
+        push_f64(&mut out, 0.1);
+        out.push(' ');
+        push_f64(&mut out, f64::NAN);
+        out.push(' ');
+        push_f64(&mut out, f64::INFINITY);
+        assert_eq!(out, "1.25 0.1 null null");
+    }
+}

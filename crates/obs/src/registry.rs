@@ -1,0 +1,154 @@
+//! The armed instrumentation backend, compiled only with the `enabled`
+//! feature: a process-global, mutex-guarded set of aggregation tables.
+//!
+//! A single coarse `Mutex` is deliberate. The hot kernels record once per
+//! *kernel call* (a full matmul, a full SPMM), not per element, so the lock
+//! is taken a few thousand times per training run — nanoseconds of
+//! contention against milliseconds of math. `BTreeMap` keys keep every
+//! snapshot deterministically ordered, which the golden-fixture test and the
+//! stable `bench_pipeline.json` schema rely on.
+
+use std::collections::BTreeMap;
+use std::sync::{Mutex, OnceLock, PoisonError};
+use std::time::Instant;
+
+use crate::report::{CounterMetric, ScaleMetric, SpanMetric};
+
+#[derive(Default)]
+struct SpanAgg {
+    count: u64,
+    total_ns: u128,
+    min_ns: u128,
+    max_ns: u128,
+}
+
+#[derive(Default)]
+struct CounterAgg {
+    calls: u64,
+    total: u64,
+}
+
+#[derive(Default)]
+struct Tables {
+    spans: BTreeMap<String, SpanAgg>,
+    counters: BTreeMap<String, CounterAgg>,
+    scales: BTreeMap<String, u64>,
+}
+
+fn tables() -> &'static Mutex<Tables> {
+    static TABLES: OnceLock<Mutex<Tables>> = OnceLock::new();
+    TABLES.get_or_init(|| Mutex::new(Tables::default()))
+}
+
+fn with_tables<R>(f: impl FnOnce(&mut Tables) -> R) -> R {
+    // A panic while holding this lock poisons it, but the tables hold plain
+    // aggregates that are never left half-updated, so recording into a
+    // poisoned registry is safe — observability must not turn one panic
+    // into a cascade.
+    let mut guard = tables().lock().unwrap_or_else(PoisonError::into_inner);
+    f(&mut guard)
+}
+
+/// Live span: wall time runs from [`span`] until this guard drops.
+///
+/// The lifetime ties the guard to its label so labels can be borrowed
+/// `&'static str` literals or locally-formatted strings alike.
+#[must_use = "a span measures until the guard drops; bind it with `let _s = ...`"]
+pub struct SpanGuard<'a> {
+    label: &'a str,
+    start: Instant,
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        let elapsed = self.start.elapsed().as_nanos();
+        with_tables(|t| {
+            let agg = t.spans.entry(self.label.to_owned()).or_default();
+            if agg.count == 0 || elapsed < agg.min_ns {
+                agg.min_ns = elapsed;
+            }
+            if elapsed > agg.max_ns {
+                agg.max_ns = elapsed;
+            }
+            agg.count += 1;
+            agg.total_ns += elapsed;
+        });
+    }
+}
+
+/// Starts a span: wall time is measured until the returned guard drops.
+///
+/// Repeated spans under the same label aggregate into one
+/// count/total/min/max row. Nesting is expressed purely through label
+/// convention (`train/stage2` contains `train/stage2/epoch`); the registry
+/// itself is flat.
+pub fn span(label: &str) -> SpanGuard<'_> {
+    SpanGuard { label, start: Instant::now() }
+}
+
+/// Adds `amount` to the counter `label` and bumps its call count.
+///
+/// Kernels report one unit that is meaningful for them: multiply-add FLOPs
+/// for the matmul family, nnz×cols fused multiply-adds for SPMM, bytes for
+/// the matrix allocator.
+pub fn counter_add(label: &str, amount: u64) {
+    with_tables(|t| {
+        let agg = t.counters.entry(label.to_owned()).or_default();
+        agg.calls += 1;
+        agg.total += amount;
+    });
+}
+
+/// Records `value` for gauge `label`, keeping the per-run maximum.
+pub fn scale_max(label: &str, value: u64) {
+    with_tables(|t| {
+        let slot = t.scales.entry(label.to_owned()).or_default();
+        if value > *slot {
+            *slot = value;
+        }
+    });
+}
+
+/// Clears every table. Harnesses call this at the start of each run so a
+/// subsequent [`crate::RunMetrics::capture`] sees only that run.
+pub fn reset() {
+    with_tables(|t| {
+        t.spans.clear();
+        t.counters.clear();
+        t.scales.clear();
+    });
+}
+
+const NANOS_PER_SEC: f64 = 1e9;
+
+/// Snapshots the registry into the report types, sorted by label.
+pub(crate) fn snapshot() -> (Vec<SpanMetric>, Vec<CounterMetric>, Vec<ScaleMetric>) {
+    with_tables(|t| {
+        let spans = t
+            .spans
+            .iter()
+            .map(|(label, a)| SpanMetric {
+                label: label.clone(),
+                count: a.count,
+                total_secs: a.total_ns as f64 / NANOS_PER_SEC,
+                min_secs: a.min_ns as f64 / NANOS_PER_SEC,
+                max_secs: a.max_ns as f64 / NANOS_PER_SEC,
+            })
+            .collect();
+        let counters = t
+            .counters
+            .iter()
+            .map(|(label, a)| CounterMetric {
+                label: label.clone(),
+                calls: a.calls,
+                total: a.total,
+            })
+            .collect();
+        let scales = t
+            .scales
+            .iter()
+            .map(|(label, &max)| ScaleMetric { label: label.clone(), max })
+            .collect();
+        (spans, counters, scales)
+    })
+}

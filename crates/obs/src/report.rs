@@ -1,0 +1,328 @@
+//! The always-compiled metrics schema: [`RunMetrics`] and its JSON
+//! serialization. These types exist in both build modes — only the
+//! *contents* differ (empty vectors when the `enabled` feature is off) — so
+//! harness code never needs feature gates of its own.
+//!
+//! The JSON layout is a **stable contract**: the golden-snapshot test in
+//! `tests/golden_run_metrics.rs` pins it byte-for-byte, and downstream
+//! tooling reads `results/bench_pipeline.json` by this schema. Bump
+//! [`SCHEMA_VERSION`] on any shape change and regenerate the fixture.
+
+use std::io::Write as _;
+use std::path::Path;
+
+use crate::json::{push_f64, push_indent, push_str_literal};
+
+/// Version stamp written into the pipeline file so readers can detect
+/// schema drift without guessing from the shape.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Aggregated timings for one span label within a run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpanMetric {
+    /// Hierarchical `/`-separated label, e.g. `train/stage2/epoch`.
+    pub label: String,
+    /// How many guard drops were recorded under this label.
+    pub count: u64,
+    /// Sum of all recorded wall times, in seconds.
+    pub total_secs: f64,
+    /// Shortest single recording, in seconds.
+    pub min_secs: f64,
+    /// Longest single recording, in seconds.
+    pub max_secs: f64,
+}
+
+/// Accumulated total for one counter label within a run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CounterMetric {
+    /// Counter label, e.g. `tensor/matmul/flops`.
+    pub label: String,
+    /// Number of `counter_add` calls under this label.
+    pub calls: u64,
+    /// Sum of all amounts added under this label.
+    pub total: u64,
+}
+
+/// Peak value observed for one gauge label within a run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScaleMetric {
+    /// Gauge label, e.g. `train/nodes`.
+    pub label: String,
+    /// Maximum value recorded under this label.
+    pub max: u64,
+}
+
+/// One training run's worth of observability: identity, wall time, and the
+/// registry snapshot taken at capture time.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunMetrics {
+    /// Method name as the bench harness reports it, e.g. `Fairwos`.
+    pub method: String,
+    /// Dataset name, e.g. `nba`.
+    pub dataset: String,
+    /// Backbone name, e.g. `GCN`.
+    pub backbone: String,
+    /// RNG seed the run used.
+    pub seed: u64,
+    /// End-to-end wall time of the run in seconds, as measured by the
+    /// harness (not derived from spans — it includes uninstrumented work).
+    pub wall_secs: f64,
+    /// Span aggregates, sorted by label.
+    pub spans: Vec<SpanMetric>,
+    /// Counter totals, sorted by label.
+    pub counters: Vec<CounterMetric>,
+    /// Gauge maxima, sorted by label.
+    pub scales: Vec<ScaleMetric>,
+}
+
+impl RunMetrics {
+    /// Snapshots the global registry into a run record.
+    ///
+    /// With the `enabled` feature this drains nothing — the registry keeps
+    /// its state until the next `reset()` — it only copies the aggregates,
+    /// sorted by label. Without the feature the three vectors are empty.
+    pub fn capture(
+        method: &str,
+        dataset: &str,
+        backbone: &str,
+        seed: u64,
+        wall_secs: f64,
+    ) -> Self {
+        #[cfg(feature = "enabled")]
+        let (spans, counters, scales) = crate::registry::snapshot();
+        #[cfg(not(feature = "enabled"))]
+        let (spans, counters, scales) = (Vec::new(), Vec::new(), Vec::new());
+        RunMetrics {
+            method: method.to_owned(),
+            dataset: dataset.to_owned(),
+            backbone: backbone.to_owned(),
+            seed,
+            wall_secs,
+            spans,
+            counters,
+            scales,
+        }
+    }
+
+    /// Serializes this run as a pretty-printed JSON object (two-space
+    /// indent, trailing newline). The exact bytes are pinned by the golden
+    /// fixture test.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write_json(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write_json(&self, out: &mut String, indent: usize) {
+        let field = |out: &mut String, name: &str| {
+            push_indent(out, indent + 1);
+            push_str_literal(out, name);
+            out.push_str(": ");
+        };
+        out.push_str("{\n");
+        field(out, "method");
+        push_str_literal(out, &self.method);
+        out.push_str(",\n");
+        field(out, "dataset");
+        push_str_literal(out, &self.dataset);
+        out.push_str(",\n");
+        field(out, "backbone");
+        push_str_literal(out, &self.backbone);
+        out.push_str(",\n");
+        field(out, "seed");
+        out.push_str(&self.seed.to_string());
+        out.push_str(",\n");
+        field(out, "wall_secs");
+        push_f64(out, self.wall_secs);
+        out.push_str(",\n");
+
+        field(out, "spans");
+        write_array(out, indent + 1, &self.spans, |out, s| {
+            out.push_str("{ \"label\": ");
+            push_str_literal(out, &s.label);
+            out.push_str(&format!(", \"count\": {}", s.count));
+            out.push_str(", \"total_secs\": ");
+            push_f64(out, s.total_secs);
+            out.push_str(", \"min_secs\": ");
+            push_f64(out, s.min_secs);
+            out.push_str(", \"max_secs\": ");
+            push_f64(out, s.max_secs);
+            out.push_str(" }");
+        });
+        out.push_str(",\n");
+
+        field(out, "counters");
+        write_array(out, indent + 1, &self.counters, |out, c| {
+            out.push_str("{ \"label\": ");
+            push_str_literal(out, &c.label);
+            out.push_str(&format!(", \"calls\": {}, \"total\": {} }}", c.calls, c.total));
+        });
+        out.push_str(",\n");
+
+        field(out, "scales");
+        write_array(out, indent + 1, &self.scales, |out, s| {
+            out.push_str("{ \"label\": ");
+            push_str_literal(out, &s.label);
+            out.push_str(&format!(", \"max\": {} }}", s.max));
+        });
+        out.push('\n');
+        push_indent(out, indent);
+        out.push('}');
+    }
+}
+
+fn write_array<T>(
+    out: &mut String,
+    indent: usize,
+    items: &[T],
+    write_item: impl Fn(&mut String, &T),
+) {
+    if items.is_empty() {
+        out.push_str("[]");
+        return;
+    }
+    out.push_str("[\n");
+    for (i, item) in items.iter().enumerate() {
+        push_indent(out, indent + 1);
+        write_item(out, item);
+        if i + 1 < items.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    push_indent(out, indent);
+    out.push(']');
+}
+
+/// Serializes a batch of runs as the `results/bench_pipeline.json` document:
+/// `{"schema_version": …, "tool": "fairwos-obs", "runs": […]}`.
+pub fn pipeline_json(runs: &[RunMetrics]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    push_indent(&mut out, 1);
+    out.push_str(&format!("\"schema_version\": {SCHEMA_VERSION},\n"));
+    push_indent(&mut out, 1);
+    out.push_str("\"tool\": \"fairwos-obs\",\n");
+    push_indent(&mut out, 1);
+    out.push_str("\"runs\": ");
+    if runs.is_empty() {
+        out.push_str("[]");
+    } else {
+        out.push_str("[\n");
+        for (i, run) in runs.iter().enumerate() {
+            push_indent(&mut out, 2);
+            run.write_json(&mut out, 2);
+            if i + 1 < runs.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        push_indent(&mut out, 1);
+        out.push(']');
+    }
+    out.push_str("\n}\n");
+    out
+}
+
+/// Writes [`pipeline_json`] to `path`, creating parent directories.
+///
+/// # Errors
+///
+/// Propagates any I/O error from directory creation or the file write.
+pub fn write_pipeline_json(path: &Path, runs: &[RunMetrics]) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let mut file = std::fs::File::create(path)?;
+    file.write_all(pipeline_json(runs).as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunMetrics {
+        RunMetrics {
+            method: "Fairwos".to_owned(),
+            dataset: "nba".to_owned(),
+            backbone: "GCN".to_owned(),
+            seed: 2025,
+            wall_secs: 1.25,
+            spans: vec![SpanMetric {
+                label: "train/stage1_encoder".to_owned(),
+                count: 1,
+                total_secs: 0.5,
+                min_secs: 0.5,
+                max_secs: 0.5,
+            }],
+            counters: vec![CounterMetric {
+                label: "tensor/matmul/flops".to_owned(),
+                calls: 3,
+                total: 600,
+            }],
+            scales: vec![ScaleMetric { label: "train/nodes".to_owned(), max: 403 }],
+        }
+    }
+
+    #[test]
+    fn run_json_has_the_pinned_shape() {
+        let expected = concat!(
+            "{\n",
+            "  \"method\": \"Fairwos\",\n",
+            "  \"dataset\": \"nba\",\n",
+            "  \"backbone\": \"GCN\",\n",
+            "  \"seed\": 2025,\n",
+            "  \"wall_secs\": 1.25,\n",
+            "  \"spans\": [\n",
+            "    { \"label\": \"train/stage1_encoder\", \"count\": 1, \"total_secs\": 0.5, ",
+            "\"min_secs\": 0.5, \"max_secs\": 0.5 }\n",
+            "  ],\n",
+            "  \"counters\": [\n",
+            "    { \"label\": \"tensor/matmul/flops\", \"calls\": 3, \"total\": 600 }\n",
+            "  ],\n",
+            "  \"scales\": [\n",
+            "    { \"label\": \"train/nodes\", \"max\": 403 }\n",
+            "  ]\n",
+            "}\n",
+        );
+        assert_eq!(sample().to_json(), expected);
+    }
+
+    #[test]
+    fn empty_vectors_serialize_as_empty_arrays() {
+        let rm = RunMetrics {
+            spans: Vec::new(),
+            counters: Vec::new(),
+            scales: Vec::new(),
+            ..sample()
+        };
+        let json = rm.to_json();
+        assert!(json.contains("\"spans\": [],\n"), "{json}");
+        assert!(json.contains("\"counters\": [],\n"), "{json}");
+        assert!(json.contains("\"scales\": []\n"), "{json}");
+    }
+
+    #[test]
+    fn pipeline_document_wraps_runs_with_version_and_tool() {
+        let doc = pipeline_json(&[sample(), sample()]);
+        assert!(doc.starts_with("{\n  \"schema_version\": 1,\n  \"tool\": \"fairwos-obs\",\n"));
+        assert_eq!(doc.matches("\"method\": \"Fairwos\"").count(), 2);
+        assert!(doc.ends_with("]\n}\n"), "{doc}");
+        let empty = pipeline_json(&[]);
+        assert!(empty.contains("\"runs\": []\n}"), "{empty}");
+    }
+
+    #[test]
+    fn write_creates_parent_directories() {
+        let dir = std::env::temp_dir().join("fairwos_obs_report_test");
+        let path = dir.join("nested").join("pipeline.json");
+        let _ = std::fs::remove_dir_all(&dir);
+        write_pipeline_json(&path, &[sample()]).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(body, pipeline_json(&[sample()]));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

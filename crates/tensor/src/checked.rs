@@ -37,3 +37,28 @@ pub fn contract_finite(op: &str, role: &str, m: &Matrix) {
 #[cfg(not(all(feature = "checked", debug_assertions)))]
 #[inline(always)]
 pub fn contract_finite<T>(_op: &str, _role: &str, _m: &T) {}
+
+/// Slice variant of [`contract_finite`] for kernels whose operands are not
+/// dense matrices — the CSR value array of `fairwos-graph`'s SPMM, chiefly.
+///
+/// # Panics
+/// With `--features checked` in a debug build, if any entry of `values` is
+/// NaN or infinite. Never panics otherwise.
+#[cfg(all(feature = "checked", debug_assertions))]
+pub fn contract_finite_slice(op: &str, role: &str, values: &[f32]) {
+    for (idx, &v) in values.iter().enumerate() {
+        if !v.is_finite() {
+            panic!(
+                "numerics contract violated in op `{op}`: {role} has non-finite \
+                 value {v} at index {idx} of a {}-element buffer",
+                values.len()
+            );
+        }
+    }
+}
+
+/// No-op stand-in compiled when the `checked` feature is off or the build
+/// is optimized; the call disappears entirely.
+#[cfg(not(all(feature = "checked", debug_assertions)))]
+#[inline(always)]
+pub fn contract_finite_slice(_op: &str, _role: &str, _values: &[f32]) {}

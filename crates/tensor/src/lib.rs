@@ -43,7 +43,7 @@
 //! assert_eq!(c.row_sums(), vec![3.0, 7.0]);
 //! ```
 
-mod checked;
+pub mod checked;
 mod init;
 mod matmul;
 mod matrix;

@@ -20,6 +20,11 @@ use rayon::prelude::*;
 /// kernels run single-threaded.
 const PAR_THRESHOLD: usize = 64 * 1024;
 
+/// Sample-chunk size for the parallel `matmul_tn` reduction. Fixed rather
+/// than pool-derived so float summation order — and therefore every trained
+/// model — is identical across thread counts.
+const TN_CHUNK: usize = 64;
+
 #[inline]
 fn saxpy(acc: &mut [f32], scale: f32, row: &[f32]) {
     debug_assert_eq!(acc.len(), row.len());
@@ -47,6 +52,7 @@ impl Matrix {
         contract_finite("matmul", "rhs", other);
         let (m, k) = self.shape();
         let n = other.cols();
+        fairwos_obs::counter_add("tensor/matmul/flops", 2 * (m * k * n) as u64);
         let mut out = Matrix::zeros(m, n);
 
         let body = |(i, out_row): (usize, &mut [f32])| {
@@ -88,15 +94,19 @@ impl Matrix {
         contract_finite("matmul_tn", "rhs", other);
         let (n_samples, m) = self.shape();
         let n = other.cols();
+        fairwos_obs::counter_add("tensor/matmul_tn/flops", 2 * (n_samples * m * n) as u64);
 
-        // Accumulate per-thread partial products then reduce: the output is
+        // Accumulate per-chunk partial products then reduce: the output is
         // small, so the reduction is cheap and rows of both inputs stream.
+        // The chunk size is a fixed constant — NOT derived from the rayon
+        // pool size — so the partial sums and their reduction order are
+        // identical for every thread count, keeping the whole training
+        // pipeline bit-deterministic (pinned by `tests/determinism.rs`).
         let work = n_samples * m * n;
         let out = if work >= PAR_THRESHOLD {
-            let chunk = (n_samples / rayon::current_num_threads().max(1)).max(64);
             let partials: Vec<Vec<f32>> = (0..n_samples)
                 .into_par_iter()
-                .chunks(chunk)
+                .chunks(TN_CHUNK)
                 .map(|idxs| {
                     let mut acc = vec![0.0f32; m * n];
                     for s in idxs {
@@ -158,6 +168,7 @@ impl Matrix {
         let m = self.rows();
         let n = other.rows();
         let k = self.cols();
+        fairwos_obs::counter_add("tensor/matmul_nt/flops", 2 * (m * k * n) as u64);
         let mut out = Matrix::zeros(m, n);
 
         let body = |(i, out_row): (usize, &mut [f32])| {

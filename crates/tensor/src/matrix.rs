@@ -33,7 +33,14 @@ impl std::fmt::Debug for Matrix {
 
 impl Matrix {
     /// Creates a `rows × cols` matrix filled with `value`.
+    ///
+    /// This is the single allocation funnel for `zeros`/`ones`/`full`, which
+    /// is where the `tensor/alloc/bytes` observability counter lives.
     pub fn full(rows: usize, cols: usize, value: f32) -> Self {
+        fairwos_obs::counter_add(
+            "tensor/alloc/bytes",
+            (rows * cols * std::mem::size_of::<f32>()) as u64,
+        );
         Self { rows, cols, data: vec![value; rows * cols] }
     }
 

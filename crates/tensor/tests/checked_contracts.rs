@@ -58,11 +58,37 @@ mod active {
     }
 
     #[test]
+    #[should_panic(expected = "`matmul_tn`: rhs has non-finite value NaN")]
+    fn fused_transpose_kernel_checks_its_rhs() {
+        let a = Matrix::ones(3, 2);
+        let b = nan_at_origin(3, 4);
+        let _ = a.matmul_tn(&b);
+    }
+
+    #[test]
     #[should_panic(expected = "op `matmul_nt`")]
     fn fused_nt_kernel_names_itself() {
         let a = Matrix::ones(2, 3);
         let b = nan_at_origin(4, 3);
         let _ = a.matmul_nt(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "`matmul_nt`: lhs has non-finite value NaN")]
+    fn fused_nt_kernel_checks_its_lhs() {
+        let a = nan_at_origin(2, 3);
+        let b = Matrix::ones(4, 3);
+        let _ = a.matmul_nt(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "`matmul`: output has non-finite value")]
+    fn overflow_in_the_product_is_attributed_to_matmul_output() {
+        // Finite operands whose product overflows: the output check must
+        // fire, attributing the infinity to matmul itself.
+        let a = Matrix::full(2, 2, f32::MAX);
+        let b = Matrix::full(2, 2, f32::MAX);
+        let _ = a.matmul(&b);
     }
 
     #[test]

@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
-# The full CI gate, runnable locally: formatting, release build, tests,
-# the FW static lints, and the finite-difference gradient sweep.
+# The full CI gate, runnable locally: formatting, release build, tests
+# (default features AND the checked+obs instrumented build), the FW static
+# lints, the finite-difference gradient sweep, and an instrumented bench
+# smoke run that must produce results/bench_pipeline.json.
 # Mirrors .github/workflows/ci.yml.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -11,11 +13,18 @@ cargo fmt --all -- --check
 echo "==> cargo build --release"
 cargo build --release --workspace
 
-echo "==> cargo test"
+echo "==> cargo test (default features)"
 cargo test --workspace -q
 
-echo "==> cargo test -p fairwos-tensor --features checked"
-cargo test -p fairwos-tensor --features checked -q
+echo "==> cargo test (checked + obs instrumentation armed)"
+cargo test --workspace --features fairwos/checked,fairwos/obs,fairwos-bench/obs -q
+
+echo "==> determinism test under RAYON_NUM_THREADS=1"
+RAYON_NUM_THREADS=1 cargo test -p fairwos --test determinism -q
+
+echo "==> instrumented bench smoke run (results/bench_pipeline.json)"
+cargo run --release -p fairwos-bench --features obs --bin exp_table2 -- --scale 0.02 --runs 1
+test -s results/bench_pipeline.json
 
 echo "==> fairwos-audit lint"
 cargo run --release -p fairwos-audit -- lint

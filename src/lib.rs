@@ -12,6 +12,9 @@
 //! * [`analysis`] — k-means, PCA, t-SNE, correlation, silhouette.
 //! * [`core`] — the Fairwos framework itself ([`FairwosTrainer`]).
 //! * [`baselines`] — Vanilla\S, RemoveR, KSMOTE, FairRF, FairGKD\S.
+//! * [`obs`] — training-pipeline observability (spans, counters,
+//!   `RunMetrics` JSON); armed by the `obs` cargo feature, otherwise a
+//!   set of no-ops. See `docs/OBSERVABILITY.md`.
 //!
 //! # End-to-end example
 //!
@@ -57,6 +60,7 @@ pub use fairwos_datasets as datasets;
 pub use fairwos_fairness as fairness;
 pub use fairwos_graph as graph;
 pub use fairwos_nn as nn;
+pub use fairwos_obs as obs;
 pub use fairwos_tensor as tensor;
 
 pub use fairwos_core::{FairMethod, FairwosConfig, FairwosTrainer, TrainInput, TrainedFairwos};

@@ -1,0 +1,131 @@
+//! Determinism regression tests for the full Fairwos pipeline.
+//!
+//! Two contracts, both of which reproducibility studies of fair-GNN
+//! pipelines identify as the main obstacle to verifying fairness claims:
+//!
+//! 1. **Same seed ⇒ bit-identical results.** Two `fit` calls with the same
+//!    seed must produce byte-for-byte equal predictions and `EvalReport`s.
+//! 2. **Thread-count independence.** The parallel kernels (rayon matmul /
+//!    matmul_tn / spmm, the counterfactual search) must not let the worker
+//!    count change float summation order: a 1-thread pool and the default
+//!    pool must agree within 1e-6 on every metric. `matmul_tn` once derived
+//!    its reduction chunk size from `rayon::current_num_threads()`, which
+//!    is exactly the class of bug this test pins down.
+//!
+//! The dataset is sized so the kernels cross their parallel thresholds
+//! (`PAR_THRESHOLD` in fairwos-tensor) — a tiny graph would silently test
+//! only the sequential paths.
+
+use fairwos::prelude::*;
+
+fn dataset() -> FairGraphDataset {
+    // 241 nodes × 39 features: encoder-stage matmuls are ~75k multiply-adds,
+    // past the 64k parallel threshold, so the rayon paths genuinely run.
+    FairGraphDataset::generate(&DatasetSpec::nba().scaled(0.6), 5)
+}
+
+fn config() -> FairwosConfig {
+    FairwosConfig {
+        encoder_epochs: 60,
+        classifier_epochs: 80,
+        finetune_epochs: 8,
+        learning_rate: 0.01,
+        patience: 30,
+        encoder_dim: 8,
+        ..FairwosConfig::paper_default(Backbone::Gcn)
+    }
+}
+
+/// Trains on `ds` with `seed` and returns the per-node probabilities plus
+/// the test-split evaluation.
+fn run_pipeline(ds: &FairGraphDataset, seed: u64) -> (Vec<f32>, EvalReport) {
+    let input = TrainInput {
+        graph: &ds.graph,
+        features: &ds.features,
+        labels: &ds.labels,
+        train: &ds.split.train,
+        val: &ds.split.val,
+    };
+    let trained = FairwosTrainer::new(config()).fit(&input, seed);
+    let probs = trained.predict_probs();
+    let test_probs: Vec<f32> = ds.split.test.iter().map(|&v| probs[v]).collect();
+    let report = EvalReport::compute(
+        &test_probs,
+        &ds.labels_of(&ds.split.test),
+        &ds.sensitive_of(&ds.split.test),
+    );
+    (probs, report)
+}
+
+/// `EvalReport` has no `PartialEq`; its serde JSON is a faithful bit-level
+/// witness for the f64 fields, so string equality is bit equality.
+fn report_bits(report: &EvalReport) -> String {
+    serde_json::to_string(report).expect("EvalReport serializes")
+}
+
+#[test]
+fn same_seed_is_bit_identical() {
+    let ds = dataset();
+    let (probs_a, report_a) = run_pipeline(&ds, 42);
+    let (probs_b, report_b) = run_pipeline(&ds, 42);
+    assert_eq!(probs_a, probs_b, "same-seed runs diverged in predictions");
+    assert_eq!(
+        report_bits(&report_a),
+        report_bits(&report_b),
+        "same-seed runs diverged in the evaluation report"
+    );
+}
+
+#[test]
+fn different_seeds_actually_differ() {
+    // Guards the test above against vacuous passes (e.g. a seed that is
+    // silently ignored would make every run "deterministic").
+    let ds = dataset();
+    let (probs_a, _) = run_pipeline(&ds, 42);
+    let (probs_b, _) = run_pipeline(&ds, 43);
+    assert_ne!(probs_a, probs_b, "the seed is being ignored");
+}
+
+#[test]
+fn thread_count_does_not_change_results() {
+    let ds = dataset();
+
+    // Default pool (however many workers the machine/RAYON_NUM_THREADS
+    // gives us) vs. an explicit 1-worker pool. `install` reroutes every
+    // rayon call inside `fit` onto the chosen pool, which covers both the
+    // RAYON_NUM_THREADS=1 and default configurations of the CI matrix in
+    // one process.
+    let (probs_default, report_default) = run_pipeline(&ds, 42);
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build()
+        .expect("single-thread pool builds");
+    let (probs_single, report_single) = pool.install(|| run_pipeline(&ds, 42));
+
+    // The kernels use fixed chunk sizes, so summation order — and thus the
+    // trained model — should not depend on the pool at all. The hard
+    // contract is 1e-6 agreement; report the max divergence on failure.
+    let max_diff = probs_default
+        .iter()
+        .zip(&probs_single)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f32, f32::max);
+    assert!(
+        max_diff <= 1e-6,
+        "predictions diverge across thread counts (max |Δp| = {max_diff:e}); \
+         a parallel reduction is summing in a pool-dependent order"
+    );
+
+    for (name, d, s) in [
+        ("accuracy", report_default.accuracy, report_single.accuracy),
+        ("delta_sp", report_default.delta_sp, report_single.delta_sp),
+        ("delta_eo", report_default.delta_eo, report_single.delta_eo),
+        ("auc", report_default.auc, report_single.auc),
+        ("f1", report_default.f1, report_single.f1),
+    ] {
+        assert!(
+            (d - s).abs() <= 1e-6,
+            "{name} diverges across thread counts: {d} vs {s}"
+        );
+    }
+}
