@@ -1,0 +1,130 @@
+//! Wall-clock regression gate over `results/bench_pipeline.json`.
+//!
+//! Compares the summed `wall_secs` of the instrumented bench smoke run
+//! against the committed baseline in `results/bench_baseline.json` and exits
+//! non-zero when the measured total exceeds `baseline × tolerance`.
+//!
+//! The committed baseline ships with `"calibrated": false`: absolute
+//! wall-clock numbers are machine-specific, so a fresh checkout (or a CI
+//! runner class change) must first calibrate on its own hardware:
+//!
+//! ```text
+//! cargo run --release -p fairwos-bench --features obs --bin exp_table2 -- --scale 0.02 --runs 1
+//! BENCH_BASELINE_WRITE=1 cargo run --release -p fairwos-bench --bin bench_check
+//! ```
+//!
+//! Until then the gate reports the measured total and passes, so the check
+//! is informative-but-green on uncalibrated machines instead of flaky.
+
+use fairwos_bench::PIPELINE_METRICS_PATH;
+use std::process::ExitCode;
+
+const BASELINE_PATH: &str = "results/bench_baseline.json";
+const DEFAULT_TOLERANCE: f64 = 1.25;
+
+fn total_wall_secs(pipeline: &serde_json::Value) -> Option<f64> {
+    let runs = pipeline.get("runs")?.as_array()?;
+    if runs.is_empty() {
+        return None;
+    }
+    let mut total = 0.0;
+    for run in runs {
+        total += run.get("wall_secs")?.as_f64()?;
+    }
+    Some(total)
+}
+
+fn read_json(path: &str) -> Option<serde_json::Value> {
+    let text = std::fs::read_to_string(path).ok()?;
+    serde_json::from_str(&text).ok()
+}
+
+fn write_baseline(total: f64, runs: usize) -> std::io::Result<()> {
+    let body = format!(
+        "{{\n  \"calibrated\": true,\n  \"total_wall_secs\": {total:.6},\n  \
+         \"runs\": {runs},\n  \"tolerance\": {DEFAULT_TOLERANCE},\n  \
+         \"note\": \"written by bench_check with BENCH_BASELINE_WRITE=1; \
+         wall-clock totals are machine-specific\"\n}}\n"
+    );
+    std::fs::write(BASELINE_PATH, body)
+}
+
+fn main() -> ExitCode {
+    let Some(pipeline) = read_json(PIPELINE_METRICS_PATH) else {
+        eprintln!(
+            "bench_check: {PIPELINE_METRICS_PATH} missing or unparsable — run the \
+             instrumented bench smoke first (see scripts/ci.sh)"
+        );
+        return ExitCode::FAILURE;
+    };
+    let runs = pipeline
+        .get("runs")
+        .and_then(|r| r.as_array())
+        .map_or(0, Vec::len);
+    let Some(measured) = total_wall_secs(&pipeline) else {
+        eprintln!("bench_check: {PIPELINE_METRICS_PATH} holds no runs with wall_secs");
+        return ExitCode::FAILURE;
+    };
+    println!("bench_check: measured total wall time {measured:.3}s over {runs} run(s)");
+
+    if std::env::var_os("BENCH_BASELINE_WRITE").is_some_and(|v| v == "1") {
+        return match write_baseline(measured, runs) {
+            Ok(()) => {
+                println!("bench_check: calibrated baseline written to {BASELINE_PATH}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("bench_check: cannot write {BASELINE_PATH}: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let Some(baseline) = read_json(BASELINE_PATH) else {
+        println!(
+            "bench_check: no baseline at {BASELINE_PATH}; calibrate with \
+             BENCH_BASELINE_WRITE=1 bench_check (gate passes until then)"
+        );
+        return ExitCode::SUCCESS;
+    };
+    let calibrated = baseline
+        .get("calibrated")
+        .and_then(|v| v.as_bool())
+        .unwrap_or(false);
+    let tolerance = baseline
+        .get("tolerance")
+        .and_then(|v| v.as_f64())
+        .unwrap_or(DEFAULT_TOLERANCE);
+    let base_total = baseline.get("total_wall_secs").and_then(|v| v.as_f64());
+
+    match (calibrated, base_total) {
+        (true, Some(base)) if base > 0.0 => {
+            let limit = base * tolerance;
+            println!(
+                "bench_check: baseline {base:.3}s × tolerance {tolerance} → limit {limit:.3}s"
+            );
+            if measured > limit {
+                eprintln!(
+                    "bench_check: REGRESSION — measured {measured:.3}s exceeds {limit:.3}s \
+                     ({:.0}% of baseline)",
+                    100.0 * measured / base
+                );
+                ExitCode::FAILURE
+            } else {
+                println!(
+                    "bench_check: OK ({:.0}% of baseline)",
+                    100.0 * measured / base
+                );
+                ExitCode::SUCCESS
+            }
+        }
+        _ => {
+            println!(
+                "bench_check: baseline is not calibrated for this machine; gate passes. \
+                 To arm it: BENCH_BASELINE_WRITE=1 cargo run --release -p fairwos-bench \
+                 --bin bench_check"
+            );
+            ExitCode::SUCCESS
+        }
+    }
+}

@@ -54,6 +54,12 @@ pub struct FairwosConfig {
     /// Number of graph counterfactuals per node and attribute, K
     /// (paper grid: 1–20, Fig. 6 uses 1–4).
     pub top_k: usize,
+    /// How many fine-tuning epochs a counterfactual search result is reused
+    /// before the top-K search re-runs against the current embeddings.
+    /// `1` (the default, and the paper's Algorithm 1) refreshes every epoch;
+    /// larger values amortize the search over several θ-steps.
+    #[serde(default = "default_cf_refresh_interval")]
+    pub cf_refresh_interval: usize,
     /// Adam learning rate for the two pre-training stages (paper: 1e-3).
     pub learning_rate: f32,
     /// Adam learning rate for the fine-tuning stage. The fairness gradient
@@ -84,6 +90,10 @@ pub struct FairwosConfig {
     pub use_weight_update: bool,
 }
 
+fn default_cf_refresh_interval() -> usize {
+    1
+}
+
 impl FairwosConfig {
     /// The paper's configuration (§V-A4): hidden 16, 1 layer, lr 1e-3,
     /// 1000 pre-training epochs, 15 fine-tuning epochs. α and K default to
@@ -96,6 +106,7 @@ impl FairwosConfig {
             num_layers: 1,
             alpha: 0.04,
             top_k: 2,
+            cf_refresh_interval: 1,
             learning_rate: 1e-3,
             finetune_learning_rate: 1e-3,
             encoder_epochs: 1000,
@@ -133,9 +144,16 @@ impl FairwosConfig {
         assert!(self.hidden_dim >= 1, "hidden_dim must be ≥ 1");
         assert!(self.num_layers >= 1, "num_layers must be ≥ 1");
         assert!(self.top_k >= 1, "top_k must be ≥ 1");
+        assert!(
+            self.cf_refresh_interval >= 1,
+            "cf_refresh_interval must be ≥ 1"
+        );
         assert!(self.alpha >= 0.0, "alpha must be non-negative");
         assert!(self.learning_rate > 0.0, "learning_rate must be positive");
-        assert!(self.finetune_learning_rate > 0.0, "finetune_learning_rate must be positive");
+        assert!(
+            self.finetune_learning_rate > 0.0,
+            "finetune_learning_rate must be positive"
+        );
     }
 
     /// The ablation variant names used in Fig. 4 / Fig. 8.
@@ -170,15 +188,27 @@ mod tests {
         let base = FairwosConfig::paper_default(Backbone::Gin);
         assert_eq!(base.variant_name(), "Fairwos");
         assert_eq!(
-            FairwosConfig { use_encoder: false, ..base.clone() }.variant_name(),
+            FairwosConfig {
+                use_encoder: false,
+                ..base.clone()
+            }
+            .variant_name(),
             "Fwos w/o E"
         );
         assert_eq!(
-            FairwosConfig { use_fairness: false, ..base.clone() }.variant_name(),
+            FairwosConfig {
+                use_fairness: false,
+                ..base.clone()
+            }
+            .variant_name(),
             "Fwos w/o F"
         );
         assert_eq!(
-            FairwosConfig { use_weight_update: false, ..base.clone() }.variant_name(),
+            FairwosConfig {
+                use_weight_update: false,
+                ..base.clone()
+            }
+            .variant_name(),
             "Fwos w/o W"
         );
     }
@@ -186,6 +216,33 @@ mod tests {
     #[test]
     #[should_panic(expected = "top_k must be ≥ 1")]
     fn validate_rejects_zero_k() {
-        FairwosConfig { top_k: 0, ..FairwosConfig::paper_default(Backbone::Gcn) }.validate();
+        FairwosConfig {
+            top_k: 0,
+            ..FairwosConfig::paper_default(Backbone::Gcn)
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "cf_refresh_interval must be ≥ 1")]
+    fn validate_rejects_zero_refresh_interval() {
+        FairwosConfig {
+            cf_refresh_interval: 0,
+            ..FairwosConfig::paper_default(Backbone::Gcn)
+        }
+        .validate();
+    }
+
+    #[test]
+    fn refresh_interval_defaults_when_absent_from_serialized_config() {
+        // Configs serialized before the field existed must still load.
+        let cfg = FairwosConfig::paper_default(Backbone::Gcn);
+        let mut json: serde_json::Value = serde_json::to_value(&cfg).expect("config serializes");
+        json.as_object_mut()
+            .expect("object")
+            .remove("cf_refresh_interval");
+        let restored: FairwosConfig =
+            serde_json::from_value(json).expect("config without the field deserializes");
+        assert_eq!(restored.cf_refresh_interval, 1);
     }
 }

@@ -9,15 +9,19 @@
 //!
 //! # Complexity
 //!
-//! For each query node one distance row against all candidates is computed
-//! and argsorted **once**, then reused by every attribute dimension (the
-//! per-dimension constraint is a cheap bit test on the sorted order). With
-//! `N` nodes, `C` candidates, `I` attributes and embedding width `h`:
-//! `O(N·C·h + N·C log C + N·I·K)` per refresh, parallelised over query
-//! nodes with rayon.
+//! For each query node one distance per candidate is computed **lazily**
+//! (only when some attribute actually wants the candidate) and fed into a
+//! bounded max-heap of size `K` per attribute — no full argsort. With `N`
+//! nodes, `C` candidates, `I` attributes and embedding width `h`:
+//! `O(N·C·h + N·C·I·log K)` per refresh and `O(I·K)` transient memory per
+//! query, parallelised over query nodes with rayon. The heap selection is
+//! pinned to the old full-argsort semantics (stable ties by candidate
+//! order) by a property test in `tests/proptest_topk.rs`.
 
 use fairwos_tensor::{sq_dist, Matrix};
 use rayon::prelude::*;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
 
 /// The candidate pool and constraints for one search.
 pub struct SearchSpace<'a> {
@@ -40,9 +44,30 @@ pub struct CounterfactualSets {
     /// Query node ids, in the order used by [`CounterfactualSets::for_attr`].
     pub queries: Vec<usize>,
     sets: Vec<Vec<Vec<usize>>>,
+    /// Per attribute, the flattened `(query_node, counterfactual_node)` list
+    /// — built once here so trainer steps never rebuild it.
+    flat: Vec<Vec<(usize, usize)>>,
 }
 
 impl CounterfactualSets {
+    fn new(queries: Vec<usize>, sets: Vec<Vec<Vec<usize>>>) -> Self {
+        let flat = sets
+            .iter()
+            .map(|per_query| {
+                per_query
+                    .iter()
+                    .enumerate()
+                    .flat_map(|(q_idx, cfs)| cfs.iter().map(move |&u| (queries[q_idx], u)))
+                    .collect()
+            })
+            .collect();
+        Self {
+            queries,
+            sets,
+            flat,
+        }
+    }
+
     /// The counterfactual list of each query node under attribute `i`,
     /// parallel to [`CounterfactualSets::queries`].
     pub fn for_attr(&self, i: usize) -> &[Vec<usize>] {
@@ -54,52 +79,97 @@ impl CounterfactualSets {
         self.sets.len()
     }
 
+    /// Flattened `(query_node, counterfactual_node)` pairs for attribute `i`,
+    /// computed once at construction. The steady-state fairness loss iterates
+    /// this slice directly (`weighted_sq_l2_rows_acc`) instead of allocating
+    /// a fresh weighted pair list every trainer step.
+    pub fn flat_pairs(&self, i: usize) -> &[(usize, usize)] {
+        &self.flat[i]
+    }
+
     /// Flattened `(query_row_in_embeddings, counterfactual_node, weight)`
     /// pairs for attribute `i`, with `weight = base_weight / max(1, pairs)`
     /// normalising by the actual number of pairs so α keeps a consistent
     /// scale across datasets and K values.
+    ///
+    /// Allocates a fresh list; hot loops should prefer
+    /// [`CounterfactualSets::flat_pairs`] plus a scalar weight.
     pub fn weighted_pairs(&self, i: usize, base_weight: f32) -> Vec<(usize, usize, f32)> {
-        let total: usize = self.sets[i].iter().map(Vec::len).sum();
-        if total == 0 {
+        let pairs = &self.flat[i];
+        if pairs.is_empty() {
             return Vec::new();
         }
-        let w = base_weight / total as f32;
-        let mut out = Vec::with_capacity(total);
-        for (q_idx, cfs) in self.sets[i].iter().enumerate() {
-            for &u in cfs {
-                out.push((self.queries[q_idx], u, w));
-            }
-        }
-        out
+        let w = base_weight / pairs.len() as f32;
+        pairs.iter().map(|&(q, u)| (q, u, w)).collect()
     }
 
     /// Aggregated distance `Dᵢᴷ = mean over pairs of ‖h_q − h_u‖²` for each
     /// attribute (the quantity ranked by the λ update, Eq. 22–24).
     /// Attributes with no valid pairs report 0.
     pub fn attr_distances(&self, embeddings: &Matrix) -> Vec<f32> {
-        (0..self.num_attrs())
-            .map(|i| {
-                let mut sum = 0.0f32;
-                let mut count = 0usize;
-                for (q_idx, cfs) in self.sets[i].iter().enumerate() {
-                    let q = self.queries[q_idx];
-                    for &u in cfs {
-                        sum += sq_dist(embeddings.row(q), embeddings.row(u));
-                        count += 1;
-                    }
+        self.flat
+            .iter()
+            .map(|pairs| {
+                if pairs.is_empty() {
+                    return 0.0;
                 }
-                if count == 0 {
-                    0.0
-                } else {
-                    sum / count as f32
-                }
+                let sum: f32 = pairs
+                    .iter()
+                    .map(|&(q, u)| sq_dist(embeddings.row(q), embeddings.row(u)))
+                    .sum();
+                sum / pairs.len() as f32
             })
             .collect()
     }
 }
 
+/// Max-heap key for the bounded top-K selection. Ordered by distance with
+/// ties broken by the candidate's position in the filtered candidate scan,
+/// so popping the max always evicts the entry a stable argsort would have
+/// ranked last — the heap reproduces the old full-sort output exactly.
+struct HeapKey {
+    dist: f32,
+    pos: usize,
+    node: usize,
+}
+
+impl HeapKey {
+    fn cmp_key(&self, other: &Self) -> Ordering {
+        self.dist
+            .total_cmp(&other.dist)
+            .then(self.pos.cmp(&other.pos))
+    }
+}
+
+impl PartialEq for HeapKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp_key(other) == Ordering::Equal
+    }
+}
+
+impl Eq for HeapKey {}
+
+impl PartialOrd for HeapKey {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp_key(other))
+    }
+}
+
+impl Ord for HeapKey {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.cmp_key(other)
+    }
+}
+
 /// Runs the top-K search of Eq. 12 for every query node and every
 /// pseudo-sensitive attribute.
+///
+/// Instead of argsorting the full candidate distance row (`O(C log C)` per
+/// query), each attribute keeps a max-heap bounded at `K`: a candidate
+/// enters only if it beats the current worst, so the per-query cost is
+/// `O(C·h + C·I·log K)` and distances are computed lazily — a candidate
+/// whose sensitive bits match the query on every attribute never has its
+/// distance evaluated at all.
 ///
 /// # Panics
 /// If `k` is zero or the search-space arrays disagree with the embedding
@@ -109,50 +179,74 @@ pub fn search_topk(space: &SearchSpace<'_>, queries: &[usize], k: usize) -> Coun
     assert!(k >= 1, "top-K needs k ≥ 1");
     let n = space.embeddings.rows();
     assert_eq!(space.pseudo_labels.len(), n, "pseudo-labels vs embeddings");
-    assert_eq!(space.pseudo_sensitive.len(), n, "pseudo-sensitive vs embeddings");
+    assert_eq!(
+        space.pseudo_sensitive.len(),
+        n,
+        "pseudo-sensitive vs embeddings"
+    );
     let num_attrs = space.pseudo_sensitive.first().map_or(0, Vec::len);
 
-    // Per query: one distance row + one argsort, shared by all attributes.
+    // Per query: one lazy distance per candidate, shared by all attributes.
     let per_query: Vec<Vec<Vec<usize>>> = queries
         .par_iter()
         .map(|&q| {
             let q_row = space.embeddings.row(q);
             let q_label = space.pseudo_labels[q];
-            // Candidates with the same pseudo-label, excluding q itself.
-            let mut order: Vec<usize> = space
-                .candidates
-                .iter()
-                .copied()
-                .filter(|&u| u != q && space.pseudo_labels[u] == q_label)
+            let q_bits = &space.pseudo_sensitive[q];
+            let mut heaps: Vec<BinaryHeap<HeapKey>> = (0..num_attrs)
+                .map(|_| BinaryHeap::with_capacity(k + 1))
                 .collect();
-            let dists: Vec<f32> =
-                order.iter().map(|&u| sq_dist(q_row, space.embeddings.row(u))).collect();
-            let mut idx: Vec<usize> = (0..order.len()).collect();
-            idx.sort_by(|&a, &b| dists[a].total_cmp(&dists[b]));
-            order = idx.into_iter().map(|i| order[i]).collect();
-
-            (0..num_attrs)
-                .map(|attr| {
-                    let q_bit = space.pseudo_sensitive[q][attr];
-                    order
-                        .iter()
-                        .copied()
-                        .filter(|&u| space.pseudo_sensitive[u][attr] != q_bit)
-                        .take(k)
-                        .collect::<Vec<usize>>()
+            // `pos` counts candidates that pass the label filter, matching
+            // the stable order the old argsort preserved on distance ties.
+            let mut pos = 0usize;
+            for &u in space.candidates {
+                if u == q || space.pseudo_labels[u] != q_label {
+                    continue;
+                }
+                let mut dist = None;
+                for (attr, heap) in heaps.iter_mut().enumerate() {
+                    if space.pseudo_sensitive[u][attr] == q_bits[attr] {
+                        continue;
+                    }
+                    let d = *dist.get_or_insert_with(|| sq_dist(q_row, space.embeddings.row(u)));
+                    let key = HeapKey {
+                        dist: d,
+                        pos,
+                        node: u,
+                    };
+                    if heap.len() < k {
+                        heap.push(key);
+                    } else if let Some(worst) = heap.peek() {
+                        if key.cmp_key(worst) == Ordering::Less {
+                            heap.pop();
+                            heap.push(key);
+                        }
+                    }
+                }
+                pos += 1;
+            }
+            heaps
+                .into_iter()
+                .map(|h| {
+                    h.into_sorted_vec()
+                        .into_iter()
+                        .map(|key| key.node)
+                        .collect()
                 })
                 .collect::<Vec<Vec<usize>>>()
         })
         .collect();
 
     // Transpose to attribute-major layout.
-    let mut sets: Vec<Vec<Vec<usize>>> = (0..num_attrs).map(|_| Vec::with_capacity(queries.len())).collect();
+    let mut sets: Vec<Vec<Vec<usize>>> = (0..num_attrs)
+        .map(|_| Vec::with_capacity(queries.len()))
+        .collect();
     for per_attr in per_query {
         for (attr, cfs) in per_attr.into_iter().enumerate() {
             sets[attr].push(cfs);
         }
     }
-    CounterfactualSets { queries: queries.to_vec(), sets }
+    CounterfactualSets::new(queries.to_vec(), sets)
 }
 
 #[cfg(test)]
@@ -162,14 +256,7 @@ mod tests {
     /// 6 nodes on a line in embedding space; labels split 0-2 vs 3-5;
     /// one pseudo-sensitive attribute alternating along the line.
     fn toy_space() -> (Matrix, Vec<bool>, Vec<Vec<bool>>) {
-        let emb = Matrix::from_rows(&[
-            &[0.0],
-            &[1.0],
-            &[2.0],
-            &[10.0],
-            &[11.0],
-            &[12.0],
-        ]);
+        let emb = Matrix::from_rows(&[&[0.0], &[1.0], &[2.0], &[10.0], &[11.0], &[12.0]]);
         let labels = vec![false, false, false, true, true, true];
         let bits = vec![
             vec![false],
@@ -284,6 +371,93 @@ mod tests {
         assert_eq!(pairs.len(), 3);
         let total_w: f32 = pairs.iter().map(|p| p.2).sum();
         assert!((total_w - 2.0).abs() < 1e-6, "weights sum to base_weight");
+    }
+
+    #[test]
+    fn flat_pairs_match_weighted_pairs() {
+        let (emb, labels, bits) = toy_space();
+        let candidates: Vec<usize> = (0..6).collect();
+        let space = SearchSpace {
+            embeddings: &emb,
+            pseudo_labels: &labels,
+            pseudo_sensitive: &bits,
+            candidates: &candidates,
+        };
+        let sets = search_topk(&space, &[0, 2, 4], 2);
+        let weighted = sets.weighted_pairs(0, 3.0);
+        let flat = sets.flat_pairs(0);
+        assert_eq!(flat.len(), weighted.len());
+        for (&(q, u), &(wq, wu, w)) in flat.iter().zip(&weighted) {
+            assert_eq!((q, u), (wq, wu));
+            assert_eq!(w, 3.0 / flat.len() as f32);
+        }
+    }
+
+    /// The heap selection must reproduce the old full-argsort semantics:
+    /// stable sort by distance over label-filtered candidates, then per
+    /// attribute filter by opposite bit and take the first K.
+    #[test]
+    fn heap_matches_argsort_reference() {
+        let emb = Matrix::from_rows(&[
+            &[0.0, 0.0],
+            &[1.0, 0.0],
+            &[0.0, 1.0], // same distance from node 0 as node 1: tie
+            &[2.0, 0.0],
+            &[0.5, 0.5],
+            &[3.0, 3.0],
+            &[1.0, 1.0],
+            &[0.1, 0.1],
+        ]);
+        let labels = vec![true, true, true, true, true, false, true, true];
+        let bits = vec![
+            vec![false, true],
+            vec![true, false],
+            vec![true, true],
+            vec![true, false],
+            vec![false, false],
+            vec![true, false],
+            vec![true, true],
+            vec![false, false],
+        ];
+        let candidates: Vec<usize> = (0..8).collect();
+        let space = SearchSpace {
+            embeddings: &emb,
+            pseudo_labels: &labels,
+            pseudo_sensitive: &bits,
+            candidates: &candidates,
+        };
+        let queries: Vec<usize> = (0..8).collect();
+        for k in 1..=4 {
+            let sets = search_topk(&space, &queries, k);
+            for (q_idx, &q) in queries.iter().enumerate() {
+                // Reference: the old argsort-based implementation.
+                let order: Vec<usize> = candidates
+                    .iter()
+                    .copied()
+                    .filter(|&u| u != q && labels[u] == labels[q])
+                    .collect();
+                let dists: Vec<f32> = order
+                    .iter()
+                    .map(|&u| sq_dist(emb.row(q), emb.row(u)))
+                    .collect();
+                let mut idx: Vec<usize> = (0..order.len()).collect();
+                idx.sort_by(|&a, &b| dists[a].total_cmp(&dists[b]));
+                let sorted: Vec<usize> = idx.into_iter().map(|i| order[i]).collect();
+                for attr in 0..2 {
+                    let expect: Vec<usize> = sorted
+                        .iter()
+                        .copied()
+                        .filter(|&u| bits[u][attr] != bits[q][attr])
+                        .take(k)
+                        .collect();
+                    assert_eq!(
+                        sets.for_attr(attr)[q_idx],
+                        expect,
+                        "query {q} attr {attr} k {k}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

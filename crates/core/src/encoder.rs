@@ -2,8 +2,8 @@
 //! attributes `X⁰` whose dimensions serve as pseudo-sensitive attributes.
 
 use crate::TrainInput;
-use fairwos_nn::loss::softmax_cross_entropy_masked;
-use fairwos_nn::{Adam, GcnConv, GraphContext, Linear, Optimizer};
+use fairwos_nn::loss::softmax_cross_entropy_masked_ws;
+use fairwos_nn::{Adam, GcnConv, GraphContext, Linear, Optimizer, Workspace};
 use fairwos_tensor::Matrix;
 use rand::Rng;
 
@@ -40,24 +40,35 @@ impl Encoder {
         let labels: Vec<usize> = input.labels.iter().map(|&y| (y >= 0.5) as usize).collect();
         let mut opt = Adam::new(lr);
         let mut losses = Vec::with_capacity(epochs);
+        // Stage 1 runs once per fit, so it owns its pool (and its ReLU mask)
+        // rather than borrowing the trainer workspace.
+        let mut ws = Workspace::new();
+        let mut mask: Vec<bool> = Vec::new();
         for _ in 0..epochs {
             let _obs = fairwos_obs::span("train/stage1/epoch");
             conv.zero_grad();
             head.zero_grad();
             // ReLU between conv and head, as in the classifier backbone.
-            let mut h = conv.forward(ctx, input.features);
-            let mask: Vec<bool> = h.as_slice().iter().map(|&v| v > 0.0).collect();
+            let mut h = conv.forward_ws(ctx, input.features, &mut ws);
+            mask.clear();
+            mask.extend(h.as_slice().iter().map(|&v| v > 0.0));
             h.map_assign(|v| v.max(0.0));
-            let logits = head.forward(&h);
-            let (loss, dlogits) = softmax_cross_entropy_masked(&logits, &labels, input.train);
+            let logits = head.forward_ws(&h, &mut ws);
+            let (loss, dlogits) =
+                softmax_cross_entropy_masked_ws(&logits, &labels, input.train, &mut ws);
             losses.push(loss);
-            let mut dh = head.backward(&dlogits);
+            let mut dh = head.backward_ws(&dlogits, &mut ws);
+            ws.give(dlogits);
             for (g, &m) in dh.as_mut_slice().iter_mut().zip(&mask) {
                 if !m {
                     *g = 0.0;
                 }
             }
-            let _ = conv.backward(ctx, &dh);
+            let dx = conv.backward_ws(ctx, &dh, &mut ws);
+            ws.give(dx);
+            ws.give(dh);
+            ws.give(logits);
+            ws.give(h);
             let mut params = conv.params_mut();
             params.extend(head.params_mut());
             opt.step(&mut params);
@@ -68,7 +79,9 @@ impl Encoder {
     /// Extracts `X⁰ = Encoder(G)` (Eq. 6): the post-ReLU encoder activations
     /// for every node, `N × dim`.
     pub fn extract(&self, ctx: &GraphContext, features: &Matrix) -> Matrix {
-        self.conv.forward_inference(ctx, features).map(|v| v.max(0.0))
+        self.conv
+            .forward_inference(ctx, features)
+            .map(|v| v.max(0.0))
     }
 
     /// Class probabilities from the encoder's own head (used to initialise
@@ -127,7 +140,13 @@ impl Encoder {
 pub fn binarize_at_medians(x0: &Matrix) -> Vec<Vec<bool>> {
     let medians = x0.col_medians();
     (0..x0.rows())
-        .map(|v| x0.row(v).iter().zip(&medians).map(|(&x, &m)| x > m).collect())
+        .map(|v| {
+            x0.row(v)
+                .iter()
+                .zip(&medians)
+                .map(|(&x, &m)| x > m)
+                .collect()
+        })
         .collect()
 }
 
@@ -137,7 +156,13 @@ mod tests {
     use fairwos_graph::GraphBuilder;
     use fairwos_tensor::seeded_rng;
 
-    fn toy_input() -> (fairwos_graph::Graph, Matrix, Vec<f32>, Vec<usize>, Vec<usize>) {
+    fn toy_input() -> (
+        fairwos_graph::Graph,
+        Matrix,
+        Vec<f32>,
+        Vec<usize>,
+        Vec<usize>,
+    ) {
         // Two feature-separated classes on a small graph.
         let g = GraphBuilder::new(8)
             .edge(0, 1)
@@ -156,7 +181,11 @@ mod tests {
             let y = (v >= 4) as usize;
             *label = y as f32;
             for j in 0..4 {
-                x.set(v, j, if y == 1 { 1.0 } else { -1.0 } + rng.gen_range(-0.3..0.3));
+                x.set(
+                    v,
+                    j,
+                    if y == 1 { 1.0 } else { -1.0 } + rng.gen_range(-0.3..0.3),
+                );
             }
         }
         (g, x, labels, vec![0, 1, 2, 4, 5, 6], vec![3, 7])
@@ -165,11 +194,20 @@ mod tests {
     #[test]
     fn pretrain_reduces_loss_and_learns_task() {
         let (g, x, labels, train, val) = toy_input();
-        let input = TrainInput { graph: &g, features: &x, labels: &labels, train: &train, val: &val };
+        let input = TrainInput {
+            graph: &g,
+            features: &x,
+            labels: &labels,
+            train: &train,
+            val: &val,
+        };
         let ctx = GraphContext::new(&g);
         let mut rng = seeded_rng(0);
         let enc = Encoder::pretrain(&input, &ctx, 4, 200, 0.05, &mut rng);
-        assert!(enc.losses.last().unwrap() < &(enc.losses[0] * 0.5), "loss did not halve");
+        assert!(
+            enc.losses.last().unwrap() < &(enc.losses[0] * 0.5),
+            "loss did not halve"
+        );
         // Predictions recover the labels.
         let probs = enc.predict_probs(&ctx, &x);
         for (v, &label) in labels.iter().enumerate() {
@@ -181,13 +219,22 @@ mod tests {
     #[test]
     fn extract_shape_and_nonnegativity() {
         let (g, x, labels, train, val) = toy_input();
-        let input = TrainInput { graph: &g, features: &x, labels: &labels, train: &train, val: &val };
+        let input = TrainInput {
+            graph: &g,
+            features: &x,
+            labels: &labels,
+            train: &train,
+            val: &val,
+        };
         let ctx = GraphContext::new(&g);
         let enc = Encoder::pretrain(&input, &ctx, 3, 50, 0.05, &mut seeded_rng(1));
         let x0 = enc.extract(&ctx, &x);
         assert_eq!(x0.shape(), (8, 3));
         assert_eq!(enc.dim(), 3);
-        assert!(x0.as_slice().iter().all(|&v| v >= 0.0), "post-ReLU must be non-negative");
+        assert!(
+            x0.as_slice().iter().all(|&v| v >= 0.0),
+            "post-ReLU must be non-negative"
+        );
     }
 
     #[test]

@@ -46,6 +46,7 @@ pub mod lambda;
 mod method;
 pub mod persist;
 mod trainer;
+mod workspace;
 
 pub use config::{CfStrategy, FairwosConfig, WeightMode};
 pub use counterfactual::{CounterfactualSets, SearchSpace};
@@ -54,3 +55,4 @@ pub use lambda::{project_to_simplex, update_lambda};
 pub use method::{FairMethod, TrainInput};
 pub use persist::{FairwosModelFile, PersistError};
 pub use trainer::{FairwosTrainer, FinetuneEpochStats, TrainedFairwos, TrainingHistory};
+pub use workspace::TrainerWorkspace;

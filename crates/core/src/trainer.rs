@@ -13,12 +13,15 @@
 //! 13 until convergence
 //! ```
 
-use crate::counterfactual::{search_topk, SearchSpace};
+use crate::counterfactual::{search_topk, CounterfactualSets, SearchSpace};
 use crate::encoder::{binarize_at_medians, Encoder};
 use crate::lambda::{update_lambda, update_lambda_proportional};
+use crate::workspace::TrainerWorkspace;
 use crate::{CfStrategy, FairMethod, FairwosConfig, TrainInput, WeightMode};
 use fairwos_fairness::accuracy;
-use fairwos_nn::loss::{bce_with_logits_masked, sigmoid, weighted_sq_l2_rows};
+use fairwos_nn::loss::{
+    bce_with_logits_masked_ws, sigmoid, weighted_sq_l2_rows, weighted_sq_l2_rows_acc,
+};
 use fairwos_nn::{Adam, Gnn, GnnConfig, GraphContext, Optimizer};
 use fairwos_tensor::{seeded_rng, Matrix};
 use serde::{Deserialize, Serialize};
@@ -129,7 +132,10 @@ impl TrainedFairwos {
     /// Exports the model into its on-disk representation
     /// ([`crate::FairwosModelFile`]).
     pub fn to_model_file(&mut self) -> crate::FairwosModelFile {
-        let in_dim = self.encoder.as_ref().map_or(self.x0.cols(), Encoder::in_dim);
+        let in_dim = self
+            .encoder
+            .as_ref()
+            .map_or(self.x0.cols(), Encoder::in_dim);
         crate::FairwosModelFile {
             version: crate::persist::MODEL_FILE_VERSION,
             config: self.config.clone(),
@@ -184,7 +190,25 @@ impl FairwosTrainer {
     }
 
     /// Runs Algorithm 1 end-to-end on `input` with a fixed seed.
+    ///
+    /// Equivalent to [`FairwosTrainer::fit_with`] with a fresh pooling
+    /// [`TrainerWorkspace`]: after a warm-up epoch, steady-state epochs draw
+    /// every activation/gradient buffer from the pool instead of the
+    /// allocator.
     pub fn fit(&self, input: &TrainInput<'_>, seed: u64) -> TrainedFairwos {
+        self.fit_with(input, seed, &mut TrainerWorkspace::new())
+    }
+
+    /// [`FairwosTrainer::fit`] with caller-provided scratch buffers, so
+    /// repeated runs of the same architecture (seed sweeps, benchmark
+    /// harnesses) can share one warm pool. The pooled and allocating
+    /// (`TrainerWorkspace::disposable`) paths produce bit-identical models.
+    pub fn fit_with(
+        &self,
+        input: &TrainInput<'_>,
+        seed: u64,
+        tws: &mut TrainerWorkspace,
+    ) -> TrainedFairwos {
         input.validate();
         let cfg = &self.config;
         let mut rng = seeded_rng(seed);
@@ -212,7 +236,10 @@ impl FairwosTrainer {
             // w/o E: every raw feature is its own pseudo-sensitive attribute.
             (None, input.features.clone())
         };
-        let encoder_losses = encoder.as_ref().map(|e| e.losses.clone()).unwrap_or_default();
+        let encoder_losses = encoder
+            .as_ref()
+            .map(|e| e.losses.clone())
+            .unwrap_or_default();
 
         // Line 2: λ ← 1/I.
         let num_attrs = x0.cols();
@@ -234,14 +261,17 @@ impl FairwosTrainer {
         let mut best_val = f64::NEG_INFINITY;
         let mut best_params: Vec<Matrix> = Vec::new();
         let mut since_best = 0usize;
+        let ws = &mut tws.nn;
         let obs_stage2 = fairwos_obs::span("train/stage2_classifier");
         for _ in 0..cfg.classifier_epochs {
             let _obs = fairwos_obs::span("train/stage2/epoch");
             gnn.zero_grad();
-            let out = gnn.forward_train(&ctx, &x0, &mut rng);
-            let (loss, dlogits) = bce_with_logits_masked(&out.logits, input.labels, input.train);
+            let out = gnn.forward_train_ws(&ctx, &x0, &mut rng, ws);
+            let (loss, dlogits) =
+                bce_with_logits_masked_ws(&out.logits, input.labels, input.train, ws);
             classifier_losses.push(loss);
-            gnn.backward(&ctx, &dlogits, None);
+            gnn.backward_ws(&ctx, &dlogits, None, ws);
+            ws.give(dlogits);
             opt.step(&mut gnn.params_mut());
 
             let val_acc = if input.val.is_empty() {
@@ -252,6 +282,8 @@ impl FairwosTrainer {
                 let val_labels: Vec<f32> = input.val.iter().map(|&v| input.labels[v]).collect();
                 accuracy(&val_probs, &val_labels)
             };
+            ws.give(out.logits);
+            ws.give(out.embeddings);
             if val_acc > best_val {
                 best_val = val_acc;
                 best_params = snapshot(&mut gnn);
@@ -285,11 +317,16 @@ impl FairwosTrainer {
             // fine-tuning rate.
             let mut opt = Adam::new(cfg.finetune_learning_rate);
             let medians = x0.col_medians();
-            for _ in 0..cfg.finetune_epochs {
+            // Counterfactual sets (and their flattened pair lists) are
+            // computed once per refresh interval and reused in between —
+            // the pair list is never rebuilt inside a θ-step.
+            let mut cf_sets: Option<CounterfactualSets> = None;
+            for epoch in 0..cfg.finetune_epochs {
                 let _obs = fairwos_obs::span("train/stage3/epoch");
                 gnn.zero_grad();
-                let out = gnn.forward_train(&ctx, &x0, &mut rng);
-                let (loss_u, dlogits) = bce_with_logits_masked(&out.logits, input.labels, input.train);
+                let out = gnn.forward_train_ws(&ctx, &x0, &mut rng, ws);
+                let (loss_u, dlogits) =
+                    bce_with_logits_masked_ws(&out.logits, input.labels, input.train, ws);
 
                 // Normalize by the mean squared embedding norm so α is
                 // scale-free across backbones: GIN's sum aggregation yields
@@ -299,9 +336,7 @@ impl FairwosTrainer {
                     let s: f32 = input
                         .train
                         .iter()
-                        .map(|&v| {
-                            out.embeddings.row(v).iter().map(|x| x * x).sum::<f32>()
-                        })
+                        .map(|&v| out.embeddings.row(v).iter().map(|x| x * x).sum::<f32>())
                         .sum();
                     (s / input.train.len() as f32).max(1e-6)
                 };
@@ -311,27 +346,39 @@ impl FairwosTrainer {
                 let (d, loss_fair, dh) = match cfg.counterfactual {
                     CfStrategy::SearchReal => {
                         // The paper's method: refresh the top-K search from
-                        // the current embeddings.
-                        let space = SearchSpace {
-                            embeddings: &out.embeddings,
-                            pseudo_labels: &pseudo_labels,
-                            pseudo_sensitive: &bits,
-                            candidates: input.train,
-                        };
-                        let sets = search_topk(&space, input.train, cfg.top_k);
+                        // the current embeddings (every epoch by default;
+                        // every `cf_refresh_interval` epochs otherwise).
+                        if cf_sets.is_none() || epoch % cfg.cf_refresh_interval == 0 {
+                            let space = SearchSpace {
+                                embeddings: &out.embeddings,
+                                pseudo_labels: &pseudo_labels,
+                                pseudo_sensitive: &bits,
+                                candidates: input.train,
+                            };
+                            cf_sets = Some(search_topk(&space, input.train, cfg.top_k));
+                        }
+                        // audit:allow(FW001): populated by the branch above
+                        let sets = cf_sets.as_ref().expect("counterfactual sets refreshed");
                         let d: Vec<f32> = sets
                             .attr_distances(&out.embeddings)
                             .iter()
                             .map(|&x| x / h_scale)
                             .collect();
-                        let mut pairs = Vec::new();
+                        let mut dh = ws.take(out.embeddings.rows(), out.embeddings.cols());
+                        let mut loss_fair = 0.0f32;
                         for (i, &li) in lambda.iter().enumerate() {
-                            if li > 0.0 {
-                                pairs.extend(sets.weighted_pairs(i, cfg.alpha * li / h_scale));
+                            let pairs = sets.flat_pairs(i);
+                            if li > 0.0 && !pairs.is_empty() {
+                                let w = cfg.alpha * li / h_scale / pairs.len() as f32;
+                                loss_fair += weighted_sq_l2_rows_acc(
+                                    &out.embeddings,
+                                    &out.embeddings,
+                                    pairs,
+                                    w,
+                                    &mut dh,
+                                );
                             }
                         }
-                        let (loss_fair, dh) =
-                            weighted_sq_l2_rows(&out.embeddings, &out.embeddings, &pairs);
                         (d, loss_fair, dh)
                     }
                     CfStrategy::PerturbAttribute => {
@@ -342,8 +389,7 @@ impl FairwosTrainer {
                         // non-realistic counterfactual.
                         let mut d = Vec::with_capacity(num_attrs);
                         let mut loss_fair = 0.0f32;
-                        let mut dh =
-                            Matrix::zeros(out.embeddings.rows(), out.embeddings.cols());
+                        let mut dh = Matrix::zeros(out.embeddings.rows(), out.embeddings.cols());
                         let self_pairs: Vec<(usize, usize, f32)> = input
                             .train
                             .iter()
@@ -375,7 +421,9 @@ impl FairwosTrainer {
                         (d, loss_fair, dh)
                     }
                 };
-                gnn.backward(&ctx, &dlogits, Some(&dh));
+                gnn.backward_ws(&ctx, &dlogits, Some(&dh), ws);
+                ws.give(dh);
+                ws.give(dlogits);
                 opt.step(&mut gnn.params_mut());
 
                 // Lines 9–12: λ update.
@@ -392,6 +440,8 @@ impl FairwosTrainer {
                     attr_distances: d,
                     lambda: lambda.clone(),
                 });
+                ws.give(out.logits);
+                ws.give(out.embeddings);
             }
         }
 
@@ -404,7 +454,11 @@ impl FairwosTrainer {
             lambda,
             pseudo_labels,
             bits,
-            history: TrainingHistory { encoder_losses, classifier_losses, finetune },
+            history: TrainingHistory {
+                encoder_losses,
+                classifier_losses,
+                finetune,
+            },
         }
     }
 }
@@ -496,10 +550,17 @@ mod tests {
     #[test]
     fn without_encoder_uses_raw_features() {
         let ds = small_dataset();
-        let cfg = FairwosConfig { use_encoder: false, finetune_epochs: 2, ..fast_config(Backbone::Gcn) };
+        let cfg = FairwosConfig {
+            use_encoder: false,
+            finetune_epochs: 2,
+            ..fast_config(Backbone::Gcn)
+        };
         let trained = FairwosTrainer::new(cfg).fit(&input_of(&ds), 2);
         assert!(!trained.has_encoder());
-        assert_eq!(trained.pseudo_sensitive_attributes().cols(), ds.features.cols());
+        assert_eq!(
+            trained.pseudo_sensitive_attributes().cols(),
+            ds.features.cols()
+        );
         assert_eq!(trained.lambda().len(), ds.features.cols());
         assert!(trained.history.encoder_losses.is_empty());
     }
@@ -507,7 +568,10 @@ mod tests {
     #[test]
     fn without_fairness_skips_finetuning() {
         let ds = small_dataset();
-        let cfg = FairwosConfig { use_fairness: false, ..fast_config(Backbone::Gcn) };
+        let cfg = FairwosConfig {
+            use_fairness: false,
+            ..fast_config(Backbone::Gcn)
+        };
         let trained = FairwosTrainer::new(cfg).fit(&input_of(&ds), 3);
         assert!(trained.history.finetune.is_empty());
     }
@@ -515,16 +579,29 @@ mod tests {
     #[test]
     fn without_weight_update_keeps_lambda_uniform() {
         let ds = small_dataset();
-        let cfg = FairwosConfig { use_weight_update: false, ..fast_config(Backbone::Gcn) };
+        let cfg = FairwosConfig {
+            use_weight_update: false,
+            ..fast_config(Backbone::Gcn)
+        };
         let trained = FairwosTrainer::new(cfg).fit(&input_of(&ds), 4);
         for &l in trained.lambda() {
-            assert!((l - 1.0 / 8.0).abs() < 1e-6, "λ changed without weight updates");
+            assert!(
+                (l - 1.0 / 8.0).abs() < 1e-6,
+                "λ changed without weight updates"
+            );
         }
         // With weight updates λ moves away from uniform.
         let trained2 = FairwosTrainer::new(fast_config(Backbone::Gcn)).fit(&input_of(&ds), 4);
-        let uniform_dev: f32 =
-            trained2.lambda().iter().map(|&l| (l - 1.0 / 8.0).abs()).sum();
-        assert!(uniform_dev > 1e-4, "λ never updated: {:?}", trained2.lambda());
+        let uniform_dev: f32 = trained2
+            .lambda()
+            .iter()
+            .map(|&l| (l - 1.0 / 8.0).abs())
+            .sum();
+        assert!(
+            uniform_dev > 1e-4,
+            "λ never updated: {:?}",
+            trained2.lambda()
+        );
     }
 
     #[test]
@@ -545,7 +622,9 @@ mod tests {
         let trained = FairwosTrainer::new(cfg).fit(&input_of(&ds), 8);
         assert_eq!(trained.history.finetune.len(), 5);
         let probs = trained.predict_probs();
-        assert!(probs.iter().all(|p| p.is_finite() && (0.0..=1.0).contains(p)));
+        assert!(probs
+            .iter()
+            .all(|p| p.is_finite() && (0.0..=1.0).contains(p)));
         // The perturbation distances are populated per attribute.
         assert_eq!(trained.history.finetune[0].attr_distances.len(), 8);
     }
@@ -578,6 +657,52 @@ mod tests {
     }
 
     #[test]
+    fn fit_with_disposable_workspace_matches_pooled_fit() {
+        // The pooled (default) and allocating paths must be bit-identical.
+        let ds = small_dataset();
+        let trainer = FairwosTrainer::new(fast_config(Backbone::Gcn));
+        let pooled = trainer.fit(&input_of(&ds), 11);
+        let mut tws = crate::TrainerWorkspace::disposable();
+        let allocating = trainer.fit_with(&input_of(&ds), 11, &mut tws);
+        assert_eq!(
+            tws.idle_buffers(),
+            0,
+            "disposable workspace retained buffers"
+        );
+        assert_eq!(pooled.predict_probs(), allocating.predict_probs());
+        assert_eq!(pooled.lambda(), allocating.lambda());
+    }
+
+    #[test]
+    fn workspace_shared_across_fits_stays_deterministic() {
+        // A warm pool (second run) must not change results vs a cold one.
+        let ds = small_dataset();
+        let trainer = FairwosTrainer::new(fast_config(Backbone::Gcn));
+        let mut tws = crate::TrainerWorkspace::new();
+        let a = trainer.fit_with(&input_of(&ds), 12, &mut tws);
+        assert!(tws.idle_buffers() > 0, "pool retained nothing after a fit");
+        let b = trainer.fit_with(&input_of(&ds), 12, &mut tws);
+        assert_eq!(a.predict_probs(), b.predict_probs());
+        assert_eq!(a.lambda(), b.lambda());
+    }
+
+    #[test]
+    fn sparse_refresh_interval_trains() {
+        let ds = small_dataset();
+        let cfg = FairwosConfig {
+            cf_refresh_interval: 4,
+            finetune_epochs: 8,
+            ..fast_config(Backbone::Gcn)
+        };
+        let trained = FairwosTrainer::new(cfg).fit(&input_of(&ds), 13);
+        assert_eq!(trained.history.finetune.len(), 8);
+        let probs = trained.predict_probs();
+        assert!(probs
+            .iter()
+            .all(|p| p.is_finite() && (0.0..=1.0).contains(p)));
+    }
+
+    #[test]
     fn fair_method_adapter() {
         let ds = small_dataset();
         let trainer = FairwosTrainer::new(fast_config(Backbone::Gcn));
@@ -592,10 +717,28 @@ mod tests {
         // The fairness stage should shrink the counterfactual gap it
         // penalises: mean Dᵢ at the last epoch ≤ at the first.
         let ds = small_dataset();
-        let cfg = FairwosConfig { alpha: 0.5, finetune_epochs: 10, ..fast_config(Backbone::Gcn) };
+        let cfg = FairwosConfig {
+            alpha: 0.5,
+            finetune_epochs: 10,
+            ..fast_config(Backbone::Gcn)
+        };
         let trained = FairwosTrainer::new(cfg).fit(&input_of(&ds), 7);
-        let first: f32 = trained.history.finetune.first().unwrap().attr_distances.iter().sum();
-        let last: f32 = trained.history.finetune.last().unwrap().attr_distances.iter().sum();
+        let first: f32 = trained
+            .history
+            .finetune
+            .first()
+            .unwrap()
+            .attr_distances
+            .iter()
+            .sum();
+        let last: f32 = trained
+            .history
+            .finetune
+            .last()
+            .unwrap()
+            .attr_distances
+            .iter()
+            .sum();
         assert!(last <= first * 1.1, "ΣDᵢ grew from {first} to {last}");
     }
 }

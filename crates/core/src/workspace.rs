@@ -1,0 +1,65 @@
+//! Persistent scratch buffers for the training loop.
+//!
+//! One [`TrainerWorkspace`] outlives every epoch of a
+//! [`crate::FairwosTrainer::fit_with`] run (and can be shared across runs of
+//! the same architecture): activations, gradients and loss buffers are drawn
+//! from its pool instead of the allocator, so steady-state epochs allocate
+//! nothing on the tensor hot path. The pooled and allocating paths produce
+//! bit-identical models — `tests/determinism.rs` pins this.
+
+use fairwos_nn::Workspace;
+
+/// Reusable buffers for [`crate::FairwosTrainer::fit_with`].
+///
+/// Construct once with [`TrainerWorkspace::new`] and pass to consecutive
+/// `fit_with` calls to amortize buffer allocation across runs;
+/// [`TrainerWorkspace::disposable`] is the allocating reference path used by
+/// the determinism tests.
+#[derive(Debug)]
+pub struct TrainerWorkspace {
+    pub(crate) nn: Workspace,
+}
+
+impl Default for TrainerWorkspace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TrainerWorkspace {
+    /// A pooling workspace: retired buffers are kept and recycled.
+    pub fn new() -> Self {
+        Self {
+            nn: Workspace::new(),
+        }
+    }
+
+    /// A non-pooling workspace: every buffer request allocates fresh.
+    pub fn disposable() -> Self {
+        Self {
+            nn: Workspace::disposable(),
+        }
+    }
+
+    /// Whether this workspace recycles buffers.
+    pub fn reuses(&self) -> bool {
+        self.nn.reuses()
+    }
+
+    /// Number of idle buffers currently held by the pool.
+    pub fn idle_buffers(&self) -> usize {
+        self.nn.idle_buffers()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_pooling() {
+        assert!(TrainerWorkspace::default().reuses());
+        assert!(!TrainerWorkspace::disposable().reuses());
+        assert_eq!(TrainerWorkspace::new().idle_buffers(), 0);
+    }
+}

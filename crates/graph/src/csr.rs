@@ -50,15 +50,24 @@ impl CsrMatrix {
         for r in 0..rows {
             let lo = row_ptr[r];
             let hi = row_ptr[r + 1];
-            let mut pairs: Vec<(usize, f32)> =
-                col_idx[lo..hi].iter().copied().zip(values[lo..hi].iter().copied()).collect();
+            let mut pairs: Vec<(usize, f32)> = col_idx[lo..hi]
+                .iter()
+                .copied()
+                .zip(values[lo..hi].iter().copied())
+                .collect();
             pairs.sort_unstable_by_key(|&(c, _)| c);
             for (i, (c, v)) in pairs.into_iter().enumerate() {
                 col_idx[lo + i] = c;
                 values[lo + i] = v;
             }
         }
-        Self { rows, cols, row_ptr, col_idx, values }
+        Self {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        }
     }
 
     /// The `n × n` identity as CSR.
@@ -110,6 +119,20 @@ impl CsrMatrix {
     /// If `self.cols() != dense.rows()`. With `--features checked` in a
     /// debug build, also if an operand or the output contains NaN/Inf.
     pub fn spmm(&self, dense: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, dense.cols());
+        self.spmm_into(dense, &mut out);
+        out
+    }
+
+    /// Sparse–dense product `self · dense`, written into `out` (any
+    /// previous contents of `out` are overwritten). In-place twin of
+    /// [`CsrMatrix::spmm`] for allocation-free hot loops.
+    ///
+    /// # Panics
+    /// If `self.cols() != dense.rows()` or `out` is not
+    /// `self.rows() × dense.cols()`. With `--features checked` in a debug
+    /// build, also if an operand or the output contains NaN/Inf.
+    pub fn spmm_into(&self, dense: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.cols,
             dense.rows(),
@@ -119,11 +142,20 @@ impl CsrMatrix {
             dense.rows(),
             dense.cols()
         );
+        assert_eq!(
+            out.shape(),
+            (self.rows, dense.cols()),
+            "spmm: output buffer is {}x{}, expected {}x{}",
+            out.rows(),
+            out.cols(),
+            self.rows,
+            dense.cols()
+        );
         contract_finite_slice("spmm", "sparse values", &self.values);
         contract_finite("spmm", "dense", dense);
         let d = dense.cols();
         fairwos_obs::counter_add("graph/spmm/fma", (self.nnz() * d) as u64);
-        let mut out = Matrix::zeros(self.rows, d);
+        out.as_mut_slice().fill(0.0);
         let body = |(r, out_row): (usize, &mut [f32])| {
             let (cols, vals) = self.row(r);
             for (&c, &v) in cols.iter().zip(vals) {
@@ -134,12 +166,14 @@ impl CsrMatrix {
             }
         };
         if self.nnz() * d >= 1 << 16 {
-            out.as_mut_slice().par_chunks_mut(d).enumerate().for_each(body);
+            out.as_mut_slice()
+                .par_chunks_mut(d)
+                .enumerate()
+                .for_each(body);
         } else {
             out.as_mut_slice().chunks_mut(d).enumerate().for_each(body);
         }
-        contract_finite("spmm", "output", &out);
-        out
+        contract_finite("spmm", "output", out);
     }
 
     /// The transpose as a new CSR matrix.
@@ -196,6 +230,15 @@ mod tests {
 
     fn sample() -> CsrMatrix {
         CsrMatrix::from_triplets(3, 3, &[(0, 1, 2.0), (1, 0, 3.0), (2, 2, 1.0), (0, 2, 4.0)])
+    }
+
+    #[test]
+    fn spmm_into_overwrites_dirty_buffer() {
+        let s = sample();
+        let x = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let mut out = Matrix::full(3, 2, f32::MAX);
+        s.spmm_into(&x, &mut out);
+        assert_eq!(out, s.spmm(&x));
     }
 
     #[test]

@@ -27,6 +27,7 @@
 //! assert_eq!(h.shape(), (3, 3));
 //! ```
 
+mod cache;
 mod csr;
 pub mod generate;
 mod graph;
@@ -34,6 +35,7 @@ pub mod metrics;
 mod norm;
 pub mod traversal;
 
+pub use cache::AdjacencyCache;
 pub use csr::CsrMatrix;
 pub use graph::{Graph, GraphBuilder};
 pub use norm::{gcn_normalized_adjacency, row_normalized_adjacency, sum_adjacency};

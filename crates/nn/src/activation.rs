@@ -1,6 +1,6 @@
 //! Stateless-parameter layers: ReLU and (inverted) dropout.
 
-use fairwos_tensor::Matrix;
+use fairwos_tensor::{Matrix, Workspace};
 use rand::Rng;
 
 /// ReLU activation with cached mask for backward.
@@ -22,9 +22,19 @@ impl Relu {
 
     /// `max(x, 0)`, caching the activity mask.
     pub fn forward(&mut self, x: &Matrix) -> Matrix {
-        let mask: Vec<bool> = x.as_slice().iter().map(|&v| v > 0.0).collect();
-        let y = x.map(|v| v.max(0.0));
-        self.mask = Some(mask);
+        self.forward_ws(x, &mut Workspace::disposable())
+    }
+
+    /// [`Relu::forward`] with the output drawn from `ws` and the mask's
+    /// backing storage reused across calls. Numerically identical.
+    pub fn forward_ws(&mut self, x: &Matrix, ws: &mut Workspace) -> Matrix {
+        let mask = self.mask.get_or_insert_with(Vec::new);
+        mask.clear();
+        mask.extend(x.as_slice().iter().map(|&v| v > 0.0));
+        let mut y = ws.take(x.rows(), x.cols());
+        for (o, &v) in y.as_mut_slice().iter_mut().zip(x.as_slice()) {
+            *o = v.max(0.0);
+        }
         y
     }
 
@@ -34,14 +44,24 @@ impl Relu {
     /// If called before [`Relu::forward`], or if `dy`'s size differs from
     /// the cached activation's.
     pub fn backward(&mut self, dy: &Matrix) -> Matrix {
+        self.backward_ws(dy, &mut Workspace::disposable())
+    }
+
+    /// [`Relu::backward`] with the returned gradient drawn from `ws`.
+    ///
+    /// # Panics
+    /// Same contract as [`Relu::backward`].
+    pub fn backward_ws(&mut self, dy: &Matrix, ws: &mut Workspace) -> Matrix {
         // audit:allow(FW001): call-order contract documented under # Panics
         let mask = self.mask.as_ref().expect("Relu::backward before forward");
-        assert_eq!(mask.len(), dy.len(), "gradient shape changed between forward and backward");
-        let mut dx = dy.clone();
-        for (g, &m) in dx.as_mut_slice().iter_mut().zip(mask) {
-            if !m {
-                *g = 0.0;
-            }
+        assert_eq!(
+            mask.len(),
+            dy.len(),
+            "gradient shape changed between forward and backward"
+        );
+        let mut dx = ws.take(dy.rows(), dy.cols());
+        for ((o, &g), &m) in dx.as_mut_slice().iter_mut().zip(dy.as_slice()).zip(mask) {
+            *o = if m { g } else { 0.0 };
         }
         dx
     }
@@ -63,21 +83,46 @@ impl Dropout {
     /// If `p` is not in `[0, 1)`.
     pub fn new(p: f32) -> Self {
         assert!((0.0..1.0).contains(&p), "dropout p = {p} outside [0, 1)");
-        Self { p, scale: 1.0 / (1.0 - p), mask: None }
+        Self {
+            p,
+            scale: 1.0 / (1.0 - p),
+            mask: None,
+        }
     }
 
     /// Training-mode forward: samples a fresh mask from `rng`.
     pub fn forward_train(&mut self, x: &Matrix, rng: &mut impl Rng) -> Matrix {
-        if self.p == 0.0 {
-            self.mask = Some(vec![true; x.len()]);
-            return x.clone();
+        self.forward_train_ws(x, rng, &mut Workspace::disposable())
+    }
+
+    /// [`Dropout::forward_train`] with the output drawn from `ws` and the
+    /// mask's backing storage reused across calls. Draws exactly the same
+    /// RNG sequence as the allocating path (none when `p == 0`).
+    pub fn forward_train_ws(
+        &mut self,
+        x: &Matrix,
+        rng: &mut impl Rng,
+        ws: &mut Workspace,
+    ) -> Matrix {
+        let p = self.p;
+        let scale = self.scale;
+        let mask = self.mask.get_or_insert_with(Vec::new);
+        mask.clear();
+        let mut y = ws.take(x.rows(), x.cols());
+        if p == 0.0 {
+            mask.resize(x.len(), true);
+            y.as_mut_slice().copy_from_slice(x.as_slice());
+            return y;
         }
-        let mask: Vec<bool> = (0..x.len()).map(|_| rng.gen::<f32>() >= self.p).collect();
-        let mut y = x.clone();
-        for (v, &keep) in y.as_mut_slice().iter_mut().zip(&mask) {
-            *v = if keep { *v * self.scale } else { 0.0 };
+        mask.extend((0..x.len()).map(|_| rng.gen::<f32>() >= p));
+        for ((o, &v), &keep) in y
+            .as_mut_slice()
+            .iter_mut()
+            .zip(x.as_slice())
+            .zip(mask.iter())
+        {
+            *o = if keep { v * scale } else { 0.0 };
         }
-        self.mask = Some(mask);
         y
     }
 
@@ -92,12 +137,28 @@ impl Dropout {
     /// If called before [`Dropout::forward_train`], or if `dy`'s size
     /// differs from the cached activation's.
     pub fn backward(&mut self, dy: &Matrix) -> Matrix {
+        self.backward_ws(dy, &mut Workspace::disposable())
+    }
+
+    /// [`Dropout::backward`] with the returned gradient drawn from `ws`.
+    ///
+    /// # Panics
+    /// Same contract as [`Dropout::backward`].
+    pub fn backward_ws(&mut self, dy: &Matrix, ws: &mut Workspace) -> Matrix {
         // audit:allow(FW001): call-order contract documented under # Panics
-        let mask = self.mask.as_ref().expect("Dropout::backward before forward_train");
-        assert_eq!(mask.len(), dy.len(), "gradient shape changed between forward and backward");
-        let mut dx = dy.clone();
-        for (g, &keep) in dx.as_mut_slice().iter_mut().zip(mask) {
-            *g = if keep { *g * self.scale } else { 0.0 };
+        let scale = self.scale;
+        let mask = self
+            .mask
+            .as_ref()
+            .expect("Dropout::backward before forward_train");
+        assert_eq!(
+            mask.len(),
+            dy.len(),
+            "gradient shape changed between forward and backward"
+        );
+        let mut dx = ws.take(dy.rows(), dy.cols());
+        for ((o, &g), &keep) in dx.as_mut_slice().iter_mut().zip(dy.as_slice()).zip(mask) {
+            *o = if keep { g * scale } else { 0.0 };
         }
         dx
     }
@@ -135,7 +196,10 @@ mod tests {
         // E[y] = x under inverted dropout.
         assert!((y.mean() - 1.0).abs() < 0.05, "mean {}", y.mean());
         // Survivors are scaled by 2.
-        assert!(y.as_slice().iter().all(|&v| v == 0.0 || (v - 2.0).abs() < 1e-6));
+        assert!(y
+            .as_slice()
+            .iter()
+            .all(|&v| v == 0.0 || (v - 2.0).abs() < 1e-6));
     }
 
     #[test]

@@ -1,63 +1,51 @@
 //! Per-graph propagation context shared by all layers.
 
-use fairwos_graph::{gcn_normalized_adjacency, row_normalized_adjacency, sum_adjacency, CsrMatrix, Graph};
+use fairwos_graph::{AdjacencyCache, CsrMatrix, Graph};
 
-/// The propagation matrices of one graph, precomputed once.
+/// The propagation matrices of one graph, built lazily and cached for the
+/// lifetime of the context (i.e. across every training epoch).
 ///
-/// Full-batch training re-multiplies against these every epoch, so both the
-/// GCN matrix `Â` and the GIN sum-aggregation matrix `A` are materialised at
-/// construction. Both are symmetric (undirected graphs), which the backward
-/// passes exploit: `Âᵀ = Â`, `Aᵀ = A`.
+/// Full-batch training re-multiplies against these every epoch, but each
+/// backbone only ever touches its own normalization — GCN never needs the
+/// mean-aggregation matrices, SAGE never needs `Â`. The context therefore
+/// wraps a [`fairwos_graph::AdjacencyCache`]: each matrix is materialised on
+/// first access and reused afterwards. `Â` and `A` are symmetric (undirected
+/// graphs), which the backward passes exploit: `Âᵀ = Â`, `Aᵀ = A`.
 pub struct GraphContext {
-    num_nodes: usize,
-    /// Kipf–Welling normalized adjacency with self-loops, `Â`.
-    gcn_adj: CsrMatrix,
-    /// Plain adjacency `A` (unit values, no self-loops) for GIN sums.
-    sum_adj: CsrMatrix,
-    /// Row-normalized adjacency `M = D^{-1}A` for GraphSAGE means.
-    mean_adj: CsrMatrix,
-    /// `Mᵀ` — row normalization breaks symmetry, so SAGE's backward pass
-    /// needs the transpose explicitly.
-    mean_adj_t: CsrMatrix,
+    cache: AdjacencyCache,
 }
 
 impl GraphContext {
-    /// Precomputes propagation matrices for `g`.
+    /// Wraps `g` in a lazy propagation-matrix cache.
     pub fn new(g: &Graph) -> Self {
-        let mean_adj = row_normalized_adjacency(g);
-        let mean_adj_t = mean_adj.transpose();
         Self {
-            num_nodes: g.num_nodes(),
-            gcn_adj: gcn_normalized_adjacency(g),
-            sum_adj: sum_adjacency(g),
-            mean_adj,
-            mean_adj_t,
+            cache: AdjacencyCache::new(g),
         }
     }
 
     /// Number of nodes in the underlying graph.
     pub fn num_nodes(&self) -> usize {
-        self.num_nodes
+        self.cache.num_nodes()
     }
 
     /// `Â` — the GCN propagation matrix.
     pub fn gcn_adj(&self) -> &CsrMatrix {
-        &self.gcn_adj
+        self.cache.gcn()
     }
 
     /// `A` — the GIN sum-aggregation matrix.
     pub fn sum_adj(&self) -> &CsrMatrix {
-        &self.sum_adj
+        self.cache.sum()
     }
 
     /// `M = D^{-1}A` — the GraphSAGE mean-aggregation matrix.
     pub fn mean_adj(&self) -> &CsrMatrix {
-        &self.mean_adj
+        self.cache.mean()
     }
 
     /// `Mᵀ` — used by SAGE's backward pass.
     pub fn mean_adj_t(&self) -> &CsrMatrix {
-        &self.mean_adj_t
+        self.cache.mean_t()
     }
 }
 

@@ -76,8 +76,12 @@ impl GatConv {
 
     fn attention(&self, ctx: &GraphContext, z: &Matrix) -> Attention {
         let n = z.rows();
-        let src_score: Vec<f32> = (0..n).map(|i| dot(self.a_src.value.row(0), z.row(i))).collect();
-        let dst_score: Vec<f32> = (0..n).map(|i| dot(self.a_dst.value.row(0), z.row(i))).collect();
+        let src_score: Vec<f32> = (0..n)
+            .map(|i| dot(self.a_src.value.row(0), z.row(i)))
+            .collect();
+        let dst_score: Vec<f32> = (0..n)
+            .map(|i| dot(self.a_dst.value.row(0), z.row(i)))
+            .collect();
         let mut targets = Vec::with_capacity(n);
         let mut logits = Vec::with_capacity(n);
         let mut alpha = Vec::with_capacity(n);
@@ -86,8 +90,7 @@ impl GatConv {
             let mut t: Vec<usize> = Vec::with_capacity(cols.len() + 1);
             t.push(i); // self-loop first
             t.extend_from_slice(cols);
-            let raw: Vec<f32> =
-                t.iter().map(|&j| leaky_relu(s_i + dst_score[j])).collect();
+            let raw: Vec<f32> = t.iter().map(|&j| leaky_relu(s_i + dst_score[j])).collect();
             // Stable softmax over the neighbourhood.
             let m = raw.iter().copied().fold(f32::NEG_INFINITY, f32::max);
             let exps: Vec<f32> = raw.iter().map(|&e| (e - m).exp()).collect();
@@ -113,8 +116,27 @@ impl GatConv {
                 }
             }
         }
-        self.cache = Some(GatCache { x: x.clone(), z, targets, logits, alpha });
+        self.cache = Some(GatCache {
+            x: x.clone(),
+            z,
+            targets,
+            logits,
+            alpha,
+        });
         h
+    }
+
+    /// Workspace-threaded forward. GAT's ragged per-node attention state is
+    /// not yet pooled, so this delegates to the allocating
+    /// [`GatConv::forward`]; the signature exists so the model loop can
+    /// treat every backbone uniformly. See `docs/PERFORMANCE.md`.
+    pub fn forward_ws(
+        &mut self,
+        ctx: &GraphContext,
+        x: &Matrix,
+        _ws: &mut fairwos_tensor::Workspace,
+    ) -> Matrix {
+        self.forward(ctx, x)
     }
 
     /// Inference-only forward (no caching).
@@ -133,14 +155,31 @@ impl GatConv {
         h
     }
 
+    /// Workspace-threaded backward. Delegates to the allocating
+    /// [`GatConv::backward`] for the same reason as [`GatConv::forward_ws`].
+    ///
+    /// # Panics
+    /// If called before a forward pass.
+    pub fn backward_ws(
+        &mut self,
+        ctx: &GraphContext,
+        dh: &Matrix,
+        _ws: &mut fairwos_tensor::Workspace,
+    ) -> Matrix {
+        self.backward(ctx, dh)
+    }
+
     /// Accumulates gradients; returns `dX`.
     ///
     /// # Panics
     /// If called before `forward`.
     pub fn backward(&mut self, ctx: &GraphContext, dh: &Matrix) -> Matrix {
         let _ = ctx; // neighbourhood structure lives in the cache
-        // audit:allow(FW001): call-order contract documented under # Panics
-        let cache = self.cache.as_ref().expect("GatConv::backward before forward");
+                     // audit:allow(FW001): call-order contract documented under # Panics
+        let cache = self
+            .cache
+            .as_ref()
+            .expect("GatConv::backward before forward");
         let n = cache.z.rows();
         let d = cache.z.cols();
 
@@ -177,8 +216,7 @@ impl GatConv {
 
             // (2) softmax backward: de_k = α_k (dα_k − Σ_m α_m dα_m).
             let inner: f32 = alpha.iter().zip(&dalpha).map(|(&a, &g)| a * g).sum();
-            for ((&j, (&a, &g)), &raw) in
-                targets.iter().zip(alpha.iter().zip(&dalpha)).zip(logits)
+            for ((&j, (&a, &g)), &raw) in targets.iter().zip(alpha.iter().zip(&dalpha)).zip(logits)
             {
                 let de = a * (g - inner) * leaky_relu_grad(unleaky(raw));
                 // e_ij = LeakyReLU(a_src·z_i + a_dst·z_j):
@@ -252,7 +290,14 @@ mod tests {
     use fairwos_tensor::{approx_eq, seeded_rng};
 
     fn ctx() -> GraphContext {
-        GraphContext::new(&GraphBuilder::new(4).edge(0, 1).edge(1, 2).edge(2, 3).edge(3, 0).build())
+        GraphContext::new(
+            &GraphBuilder::new(4)
+                .edge(0, 1)
+                .edge(1, 2)
+                .edge(2, 3)
+                .edge(3, 0)
+                .build(),
+        )
     }
 
     #[test]
@@ -360,8 +405,10 @@ mod tests {
                 up.set(v, j, x.get(v, j) + eps);
                 let mut dn = x.clone();
                 dn.set(v, j, x.get(v, j) - eps);
-                let lu = bce_with_logits_masked(&conv.forward_inference(&c, &up), &targets, &mask).0;
-                let ld = bce_with_logits_masked(&conv.forward_inference(&c, &dn), &targets, &mask).0;
+                let lu =
+                    bce_with_logits_masked(&conv.forward_inference(&c, &up), &targets, &mask).0;
+                let ld =
+                    bce_with_logits_masked(&conv.forward_inference(&c, &dn), &targets, &mask).0;
                 let fd = (lu - ld) / (2.0 * eps);
                 assert!(
                     approx_eq(fd, dx.get(v, j), 3e-2),

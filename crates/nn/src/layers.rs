@@ -6,8 +6,19 @@
 //! returns the gradient w.r.t. the layer input.
 
 use crate::{GraphContext, Param, Relu};
-use fairwos_tensor::{glorot_uniform, he_normal, Matrix};
+use fairwos_tensor::{glorot_uniform, he_normal, Matrix, Workspace};
 use rand::Rng;
+
+/// Refreshes a layer's cached activation from `src` without allocating when
+/// a same-shape cache from the previous step can be overwritten in place.
+pub(crate) fn assign_cache(slot: &mut Option<Matrix>, src: &Matrix) {
+    match slot {
+        Some(old) if old.shape() == src.shape() => {
+            old.as_mut_slice().copy_from_slice(src.as_slice());
+        }
+        _ => *slot = Some(src.clone()),
+    }
+}
 
 /// Fully connected layer `Y = X·W + b`.
 ///
@@ -52,9 +63,16 @@ impl Linear {
 
     /// `X·W + b`, caching `X` for backward.
     pub fn forward(&mut self, x: &Matrix) -> Matrix {
-        let mut y = x.matmul(&self.w.value);
+        self.forward_ws(x, &mut Workspace::disposable())
+    }
+
+    /// [`Linear::forward`] with the output (and all temporaries) drawn from
+    /// `ws` instead of freshly allocated. Numerically identical.
+    pub fn forward_ws(&mut self, x: &Matrix, ws: &mut Workspace) -> Matrix {
+        let mut y = ws.take(x.rows(), self.w.value.cols());
+        x.matmul_into(&self.w.value, &mut y);
         y.add_row_broadcast(self.b.value.row(0));
-        self.cached_input = Some(x.clone());
+        assign_cache(&mut self.cached_input, x);
         y
     }
 
@@ -70,14 +88,31 @@ impl Linear {
     /// # Panics
     /// If called before `forward`.
     pub fn backward(&mut self, dy: &Matrix) -> Matrix {
+        self.backward_ws(dy, &mut Workspace::disposable())
+    }
+
+    /// [`Linear::backward`] with the returned gradient and weight-gradient
+    /// temporary drawn from `ws`. Numerically identical.
+    ///
+    /// # Panics
+    /// If called before a forward pass.
+    pub fn backward_ws(&mut self, dy: &Matrix, ws: &mut Workspace) -> Matrix {
         // audit:allow(FW001): call-order contract documented under # Panics
-        let x = self.cached_input.as_ref().expect("Linear::backward before forward");
-        self.w.grad.add_assign(&x.matmul_tn(dy));
+        let x = self
+            .cached_input
+            .as_ref()
+            .expect("Linear::backward before forward");
+        let mut dw = ws.take(x.cols(), dy.cols());
+        x.matmul_tn_into(dy, &mut dw);
+        self.w.grad.add_assign(&dw);
+        ws.give(dw);
         let db = dy.col_sums();
         for (g, d) in self.b.grad.row_mut(0).iter_mut().zip(db) {
             *g += d;
         }
-        dy.matmul_nt(&self.w.value)
+        let mut dx = ws.take(dy.rows(), self.w.value.rows());
+        dy.matmul_nt_into(&self.w.value, &mut dx);
+        dx
     }
 
     /// The layer's parameters, for optimizers.
@@ -120,10 +155,20 @@ impl GcnConv {
 
     /// `Â·X·W + b`, caching `Â·X`.
     pub fn forward(&mut self, ctx: &GraphContext, x: &Matrix) -> Matrix {
-        let ax = ctx.gcn_adj().spmm(x);
-        let mut y = ax.matmul(&self.w.value);
+        self.forward_ws(ctx, x, &mut Workspace::disposable())
+    }
+
+    /// [`GcnConv::forward`] with all buffers drawn from `ws`. The cached
+    /// `Â·X` keeps its pooled buffer; the previous cache is recycled.
+    pub fn forward_ws(&mut self, ctx: &GraphContext, x: &Matrix, ws: &mut Workspace) -> Matrix {
+        let mut ax = ws.take(x.rows(), x.cols());
+        ctx.gcn_adj().spmm_into(x, &mut ax);
+        let mut y = ws.take(x.rows(), self.w.value.cols());
+        ax.matmul_into(&self.w.value, &mut y);
         y.add_row_broadcast(self.b.value.row(0));
-        self.cached_ax = Some(ax);
+        if let Some(old) = self.cached_ax.replace(ax) {
+            ws.give(old);
+        }
         y
     }
 
@@ -140,15 +185,34 @@ impl GcnConv {
     /// # Panics
     /// If called before `forward`.
     pub fn backward(&mut self, ctx: &GraphContext, dy: &Matrix) -> Matrix {
+        self.backward_ws(ctx, dy, &mut Workspace::disposable())
+    }
+
+    /// [`GcnConv::backward`] with all buffers drawn from `ws`.
+    ///
+    /// # Panics
+    /// If called before a forward pass.
+    pub fn backward_ws(&mut self, ctx: &GraphContext, dy: &Matrix, ws: &mut Workspace) -> Matrix {
         // audit:allow(FW001): call-order contract documented under # Panics
-        let ax = self.cached_ax.as_ref().expect("GcnConv::backward before forward");
-        self.w.grad.add_assign(&ax.matmul_tn(dy));
+        let ax = self
+            .cached_ax
+            .as_ref()
+            .expect("GcnConv::backward before forward");
+        let mut dw = ws.take(ax.cols(), dy.cols());
+        ax.matmul_tn_into(dy, &mut dw);
+        self.w.grad.add_assign(&dw);
+        ws.give(dw);
         let db = dy.col_sums();
         for (g, d) in self.b.grad.row_mut(0).iter_mut().zip(db) {
             *g += d;
         }
         // dX = Âᵀ · (dY · Wᵀ); Â symmetric.
-        ctx.gcn_adj().spmm(&dy.matmul_nt(&self.w.value))
+        let mut dyw = ws.take(dy.rows(), self.w.value.rows());
+        dy.matmul_nt_into(&self.w.value, &mut dyw);
+        let mut dx = ws.take(dyw.rows(), dyw.cols());
+        ctx.gcn_adj().spmm_into(&dyw, &mut dx);
+        ws.give(dyw);
+        dx
     }
 
     /// The layer's parameters.
@@ -192,11 +256,21 @@ impl GinConv {
 
     /// `MLP((1+ε)X + A·X)`.
     pub fn forward(&mut self, ctx: &GraphContext, x: &Matrix) -> Matrix {
-        let mut m = ctx.sum_adj().spmm(x);
+        self.forward_ws(ctx, x, &mut Workspace::disposable())
+    }
+
+    /// [`GinConv::forward`] with all buffers drawn from `ws`.
+    pub fn forward_ws(&mut self, ctx: &GraphContext, x: &Matrix, ws: &mut Workspace) -> Matrix {
+        let mut m = ws.take(x.rows(), x.cols());
+        ctx.sum_adj().spmm_into(x, &mut m);
         m.add_scaled(1.0 + self.eps, x);
-        let h = self.fc1.forward(&m);
-        let h = self.relu.forward(&h);
-        self.fc2.forward(&h)
+        let h = self.fc1.forward_ws(&m, ws);
+        ws.give(m);
+        let a = self.relu.forward_ws(&h, ws);
+        ws.give(h);
+        let y = self.fc2.forward_ws(&a, ws);
+        ws.give(a);
+        y
     }
 
     /// Inference-only forward.
@@ -210,12 +284,21 @@ impl GinConv {
 
     /// Accumulates gradients; returns `dX`.
     pub fn backward(&mut self, ctx: &GraphContext, dy: &Matrix) -> Matrix {
-        let dh = self.fc2.backward(dy);
-        let dh = self.relu.backward(&dh);
-        let dm = self.fc1.backward(&dh);
+        self.backward_ws(ctx, dy, &mut Workspace::disposable())
+    }
+
+    /// [`GinConv::backward`] with all buffers drawn from `ws`.
+    pub fn backward_ws(&mut self, ctx: &GraphContext, dy: &Matrix, ws: &mut Workspace) -> Matrix {
+        let dh = self.fc2.backward_ws(dy, ws);
+        let dr = self.relu.backward_ws(&dh, ws);
+        ws.give(dh);
+        let dm = self.fc1.backward_ws(&dr, ws);
+        ws.give(dr);
         // m = (1+ε)x + A·x  ⇒  dx = (1+ε)·dm + Aᵀ·dm; A symmetric.
-        let mut dx = ctx.sum_adj().spmm(&dm);
+        let mut dx = ws.take(dm.rows(), dm.cols());
+        ctx.sum_adj().spmm_into(&dm, &mut dx);
         dx.add_scaled(1.0 + self.eps, &dm);
+        ws.give(dm);
         dx
     }
 
@@ -240,7 +323,13 @@ mod tests {
     use fairwos_tensor::{approx_eq, seeded_rng};
 
     fn ctx() -> GraphContext {
-        GraphContext::new(&GraphBuilder::new(4).edge(0, 1).edge(1, 2).edge(2, 3).build())
+        GraphContext::new(
+            &GraphBuilder::new(4)
+                .edge(0, 1)
+                .edge(1, 2)
+                .edge(2, 3)
+                .build(),
+        )
     }
 
     #[test]
@@ -251,7 +340,11 @@ mod tests {
         l.b.value = Matrix::from_rows(&[&[1.0]]);
         let y = l.forward(&Matrix::from_rows(&[&[1.0, 1.0], &[0.0, 2.0]]));
         assert_eq!(y.col(0), vec![6.0, 7.0]);
-        assert_eq!(l.forward_inference(&Matrix::from_rows(&[&[1.0, 1.0]])).get(0, 0), 6.0);
+        assert_eq!(
+            l.forward_inference(&Matrix::from_rows(&[&[1.0, 1.0]]))
+                .get(0, 0),
+            6.0
+        );
     }
 
     #[test]

@@ -51,3 +51,7 @@ pub use model::{Backbone, Gnn, GnnConfig, GnnOutput};
 pub use optim::{Adam, Optimizer, Sgd};
 pub use param::Param;
 pub use sage::SageConv;
+
+// Re-exported so downstream crates can drive the `_ws` layer variants
+// without depending on fairwos-tensor directly.
+pub use fairwos_tensor::Workspace;

@@ -1,7 +1,7 @@
 //! Loss functions. Each returns `(loss_value, gradient_w.r.t._input)` so the
 //! trainer composes losses by summing gradients before the backward pass.
 
-use fairwos_tensor::Matrix;
+use fairwos_tensor::{Matrix, Workspace};
 
 /// Binary cross-entropy over sigmoid logits, averaged over `mask` rows
 /// (paper Eq. 10, with `mask` = the labeled training nodes `V_L`).
@@ -14,11 +14,41 @@ use fairwos_tensor::Matrix;
 /// # Panics
 /// If `logits` is not `N × 1`, `targets.len() != N`, or `mask` is empty.
 pub fn bce_with_logits_masked(logits: &Matrix, targets: &[f32], mask: &[usize]) -> (f32, Matrix) {
-    assert_eq!(logits.cols(), 1, "binary loss expects N×1 logits, got {:?}", logits.shape());
-    assert_eq!(logits.rows(), targets.len(), "logits rows vs targets length");
+    let mut grad = Matrix::zeros(logits.rows(), 1);
+    let loss = bce_core(logits, targets, mask, &mut grad);
+    (loss, grad)
+}
+
+/// [`bce_with_logits_masked`] with the gradient buffer drawn from `ws`.
+/// Numerically identical.
+///
+/// # Panics
+/// Same contract as [`bce_with_logits_masked`].
+pub fn bce_with_logits_masked_ws(
+    logits: &Matrix,
+    targets: &[f32],
+    mask: &[usize],
+    ws: &mut Workspace,
+) -> (f32, Matrix) {
+    let mut grad = ws.take(logits.rows(), 1);
+    let loss = bce_core(logits, targets, mask, &mut grad);
+    (loss, grad)
+}
+
+fn bce_core(logits: &Matrix, targets: &[f32], mask: &[usize], grad: &mut Matrix) -> f32 {
+    assert_eq!(
+        logits.cols(),
+        1,
+        "binary loss expects N×1 logits, got {:?}",
+        logits.shape()
+    );
+    assert_eq!(
+        logits.rows(),
+        targets.len(),
+        "logits rows vs targets length"
+    );
     assert!(!mask.is_empty(), "empty training mask");
     let inv = 1.0 / mask.len() as f32;
-    let mut grad = Matrix::zeros(logits.rows(), 1);
     let mut loss = 0.0f32;
     for &v in mask {
         let z = logits.get(v, 0);
@@ -28,7 +58,7 @@ pub fn bce_with_logits_masked(logits: &Matrix, targets: &[f32], mask: &[usize]) 
         let sigma = 1.0 / (1.0 + (-z).exp());
         grad.set(v, 0, (sigma - y) * inv);
     }
-    (loss * inv, grad)
+    loss * inv
 }
 
 /// Softmax cross-entropy averaged over `mask` rows (encoder pre-training,
@@ -41,12 +71,33 @@ pub fn softmax_cross_entropy_masked(
     labels: &[usize],
     mask: &[usize],
 ) -> (f32, Matrix) {
+    let mut grad = Matrix::zeros(logits.rows(), logits.cols());
+    let loss = softmax_ce_core(logits, labels, mask, &mut grad);
+    (loss, grad)
+}
+
+/// [`softmax_cross_entropy_masked`] with the gradient buffer drawn from
+/// `ws`. Numerically identical.
+///
+/// # Panics
+/// Same contract as [`softmax_cross_entropy_masked`].
+pub fn softmax_cross_entropy_masked_ws(
+    logits: &Matrix,
+    labels: &[usize],
+    mask: &[usize],
+    ws: &mut Workspace,
+) -> (f32, Matrix) {
+    let mut grad = ws.take(logits.rows(), logits.cols());
+    let loss = softmax_ce_core(logits, labels, mask, &mut grad);
+    (loss, grad)
+}
+
+fn softmax_ce_core(logits: &Matrix, labels: &[usize], mask: &[usize], grad: &mut Matrix) -> f32 {
     assert_eq!(logits.rows(), labels.len(), "logits rows vs labels length");
     assert!(!mask.is_empty(), "empty training mask");
     let c = logits.cols();
     let inv = 1.0 / mask.len() as f32;
     let log_probs = logits.log_softmax_rows();
-    let mut grad = Matrix::zeros(logits.rows(), c);
     let mut loss = 0.0f32;
     for &v in mask {
         let y = labels[v];
@@ -58,7 +109,7 @@ pub fn softmax_cross_entropy_masked(
             g[j] = (lp.exp() - if j == y { 1.0 } else { 0.0 }) * inv;
         }
     }
-    (loss * inv, grad)
+    loss * inv
 }
 
 /// Squared-L2 representation distance `‖a_rowᵢ − b_rowᵢ‖²` summed over the
@@ -73,7 +124,13 @@ pub fn softmax_cross_entropy_masked(
 /// # Panics
 /// If `a` and `b` have different column counts.
 pub fn weighted_sq_l2_rows(a: &Matrix, b: &Matrix, pairs: &[(usize, usize, f32)]) -> (f32, Matrix) {
-    assert_eq!(a.cols(), b.cols(), "embedding dims differ: {} vs {}", a.cols(), b.cols());
+    assert_eq!(
+        a.cols(),
+        b.cols(),
+        "embedding dims differ: {} vs {}",
+        a.cols(),
+        b.cols()
+    );
     let mut grad = Matrix::zeros(a.rows(), a.cols());
     let mut loss = 0.0f32;
     for &(i, j, w) in pairs {
@@ -87,6 +144,56 @@ pub fn weighted_sq_l2_rows(a: &Matrix, b: &Matrix, pairs: &[(usize, usize, f32)]
         }
     }
     (loss, grad)
+}
+
+/// [`weighted_sq_l2_rows`] with one shared weight `w` per pair, accumulating
+/// into a caller-provided gradient buffer instead of allocating one.
+///
+/// This is the steady-state form of the fairness regularizer: the trainer
+/// caches the per-attribute `(query, counterfactual)` pair lists once per
+/// search refresh (see `CounterfactualSets::flat_pairs` in fairwos-core) and
+/// folds every attribute into the same `grad` buffer with its own scalar
+/// weight, so no per-step pair or gradient allocation remains. For a fixed
+/// weight the per-element loss and gradient contributions — and their
+/// accumulation order — are identical to [`weighted_sq_l2_rows`] called with
+/// `(i, j, w)` triples in the same order.
+///
+/// # Panics
+/// If `a` and `b` have different column counts, or `grad`'s shape differs
+/// from `a`'s.
+pub fn weighted_sq_l2_rows_acc(
+    a: &Matrix,
+    b: &Matrix,
+    pairs: &[(usize, usize)],
+    w: f32,
+    grad: &mut Matrix,
+) -> f32 {
+    assert_eq!(
+        a.cols(),
+        b.cols(),
+        "embedding dims differ: {} vs {}",
+        a.cols(),
+        b.cols()
+    );
+    assert_eq!(
+        grad.shape(),
+        a.shape(),
+        "gradient buffer is {:?}, expected {:?}",
+        grad.shape(),
+        a.shape()
+    );
+    let mut loss = 0.0f32;
+    for &(i, j) in pairs {
+        let ra = a.row(i);
+        let rb = b.row(j);
+        let g = grad.row_mut(i);
+        for ((ga, &x), &y) in g.iter_mut().zip(ra).zip(rb) {
+            let d = x - y;
+            loss += w * d * d;
+            *ga += 2.0 * w * d;
+        }
+    }
+    loss
 }
 
 /// Elementwise sigmoid of an `N × 1` logits matrix — predictions `ŷ` for the
@@ -141,7 +248,11 @@ mod tests {
             let (lp, _) = bce_with_logits_masked(&zp, &targets, &mask);
             let (lm, _) = bce_with_logits_masked(&zm, &targets, &mask);
             let fd = (lp - lm) / (2.0 * eps);
-            assert!(approx_eq(fd, grad.get(v, 0), 1e-2), "node {v}: fd {fd} vs {}", grad.get(v, 0));
+            assert!(
+                approx_eq(fd, grad.get(v, 0), 1e-2),
+                "node {v}: fd {fd} vs {}",
+                grad.get(v, 0)
+            );
         }
     }
 
@@ -190,6 +301,41 @@ mod tests {
         let (loss, grad) = weighted_sq_l2_rows(&a, &a, &[(0, 0, 1.0), (1, 1, 0.5)]);
         assert_eq!(loss, 0.0);
         assert_eq!(grad.sum(), 0.0);
+    }
+
+    #[test]
+    fn weighted_sq_l2_acc_matches_triple_form_bitwise() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[0.25, -0.5], &[3.0, 0.1]]);
+        let b = Matrix::from_rows(&[&[0.0, 0.7], &[1.0, 1.0], &[-2.0, 0.4]]);
+        let w = 0.37f32;
+        let pairs = [(0usize, 1usize), (2, 0), (0, 2)];
+        let triples: Vec<(usize, usize, f32)> = pairs.iter().map(|&(i, j)| (i, j, w)).collect();
+        let (l_ref, g_ref) = weighted_sq_l2_rows(&a, &b, &triples);
+        let mut g = Matrix::zeros(3, 2);
+        let l = weighted_sq_l2_rows_acc(&a, &b, &pairs, w, &mut g);
+        assert_eq!(l, l_ref);
+        assert_eq!(g, g_ref);
+    }
+
+    #[test]
+    fn ws_loss_variants_match_allocating() {
+        let mut ws = Workspace::new();
+        let logits = Matrix::from_rows(&[&[0.3], &[-0.7], &[1.2]]);
+        let targets = [1.0, 0.0, 1.0];
+        let mask = [0usize, 1, 2];
+        let (l_ref, g_ref) = bce_with_logits_masked(&logits, &targets, &mask);
+        let (l, g) = bce_with_logits_masked_ws(&logits, &targets, &mask, &mut ws);
+        assert_eq!(l, l_ref);
+        assert_eq!(g, g_ref);
+
+        let z = Matrix::from_rows(&[&[1.0, 2.0, 0.5], &[0.0, 0.0, 0.0]]);
+        let labels = [1usize, 2usize];
+        let (l_ref, g_ref) = softmax_cross_entropy_masked(&z, &labels, &[0, 1]);
+        let (l, g2) = softmax_cross_entropy_masked_ws(&z, &labels, &[0, 1], &mut ws);
+        assert_eq!(l, l_ref);
+        assert_eq!(g2, g_ref);
+        ws.give(g);
+        ws.give(g2);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! classification head (paper Eq. 7–9).
 
 use crate::{Dropout, GatConv, GcnConv, GinConv, GraphContext, Linear, Param, Relu, SageConv};
-use fairwos_tensor::Matrix;
+use fairwos_tensor::{Matrix, Workspace};
 use rand::Rng;
 
 /// Which message-passing backbone to use. The paper evaluates both.
@@ -50,7 +50,13 @@ impl GnnConfig {
     /// The paper's default backbone configuration: 1 layer, 16 hidden units,
     /// no dropout.
     pub fn paper_default(backbone: Backbone, in_dim: usize) -> Self {
-        Self { backbone, in_dim, hidden_dim: 16, num_layers: 1, dropout: 0.0 }
+        Self {
+            backbone,
+            in_dim,
+            hidden_dim: 16,
+            num_layers: 1,
+            dropout: 0.0,
+        }
     }
 }
 
@@ -62,12 +68,12 @@ enum Conv {
 }
 
 impl Conv {
-    fn forward(&mut self, ctx: &GraphContext, x: &Matrix) -> Matrix {
+    fn forward_ws(&mut self, ctx: &GraphContext, x: &Matrix, ws: &mut Workspace) -> Matrix {
         match self {
-            Conv::Gcn(c) => c.forward(ctx, x),
-            Conv::Gin(c) => c.forward(ctx, x),
-            Conv::Sage(c) => c.forward(ctx, x),
-            Conv::Gat(c) => c.forward(ctx, x),
+            Conv::Gcn(c) => c.forward_ws(ctx, x, ws),
+            Conv::Gin(c) => c.forward_ws(ctx, x, ws),
+            Conv::Sage(c) => c.forward_ws(ctx, x, ws),
+            Conv::Gat(c) => c.forward_ws(ctx, x, ws),
         }
     }
 
@@ -80,12 +86,12 @@ impl Conv {
         }
     }
 
-    fn backward(&mut self, ctx: &GraphContext, dy: &Matrix) -> Matrix {
+    fn backward_ws(&mut self, ctx: &GraphContext, dy: &Matrix, ws: &mut Workspace) -> Matrix {
         match self {
-            Conv::Gcn(c) => c.backward(ctx, dy),
-            Conv::Gin(c) => c.backward(ctx, dy),
-            Conv::Sage(c) => c.backward(ctx, dy),
-            Conv::Gat(c) => c.backward(ctx, dy),
+            Conv::Gcn(c) => c.backward_ws(ctx, dy, ws),
+            Conv::Gin(c) => c.backward_ws(ctx, dy, ws),
+            Conv::Sage(c) => c.backward_ws(ctx, dy, ws),
+            Conv::Gat(c) => c.backward_ws(ctx, dy, ws),
         }
     }
 
@@ -148,11 +154,18 @@ impl Gnn {
     /// If `num_layers == 0` or any dimension is zero.
     pub fn new(config: GnnConfig, rng: &mut impl Rng) -> Self {
         assert!(config.num_layers >= 1, "need at least one conv layer");
-        assert!(config.in_dim >= 1 && config.hidden_dim >= 1, "zero-sized layer");
+        assert!(
+            config.in_dim >= 1 && config.hidden_dim >= 1,
+            "zero-sized layer"
+        );
         let mut convs = Vec::with_capacity(config.num_layers);
         let mut relus = Vec::with_capacity(config.num_layers);
         for l in 0..config.num_layers {
-            let in_dim = if l == 0 { config.in_dim } else { config.hidden_dim };
+            let in_dim = if l == 0 {
+                config.in_dim
+            } else {
+                config.hidden_dim
+            };
             convs.push(match config.backbone {
                 Backbone::Gcn => Conv::Gcn(GcnConv::new(in_dim, config.hidden_dim, rng)),
                 Backbone::Gin => Conv::Gin(GinConv::new(in_dim, config.hidden_dim, rng)),
@@ -163,7 +176,13 @@ impl Gnn {
         }
         let head = Linear::new(config.hidden_dim, 1, rng);
         let dropout = Dropout::new(config.dropout);
-        Self { config, convs, relus, dropout, head }
+        Self {
+            config,
+            convs,
+            relus,
+            dropout,
+            head,
+        }
     }
 
     /// The architecture this model was built with.
@@ -172,15 +191,47 @@ impl Gnn {
     }
 
     /// Training-mode forward pass (caches activations, samples dropout).
-    pub fn forward_train(&mut self, ctx: &GraphContext, x: &Matrix, rng: &mut impl Rng) -> GnnOutput {
+    pub fn forward_train(
+        &mut self,
+        ctx: &GraphContext,
+        x: &Matrix,
+        rng: &mut impl Rng,
+    ) -> GnnOutput {
+        self.forward_train_ws(ctx, x, rng, &mut Workspace::disposable())
+    }
+
+    /// [`Gnn::forward_train`] with every intermediate drawn from `ws`, so a
+    /// steady-state epoch allocates nothing. The returned [`GnnOutput`]'s
+    /// buffers also come from `ws` — hand them back with
+    /// [`Workspace::give`] once the epoch is done with them.
+    pub fn forward_train_ws(
+        &mut self,
+        ctx: &GraphContext,
+        x: &Matrix,
+        rng: &mut impl Rng,
+        ws: &mut Workspace,
+    ) -> GnnOutput {
         let _obs = fairwos_obs::span("nn/forward_train");
-        let mut h = x.clone();
+        let mut h: Option<Matrix> = None;
         for (conv, relu) in self.convs.iter_mut().zip(&mut self.relus) {
-            h = relu.forward(&conv.forward(ctx, &h));
+            let y = match h.as_ref() {
+                Some(prev) => conv.forward_ws(ctx, prev, ws),
+                None => conv.forward_ws(ctx, x, ws),
+            };
+            let a = relu.forward_ws(&y, ws);
+            ws.give(y);
+            if let Some(old) = h.replace(a) {
+                ws.give(old);
+            }
         }
-        let h_dropped = self.dropout.forward_train(&h, rng);
-        let logits = self.head.forward(&h_dropped);
-        GnnOutput { embeddings: h, logits }
+        let h = h.expect("at least one conv layer");
+        let h_dropped = self.dropout.forward_train_ws(&h, rng, ws);
+        let logits = self.head.forward_ws(&h_dropped, ws);
+        ws.give(h_dropped);
+        GnnOutput {
+            embeddings: h,
+            logits,
+        }
     }
 
     /// Inference forward pass (no caching, no dropout).
@@ -191,7 +242,10 @@ impl Gnn {
             h = conv.forward_inference(ctx, &h).map(|v| v.max(0.0));
         }
         let logits = self.head.forward_inference(&h);
-        GnnOutput { embeddings: h, logits }
+        GnnOutput {
+            embeddings: h,
+            logits,
+        }
     }
 
     /// Backward pass from the logits gradient, optionally adding a direct
@@ -199,16 +253,32 @@ impl Gnn {
     ///
     /// Must follow a `forward_train` call with the same `ctx`.
     pub fn backward(&mut self, ctx: &GraphContext, dlogits: &Matrix, dh_extra: Option<&Matrix>) {
+        self.backward_ws(ctx, dlogits, dh_extra, &mut Workspace::disposable());
+    }
+
+    /// [`Gnn::backward`] with every intermediate drawn from (and returned
+    /// to) `ws`. Numerically identical to the allocating path.
+    pub fn backward_ws(
+        &mut self,
+        ctx: &GraphContext,
+        dlogits: &Matrix,
+        dh_extra: Option<&Matrix>,
+        ws: &mut Workspace,
+    ) {
         let _obs = fairwos_obs::span("nn/backward");
-        let dh_head = self.head.backward(dlogits);
-        let mut dh = self.dropout.backward(&dh_head);
+        let dh_head = self.head.backward_ws(dlogits, ws);
+        let mut dh = self.dropout.backward_ws(&dh_head, ws);
+        ws.give(dh_head);
         if let Some(extra) = dh_extra {
             dh.add_assign(extra);
         }
         for (conv, relu) in self.convs.iter_mut().zip(&mut self.relus).rev() {
-            let d = relu.backward(&dh);
-            dh = conv.backward(ctx, &d);
+            let d = relu.backward_ws(&dh, ws);
+            let next = conv.backward_ws(ctx, &d, ws);
+            ws.give(d);
+            ws.give(std::mem::replace(&mut dh, next));
         }
+        ws.give(dh);
     }
 
     /// All trainable parameters (convs then head), in a stable order.
@@ -268,7 +338,14 @@ mod tests {
     use fairwos_tensor::seeded_rng;
 
     fn small_ctx() -> GraphContext {
-        GraphContext::new(&GraphBuilder::new(5).edge(0, 1).edge(1, 2).edge(2, 3).edge(3, 4).build())
+        GraphContext::new(
+            &GraphBuilder::new(5)
+                .edge(0, 1)
+                .edge(1, 2)
+                .edge(2, 3)
+                .edge(3, 4)
+                .build(),
+        )
     }
 
     #[test]
@@ -277,7 +354,13 @@ mod tests {
             let mut rng = seeded_rng(0);
             let ctx = small_ctx();
             let mut gnn = Gnn::new(
-                GnnConfig { backbone, in_dim: 3, hidden_dim: 8, num_layers: 2, dropout: 0.0 },
+                GnnConfig {
+                    backbone,
+                    in_dim: 3,
+                    hidden_dim: 8,
+                    num_layers: 2,
+                    dropout: 0.0,
+                },
                 &mut rng,
             );
             let x = Matrix::rand_uniform(5, 3, -1.0, 1.0, &mut rng);
@@ -350,14 +433,23 @@ mod tests {
         let g_extra = a.params_mut()[0].grad.clone();
 
         assert_eq!(g_plain.sum(), 0.0, "zero dlogits and no extra ⇒ zero grads");
-        assert!(g_extra.frobenius_norm() > 0.0, "extra gradient did not reach conv weights");
+        assert!(
+            g_extra.frobenius_norm() > 0.0,
+            "extra gradient did not reach conv weights"
+        );
     }
 
     #[test]
     fn weight_product_norm_positive() {
         let mut rng = seeded_rng(4);
         let gnn = Gnn::new(
-            GnnConfig { backbone: Backbone::Gcn, in_dim: 3, hidden_dim: 4, num_layers: 3, dropout: 0.0 },
+            GnnConfig {
+                backbone: Backbone::Gcn,
+                in_dim: 3,
+                hidden_dim: 4,
+                num_layers: 3,
+                dropout: 0.0,
+            },
             &mut rng,
         );
         assert!(gnn.weight_product_norm() > 0.0);
@@ -376,7 +468,13 @@ mod tests {
     fn zero_layers_rejected() {
         let mut rng = seeded_rng(6);
         let _ = Gnn::new(
-            GnnConfig { backbone: Backbone::Gcn, in_dim: 2, hidden_dim: 2, num_layers: 0, dropout: 0.0 },
+            GnnConfig {
+                backbone: Backbone::Gcn,
+                in_dim: 2,
+                hidden_dim: 2,
+                num_layers: 0,
+                dropout: 0.0,
+            },
             &mut rng,
         );
     }

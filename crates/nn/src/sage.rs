@@ -8,8 +8,9 @@
 //! standard spatial GNNs). The mean aggregator keeps activations at the
 //! same scale as GCN, unlike GIN's sums.
 
+use crate::layers::assign_cache;
 use crate::{GraphContext, Param};
-use fairwos_tensor::{glorot_uniform, Matrix};
+use fairwos_tensor::{glorot_uniform, Matrix, Workspace};
 use rand::Rng;
 
 /// Mean-aggregator GraphSAGE layer.
@@ -42,12 +43,25 @@ impl SageConv {
 
     /// `X·W_self + (M·X)·W_neigh + b`, caching both operands.
     pub fn forward(&mut self, ctx: &GraphContext, x: &Matrix) -> Matrix {
-        let mx = ctx.mean_adj().spmm(x);
-        let mut y = x.matmul(&self.w_self.value);
-        y.add_assign(&mx.matmul(&self.w_neigh.value));
+        self.forward_ws(ctx, x, &mut Workspace::disposable())
+    }
+
+    /// [`SageConv::forward`] with all buffers drawn from `ws`. The cached
+    /// `M·X` keeps its pooled buffer; the previous cache is recycled.
+    pub fn forward_ws(&mut self, ctx: &GraphContext, x: &Matrix, ws: &mut Workspace) -> Matrix {
+        let mut mx = ws.take(x.rows(), x.cols());
+        ctx.mean_adj().spmm_into(x, &mut mx);
+        let mut y = ws.take(x.rows(), self.w_self.value.cols());
+        x.matmul_into(&self.w_self.value, &mut y);
+        let mut t = ws.take(mx.rows(), self.w_neigh.value.cols());
+        mx.matmul_into(&self.w_neigh.value, &mut t);
+        y.add_assign(&t);
+        ws.give(t);
         y.add_row_broadcast(self.b.value.row(0));
-        self.cached_x = Some(x.clone());
-        self.cached_mx = Some(mx);
+        assign_cache(&mut self.cached_x, x);
+        if let Some(old) = self.cached_mx.replace(mx) {
+            ws.give(old);
+        }
         y
     }
 
@@ -65,20 +79,46 @@ impl SageConv {
     /// # Panics
     /// If called before `forward`.
     pub fn backward(&mut self, ctx: &GraphContext, dy: &Matrix) -> Matrix {
+        self.backward_ws(ctx, dy, &mut Workspace::disposable())
+    }
+
+    /// [`SageConv::backward`] with all buffers drawn from `ws`.
+    ///
+    /// # Panics
+    /// If called before a forward pass.
+    pub fn backward_ws(&mut self, ctx: &GraphContext, dy: &Matrix, ws: &mut Workspace) -> Matrix {
         // audit:allow(FW001): call-order contract documented under # Panics
-        let x = self.cached_x.as_ref().expect("SageConv::backward before forward");
+        let x = self
+            .cached_x
+            .as_ref()
+            .expect("SageConv::backward before forward");
         // audit:allow(FW001): call-order contract documented under # Panics
-        let mx = self.cached_mx.as_ref().expect("SageConv::backward before forward");
-        self.w_self.grad.add_assign(&x.matmul_tn(dy));
-        self.w_neigh.grad.add_assign(&mx.matmul_tn(dy));
+        let mx = self
+            .cached_mx
+            .as_ref()
+            .expect("SageConv::backward before forward");
+        // Both weight matrices are `in × out`, so one temporary serves both.
+        let mut dw = ws.take(x.cols(), dy.cols());
+        x.matmul_tn_into(dy, &mut dw);
+        self.w_self.grad.add_assign(&dw);
+        mx.matmul_tn_into(dy, &mut dw);
+        self.w_neigh.grad.add_assign(&dw);
+        ws.give(dw);
         let db = dy.col_sums();
         for (g, d) in self.b.grad.row_mut(0).iter_mut().zip(db) {
             *g += d;
         }
         // dX = dY·W_selfᵀ + Mᵀ·(dY·W_neighᵀ); M is NOT symmetric (row
         // normalization), so the transposed propagation matrix is explicit.
-        let mut dx = dy.matmul_nt(&self.w_self.value);
-        dx.add_assign(&ctx.mean_adj_t().spmm(&dy.matmul_nt(&self.w_neigh.value)));
+        let mut dx = ws.take(dy.rows(), self.w_self.value.rows());
+        dy.matmul_nt_into(&self.w_self.value, &mut dx);
+        let mut t = ws.take(dy.rows(), self.w_neigh.value.rows());
+        dy.matmul_nt_into(&self.w_neigh.value, &mut t);
+        let mut mt = ws.take(t.rows(), t.cols());
+        ctx.mean_adj_t().spmm_into(&t, &mut mt);
+        ws.give(t);
+        dx.add_assign(&mt);
+        ws.give(mt);
         dx
     }
 
@@ -102,7 +142,13 @@ mod tests {
     use fairwos_tensor::{approx_eq, seeded_rng};
 
     fn ctx() -> GraphContext {
-        GraphContext::new(&GraphBuilder::new(4).edge(0, 1).edge(1, 2).edge(2, 3).build())
+        GraphContext::new(
+            &GraphBuilder::new(4)
+                .edge(0, 1)
+                .edge(1, 2)
+                .edge(2, 3)
+                .build(),
+        )
     }
 
     #[test]
@@ -165,7 +211,12 @@ mod tests {
             let params = unsafe { &mut *conv_ptr }.params_mut();
             let p: &mut Param = params.into_iter().nth(pi).expect("param in range");
             let report = check_param_gradient(p, grad, loss_fn, 1e-2);
-            assert!(report.passes(2e-2), "param {pi}: abs {} rel {}", report.max_abs_err, report.max_rel_err);
+            assert!(
+                report.passes(2e-2),
+                "param {pi}: abs {} rel {}",
+                report.max_abs_err,
+                report.max_rel_err
+            );
         }
     }
 
@@ -189,8 +240,10 @@ mod tests {
                 up.set(v, j, x.get(v, j) + eps);
                 let mut dn = x.clone();
                 dn.set(v, j, x.get(v, j) - eps);
-                let lu = bce_with_logits_masked(&conv.forward_inference(&c, &up), &targets, &mask).0;
-                let ld = bce_with_logits_masked(&conv.forward_inference(&c, &dn), &targets, &mask).0;
+                let lu =
+                    bce_with_logits_masked(&conv.forward_inference(&c, &up), &targets, &mask).0;
+                let ld =
+                    bce_with_logits_masked(&conv.forward_inference(&c, &dn), &targets, &mask).0;
                 let fd = (lu - ld) / (2.0 * eps);
                 assert!(
                     approx_eq(fd, dx.get(v, j), 2e-2),

@@ -48,11 +48,13 @@ mod init;
 mod matmul;
 mod matrix;
 mod ops;
+mod pool;
 mod reduce;
 
 pub use init::{glorot_uniform, he_normal, seeded_rng};
 pub use matmul::{dot, sq_dist};
 pub use matrix::Matrix;
+pub use pool::Workspace;
 
 /// Tolerance-based float comparison used across the workspace's tests.
 ///

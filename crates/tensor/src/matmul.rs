@@ -34,11 +34,24 @@ fn saxpy(acc: &mut [f32], scale: f32, row: &[f32]) {
 }
 
 impl Matrix {
-    /// `self · other`.
+    /// `self · other`, allocating the output.
     ///
     /// # Panics
     /// If `self.cols() != other.rows()`.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows(), other.cols());
+        self.matmul_into(other, &mut out);
+        out
+    }
+
+    /// `self · other`, written into `out` (any previous contents of `out`
+    /// are overwritten). In-place twin of [`Matrix::matmul`] for
+    /// allocation-free hot loops.
+    ///
+    /// # Panics
+    /// If `self.cols() != other.rows()` or `out` is not
+    /// `self.rows() × other.cols()`.
+    pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.cols(),
             other.rows(),
@@ -48,12 +61,21 @@ impl Matrix {
             other.rows(),
             other.cols()
         );
+        assert_eq!(
+            out.shape(),
+            (self.rows(), other.cols()),
+            "matmul: output buffer is {}x{}, expected {}x{}",
+            out.rows(),
+            out.cols(),
+            self.rows(),
+            other.cols()
+        );
         contract_finite("matmul", "lhs", self);
         contract_finite("matmul", "rhs", other);
         let (m, k) = self.shape();
         let n = other.cols();
         fairwos_obs::counter_add("tensor/matmul/flops", 2 * (m * k * n) as u64);
-        let mut out = Matrix::zeros(m, n);
+        out.as_mut_slice().fill(0.0);
 
         let body = |(i, out_row): (usize, &mut [f32])| {
             let a_row = self.row(i);
@@ -65,12 +87,14 @@ impl Matrix {
         };
 
         if m * k * n >= PAR_THRESHOLD {
-            out.as_mut_slice().par_chunks_mut(n).enumerate().for_each(body);
+            out.as_mut_slice()
+                .par_chunks_mut(n)
+                .enumerate()
+                .for_each(body);
         } else {
             out.as_mut_slice().chunks_mut(n).enumerate().for_each(body);
         }
-        contract_finite("matmul", "output", &out);
-        out
+        contract_finite("matmul", "output", out);
     }
 
     /// `selfᵀ · other` without materialising the transpose.
@@ -81,6 +105,18 @@ impl Matrix {
     /// # Panics
     /// If `self.rows() != other.rows()`.
     pub fn matmul_tn(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.cols(), other.cols());
+        self.matmul_tn_into(other, &mut out);
+        out
+    }
+
+    /// `selfᵀ · other`, written into `out` (any previous contents of `out`
+    /// are overwritten). In-place twin of [`Matrix::matmul_tn`].
+    ///
+    /// # Panics
+    /// If `self.rows() != other.rows()` or `out` is not
+    /// `self.cols() × other.cols()`.
+    pub fn matmul_tn_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.rows(),
             other.rows(),
@@ -90,11 +126,21 @@ impl Matrix {
             other.rows(),
             other.cols()
         );
+        assert_eq!(
+            out.shape(),
+            (self.cols(), other.cols()),
+            "matmul_tn: output buffer is {}x{}, expected {}x{}",
+            out.rows(),
+            out.cols(),
+            self.cols(),
+            other.cols()
+        );
         contract_finite("matmul_tn", "lhs", self);
         contract_finite("matmul_tn", "rhs", other);
         let (n_samples, m) = self.shape();
         let n = other.cols();
         fairwos_obs::counter_add("tensor/matmul_tn/flops", 2 * (n_samples * m * n) as u64);
+        out.as_mut_slice().fill(0.0);
 
         // Accumulate per-chunk partial products then reduce: the output is
         // small, so the reduction is cheap and rows of both inputs stream.
@@ -103,7 +149,7 @@ impl Matrix {
         // identical for every thread count, keeping the whole training
         // pipeline bit-deterministic (pinned by `tests/determinism.rs`).
         let work = n_samples * m * n;
-        let out = if work >= PAR_THRESHOLD {
+        if work >= PAR_THRESHOLD {
             let partials: Vec<Vec<f32>> = (0..n_samples)
                 .into_par_iter()
                 .chunks(TN_CHUNK)
@@ -121,15 +167,12 @@ impl Matrix {
                     acc
                 })
                 .collect();
-            let mut out = Matrix::zeros(m, n);
             for p in partials {
                 for (o, v) in out.as_mut_slice().iter_mut().zip(p) {
                     *o += v;
                 }
             }
-            out
         } else {
-            let mut out = Matrix::zeros(m, n);
             for s in 0..n_samples {
                 let a_row = self.row(s);
                 let b_row = other.row(s);
@@ -139,10 +182,8 @@ impl Matrix {
                     }
                 }
             }
-            out
-        };
-        contract_finite("matmul_tn", "output", &out);
-        out
+        }
+        contract_finite("matmul_tn", "output", out);
     }
 
     /// `self · otherᵀ` without materialising the transpose.
@@ -154,6 +195,18 @@ impl Matrix {
     /// # Panics
     /// If `self.cols() != other.cols()`.
     pub fn matmul_nt(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows(), other.rows());
+        self.matmul_nt_into(other, &mut out);
+        out
+    }
+
+    /// `self · otherᵀ`, written into `out` (every element of `out` is
+    /// overwritten). In-place twin of [`Matrix::matmul_nt`].
+    ///
+    /// # Panics
+    /// If `self.cols() != other.cols()` or `out` is not
+    /// `self.rows() × other.rows()`.
+    pub fn matmul_nt_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.cols(),
             other.cols(),
@@ -163,14 +216,24 @@ impl Matrix {
             other.rows(),
             other.cols()
         );
+        assert_eq!(
+            out.shape(),
+            (self.rows(), other.rows()),
+            "matmul_nt: output buffer is {}x{}, expected {}x{}",
+            out.rows(),
+            out.cols(),
+            self.rows(),
+            other.rows()
+        );
         contract_finite("matmul_nt", "lhs", self);
         contract_finite("matmul_nt", "rhs", other);
         let m = self.rows();
         let n = other.rows();
         let k = self.cols();
         fairwos_obs::counter_add("tensor/matmul_nt/flops", 2 * (m * k * n) as u64);
-        let mut out = Matrix::zeros(m, n);
 
+        // Every element of `out` is assigned (a dot of possibly-empty rows
+        // is 0.0), so no zero-fill is needed here.
         let body = |(i, out_row): (usize, &mut [f32])| {
             let a_row = self.row(i);
             for (j, o) in out_row.iter_mut().enumerate() {
@@ -179,12 +242,14 @@ impl Matrix {
         };
 
         if m * k * n >= PAR_THRESHOLD {
-            out.as_mut_slice().par_chunks_mut(n).enumerate().for_each(body);
+            out.as_mut_slice()
+                .par_chunks_mut(n)
+                .enumerate()
+                .for_each(body);
         } else {
             out.as_mut_slice().chunks_mut(n).enumerate().for_each(body);
         }
-        contract_finite("matmul_nt", "output", &out);
-        out
+        contract_finite("matmul_nt", "output", out);
     }
 }
 
@@ -304,6 +369,49 @@ mod tests {
         let a = rand_matrix(12, 7, 10);
         let b = rand_matrix(9, 7, 11);
         assert_close(&a.matmul_nt(&b), &a.matmul(&b.transpose()));
+    }
+
+    #[test]
+    fn into_variants_overwrite_dirty_buffers() {
+        let a = rand_matrix(13, 9, 20);
+        let b = rand_matrix(9, 11, 21);
+        let mut out = Matrix::full(13, 11, f32::MAX);
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out, a.matmul(&b));
+
+        let c = rand_matrix(13, 7, 22);
+        let mut out_tn = Matrix::full(9, 7, -3.5);
+        a.matmul_tn_into(&c, &mut out_tn);
+        assert_eq!(out_tn, a.matmul_tn(&c));
+
+        let d = rand_matrix(5, 9, 23);
+        let mut out_nt = Matrix::full(13, 5, 42.0);
+        a.matmul_nt_into(&d, &mut out_nt);
+        assert_eq!(out_nt, a.matmul_nt(&d));
+    }
+
+    #[test]
+    fn into_variants_parallel_paths_match_allocating() {
+        let a = rand_matrix(80, 70, 24);
+        let b = rand_matrix(70, 60, 25);
+        let mut out = Matrix::full(80, 60, 1.0);
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out, a.matmul(&b));
+
+        let x = rand_matrix(400, 24, 26);
+        let y = rand_matrix(400, 16, 27);
+        let mut out_tn = Matrix::full(24, 16, 1.0);
+        x.matmul_tn_into(&y, &mut out_tn);
+        assert_eq!(out_tn, x.matmul_tn(&y));
+    }
+
+    #[test]
+    #[should_panic(expected = "output buffer")]
+    fn matmul_into_wrong_output_shape_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(3, 4);
+        let mut out = Matrix::zeros(2, 5);
+        a.matmul_into(&b, &mut out);
     }
 
     #[test]

@@ -1,0 +1,184 @@
+//! A reusable buffer pool for steady-state-allocation-free training loops.
+//!
+//! Every epoch of GNN training produces the same cast of intermediate
+//! matrices — activations, gradients, sparse-matmul outputs — whose shapes
+//! never change after the first iteration. [`Workspace`] keeps the backing
+//! `Vec<f32>` of each retired intermediate and hands it back out on the next
+//! request of a compatible size, so after a warm-up epoch the hot path stops
+//! touching the allocator entirely.
+//!
+//! # Contract
+//!
+//! * [`Workspace::take`] returns a matrix of the requested shape whose
+//!   elements are **all zero** — exactly the semantics of
+//!   [`Matrix::zeros`], so kernels that accumulate into their output
+//!   (`spmm_into`, gradient buffers) behave identically whether the buffer
+//!   is fresh or recycled.
+//! * [`Workspace::give`] returns a matrix's storage to the pool. Giving a
+//!   matrix that was not taken from the pool is fine — its buffer simply
+//!   joins the pool.
+//! * A [`Workspace::disposable`] pool never retains buffers: every `take`
+//!   is a fresh (obs-counted) allocation and every `give` is a drop. This
+//!   is the "allocating path" used to pin bit-identical numerics between
+//!   the pooled and non-pooled code paths in `tests/determinism.rs`.
+//!
+//! Buffer selection is best-fit by capacity and fully deterministic: pool
+//! state depends only on the program-order sequence of `take`/`give` calls,
+//! never on thread scheduling or addresses.
+
+use crate::Matrix;
+
+/// A deterministic best-fit pool of `Vec<f32>` buffers backing [`Matrix`]
+/// intermediates.
+///
+/// See the [module docs](self) for the zeroing and determinism contract.
+#[derive(Debug)]
+pub struct Workspace {
+    free: Vec<Vec<f32>>,
+    reuse: bool,
+}
+
+impl Default for Workspace {
+    /// Same as [`Workspace::new`]: a pooling workspace.
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Workspace {
+    /// A pooling workspace: retired buffers are kept and recycled.
+    pub fn new() -> Self {
+        Workspace {
+            free: Vec::new(),
+            reuse: true,
+        }
+    }
+
+    /// A non-pooling workspace: every [`take`](Self::take) allocates fresh
+    /// and every [`give`](Self::give) drops. Used by the legacy allocating
+    /// APIs and by determinism tests as the reference path.
+    pub fn disposable() -> Self {
+        Workspace {
+            free: Vec::new(),
+            reuse: false,
+        }
+    }
+
+    /// Whether this workspace recycles buffers.
+    pub fn reuses(&self) -> bool {
+        self.reuse
+    }
+
+    /// Number of idle buffers currently held by the pool.
+    pub fn idle_buffers(&self) -> usize {
+        self.free.len()
+    }
+
+    /// A zeroed `rows × cols` matrix, recycled from the pool when a buffer
+    /// of sufficient capacity is idle, freshly allocated otherwise.
+    ///
+    /// Recycled buffers are chosen best-fit (smallest sufficient capacity,
+    /// first such buffer on ties) so a small request never wastes a large
+    /// buffer that a later large request would then have to re-allocate.
+    pub fn take(&mut self, rows: usize, cols: usize) -> Matrix {
+        let need = rows * cols;
+        if self.reuse {
+            let mut best: Option<(usize, usize)> = None;
+            for (i, buf) in self.free.iter().enumerate() {
+                let cap = buf.capacity();
+                if cap >= need && best.map_or(true, |(_, c)| cap < c) {
+                    best = Some((i, cap));
+                    if cap == need {
+                        break;
+                    }
+                }
+            }
+            if let Some((i, _)) = best {
+                let mut buf = self.free.swap_remove(i);
+                buf.clear();
+                buf.resize(need, 0.0);
+                fairwos_obs::counter_add("tensor/pool/hits", 1);
+                fairwos_obs::counter_add("tensor/pool/recycled_bytes", 4 * need as u64);
+                return Matrix::from_vec(rows, cols, buf);
+            }
+            fairwos_obs::counter_add("tensor/pool/misses", 1);
+        }
+        Matrix::zeros(rows, cols)
+    }
+
+    /// Return `m`'s storage to the pool (or drop it for a disposable pool).
+    pub fn give(&mut self, m: Matrix) {
+        if self.reuse {
+            self.free.push(m.into_vec());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_returns_zeroed_matrix_of_requested_shape() {
+        let mut ws = Workspace::new();
+        let mut a = ws.take(3, 4);
+        assert_eq!(a.shape(), (3, 4));
+        assert!(a.as_slice().iter().all(|&v| v == 0.0));
+        // Dirty the buffer, recycle it, and check the next take is zeroed.
+        a.as_mut_slice().fill(7.0);
+        ws.give(a);
+        let b = ws.take(3, 4);
+        assert_eq!(b.shape(), (3, 4));
+        assert!(b.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn give_then_take_recycles_the_buffer() {
+        let mut ws = Workspace::new();
+        let a = ws.take(5, 5);
+        ws.give(a);
+        assert_eq!(ws.idle_buffers(), 1);
+        let _b = ws.take(5, 5);
+        assert_eq!(ws.idle_buffers(), 0);
+    }
+
+    #[test]
+    fn reshape_reuse_is_allowed_when_capacity_fits() {
+        let mut ws = Workspace::new();
+        let a = ws.take(4, 6);
+        ws.give(a);
+        // Different shape, same or smaller element count: recycled.
+        let b = ws.take(6, 4);
+        assert_eq!(b.shape(), (6, 4));
+        assert_eq!(ws.idle_buffers(), 0);
+        ws.give(b);
+        let c = ws.take(2, 3);
+        assert_eq!(c.shape(), (2, 3));
+        assert_eq!(ws.idle_buffers(), 0);
+    }
+
+    #[test]
+    fn best_fit_prefers_smallest_sufficient_buffer() {
+        let mut ws = Workspace::new();
+        let big = ws.take(10, 10);
+        let small = ws.take(2, 2);
+        ws.give(big);
+        ws.give(small);
+        // A 2x2 request must take the 4-element buffer, not the 100-element one.
+        let got = ws.take(2, 2);
+        assert_eq!(got.len(), 4);
+        assert_eq!(ws.idle_buffers(), 1);
+        let remaining = ws.take(10, 10);
+        assert_eq!(remaining.len(), 100);
+        assert_eq!(ws.idle_buffers(), 0);
+    }
+
+    #[test]
+    fn disposable_pool_never_retains() {
+        let mut ws = Workspace::disposable();
+        assert!(!ws.reuses());
+        let a = ws.take(3, 3);
+        ws.give(a);
+        assert_eq!(ws.idle_buffers(), 0);
+    }
+}

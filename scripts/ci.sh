@@ -26,6 +26,9 @@ echo "==> instrumented bench smoke run (results/bench_pipeline.json)"
 cargo run --release -p fairwos-bench --features obs --bin exp_table2 -- --scale 0.02 --runs 1
 test -s results/bench_pipeline.json
 
+echo "==> bench wall-clock regression gate (results/bench_baseline.json)"
+cargo run --release -p fairwos-bench --bin bench_check
+
 echo "==> fairwos-audit lint"
 cargo run --release -p fairwos-audit -- lint
 

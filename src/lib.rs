@@ -63,7 +63,9 @@ pub use fairwos_nn as nn;
 pub use fairwos_obs as obs;
 pub use fairwos_tensor as tensor;
 
-pub use fairwos_core::{FairMethod, FairwosConfig, FairwosTrainer, TrainInput, TrainedFairwos};
+pub use fairwos_core::{
+    FairMethod, FairwosConfig, FairwosTrainer, TrainInput, TrainedFairwos, TrainerWorkspace,
+};
 pub use fairwos_datasets::{DatasetSpec, FairGraphDataset};
 pub use fairwos_fairness::EvalReport;
 pub use fairwos_nn::Backbone;
@@ -73,7 +75,7 @@ pub use fairwos_tensor::Matrix;
 pub mod prelude {
     pub use crate::baselines::{FairGkd, FairRF, KSmote, RemoveR, Vanilla};
     pub use crate::core::{
-        FairMethod, FairwosConfig, FairwosTrainer, TrainInput, TrainedFairwos,
+        FairMethod, FairwosConfig, FairwosTrainer, TrainInput, TrainedFairwos, TrainerWorkspace,
     };
     pub use crate::datasets::{DatasetSpec, DatasetStats, FairGraphDataset, Split};
     pub use crate::fairness::{accuracy, delta_eo, delta_sp, EvalReport, MeanStd, RunAggregator};

@@ -1,0 +1,85 @@
+//! Steady-state allocation budget for the training hot path.
+//!
+//! The `tensor/alloc/bytes` counter (armed by the `obs` feature) measures
+//! every `Matrix` allocation that goes through the `Matrix::full` funnel —
+//! i.e. every `zeros`/`ones`/`full` call, including the ones a cold
+//! `Workspace` pool falls back to. After the warm-up epochs have populated
+//! the pool, a steady-state fine-tuning epoch should draw **all** of its
+//! activation/gradient buffers from the pool and allocate (essentially)
+//! nothing.
+//!
+//! Measuring "bytes per steady epoch" directly is impossible from outside
+//! the trainer, so the test runs the pipeline twice with the same seed,
+//! identical in every knob except `finetune_epochs` (3 vs 8). Stages 1–2
+//! and the first 3 fine-tuning epochs are bit-identical between the runs,
+//! so the difference of the two `tensor/alloc/bytes` totals is exactly the
+//! allocation cost of the 5 extra steady-state epochs.
+//!
+//! This binary holds only this test: the obs registry is process-global,
+//! and Rust runs tests within one binary concurrently — any other obs-reset
+//! test in the same binary would race the counters.
+
+use fairwos::obs;
+use fairwos::prelude::*;
+
+fn config(finetune_epochs: usize) -> FairwosConfig {
+    FairwosConfig {
+        encoder_epochs: 30,
+        classifier_epochs: 40,
+        finetune_epochs,
+        learning_rate: 0.01,
+        patience: 20,
+        encoder_dim: 8,
+        alpha: 0.5,
+        ..FairwosConfig::paper_default(Backbone::Gcn)
+    }
+}
+
+/// Runs a full fit and returns the `tensor/alloc/bytes` total it produced.
+fn alloc_bytes_of_fit(ds: &FairGraphDataset, finetune_epochs: usize, seed: u64) -> u64 {
+    let input = TrainInput {
+        graph: &ds.graph,
+        features: &ds.features,
+        labels: &ds.labels,
+        train: &ds.split.train,
+        val: &ds.split.val,
+    };
+    obs::reset();
+    let _ = FairwosTrainer::new(config(finetune_epochs)).fit(&input, seed);
+    let metrics = obs::RunMetrics::capture("Fairwos", "alloc-budget", "GCN", seed, 0.0);
+    metrics
+        .counters
+        .iter()
+        .find(|c| c.label == "tensor/alloc/bytes")
+        .map_or(0, |c| c.total)
+}
+
+#[test]
+fn steady_state_epochs_stay_within_alloc_budget() {
+    if !obs::is_enabled() {
+        eprintln!("alloc_budget: skipped (build without the `obs` feature)");
+        return;
+    }
+    let ds = FairGraphDataset::generate(&DatasetSpec::nba().scaled(0.4), 5);
+    let short = alloc_bytes_of_fit(&ds, 3, 7);
+    let long = alloc_bytes_of_fit(&ds, 8, 7);
+    assert!(
+        long >= short,
+        "longer run allocated less ({long} < {short}); the runs are not comparable"
+    );
+    // 5 extra steady-state epochs. The budget is absolute, not relative:
+    // a single un-pooled N×hidden activation (~160 nodes × 16 floats × 4
+    // bytes ≈ 10 KiB) re-allocated per epoch would blow through it.
+    let steady = long - short;
+    const BUDGET: u64 = 64 * 1024;
+    assert!(
+        steady <= BUDGET,
+        "5 steady-state fine-tuning epochs allocated {steady} bytes \
+         (budget {BUDGET}); a hot-path buffer is no longer drawn from the \
+         workspace pool"
+    );
+
+    // Sanity: the pipeline as a whole does allocate (warm-up, weights,
+    // dataset-independent buffers) — the counter itself is live.
+    assert!(short > 0, "tensor/alloc/bytes counter recorded nothing");
+}

@@ -77,6 +77,55 @@ fn same_seed_is_bit_identical() {
 }
 
 #[test]
+fn buffer_reuse_matches_allocating_path() {
+    // `fit` draws every hot-path buffer from a pooling `TrainerWorkspace`;
+    // `fit_with(…, TrainerWorkspace::disposable())` allocates fresh buffers
+    // for every request. The two must be byte-for-byte the same model —
+    // recycled buffers are zeroed on `take`, so the kernels cannot observe
+    // stale contents. (Thread-count independence of the pooled path is
+    // covered by `thread_count_does_not_change_results`, whose `run_pipeline`
+    // uses the pooled `fit`.)
+    let ds = dataset();
+    let input = TrainInput {
+        graph: &ds.graph,
+        features: &ds.features,
+        labels: &ds.labels,
+        train: &ds.split.train,
+        val: &ds.split.val,
+    };
+    let trainer = FairwosTrainer::new(config());
+    let pooled = trainer.fit(&input, 42);
+    let mut tws = TrainerWorkspace::disposable();
+    let allocating = trainer.fit_with(&input, 42, &mut tws);
+
+    let probs_pooled = pooled.predict_probs();
+    let probs_alloc = allocating.predict_probs();
+    assert_eq!(
+        probs_pooled, probs_alloc,
+        "pooled and allocating fits diverged"
+    );
+
+    let eval = |probs: &[f32]| {
+        let test_probs: Vec<f32> = ds.split.test.iter().map(|&v| probs[v]).collect();
+        EvalReport::compute(
+            &test_probs,
+            &ds.labels_of(&ds.split.test),
+            &ds.sensitive_of(&ds.split.test),
+        )
+    };
+    assert_eq!(
+        report_bits(&eval(&probs_pooled)),
+        report_bits(&eval(&probs_alloc)),
+        "pooled and allocating fits diverged in the evaluation report"
+    );
+    assert_eq!(
+        pooled.lambda(),
+        allocating.lambda(),
+        "λ diverged between buffer paths"
+    );
+}
+
+#[test]
 fn different_seeds_actually_differ() {
     // Guards the test above against vacuous passes (e.g. a seed that is
     // silently ignored would make every run "deterministic").

@@ -1,0 +1,117 @@
+//! Property test pinning the bounded-heap counterfactual top-K selection to
+//! the full-argsort reference it replaced.
+//!
+//! `search_topk` used to argsort every query's distance row; it now keeps a
+//! per-attribute max-heap bounded at K (`O(C·I·log K)` instead of
+//! `O(C log C)`) and computes distances lazily. The contract is exact: for
+//! any embeddings, pseudo-labels, sensitive bits and candidate pool, the
+//! heap must return the *same node lists in the same order* as a stable
+//! argsort by `f32::total_cmp` followed by the per-attribute bit filter —
+//! including the tie case, where the stable sort keeps candidates in pool
+//! order. Embedding coordinates are drawn from a small quantized set so
+//! exact distance ties occur constantly rather than almost never.
+
+use fairwos::core::counterfactual::{search_topk, SearchSpace};
+use fairwos::tensor::{sq_dist, Matrix};
+use proptest::prelude::*;
+
+/// The old implementation, kept verbatim as the executable specification.
+fn argsort_reference(
+    emb: &Matrix,
+    labels: &[bool],
+    bits: &[Vec<bool>],
+    candidates: &[usize],
+    q: usize,
+    k: usize,
+) -> Vec<Vec<usize>> {
+    let num_attrs = bits.first().map_or(0, Vec::len);
+    let order: Vec<usize> = candidates
+        .iter()
+        .copied()
+        .filter(|&u| u != q && labels[u] == labels[q])
+        .collect();
+    let dists: Vec<f32> = order
+        .iter()
+        .map(|&u| sq_dist(emb.row(q), emb.row(u)))
+        .collect();
+    let mut idx: Vec<usize> = (0..order.len()).collect();
+    idx.sort_by(|&a, &b| dists[a].total_cmp(&dists[b]));
+    let sorted: Vec<usize> = idx.into_iter().map(|i| order[i]).collect();
+    (0..num_attrs)
+        .map(|attr| {
+            sorted
+                .iter()
+                .copied()
+                .filter(|&u| bits[u][attr] != bits[q][attr])
+                .take(k)
+                .collect()
+        })
+        .collect()
+}
+
+/// One random search instance: quantized embeddings (for ties), labels,
+/// bits, and a candidate subset.
+#[derive(Debug)]
+struct Instance {
+    emb: Vec<Vec<f32>>,
+    labels: Vec<bool>,
+    bits: Vec<Vec<bool>>,
+    candidates: Vec<usize>,
+    k: usize,
+}
+
+fn instance() -> impl Strategy<Value = Instance> {
+    (2usize..24, 1usize..4, 1usize..4).prop_flat_map(|(n, h, attrs)| {
+        let coord = prop::sample::select(vec![0.0f32, 0.5, 1.0, 2.0]);
+        (
+            prop::collection::vec(prop::collection::vec(coord, h), n),
+            prop::collection::vec(any::<bool>(), n),
+            prop::collection::vec(prop::collection::vec(any::<bool>(), attrs), n),
+            prop::collection::vec(any::<bool>(), n),
+            1usize..5,
+        )
+            .prop_map(|(emb, labels, bits, in_pool, k)| Instance {
+                emb,
+                labels,
+                bits,
+                candidates: in_pool
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, &keep)| keep.then_some(i))
+                    .collect(),
+                k,
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn heap_selection_matches_argsort_reference(inst in instance()) {
+        let rows: Vec<&[f32]> = inst.emb.iter().map(Vec::as_slice).collect();
+        let emb = Matrix::from_rows(&rows);
+        let queries: Vec<usize> = (0..inst.emb.len()).collect();
+        let space = SearchSpace {
+            embeddings: &emb,
+            pseudo_labels: &inst.labels,
+            pseudo_sensitive: &inst.bits,
+            candidates: &inst.candidates,
+        };
+        let sets = search_topk(&space, &queries, inst.k);
+        for (q_idx, &q) in queries.iter().enumerate() {
+            let expect =
+                argsort_reference(&emb, &inst.labels, &inst.bits, &inst.candidates, q, inst.k);
+            for (attr, expect_attr) in expect.iter().enumerate() {
+                prop_assert_eq!(
+                    &sets.for_attr(attr)[q_idx],
+                    expect_attr,
+                    "query {} attribute {} k {}",
+                    q,
+                    attr,
+                    inst.k
+                );
+            }
+        }
+    }
+}
