@@ -3,7 +3,7 @@
 //! Two subcommands (see `src/main.rs`):
 //!
 //! * `lint` — walks every `crates/*/src` tree and enforces the numerics and
-//!   panic-hygiene contracts (FW001–FW004) described in
+//!   panic-hygiene contracts (FW001–FW005) described in
 //!   `docs/INVARIANTS.md`, emitting a JSON report and a nonzero exit code on
 //!   violation. The lint engine is pure `std` so it can be compiled and run
 //!   in isolation.
@@ -16,5 +16,5 @@
 
 /// Finite-difference gradient sweep across every differentiable block.
 pub mod gradients;
-/// The FW001–FW004 static lints over the workspace source tree.
+/// The FW001–FW005 static lints over the workspace source tree.
 pub mod lints;

@@ -16,9 +16,14 @@
 // * FW004 — functions that index the raw `Matrix` buffer
 //   (`as_slice()[` / `as_mut_slice()[`) must state a shape assertion in the
 //   same function body.
+// * FW005 — no wall-clock reads (`Instant::now()` / `SystemTime::now()`)
+//   outside crates/obs (the journal's single time source) and crates/bench
+//   (wall-clock measurement is its job). Scattered clock reads make runs
+//   non-reproducible and bypass the journal's one anchored epoch.
 //
-// Suppression: a line, or the comment/attribute block directly above an item,
-// may carry `audit:allow(FWxxx): reason` to silence one lint at that site.
+// Suppression: a line, an earlier line of the same statement, or the
+// comment/attribute block directly above an item may carry
+// `audit:allow(FWxxx): reason` to silence one lint at that site.
 
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -29,6 +34,7 @@ pub const LINTS: &[(&str, &str)] = &[
     ("FW002", "public functions invoking panic/assert macros directly must document # Panics"),
     ("FW003", "backward functions in fairwos-nn/fairwos-core need a gradient-check site"),
     ("FW004", "raw Matrix buffer indexing requires a shape assertion in the same function"),
+    ("FW005", "no Instant::now()/SystemTime::now() outside crates/obs and crates/bench"),
 ];
 
 /// Path fragments excluded from every lint: binary targets and the
@@ -37,6 +43,11 @@ const PATH_ALLOWLIST: &[&str] = &["crates/bench/", "/src/bin/"];
 
 /// Crate roots whose `backward*` functions FW003 applies to.
 const FW003_ROOTS: &[&str] = &["crates/nn/src", "crates/core/src"];
+
+/// Roots where FW005 permits wall-clock reads: the observability layer owns
+/// the process's single time anchor. (`crates/bench/` is already outside the
+/// scan via [`PATH_ALLOWLIST`].)
+const FW005_ALLOWED_ROOTS: &[&str] = &["crates/obs/"];
 
 /// A file counts as a gradient-check site when its raw text contains one of
 /// these markers.
@@ -170,6 +181,7 @@ pub fn run_lints(root: &Path) -> Result<LintReport, String> {
         lint_fw002(fa, &mut violations);
         lint_fw003(fa, &site_text, &mut violations);
         lint_fw004(fa, &mut violations);
+        lint_fw005(fa, &mut violations);
     }
     violations.sort_by(|a, b| {
         (&a.file, a.line, &a.lint).cmp(&(&b.file, b.line, &b.lint))
@@ -727,13 +739,23 @@ fn analyze_file(rel: &str, src: &str) -> FileAnalysis {
 // The lints themselves.
 // ---------------------------------------------------------------------------
 
+/// True when `line` (1-based) carries an `audit:allow(lint)` marker, either
+/// on the line itself or anywhere above it within the same statement. The
+/// upward scan stops once a masked line ends the previous statement (`;`,
+/// `{`, or `}`), so a marker placed above a statement stays effective even
+/// after rustfmt wraps the flagged token onto a later line.
 fn line_allows(fa: &FileAnalysis, line: usize, lint: &str) -> bool {
     let mut allowed = Vec::new();
     if line >= 1 && line <= fa.original_lines.len() {
         parse_allows(&fa.original_lines[line - 1], &mut allowed);
     }
-    if line >= 2 {
-        parse_allows(&fa.original_lines[line - 2], &mut allowed);
+    let floor = line.saturating_sub(16).max(1);
+    for l in (floor..line).rev() {
+        parse_allows(&fa.original_lines[l - 1], &mut allowed);
+        let masked = fa.masked_lines.get(l - 1).map_or("", |s| s.trim_end());
+        if masked.ends_with([';', '{', '}']) {
+            break;
+        }
     }
     allowed.iter().any(|a| a == lint)
 }
@@ -872,6 +894,34 @@ fn lint_fw004(fa: &FileAnalysis, out: &mut Vec<Violation>) {
                     f.name
                 ),
             });
+        }
+    }
+}
+
+/// FW005: wall-clock reads outside the observability layer. The journal
+/// anchors one process-wide `Instant` so every timestamp is comparable;
+/// every other crate must stay clock-free for reproducibility.
+fn lint_fw005(fa: &FileAnalysis, out: &mut Vec<Violation>) {
+    if FW005_ALLOWED_ROOTS.iter().any(|r| fa.rel.starts_with(r)) {
+        return;
+    }
+    for (idx, masked) in fa.masked_lines.iter().enumerate() {
+        let line = idx + 1;
+        if *fa.test_line.get(line).unwrap_or(&false) {
+            continue;
+        }
+        for pattern in ["Instant::now", "SystemTime::now"] {
+            if masked.contains(pattern) && !line_allows(fa, line, "FW005") {
+                out.push(Violation {
+                    lint: "FW005".to_string(),
+                    file: fa.rel.clone(),
+                    line,
+                    message: format!(
+                        "`{pattern}()` outside crates/obs; route timing through \
+                         fairwos_obs::span or add `audit:allow(FW005): reason`"
+                    ),
+                });
+            }
         }
     }
 }

@@ -13,8 +13,14 @@ struct ScratchTree {
 
 impl ScratchTree {
     fn new(tag: &str, source: &str) -> Self {
+        Self::in_crate(tag, "demo", source)
+    }
+
+    /// Like [`ScratchTree::new`] but with a chosen crate directory name, so
+    /// tests can exercise path-scoped lints (e.g. FW005's crates/obs carve-out).
+    fn in_crate(tag: &str, krate: &str, source: &str) -> Self {
         let root = std::env::temp_dir().join(format!("fairwos_audit_test_{tag}"));
-        let src = root.join("crates").join("demo").join("src");
+        let src = root.join("crates").join(krate).join("src");
         fs::create_dir_all(&src).expect("create scratch tree");
         fs::write(src.join("lib.rs"), source).expect("write scratch source");
         Self { root }
@@ -74,6 +80,65 @@ fn seeded_undocumented_panic_is_detected() {
     assert!(
         report.violations.iter().any(|v| v.lint == "FW002"),
         "expected an FW002 violation, got {:?}",
+        report.violations
+    );
+}
+
+#[test]
+fn seeded_wall_clock_read_is_detected() {
+    let tree = ScratchTree::new(
+        "fw005",
+        "/// Doc.\npub fn f() -> std::time::Instant {\n    std::time::Instant::now()\n}\n",
+    );
+    let report = run_lints(tree.path()).expect("lint run succeeds");
+    assert!(
+        report.violations.iter().any(|v| v.lint == "FW005" && v.line == 3),
+        "expected an FW005 violation at line 3, got {:?}",
+        report.violations
+    );
+}
+
+#[test]
+fn wall_clock_read_is_allowed_inside_obs() {
+    let tree = ScratchTree::in_crate(
+        "fw005_obs",
+        "obs",
+        "/// Doc.\npub fn f() -> std::time::Instant {\n    std::time::Instant::now()\n}\n",
+    );
+    let report = run_lints(tree.path()).expect("lint run succeeds");
+    assert!(
+        !report.violations.iter().any(|v| v.lint == "FW005"),
+        "crates/obs must be exempt from FW005, got {:?}",
+        report.violations
+    );
+}
+
+#[test]
+fn annotated_wall_clock_read_is_suppressed() {
+    let tree = ScratchTree::new(
+        "fw005_allow",
+        "/// Doc.\npub fn f() -> std::time::Instant {\n    // audit:allow(FW005): deliberate test fixture\n    std::time::Instant::now()\n}\n",
+    );
+    let report = run_lints(tree.path()).expect("lint run succeeds");
+    assert!(
+        !report.violations.iter().any(|v| v.lint == "FW005"),
+        "audit:allow(FW005) must suppress the lint, got {:?}",
+        report.violations
+    );
+}
+
+#[test]
+fn allow_marker_covers_a_rustfmt_wrapped_statement() {
+    // The flagged token lands several lines below the marker once rustfmt
+    // wraps the method chain; the marker must still suppress it.
+    let tree = ScratchTree::new(
+        "fw001_wrapped",
+        "/// Doc.\npub fn f(x: Option<u32>) -> u32 {\n    // audit:allow(FW001): fixture\n    let y = x\n        .as_ref()\n        .unwrap();\n    *y\n}\n",
+    );
+    let report = run_lints(tree.path()).expect("lint run succeeds");
+    assert!(
+        !report.violations.iter().any(|v| v.lint == "FW001"),
+        "marker above a wrapped statement must suppress FW001, got {:?}",
         report.violations
     );
 }

@@ -60,7 +60,9 @@ fn main() {
             let cfg = FairwosConfig { counterfactual: strategy, ..fairwos_config(Backbone::Gcn) };
             let mut agg = RunAggregator::new();
             for r in 0..args.runs {
-                let trained = FairwosTrainer::new(cfg.clone()).fit(&input, args.seed + r as u64);
+                let trained = FairwosTrainer::new(cfg.clone())
+                    .fit(&input, args.seed + r as u64)
+                    .expect("training diverged");
                 let probs = trained.predict_probs();
                 let tp: Vec<f32> = ds.split.test.iter().map(|&v| probs[v]).collect();
                 let report = EvalReport::compute(

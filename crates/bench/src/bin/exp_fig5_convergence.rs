@@ -1,0 +1,120 @@
+//! **Convergence trace** — one fully instrumented Fairwos fit on the NBA
+//! benchmark, exporting the event timeline and the per-epoch training
+//! telemetry the paper's convergence plots are drawn from:
+//!
+//! * `results/trace.json` — Chrome-trace timeline of every stage, epoch,
+//!   and kernel-counter snapshot. Load it in `ui.perfetto.dev`.
+//! * `results/telemetry.jsonl` — one JSON line per stage-2/stage-3 epoch
+//!   (loss components, λ, gradient norm, counter deltas, and the
+//!   test-split ACC/F1/ΔSP/ΔEO series at each `eval_interval` epoch).
+//!
+//! Both artifacts are only written when the workspace is built with the
+//! `obs` feature; without it the binary still runs the fit and prints the
+//! convergence table, but the journal is empty and the counter columns are
+//! zero. Validate the artifacts afterwards with the `trace_check` binary.
+
+use fairwos_bench::harness::fairwos_config;
+use fairwos_bench::{write_trace_artifact, Args, TELEMETRY_PATH, TRACE_PATH};
+use fairwos_core::{FairwosTrainer, TelemetryEval, TrainInput, TrainProbe, TrainerWorkspace};
+use fairwos_datasets::{DatasetSpec, FairGraphDataset};
+use fairwos_nn::Backbone;
+use fairwos_obs::TelemetrySink;
+use serde::Serialize;
+use std::path::Path;
+use std::process::exit;
+
+/// One stage-3 row of the `--out` JSON log (the telemetry JSONL holds the
+/// full record; this is just the convergence series the table prints).
+#[derive(Serialize)]
+struct ConvergencePoint {
+    epoch: u64,
+    loss_cls: f64,
+    loss_inv: f64,
+    accuracy: Option<f64>,
+    delta_sp: Option<f64>,
+    delta_eo: Option<f64>,
+}
+
+fn main() {
+    let args = Args::parse(0.3, 1);
+    let spec = DatasetSpec::nba().scaled(args.scale);
+    let ds = FairGraphDataset::generate(&spec, args.seed);
+    println!(
+        "Convergence trace: Fairwos on {} ({} nodes, seed {})",
+        spec.name,
+        ds.graph.num_nodes(),
+        args.seed
+    );
+
+    fairwos_obs::reset();
+    let input = TrainInput {
+        graph: &ds.graph,
+        features: &ds.features,
+        labels: &ds.labels,
+        train: &ds.split.train,
+        val: &ds.split.val,
+    };
+    let test_sens = ds.sensitive_of(&ds.split.test);
+    let mut sink = TelemetrySink::new();
+    let mut probe = TrainProbe {
+        telemetry: Some(&mut sink),
+        eval: Some(TelemetryEval { nodes: &ds.split.test, sens: &test_sens }),
+    };
+    let trainer = FairwosTrainer::new(fairwos_config(Backbone::Gcn));
+    let trained = trainer
+        .fit_observed(&input, args.seed, &mut TrainerWorkspace::new(), &mut probe)
+        .unwrap_or_else(|e| {
+            eprintln!("{e}");
+            exit(1);
+        });
+
+    println!("λ = {:?}", trained.lambda());
+    println!("stage 3 fine-tuning (eval on the {}-node test split):", ds.split.test.len());
+    println!(
+        "{:>5} | {:>9} | {:>9} | {:>7} | {:>7} | {:>7}",
+        "epoch", "loss_cls", "loss_inv", "ACC", "ΔSP", "ΔEO"
+    );
+    for r in sink.records().iter().filter(|r| r.stage == 3) {
+        let (acc, dsp, deo) = r
+            .eval
+            .map(|ev| {
+                (
+                    format!("{:.3}", ev.accuracy),
+                    format!("{:.3}", ev.delta_sp),
+                    format!("{:.3}", ev.delta_eo),
+                )
+            })
+            .unwrap_or_else(|| ("-".into(), "-".into(), "-".into()));
+        println!(
+            "{:>5} | {:>9.4} | {:>9.4} | {:>7} | {:>7} | {:>7}",
+            r.epoch, r.loss_cls, r.loss_inv, acc, dsp, deo
+        );
+    }
+
+    let series: Vec<ConvergencePoint> = sink
+        .records()
+        .iter()
+        .filter(|r| r.stage == 3)
+        .map(|r| ConvergencePoint {
+            epoch: r.epoch,
+            loss_cls: r.loss_cls,
+            loss_inv: r.loss_inv,
+            accuracy: r.eval.map(|ev| ev.accuracy),
+            delta_sp: r.eval.map(|ev| ev.delta_sp),
+            delta_eo: r.eval.map(|ev| ev.delta_eo),
+        })
+        .collect();
+    args.write_out(&series);
+
+    match sink.write_jsonl(Path::new(TELEMETRY_PATH)) {
+        Ok(()) => eprintln!("wrote {TELEMETRY_PATH} ({} records)", sink.len()),
+        Err(e) => eprintln!("warning: could not write {TELEMETRY_PATH}: {e}"),
+    }
+    write_trace_artifact();
+    if !fairwos_obs::is_enabled() {
+        eprintln!(
+            "note: built without the `obs` feature — {TRACE_PATH} was not written \
+             and the counter columns are empty. Rebuild with --features obs."
+        );
+    }
+}

@@ -40,7 +40,9 @@ fn main() {
             train: &ds.split.train,
             val: &ds.split.val,
         };
-        let trained = FairwosTrainer::new(fairwos_config(Backbone::Gcn)).fit(&input, args.seed);
+        let trained = FairwosTrainer::new(fairwos_config(Backbone::Gcn))
+            .fit(&input, args.seed)
+            .expect("training diverged");
         let x0 = trained.pseudo_sensitive_attributes().select_rows(&ds.split.test);
         let sens = ds.sensitive_of(&ds.split.test);
         let labels: Vec<usize> = sens.iter().map(|&s| s as usize).collect();

@@ -1,0 +1,188 @@
+//! Artifact gate over the instrumented convergence run: validates the
+//! Chrome trace (`results/trace.json`) and the training telemetry
+//! (`results/telemetry.jsonl`) that `exp_fig5_convergence --features obs`
+//! exports, and exits non-zero on any contract violation.
+//!
+//! Trace checks:
+//! * top-level `schema_version` is 1 and `traceEvents` is a non-empty array;
+//! * per `(pid, tid)` track, `"B"`/`"E"` duration events nest properly —
+//!   every `"E"` closes a same-name `"B"`. An `"E"` arriving on an empty
+//!   stack is tolerated (the bounded journal ring evicts oldest-first, so a
+//!   truncated trace loses `"B"` edges, never `"E"` edges), but a `"B"`
+//!   left open at the end is an error;
+//! * timestamps are non-decreasing within each thread track.
+//!
+//! Telemetry checks:
+//! * every line parses as JSON with `schema_version` 1 and a stage of 2 or 3;
+//! * at least one stage-3 record carries eval metrics, and the stage-3
+//!   accuracy/ΔSP/ΔEO series are non-empty numbers (the fairness
+//!   convergence series the paper plots).
+
+use fairwos_bench::{TELEMETRY_PATH, TRACE_PATH};
+use serde_json::Value;
+use std::process::ExitCode;
+
+/// Collects violations instead of bailing on the first, so one run reports
+/// every broken contract.
+struct Check {
+    errors: Vec<String>,
+}
+
+impl Check {
+    fn error(&mut self, msg: String) {
+        eprintln!("trace_check: {msg}");
+        self.errors.push(msg);
+    }
+}
+
+fn check_trace(doc: &Value, check: &mut Check) {
+    if doc.get("schema_version").and_then(Value::as_u64) != Some(1) {
+        check.error(format!("{TRACE_PATH}: schema_version is not 1"));
+    }
+    let Some(events) = doc.get("traceEvents").and_then(Value::as_array) else {
+        check.error(format!("{TRACE_PATH}: traceEvents is missing or not an array"));
+        return;
+    };
+    if events.is_empty() {
+        check.error(format!(
+            "{TRACE_PATH}: traceEvents is empty — was the run built with --features obs?"
+        ));
+        return;
+    }
+    // Per-(pid, tid) open-span stacks and last-seen timestamps.
+    let mut stacks: std::collections::BTreeMap<(u64, u64), Vec<String>> = Default::default();
+    let mut last_ts: std::collections::BTreeMap<(u64, u64), f64> = Default::default();
+    let mut truncated_ends = 0usize;
+    for (i, e) in events.iter().enumerate() {
+        let ph = e.get("ph").and_then(Value::as_str).unwrap_or("");
+        let name = e.get("name").and_then(Value::as_str).unwrap_or("");
+        let track = (
+            e.get("pid").and_then(Value::as_u64).unwrap_or(0),
+            e.get("tid").and_then(Value::as_u64).unwrap_or(0),
+        );
+        let Some(ts) = e.get("ts").and_then(Value::as_f64) else {
+            check.error(format!("{TRACE_PATH}: event {i} has no numeric ts"));
+            continue;
+        };
+        let prev = last_ts.entry(track).or_insert(ts);
+        if ts < *prev {
+            check.error(format!(
+                "{TRACE_PATH}: event {i} ({name:?}) goes back in time on tid {}: {ts} < {prev}",
+                track.1
+            ));
+        }
+        *prev = ts;
+        match ph {
+            "B" => stacks.entry(track).or_default().push(name.to_owned()),
+            "E" => match stacks.entry(track).or_default().pop() {
+                Some(open) if open != name => check.error(format!(
+                    "{TRACE_PATH}: event {i} ends span {name:?} but {open:?} is innermost"
+                )),
+                Some(_) => {}
+                None => truncated_ends += 1,
+            },
+            "i" | "C" => {}
+            other => check.error(format!("{TRACE_PATH}: event {i} has unknown ph {other:?}")),
+        }
+    }
+    for (track, stack) in &stacks {
+        if let Some(open) = stack.last() {
+            check.error(format!(
+                "{TRACE_PATH}: span {open:?} on tid {} never ends ({} left open)",
+                track.1,
+                stack.len()
+            ));
+        }
+    }
+    if truncated_ends > 0 {
+        println!(
+            "trace_check: {truncated_ends} E edge(s) without a B — consistent with \
+             oldest-first ring truncation, tolerated"
+        );
+    }
+    println!("trace_check: {TRACE_PATH} OK ({} events)", events.len());
+}
+
+fn check_telemetry(body: &str, check: &mut Check) {
+    let mut records = 0usize;
+    let mut stage3_eval = 0usize;
+    for (lineno, line) in body.lines().enumerate() {
+        let n = lineno + 1;
+        let rec: Value = match serde_json::from_str(line) {
+            Ok(v) => v,
+            Err(e) => {
+                check.error(format!("{TELEMETRY_PATH}:{n}: not valid JSON: {e}"));
+                continue;
+            }
+        };
+        records += 1;
+        if rec.get("schema_version").and_then(Value::as_u64) != Some(1) {
+            check.error(format!("{TELEMETRY_PATH}:{n}: schema_version is not 1"));
+        }
+        let stage = rec.get("stage").and_then(Value::as_u64);
+        if !matches!(stage, Some(2) | Some(3)) {
+            check.error(format!("{TELEMETRY_PATH}:{n}: stage {stage:?} is not 2 or 3"));
+        }
+        for key in ["epoch", "loss_cls", "loss_inv", "loss_suf", "grad_norm"] {
+            if rec.get(key).is_none() {
+                check.error(format!("{TELEMETRY_PATH}:{n}: missing field {key:?}"));
+            }
+        }
+        if stage == Some(3) {
+            if let Some(ev) = rec.get("eval").filter(|v| !v.is_null()) {
+                let all_numbers = ["accuracy", "f1", "delta_sp", "delta_eo"]
+                    .iter()
+                    .all(|k| ev.get(k).and_then(Value::as_f64).is_some());
+                if all_numbers {
+                    stage3_eval += 1;
+                } else {
+                    check.error(format!(
+                        "{TELEMETRY_PATH}:{n}: stage-3 eval is missing a numeric metric"
+                    ));
+                }
+            }
+        }
+    }
+    if records == 0 {
+        check.error(format!("{TELEMETRY_PATH}: no records"));
+    }
+    if stage3_eval == 0 {
+        check.error(format!(
+            "{TELEMETRY_PATH}: no stage-3 record carries eval metrics — the fairness \
+             convergence series is empty"
+        ));
+    } else {
+        println!(
+            "trace_check: {TELEMETRY_PATH} OK ({records} records, {stage3_eval} stage-3 \
+             eval points)"
+        );
+    }
+}
+
+fn main() -> ExitCode {
+    let mut check = Check { errors: Vec::new() };
+
+    match std::fs::read_to_string(TRACE_PATH) {
+        Ok(body) => match serde_json::from_str::<Value>(&body) {
+            Ok(doc) => check_trace(&doc, &mut check),
+            Err(e) => check.error(format!("{TRACE_PATH}: not valid JSON: {e}")),
+        },
+        Err(e) => check.error(format!(
+            "{TRACE_PATH}: {e} — run exp_fig5_convergence with --features obs first"
+        )),
+    }
+    match std::fs::read_to_string(TELEMETRY_PATH) {
+        Ok(body) => check_telemetry(&body, &mut check),
+        Err(e) => check.error(format!(
+            "{TELEMETRY_PATH}: {e} — run exp_fig5_convergence with --features obs first"
+        )),
+    }
+
+    if check.errors.is_empty() {
+        println!("trace_check: all artifact contracts hold");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("trace_check: {} violation(s)", check.errors.len());
+        ExitCode::FAILURE
+    }
+}

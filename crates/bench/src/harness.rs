@@ -214,6 +214,32 @@ pub fn write_pipeline_metrics(runs: &[fairwos_obs::RunMetrics]) {
     }
 }
 
+/// Default location of the Chrome-trace timeline the instrumented
+/// experiment binaries export (load it in `ui.perfetto.dev`).
+pub const TRACE_PATH: &str = "results/trace.json";
+
+/// Default location of the per-epoch training telemetry JSONL.
+pub const TELEMETRY_PATH: &str = "results/telemetry.jsonl";
+
+/// Drains the global event journal into [`TRACE_PATH`] as a Chrome-trace
+/// JSON document.
+///
+/// Does nothing in uninstrumented builds (the journal is empty and the
+/// export would be meaningless), so binaries can call it unconditionally.
+/// Like [`write_pipeline_metrics`], a write failure is reported on stderr
+/// rather than aborting.
+pub fn write_trace_artifact() {
+    if !fairwos_obs::is_enabled() {
+        return;
+    }
+    let events = fairwos_obs::journal_events();
+    let path = std::path::Path::new(TRACE_PATH);
+    match fairwos_obs::write_trace_json(path, &events) {
+        Ok(()) => eprintln!("wrote {TRACE_PATH} ({} events)", events.len()),
+        Err(e) => eprintln!("warning: could not write {TRACE_PATH}: {e}"),
+    }
+}
+
 /// Machine-readable experiment row (the JSON log the binaries emit).
 #[derive(Clone, Debug, Serialize)]
 pub struct RunRecord {

@@ -12,6 +12,13 @@
 //! | `exp_fig7_tsne` | Fig. 7 — t-SNE of pseudo-sensitive attributes |
 //! | `exp_fig8_runtime` | Fig. 8 — runtime comparison on NBA |
 //!
+//! Two instrumentation binaries ride along (most useful with `--features
+//! obs`): `exp_fig5_convergence` traces one full Fairwos fit and exports
+//! `results/trace.json` (Chrome trace, loadable in `ui.perfetto.dev`) plus
+//! `results/telemetry.jsonl` (per-epoch training telemetry), and
+//! `trace_check` validates both artifacts (B/E nesting, telemetry schema,
+//! non-empty stage-3 fairness series).
+//!
 //! All binaries accept `--scale <f64>` (node-count scale of the Table-I-sized
 //! datasets), `--runs <n>`, `--seed <n>`, and `--out <path>`; defaults keep
 //! a full sweep within CPU minutes.
@@ -21,6 +28,6 @@ pub mod harness;
 
 pub use cli::Args;
 pub use harness::{
-    build_method, run_method, write_pipeline_metrics, MethodKind, MethodRun, RunRecord,
-    PIPELINE_METRICS_PATH,
+    build_method, run_method, write_pipeline_metrics, write_trace_artifact, MethodKind, MethodRun,
+    RunRecord, PIPELINE_METRICS_PATH, TELEMETRY_PATH, TRACE_PATH,
 };

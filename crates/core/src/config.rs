@@ -35,6 +35,57 @@ pub enum CfStrategy {
     PerturbAttribute,
 }
 
+/// Divergence-watchdog thresholds, checked once per stage-2/stage-3 epoch.
+///
+/// Serde-defaulted field-by-field so configs serialized before the watchdog
+/// existed still load. The semantics live in
+/// [`fairwos_obs::WatchdogPolicy`]; this mirror exists because the obs type
+/// is deliberately serde-free (zero-dependency crate).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[serde(default)]
+pub struct WatchdogConfig {
+    /// A loss is a spike when it exceeds `spike_factor ×` the best loss in
+    /// the trailing window. Must be > 1.
+    pub spike_factor: f64,
+    /// Trailing-window length (healthy epochs remembered for the spike
+    /// baseline). Must be ≥ 1.
+    pub window: usize,
+    /// Gradient norms above this (or non-finite) are an explosion.
+    pub grad_limit: f64,
+    /// Tolerance for λ simplex membership (entries in `[-tol, 1+tol]`, sum
+    /// within `tol` of 1).
+    pub lambda_tol: f64,
+    /// Spike baselines are clamped up to this floor so near-zero converged
+    /// losses don't turn ordinary noise into spikes.
+    pub loss_floor: f64,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        let p = fairwos_obs::WatchdogPolicy::default();
+        Self {
+            spike_factor: p.spike_factor,
+            window: p.window,
+            grad_limit: p.grad_limit,
+            lambda_tol: p.lambda_tol,
+            loss_floor: p.loss_floor,
+        }
+    }
+}
+
+impl WatchdogConfig {
+    /// The equivalent obs-layer policy.
+    pub fn policy(&self) -> fairwos_obs::WatchdogPolicy {
+        fairwos_obs::WatchdogPolicy {
+            spike_factor: self.spike_factor,
+            window: self.window,
+            grad_limit: self.grad_limit,
+            lambda_tol: self.lambda_tol,
+            loss_floor: self.loss_floor,
+        }
+    }
+}
+
 /// All hyper-parameters of Algorithm 1, including the ablation switches
 /// used by the Fig. 4 experiment.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -88,9 +139,22 @@ pub struct FairwosConfig {
     /// Ablation: update λ via the KKT solution (`false` = **Fwos w/o W**,
     /// uniform weights throughout).
     pub use_weight_update: bool,
+    /// Every how many epochs telemetry computes eval-split metrics
+    /// (accuracy/F1/ΔSP/ΔEO). Only consulted when a
+    /// [`crate::TrainProbe`] with an eval split is armed; `1` evaluates
+    /// every epoch.
+    #[serde(default = "default_eval_interval")]
+    pub eval_interval: usize,
+    /// Divergence-watchdog thresholds (see [`WatchdogConfig`]).
+    #[serde(default)]
+    pub watchdog: WatchdogConfig,
 }
 
 fn default_cf_refresh_interval() -> usize {
+    1
+}
+
+fn default_eval_interval() -> usize {
     1
 }
 
@@ -118,6 +182,8 @@ impl FairwosConfig {
             use_encoder: true,
             use_fairness: true,
             use_weight_update: true,
+            eval_interval: 1,
+            watchdog: WatchdogConfig::default(),
         }
     }
 
@@ -153,6 +219,24 @@ impl FairwosConfig {
         assert!(
             self.finetune_learning_rate > 0.0,
             "finetune_learning_rate must be positive"
+        );
+        assert!(self.eval_interval >= 1, "eval_interval must be ≥ 1");
+        assert!(
+            self.watchdog.spike_factor > 1.0,
+            "watchdog.spike_factor must be > 1"
+        );
+        assert!(self.watchdog.window >= 1, "watchdog.window must be ≥ 1");
+        assert!(
+            self.watchdog.grad_limit > 0.0,
+            "watchdog.grad_limit must be positive"
+        );
+        assert!(
+            self.watchdog.lambda_tol > 0.0,
+            "watchdog.lambda_tol must be positive"
+        );
+        assert!(
+            self.watchdog.loss_floor > 0.0,
+            "watchdog.loss_floor must be positive"
         );
     }
 
@@ -228,6 +312,45 @@ mod tests {
     fn validate_rejects_zero_refresh_interval() {
         FairwosConfig {
             cf_refresh_interval: 0,
+            ..FairwosConfig::paper_default(Backbone::Gcn)
+        }
+        .validate();
+    }
+
+    #[test]
+    fn watchdog_and_eval_interval_default_when_absent_from_serialized_config() {
+        // Configs serialized before the watchdog existed must still load.
+        let cfg = FairwosConfig::paper_default(Backbone::Gcn);
+        let mut json: serde_json::Value = serde_json::to_value(&cfg).expect("config serializes");
+        let obj = json.as_object_mut().expect("object");
+        obj.remove("watchdog");
+        obj.remove("eval_interval");
+        let restored: FairwosConfig =
+            serde_json::from_value(json).expect("config without the fields deserializes");
+        assert_eq!(restored.eval_interval, 1);
+        assert_eq!(restored.watchdog, WatchdogConfig::default());
+        restored.validate();
+    }
+
+    #[test]
+    fn watchdog_config_mirrors_obs_policy() {
+        let policy = WatchdogConfig::default().policy();
+        let reference = fairwos_obs::WatchdogPolicy::default();
+        assert_eq!(policy.spike_factor, reference.spike_factor);
+        assert_eq!(policy.window, reference.window);
+        assert_eq!(policy.grad_limit, reference.grad_limit);
+        assert_eq!(policy.lambda_tol, reference.lambda_tol);
+        assert_eq!(policy.loss_floor, reference.loss_floor);
+    }
+
+    #[test]
+    #[should_panic(expected = "watchdog.spike_factor must be > 1")]
+    fn validate_rejects_non_amplifying_spike_factor() {
+        FairwosConfig {
+            watchdog: WatchdogConfig {
+                spike_factor: 1.0,
+                ..WatchdogConfig::default()
+            },
             ..FairwosConfig::paper_default(Backbone::Gcn)
         }
         .validate();

@@ -44,7 +44,8 @@ impl Encoder {
         // rather than borrowing the trainer workspace.
         let mut ws = Workspace::new();
         let mut mask: Vec<bool> = Vec::new();
-        for _ in 0..epochs {
+        for epoch in 0..epochs {
+            fairwos_obs::journal_epoch(1, epoch as u64);
             let _obs = fairwos_obs::span("train/stage1/epoch");
             conv.zero_grad();
             head.zero_grad();

@@ -37,6 +37,17 @@ pub fn project_to_simplex(v: &[f32]) -> Vec<f32> {
     v.iter().map(|&x| (x - theta).max(0.0)).collect()
 }
 
+/// Whether `lambda` lies on the probability simplex within `tol`: every
+/// entry in `[-tol, 1 + tol]`, all entries finite, and `|Σλ − 1| ≤ tol`.
+///
+/// Both λ update modes end in [`project_to_simplex`], so any trained λ must
+/// satisfy this; the divergence watchdog uses it (via
+/// [`fairwos_obs::lambda_in_simplex`]) to catch NaNs or projection bugs
+/// escaping into the fine-tuning loop.
+pub fn lambda_feasible(lambda: &[f32], tol: f64) -> bool {
+    fairwos_obs::lambda_in_simplex(lambda, tol)
+}
+
 /// Solves the paper's λ subproblem (Eq. 17): given the aggregated
 /// per-attribute counterfactual distances `d` (`Dᵢᴷ` in the paper) and the
 /// regularization weight `alpha`, returns the optimal simplex weights.

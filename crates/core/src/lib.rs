@@ -34,7 +34,9 @@
 //! let input = TrainInput { graph: &graph, features: &features, labels: &labels,
 //!                          train: &train, val: &val };
 //! let config = FairwosConfig::paper_default(Backbone::Gcn);
-//! let trained = FairwosTrainer::new(config).fit(&input, 42);
+//! let trained = FairwosTrainer::new(config)
+//!     .fit(&input, 42)
+//!     .expect("training diverged — see the watchdog thresholds in config");
 //! let probs = trained.predict_probs();           // P(y = 1) for every node
 //! let x0 = trained.pseudo_sensitive_attributes(); // the X⁰ of Fig. 7
 //! ```
@@ -48,11 +50,18 @@ pub mod persist;
 mod trainer;
 mod workspace;
 
-pub use config::{CfStrategy, FairwosConfig, WeightMode};
+pub use config::{CfStrategy, FairwosConfig, WatchdogConfig, WeightMode};
 pub use counterfactual::{CounterfactualSets, SearchSpace};
 pub use encoder::Encoder;
-pub use lambda::{project_to_simplex, update_lambda};
+pub use lambda::{lambda_feasible, project_to_simplex, update_lambda};
 pub use method::{FairMethod, TrainInput};
 pub use persist::{FairwosModelFile, PersistError};
-pub use trainer::{FairwosTrainer, FinetuneEpochStats, TrainedFairwos, TrainingHistory};
+pub use trainer::{
+    FairwosTrainer, FinetuneEpochStats, TelemetryEval, TrainProbe, TrainedFairwos,
+    TrainingDiverged, TrainingHistory,
+};
 pub use workspace::TrainerWorkspace;
+
+/// Re-exported from [`fairwos_obs`]: the watchdog trigger carried by
+/// [`TrainingDiverged::reason`].
+pub use fairwos_obs::Divergence;

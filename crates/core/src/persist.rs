@@ -200,7 +200,7 @@ mod tests {
             train: &ds.split.train,
             val: &ds.split.val,
         };
-        let mut trained = FairwosTrainer::new(quick_config()).fit(&input, 0);
+        let mut trained = FairwosTrainer::new(quick_config()).fit(&input, 0).expect("training converges");
         let file = trained.to_model_file();
         let json = file.to_json().expect("model serializes");
         let restored = FairwosModelFile::from_json(&json)
@@ -221,7 +221,7 @@ mod tests {
             train: &ds.split.train,
             val: &ds.split.val,
         };
-        let mut trained = FairwosTrainer::new(quick_config()).fit(&input, 0);
+        let mut trained = FairwosTrainer::new(quick_config()).fit(&input, 0).expect("training converges");
         let file = trained.to_model_file();
         let path = std::env::temp_dir().join("fairwos_persist_roundtrip_test.json");
         file.save(&path).expect("save succeeds");
@@ -255,7 +255,7 @@ mod tests {
             val: &ds.split.val,
         };
         let cfg = FairwosConfig { use_encoder: false, ..quick_config() };
-        let mut trained = FairwosTrainer::new(cfg).fit(&input, 0);
+        let mut trained = FairwosTrainer::new(cfg).fit(&input, 0).expect("training converges");
         let restored = trained.to_model_file().restore(&ds.graph, &ds.features);
         assert!(!restored.has_encoder());
         assert_eq!(restored.predict_probs(), trained.predict_probs());
@@ -286,7 +286,7 @@ mod tests {
             train: &ds.split.train,
             val: &ds.split.val,
         };
-        let mut trained = FairwosTrainer::new(quick_config()).fit(&input, 0);
+        let mut trained = FairwosTrainer::new(quick_config()).fit(&input, 0).expect("training converges");
         let mut file = trained.to_model_file();
         file.version = MODEL_FILE_VERSION + 1;
         let json = file.to_json().expect("model serializes");
@@ -310,7 +310,7 @@ mod tests {
             train: &ds.split.train,
             val: &ds.split.val,
         };
-        let mut trained = FairwosTrainer::new(quick_config()).fit(&input, 0);
+        let mut trained = FairwosTrainer::new(quick_config()).fit(&input, 0).expect("training converges");
         let wrong = fairwos_tensor::Matrix::zeros(ds.num_nodes(), 2);
         let _ = trained.to_model_file().restore(&ds.graph, &wrong);
     }

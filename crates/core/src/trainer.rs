@@ -13,16 +13,19 @@
 //! 13 until convergence
 //! ```
 
+use std::collections::BTreeMap;
+
 use crate::counterfactual::{search_topk, CounterfactualSets, SearchSpace};
 use crate::encoder::{binarize_at_medians, Encoder};
 use crate::lambda::{update_lambda, update_lambda_proportional};
 use crate::workspace::TrainerWorkspace;
 use crate::{CfStrategy, FairMethod, FairwosConfig, TrainInput, WeightMode};
-use fairwos_fairness::accuracy;
+use fairwos_fairness::{accuracy, delta_eo, delta_sp, f1_score};
 use fairwos_nn::loss::{
     bce_with_logits_masked_ws, sigmoid, weighted_sq_l2_rows, weighted_sq_l2_rows_acc,
 };
 use fairwos_nn::{Adam, Gnn, GnnConfig, GraphContext, Optimizer};
+use fairwos_obs::{Divergence, EpochRecord, EvalMetrics, TelemetrySink, Watchdog};
 use fairwos_tensor::{seeded_rng, Matrix};
 use serde::{Deserialize, Serialize};
 
@@ -177,6 +180,105 @@ impl TrainedFairwos {
     }
 }
 
+/// Typed error returned by the [`FairwosTrainer::fit`] family when the
+/// divergence watchdog trips (see
+/// [`FairwosConfig::watchdog`](crate::WatchdogConfig) for the thresholds).
+///
+/// A matching `Alert` event is recorded in the fairwos-obs journal before
+/// the error is returned, so a trace export shows *when* in the timeline
+/// the run went off the rails.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TrainingDiverged {
+    /// Training stage that diverged: 1 = encoder pre-training, 2 =
+    /// classifier pre-training, 3 = fine-tuning.
+    pub stage: u8,
+    /// 0-based epoch within the stage at which the watchdog tripped.
+    pub epoch: usize,
+    /// Which watchdog trigger fired.
+    pub reason: Divergence,
+}
+
+impl std::fmt::Display for TrainingDiverged {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "training diverged at stage {} epoch {}: {}",
+            self.stage, self.epoch, self.reason
+        )
+    }
+}
+
+impl std::error::Error for TrainingDiverged {}
+
+/// Eval split handed to the telemetry layer: node indices plus their
+/// *revealed* sensitive attribute. Evaluation-only — Fairwos trains without
+/// sensitive attributes, and nothing here feeds back into optimization.
+#[derive(Clone, Copy, Debug)]
+pub struct TelemetryEval<'a> {
+    /// Node indices to evaluate on (typically the test split).
+    pub nodes: &'a [usize],
+    /// Revealed sensitive attribute per node, parallel to `nodes`.
+    pub sens: &'a [bool],
+}
+
+/// Observation hooks for [`FairwosTrainer::fit_observed`].
+///
+/// The default probe observes nothing and makes `fit_observed` behave
+/// exactly like [`FairwosTrainer::fit_with`]. With `telemetry` set, the
+/// trainer appends one [`EpochRecord`] per stage-2/stage-3 epoch; with
+/// `eval` also set, records on `eval_interval` epochs carry
+/// accuracy/F1/ΔSP/ΔEO over the given split.
+#[derive(Default)]
+pub struct TrainProbe<'a> {
+    /// Sink for per-epoch telemetry records.
+    pub telemetry: Option<&'a mut TelemetrySink>,
+    /// Eval split for the fairness/utility series (requires `telemetry`).
+    pub eval: Option<TelemetryEval<'a>>,
+}
+
+/// Diffs cumulative kernel-counter totals into per-epoch deltas, mirroring
+/// each total into the event journal as a `CounterSnapshot`. Totals only
+/// grow, so `saturating_sub` is just defense against a mid-run `reset()`.
+struct CounterDeltas {
+    prev: BTreeMap<String, u64>,
+}
+
+impl CounterDeltas {
+    fn new() -> Self {
+        Self {
+            prev: fairwos_obs::counter_totals().into_iter().collect(),
+        }
+    }
+
+    fn tick(&mut self) -> Vec<(String, u64)> {
+        let totals = fairwos_obs::counter_totals();
+        let mut deltas = Vec::with_capacity(totals.len());
+        for (label, total) in totals {
+            fairwos_obs::journal_counter_snapshot(&label, total);
+            let prev = self.prev.get(&label).copied().unwrap_or(0);
+            deltas.push((label.clone(), total.saturating_sub(prev)));
+            self.prev.insert(label, total);
+        }
+        deltas
+    }
+}
+
+fn eval_split_metrics(probs: &[f32], labels: &[f32], eval: &TelemetryEval<'_>) -> EvalMetrics {
+    let p: Vec<f32> = eval.nodes.iter().map(|&v| probs[v]).collect();
+    let y: Vec<f32> = eval.nodes.iter().map(|&v| labels[v]).collect();
+    EvalMetrics {
+        accuracy: accuracy(&p, &y),
+        f1: f1_score(&p, &y),
+        delta_sp: delta_sp(&p, eval.sens),
+        delta_eo: delta_eo(&p, &y, eval.sens),
+    }
+}
+
+fn journal_divergence(stage: u8, epoch: usize, reason: Divergence) -> TrainingDiverged {
+    fairwos_obs::journal_alert(reason.code(), &reason.to_string());
+    TrainingDiverged { stage, epoch, reason }
+}
+
 /// Builder/driver for Algorithm 1.
 pub struct FairwosTrainer {
     config: FairwosConfig,
@@ -195,7 +297,17 @@ impl FairwosTrainer {
     /// [`TrainerWorkspace`]: after a warm-up epoch, steady-state epochs draw
     /// every activation/gradient buffer from the pool instead of the
     /// allocator.
-    pub fn fit(&self, input: &TrainInput<'_>, seed: u64) -> TrainedFairwos {
+    ///
+    /// # Errors
+    ///
+    /// [`TrainingDiverged`] when the divergence watchdog trips (non-finite
+    /// loss, loss spike, gradient explosion, or λ leaving the simplex) —
+    /// thresholds on [`FairwosConfig::watchdog`](crate::WatchdogConfig).
+    pub fn fit(
+        &self,
+        input: &TrainInput<'_>,
+        seed: u64,
+    ) -> Result<TrainedFairwos, TrainingDiverged> {
         self.fit_with(input, seed, &mut TrainerWorkspace::new())
     }
 
@@ -203,13 +315,50 @@ impl FairwosTrainer {
     /// repeated runs of the same architecture (seed sweeps, benchmark
     /// harnesses) can share one warm pool. The pooled and allocating
     /// (`TrainerWorkspace::disposable`) paths produce bit-identical models.
+    ///
+    /// # Errors
+    ///
+    /// [`TrainingDiverged`] when the divergence watchdog trips.
     pub fn fit_with(
         &self,
         input: &TrainInput<'_>,
         seed: u64,
         tws: &mut TrainerWorkspace,
-    ) -> TrainedFairwos {
+    ) -> Result<TrainedFairwos, TrainingDiverged> {
+        self.fit_observed(input, seed, tws, &mut TrainProbe::default())
+    }
+
+    /// [`FairwosTrainer::fit_with`] plus observation hooks: per-epoch
+    /// telemetry records (and optional eval-split metric series) are
+    /// appended to whatever [`TrainProbe`] the caller arms. The probe is
+    /// write-only — an armed probe produces the same model, bit for bit, as
+    /// a default one (only the eval-metric `sigmoid` is computed in
+    /// addition, outside the RNG stream).
+    ///
+    /// # Errors
+    ///
+    /// [`TrainingDiverged`] when the divergence watchdog trips.
+    ///
+    /// # Panics
+    ///
+    /// If `probe.eval` has mismatched `nodes`/`sens` lengths or an empty
+    /// split.
+    pub fn fit_observed(
+        &self,
+        input: &TrainInput<'_>,
+        seed: u64,
+        tws: &mut TrainerWorkspace,
+        probe: &mut TrainProbe<'_>,
+    ) -> Result<TrainedFairwos, TrainingDiverged> {
         input.validate();
+        if let Some(ev) = &probe.eval {
+            assert_eq!(
+                ev.nodes.len(),
+                ev.sens.len(),
+                "telemetry eval nodes vs sens length"
+            );
+            assert!(!ev.nodes.is_empty(), "telemetry eval split is empty");
+        }
         let cfg = &self.config;
         let mut rng = seeded_rng(seed);
         fairwos_obs::scale_max("train/nodes", input.graph.num_nodes() as u64);
@@ -240,6 +389,16 @@ impl FairwosTrainer {
             .as_ref()
             .map(|e| e.losses.clone())
             .unwrap_or_default();
+        // Stage 1 has no per-epoch gradient probe (the encoder owns its own
+        // loop), but a non-finite pre-training loss is still a divergence.
+        if let Some((epoch, &loss)) = encoder_losses
+            .iter()
+            .enumerate()
+            .find(|(_, l)| !l.is_finite())
+        {
+            let reason = Divergence::NonFiniteLoss { loss: loss as f64 };
+            return Err(journal_divergence(1, epoch, reason));
+        }
 
         // Line 2: λ ← 1/I.
         let num_attrs = x0.cols();
@@ -262,8 +421,13 @@ impl FairwosTrainer {
         let mut best_params: Vec<Matrix> = Vec::new();
         let mut since_best = 0usize;
         let ws = &mut tws.nn;
+        // Counter deltas are only materialized for an armed telemetry probe
+        // (the journal snapshots they emit would otherwise bloat the ring).
+        let mut deltas = probe.telemetry.is_some().then(CounterDeltas::new);
+        let mut watchdog = Watchdog::new(cfg.watchdog.policy());
         let obs_stage2 = fairwos_obs::span("train/stage2_classifier");
-        for _ in 0..cfg.classifier_epochs {
+        for epoch in 0..cfg.classifier_epochs {
+            fairwos_obs::journal_epoch(2, epoch as u64);
             let _obs = fairwos_obs::span("train/stage2/epoch");
             gnn.zero_grad();
             let out = gnn.forward_train_ws(&ctx, &x0, &mut rng, ws);
@@ -272,16 +436,45 @@ impl FairwosTrainer {
             classifier_losses.push(loss);
             gnn.backward_ws(&ctx, &dlogits, None, ws);
             ws.give(dlogits);
+            let grad_norm = gnn.grad_norm();
             opt.step(&mut gnn.params_mut());
 
-            let val_acc = if input.val.is_empty() {
-                -(loss as f64)
-            } else {
-                let probs = sigmoid(&out.logits).col(0);
-                let val_probs: Vec<f32> = input.val.iter().map(|&v| probs[v]).collect();
-                let val_labels: Vec<f32> = input.val.iter().map(|&v| input.labels[v]).collect();
-                accuracy(&val_probs, &val_labels)
+            let eval_due = probe.telemetry.is_some()
+                && probe.eval.is_some()
+                && epoch % cfg.eval_interval == 0;
+            let probs =
+                (!input.val.is_empty() || eval_due).then(|| sigmoid(&out.logits).col(0));
+            let val_acc = match &probs {
+                Some(probs) if !input.val.is_empty() => {
+                    let val_probs: Vec<f32> = input.val.iter().map(|&v| probs[v]).collect();
+                    let val_labels: Vec<f32> =
+                        input.val.iter().map(|&v| input.labels[v]).collect();
+                    accuracy(&val_probs, &val_labels)
+                }
+                _ => -(loss as f64),
             };
+            if let (Some(sink), Some(deltas)) = (probe.telemetry.as_deref_mut(), deltas.as_mut())
+            {
+                let eval = probe
+                    .eval
+                    .filter(|_| eval_due)
+                    .zip(probs.as_ref())
+                    .map(|(ev, p)| eval_split_metrics(p, input.labels, &ev));
+                sink.push(EpochRecord {
+                    stage: 2,
+                    epoch: epoch as u64,
+                    loss_cls: loss as f64,
+                    loss_inv: 0.0,
+                    loss_suf: 0.0,
+                    lambda: Vec::new(),
+                    grad_norm: grad_norm as f64,
+                    counters: deltas.tick(),
+                    eval,
+                });
+            }
+            if let Some(reason) = watchdog.check(loss as f64, grad_norm as f64, None) {
+                return Err(journal_divergence(2, epoch, reason));
+            }
             ws.give(out.logits);
             ws.give(out.embeddings);
             if val_acc > best_val {
@@ -321,7 +514,11 @@ impl FairwosTrainer {
             // computed once per refresh interval and reused in between —
             // the pair list is never rebuilt inside a θ-step.
             let mut cf_sets: Option<CounterfactualSets> = None;
+            // Fresh watchdog: stage 3 optimizes a different objective at a
+            // different scale, so stage-2 losses are not a valid baseline.
+            let mut watchdog = Watchdog::new(cfg.watchdog.policy());
             for epoch in 0..cfg.finetune_epochs {
+                fairwos_obs::journal_epoch(3, epoch as u64);
                 let _obs = fairwos_obs::span("train/stage3/epoch");
                 gnn.zero_grad();
                 let out = gnn.forward_train_ws(&ctx, &x0, &mut rng, ws);
@@ -424,6 +621,7 @@ impl FairwosTrainer {
                 gnn.backward_ws(&ctx, &dlogits, Some(&dh), ws);
                 ws.give(dh);
                 ws.give(dlogits);
+                let grad_norm = gnn.grad_norm();
                 opt.step(&mut gnn.params_mut());
 
                 // Lines 9–12: λ update.
@@ -433,6 +631,42 @@ impl FairwosTrainer {
                         WeightMode::KktClosedForm => update_lambda(&d, cfg.alpha),
                         WeightMode::ProportionalToDistance => update_lambda_proportional(&d),
                     };
+                }
+                if let (Some(sink), Some(deltas)) =
+                    (probe.telemetry.as_deref_mut(), deltas.as_mut())
+                {
+                    let eval_due = probe.eval.is_some() && epoch % cfg.eval_interval == 0;
+                    let probs = eval_due.then(|| sigmoid(&out.logits).col(0));
+                    let eval = probe
+                        .eval
+                        .filter(|_| eval_due)
+                        .zip(probs.as_ref())
+                        .map(|(ev, p)| eval_split_metrics(p, input.labels, &ev));
+                    let loss_suf = if d.is_empty() {
+                        0.0
+                    } else {
+                        d.iter().map(|&x| x as f64).sum::<f64>() / d.len() as f64
+                    };
+                    sink.push(EpochRecord {
+                        stage: 3,
+                        epoch: epoch as u64,
+                        loss_cls: loss_u as f64,
+                        loss_inv: loss_fair as f64,
+                        loss_suf,
+                        lambda: lambda.iter().map(|&l| l as f64).collect(),
+                        grad_norm: grad_norm as f64,
+                        counters: deltas.tick(),
+                        eval,
+                    });
+                }
+                // The λ just produced is what the *next* θ-step will use, so
+                // it is checked here, after the update.
+                if let Some(reason) = watchdog.check(
+                    (loss_u + loss_fair) as f64,
+                    grad_norm as f64,
+                    Some(lambda.as_slice()),
+                ) {
+                    return Err(journal_divergence(3, epoch, reason));
                 }
                 finetune.push(FinetuneEpochStats {
                     utility_loss: loss_u,
@@ -445,7 +679,7 @@ impl FairwosTrainer {
             }
         }
 
-        TrainedFairwos {
+        Ok(TrainedFairwos {
             config: cfg.clone(),
             ctx,
             encoder,
@@ -459,7 +693,7 @@ impl FairwosTrainer {
                 classifier_losses,
                 finetune,
             },
-        }
+        })
     }
 }
 
@@ -469,7 +703,12 @@ impl FairMethod for FairwosTrainer {
     }
 
     fn fit_predict(&self, input: &TrainInput<'_>, seed: u64) -> Vec<f32> {
-        self.fit(input, seed).predict_probs()
+        // The FairMethod contract is infallible (baseline sweeps have no
+        // divergence channel), so a watchdog trip surfaces as a panic here.
+        match self.fit(input, seed) {
+            Ok(trained) => trained.predict_probs(),
+            Err(e) => panic!("Fairwos training diverged: {e}"),
+        }
     }
 }
 
@@ -518,7 +757,7 @@ mod tests {
     #[test]
     fn fit_produces_consistent_artifacts() {
         let ds = small_dataset();
-        let trained = FairwosTrainer::new(fast_config(Backbone::Gcn)).fit(&input_of(&ds), 0);
+        let trained = FairwosTrainer::new(fast_config(Backbone::Gcn)).fit(&input_of(&ds), 0).expect("training converges");
         let n = ds.num_nodes();
         assert_eq!(trained.predict_probs().len(), n);
         assert_eq!(trained.embeddings().rows(), n);
@@ -539,7 +778,7 @@ mod tests {
     #[test]
     fn learns_better_than_chance() {
         let ds = small_dataset();
-        let trained = FairwosTrainer::new(fast_config(Backbone::Gcn)).fit(&input_of(&ds), 1);
+        let trained = FairwosTrainer::new(fast_config(Backbone::Gcn)).fit(&input_of(&ds), 1).expect("training converges");
         let probs = trained.predict_probs();
         let test_probs: Vec<f32> = ds.split.test.iter().map(|&v| probs[v]).collect();
         let test_labels = ds.labels_of(&ds.split.test);
@@ -555,7 +794,7 @@ mod tests {
             finetune_epochs: 2,
             ..fast_config(Backbone::Gcn)
         };
-        let trained = FairwosTrainer::new(cfg).fit(&input_of(&ds), 2);
+        let trained = FairwosTrainer::new(cfg).fit(&input_of(&ds), 2).expect("training converges");
         assert!(!trained.has_encoder());
         assert_eq!(
             trained.pseudo_sensitive_attributes().cols(),
@@ -572,7 +811,7 @@ mod tests {
             use_fairness: false,
             ..fast_config(Backbone::Gcn)
         };
-        let trained = FairwosTrainer::new(cfg).fit(&input_of(&ds), 3);
+        let trained = FairwosTrainer::new(cfg).fit(&input_of(&ds), 3).expect("training converges");
         assert!(trained.history.finetune.is_empty());
     }
 
@@ -583,7 +822,7 @@ mod tests {
             use_weight_update: false,
             ..fast_config(Backbone::Gcn)
         };
-        let trained = FairwosTrainer::new(cfg).fit(&input_of(&ds), 4);
+        let trained = FairwosTrainer::new(cfg).fit(&input_of(&ds), 4).expect("training converges");
         for &l in trained.lambda() {
             assert!(
                 (l - 1.0 / 8.0).abs() < 1e-6,
@@ -591,7 +830,7 @@ mod tests {
             );
         }
         // With weight updates λ moves away from uniform.
-        let trained2 = FairwosTrainer::new(fast_config(Backbone::Gcn)).fit(&input_of(&ds), 4);
+        let trained2 = FairwosTrainer::new(fast_config(Backbone::Gcn)).fit(&input_of(&ds), 4).expect("training converges");
         let uniform_dev: f32 = trained2
             .lambda()
             .iter()
@@ -607,7 +846,7 @@ mod tests {
     #[test]
     fn gin_backbone_works() {
         let ds = small_dataset();
-        let trained = FairwosTrainer::new(fast_config(Backbone::Gin)).fit(&input_of(&ds), 5);
+        let trained = FairwosTrainer::new(fast_config(Backbone::Gin)).fit(&input_of(&ds), 5).expect("training converges");
         assert_eq!(trained.predict_probs().len(), ds.num_nodes());
     }
 
@@ -619,7 +858,7 @@ mod tests {
             finetune_epochs: 5,
             ..fast_config(Backbone::Gcn)
         };
-        let trained = FairwosTrainer::new(cfg).fit(&input_of(&ds), 8);
+        let trained = FairwosTrainer::new(cfg).fit(&input_of(&ds), 8).expect("training converges");
         assert_eq!(trained.history.finetune.len(), 5);
         let probs = trained.predict_probs();
         assert!(probs
@@ -632,7 +871,7 @@ mod tests {
     #[test]
     fn sage_backbone_works() {
         let ds = small_dataset();
-        let trained = FairwosTrainer::new(fast_config(Backbone::Sage)).fit(&input_of(&ds), 5);
+        let trained = FairwosTrainer::new(fast_config(Backbone::Sage)).fit(&input_of(&ds), 5).expect("training converges");
         let probs = trained.predict_probs();
         assert_eq!(probs.len(), ds.num_nodes());
         assert!(probs.iter().all(|p| p.is_finite()));
@@ -641,7 +880,7 @@ mod tests {
     #[test]
     fn gat_backbone_works() {
         let ds = small_dataset();
-        let trained = FairwosTrainer::new(fast_config(Backbone::Gat)).fit(&input_of(&ds), 5);
+        let trained = FairwosTrainer::new(fast_config(Backbone::Gat)).fit(&input_of(&ds), 5).expect("training converges");
         let probs = trained.predict_probs();
         assert_eq!(probs.len(), ds.num_nodes());
         assert!(probs.iter().all(|p| p.is_finite()));
@@ -650,8 +889,8 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let ds = small_dataset();
-        let a = FairwosTrainer::new(fast_config(Backbone::Gcn)).fit(&input_of(&ds), 9);
-        let b = FairwosTrainer::new(fast_config(Backbone::Gcn)).fit(&input_of(&ds), 9);
+        let a = FairwosTrainer::new(fast_config(Backbone::Gcn)).fit(&input_of(&ds), 9).expect("training converges");
+        let b = FairwosTrainer::new(fast_config(Backbone::Gcn)).fit(&input_of(&ds), 9).expect("training converges");
         assert_eq!(a.predict_probs(), b.predict_probs());
         assert_eq!(a.lambda(), b.lambda());
     }
@@ -661,9 +900,9 @@ mod tests {
         // The pooled (default) and allocating paths must be bit-identical.
         let ds = small_dataset();
         let trainer = FairwosTrainer::new(fast_config(Backbone::Gcn));
-        let pooled = trainer.fit(&input_of(&ds), 11);
+        let pooled = trainer.fit(&input_of(&ds), 11).expect("training converges");
         let mut tws = crate::TrainerWorkspace::disposable();
-        let allocating = trainer.fit_with(&input_of(&ds), 11, &mut tws);
+        let allocating = trainer.fit_with(&input_of(&ds), 11, &mut tws).expect("training converges");
         assert_eq!(
             tws.idle_buffers(),
             0,
@@ -679,9 +918,9 @@ mod tests {
         let ds = small_dataset();
         let trainer = FairwosTrainer::new(fast_config(Backbone::Gcn));
         let mut tws = crate::TrainerWorkspace::new();
-        let a = trainer.fit_with(&input_of(&ds), 12, &mut tws);
+        let a = trainer.fit_with(&input_of(&ds), 12, &mut tws).expect("training converges");
         assert!(tws.idle_buffers() > 0, "pool retained nothing after a fit");
-        let b = trainer.fit_with(&input_of(&ds), 12, &mut tws);
+        let b = trainer.fit_with(&input_of(&ds), 12, &mut tws).expect("training converges");
         assert_eq!(a.predict_probs(), b.predict_probs());
         assert_eq!(a.lambda(), b.lambda());
     }
@@ -694,7 +933,7 @@ mod tests {
             finetune_epochs: 8,
             ..fast_config(Backbone::Gcn)
         };
-        let trained = FairwosTrainer::new(cfg).fit(&input_of(&ds), 13);
+        let trained = FairwosTrainer::new(cfg).fit(&input_of(&ds), 13).expect("training converges");
         assert_eq!(trained.history.finetune.len(), 8);
         let probs = trained.predict_probs();
         assert!(probs
@@ -722,7 +961,7 @@ mod tests {
             finetune_epochs: 10,
             ..fast_config(Backbone::Gcn)
         };
-        let trained = FairwosTrainer::new(cfg).fit(&input_of(&ds), 7);
+        let trained = FairwosTrainer::new(cfg).fit(&input_of(&ds), 7).expect("training converges");
         let first: f32 = trained
             .history
             .finetune
@@ -740,5 +979,120 @@ mod tests {
             .iter()
             .sum();
         assert!(last <= first * 1.1, "ΣDᵢ grew from {first} to {last}");
+    }
+
+    #[test]
+    fn explosive_learning_rate_diverges_in_stage2() {
+        // An intentionally explosive rate: Adam moves each parameter ~lr per
+        // step, so logits (and the BCE loss) blow up within a few epochs and
+        // the watchdog must return a typed error instead of training through
+        // garbage.
+        let ds = small_dataset();
+        let cfg = FairwosConfig {
+            use_encoder: false,
+            learning_rate: 1e4,
+            ..fast_config(Backbone::Gcn)
+        };
+        let err = FairwosTrainer::new(cfg)
+            .fit(&input_of(&ds), 0)
+            .expect_err("explosive learning rate must trip the watchdog");
+        assert_eq!(err.stage, 2, "diverged in the wrong stage: {err}");
+        assert!(
+            err.epoch < 1 + FairwosConfig::paper_default(Backbone::Gcn).watchdog.window,
+            "watchdog took {} epochs to notice",
+            err.epoch
+        );
+        // The error formats with stage/epoch/reason context.
+        assert!(err.to_string().contains("stage 2"), "{err}");
+    }
+
+    #[test]
+    fn explosive_finetune_rate_diverges_in_stage3() {
+        // Pre-training is healthy; only the fine-tuning stage explodes, so
+        // the error must carry stage 3 and a fresh (stage-local) baseline.
+        let ds = small_dataset();
+        let cfg = FairwosConfig {
+            finetune_learning_rate: 1e4,
+            ..fast_config(Backbone::Gcn)
+        };
+        let err = FairwosTrainer::new(cfg)
+            .fit(&input_of(&ds), 0)
+            .expect_err("explosive fine-tuning rate must trip the watchdog");
+        assert_eq!(err.stage, 3, "diverged in the wrong stage: {err}");
+    }
+
+    #[test]
+    fn armed_probe_records_telemetry_without_changing_the_model() {
+        let ds = small_dataset();
+        let trainer = FairwosTrainer::new(fast_config(Backbone::Gcn));
+        let plain = trainer.fit(&input_of(&ds), 21).expect("training converges");
+
+        let mut sink = TelemetrySink::new();
+        let sens = ds.sensitive_of(&ds.split.test);
+        let mut probe = TrainProbe {
+            telemetry: Some(&mut sink),
+            eval: Some(TelemetryEval { nodes: &ds.split.test, sens: &sens }),
+        };
+        let mut tws = crate::TrainerWorkspace::new();
+        let observed = trainer
+            .fit_observed(&input_of(&ds), 21, &mut tws, &mut probe)
+            .expect("training converges");
+
+        // The probe is write-only: bit-identical model with and without it.
+        assert_eq!(plain.predict_probs(), observed.predict_probs());
+        assert_eq!(plain.lambda(), observed.lambda());
+
+        let records = sink.records();
+        let stage2 = records.iter().filter(|r| r.stage == 2).count();
+        assert_eq!(stage2, observed.history.classifier_losses.len());
+        let stage3: Vec<_> = records.iter().filter(|r| r.stage == 3).collect();
+        assert_eq!(stage3.len(), observed.history.finetune.len());
+        for r in records {
+            assert!(r.grad_norm.is_finite() && r.grad_norm >= 0.0);
+            assert!(r.loss_cls.is_finite());
+        }
+        // eval_interval = 1 and an armed eval split ⇒ every record carries
+        // the metric series, with fairness gaps in range.
+        for r in &stage3 {
+            assert_eq!(r.lambda.len(), 8);
+            let ev = r.eval.as_ref().unwrap_or_else(|| panic!("missing eval: {r:?}"));
+            assert!((0.0..=1.0).contains(&ev.accuracy));
+            assert!((0.0..=1.0).contains(&ev.delta_sp));
+            assert!((0.0..=1.0).contains(&ev.delta_eo));
+        }
+        // Stage-2 records never claim fairness losses or λ.
+        for r in records.iter().filter(|r| r.stage == 2) {
+            assert_eq!(r.loss_inv, 0.0);
+            assert_eq!(r.loss_suf, 0.0);
+            assert!(r.lambda.is_empty());
+        }
+    }
+
+    #[test]
+    fn sparse_eval_interval_only_evaluates_on_schedule() {
+        let ds = small_dataset();
+        let cfg = FairwosConfig {
+            eval_interval: 3,
+            ..fast_config(Backbone::Gcn)
+        };
+        let mut sink = TelemetrySink::new();
+        let sens = ds.sensitive_of(&ds.split.test);
+        let mut probe = TrainProbe {
+            telemetry: Some(&mut sink),
+            eval: Some(TelemetryEval { nodes: &ds.split.test, sens: &sens }),
+        };
+        let mut tws = crate::TrainerWorkspace::new();
+        FairwosTrainer::new(cfg)
+            .fit_observed(&input_of(&ds), 22, &mut tws, &mut probe)
+            .expect("training converges");
+        for r in sink.records() {
+            assert_eq!(
+                r.eval.is_some(),
+                r.epoch % 3 == 0,
+                "eval presence off-schedule at stage {} epoch {}",
+                r.stage,
+                r.epoch
+            );
+        }
     }
 }

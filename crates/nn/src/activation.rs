@@ -145,8 +145,8 @@ impl Dropout {
     /// # Panics
     /// Same contract as [`Dropout::backward`].
     pub fn backward_ws(&mut self, dy: &Matrix, ws: &mut Workspace) -> Matrix {
-        // audit:allow(FW001): call-order contract documented under # Panics
         let scale = self.scale;
+        // audit:allow(FW001): call-order contract documented under # Panics
         let mask = self
             .mask
             .as_ref()

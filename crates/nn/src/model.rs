@@ -224,6 +224,7 @@ impl Gnn {
                 ws.give(old);
             }
         }
+        // audit:allow(FW001): Gnn::new asserts the layer count is non-zero
         let h = h.expect("at least one conv layer");
         let h_dropped = self.dropout.forward_train_ws(&h, rng, ws);
         let logits = self.head.forward_ws(&h_dropped, ws);
@@ -308,6 +309,20 @@ impl Gnn {
     /// Number of scalar parameters.
     pub fn num_parameters(&mut self) -> usize {
         self.params_mut().iter().map(|p| p.len()).sum()
+    }
+
+    /// Global L2 norm of all parameter gradients accumulated since the last
+    /// [`Gnn::zero_grad`]. Accumulates in `f64` so the norm of an exploding
+    /// gradient saturates to `inf` rather than wrapping through NaN — the
+    /// divergence watchdog treats both as an explosion.
+    pub fn grad_norm(&mut self) -> f32 {
+        let sum_sq: f64 = self
+            .params_mut()
+            .iter()
+            .flat_map(|p| p.grad.as_slice())
+            .map(|&g| g as f64 * g as f64)
+            .sum();
+        sum_sq.sqrt() as f32
     }
 
     /// Snapshots all weights in the stable [`Gnn::params_mut`] order, for

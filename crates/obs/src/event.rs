@@ -1,0 +1,213 @@
+//! The event journal's data model: typed events, their timestamped
+//! envelope, and the bounded ring buffer that stores them.
+//!
+//! Everything here is always compiled (no feature gate) so harness and
+//! exporter code can name the types in both build modes; only the *global*
+//! journal that fills a ring lives behind the `enabled` feature (in
+//! `registry.rs`). The ring itself is a plain value type, which keeps it
+//! directly testable — `tests/proptest_ring.rs` drives it without touching
+//! any process state.
+
+use std::collections::VecDeque;
+
+/// Default capacity of the global journal ring: enough for several thousand
+/// epochs of span/epoch/counter events without unbounded memory growth.
+pub const DEFAULT_JOURNAL_CAPACITY: usize = 65_536;
+
+/// One typed journal event (the payload of a [`TimedEvent`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Event {
+    /// A span guard was created under `label` (timeline "B" edge).
+    SpanBegin {
+        /// The span's hierarchical `/`-separated label.
+        label: String,
+    },
+    /// The span guard for `label` dropped (timeline "E" edge).
+    SpanEnd {
+        /// The span's hierarchical `/`-separated label.
+        label: String,
+    },
+    /// A training epoch boundary.
+    Epoch {
+        /// Training stage: 1 = encoder, 2 = classifier, 3 = fine-tuning.
+        stage: u8,
+        /// 0-based epoch index within the stage.
+        epoch: u64,
+    },
+    /// A health alert, e.g. from the divergence watchdog.
+    Alert {
+        /// Short machine-readable code, e.g. `watchdog/loss_spike`.
+        code: String,
+        /// Human-readable explanation.
+        message: String,
+    },
+    /// A point-in-time counter reading (cumulative total, not a delta), so
+    /// the trace viewer can render counter tracks over the run.
+    CounterSnapshot {
+        /// Counter label, e.g. `tensor/matmul/flops`.
+        label: String,
+        /// Cumulative counter total at the time of the snapshot.
+        value: u64,
+    },
+}
+
+/// An [`Event`] stamped with its time and originating thread.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TimedEvent {
+    /// Nanoseconds since the process-wide journal epoch. The epoch is a
+    /// monotonic [`std::time::Instant`] anchored on first use and never
+    /// re-anchored, so timestamps are comparable across the whole process
+    /// lifetime (including across `reset()` calls).
+    pub ts_ns: u64,
+    /// Dense per-process thread id (assigned in first-recording order,
+    /// starting at 0) — *not* the OS thread id.
+    pub tid: u64,
+    /// The event payload.
+    pub event: Event,
+}
+
+/// A bounded FIFO event buffer: once `capacity` events are held, each push
+/// evicts the oldest event first. The buffer never holds more than
+/// `capacity` events, so a journal left armed for an arbitrarily long run
+/// has bounded memory.
+#[derive(Clone, Debug)]
+pub struct EventRing {
+    capacity: usize,
+    events: VecDeque<TimedEvent>,
+    dropped: u64,
+}
+
+impl EventRing {
+    /// An empty ring holding at most `capacity` events (clamped to ≥ 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self {
+            capacity,
+            events: VecDeque::new(),
+            dropped: 0,
+        }
+    }
+
+    /// The maximum number of events the ring retains.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// How many events are currently held.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no events are held.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// How many events have been evicted (oldest-first) since the last
+    /// [`EventRing::clear`].
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Appends `event`, evicting the oldest event if the ring is full.
+    pub fn push(&mut self, event: TimedEvent) {
+        while self.events.len() >= self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(event);
+    }
+
+    /// Changes the capacity (clamped to ≥ 1), evicting oldest events if the
+    /// new capacity is smaller than the current length.
+    pub fn set_capacity(&mut self, capacity: usize) {
+        self.capacity = capacity.max(1);
+        while self.events.len() > self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+    }
+
+    /// Copies the retained events in push order (oldest first).
+    pub fn snapshot(&self) -> Vec<TimedEvent> {
+        self.events.iter().cloned().collect()
+    }
+
+    /// Removes every event and zeroes the dropped-event count. Capacity is
+    /// unchanged.
+    pub fn clear(&mut self) {
+        self.events.clear();
+        self.dropped = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(ts_ns: u64) -> TimedEvent {
+        TimedEvent {
+            ts_ns,
+            tid: 0,
+            event: Event::Epoch { stage: 2, epoch: ts_ns },
+        }
+    }
+
+    #[test]
+    fn push_within_capacity_keeps_everything_in_order() {
+        let mut ring = EventRing::new(4);
+        for t in 0..4 {
+            ring.push(ev(t));
+        }
+        assert_eq!(ring.len(), 4);
+        assert_eq!(ring.dropped(), 0);
+        let ts: Vec<u64> = ring.snapshot().iter().map(|e| e.ts_ns).collect();
+        assert_eq!(ts, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn overflow_evicts_oldest_first_and_never_exceeds_capacity() {
+        let mut ring = EventRing::new(3);
+        for t in 0..10 {
+            ring.push(ev(t));
+            assert!(ring.len() <= 3);
+        }
+        assert_eq!(ring.dropped(), 7);
+        let ts: Vec<u64> = ring.snapshot().iter().map(|e| e.ts_ns).collect();
+        assert_eq!(ts, vec![7, 8, 9], "the newest events must survive");
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let mut ring = EventRing::new(0);
+        assert_eq!(ring.capacity(), 1);
+        ring.push(ev(1));
+        ring.push(ev(2));
+        assert_eq!(ring.len(), 1);
+        assert_eq!(ring.snapshot()[0].ts_ns, 2);
+    }
+
+    #[test]
+    fn shrinking_capacity_drops_oldest() {
+        let mut ring = EventRing::new(5);
+        for t in 0..5 {
+            ring.push(ev(t));
+        }
+        ring.set_capacity(2);
+        let ts: Vec<u64> = ring.snapshot().iter().map(|e| e.ts_ns).collect();
+        assert_eq!(ts, vec![3, 4]);
+        assert_eq!(ring.dropped(), 3);
+    }
+
+    #[test]
+    fn clear_empties_and_resets_dropped() {
+        let mut ring = EventRing::new(2);
+        for t in 0..5 {
+            ring.push(ev(t));
+        }
+        ring.clear();
+        assert!(ring.is_empty());
+        assert_eq!(ring.dropped(), 0);
+        assert_eq!(ring.capacity(), 2);
+    }
+}

@@ -49,12 +49,20 @@
 //! assert_eq!(metrics.spans.is_empty(), !obs::is_enabled());
 //! ```
 
+mod event;
 mod json;
 mod report;
+mod telemetry;
+mod trace;
+pub mod watchdog;
 
+pub use event::{Event, EventRing, TimedEvent, DEFAULT_JOURNAL_CAPACITY};
 pub use report::{
     pipeline_json, write_pipeline_json, CounterMetric, RunMetrics, ScaleMetric, SpanMetric,
 };
+pub use telemetry::{EpochRecord, EvalMetrics, TelemetrySink, TELEMETRY_SCHEMA_VERSION};
+pub use trace::{trace_json, write_trace_json, TRACE_SCHEMA_VERSION};
+pub use watchdog::{lambda_in_simplex, Divergence, Watchdog, WatchdogPolicy};
 
 /// Whether the `enabled` feature compiled the instrumentation in.
 ///
@@ -80,7 +88,10 @@ macro_rules! span {
 mod registry;
 
 #[cfg(feature = "enabled")]
-pub use registry::{counter_add, reset, scale_max, span, SpanGuard};
+pub use registry::{
+    counter_add, counter_totals, journal_alert, journal_counter_snapshot, journal_epoch,
+    journal_events, journal_record, reset, scale_max, set_journal_capacity, span, SpanGuard,
+};
 
 #[cfg(not(feature = "enabled"))]
 mod noop {
@@ -109,10 +120,45 @@ mod noop {
     /// Clears the registry (no-op in this build).
     #[inline(always)]
     pub fn reset() {}
+
+    /// Counter totals snapshot (always empty in this build).
+    #[inline(always)]
+    pub fn counter_totals() -> Vec<(String, u64)> {
+        Vec::new()
+    }
+
+    /// Appends an event to the journal (no-op in this build).
+    #[inline(always)]
+    pub fn journal_record(_event: crate::Event) {}
+
+    /// Records an epoch-boundary event (no-op in this build).
+    #[inline(always)]
+    pub fn journal_epoch(_stage: u8, _epoch: u64) {}
+
+    /// Records an alert event (no-op in this build).
+    #[inline(always)]
+    pub fn journal_alert(_code: &str, _message: &str) {}
+
+    /// Records a counter-snapshot event (no-op in this build).
+    #[inline(always)]
+    pub fn journal_counter_snapshot(_label: &str, _value: u64) {}
+
+    /// Journal snapshot (always empty in this build).
+    #[inline(always)]
+    pub fn journal_events() -> Vec<crate::TimedEvent> {
+        Vec::new()
+    }
+
+    /// Resizes the journal ring (no-op in this build).
+    #[inline(always)]
+    pub fn set_journal_capacity(_capacity: usize) {}
 }
 
 #[cfg(not(feature = "enabled"))]
-pub use noop::{counter_add, reset, scale_max, span, SpanGuard};
+pub use noop::{
+    counter_add, counter_totals, journal_alert, journal_counter_snapshot, journal_epoch,
+    journal_events, journal_record, reset, scale_max, set_journal_capacity, span, SpanGuard,
+};
 
 #[cfg(test)]
 mod tests {

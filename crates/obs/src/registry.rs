@@ -9,9 +9,11 @@
 //! stable `bench_pipeline.json` schema rely on.
 
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock, PoisonError};
 use std::time::Instant;
 
+use crate::event::{Event, EventRing, TimedEvent, DEFAULT_JOURNAL_CAPACITY};
 use crate::report::{CounterMetric, ScaleMetric, SpanMetric};
 
 #[derive(Default)]
@@ -49,6 +51,79 @@ fn with_tables<R>(f: impl FnOnce(&mut Tables) -> R) -> R {
     f(&mut guard)
 }
 
+// ---------------------------------------------------------------------------
+// The event journal: a second global, independently locked, holding the
+// bounded ring of timeline events. Its lock is never taken while the tables
+// lock is held (and vice versa), so the two can never deadlock.
+// ---------------------------------------------------------------------------
+
+fn journal() -> &'static Mutex<EventRing> {
+    static JOURNAL: OnceLock<Mutex<EventRing>> = OnceLock::new();
+    JOURNAL.get_or_init(|| Mutex::new(EventRing::new(DEFAULT_JOURNAL_CAPACITY)))
+}
+
+fn with_journal<R>(f: impl FnOnce(&mut EventRing) -> R) -> R {
+    // Same poison policy as the tables: the ring is never half-updated.
+    let mut guard = journal().lock().unwrap_or_else(PoisonError::into_inner);
+    f(&mut guard)
+}
+
+/// The process-wide journal epoch: anchored at the first timestamped event
+/// and never re-anchored, so `ts_ns` stays monotonic and comparable across
+/// `reset()` boundaries.
+fn journal_anchor() -> Instant {
+    static ANCHOR: OnceLock<Instant> = OnceLock::new();
+    *ANCHOR.get_or_init(Instant::now)
+}
+
+/// Dense per-process thread id, assigned in first-recording order.
+fn current_tid() -> u64 {
+    static NEXT_TID: AtomicU64 = AtomicU64::new(0);
+    thread_local! {
+        static TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+    }
+    TID.with(|t| *t)
+}
+
+/// Stamps `event` with the monotonic journal time and the calling thread's
+/// dense id, then appends it to the ring (evicting oldest-first when full).
+pub fn journal_record(event: Event) {
+    let ts_ns = journal_anchor().elapsed().as_nanos() as u64;
+    let tid = current_tid();
+    with_journal(|j| j.push(TimedEvent { ts_ns, tid, event }));
+}
+
+/// Records a training-epoch boundary event (stage 1/2/3, 0-based epoch).
+pub fn journal_epoch(stage: u8, epoch: u64) {
+    journal_record(Event::Epoch { stage, epoch });
+}
+
+/// Records an alert event (e.g. a watchdog trigger): `code` is the short
+/// machine-readable identifier, `message` the human-readable detail.
+pub fn journal_alert(code: &str, message: &str) {
+    journal_record(Event::Alert {
+        code: code.to_owned(),
+        message: message.to_owned(),
+    });
+}
+
+/// Records a point-in-time counter reading (cumulative total).
+pub fn journal_counter_snapshot(label: &str, value: u64) {
+    journal_record(Event::CounterSnapshot { label: label.to_owned(), value });
+}
+
+/// Copies the journal's retained events in push order (oldest first).
+pub fn journal_events() -> Vec<TimedEvent> {
+    with_journal(|j| j.snapshot())
+}
+
+/// Resizes the journal ring (clamped to ≥ 1), evicting oldest events if
+/// shrinking below the current length. Harnesses call this before a run
+/// whose event volume exceeds [`DEFAULT_JOURNAL_CAPACITY`].
+pub fn set_journal_capacity(capacity: usize) {
+    with_journal(|j| j.set_capacity(capacity));
+}
+
 /// Live span: wall time runs from [`span`] until this guard drops.
 ///
 /// The lifetime ties the guard to its label so labels can be borrowed
@@ -62,6 +137,7 @@ pub struct SpanGuard<'a> {
 impl Drop for SpanGuard<'_> {
     fn drop(&mut self) {
         let elapsed = self.start.elapsed().as_nanos();
+        journal_record(Event::SpanEnd { label: self.label.to_owned() });
         with_tables(|t| {
             let agg = t.spans.entry(self.label.to_owned()).or_default();
             if agg.count == 0 || elapsed < agg.min_ns {
@@ -83,6 +159,9 @@ impl Drop for SpanGuard<'_> {
 /// convention (`train/stage2` contains `train/stage2/epoch`); the registry
 /// itself is flat.
 pub fn span(label: &str) -> SpanGuard<'_> {
+    // The begin event is journaled *before* timing starts, so the journal
+    // write does not count against the span's own measured duration.
+    journal_record(Event::SpanBegin { label: label.to_owned() });
     SpanGuard { label, start: Instant::now() }
 }
 
@@ -109,14 +188,29 @@ pub fn scale_max(label: &str, value: u64) {
     });
 }
 
-/// Clears every table. Harnesses call this at the start of each run so a
-/// subsequent [`crate::RunMetrics::capture`] sees only that run.
+/// Clears every table *and* the event journal. Harnesses call this at the
+/// start of each run so a subsequent [`crate::RunMetrics::capture`] (or
+/// [`journal_events`] export) sees only that run. The journal's capacity
+/// and the timestamp anchor survive the reset.
 pub fn reset() {
     with_tables(|t| {
         t.spans.clear();
         t.counters.clear();
         t.scales.clear();
     });
+    with_journal(EventRing::clear);
+}
+
+/// Current `(label, cumulative total)` of every counter, sorted by label.
+/// The trainer's telemetry layer diffs consecutive snapshots into per-epoch
+/// counter deltas.
+pub fn counter_totals() -> Vec<(String, u64)> {
+    with_tables(|t| {
+        t.counters
+            .iter()
+            .map(|(label, a)| (label.clone(), a.total))
+            .collect()
+    })
 }
 
 const NANOS_PER_SEC: f64 = 1e9;

@@ -1,0 +1,177 @@
+//! Chrome `trace_event` JSON export of the event journal.
+//!
+//! The output is the *JSON Object Format* understood by Perfetto and
+//! `chrome://tracing`: a top-level object whose `traceEvents` array holds
+//! one object per event. Mapping:
+//!
+//! | journal event      | `ph`  | notes                                    |
+//! |--------------------|-------|------------------------------------------|
+//! | `SpanBegin`        | `"B"` | duration-begin, `name` = span label      |
+//! | `SpanEnd`          | `"E"` | duration-end, closes the innermost `"B"` |
+//! | `Epoch`            | `"i"` | instant, `args: {stage, epoch}`          |
+//! | `Alert`            | `"i"` | instant, `name` = alert code             |
+//! | `CounterSnapshot`  | `"C"` | counter track, `args: {value}`           |
+//!
+//! Timestamps are microseconds (the format's unit) with nanosecond
+//! precision kept as three fixed decimals, so the serialization is
+//! byte-stable and golden-fixture testable. Events appear in journal push
+//! order; per-thread ordering (and thus `"B"`/`"E"` nesting) is preserved
+//! because each thread pushes its own events in program order.
+
+use std::io::Write as _;
+use std::path::Path;
+
+use crate::event::{Event, TimedEvent};
+use crate::json::push_str_literal;
+
+/// Version stamp written into the trace document (top-level
+/// `schema_version` field, ignored by trace viewers).
+pub const TRACE_SCHEMA_VERSION: u32 = 1;
+
+/// Appends `ts_ns` as a microsecond timestamp with three decimals
+/// (`1234567` ns → `1234.567`).
+fn push_ts(out: &mut String, ts_ns: u64) {
+    out.push_str(&format!("{}.{:03}", ts_ns / 1000, ts_ns % 1000));
+}
+
+fn push_event(out: &mut String, e: &TimedEvent) {
+    let envelope = |out: &mut String, name: &str, cat: &str, ph: &str| {
+        out.push_str("{\"name\": ");
+        push_str_literal(out, name);
+        out.push_str(", \"cat\": ");
+        push_str_literal(out, cat);
+        out.push_str(&format!(", \"ph\": \"{ph}\", \"ts\": "));
+        push_ts(out, e.ts_ns);
+        out.push_str(&format!(", \"pid\": 1, \"tid\": {}", e.tid));
+    };
+    match &e.event {
+        Event::SpanBegin { label } => {
+            envelope(out, label, "span", "B");
+        }
+        Event::SpanEnd { label } => {
+            envelope(out, label, "span", "E");
+        }
+        Event::Epoch { stage, epoch } => {
+            envelope(out, "train/epoch", "train", "i");
+            out.push_str(&format!(
+                ", \"s\": \"t\", \"args\": {{\"stage\": {stage}, \"epoch\": {epoch}}}"
+            ));
+        }
+        Event::Alert { code, message } => {
+            envelope(out, code, "alert", "i");
+            out.push_str(", \"s\": \"g\", \"args\": {\"message\": ");
+            push_str_literal(out, message);
+            out.push('}');
+        }
+        Event::CounterSnapshot { label, value } => {
+            envelope(out, label, "counter", "C");
+            out.push_str(&format!(", \"args\": {{\"value\": {value}}}"));
+        }
+    }
+    out.push('}');
+}
+
+/// Serializes `events` as a Chrome `trace_event` JSON document (one event
+/// per line inside `traceEvents`, trailing newline). The exact bytes are
+/// pinned by `tests/golden_trace.rs`.
+pub fn trace_json(events: &[TimedEvent]) -> String {
+    let mut out = String::with_capacity(64 + events.len() * 96);
+    out.push_str("{\n");
+    out.push_str(&format!("  \"schema_version\": {TRACE_SCHEMA_VERSION},\n"));
+    out.push_str("  \"tool\": \"fairwos-obs\",\n");
+    out.push_str("  \"displayTimeUnit\": \"ms\",\n");
+    out.push_str("  \"traceEvents\": [");
+    for (i, e) in events.iter().enumerate() {
+        out.push_str("\n    ");
+        push_event(&mut out, e);
+        if i + 1 < events.len() {
+            out.push(',');
+        }
+    }
+    if events.is_empty() {
+        out.push(']');
+    } else {
+        out.push_str("\n  ]");
+    }
+    out.push_str("\n}\n");
+    out
+}
+
+/// Writes [`trace_json`] to `path`, creating parent directories.
+///
+/// # Errors
+///
+/// Propagates any I/O error from directory creation or the file write.
+pub fn write_trace_json(path: &Path, events: &[TimedEvent]) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let mut file = std::fs::File::create(path)?;
+    file.write_all(trace_json(events).as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at(ts_ns: u64, tid: u64, event: Event) -> TimedEvent {
+        TimedEvent { ts_ns, tid, event }
+    }
+
+    #[test]
+    fn empty_journal_serializes_as_empty_array() {
+        let doc = trace_json(&[]);
+        assert!(doc.contains("\"traceEvents\": []\n}"), "{doc}");
+        assert!(doc.starts_with("{\n  \"schema_version\": 1,\n"));
+    }
+
+    #[test]
+    fn span_pair_maps_to_b_and_e_with_microsecond_ts() {
+        let doc = trace_json(&[
+            at(1_500, 0, Event::SpanBegin { label: "train/stage2/epoch".to_owned() }),
+            at(2_501_250, 0, Event::SpanEnd { label: "train/stage2/epoch".to_owned() }),
+        ]);
+        assert!(
+            doc.contains(
+                "{\"name\": \"train/stage2/epoch\", \"cat\": \"span\", \"ph\": \"B\", \
+                 \"ts\": 1.500, \"pid\": 1, \"tid\": 0}"
+            ),
+            "{doc}"
+        );
+        assert!(doc.contains("\"ph\": \"E\", \"ts\": 2501.250"), "{doc}");
+    }
+
+    #[test]
+    fn instants_and_counters_carry_args() {
+        let doc = trace_json(&[
+            at(0, 1, Event::Epoch { stage: 3, epoch: 7 }),
+            at(10, 1, Event::Alert {
+                code: "watchdog/loss_spike".to_owned(),
+                message: "loss 9 exceeded baseline".to_owned(),
+            }),
+            at(20, 1, Event::CounterSnapshot {
+                label: "tensor/matmul/flops".to_owned(),
+                value: 1234,
+            }),
+        ]);
+        assert!(doc.contains("\"args\": {\"stage\": 3, \"epoch\": 7}"), "{doc}");
+        assert!(doc.contains("\"name\": \"watchdog/loss_spike\""), "{doc}");
+        assert!(doc.contains("\"args\": {\"message\": \"loss 9 exceeded baseline\"}"), "{doc}");
+        assert!(doc.contains("\"ph\": \"C\", \"ts\": 0.020"), "{doc}");
+        assert!(doc.contains("\"args\": {\"value\": 1234}"), "{doc}");
+    }
+
+    #[test]
+    fn write_creates_parent_directories() {
+        let dir = std::env::temp_dir().join("fairwos_obs_trace_test");
+        let path = dir.join("nested").join("trace.json");
+        let _ = std::fs::remove_dir_all(&dir);
+        let events = [at(5, 0, Event::Epoch { stage: 1, epoch: 0 })];
+        write_trace_json(&path, &events).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(body, trace_json(&events));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,63 @@
+//! Property tests for the event journal's bounded ring: length never
+//! exceeds capacity, eviction is strictly oldest-first, and the dropped
+//! count accounts for every evicted event.
+
+use fairwos_obs::{Event, EventRing, TimedEvent};
+use proptest::prelude::*;
+
+fn epoch_at(i: usize) -> TimedEvent {
+    TimedEvent {
+        ts_ns: i as u64,
+        tid: 0,
+        event: Event::Epoch { stage: 2, epoch: i as u64 },
+    }
+}
+
+proptest! {
+    #[test]
+    fn ring_is_bounded_and_evicts_oldest_first(
+        capacity in 1usize..48,
+        n in 0usize..256,
+    ) {
+        let mut ring = EventRing::new(capacity);
+        for i in 0..n {
+            ring.push(epoch_at(i));
+            prop_assert!(ring.len() <= capacity, "len {} > capacity {}", ring.len(), capacity);
+        }
+        let retained = n.min(capacity);
+        let snap = ring.snapshot();
+        prop_assert_eq!(snap.len(), retained);
+        prop_assert_eq!(ring.dropped(), (n - retained) as u64);
+        // The survivors are exactly the most recent `retained` pushes, in
+        // push order — i.e. eviction removed a prefix, never a middle or
+        // recent element.
+        for (j, ev) in snap.iter().enumerate() {
+            prop_assert_eq!(ev.ts_ns, (n - retained + j) as u64);
+        }
+    }
+
+    #[test]
+    fn shrinking_capacity_drops_only_the_oldest(
+        initial in 1usize..48,
+        fill in 0usize..64,
+        shrunk in 0usize..48,
+    ) {
+        let mut ring = EventRing::new(initial);
+        for i in 0..fill {
+            ring.push(epoch_at(i));
+        }
+        let before = ring.snapshot();
+        ring.set_capacity(shrunk);
+        let effective = shrunk.max(1); // zero clamps to 1
+        prop_assert_eq!(ring.capacity(), effective);
+        let snap = ring.snapshot();
+        prop_assert!(snap.len() <= effective);
+        // What survives a shrink is exactly the tail of what was there.
+        prop_assert_eq!(&snap[..], &before[before.len() - snap.len()..]);
+        // And pushes after the shrink still respect the new bound.
+        ring.push(epoch_at(fill));
+        prop_assert!(ring.len() <= effective);
+        let last = ring.snapshot();
+        prop_assert_eq!(last.last().map(|e| e.ts_ns), Some(fill as u64));
+    }
+}

@@ -31,7 +31,7 @@ fn main() {
             ..FairwosConfig::fast(backbone)
         };
         let start = std::time::Instant::now();
-        let trained = FairwosTrainer::new(config).fit(&input, 11);
+        let trained = FairwosTrainer::new(config).fit(&input, 11).expect("training diverged");
         let secs = start.elapsed().as_secs_f64();
         let probs = trained.predict_probs();
         let tp: Vec<f32> = ds.split.test.iter().map(|&v| probs[v]).collect();

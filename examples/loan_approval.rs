@@ -93,7 +93,7 @@ fn main() {
         finetune_epochs: 40,
         ..FairwosConfig::fast(Backbone::Gcn)
     };
-    let trained = FairwosTrainer::new(config).fit(&input, 3);
+    let trained = FairwosTrainer::new(config).fit(&input, 3).expect("training diverged");
     eval("Fairwos", &trained.predict_probs());
 
     // --- How much does each pseudo-sensitive attribute proxy race?

@@ -51,7 +51,7 @@ fn main() {
         finetune_epochs: 40,
         ..FairwosConfig::fast(Backbone::Gcn)
     };
-    let trained = FairwosTrainer::new(config).fit(&input, 42);
+    let trained = FairwosTrainer::new(config).fit(&input, 42).expect("training diverged");
     let f = evaluate("Fairwos", &trained.predict_probs());
 
     // 4. Inspect the learned artifacts.

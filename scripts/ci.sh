@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # The full CI gate, runnable locally: formatting, release build, tests
-# (default features AND the checked+obs instrumented build), the FW static
-# lints, the finite-difference gradient sweep, and an instrumented bench
-# smoke run that must produce results/bench_pipeline.json.
+# (default features AND the checked+obs instrumented build), an obs-off
+# build proving the pipeline crates compile without the instrumentation
+# feature, the FW static lints, the finite-difference gradient sweep, and
+# instrumented bench smoke runs that must produce
+# results/bench_pipeline.json plus the trace/telemetry artifacts.
 # Mirrors .github/workflows/ci.yml.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -22,9 +24,20 @@ cargo test --workspace --features fairwos/checked,fairwos/obs,fairwos-bench/obs 
 echo "==> determinism test under RAYON_NUM_THREADS=1"
 RAYON_NUM_THREADS=1 cargo test -p fairwos --test determinism -q
 
+echo "==> obs-off builds (pipeline crates must compile without the feature)"
+cargo build -p fairwos-tensor -p fairwos-nn -p fairwos-core --no-default-features
+
 echo "==> instrumented bench smoke run (results/bench_pipeline.json)"
 cargo run --release -p fairwos-bench --features obs --bin exp_table2 -- --scale 0.02 --runs 1
 test -s results/bench_pipeline.json
+
+echo "==> instrumented convergence trace (results/trace.json + telemetry.jsonl)"
+cargo run --release -p fairwos-bench --features obs --bin exp_fig5_convergence -- --scale 0.3
+test -s results/trace.json
+test -s results/telemetry.jsonl
+
+echo "==> trace/telemetry artifact validation"
+cargo run --release -p fairwos-bench --bin trace_check
 
 echo "==> bench wall-clock regression gate (results/bench_baseline.json)"
 cargo run --release -p fairwos-bench --bin bench_check

@@ -134,7 +134,12 @@ fn main() {
                 train: &ds.split.train,
                 val: &ds.split.val,
             };
-            let mut trained = FairwosTrainer::new(config).fit(&input, seed);
+            let mut trained = FairwosTrainer::new(config)
+                .fit(&input, seed)
+                .unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    exit(1);
+                });
             let out = required(&flags, "out");
             trained.to_model_file().save(out).unwrap_or_else(|e| {
                 eprintln!("writing model: {e}");

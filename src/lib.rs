@@ -39,7 +39,9 @@
 //!     train: &ds.split.train,
 //!     val: &ds.split.val,
 //! };
-//! let trained = FairwosTrainer::new(config).fit(&input, 0);
+//! let trained = FairwosTrainer::new(config)
+//!     .fit(&input, 0)
+//!     .expect("training diverged");
 //!
 //! // Evaluate utility and fairness on the test split.
 //! let probs = trained.predict_probs();
@@ -64,7 +66,8 @@ pub use fairwos_obs as obs;
 pub use fairwos_tensor as tensor;
 
 pub use fairwos_core::{
-    FairMethod, FairwosConfig, FairwosTrainer, TrainInput, TrainedFairwos, TrainerWorkspace,
+    FairMethod, FairwosConfig, FairwosTrainer, TrainInput, TrainProbe, TrainedFairwos,
+    TrainerWorkspace, TrainingDiverged,
 };
 pub use fairwos_datasets::{DatasetSpec, FairGraphDataset};
 pub use fairwos_fairness::EvalReport;
@@ -75,7 +78,8 @@ pub use fairwos_tensor::Matrix;
 pub mod prelude {
     pub use crate::baselines::{FairGkd, FairRF, KSmote, RemoveR, Vanilla};
     pub use crate::core::{
-        FairMethod, FairwosConfig, FairwosTrainer, TrainInput, TrainedFairwos, TrainerWorkspace,
+        Divergence, FairMethod, FairwosConfig, FairwosTrainer, TelemetryEval, TrainInput,
+        TrainProbe, TrainedFairwos, TrainerWorkspace, TrainingDiverged, WatchdogConfig,
     };
     pub use crate::datasets::{DatasetSpec, DatasetStats, FairGraphDataset, Split};
     pub use crate::fairness::{accuracy, delta_eo, delta_sp, EvalReport, MeanStd, RunAggregator};

@@ -45,7 +45,7 @@ fn alloc_bytes_of_fit(ds: &FairGraphDataset, finetune_epochs: usize, seed: u64) 
         val: &ds.split.val,
     };
     obs::reset();
-    let _ = FairwosTrainer::new(config(finetune_epochs)).fit(&input, seed);
+    let _ = FairwosTrainer::new(config(finetune_epochs)).fit(&input, seed).expect("training converges");
     let metrics = obs::RunMetrics::capture("Fairwos", "alloc-budget", "GCN", seed, 0.0);
     metrics
         .counters

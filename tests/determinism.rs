@@ -46,7 +46,7 @@ fn run_pipeline(ds: &FairGraphDataset, seed: u64) -> (Vec<f32>, EvalReport) {
         train: &ds.split.train,
         val: &ds.split.val,
     };
-    let trained = FairwosTrainer::new(config()).fit(&input, seed);
+    let trained = FairwosTrainer::new(config()).fit(&input, seed).expect("training converges");
     let probs = trained.predict_probs();
     let test_probs: Vec<f32> = ds.split.test.iter().map(|&v| probs[v]).collect();
     let report = EvalReport::compute(
@@ -94,9 +94,9 @@ fn buffer_reuse_matches_allocating_path() {
         val: &ds.split.val,
     };
     let trainer = FairwosTrainer::new(config());
-    let pooled = trainer.fit(&input, 42);
+    let pooled = trainer.fit(&input, 42).expect("training converges");
     let mut tws = TrainerWorkspace::disposable();
-    let allocating = trainer.fit_with(&input, 42, &mut tws);
+    let allocating = trainer.fit_with(&input, 42, &mut tws).expect("training converges");
 
     let probs_pooled = pooled.predict_probs();
     let probs_alloc = allocating.predict_probs();

@@ -133,7 +133,7 @@ fn both_backbones_complete_the_full_pipeline() {
             classifier_epochs: 80,
             ..FairwosConfig::fast(backbone)
         };
-        let trained = FairwosTrainer::new(cfg).fit(&input(&ds), 1);
+        let trained = FairwosTrainer::new(cfg).fit(&input(&ds), 1).expect("training converges");
         let probs = trained.predict_probs();
         assert!(probs.iter().all(|p| p.is_finite()), "{backbone} produced NaN");
         assert!(!trained.embeddings().has_non_finite(), "{backbone} embeddings NaN");
@@ -145,7 +145,7 @@ fn pseudo_sensitive_attributes_proxy_the_hidden_attribute() {
     // Fig. 7 shape: the encoder output separates the true sensitive groups
     // (positive silhouette), even though it never saw them.
     let ds = dataset();
-    let trained = FairwosTrainer::new(fairwos_config()).fit(&input(&ds), 30);
+    let trained = FairwosTrainer::new(fairwos_config()).fit(&input(&ds), 30).expect("training converges");
     let x0 = trained.pseudo_sensitive_attributes().select_rows(&ds.split.test);
     let labels: Vec<usize> = ds.sensitive_of(&ds.split.test).iter().map(|&s| s as usize).collect();
     let sil = fairwos::analysis::silhouette_score(&x0, &labels);

@@ -29,7 +29,7 @@ proptest! {
             train: &ds.split.train,
             val: &ds.split.val,
         };
-        let trained = FairwosTrainer::new(short_config(Backbone::Gcn)).fit(&input, seed);
+        let trained = FairwosTrainer::new(short_config(Backbone::Gcn)).fit(&input, seed).expect("training converges");
 
         // Predictions are probabilities for every node.
         let probs = trained.predict_probs();
@@ -75,8 +75,8 @@ proptest! {
             train: &ds.split.train,
             val: &ds.split.val,
         };
-        let a = FairwosTrainer::new(short_config(Backbone::Gcn)).fit(&input, seed);
-        let b = FairwosTrainer::new(short_config(Backbone::Gcn)).fit(&input, seed);
+        let a = FairwosTrainer::new(short_config(Backbone::Gcn)).fit(&input, seed).expect("training converges");
+        let b = FairwosTrainer::new(short_config(Backbone::Gcn)).fit(&input, seed).expect("training converges");
         prop_assert_eq!(a.predict_probs(), b.predict_probs());
         prop_assert_eq!(a.lambda(), b.lambda());
     }

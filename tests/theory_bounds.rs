@@ -63,7 +63,7 @@ fn theorem2_trained_model_reports_finite_bound() {
         learning_rate: 0.01,
         ..FairwosConfig::paper_default(Backbone::Gcn)
     };
-    let trained = FairwosTrainer::new(cfg).fit(&input, 0);
+    let trained = FairwosTrainer::new(cfg).fit(&input, 0).expect("training converges");
     let bound = trained.weight_product_norm();
     assert!(bound.is_finite() && bound > 0.0, "Π‖W_a‖ = {bound}");
 }
@@ -119,7 +119,7 @@ fn theorem3_fairwos_classifier_loss_descends() {
         learning_rate: 0.01,
         ..FairwosConfig::paper_default(Backbone::Gcn)
     };
-    let trained = FairwosTrainer::new(cfg).fit(&input, 0);
+    let trained = FairwosTrainer::new(cfg).fit(&input, 0).expect("training converges");
     let losses = &trained.history.classifier_losses;
     assert!(losses.last().unwrap() < &(losses[0] * 0.7), "{} -> {}", losses[0], losses.last().unwrap());
     let decreasing = losses.windows(2).filter(|w| w[1] <= w[0]).count();
@@ -149,7 +149,7 @@ fn theorem1_mutual_information_chain_holds_empirically() {
         val: &ds.split.val,
     };
     let cfg = FairwosConfig { alpha: 2.0, finetune_epochs: 40, ..FairwosConfig::fast(Backbone::Gcn) };
-    let trained = FairwosTrainer::new(cfg).fit(&input, 0);
+    let trained = FairwosTrainer::new(cfg).fit(&input, 0).expect("training converges");
     let probs = trained.predict_probs();
 
     let s: Vec<usize> = ds.sensitive_of(&ds.split.test).iter().map(|&b| b as usize).collect();
@@ -194,8 +194,8 @@ fn theorem1_fairness_regularizer_reduces_group_information() {
     let mut sil_full = 0.0;
     for seed in [40, 41, 42] {
         let wof = FairwosTrainer::new(FairwosConfig { use_fairness: false, ..base.clone() })
-            .fit(&input, seed);
-        let full = FairwosTrainer::new(base.clone()).fit(&input, seed);
+            .fit(&input, seed).expect("training converges");
+        let full = FairwosTrainer::new(base.clone()).fit(&input, seed).expect("training converges");
         sil_wof += fairwos::analysis::silhouette_score(&wof.embeddings(), &labels);
         sil_full += fairwos::analysis::silhouette_score(&full.embeddings(), &labels);
     }
