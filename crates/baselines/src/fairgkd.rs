@@ -87,7 +87,7 @@ impl FairMethod for FairGkd {
     }
 
     fn fit_predict(&self, input: &TrainInput<'_>, seed: u64) -> Vec<f32> {
-        input.validate();
+        input.assert_valid();
 
         // Teacher 1: features only.
         let t_feat = train_feature_teacher(

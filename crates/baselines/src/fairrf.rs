@@ -84,7 +84,7 @@ impl FairMethod for FairRF {
     }
 
     fn fit_predict(&self, input: &TrainInput<'_>, seed: u64) -> Vec<f32> {
-        input.validate();
+        input.assert_valid();
         let features = input.features;
         let related = &self.related;
         let train = input.train;

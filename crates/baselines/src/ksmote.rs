@@ -78,7 +78,7 @@ impl FairMethod for KSmote {
     }
 
     fn fit_predict(&self, input: &TrainInput<'_>, seed: u64) -> Vec<f32> {
-        input.validate();
+        input.assert_valid();
         // Pseudo-groups from feature clustering (no sensitive attribute).
         let mut rng = seeded_rng(seed ^ 0x5eed);
         let clusters = kmeans(input.features, self.k, 50, &mut rng);

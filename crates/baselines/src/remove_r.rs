@@ -37,7 +37,7 @@ impl FairMethod for RemoveR {
     }
 
     fn fit_predict(&self, input: &TrainInput<'_>, seed: u64) -> Vec<f32> {
-        input.validate();
+        input.assert_valid();
         let keep: Vec<usize> =
             (0..input.features.cols()).filter(|c| !self.candidates.contains(c)).collect();
         assert!(!keep.is_empty(), "RemoveR would delete every attribute");

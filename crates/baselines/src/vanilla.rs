@@ -29,7 +29,7 @@ impl FairMethod for Vanilla {
     }
 
     fn fit_predict(&self, input: &TrainInput<'_>, seed: u64) -> Vec<f32> {
-        input.validate();
+        input.assert_valid();
         let (gnn, ctx, _) = train_gnn(
             input.graph,
             input.features,

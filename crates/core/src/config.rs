@@ -86,6 +86,44 @@ impl WatchdogConfig {
     }
 }
 
+/// Checkpointing and divergence-recovery policy for
+/// [`crate::FairwosTrainer::fit_resumable`].
+///
+/// Serde-defaulted field-by-field so configs serialized before the recovery
+/// subsystem existed still load.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[serde(default)]
+pub struct RecoveryConfig {
+    /// A checkpoint is written every `checkpoint_interval` stage-2/stage-3
+    /// epochs (plus one at each stage boundary). Must be ≥ 1.
+    pub checkpoint_interval: usize,
+    /// How many checkpoint generations the store retains; older ones are
+    /// pruned after each successful write. Must be ≥ 1.
+    pub retain: usize,
+    /// Attempts per checkpoint write before the transient-failure retry
+    /// gives up and surfaces the error. Must be ≥ 1.
+    pub write_attempts: usize,
+    /// How many divergence rollbacks `fit_resumable` performs (each one
+    /// scaling the learning rate by [`RecoveryConfig::lr_backoff`]) before
+    /// surfacing the divergence error.
+    pub max_rollbacks: usize,
+    /// Learning-rate multiplier applied on each divergence rollback. Must
+    /// be in `(0, 1]`.
+    pub lr_backoff: f32,
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> Self {
+        Self {
+            checkpoint_interval: 10,
+            retain: 3,
+            write_attempts: 3,
+            max_rollbacks: 2,
+            lr_backoff: 0.5,
+        }
+    }
+}
+
 /// All hyper-parameters of Algorithm 1, including the ablation switches
 /// used by the Fig. 4 experiment.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -148,6 +186,10 @@ pub struct FairwosConfig {
     /// Divergence-watchdog thresholds (see [`WatchdogConfig`]).
     #[serde(default)]
     pub watchdog: WatchdogConfig,
+    /// Checkpoint/recovery policy (see [`RecoveryConfig`]); only consulted
+    /// by the `fit_resumable` entry points.
+    #[serde(default)]
+    pub recovery: RecoveryConfig,
 }
 
 fn default_cf_refresh_interval() -> usize {
@@ -184,6 +226,7 @@ impl FairwosConfig {
             use_weight_update: true,
             eval_interval: 1,
             watchdog: WatchdogConfig::default(),
+            recovery: RecoveryConfig::default(),
         }
     }
 
@@ -237,6 +280,19 @@ impl FairwosConfig {
         assert!(
             self.watchdog.loss_floor > 0.0,
             "watchdog.loss_floor must be positive"
+        );
+        assert!(
+            self.recovery.checkpoint_interval >= 1,
+            "recovery.checkpoint_interval must be ≥ 1"
+        );
+        assert!(self.recovery.retain >= 1, "recovery.retain must be ≥ 1");
+        assert!(
+            self.recovery.write_attempts >= 1,
+            "recovery.write_attempts must be ≥ 1"
+        );
+        assert!(
+            self.recovery.lr_backoff > 0.0 && self.recovery.lr_backoff <= 1.0,
+            "recovery.lr_backoff must be in (0, 1]"
         );
     }
 
@@ -350,6 +406,32 @@ mod tests {
             watchdog: WatchdogConfig {
                 spike_factor: 1.0,
                 ..WatchdogConfig::default()
+            },
+            ..FairwosConfig::paper_default(Backbone::Gcn)
+        }
+        .validate();
+    }
+
+    #[test]
+    fn recovery_defaults_when_absent_from_serialized_config() {
+        // Configs serialized before the recovery subsystem existed must
+        // still load.
+        let cfg = FairwosConfig::paper_default(Backbone::Gcn);
+        let mut json: serde_json::Value = serde_json::to_value(&cfg).expect("config serializes");
+        json.as_object_mut().expect("object").remove("recovery");
+        let restored: FairwosConfig =
+            serde_json::from_value(json).expect("config without the field deserializes");
+        assert_eq!(restored.recovery, RecoveryConfig::default());
+        restored.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "recovery.lr_backoff must be in (0, 1]")]
+    fn validate_rejects_out_of_range_lr_backoff() {
+        FairwosConfig {
+            recovery: RecoveryConfig {
+                lr_backoff: 1.5,
+                ..RecoveryConfig::default()
             },
             ..FairwosConfig::paper_default(Backbone::Gcn)
         }

@@ -68,6 +68,21 @@ impl CounterfactualSets {
         }
     }
 
+    /// Rebuilds the structure from previously exported parts (see
+    /// [`CounterfactualSets::export_sets`]), re-deriving the flattened pair
+    /// lists. Used by checkpoint resume so a restored run reuses the exact
+    /// sets the interrupted run had searched, rather than re-searching
+    /// against slightly different embeddings.
+    pub fn from_sets(queries: Vec<usize>, sets: Vec<Vec<Vec<usize>>>) -> Self {
+        Self::new(queries, sets)
+    }
+
+    /// The raw per-attribute, per-query counterfactual sets, for
+    /// persistence. Round-trips through [`CounterfactualSets::from_sets`].
+    pub fn export_sets(&self) -> Vec<Vec<Vec<usize>>> {
+        self.sets.clone()
+    }
+
     /// The counterfactual list of each query node under attribute `i`,
     /// parallel to [`CounterfactualSets::queries`].
     pub fn for_attr(&self, i: usize) -> &[Vec<usize>] {

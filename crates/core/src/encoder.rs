@@ -1,6 +1,7 @@
 //! The encoder module (paper §III-B, Eq. 4–6): learns low-dimensional node
 //! attributes `X⁰` whose dimensions serve as pseudo-sensitive attributes.
 
+use crate::persist::PersistError;
 use crate::TrainInput;
 use fairwos_nn::loss::softmax_cross_entropy_masked_ws;
 use fairwos_nn::{Adam, GcnConv, GraphContext, Linear, Optimizer, Workspace};
@@ -26,6 +27,10 @@ pub struct Encoder {
 impl Encoder {
     /// Pre-trains an encoder of output dimension `dim` for `epochs` epochs
     /// with Adam(`lr`) on the labeled nodes of `input`.
+    ///
+    /// # Panics
+    /// If `input` fails [`TrainInput::validate`]. Callers with an error
+    /// channel (the trainer) validate before reaching this point.
     pub fn pretrain(
         input: &TrainInput<'_>,
         ctx: &GraphContext,
@@ -34,7 +39,7 @@ impl Encoder {
         lr: f32,
         rng: &mut impl Rng,
     ) -> Self {
-        input.validate();
+        input.assert_valid();
         let mut conv = GcnConv::new(input.features.cols(), dim, rng);
         let mut head = Linear::new(dim, 2, rng);
         let labels: Vec<usize> = input.labels.iter().map(|&y| (y >= 0.5) as usize).collect();
@@ -112,9 +117,14 @@ impl Encoder {
     /// Rebuilds an encoder from exported weights; `in_dim`/`dim` must match
     /// the exporting encoder's architecture.
     ///
-    /// # Panics
-    /// If the weight count or shapes disagree.
-    pub fn from_weights(in_dim: usize, dim: usize, weights: &[Matrix]) -> Self {
+    /// # Errors
+    /// [`PersistError::ShapeMismatch`] when the weight count or any weight
+    /// shape disagrees with the `in_dim`/`dim` architecture.
+    pub fn from_weights(
+        in_dim: usize,
+        dim: usize,
+        weights: &[Matrix],
+    ) -> Result<Self, PersistError> {
         let mut rng = fairwos_tensor::seeded_rng(0);
         let mut enc = Self {
             conv: GcnConv::new(in_dim, dim, &mut rng),
@@ -123,12 +133,26 @@ impl Encoder {
         };
         let mut params = enc.conv.params_mut();
         params.extend(enc.head.params_mut());
-        assert_eq!(params.len(), weights.len(), "encoder weight count mismatch");
+        if params.len() != weights.len() {
+            return Err(PersistError::ShapeMismatch {
+                what: "encoder weight count".to_owned(),
+                expected: params.len().to_string(),
+                found: weights.len().to_string(),
+            });
+        }
         for (p, w) in params.into_iter().zip(weights) {
-            assert_eq!(p.value.shape(), w.shape(), "encoder weight shape mismatch");
+            if p.value.shape() != w.shape() {
+                let (er, ec) = p.value.shape();
+                let (fr, fc) = w.shape();
+                return Err(PersistError::ShapeMismatch {
+                    what: "encoder weight shape".to_owned(),
+                    expected: format!("{er}x{ec}"),
+                    found: format!("{fr}x{fc}"),
+                });
+            }
             p.value = w.clone();
         }
-        enc
+        Ok(enc)
     }
 }
 

@@ -41,6 +41,7 @@
 //! let x0 = trained.pseudo_sensitive_attributes(); // the X⁰ of Fig. 7
 //! ```
 
+pub mod checkpoint;
 mod config;
 pub mod counterfactual;
 mod encoder;
@@ -50,14 +51,18 @@ pub mod persist;
 mod trainer;
 mod workspace;
 
-pub use config::{CfStrategy, FairwosConfig, WatchdogConfig, WeightMode};
+pub use checkpoint::{
+    CheckpointLog, CheckpointStore, FaultPlan, FaultyCheckpointStore, FsCheckpointStore,
+    MemoryCheckpointStore, TrainingCheckpoint,
+};
+pub use config::{CfStrategy, FairwosConfig, RecoveryConfig, WatchdogConfig, WeightMode};
 pub use counterfactual::{CounterfactualSets, SearchSpace};
 pub use encoder::Encoder;
 pub use lambda::{lambda_feasible, project_to_simplex, update_lambda};
-pub use method::{FairMethod, TrainInput};
+pub use method::{FairMethod, InputError, TrainInput};
 pub use persist::{FairwosModelFile, PersistError};
 pub use trainer::{
-    FairwosTrainer, FinetuneEpochStats, TelemetryEval, TrainProbe, TrainedFairwos,
+    FairwosTrainer, FinetuneEpochStats, TelemetryEval, TrainError, TrainProbe, TrainedFairwos,
     TrainingDiverged, TrainingHistory,
 };
 pub use workspace::TrainerWorkspace;

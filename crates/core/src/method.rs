@@ -5,6 +5,65 @@
 use fairwos_graph::Graph;
 use fairwos_tensor::Matrix;
 
+/// Why a [`TrainInput`] failed validation — returned by
+/// [`TrainInput::validate`] so bad data fails at the API boundary with a
+/// typed, actionable message instead of a kernel panic deep in `spmm`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum InputError {
+    /// Two shapes that must agree do not.
+    ShapeMismatch {
+        /// What disagreed, e.g. `"feature rows vs nodes"`.
+        what: &'static str,
+        /// The size required (the graph's node count).
+        expected: usize,
+        /// The size found.
+        found: usize,
+    },
+    /// The training split is empty — nothing to fit.
+    EmptyTrainSplit,
+    /// A train/val split entry is not a valid node index.
+    SplitIndexOutOfRange {
+        /// The offending split entry.
+        index: usize,
+        /// Number of nodes in the graph.
+        nodes: usize,
+    },
+    /// A feature entry is NaN or infinite.
+    NonFiniteFeature {
+        /// Row (node) of the offending entry.
+        row: usize,
+        /// Column (feature dimension) of the offending entry.
+        col: usize,
+    },
+    /// The label of a train/val node is NaN or infinite.
+    NonFiniteLabel {
+        /// The offending node index.
+        index: usize,
+    },
+}
+
+impl std::fmt::Display for InputError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InputError::ShapeMismatch { what, expected, found } => {
+                write!(f, "shape mismatch ({what}): expected {expected}, found {found}")
+            }
+            InputError::EmptyTrainSplit => write!(f, "no training nodes"),
+            InputError::SplitIndexOutOfRange { index, nodes } => {
+                write!(f, "split index {index} out of range for {nodes} nodes")
+            }
+            InputError::NonFiniteFeature { row, col } => {
+                write!(f, "non-finite feature at node {row}, column {col}")
+            }
+            InputError::NonFiniteLabel { index } => {
+                write!(f, "non-finite label at node {index}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InputError {}
+
 /// Borrowed view of everything a sensitive-attribute-free method may see at
 /// training time. Deliberately excludes the sensitive attribute — the type
 /// system enforces the paper's problem setting (`S ∉ F`).
@@ -24,17 +83,62 @@ pub struct TrainInput<'a> {
 }
 
 impl TrainInput<'_> {
-    /// Basic consistency checks; call at the top of `fit` implementations.
+    /// Consistency checks; called at the top of every `fit*` entry point.
+    /// Verifies shapes against the graph's node count, split-index bounds,
+    /// a non-empty training split, and that every feature entry and every
+    /// train/val label is finite.
+    ///
+    /// # Errors
+    /// The first [`InputError`] found, in the order listed above.
+    pub fn validate(&self) -> Result<(), InputError> {
+        let n = self.graph.num_nodes();
+        if self.features.rows() != n {
+            return Err(InputError::ShapeMismatch {
+                what: "feature rows vs nodes",
+                expected: n,
+                found: self.features.rows(),
+            });
+        }
+        if self.labels.len() != n {
+            return Err(InputError::ShapeMismatch {
+                what: "labels vs nodes",
+                expected: n,
+                found: self.labels.len(),
+            });
+        }
+        if self.train.is_empty() {
+            return Err(InputError::EmptyTrainSplit);
+        }
+        for &v in self.train.iter().chain(self.val) {
+            if v >= n {
+                return Err(InputError::SplitIndexOutOfRange { index: v, nodes: n });
+            }
+        }
+        for row in 0..n {
+            for (col, &x) in self.features.row(row).iter().enumerate() {
+                if !x.is_finite() {
+                    return Err(InputError::NonFiniteFeature { row, col });
+                }
+            }
+        }
+        for &v in self.train.iter().chain(self.val) {
+            if !self.labels[v].is_finite() {
+                return Err(InputError::NonFiniteLabel { index: v });
+            }
+        }
+        Ok(())
+    }
+
+    /// [`TrainInput::validate`] for infallible call sites (the
+    /// [`FairMethod::fit_predict`] implementations, whose trait contract has
+    /// no error channel).
     ///
     /// # Panics
-    /// If features/labels/splits disagree with the graph's node count or
-    /// `train` is empty.
-    pub fn validate(&self) {
-        let n = self.graph.num_nodes();
-        assert_eq!(self.features.rows(), n, "feature rows vs nodes");
-        assert_eq!(self.labels.len(), n, "labels vs nodes");
-        assert!(!self.train.is_empty(), "no training nodes");
-        assert!(self.train.iter().chain(self.val).all(|&v| v < n), "split index out of range");
+    /// With the [`InputError`]'s message when validation fails.
+    pub fn assert_valid(&self) {
+        if let Err(e) = self.validate() {
+            panic!("invalid training input: {e}");
+        }
     }
 
     /// Training labels only.
@@ -68,25 +172,82 @@ mod tests {
         let x = Matrix::ones(3, 2);
         let labels = [1.0, 0.0, 1.0];
         let input = TrainInput { graph: &g, features: &x, labels: &labels, train: &[0, 1], val: &[2] };
-        input.validate();
+        input.validate().expect("consistent input");
+        input.assert_valid();
         assert_eq!(input.train_labels(), vec![1.0, 0.0]);
     }
 
     #[test]
-    #[should_panic(expected = "no training nodes")]
     fn validate_rejects_empty_train() {
         let g = GraphBuilder::new(2).build();
         let x = Matrix::ones(2, 1);
         let labels = [0.0, 1.0];
-        TrainInput { graph: &g, features: &x, labels: &labels, train: &[], val: &[] }.validate();
+        let err = TrainInput { graph: &g, features: &x, labels: &labels, train: &[], val: &[] }
+            .validate()
+            .expect_err("empty train split must fail");
+        assert_eq!(err, InputError::EmptyTrainSplit);
+        assert_eq!(err.to_string(), "no training nodes");
     }
 
     #[test]
-    #[should_panic(expected = "feature rows vs nodes")]
     fn validate_rejects_mismatched_features() {
         let g = GraphBuilder::new(2).build();
         let x = Matrix::ones(3, 1);
         let labels = [0.0, 1.0];
-        TrainInput { graph: &g, features: &x, labels: &labels, train: &[0], val: &[] }.validate();
+        let err = TrainInput { graph: &g, features: &x, labels: &labels, train: &[0], val: &[] }
+            .validate()
+            .expect_err("wrong feature row count must fail");
+        match err {
+            InputError::ShapeMismatch { what, expected, found } => {
+                assert_eq!(what, "feature rows vs nodes");
+                assert_eq!((expected, found), (2, 3));
+            }
+            other => panic!("expected ShapeMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_split_index() {
+        let g = GraphBuilder::new(2).build();
+        let x = Matrix::ones(2, 1);
+        let labels = [0.0, 1.0];
+        let err = TrainInput { graph: &g, features: &x, labels: &labels, train: &[0], val: &[5] }
+            .validate()
+            .expect_err("out-of-range val index must fail");
+        assert_eq!(err, InputError::SplitIndexOutOfRange { index: 5, nodes: 2 });
+    }
+
+    #[test]
+    fn validate_rejects_non_finite_features_and_labels() {
+        let g = GraphBuilder::new(2).build();
+        let mut x = Matrix::ones(2, 2);
+        x.set(1, 0, f32::NAN);
+        let labels = [0.0, 1.0];
+        let err = TrainInput { graph: &g, features: &x, labels: &labels, train: &[0], val: &[] }
+            .validate()
+            .expect_err("NaN feature must fail");
+        assert_eq!(err, InputError::NonFiniteFeature { row: 1, col: 0 });
+
+        let ok = Matrix::ones(2, 2);
+        let bad_labels = [0.0, f32::INFINITY];
+        let err =
+            TrainInput { graph: &g, features: &ok, labels: &bad_labels, train: &[0, 1], val: &[] }
+                .validate()
+                .expect_err("infinite train label must fail");
+        assert_eq!(err, InputError::NonFiniteLabel { index: 1 });
+        // A non-finite label outside every split is never read, so it passes.
+        TrainInput { graph: &g, features: &ok, labels: &bad_labels, train: &[0], val: &[] }
+            .validate()
+            .expect("unused label is not validated");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid training input: no training nodes")]
+    fn assert_valid_panics_with_the_typed_message() {
+        let g = GraphBuilder::new(2).build();
+        let x = Matrix::ones(2, 1);
+        let labels = [0.0, 1.0];
+        TrainInput { graph: &g, features: &x, labels: &labels, train: &[], val: &[] }
+            .assert_valid();
     }
 }

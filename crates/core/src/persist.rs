@@ -8,6 +8,16 @@
 //! from model predictions for *all* nodes (at restore time there is no
 //! record of which nodes were training nodes). This only affects
 //! [`crate::TrainedFairwos::counterfactual_pairs`], not predictions.
+//!
+//! # Crash consistency
+//!
+//! Saves are atomic (temp sibling + fsync + rename) and **sealed**: the JSON
+//! payload is followed by a 24-byte integrity footer — magic, payload
+//! length, FNV-1a checksum — so a torn, truncated, or bit-flipped file is
+//! detected at load time as a typed [`PersistError`] instead of being
+//! parsed into a silently wrong model. Files written before the footer
+//! existed (plain JSON, no magic) still load through a legacy path. The
+//! same footer codec seals training checkpoints (see [`crate::checkpoint`]).
 
 use crate::encoder::{binarize_at_medians, Encoder};
 use crate::trainer::TrainedFairwos;
@@ -42,6 +52,24 @@ pub enum PersistError {
         /// The underlying I/O error.
         source: std::io::Error,
     },
+    /// The integrity footer failed verification: the artifact was torn,
+    /// truncated, or bit-flipped since it was sealed.
+    Corrupt {
+        /// What was being read (a file path or checkpoint description).
+        what: String,
+        /// Why verification failed.
+        detail: String,
+    },
+    /// A persisted weight set disagrees with the architecture it is being
+    /// restored into.
+    ShapeMismatch {
+        /// What disagreed (e.g. `"encoder weight count"`).
+        what: String,
+        /// Description of the expected value or shape.
+        expected: String,
+        /// Description of the value or shape found.
+        found: String,
+    },
 }
 
 impl std::fmt::Display for PersistError {
@@ -53,6 +81,12 @@ impl std::fmt::Display for PersistError {
                 write!(f, "unsupported model file version {found} (expected {expected})")
             }
             PersistError::Io { path, source } => write!(f, "model file I/O on {path}: {source}"),
+            PersistError::Corrupt { what, detail } => {
+                write!(f, "corrupt persisted data ({what}): {detail}")
+            }
+            PersistError::ShapeMismatch { what, expected, found } => {
+                write!(f, "model shape mismatch ({what}): expected {expected}, found {found}")
+            }
         }
     }
 }
@@ -64,6 +98,103 @@ impl std::error::Error for PersistError {
             _ => None,
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// The integrity footer: every sealed artifact (model file, checkpoint) ends
+// with [magic | payload length | FNV-1a checksum], 24 bytes total, so a torn
+// or truncated write is detected at load time instead of parsed as garbage.
+// ---------------------------------------------------------------------------
+
+/// Footer magic. The leading `0x89` byte cannot occur in the ASCII JSON
+/// payloads this crate seals, so a truncated file can never accidentally
+/// present a well-placed magic.
+pub(crate) const FOOTER_MAGIC: [u8; 8] = [0x89, b'F', b'W', b'S', b'E', b'A', b'L', b'\n'];
+
+/// Footer length in bytes: magic + payload length + checksum.
+pub(crate) const FOOTER_LEN: usize = 24;
+
+/// 64-bit FNV-1a over `bytes` — dependency-free and byte-order stable.
+pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Appends the integrity footer to `payload`.
+pub(crate) fn seal(mut payload: Vec<u8>) -> Vec<u8> {
+    let len = payload.len() as u64;
+    let sum = fnv1a64(&payload);
+    payload.extend_from_slice(&FOOTER_MAGIC);
+    payload.extend_from_slice(&len.to_le_bytes());
+    payload.extend_from_slice(&sum.to_le_bytes());
+    payload
+}
+
+/// Whether `bytes` ends in something shaped like the footer (magic only;
+/// the length and checksum are verified by [`unseal`]).
+pub(crate) fn has_footer(bytes: &[u8]) -> bool {
+    bytes.len() >= FOOTER_LEN && bytes[bytes.len() - FOOTER_LEN..][..8] == FOOTER_MAGIC
+}
+
+/// Verifies the footer and returns the payload slice, or a human-readable
+/// reason why the bytes cannot be trusted (the caller wraps it into
+/// [`PersistError::Corrupt`] with its own context).
+pub(crate) fn unseal(bytes: &[u8]) -> Result<&[u8], String> {
+    if bytes.len() < FOOTER_LEN {
+        return Err(format!("{} bytes is too short for the integrity footer", bytes.len()));
+    }
+    let (payload, footer) = bytes.split_at(bytes.len() - FOOTER_LEN);
+    if footer[..8] != FOOTER_MAGIC {
+        return Err("integrity footer magic missing".to_owned());
+    }
+    let mut buf = [0u8; 8];
+    buf.copy_from_slice(&footer[8..16]);
+    let stored_len = u64::from_le_bytes(buf);
+    if stored_len != payload.len() as u64 {
+        return Err(format!(
+            "footer records {stored_len} payload bytes, found {}",
+            payload.len()
+        ));
+    }
+    buf.copy_from_slice(&footer[16..24]);
+    let stored_sum = u64::from_le_bytes(buf);
+    let actual = fnv1a64(payload);
+    if stored_sum != actual {
+        return Err(format!(
+            "checksum mismatch: footer {stored_sum:#018x}, payload {actual:#018x}"
+        ));
+    }
+    Ok(payload)
+}
+
+/// Writes `bytes` to `path` crash-consistently: a temp sibling is written
+/// and fsynced, then renamed over `path`, then the directory is fsynced
+/// (best-effort), so a crash leaves either the old file or the new one —
+/// never a torn mixture.
+pub(crate) fn atomic_write(path: &std::path::Path, bytes: &[u8]) -> std::io::Result<()> {
+    use std::io::Write as _;
+    let file_name = path
+        .file_name()
+        .map_or_else(String::new, |n| n.to_string_lossy().into_owned());
+    let tmp = path.with_file_name(format!("{file_name}.tmp"));
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            if let Ok(d) = std::fs::File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
+    }
+    Ok(())
 }
 
 /// The on-disk representation of a trained model.
@@ -105,40 +236,65 @@ impl FairwosModelFile {
         Ok(file)
     }
 
-    /// Writes the model to `path` as JSON.
+    /// Writes the model to `path` atomically (temp sibling + fsync +
+    /// rename) with the integrity footer appended, so a crash mid-save
+    /// leaves either the previous file or the complete new one.
+    ///
+    /// # Errors
+    /// [`PersistError::Serialize`] or [`PersistError::Io`].
     pub fn save(&self, path: impl AsRef<std::path::Path>) -> Result<(), PersistError> {
         let path = path.as_ref();
-        let json = self.to_json()?;
-        std::fs::write(path, json)
+        let sealed = seal(self.to_json()?.into_bytes());
+        atomic_write(path, &sealed)
             .map_err(|e| PersistError::Io { path: path.display().to_string(), source: e })
     }
 
-    /// Reads and parses a model from `path`, validating the version.
+    /// Reads and parses a model from `path`, verifying the integrity footer
+    /// (when present — files written before the footer existed load through
+    /// a legacy plain-JSON path) and validating the version.
+    ///
+    /// # Errors
+    /// [`PersistError::Io`], [`PersistError::Corrupt`] on a failed footer
+    /// check, or the [`FairwosModelFile::from_json`] errors.
     pub fn load(path: impl AsRef<std::path::Path>) -> Result<Self, PersistError> {
         let path = path.as_ref();
-        let json = std::fs::read_to_string(path)
+        let bytes = std::fs::read(path)
             .map_err(|e| PersistError::Io { path: path.display().to_string(), source: e })?;
-        Self::from_json(&json)
+        let payload: &[u8] = if has_footer(&bytes) {
+            unseal(&bytes).map_err(|detail| PersistError::Corrupt {
+                what: path.display().to_string(),
+                detail,
+            })?
+        } else {
+            &bytes
+        };
+        let json = std::str::from_utf8(payload).map_err(|e| PersistError::Parse(e.to_string()))?;
+        Self::from_json(json)
     }
 
     /// Rebuilds a usable model against `graph`/`features` (which must match
     /// the training data's shape).
     ///
-    /// # Panics
-    /// If `features` width disagrees with the stored `in_dim`, or weight
-    /// shapes disagree with the stored config.
-    pub fn restore(&self, graph: &Graph, features: &Matrix) -> TrainedFairwos {
-        assert_eq!(
-            features.cols(),
-            self.in_dim,
-            "feature dim {} does not match model in_dim {}",
-            features.cols(),
-            self.in_dim
-        );
+    /// # Errors
+    /// [`PersistError::ShapeMismatch`] when `features` width disagrees with
+    /// the stored `in_dim`, or any stored weight count/shape disagrees with
+    /// the stored config's architecture.
+    pub fn restore(
+        &self,
+        graph: &Graph,
+        features: &Matrix,
+    ) -> Result<TrainedFairwos, PersistError> {
+        if features.cols() != self.in_dim {
+            return Err(PersistError::ShapeMismatch {
+                what: "feature columns vs model in_dim".to_owned(),
+                expected: self.in_dim.to_string(),
+                found: features.cols().to_string(),
+            });
+        }
         let ctx = GraphContext::new(graph);
         let (encoder, x0) = match &self.encoder_weights {
             Some(w) => {
-                let enc = Encoder::from_weights(self.in_dim, self.config.encoder_dim, w);
+                let enc = Encoder::from_weights(self.in_dim, self.config.encoder_dim, w)?;
                 let x0 = enc.extract(&ctx, features);
                 (Some(enc), x0)
             }
@@ -154,12 +310,12 @@ impl FairwosModelFile {
             },
             &mut seeded_rng(0),
         );
-        gnn.import_weights(&self.gnn_weights);
+        import_gnn_weights(&mut gnn, &self.gnn_weights)?;
 
         let probs = sigmoid(&gnn.forward_inference(&ctx, &x0).logits).col(0);
         let pseudo_labels: Vec<bool> = probs.iter().map(|&p| p >= 0.5).collect();
         let bits = binarize_at_medians(&x0);
-        TrainedFairwos::from_parts(
+        Ok(TrainedFairwos::from_parts(
             self.config.clone(),
             ctx,
             encoder,
@@ -168,8 +324,38 @@ impl FairwosModelFile {
             self.lambda.clone(),
             pseudo_labels,
             bits,
-        )
+        ))
     }
+}
+
+/// Shape-checked [`Gnn::import_weights`]: verifies the stored weight count
+/// and every shape against the freshly built architecture *before*
+/// importing, so corrupted-but-parseable files surface as
+/// [`PersistError::ShapeMismatch`] instead of a panic.
+pub(crate) fn import_gnn_weights(gnn: &mut Gnn, weights: &[Matrix]) -> Result<(), PersistError> {
+    {
+        let params = gnn.params_mut();
+        if params.len() != weights.len() {
+            return Err(PersistError::ShapeMismatch {
+                what: "classifier weight count".to_owned(),
+                expected: params.len().to_string(),
+                found: weights.len().to_string(),
+            });
+        }
+        for (p, w) in params.iter().zip(weights) {
+            if p.value.shape() != w.shape() {
+                let (er, ec) = p.value.shape();
+                let (fr, fc) = w.shape();
+                return Err(PersistError::ShapeMismatch {
+                    what: "classifier weight shape".to_owned(),
+                    expected: format!("{er}x{ec}"),
+                    found: format!("{fr}x{fc}"),
+                });
+            }
+        }
+    }
+    gnn.import_weights(weights);
+    Ok(())
 }
 
 #[cfg(test)]
@@ -205,7 +391,8 @@ mod tests {
         let json = file.to_json().expect("model serializes");
         let restored = FairwosModelFile::from_json(&json)
             .expect("valid file")
-            .restore(&ds.graph, &ds.features);
+            .restore(&ds.graph, &ds.features)
+            .expect("restore succeeds");
         assert_eq!(restored.predict_probs(), trained.predict_probs());
         assert_eq!(restored.lambda(), trained.lambda());
         assert_eq!(restored.pseudo_sensitive_attributes(), trained.pseudo_sensitive_attributes());
@@ -256,7 +443,10 @@ mod tests {
         };
         let cfg = FairwosConfig { use_encoder: false, ..quick_config() };
         let mut trained = FairwosTrainer::new(cfg).fit(&input, 0).expect("training converges");
-        let restored = trained.to_model_file().restore(&ds.graph, &ds.features);
+        let restored = trained
+            .to_model_file()
+            .restore(&ds.graph, &ds.features)
+            .expect("restore succeeds");
         assert!(!restored.has_encoder());
         assert_eq!(restored.predict_probs(), trained.predict_probs());
     }
@@ -300,7 +490,6 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "does not match model in_dim")]
     fn restore_rejects_wrong_feature_width() {
         let ds = FairGraphDataset::generate(&DatasetSpec::nba().scaled(0.3), 3);
         let input = TrainInput {
@@ -312,6 +501,134 @@ mod tests {
         };
         let mut trained = FairwosTrainer::new(quick_config()).fit(&input, 0).expect("training converges");
         let wrong = fairwos_tensor::Matrix::zeros(ds.num_nodes(), 2);
-        let _ = trained.to_model_file().restore(&ds.graph, &wrong);
+        let err = trained
+            .to_model_file()
+            .restore(&ds.graph, &wrong)
+            .expect_err("wrong feature width must fail");
+        match &err {
+            PersistError::ShapeMismatch { what, .. } => {
+                assert_eq!(what, "feature columns vs model in_dim");
+            }
+            other => panic!("expected ShapeMismatch, got {other:?}"),
+        }
+        assert!(err.to_string().contains("model shape mismatch"));
+    }
+
+    #[test]
+    fn restore_rejects_mutated_weight_shapes() {
+        let ds = FairGraphDataset::generate(&DatasetSpec::nba().scaled(0.3), 4);
+        let input = TrainInput {
+            graph: &ds.graph,
+            features: &ds.features,
+            labels: &ds.labels,
+            train: &ds.split.train,
+            val: &ds.split.val,
+        };
+        let mut trained = FairwosTrainer::new(quick_config()).fit(&input, 0).expect("training converges");
+        let file = trained.to_model_file();
+
+        let mut short = file.clone();
+        short.gnn_weights.pop();
+        match short.restore(&ds.graph, &ds.features) {
+            Err(PersistError::ShapeMismatch { what, .. }) => {
+                assert_eq!(what, "classifier weight count");
+            }
+            other => panic!("expected ShapeMismatch, got {other:?}"),
+        }
+
+        let mut misshapen = file.clone();
+        misshapen.gnn_weights[0] = fairwos_tensor::Matrix::zeros(1, 1);
+        match misshapen.restore(&ds.graph, &ds.features) {
+            Err(PersistError::ShapeMismatch { what, .. }) => {
+                assert_eq!(what, "classifier weight shape");
+            }
+            other => panic!("expected ShapeMismatch, got {other:?}"),
+        }
+
+        let mut enc_short = file;
+        if let Some(w) = enc_short.encoder_weights.as_mut() {
+            w.pop();
+        }
+        match enc_short.restore(&ds.graph, &ds.features) {
+            Err(PersistError::ShapeMismatch { what, .. }) => {
+                assert_eq!(what, "encoder weight count");
+            }
+            other => panic!("expected ShapeMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn footer_seals_and_unseals() {
+        let sealed = seal(b"payload".to_vec());
+        assert_eq!(sealed.len(), 7 + FOOTER_LEN);
+        assert!(has_footer(&sealed));
+        assert_eq!(unseal(&sealed).expect("valid footer"), b"payload");
+        assert!(!has_footer(b"payload"));
+        assert!(unseal(b"short").is_err());
+    }
+
+    #[test]
+    fn footer_detects_every_corruption_mode() {
+        let sealed = seal(br#"{"k": 1}"#.to_vec());
+        // Any single byte flip, anywhere, must fail verification.
+        for i in 0..sealed.len() {
+            let mut bad = sealed.clone();
+            bad[i] ^= 0x40;
+            let failed = !has_footer(&bad) || unseal(&bad).is_err();
+            assert!(failed, "flip at byte {i} went undetected");
+        }
+        // Any truncation removes or damages the footer.
+        for cut in 1..sealed.len() {
+            let bad = &sealed[..sealed.len() - cut];
+            let failed = !has_footer(bad) || unseal(bad).is_err();
+            assert!(failed, "truncation by {cut} went undetected");
+        }
+    }
+
+    #[test]
+    fn sealed_save_detects_on_disk_corruption() {
+        let ds = FairGraphDataset::generate(&DatasetSpec::nba().scaled(0.3), 9);
+        let input = TrainInput {
+            graph: &ds.graph,
+            features: &ds.features,
+            labels: &ds.labels,
+            train: &ds.split.train,
+            val: &ds.split.val,
+        };
+        let mut trained = FairwosTrainer::new(quick_config()).fit(&input, 0).expect("training converges");
+        let file = trained.to_model_file();
+        let path = std::env::temp_dir().join("fairwos_persist_corruption_test.json");
+        file.save(&path).expect("save succeeds");
+
+        let mut bytes = std::fs::read(&path).expect("sealed file readable");
+        bytes[10] ^= 0x01;
+        std::fs::write(&path, &bytes).expect("rewrite corrupted");
+        match FairwosModelFile::load(&path) {
+            Err(PersistError::Corrupt { what, detail }) => {
+                assert!(what.contains("fairwos_persist_corruption_test"));
+                assert!(detail.contains("checksum mismatch"), "{detail}");
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn legacy_plain_json_files_still_load() {
+        let ds = FairGraphDataset::generate(&DatasetSpec::nba().scaled(0.3), 10);
+        let input = TrainInput {
+            graph: &ds.graph,
+            features: &ds.features,
+            labels: &ds.labels,
+            train: &ds.split.train,
+            val: &ds.split.val,
+        };
+        let mut trained = FairwosTrainer::new(quick_config()).fit(&input, 0).expect("training converges");
+        let file = trained.to_model_file();
+        let path = std::env::temp_dir().join("fairwos_persist_legacy_test.json");
+        std::fs::write(&path, file.to_json().expect("model serializes")).expect("plain write");
+        let loaded = FairwosModelFile::load(&path).expect("legacy file loads");
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(loaded.gnn_weights, file.gnn_weights);
     }
 }

@@ -15,18 +15,23 @@
 
 use std::collections::BTreeMap;
 
+use crate::checkpoint::{
+    AdamSnapshot, CfSnapshot, CheckpointLog, CheckpointStore, TrainingCheckpoint,
+    CHECKPOINT_VERSION,
+};
 use crate::counterfactual::{search_topk, CounterfactualSets, SearchSpace};
 use crate::encoder::{binarize_at_medians, Encoder};
 use crate::lambda::{update_lambda, update_lambda_proportional};
+use crate::persist::{import_gnn_weights, PersistError};
 use crate::workspace::TrainerWorkspace;
-use crate::{CfStrategy, FairMethod, FairwosConfig, TrainInput, WeightMode};
+use crate::{CfStrategy, FairMethod, FairwosConfig, InputError, TrainInput, WeightMode};
 use fairwos_fairness::{accuracy, delta_eo, delta_sp, f1_score};
 use fairwos_nn::loss::{
     bce_with_logits_masked_ws, sigmoid, weighted_sq_l2_rows, weighted_sq_l2_rows_acc,
 };
 use fairwos_nn::{Adam, Gnn, GnnConfig, GraphContext, Optimizer};
 use fairwos_obs::{Divergence, EpochRecord, EvalMetrics, TelemetrySink, Watchdog};
-use fairwos_tensor::{seeded_rng, Matrix};
+use fairwos_tensor::{export_rng_state, restore_rng, seeded_rng, Matrix, RngState};
 use serde::{Deserialize, Serialize};
 
 /// Per-epoch diagnostics of the fine-tuning stage.
@@ -210,6 +215,68 @@ impl std::fmt::Display for TrainingDiverged {
 
 impl std::error::Error for TrainingDiverged {}
 
+/// Typed error of the [`FairwosTrainer::fit`] family: everything that can
+/// stop a training run short of a finished model.
+#[derive(Debug)]
+pub enum TrainError {
+    /// The input failed [`TrainInput::validate`] at the API boundary.
+    Input(InputError),
+    /// The divergence watchdog tripped (and, for
+    /// [`FairwosTrainer::fit_resumable`], the rollback budget is spent).
+    Diverged(TrainingDiverged),
+    /// Checkpoint persistence failed beyond its retry budget, or a resume
+    /// checkpoint could not be applied (resumable runs only).
+    Persist(PersistError),
+}
+
+impl TrainError {
+    /// The divergence details when this error is a watchdog trip.
+    pub fn divergence(&self) -> Option<&TrainingDiverged> {
+        match self {
+            TrainError::Diverged(d) => Some(d),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for TrainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrainError::Input(e) => write!(f, "invalid training input: {e}"),
+            TrainError::Diverged(e) => e.fmt(f),
+            TrainError::Persist(e) => write!(f, "training persistence failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TrainError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TrainError::Input(e) => Some(e),
+            TrainError::Diverged(e) => Some(e),
+            TrainError::Persist(e) => Some(e),
+        }
+    }
+}
+
+impl From<InputError> for TrainError {
+    fn from(e: InputError) -> Self {
+        TrainError::Input(e)
+    }
+}
+
+impl From<TrainingDiverged> for TrainError {
+    fn from(e: TrainingDiverged) -> Self {
+        TrainError::Diverged(e)
+    }
+}
+
+impl From<PersistError> for TrainError {
+    fn from(e: PersistError) -> Self {
+        TrainError::Persist(e)
+    }
+}
+
 /// Eval split handed to the telemetry layer: node indices plus their
 /// *revealed* sensitive attribute. Evaluation-only — Fairwos trains without
 /// sensitive attributes, and nothing here feeds back into optimization.
@@ -300,14 +367,12 @@ impl FairwosTrainer {
     ///
     /// # Errors
     ///
-    /// [`TrainingDiverged`] when the divergence watchdog trips (non-finite
-    /// loss, loss spike, gradient explosion, or λ leaving the simplex) —
-    /// thresholds on [`FairwosConfig::watchdog`](crate::WatchdogConfig).
-    pub fn fit(
-        &self,
-        input: &TrainInput<'_>,
-        seed: u64,
-    ) -> Result<TrainedFairwos, TrainingDiverged> {
+    /// [`TrainError::Input`] when `input` fails validation;
+    /// [`TrainError::Diverged`] when the divergence watchdog trips
+    /// (non-finite loss, loss spike, gradient explosion, or λ leaving the
+    /// simplex) — thresholds on
+    /// [`FairwosConfig::watchdog`](crate::WatchdogConfig).
+    pub fn fit(&self, input: &TrainInput<'_>, seed: u64) -> Result<TrainedFairwos, TrainError> {
         self.fit_with(input, seed, &mut TrainerWorkspace::new())
     }
 
@@ -318,14 +383,103 @@ impl FairwosTrainer {
     ///
     /// # Errors
     ///
-    /// [`TrainingDiverged`] when the divergence watchdog trips.
+    /// As for [`FairwosTrainer::fit`].
     pub fn fit_with(
         &self,
         input: &TrainInput<'_>,
         seed: u64,
         tws: &mut TrainerWorkspace,
-    ) -> Result<TrainedFairwos, TrainingDiverged> {
+    ) -> Result<TrainedFairwos, TrainError> {
         self.fit_observed(input, seed, tws, &mut TrainProbe::default())
+    }
+
+    /// [`FairwosTrainer::fit`] with crash-consistent persistence: training
+    /// state is checkpointed to `store` every
+    /// [`RecoveryConfig::checkpoint_interval`](crate::RecoveryConfig) epochs
+    /// (plus at every stage boundary), and if `store` already holds a valid
+    /// checkpoint of this exact `(seed, config)` run, training resumes from
+    /// it instead of starting over. A resumed run produces the same final
+    /// model, bit for bit, as an uninterrupted one.
+    ///
+    /// On a watchdog trip the trainer rolls back to the latest good
+    /// checkpoint, scales the learning rate down by
+    /// [`RecoveryConfig::lr_backoff`](crate::RecoveryConfig), and retries,
+    /// up to [`RecoveryConfig::max_rollbacks`](crate::RecoveryConfig) times
+    /// before surfacing the divergence. Every rollback is journaled as an
+    /// observability event.
+    ///
+    /// # Errors
+    ///
+    /// As for [`FairwosTrainer::fit`], plus [`TrainError::Persist`] when a
+    /// checkpoint cannot be written within its retry budget or a resume
+    /// checkpoint cannot be applied.
+    pub fn fit_resumable(
+        &self,
+        input: &TrainInput<'_>,
+        seed: u64,
+        store: &mut dyn CheckpointStore,
+    ) -> Result<TrainedFairwos, TrainError> {
+        self.fit_resumable_with(input, seed, store, &mut TrainerWorkspace::new())
+    }
+
+    /// [`FairwosTrainer::fit_resumable`] with caller-provided scratch
+    /// buffers (see [`FairwosTrainer::fit_with`]).
+    ///
+    /// # Errors
+    ///
+    /// As for [`FairwosTrainer::fit_resumable`].
+    pub fn fit_resumable_with(
+        &self,
+        input: &TrainInput<'_>,
+        seed: u64,
+        store: &mut dyn CheckpointStore,
+        tws: &mut TrainerWorkspace,
+    ) -> Result<TrainedFairwos, TrainError> {
+        let cfg = &self.config;
+        let mut rollbacks = 0usize;
+        let mut lr_scale = 1.0f32;
+        loop {
+            let mut log = CheckpointLog::new(&mut *store, cfg.recovery);
+            let loaded = log.load_latest(seed, cfg).map_err(TrainError::Persist)?;
+            let resume = match loaded {
+                Some((generation, ckpt)) => {
+                    // A persisted lr_scale < 1 means an earlier process
+                    // already rolled back; never scale back *up*.
+                    lr_scale = lr_scale.min(ckpt.lr_scale);
+                    fairwos_obs::journal_rollback(generation, ckpt.stage, ckpt.epoch as u64);
+                    Some(ckpt)
+                }
+                None => {
+                    if rollbacks > 0 {
+                        // Divergence with no usable checkpoint: fresh restart.
+                        fairwos_obs::journal_rollback(0, 0, 0);
+                    }
+                    None
+                }
+            };
+            let attempt = self.run(
+                input,
+                seed,
+                tws,
+                &mut TrainProbe::default(),
+                Some(&mut log),
+                resume,
+                lr_scale,
+            );
+            match attempt {
+                Ok(model) => return Ok(model),
+                Err(TrainError::Diverged(d)) if rollbacks < cfg.recovery.max_rollbacks => {
+                    rollbacks += 1;
+                    lr_scale *= cfg.recovery.lr_backoff;
+                    let max = cfg.recovery.max_rollbacks;
+                    fairwos_obs::journal_alert(
+                        "recovery/rollback",
+                        &format!("rollback {rollbacks}/{max} after {d}; lr scale {lr_scale}"),
+                    );
+                }
+                Err(e) => return Err(e),
+            }
+        }
     }
 
     /// [`FairwosTrainer::fit_with`] plus observation hooks: per-epoch
@@ -337,7 +491,7 @@ impl FairwosTrainer {
     ///
     /// # Errors
     ///
-    /// [`TrainingDiverged`] when the divergence watchdog trips.
+    /// As for [`FairwosTrainer::fit`].
     ///
     /// # Panics
     ///
@@ -349,8 +503,37 @@ impl FairwosTrainer {
         seed: u64,
         tws: &mut TrainerWorkspace,
         probe: &mut TrainProbe<'_>,
-    ) -> Result<TrainedFairwos, TrainingDiverged> {
-        input.validate();
+    ) -> Result<TrainedFairwos, TrainError> {
+        self.run(input, seed, tws, probe, None, None, 1.0)
+    }
+
+    /// The single training driver behind every `fit*` entry point.
+    ///
+    /// `persist` arms interval + stage-boundary checkpointing; `resume`
+    /// fast-forwards to the state a checkpoint captured (stage 1 is rebuilt
+    /// from stored weights, never re-trained); `lr_scale` multiplies both
+    /// learning rates (1.0 on the fresh path — exact under IEEE 754, so
+    /// non-resumable runs are bit-identical to the original code path).
+    #[allow(clippy::too_many_arguments)]
+    fn run(
+        &self,
+        input: &TrainInput<'_>,
+        seed: u64,
+        tws: &mut TrainerWorkspace,
+        probe: &mut TrainProbe<'_>,
+        mut persist: Option<&mut CheckpointLog<'_>>,
+        resume: Option<TrainingCheckpoint>,
+        lr_scale: f32,
+    ) -> Result<TrainedFairwos, TrainError> {
+        input.validate()?;
+        if let Some(c) = resume.as_ref() {
+            if c.stage != 2 && c.stage != 3 {
+                return Err(TrainError::Persist(PersistError::Parse(format!(
+                    "checkpoint stage {} is not resumable",
+                    c.stage
+                ))));
+            }
+        }
         if let Some(ev) = &probe.eval {
             assert_eq!(
                 ev.nodes.len(),
@@ -360,6 +543,9 @@ impl FairwosTrainer {
             assert!(!ev.nodes.is_empty(), "telemetry eval split is empty");
         }
         let cfg = &self.config;
+        let lr = cfg.learning_rate * lr_scale;
+        let ft_lr = cfg.finetune_learning_rate * lr_scale;
+        let resumed_any = resume.is_some();
         let mut rng = seeded_rng(seed);
         fairwos_obs::scale_max("train/nodes", input.graph.num_nodes() as u64);
         fairwos_obs::scale_max("train/edges", input.graph.num_edges() as u64);
@@ -369,26 +555,38 @@ impl FairwosTrainer {
         };
 
         // Stage 1: encoder pre-training → pseudo-sensitive attributes X⁰.
-        let (encoder, x0) = if cfg.use_encoder {
+        // On resume the (frozen) encoder is rebuilt from stored weights —
+        // never re-trained — and X⁰ is re-extracted deterministically.
+        let mut resume = resume;
+        let (mut encoder, x0, encoder_losses) = if let Some(c) = resume.as_mut() {
+            let stored = c.encoder_weights.take();
+            let losses = std::mem::take(&mut c.encoder_losses);
+            match stored {
+                Some(w) => {
+                    let enc = Encoder::from_weights(input.features.cols(), cfg.encoder_dim, &w)
+                        .map_err(TrainError::Persist)?;
+                    let x0 = enc.extract(&ctx, input.features);
+                    (Some(enc), x0, losses)
+                }
+                None => (None, input.features.clone(), losses),
+            }
+        } else if cfg.use_encoder {
             let _obs = fairwos_obs::span("train/stage1_encoder");
             let enc = Encoder::pretrain(
                 input,
                 &ctx,
                 cfg.encoder_dim,
                 cfg.encoder_epochs,
-                cfg.learning_rate,
+                lr,
                 &mut rng,
             );
             let x0 = enc.extract(&ctx, input.features);
-            (Some(enc), x0)
+            let losses = enc.losses.clone();
+            (Some(enc), x0, losses)
         } else {
             // w/o E: every raw feature is its own pseudo-sensitive attribute.
-            (None, input.features.clone())
+            (None, input.features.clone(), Vec::new())
         };
-        let encoder_losses = encoder
-            .as_ref()
-            .map(|e| e.losses.clone())
-            .unwrap_or_default();
         // Stage 1 has no per-epoch gradient probe (the encoder owns its own
         // loop), but a non-finite pre-training loss is still a divergence.
         if let Some((epoch, &loss)) = encoder_losses
@@ -397,36 +595,116 @@ impl FairwosTrainer {
             .find(|(_, l)| !l.is_finite())
         {
             let reason = Divergence::NonFiniteLoss { loss: loss as f64 };
-            return Err(journal_divergence(1, epoch, reason));
+            return Err(journal_divergence(1, epoch, reason).into());
         }
 
         // Line 2: λ ← 1/I.
         let num_attrs = x0.cols();
-        let mut lambda = vec![1.0 / num_attrs as f32; num_attrs];
+        let mut lambda = match resume.as_mut() {
+            Some(c) => std::mem::take(&mut c.lambda),
+            None => vec![1.0 / num_attrs as f32; num_attrs],
+        };
 
         // Stage 2: classifier pre-training with early stopping on val ACC.
-        let mut gnn = Gnn::new(
-            GnnConfig {
-                backbone: cfg.backbone,
-                in_dim: x0.cols(),
-                hidden_dim: cfg.hidden_dim,
-                num_layers: cfg.num_layers,
-                dropout: 0.0,
-            },
-            &mut rng,
-        );
-        let mut opt = Adam::new(cfg.learning_rate);
+        let gnn_cfg = GnnConfig {
+            backbone: cfg.backbone,
+            in_dim: x0.cols(),
+            hidden_dim: cfg.hidden_dim,
+            num_layers: cfg.num_layers,
+            dropout: 0.0,
+        };
+        let mut gnn = if resume.is_some() {
+            // The init draws are thrown away (weights come from the
+            // checkpoint); the real RNG state is restored just below.
+            Gnn::new(gnn_cfg, &mut seeded_rng(0))
+        } else {
+            Gnn::new(gnn_cfg, &mut rng)
+        };
+        if let Some(c) = resume.as_ref() {
+            import_gnn_weights(&mut gnn, &c.gnn_weights).map_err(TrainError::Persist)?;
+            rng = restore_rng(&c.rng);
+        }
+        // All weight-init draws have happened by now; every checkpoint of
+        // this run carries this exact post-init RNG state.
+        let rng_state = export_rng_state(&rng);
+        let enc_weights: Option<Vec<Matrix>> = if persist.is_some() {
+            encoder.as_mut().map(Encoder::export_weights)
+        } else {
+            None
+        };
+
+        let mut opt = Adam::new(lr);
         let mut classifier_losses = Vec::new();
         let mut best_val = f64::NEG_INFINITY;
         let mut best_params: Vec<Matrix> = Vec::new();
         let mut since_best = 0usize;
+        let mut stage2_start = 0usize;
+        let mut pseudo_from_resume: Option<Vec<bool>> = None;
+        let mut finetune_resume: Vec<FinetuneEpochStats> = Vec::new();
+        let mut stage3_resume: Option<(usize, AdamSnapshot, Option<CfSnapshot>, Vec<f64>)> = None;
         let ws = &mut tws.nn;
         // Counter deltas are only materialized for an armed telemetry probe
         // (the journal snapshots they emit would otherwise bloat the ring).
         let mut deltas = probe.telemetry.is_some().then(CounterDeltas::new);
         let mut watchdog = Watchdog::new(cfg.watchdog.policy());
+        match resume.take() {
+            Some(c) if c.stage == 2 => {
+                opt.import_state(c.opt.t, c.opt.m, c.opt.v);
+                classifier_losses = c.classifier_losses;
+                best_val = c.best_val.unwrap_or(f64::NEG_INFINITY);
+                best_params = c.best_params;
+                since_best = c.since_best;
+                watchdog.restore_window(&c.watchdog_window);
+                stage2_start = c.epoch;
+            }
+            Some(c) => {
+                // Stage 3: the checkpointed GNN weights already include the
+                // best-params restore, so stage 2 is skipped wholesale
+                // (`best_params` stays empty → no post-loop restore).
+                classifier_losses = c.classifier_losses;
+                stage2_start = cfg.classifier_epochs;
+                pseudo_from_resume = Some(c.pseudo_labels);
+                finetune_resume = c.finetune;
+                stage3_resume = Some((c.epoch, c.opt, c.cf, c.watchdog_window));
+            }
+            None => {}
+        }
+        if !resumed_any {
+            if let Some(log) = persist.as_mut() {
+                // Stage-1-completion checkpoint: a crash anywhere in stage 2
+                // never repeats encoder pre-training.
+                let ckpt = capture_checkpoint(
+                    seed,
+                    cfg,
+                    2,
+                    0,
+                    lr_scale,
+                    &rng_state,
+                    &enc_weights,
+                    &encoder_losses,
+                    &mut gnn,
+                    &opt,
+                    &lambda,
+                    &classifier_losses,
+                    best_val,
+                    &best_params,
+                    since_best,
+                    &[],
+                    &[],
+                    None,
+                    &watchdog,
+                );
+                log.save(&ckpt).map_err(TrainError::Persist)?;
+            }
+        }
         let obs_stage2 = fairwos_obs::span("train/stage2_classifier");
-        for epoch in 0..cfg.classifier_epochs {
+        for epoch in stage2_start..cfg.classifier_epochs {
+            // Early stop re-checked at loop top so a resumed `since_best`
+            // exits exactly where the uninterrupted run did. `max(1)` keeps
+            // patience-0 semantics: stop only after a non-improving epoch.
+            if since_best >= cfg.patience.max(1) {
+                break;
+            }
             fairwos_obs::journal_epoch(2, epoch as u64);
             let _obs = fairwos_obs::span("train/stage2/epoch");
             gnn.zero_grad();
@@ -473,7 +751,7 @@ impl FairwosTrainer {
                 });
             }
             if let Some(reason) = watchdog.check(loss as f64, grad_norm as f64, None) {
-                return Err(journal_divergence(2, epoch, reason));
+                return Err(journal_divergence(2, epoch, reason).into());
             }
             ws.give(out.logits);
             ws.give(out.embeddings);
@@ -483,8 +761,33 @@ impl FairwosTrainer {
                 since_best = 0;
             } else {
                 since_best += 1;
-                if since_best >= cfg.patience {
-                    break;
+            }
+            if let Some(log) = persist.as_mut() {
+                if (epoch + 1) % cfg.recovery.checkpoint_interval == 0 {
+                    // Written only after the watchdog passed, so the latest
+                    // checkpoint always predates any divergent epoch.
+                    let ckpt = capture_checkpoint(
+                        seed,
+                        cfg,
+                        2,
+                        epoch + 1,
+                        lr_scale,
+                        &rng_state,
+                        &enc_weights,
+                        &encoder_losses,
+                        &mut gnn,
+                        &opt,
+                        &lambda,
+                        &classifier_losses,
+                        best_val,
+                        &best_params,
+                        since_best,
+                        &[],
+                        &[],
+                        None,
+                        &watchdog,
+                    );
+                    log.save(&ckpt).map_err(TrainError::Persist)?;
                 }
             }
         }
@@ -495,20 +798,28 @@ impl FairwosTrainer {
 
         // Pseudo-labels: ground truth on V_L, classifier prediction elsewhere
         // (the paper pre-trains the classifier precisely to supply these).
-        let probs = sigmoid(&gnn.forward_inference(&ctx, &x0).logits).col(0);
-        let mut pseudo_labels: Vec<bool> = probs.iter().map(|&p| p >= 0.5).collect();
-        for &v in input.train {
-            pseudo_labels[v] = input.labels[v] >= 0.5;
-        }
+        // A stage-3 resume restores the labels verbatim — recomputing them
+        // from mid-fine-tune weights would change the counterfactual search.
+        let pseudo_labels = match pseudo_from_resume.take() {
+            Some(labels) => labels,
+            None => {
+                let probs = sigmoid(&gnn.forward_inference(&ctx, &x0).logits).col(0);
+                let mut labels: Vec<bool> = probs.iter().map(|&p| p >= 0.5).collect();
+                for &v in input.train {
+                    labels[v] = input.labels[v] >= 0.5;
+                }
+                labels
+            }
+        };
         let bits = binarize_at_medians(&x0);
 
         // Stage 3: fine-tuning (lines 5–13).
-        let mut finetune = Vec::with_capacity(cfg.finetune_epochs);
+        let mut finetune = finetune_resume;
         if cfg.use_fairness && cfg.alpha > 0.0 {
             let _obs = fairwos_obs::span("train/stage3_finetune");
             // Fresh optimizer state for the new objective, at the gentler
             // fine-tuning rate.
-            let mut opt = Adam::new(cfg.finetune_learning_rate);
+            let mut opt = Adam::new(ft_lr);
             let medians = x0.col_medians();
             // Counterfactual sets (and their flattened pair lists) are
             // computed once per refresh interval and reused in between —
@@ -517,7 +828,46 @@ impl FairwosTrainer {
             // Fresh watchdog: stage 3 optimizes a different objective at a
             // different scale, so stage-2 losses are not a valid baseline.
             let mut watchdog = Watchdog::new(cfg.watchdog.policy());
-            for epoch in 0..cfg.finetune_epochs {
+            let mut stage3_start = 0usize;
+            match stage3_resume.take() {
+                Some((epoch0, snap, cf, window)) => {
+                    stage3_start = epoch0;
+                    opt.import_state(snap.t, snap.m, snap.v);
+                    if let Some(cf) = cf {
+                        cf_sets = Some(CounterfactualSets::from_sets(cf.queries, cf.sets));
+                    }
+                    watchdog.restore_window(&window);
+                }
+                None => {
+                    if let Some(log) = persist.as_mut() {
+                        // Stage 2→3 boundary checkpoint: resuming from here
+                        // skips both pre-training stages entirely.
+                        let ckpt = capture_checkpoint(
+                            seed,
+                            cfg,
+                            3,
+                            0,
+                            lr_scale,
+                            &rng_state,
+                            &enc_weights,
+                            &encoder_losses,
+                            &mut gnn,
+                            &opt,
+                            &lambda,
+                            &classifier_losses,
+                            f64::NEG_INFINITY,
+                            &[],
+                            0,
+                            &pseudo_labels,
+                            &finetune,
+                            None,
+                            &watchdog,
+                        );
+                        log.save(&ckpt).map_err(TrainError::Persist)?;
+                    }
+                }
+            }
+            for epoch in stage3_start..cfg.finetune_epochs {
                 fairwos_obs::journal_epoch(3, epoch as u64);
                 let _obs = fairwos_obs::span("train/stage3/epoch");
                 gnn.zero_grad();
@@ -666,7 +1016,7 @@ impl FairwosTrainer {
                     grad_norm as f64,
                     Some(lambda.as_slice()),
                 ) {
-                    return Err(journal_divergence(3, epoch, reason));
+                    return Err(journal_divergence(3, epoch, reason).into());
                 }
                 finetune.push(FinetuneEpochStats {
                     utility_loss: loss_u,
@@ -676,6 +1026,36 @@ impl FairwosTrainer {
                 });
                 ws.give(out.logits);
                 ws.give(out.embeddings);
+                if let Some(log) = persist.as_mut() {
+                    if (epoch + 1) % cfg.recovery.checkpoint_interval == 0 {
+                        let cf = cf_sets.as_ref().map(|s| CfSnapshot {
+                            queries: s.queries.clone(),
+                            sets: s.export_sets(),
+                        });
+                        let ckpt = capture_checkpoint(
+                            seed,
+                            cfg,
+                            3,
+                            epoch + 1,
+                            lr_scale,
+                            &rng_state,
+                            &enc_weights,
+                            &encoder_losses,
+                            &mut gnn,
+                            &opt,
+                            &lambda,
+                            &classifier_losses,
+                            f64::NEG_INFINITY,
+                            &[],
+                            0,
+                            &pseudo_labels,
+                            &finetune,
+                            cf,
+                            &watchdog,
+                        );
+                        log.save(&ckpt).map_err(TrainError::Persist)?;
+                    }
+                }
             }
         }
 
@@ -709,6 +1089,60 @@ impl FairMethod for FairwosTrainer {
             Ok(trained) => trained.predict_probs(),
             Err(e) => panic!("Fairwos training diverged: {e}"),
         }
+    }
+}
+
+/// One [`TrainingCheckpoint`] capturing the complete live training state.
+///
+/// Called with the *stage-local* optimizer and watchdog; at stage
+/// boundaries both are freshly constructed, so their exported state is
+/// empty — exactly what a resume should start from.
+#[allow(clippy::too_many_arguments)]
+fn capture_checkpoint(
+    seed: u64,
+    cfg: &FairwosConfig,
+    stage: u8,
+    epoch: usize,
+    lr_scale: f32,
+    rng: &RngState,
+    enc_weights: &Option<Vec<Matrix>>,
+    encoder_losses: &[f32],
+    gnn: &mut Gnn,
+    opt: &Adam,
+    lambda: &[f32],
+    classifier_losses: &[f32],
+    best_val: f64,
+    best_params: &[Matrix],
+    since_best: usize,
+    pseudo_labels: &[bool],
+    finetune: &[FinetuneEpochStats],
+    cf: Option<CfSnapshot>,
+    watchdog: &Watchdog,
+) -> TrainingCheckpoint {
+    let (t, m, v) = opt.export_state();
+    TrainingCheckpoint {
+        version: CHECKPOINT_VERSION,
+        seed,
+        config: cfg.clone(),
+        stage,
+        epoch,
+        lr_scale,
+        rng: rng.clone(),
+        encoder_weights: enc_weights.clone(),
+        encoder_losses: encoder_losses.to_vec(),
+        gnn_weights: gnn.export_weights(),
+        opt: AdamSnapshot { t, m, v },
+        lambda: lambda.to_vec(),
+        classifier_losses: classifier_losses.to_vec(),
+        // serde_json cannot round-trip −∞ (it serializes to null), so the
+        // stage-2 "no improvement yet" sentinel maps to None.
+        best_val: (best_val != f64::NEG_INFINITY).then_some(best_val),
+        best_params: best_params.to_vec(),
+        since_best,
+        pseudo_labels: pseudo_labels.to_vec(),
+        finetune: finetune.to_vec(),
+        cf,
+        watchdog_window: watchdog.export_window(),
     }
 }
 
@@ -996,11 +1430,12 @@ mod tests {
         let err = FairwosTrainer::new(cfg)
             .fit(&input_of(&ds), 0)
             .expect_err("explosive learning rate must trip the watchdog");
-        assert_eq!(err.stage, 2, "diverged in the wrong stage: {err}");
+        let d = err.divergence().expect("a watchdog trip, not another error");
+        assert_eq!(d.stage, 2, "diverged in the wrong stage: {err}");
         assert!(
-            err.epoch < 1 + FairwosConfig::paper_default(Backbone::Gcn).watchdog.window,
+            d.epoch < 1 + FairwosConfig::paper_default(Backbone::Gcn).watchdog.window,
             "watchdog took {} epochs to notice",
-            err.epoch
+            d.epoch
         );
         // The error formats with stage/epoch/reason context.
         assert!(err.to_string().contains("stage 2"), "{err}");
@@ -1018,7 +1453,122 @@ mod tests {
         let err = FairwosTrainer::new(cfg)
             .fit(&input_of(&ds), 0)
             .expect_err("explosive fine-tuning rate must trip the watchdog");
-        assert_eq!(err.stage, 3, "diverged in the wrong stage: {err}");
+        let d = err.divergence().expect("a watchdog trip, not another error");
+        assert_eq!(d.stage, 3, "diverged in the wrong stage: {err}");
+    }
+
+    #[test]
+    fn fit_resumable_without_checkpoints_matches_fit() {
+        let ds = small_dataset();
+        let trainer = FairwosTrainer::new(fast_config(Backbone::Gcn));
+        let plain = trainer.fit(&input_of(&ds), 11).expect("training converges");
+
+        let mut store = crate::checkpoint::MemoryCheckpointStore::new();
+        let resumable = trainer
+            .fit_resumable(&input_of(&ds), 11, &mut store)
+            .expect("training converges");
+        assert_eq!(
+            plain.predict_probs(),
+            resumable.predict_probs(),
+            "checkpoint writes must not perturb training"
+        );
+        assert_eq!(plain.history.classifier_losses, resumable.history.classifier_losses);
+        assert!(
+            !store.is_empty(),
+            "a resumable run must leave checkpoints behind"
+        );
+    }
+
+    #[test]
+    fn resume_from_any_checkpoint_is_bit_identical() {
+        let ds = small_dataset();
+        let cfg = FairwosConfig {
+            recovery: crate::RecoveryConfig {
+                checkpoint_interval: 7,
+                retain: 100,
+                ..crate::RecoveryConfig::default()
+            },
+            ..fast_config(Backbone::Gcn)
+        };
+        let trainer = FairwosTrainer::new(cfg);
+        let full = trainer.fit(&input_of(&ds), 3).expect("training converges");
+
+        // A complete resumable run leaves every generation behind
+        // (retain=100), including both stage-boundary checkpoints.
+        let mut store = crate::checkpoint::MemoryCheckpointStore::new();
+        trainer
+            .fit_resumable(&input_of(&ds), 3, &mut store)
+            .expect("training converges");
+        let generations = store.generations().expect("in-memory store is infallible");
+        assert!(
+            generations.len() >= 4,
+            "expected stage boundaries plus interval checkpoints, got {generations:?}"
+        );
+
+        // Resuming from *each* surviving generation — as if the process had
+        // been killed right after that write — must reproduce the
+        // uninterrupted model bit for bit, history included.
+        for &generation in &generations {
+            let blob = store
+                .read(generation)
+                .expect("in-memory store is infallible");
+            let mut crashed = crate::checkpoint::MemoryCheckpointStore::new();
+            crashed.write(generation, &blob).expect("in-memory write");
+            let resumed = trainer
+                .fit_resumable(&input_of(&ds), 3, &mut crashed)
+                .expect("resumed training converges");
+            assert_eq!(
+                full.predict_probs(),
+                resumed.predict_probs(),
+                "resume from generation {generation} drifted"
+            );
+            assert_eq!(
+                full.history.classifier_losses, resumed.history.classifier_losses,
+                "stage-2 history drifted resuming from generation {generation}"
+            );
+            assert_eq!(
+                full.history.finetune.len(),
+                resumed.history.finetune.len(),
+                "stage-3 history length drifted resuming from generation {generation}"
+            );
+            for (a, b) in full.history.finetune.iter().zip(&resumed.history.finetune) {
+                assert_eq!(a.lambda, b.lambda, "λ trajectory drifted");
+                assert_eq!(a.utility_loss, b.utility_loss, "L_u trajectory drifted");
+                assert_eq!(a.fairness_loss, b.fairness_loss, "L_f trajectory drifted");
+            }
+        }
+    }
+
+    #[test]
+    fn rollback_budget_exhaustion_surfaces_the_divergence() {
+        // Explosive stage-2 rate: every attempt (original + max_rollbacks
+        // retries at backed-off rates that are still explosive) diverges, so
+        // the final error must be the divergence, and the store must hold
+        // exactly the one stage-1-completion checkpoint written by the first
+        // attempt (retries resume from it instead of re-writing it).
+        let ds = small_dataset();
+        let cfg = FairwosConfig {
+            use_encoder: false,
+            learning_rate: 1e6,
+            recovery: crate::RecoveryConfig {
+                max_rollbacks: 1,
+                lr_backoff: 0.5,
+                ..crate::RecoveryConfig::default()
+            },
+            ..fast_config(Backbone::Gcn)
+        };
+        let mut store = crate::checkpoint::MemoryCheckpointStore::new();
+        let err = FairwosTrainer::new(cfg)
+            .fit_resumable(&input_of(&ds), 0, &mut store)
+            .expect_err("every retry diverges");
+        let d = err.divergence().expect("budget exhaustion surfaces the divergence");
+        assert_eq!(d.stage, 2, "diverged in the wrong stage: {err}");
+        let generations = store.generations().expect("in-memory store is infallible");
+        assert_eq!(
+            generations.len(),
+            1,
+            "expected only the stage-1 boundary checkpoint, got {generations:?}"
+        );
     }
 
     #[test]

@@ -49,6 +49,25 @@ pub enum Event {
         /// Cumulative counter total at the time of the snapshot.
         value: u64,
     },
+    /// A training checkpoint was durably written.
+    Checkpoint {
+        /// Monotonic checkpoint generation number (1-based).
+        generation: u64,
+        /// Training stage the checkpoint resumes into (2 or 3).
+        stage: u8,
+        /// 0-based epoch within the stage the checkpoint resumes at.
+        epoch: u64,
+    },
+    /// Training rolled back to a checkpoint (divergence recovery) or
+    /// restarted from one after a crash.
+    Rollback {
+        /// Generation rolled back to (0 = fresh restart, no checkpoint).
+        generation: u64,
+        /// Training stage the rollback resumes into (0 = from scratch).
+        stage: u8,
+        /// 0-based epoch within the stage the rollback resumes at.
+        epoch: u64,
+    },
 }
 
 /// An [`Event`] stamped with its time and originating thread.

@@ -89,8 +89,9 @@ mod registry;
 
 #[cfg(feature = "enabled")]
 pub use registry::{
-    counter_add, counter_totals, journal_alert, journal_counter_snapshot, journal_epoch,
-    journal_events, journal_record, reset, scale_max, set_journal_capacity, span, SpanGuard,
+    counter_add, counter_totals, journal_alert, journal_checkpoint, journal_counter_snapshot,
+    journal_epoch, journal_events, journal_record, journal_rollback, reset, scale_max,
+    set_journal_capacity, span, SpanGuard,
 };
 
 #[cfg(not(feature = "enabled"))]
@@ -143,6 +144,14 @@ mod noop {
     #[inline(always)]
     pub fn journal_counter_snapshot(_label: &str, _value: u64) {}
 
+    /// Records a checkpoint event (no-op in this build).
+    #[inline(always)]
+    pub fn journal_checkpoint(_generation: u64, _stage: u8, _epoch: u64) {}
+
+    /// Records a rollback event (no-op in this build).
+    #[inline(always)]
+    pub fn journal_rollback(_generation: u64, _stage: u8, _epoch: u64) {}
+
     /// Journal snapshot (always empty in this build).
     #[inline(always)]
     pub fn journal_events() -> Vec<crate::TimedEvent> {
@@ -156,8 +165,9 @@ mod noop {
 
 #[cfg(not(feature = "enabled"))]
 pub use noop::{
-    counter_add, counter_totals, journal_alert, journal_counter_snapshot, journal_epoch,
-    journal_events, journal_record, reset, scale_max, set_journal_capacity, span, SpanGuard,
+    counter_add, counter_totals, journal_alert, journal_checkpoint, journal_counter_snapshot,
+    journal_epoch, journal_events, journal_record, journal_rollback, reset, scale_max,
+    set_journal_capacity, span, SpanGuard,
 };
 
 #[cfg(test)]

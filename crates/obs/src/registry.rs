@@ -112,6 +112,18 @@ pub fn journal_counter_snapshot(label: &str, value: u64) {
     journal_record(Event::CounterSnapshot { label: label.to_owned(), value });
 }
 
+/// Records a durably written training checkpoint (generation, and the
+/// stage/epoch it resumes into).
+pub fn journal_checkpoint(generation: u64, stage: u8, epoch: u64) {
+    journal_record(Event::Checkpoint { generation, stage, epoch });
+}
+
+/// Records a rollback/restart onto checkpoint `generation` (0 for a fresh
+/// restart with no valid checkpoint).
+pub fn journal_rollback(generation: u64, stage: u8, epoch: u64) {
+    journal_record(Event::Rollback { generation, stage, epoch });
+}
+
 /// Copies the journal's retained events in push order (oldest first).
 pub fn journal_events() -> Vec<TimedEvent> {
     with_journal(|j| j.snapshot())

@@ -67,6 +67,20 @@ fn push_event(out: &mut String, e: &TimedEvent) {
             envelope(out, label, "counter", "C");
             out.push_str(&format!(", \"args\": {{\"value\": {value}}}"));
         }
+        Event::Checkpoint { generation, stage, epoch } => {
+            envelope(out, "train/checkpoint", "persist", "i");
+            out.push_str(&format!(
+                ", \"s\": \"t\", \"args\": {{\"generation\": {generation}, \"stage\": {stage}, \
+                 \"epoch\": {epoch}}}"
+            ));
+        }
+        Event::Rollback { generation, stage, epoch } => {
+            envelope(out, "train/rollback", "persist", "i");
+            out.push_str(&format!(
+                ", \"s\": \"g\", \"args\": {{\"generation\": {generation}, \"stage\": {stage}, \
+                 \"epoch\": {epoch}}}"
+            ));
+        }
     }
     out.push('}');
 }
@@ -161,6 +175,23 @@ mod tests {
         assert!(doc.contains("\"args\": {\"message\": \"loss 9 exceeded baseline\"}"), "{doc}");
         assert!(doc.contains("\"ph\": \"C\", \"ts\": 0.020"), "{doc}");
         assert!(doc.contains("\"args\": {\"value\": 1234}"), "{doc}");
+    }
+
+    #[test]
+    fn checkpoint_and_rollback_are_persist_instants() {
+        let doc = trace_json(&[
+            at(5, 0, Event::Checkpoint { generation: 3, stage: 2, epoch: 40 }),
+            at(9, 0, Event::Rollback { generation: 3, stage: 2, epoch: 40 }),
+        ]);
+        assert!(
+            doc.contains("\"name\": \"train/checkpoint\", \"cat\": \"persist\", \"ph\": \"i\""),
+            "{doc}"
+        );
+        assert!(
+            doc.contains("\"args\": {\"generation\": 3, \"stage\": 2, \"epoch\": 40}"),
+            "{doc}"
+        );
+        assert!(doc.contains("\"name\": \"train/rollback\""), "{doc}");
     }
 
     #[test]

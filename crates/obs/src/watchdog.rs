@@ -160,6 +160,23 @@ impl Watchdog {
         &self.policy
     }
 
+    /// The trailing window of healthy losses, oldest first — exported so a
+    /// training checkpoint can persist the spike baseline and a resumed run
+    /// reproduces the uninterrupted run's verdicts exactly.
+    pub fn export_window(&self) -> Vec<f64> {
+        self.trailing.iter().copied().collect()
+    }
+
+    /// Replaces the trailing window with `window` (oldest first), keeping
+    /// only the most recent `policy.window` entries — the same bound
+    /// [`Watchdog::check`] enforces.
+    pub fn restore_window(&mut self, window: &[f64]) {
+        self.trailing.clear();
+        let keep = self.policy.window.max(1);
+        let skip = window.len().saturating_sub(keep);
+        self.trailing.extend(window.iter().skip(skip).copied());
+    }
+
     /// Checks one epoch. Returns the first violated trigger, or `None` when
     /// healthy — in which case `loss` joins the trailing window (bounded at
     /// `policy.window` entries, oldest evicted first). A divergent epoch's
@@ -341,6 +358,29 @@ mod tests {
         assert!(lambda_in_simplex(&[0.5000001, 0.4999999], 1e-3));
         assert!(lambda_in_simplex(&[1.0], 1e-3));
         assert!(!lambda_in_simplex(&[0.5, 0.6], 1e-3));
+    }
+
+    #[test]
+    fn window_roundtrip_reproduces_verdicts() {
+        let mut w = dog();
+        assert_eq!(w.check(0.7, 1.0, None), None);
+        assert_eq!(w.check(0.4, 1.0, None), None);
+        let mut twin = dog();
+        twin.restore_window(&w.export_window());
+        // Same verdict on the next epoch, spike or healthy.
+        assert_eq!(w.check(25.0, 1.0, None), twin.check(25.0, 1.0, None));
+        assert_eq!(w.check(1e5, 1.0, None), twin.check(1e5, 1.0, None));
+    }
+
+    #[test]
+    fn restore_window_clamps_to_policy_length() {
+        let mut w = Watchdog::new(WatchdogPolicy { window: 2, ..WatchdogPolicy::default() });
+        w.restore_window(&[0.01, 0.2, 0.3]);
+        // The oldest entry (0.01) must have been dropped: 9.0 would spike
+        // against a 0.01 baseline but is healthy against min(0.2, 0.3).
+        assert_eq!(w.check(9.0, 1.0, None), None);
+        // `check` keeps the window bounded at `policy.window` entries too.
+        assert_eq!(w.export_window(), vec![0.3, 9.0]);
     }
 
     #[test]

@@ -51,7 +51,9 @@ mod ops;
 mod pool;
 mod reduce;
 
-pub use init::{glorot_uniform, he_normal, seeded_rng};
+pub use init::{
+    export_rng_state, glorot_uniform, he_normal, restore_rng, seeded_rng, FairRng, RngState,
+};
 pub use matmul::{dot, sq_dist};
 pub use matrix::Matrix;
 pub use pool::Workspace;

@@ -2,9 +2,10 @@
 # The full CI gate, runnable locally: formatting, release build, tests
 # (default features AND the checked+obs instrumented build), an obs-off
 # build proving the pipeline crates compile without the instrumentation
-# feature, the FW static lints, the finite-difference gradient sweep, and
-# instrumented bench smoke runs that must produce
-# results/bench_pipeline.json plus the trace/telemetry artifacts.
+# feature, the kill-and-resume crash-recovery smoke test, the FW static
+# lints, the finite-difference gradient sweep, and instrumented bench
+# smoke runs that must produce results/bench_pipeline.json plus the
+# trace/telemetry artifacts.
 # Mirrors .github/workflows/ci.yml.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -26,6 +27,9 @@ RAYON_NUM_THREADS=1 cargo test -p fairwos --test determinism -q
 
 echo "==> obs-off builds (pipeline crates must compile without the feature)"
 cargo build -p fairwos-tensor -p fairwos-nn -p fairwos-core --no-default-features
+
+echo "==> kill-and-resume crash recovery smoke test"
+bash scripts/kill_and_resume.sh
 
 echo "==> instrumented bench smoke run (results/bench_pipeline.json)"
 cargo run --release -p fairwos-bench --features obs --bin exp_table2 -- --scale 0.02 --runs 1

@@ -24,8 +24,11 @@ commands:
   stats     --data <file>
             print the Table-I row of a dataset file
   train     --data <file> [--backbone gcn|gin|sage] [--alpha <f>] [--k <n>]
-            [--encoder-dim <n>] [--seed <n>] --out <model-file>
-            train Fairwos and save the model
+            [--encoder-dim <n>] [--seed <n>] [--checkpoint-dir <dir>]
+            [--checkpoint-interval <n>] --out <model-file>
+            train Fairwos and save the model; with --checkpoint-dir the run
+            checkpoints periodically and resumes from a prior interrupted
+            run of the same seed/config
   evaluate  --data <file> --model <model-file>
             utility + fairness of a saved model on the dataset's test split
   predict   --data <file> --model <model-file> --out <file>
@@ -127,6 +130,10 @@ fn main() {
             if let Some(d) = flags.get("encoder-dim") {
                 config.encoder_dim = d.parse().expect("--encoder-dim takes an integer");
             }
+            if let Some(iv) = flags.get("checkpoint-interval") {
+                config.recovery.checkpoint_interval =
+                    iv.parse().expect("--checkpoint-interval takes an integer");
+            }
             let input = TrainInput {
                 graph: &ds.graph,
                 features: &ds.features,
@@ -134,12 +141,18 @@ fn main() {
                 train: &ds.split.train,
                 val: &ds.split.val,
             };
-            let mut trained = FairwosTrainer::new(config)
-                .fit(&input, seed)
-                .unwrap_or_else(|e| {
-                    eprintln!("{e}");
-                    exit(1);
-                });
+            let trainer = FairwosTrainer::new(config);
+            let fitted = match flags.get("checkpoint-dir") {
+                Some(dir) => {
+                    let mut store = FsCheckpointStore::new(dir.as_str());
+                    trainer.fit_resumable(&input, seed, &mut store)
+                }
+                None => trainer.fit(&input, seed),
+            };
+            let mut trained = fitted.unwrap_or_else(|e| {
+                eprintln!("{e}");
+                exit(1);
+            });
             let out = required(&flags, "out");
             trained.to_model_file().save(out).unwrap_or_else(|e| {
                 eprintln!("writing model: {e}");
@@ -155,7 +168,10 @@ fn main() {
                 eprintln!("invalid model file: {e}");
                 exit(1);
             });
-            let restored = model.restore(&ds.graph, &ds.features);
+            let restored = model.restore(&ds.graph, &ds.features).unwrap_or_else(|e| {
+                eprintln!("model does not fit this dataset: {e}");
+                exit(1);
+            });
             let probs = restored.predict_probs();
             if command == "predict" {
                 let out = required(&flags, "out");

@@ -66,8 +66,9 @@ pub use fairwos_obs as obs;
 pub use fairwos_tensor as tensor;
 
 pub use fairwos_core::{
-    FairMethod, FairwosConfig, FairwosTrainer, TrainInput, TrainProbe, TrainedFairwos,
-    TrainerWorkspace, TrainingDiverged,
+    CheckpointStore, FairMethod, FairwosConfig, FairwosTrainer, FsCheckpointStore, InputError,
+    MemoryCheckpointStore, RecoveryConfig, TrainError, TrainInput, TrainProbe, TrainedFairwos,
+    TrainerWorkspace, TrainingCheckpoint, TrainingDiverged,
 };
 pub use fairwos_datasets::{DatasetSpec, FairGraphDataset};
 pub use fairwos_fairness::EvalReport;
@@ -78,8 +79,10 @@ pub use fairwos_tensor::Matrix;
 pub mod prelude {
     pub use crate::baselines::{FairGkd, FairRF, KSmote, RemoveR, Vanilla};
     pub use crate::core::{
-        Divergence, FairMethod, FairwosConfig, FairwosTrainer, TelemetryEval, TrainInput,
-        TrainProbe, TrainedFairwos, TrainerWorkspace, TrainingDiverged, WatchdogConfig,
+        CheckpointStore, Divergence, FairMethod, FairwosConfig, FairwosTrainer,
+        FsCheckpointStore, InputError, MemoryCheckpointStore, RecoveryConfig, TelemetryEval,
+        TrainError, TrainInput, TrainProbe, TrainedFairwos, TrainerWorkspace,
+        TrainingCheckpoint, TrainingDiverged, WatchdogConfig,
     };
     pub use crate::datasets::{DatasetSpec, DatasetStats, FairGraphDataset, Split};
     pub use crate::fairness::{accuracy, delta_eo, delta_sp, EvalReport, MeanStd, RunAggregator};

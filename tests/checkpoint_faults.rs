@@ -1,0 +1,193 @@
+//! Fault-injection matrix for crash-consistent training persistence: every
+//! scheduled storage fault either heals transparently (write retries,
+//! newest-valid-generation fallback, divergence rollback) or surfaces as a
+//! typed [`TrainError`] — never a panic, and never a silently different
+//! model. Resume correctness is always checked bit-for-bit against an
+//! uninterrupted run of the same seed and config.
+
+use fairwos::core::{FaultPlan, FaultyCheckpointStore};
+use fairwos::prelude::*;
+
+/// Short schedule with early stopping disabled (patience > classifier
+/// epochs) so every run writes the same deterministic checkpoint sequence:
+/// the stage-2 boundary, eight stage-2 interval generations, the stage-3
+/// boundary, and one stage-3 interval generation.
+fn recovery_config() -> FairwosConfig {
+    FairwosConfig {
+        encoder_dim: 6,
+        encoder_epochs: 40,
+        classifier_epochs: 60,
+        finetune_epochs: 7,
+        learning_rate: 0.02,
+        patience: 100,
+        recovery: RecoveryConfig {
+            checkpoint_interval: 7,
+            retain: 100,
+            ..RecoveryConfig::default()
+        },
+        ..FairwosConfig::fast(Backbone::Gcn)
+    }
+}
+
+fn small_dataset() -> FairGraphDataset {
+    FairGraphDataset::generate(&DatasetSpec::nba().scaled(0.3), 5)
+}
+
+fn input_of(ds: &FairGraphDataset) -> TrainInput<'_> {
+    TrainInput {
+        graph: &ds.graph,
+        features: &ds.features,
+        labels: &ds.labels,
+        train: &ds.split.train,
+        val: &ds.split.val,
+    }
+}
+
+#[test]
+fn transient_write_failures_heal_within_the_retry_budget() {
+    let ds = small_dataset();
+    let cfg = recovery_config();
+    let plain = FairwosTrainer::new(cfg.clone()).fit(&input_of(&ds), 5).expect("training converges");
+
+    // Attempts 1 and 5 fail transiently; with write_attempts = 3 both
+    // saves succeed on their next attempt without the trainer noticing.
+    let plan = FaultPlan { fail_writes: vec![1, 5], ..FaultPlan::default() };
+    let mut store = FaultyCheckpointStore::new(MemoryCheckpointStore::new(), plan);
+    let trained = FairwosTrainer::new(cfg)
+        .fit_resumable(&input_of(&ds), 5, &mut store)
+        .expect("transient write failures must not abort training");
+
+    assert_eq!(plain.predict_probs(), trained.predict_probs());
+    assert_eq!(plain.lambda(), trained.lambda());
+    let generations = store.inner().len();
+    assert_eq!(
+        store.writes_seen(),
+        generations + 2,
+        "every injected failure costs exactly one retry attempt"
+    );
+}
+
+#[test]
+fn exhausted_write_budget_surfaces_a_typed_persist_error() {
+    let ds = small_dataset();
+    let cfg = recovery_config(); // write_attempts = 3
+    let plan = FaultPlan { fail_writes: vec![1, 2, 3], ..FaultPlan::default() };
+    let mut store = FaultyCheckpointStore::new(MemoryCheckpointStore::new(), plan);
+    let err = FairwosTrainer::new(cfg)
+        .fit_resumable(&input_of(&ds), 5, &mut store)
+        .expect_err("a persistently failing store must abort training");
+
+    assert!(matches!(err, TrainError::Persist(_)), "expected a persistence error, got: {err}");
+    assert!(err.divergence().is_none());
+    assert_eq!(store.writes_seen(), 3, "the retry loop stops at the configured budget");
+    assert!(store.inner().is_empty(), "no generation ever reached the store");
+}
+
+#[test]
+fn resume_skips_torn_corrupt_and_vanished_generations() {
+    let ds = small_dataset();
+    let trainer = FairwosTrainer::new(recovery_config());
+    let full = trainer.fit(&input_of(&ds), 5).expect("training converges");
+
+    // Harvest the checkpoint sequence of a clean resumable run.
+    let mut clean = MemoryCheckpointStore::new();
+    trainer.fit_resumable(&input_of(&ds), 5, &mut clean).expect("training converges");
+    let generations = clean.generations().expect("in-memory store is infallible");
+    let n = generations.len();
+    assert!(n >= 4, "need several generations to corrupt, got {generations:?}");
+
+    // Rebuild a crashed store whose newest three generations are a torn
+    // write, footer bit rot, and a file that vanished before the read.
+    let mut inner = MemoryCheckpointStore::new();
+    for &generation in &generations {
+        let mut blob = clean.read(generation).expect("in-memory store is infallible");
+        if generation == generations[n - 1] {
+            blob.truncate(blob.len() / 2);
+        }
+        if generation == generations[n - 2] {
+            let last = blob.len() - 1;
+            blob[last] ^= 0xFF;
+        }
+        inner.write(generation, &blob).expect("in-memory store is infallible");
+    }
+    let plan = FaultPlan { vanish_reads: vec![generations[n - 3]], ..FaultPlan::default() };
+    let mut crashed = FaultyCheckpointStore::new(inner, plan);
+
+    // Resume must fall back to the newest intact generation and still end
+    // bit-identical to the uninterrupted run.
+    let resumed = trainer
+        .fit_resumable(&input_of(&ds), 5, &mut crashed)
+        .expect("resume heals by falling back to an older generation");
+    assert_eq!(full.predict_probs(), resumed.predict_probs());
+    assert_eq!(full.lambda(), resumed.lambda());
+    assert_eq!(full.history.classifier_losses, resumed.history.classifier_losses);
+}
+
+#[test]
+fn fs_store_resumes_after_the_newest_file_is_truncated() {
+    let dir = std::env::temp_dir().join(format!("fairwos-ckpt-faults-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let ds = small_dataset();
+    let trainer = FairwosTrainer::new(recovery_config());
+    let full = trainer.fit(&input_of(&ds), 5).expect("training converges");
+
+    let mut store = FsCheckpointStore::new(dir.clone());
+    trainer.fit_resumable(&input_of(&ds), 5, &mut store).expect("training converges");
+    let generations = store.generations().expect("checkpoint dir is listable");
+    assert!(!generations.is_empty());
+
+    // Tear the newest on-disk file in half, as a crash mid-write would
+    // without the atomic temp + rename protocol.
+    let newest = generations[generations.len() - 1];
+    let path = dir.join(format!("ckpt-{newest:010}.fwck"));
+    let bytes = std::fs::read(&path).expect("newest checkpoint file readable");
+    std::fs::write(&path, &bytes[..bytes.len() / 2]).expect("truncate newest checkpoint");
+
+    let mut reopened = FsCheckpointStore::new(dir.clone());
+    let resumed = trainer
+        .fit_resumable(&input_of(&ds), 5, &mut reopened)
+        .expect("resume falls back past the torn file");
+    assert_eq!(full.predict_probs(), resumed.predict_probs());
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn divergence_rolls_back_and_retries_with_scaled_lr() {
+    let ds = small_dataset();
+    let cfg = FairwosConfig {
+        use_encoder: false,
+        learning_rate: 1e4,
+        recovery: RecoveryConfig {
+            checkpoint_interval: 7,
+            retain: 100,
+            max_rollbacks: 1,
+            lr_backoff: 1e-6,
+            ..RecoveryConfig::default()
+        },
+        ..recovery_config()
+    };
+    let mut store = MemoryCheckpointStore::new();
+    // The first attempt diverges within the watchdog window; the rollback
+    // restarts from the stage-2 boundary checkpoint at lr 1e4 × 1e-6 and
+    // converges.
+    let trained = FairwosTrainer::new(cfg)
+        .fit_resumable(&input_of(&ds), 7, &mut store)
+        .expect("rollback with a backed-off learning rate must converge");
+    let probs = trained.predict_probs();
+    assert!(probs.iter().all(|p| p.is_finite() && (0.0..=1.0).contains(p)));
+    assert!(!store.is_empty());
+}
+
+#[test]
+fn invalid_input_is_a_typed_error_not_a_panic() {
+    let ds = small_dataset();
+    let mut input = input_of(&ds);
+    input.train = &[];
+    let err = FairwosTrainer::new(recovery_config())
+        .fit(&input, 0)
+        .expect_err("an empty train split cannot be fitted");
+    assert!(matches!(err, TrainError::Input(InputError::EmptyTrainSplit)), "{err}");
+    assert!(err.divergence().is_none());
+}

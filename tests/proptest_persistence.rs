@@ -1,0 +1,126 @@
+//! Persistence fuzzing: any truncation, byte flip, or outright garbage in
+//! a sealed artifact — model file or training checkpoint — must surface as
+//! a typed `PersistError`. Never a panic, and never a silently wrong load:
+//! the integrity footer (length + FNV-1a checksum) catches every
+//! single-byte difference, and truncation always breaks either the footer
+//! or the JSON payload.
+
+use fairwos::core::checkpoint::{
+    decode_checkpoint, encode_checkpoint, AdamSnapshot, CHECKPOINT_VERSION,
+};
+use fairwos::core::persist::MODEL_FILE_VERSION;
+use fairwos::core::FairwosModelFile;
+use fairwos::prelude::*;
+use fairwos::tensor::{export_rng_state, seeded_rng};
+use proptest::prelude::*;
+
+fn tiny_checkpoint() -> TrainingCheckpoint {
+    TrainingCheckpoint {
+        version: CHECKPOINT_VERSION,
+        seed: 7,
+        config: FairwosConfig::fast(Backbone::Gcn),
+        stage: 2,
+        epoch: 3,
+        lr_scale: 1.0,
+        rng: export_rng_state(&seeded_rng(7)),
+        encoder_weights: None,
+        encoder_losses: vec![0.9, 0.7],
+        gnn_weights: vec![Matrix::zeros(3, 2), Matrix::zeros(2, 1)],
+        opt: AdamSnapshot::default(),
+        lambda: vec![0.5, 0.5],
+        classifier_losses: vec![0.8, 0.6, 0.55],
+        best_val: None,
+        best_params: Vec::new(),
+        since_best: 1,
+        pseudo_labels: vec![true, false, true],
+        finetune: Vec::new(),
+        cf: None,
+        watchdog_window: vec![0.8, 0.6],
+    }
+}
+
+fn tiny_model_file() -> FairwosModelFile {
+    FairwosModelFile {
+        version: MODEL_FILE_VERSION,
+        config: FairwosConfig::fast(Backbone::Gcn),
+        in_dim: 4,
+        encoder_weights: None,
+        gnn_weights: vec![Matrix::zeros(4, 2), Matrix::zeros(2, 1)],
+        lambda: vec![0.25, 0.75],
+    }
+}
+
+/// Saves the tiny model once and returns its sealed on-disk bytes. `tag`
+/// keeps concurrently running tests on distinct files.
+fn sealed_model_bytes(tag: &str) -> Vec<u8> {
+    let path = std::env::temp_dir()
+        .join(format!("fairwos-proptest-model-{tag}-{}.fwm", std::process::id()));
+    tiny_model_file().save(&path).expect("save succeeds");
+    let bytes = std::fs::read(&path).expect("saved model readable");
+    let _ = std::fs::remove_file(&path);
+    bytes
+}
+
+#[test]
+fn sealed_checkpoint_round_trips() {
+    let blob = encode_checkpoint(&tiny_checkpoint()).expect("encode succeeds");
+    let back = decode_checkpoint(&blob).expect("decode succeeds");
+    assert_eq!(back.seed, 7);
+    assert_eq!(back.stage, 2);
+    assert_eq!(back.epoch, 3);
+    assert_eq!(back.rng, tiny_checkpoint().rng);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn truncated_checkpoint_blob_is_a_typed_error(idx in any::<prop::sample::Index>()) {
+        let blob = encode_checkpoint(&tiny_checkpoint()).expect("encode succeeds");
+        let cut = idx.index(blob.len());
+        prop_assert!(decode_checkpoint(&blob[..cut]).is_err(), "truncation to {cut} bytes loaded");
+    }
+
+    #[test]
+    fn flipped_checkpoint_byte_is_a_typed_error(idx in any::<prop::sample::Index>(), bit in 0u8..8) {
+        let mut blob = encode_checkpoint(&tiny_checkpoint()).expect("encode succeeds");
+        let i = idx.index(blob.len());
+        blob[i] ^= 1 << bit;
+        prop_assert!(decode_checkpoint(&blob).is_err(), "flip at byte {i} bit {bit} went undetected");
+    }
+
+    #[test]
+    fn arbitrary_bytes_never_panic_the_checkpoint_decoder(
+        bytes in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        prop_assert!(decode_checkpoint(&bytes).is_err());
+    }
+
+    #[test]
+    fn truncated_model_file_is_a_typed_error(idx in any::<prop::sample::Index>()) {
+        let sealed = sealed_model_bytes("trunc-seed");
+        let cut = idx.index(sealed.len());
+        let path = std::env::temp_dir()
+            .join(format!("fairwos-proptest-model-trunc-{}.fwm", std::process::id()));
+        std::fs::write(&path, &sealed[..cut]).expect("write truncated file");
+        let loaded = FairwosModelFile::load(&path);
+        let _ = std::fs::remove_file(&path);
+        prop_assert!(loaded.is_err(), "truncation to {cut} bytes loaded");
+    }
+
+    #[test]
+    fn flipped_model_file_byte_is_a_typed_error(
+        idx in any::<prop::sample::Index>(),
+        bit in 0u8..8,
+    ) {
+        let mut sealed = sealed_model_bytes("flip-seed");
+        let i = idx.index(sealed.len());
+        sealed[i] ^= 1 << bit;
+        let path = std::env::temp_dir()
+            .join(format!("fairwos-proptest-model-flip-{}.fwm", std::process::id()));
+        std::fs::write(&path, &sealed).expect("write corrupted file");
+        let loaded = FairwosModelFile::load(&path);
+        let _ = std::fs::remove_file(&path);
+        prop_assert!(loaded.is_err(), "flip at byte {i} bit {bit} went undetected");
+    }
+}

@@ -1,6 +1,6 @@
 //! Divergence-watchdog contract tests at the facade level: every trigger
 //! surfaces as a value (`Option<Divergence>` from the policy checker, or a
-//! typed `Err(TrainingDiverged)` from training) — no `should_panic` anywhere,
+//! typed `Err(TrainError)` from training) — no `should_panic` anywhere,
 //! because divergence is a reportable outcome, not a crash.
 
 use fairwos::obs::{lambda_in_simplex, Divergence, Watchdog, WatchdogPolicy};
@@ -94,18 +94,19 @@ fn explosive_learning_rate_surfaces_as_err_not_panic() {
         learning_rate: 1e4,
         ..FairwosConfig::fast(Backbone::Gcn)
     };
-    let err: TrainingDiverged = FairwosTrainer::new(cfg)
+    let err: TrainError = FairwosTrainer::new(cfg)
         .fit(&input, 7)
         .expect_err("explosive learning rate must trip the watchdog");
-    assert_eq!(err.stage, 2);
+    let d: &TrainingDiverged = err.divergence().expect("a watchdog trip, not another error");
+    assert_eq!(d.stage, 2);
     assert!(
-        err.epoch < 1 + WatchdogConfig::default().window,
+        d.epoch < 1 + WatchdogConfig::default().window,
         "watchdog took {} epochs to notice",
-        err.epoch
+        d.epoch
     );
     // The reason is one of the typed triggers and the error is a real
     // std::error::Error with full context in its message.
-    assert!(err.reason.code().starts_with("watchdog/"));
+    assert!(d.reason.code().starts_with("watchdog/"));
     let msg = (&err as &dyn std::error::Error).to_string();
     assert!(msg.contains("stage 2"), "{msg}");
 }
