@@ -8,7 +8,10 @@
 //! pseudo-sensitive attributes) are discrete, where the plug-in estimator
 //! is exact up to sampling noise.
 
-use std::collections::HashMap;
+// BTreeMap, not HashMap: the plug-in estimators below sum f64 terms over
+// the map's iteration order, and HashMap's RandomState would make that
+// order — and hence the rounding of the sum — vary run to run (FW006).
+use std::collections::BTreeMap;
 
 /// Shannon entropy (nats) of a discrete sample.
 ///
@@ -16,7 +19,7 @@ use std::collections::HashMap;
 /// If the sample is empty.
 pub fn entropy(xs: &[usize]) -> f64 {
     assert!(!xs.is_empty(), "entropy of an empty sample");
-    let mut counts: HashMap<usize, usize> = HashMap::new();
+    let mut counts: BTreeMap<usize, usize> = BTreeMap::new();
     for &x in xs {
         *counts.entry(x).or_default() += 1;
     }
@@ -39,9 +42,9 @@ pub fn mutual_information(xs: &[usize], ys: &[usize]) -> f64 {
     assert_eq!(xs.len(), ys.len(), "sample lengths differ: {} vs {}", xs.len(), ys.len());
     assert!(!xs.is_empty(), "mutual information of empty samples");
     let n = xs.len() as f64;
-    let mut joint: HashMap<(usize, usize), usize> = HashMap::new();
-    let mut px: HashMap<usize, usize> = HashMap::new();
-    let mut py: HashMap<usize, usize> = HashMap::new();
+    let mut joint: BTreeMap<(usize, usize), usize> = BTreeMap::new();
+    let mut px: BTreeMap<usize, usize> = BTreeMap::new();
+    let mut py: BTreeMap<usize, usize> = BTreeMap::new();
     for (&x, &y) in xs.iter().zip(ys) {
         *joint.entry((x, y)).or_default() += 1;
         *px.entry(x).or_default() += 1;

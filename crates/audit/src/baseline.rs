@@ -1,0 +1,242 @@
+//! Ratcheting lint baseline: pre-existing findings are pinned, new ones
+//! fail, and the pin set may only ever shrink.
+//!
+//! A baseline entry is keyed `lint|file|message` — deliberately *not* by
+//! line number, so unrelated edits that shift code up or down don't churn
+//! the file — with a count for sites that produce the same message more
+//! than once in a file. Comparing a lint run against the baseline
+//! partitions the findings three ways:
+//!
+//! * **new** — violations beyond the pinned count for their key → CI fails;
+//! * **pinned** — violations covered by the baseline → reported, not fatal;
+//! * **stale** — baseline entries the tree no longer produces → CI fails
+//!   with instructions to shrink the baseline (`--update-baseline`), so the
+//!   pin set ratchets monotonically toward zero.
+//!
+//! `--update-baseline` never adds entries to an existing baseline; it only
+//! removes stale ones. The initial pin (creating the file) is the one
+//! exception, and only when the file does not exist yet.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::Path;
+
+use crate::lints::{json_string, LintReport, Violation};
+
+/// A parsed baseline: pinned finding keys with their counts.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    /// `lint|file|message` → pinned occurrence count.
+    pub entries: BTreeMap<String, usize>,
+}
+
+/// The outcome of comparing a lint run against a baseline.
+#[derive(Debug)]
+pub struct BaselineDiff {
+    /// Violations not covered by the baseline (fatal).
+    pub new: Vec<Violation>,
+    /// Violations covered by the baseline (informational).
+    pub pinned: Vec<Violation>,
+    /// Baseline keys (with counts) the tree no longer produces (fatal
+    /// until the baseline is shrunk).
+    pub stale: Vec<(String, usize)>,
+}
+
+/// Stable multiset key for one violation.
+pub fn violation_key(v: &Violation) -> String {
+    format!("{}|{}|{}", v.lint, v.file, v.message)
+}
+
+impl Baseline {
+    /// Parses the hand-rolled baseline JSON written by [`Baseline::to_json`].
+    ///
+    /// The format is a flat `{"entries": [{"key": .., "count": ..}, ..]}`
+    /// object; parsing is a small scanner rather than a serde dependency so
+    /// the lint engine stays pure `std`.
+    pub fn from_json(text: &str) -> Result<Baseline, String> {
+        let mut entries = BTreeMap::new();
+        let mut rest = text;
+        while let Some(pos) = rest.find("\"key\"") {
+            rest = &rest[pos + 5..];
+            let key = parse_json_string_after_colon(rest)
+                .ok_or_else(|| "baseline: malformed \"key\" entry".to_string())?;
+            let cpos = rest
+                .find("\"count\"")
+                .ok_or_else(|| format!("baseline: entry {key:?} has no \"count\""))?;
+            let after = rest[cpos + 7..]
+                .trim_start()
+                .strip_prefix(':')
+                .ok_or_else(|| format!("baseline: entry {key:?} has no count value"))?;
+            let digits: String =
+                after.trim_start().chars().take_while(|c| c.is_ascii_digit()).collect();
+            let count: usize = digits
+                .parse()
+                .map_err(|_| format!("baseline: bad count for entry {key:?}"))?;
+            *entries.entry(key).or_insert(0) += count;
+        }
+        Ok(Baseline { entries })
+    }
+
+    /// Loads a baseline file; a missing file is `Ok(None)`.
+    pub fn load(path: &Path) -> Result<Option<Baseline>, String> {
+        match fs::read_to_string(path) {
+            Ok(text) => Self::from_json(&text).map(Some),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(format!("reading {}: {e}", path.display())),
+        }
+    }
+
+    /// Builds the baseline that pins every violation in `report`.
+    pub fn pin_all(report: &LintReport) -> Baseline {
+        let mut entries = BTreeMap::new();
+        for v in &report.violations {
+            *entries.entry(violation_key(v)).or_insert(0) += 1;
+        }
+        Baseline { entries }
+    }
+
+    /// Serializes the baseline (sorted, one entry per line — diff-friendly).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n  \"tool\": \"fairwos-audit\",\n  \"schema_version\": 1,\n  \"entries\": [\n");
+        for (i, (key, count)) in self.entries.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"key\": {}, \"count\": {}}}{}\n",
+                json_string(key),
+                count,
+                if i + 1 < self.entries.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    /// Total pinned findings.
+    pub fn total(&self) -> usize {
+        self.entries.values().sum()
+    }
+
+    /// Partitions `report`'s violations against this baseline.
+    pub fn diff(&self, report: &LintReport) -> BaselineDiff {
+        let mut budget = self.entries.clone();
+        let mut new = Vec::new();
+        let mut pinned = Vec::new();
+        for v in &report.violations {
+            let key = violation_key(v);
+            match budget.get_mut(&key) {
+                Some(c) if *c > 0 => {
+                    *c -= 1;
+                    pinned.push(v.clone());
+                }
+                _ => new.push(v.clone()),
+            }
+        }
+        let stale: Vec<(String, usize)> =
+            budget.into_iter().filter(|(_, c)| *c > 0).collect();
+        BaselineDiff { new, pinned, stale }
+    }
+
+    /// The shrunken baseline after removing `stale` leftovers: pins only
+    /// what the current tree still produces *and* was already pinned.
+    /// Never grows — new violations stay out by construction.
+    pub fn shrink_to(&self, report: &LintReport) -> Baseline {
+        let current = Baseline::pin_all(report);
+        let mut entries = BTreeMap::new();
+        for (key, &pinned_count) in &self.entries {
+            if let Some(&live) = current.entries.get(key) {
+                entries.insert(key.clone(), live.min(pinned_count));
+            }
+        }
+        Baseline { entries }
+    }
+}
+
+fn parse_json_string_after_colon(rest: &str) -> Option<String> {
+    let after = rest.trim_start().strip_prefix(':')?.trim_start();
+    let mut chars = after.strip_prefix('"')?.chars();
+    let mut out = String::new();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => return Some(out),
+            '\\' => match chars.next()? {
+                'n' => out.push('\n'),
+                'r' => out.push('\r'),
+                't' => out.push('\t'),
+                'u' => {
+                    let hex: String = (0..4).filter_map(|_| chars.next()).collect();
+                    let code = u32::from_str_radix(&hex, 16).ok()?;
+                    out.push(char::from_u32(code)?);
+                }
+                other => out.push(other),
+            },
+            c => out.push(c),
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(lint: &str, file: &str, line: usize, message: &str) -> Violation {
+        Violation {
+            lint: lint.into(),
+            file: file.into(),
+            line,
+            message: message.into(),
+        }
+    }
+
+    fn report(violations: Vec<Violation>) -> LintReport {
+        LintReport { files_checked: 1, violations, metrics: Default::default() }
+    }
+
+    #[test]
+    fn round_trips_through_json() {
+        let r = report(vec![
+            v("FW007", "crates/a/src/lib.rs", 3, "fn `f` allocates"),
+            v("FW007", "crates/a/src/lib.rs", 9, "fn `f` allocates"),
+            v("FW006", "crates/b/src/lib.rs", 1, "HashMap"),
+        ]);
+        let b = Baseline::pin_all(&r);
+        let parsed = Baseline::from_json(&b.to_json()).unwrap();
+        assert_eq!(parsed, b);
+        assert_eq!(parsed.total(), 3);
+    }
+
+    #[test]
+    fn diff_partitions_new_pinned_stale() {
+        let b = Baseline::pin_all(&report(vec![
+            v("FW007", "a.rs", 1, "m1"),
+            v("FW007", "a.rs", 2, "m1"),
+            v("FW006", "b.rs", 1, "m2"),
+        ]));
+        // One m1 fixed, m2 still present, a brand-new m3 appeared.
+        let now = report(vec![
+            v("FW007", "a.rs", 1, "m1"),
+            v("FW006", "b.rs", 1, "m2"),
+            v("FW010", "c.rs", 5, "m3"),
+        ]);
+        let d = b.diff(&now);
+        assert_eq!(d.new.len(), 1);
+        assert_eq!(d.new[0].lint, "FW010");
+        assert_eq!(d.pinned.len(), 2);
+        assert_eq!(d.stale, vec![("FW007|a.rs|m1".to_string(), 1)]);
+    }
+
+    #[test]
+    fn shrink_never_grows() {
+        let b = Baseline::pin_all(&report(vec![v("FW007", "a.rs", 1, "m1")]));
+        // Tree now has an extra copy of m1 and a new m2; shrink keeps only
+        // the originally pinned single m1.
+        let now = report(vec![
+            v("FW007", "a.rs", 1, "m1"),
+            v("FW007", "a.rs", 7, "m1"),
+            v("FW006", "b.rs", 2, "m2"),
+        ]);
+        let shrunk = b.shrink_to(&now);
+        assert_eq!(shrunk.total(), 1);
+        assert!(shrunk.entries.contains_key("FW007|a.rs|m1"));
+        assert!(!shrunk.entries.contains_key("FW006|b.rs|m2"));
+    }
+}

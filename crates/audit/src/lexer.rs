@@ -1,0 +1,370 @@
+//! Source masking and a spanned token stream for the lint engine.
+//!
+//! The FW lints must never fire on text inside comments or string literals,
+//! and the call-graph pass needs real token boundaries (`foo(` as a call vs
+//! `foo` as part of `barfoo`). Both concerns live here:
+//!
+//! * [`mask_source`] blanks comments, string/char literals and raw strings
+//!   while preserving the byte-per-line structure, so line numbers computed
+//!   on the masked text map 1:1 onto the original file.
+//! * [`lex`] turns masked text into a stream of [`Token`]s — identifiers,
+//!   lifetimes, numeric literals and punctuation — each carrying its
+//!   1-based source line. Multi-char operators that matter for call-site
+//!   parsing (`::`, `->`, `=>`) are single tokens.
+//!
+//! Everything here is pure `std` and deterministic; the proptests in
+//! `tests/proptest_lexer.rs` fuzz the masking against adversarial nested
+//! strings and comments.
+
+/// True for characters that can continue a Rust identifier.
+pub fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Replaces comments and string/char literal *contents* with spaces while
+/// keeping every newline, so the output has the same line structure as the
+/// input and downstream passes only ever see real code tokens.
+pub fn mask_source(src: &str) -> String {
+    let b: Vec<char> = src.chars().collect();
+    let n = b.len();
+    let mut out = String::with_capacity(src.len());
+    let push_masked = |out: &mut String, c: char| {
+        out.push(if c == '\n' { '\n' } else { ' ' });
+    };
+    let mut i = 0usize;
+    while i < n {
+        let c = b[i];
+        match c {
+            '/' if i + 1 < n && b[i + 1] == '/' => {
+                while i < n && b[i] != '\n' {
+                    out.push(' ');
+                    i += 1;
+                }
+            }
+            '/' if i + 1 < n && b[i + 1] == '*' => {
+                let mut depth = 1usize;
+                out.push_str("  ");
+                i += 2;
+                while i < n && depth > 0 {
+                    if i + 1 < n && b[i] == '/' && b[i + 1] == '*' {
+                        depth += 1;
+                        out.push_str("  ");
+                        i += 2;
+                    } else if i + 1 < n && b[i] == '*' && b[i + 1] == '/' {
+                        depth -= 1;
+                        out.push_str("  ");
+                        i += 2;
+                    } else {
+                        push_masked(&mut out, b[i]);
+                        i += 1;
+                    }
+                }
+            }
+            '"' => {
+                out.push(' ');
+                i += 1;
+                while i < n {
+                    if b[i] == '\\' && i + 1 < n {
+                        push_masked(&mut out, b[i]);
+                        push_masked(&mut out, b[i + 1]);
+                        i += 2;
+                    } else if b[i] == '"' {
+                        out.push(' ');
+                        i += 1;
+                        break;
+                    } else {
+                        push_masked(&mut out, b[i]);
+                        i += 1;
+                    }
+                }
+            }
+            'r' | 'b' if is_raw_string_start(&b, i) => {
+                // r"..."  r#"..."#  br"..."  b"..."  etc.
+                let mut j = i + 1;
+                if b[i] == 'b' && j < n && b[j] == 'r' {
+                    out.push(' ');
+                    j += 1;
+                }
+                out.push(' ');
+                let mut hashes = 0usize;
+                while j < n && b[j] == '#' {
+                    hashes += 1;
+                    out.push(' ');
+                    j += 1;
+                }
+                // opening quote
+                out.push(' ');
+                j += 1;
+                while j < n {
+                    if b[j] == '"' {
+                        let mut k = 0usize;
+                        while k < hashes && j + 1 + k < n && b[j + 1 + k] == '#' {
+                            k += 1;
+                        }
+                        if k == hashes {
+                            for _ in 0..(hashes + 1) {
+                                out.push(' ');
+                            }
+                            j += hashes + 1;
+                            break;
+                        }
+                    }
+                    push_masked(&mut out, b[j]);
+                    j += 1;
+                }
+                i = j;
+            }
+            '\'' => {
+                // Lifetime (`'a`) vs char literal (`'x'`, `'\n'`).
+                let is_lifetime = i + 1 < n
+                    && (b[i + 1].is_alphabetic() || b[i + 1] == '_')
+                    && b[i + 1] != '\\'
+                    && !(i + 2 < n && b[i + 2] == '\'');
+                if is_lifetime {
+                    out.push('\'');
+                    i += 1;
+                } else {
+                    out.push(' ');
+                    i += 1;
+                    while i < n {
+                        if b[i] == '\\' && i + 1 < n {
+                            push_masked(&mut out, b[i]);
+                            push_masked(&mut out, b[i + 1]);
+                            i += 2;
+                        } else if b[i] == '\'' {
+                            out.push(' ');
+                            i += 1;
+                            break;
+                        } else {
+                            push_masked(&mut out, b[i]);
+                            i += 1;
+                        }
+                    }
+                }
+            }
+            _ => {
+                out.push(c);
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// True when position `i` starts a raw (or byte) string literal rather than
+/// being the tail of an identifier (`for`, `attr`, ...).
+pub fn is_raw_string_start(b: &[char], i: usize) -> bool {
+    if i > 0 && (b[i - 1].is_alphanumeric() || b[i - 1] == '_') {
+        return false;
+    }
+    let n = b.len();
+    match b[i] {
+        'r' => {
+            let mut j = i + 1;
+            while j < n && b[j] == '#' {
+                j += 1;
+            }
+            j < n && b[j] == '"' && (j > i + 1 || b[i + 1] == '"' || b[i + 1] == '#')
+        }
+        'b' => {
+            if i + 1 < n && b[i + 1] == '"' {
+                return true;
+            }
+            if i + 1 < n && b[i + 1] == 'r' {
+                let mut j = i + 2;
+                while j < n && b[j] == '#' {
+                    j += 1;
+                }
+                return j < n && b[j] == '"';
+            }
+            false
+        }
+        _ => false,
+    }
+}
+
+/// Byte offset of each line start in `text` (index 0 = line 1).
+pub fn line_starts(text: &str) -> Vec<usize> {
+    let mut starts = vec![0usize];
+    for (i, c) in text.char_indices() {
+        if c == '\n' {
+            starts.push(i + 1);
+        }
+    }
+    starts
+}
+
+/// 1-based line of byte offset `pos`.
+pub fn line_of(starts: &[usize], pos: usize) -> usize {
+    match starts.binary_search(&pos) {
+        Ok(i) => i + 1,
+        Err(i) => i,
+    }
+}
+
+/// Offset of the matching `}` for the `{` at `open` (byte offsets into
+/// `masked`), or `None` when unbalanced. Only meaningful on masked text,
+/// where braces inside strings/comments are already blanked.
+pub fn match_brace(masked: &[u8], open: usize) -> Option<usize> {
+    let mut depth = 0i64;
+    let mut i = open;
+    while i < masked.len() {
+        match masked[i] {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i);
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+/// What a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword.
+    Ident,
+    /// `'a`-style lifetime.
+    Lifetime,
+    /// Numeric literal (string/char literals are masked away upstream).
+    Number,
+    /// Punctuation; `::`, `->` and `=>` are single tokens, all else one char.
+    Punct,
+}
+
+/// One spanned token from the masked source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokenKind,
+    /// Token text as it appears in the masked source.
+    pub text: String,
+    /// 1-based line within the lexed text.
+    pub line: usize,
+}
+
+/// Lexes *masked* source into a token stream. String/char literal contents
+/// must already be blanked ([`mask_source`]) — the lexer treats everything
+/// as code.
+pub fn lex(masked: &str) -> Vec<Token> {
+    let b: Vec<char> = masked.chars().collect();
+    let n = b.len();
+    let mut out = Vec::new();
+    let mut line = 1usize;
+    let mut i = 0usize;
+    while i < n {
+        let c = b[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        if c.is_alphabetic() || c == '_' {
+            let start = i;
+            while i < n && is_ident_char(b[i]) {
+                i += 1;
+            }
+            out.push(Token {
+                kind: TokenKind::Ident,
+                text: b[start..i].iter().collect(),
+                line,
+            });
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < n && (is_ident_char(b[i]) || b[i] == '.') {
+                // `1.0e-3` — accept the exponent sign too.
+                if (b[i] == 'e' || b[i] == 'E')
+                    && i + 1 < n
+                    && (b[i + 1] == '+' || b[i + 1] == '-')
+                {
+                    i += 1;
+                }
+                i += 1;
+            }
+            out.push(Token {
+                kind: TokenKind::Number,
+                text: b[start..i].iter().collect(),
+                line,
+            });
+            continue;
+        }
+        if c == '\'' && i + 1 < n && (b[i + 1].is_alphabetic() || b[i + 1] == '_') {
+            let start = i;
+            i += 1;
+            while i < n && is_ident_char(b[i]) {
+                i += 1;
+            }
+            out.push(Token {
+                kind: TokenKind::Lifetime,
+                text: b[start..i].iter().collect(),
+                line,
+            });
+            continue;
+        }
+        // Multi-char operators the call-site parser cares about.
+        let two: String = b[i..(i + 2).min(n)].iter().collect();
+        if two == "::" || two == "->" || two == "=>" {
+            out.push(Token { kind: TokenKind::Punct, text: two, line });
+            i += 2;
+            continue;
+        }
+        out.push(Token { kind: TokenKind::Punct, text: c.to_string(), line });
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masking_preserves_line_structure() {
+        let src = "let a = \"two\nlines\"; // trailing\n/* block\ncomment */ let b = 1;\n";
+        let masked = mask_source(src);
+        assert_eq!(src.lines().count(), masked.lines().count());
+        assert!(!masked.contains("two"));
+        assert!(!masked.contains("comment"));
+        assert!(masked.contains("let b = 1;"));
+    }
+
+    #[test]
+    fn raw_strings_are_masked() {
+        let masked = mask_source("let s = r#\"unwrap() \"# ; s.len();");
+        assert!(!masked.contains("unwrap"));
+        assert!(masked.contains("s.len();"));
+    }
+
+    #[test]
+    fn lex_spans_and_multichar_puncts() {
+        let toks = lex("fn f() {\n    Matrix::zeros(2, 3)\n}\n");
+        let zeros = toks.iter().find(|t| t.text == "zeros").unwrap();
+        assert_eq!(zeros.line, 2);
+        assert!(toks.iter().any(|t| t.text == "::" && t.kind == TokenKind::Punct));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = lex(&mask_source("fn f<'a>(x: &'a str) -> &'a str { x }"));
+        assert!(toks.iter().filter(|t| t.kind == TokenKind::Lifetime).count() >= 2);
+    }
+
+    #[test]
+    fn match_brace_nested() {
+        let masked = mask_source("fn f() { if x { y(); } else { z(); } }");
+        let open = masked.find('{').unwrap();
+        let close = match_brace(masked.as_bytes(), open).unwrap();
+        assert_eq!(close, masked.rfind('}').unwrap());
+    }
+}

@@ -2,11 +2,14 @@
 //!
 //! Two subcommands (see `src/main.rs`):
 //!
-//! * `lint` — walks every `crates/*/src` tree and enforces the numerics and
-//!   panic-hygiene contracts (FW001–FW005) described in
-//!   `docs/INVARIANTS.md`, emitting a JSON report and a nonzero exit code on
-//!   violation. The lint engine is pure `std` so it can be compiled and run
-//!   in isolation.
+//! * `lint` — walks every `crates/*/src` tree, lexes each file into a
+//!   spanned token stream, extracts function items, builds a
+//!   workspace-wide call graph, and enforces the numerics, panic-hygiene,
+//!   determinism, hot-path-allocation and observability contracts
+//!   (FW001–FW010) described in `docs/AUDIT.md`. Emits a JSON report and a
+//!   nonzero exit code on violation; `--baseline` pins pre-existing
+//!   findings in a ratchet file that may only shrink. The lint engine is
+//!   pure `std` so it can be compiled and run in isolation.
 //! * `gradients` — re-derives every layer's gradient by central finite
 //!   differences (GCN/GIN/SAGE/GAT backbones, the MLP path, the losses and
 //!   the encoder head) and writes a per-parameter error report, failing when
@@ -14,7 +17,15 @@
 //!
 //! Both are wired into `scripts/ci.sh`.
 
+/// Ratcheting lint baseline: pin pre-existing findings, fail on new ones.
+pub mod baseline;
+/// Workspace-wide call graph over extracted function items.
+pub mod callgraph;
 /// Finite-difference gradient sweep across every differentiable block.
 pub mod gradients;
-/// The FW001–FW005 static lints over the workspace source tree.
+/// Source masking and the spanned token stream.
+pub mod lexer;
+/// The FW001–FW010 static lints over the workspace source tree.
 pub mod lints;
+/// Item extraction: functions, impl owners, test regions, allow markers.
+pub mod parse;

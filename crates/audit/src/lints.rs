@@ -5,7 +5,7 @@
 // cargo. The JSON report is hand-serialized here and deserialized back with
 // serde_json in the crate's tests to prove the format round-trips.
 //
-// Lints (see docs/INVARIANTS.md for the rationale behind each):
+// Lints (see docs/AUDIT.md for the rationale behind each):
 //
 // * FW001 — no `.unwrap()` / `.expect(` in non-test library code.
 // * FW002 — public functions that invoke panic-family macros directly must
@@ -20,13 +20,33 @@
 //   outside crates/obs (the journal's single time source) and crates/bench
 //   (wall-clock measurement is its job). Scattered clock reads make runs
 //   non-reproducible and bypass the journal's one anchored epoch.
+// * FW006 — no `HashMap`/`HashSet` in result-affecting crates: unordered
+//   iteration order leaks into floating-point accumulation order and edge
+//   order, breaking bit-reproducibility. Use `BTreeMap`/`BTreeSet` or an
+//   explicit sort, or annotate with a reason.
+// * FW007 — no allocating constructors in functions reachable (via the
+//   workspace call graph) from the `fit*`/`forward*`/`backward*`/`spmm*`
+//   entry points; the training hot loop must route buffers through
+//   `Workspace` (PR 3's alloc-budget invariant, made static).
+// * FW008 — every public `fit*`/`forward*`/`backward*` in core/nn must be
+//   observable: it (or a callee, transitively) opens an obs span or feeds
+//   an obs counter, or is explicitly exempted.
+// * FW009 — the fields of `TrainingCheckpoint` must stay in sync with the
+//   `TRAINING_CHECKPOINT_MANIFEST` declared next to it, so new mutable
+//   trainer state cannot silently escape crash recovery.
+// * FW010 — no truncating `as usize`/`as u32` casts in tensor/graph kernel
+//   index math without a bounds guard (an assert) in the same function.
 //
-// Suppression: a line, an earlier line of the same statement, or the
-// comment/attribute block directly above an item may carry
-// `audit:allow(FWxxx): reason` to silence one lint at that site.
+// Suppression: `audit:allow(FWxxx): reason` on a line, anywhere on the
+// statement it opens (rustfmt-wrapped chains included), or in the
+// comment/attribute block directly above an item.
 
+use std::collections::BTreeSet;
 use std::fs;
 use std::path::{Path, PathBuf};
+
+use crate::callgraph::CallGraph;
+use crate::parse::{analyze_file, find_token, FileAnalysis};
 
 /// Lint identifiers with their one-line descriptions, in report order.
 pub const LINTS: &[(&str, &str)] = &[
@@ -35,6 +55,11 @@ pub const LINTS: &[(&str, &str)] = &[
     ("FW003", "backward functions in fairwos-nn/fairwos-core need a gradient-check site"),
     ("FW004", "raw Matrix buffer indexing requires a shape assertion in the same function"),
     ("FW005", "no Instant::now()/SystemTime::now() outside crates/obs and crates/bench"),
+    ("FW006", "no HashMap/HashSet (unordered iteration) in result-affecting crates"),
+    ("FW007", "no allocating constructors in call paths reachable from fit/forward/backward/spmm"),
+    ("FW008", "public fit/forward/backward fns in core/nn must open a span or feed a counter"),
+    ("FW009", "TrainingCheckpoint fields must match the declared trainer-state manifest"),
+    ("FW010", "truncating as-usize/as-u32 casts in kernel index math need a bounds guard"),
 ];
 
 /// Path fragments excluded from every lint: binary targets and the
@@ -49,6 +74,55 @@ const FW003_ROOTS: &[&str] = &["crates/nn/src", "crates/core/src"];
 /// scan via [`PATH_ALLOWLIST`].)
 const FW005_ALLOWED_ROOTS: &[&str] = &["crates/obs/"];
 
+/// Result-affecting crates: anything whose iteration or accumulation order
+/// can reach a reported number. FW006 bans unordered containers here, and
+/// FW007 confines its reachability analysis to these roots.
+const RESULT_ROOTS: &[&str] = &[
+    "crates/tensor/",
+    "crates/graph/",
+    "crates/nn/",
+    "crates/core/",
+    "crates/fairness/",
+    "crates/datasets/",
+    "crates/analysis/",
+];
+
+/// Unordered container tokens FW006 rejects.
+const FW006_TOKENS: &[&str] = &["HashMap", "HashSet"];
+
+/// Function-name prefixes that anchor the FW007 hot-path reachability sweep
+/// and the FW008 observability check.
+const HOT_ENTRY_PREFIXES: &[&str] = &["fit", "forward", "backward", "spmm"];
+
+/// Allocating constructors FW007 rejects on the hot path. Matched against
+/// masked body lines.
+const FW007_ALLOC_PATTERNS: &[&str] = &[
+    "::zeros(",
+    "from_vec(",
+    "Vec::new()",
+    "Vec::with_capacity(",
+    "vec![",
+    ".to_vec()",
+    ".clone()",
+];
+
+/// Files exempt from FW007: the `Workspace` pool is the sanctioned
+/// allocator, so its own internals may allocate.
+const FW007_EXEMPT_FILES: &[&str] = &["crates/tensor/src/pool.rs"];
+
+/// Crate roots whose public `fit*`/`forward*`/`backward*` fns FW008 audits.
+const FW008_ROOTS: &[&str] = &["crates/nn/src", "crates/core/src"];
+
+/// Kernel crates whose index casts FW010 audits.
+const FW010_ROOTS: &[&str] = &["crates/tensor/", "crates/graph/"];
+
+/// Truncating casts FW010 rejects without a guard.
+const FW010_CASTS: &[&str] = &[" as usize", " as u32"];
+
+/// The checkpoint struct and manifest names FW009 keeps in sync.
+const FW009_STRUCT: &str = "TrainingCheckpoint";
+const FW009_MANIFEST: &str = "TRAINING_CHECKPOINT_MANIFEST";
+
 /// A file counts as a gradient-check site when its raw text contains one of
 /// these markers.
 const GRADCHECK_MARKERS: &[&str] = &["check_param_gradient", "finite_difference"];
@@ -62,8 +136,25 @@ pub struct Violation {
     pub file: String,
     /// 1-based line number.
     pub line: usize,
-    /// Human-readable description of the violation.
+    /// Human-readable description of the violation. Deliberately free of
+    /// line numbers so the baseline key survives unrelated edits.
     pub message: String,
+}
+
+/// Run-level metrics: the lint pass's own observability story (mirrored
+/// into `fairwos-obs` counters by the CLI).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LintMetrics {
+    /// `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Function items in the workspace call graph.
+    pub callgraph_functions: usize,
+    /// Resolved call edges.
+    pub callgraph_edges: usize,
+    /// Functions reachable from a hot-path entry point.
+    pub hot_path_functions: usize,
+    /// Findings per lint id, in [`LINTS`] order.
+    pub findings_per_lint: Vec<(String, usize)>,
 }
 
 /// The result of one lint run over a workspace tree.
@@ -73,6 +164,8 @@ pub struct LintReport {
     pub files_checked: usize,
     /// All violations, ordered by file then line.
     pub violations: Vec<Violation>,
+    /// Run-level metrics.
+    pub metrics: LintMetrics,
 }
 
 impl LintReport {
@@ -83,10 +176,30 @@ impl LintReport {
 
     /// Serializes the report as JSON (machine-readable CI output).
     pub fn to_json(&self) -> String {
-        let mut s = String::with_capacity(1024);
-        s.push_str("{\n  \"tool\": \"fairwos-audit\",\n  \"schema_version\": 1,\n");
+        let mut s = String::with_capacity(2048);
+        s.push_str("{\n  \"tool\": \"fairwos-audit\",\n  \"schema_version\": 2,\n");
         s.push_str(&format!("  \"files_checked\": {},\n", self.files_checked));
-        s.push_str("  \"lints\": [\n");
+        s.push_str("  \"metrics\": {\n");
+        s.push_str(&format!("    \"files_scanned\": {},\n", self.metrics.files_scanned));
+        s.push_str(&format!(
+            "    \"callgraph_functions\": {},\n",
+            self.metrics.callgraph_functions
+        ));
+        s.push_str(&format!("    \"callgraph_edges\": {},\n", self.metrics.callgraph_edges));
+        s.push_str(&format!(
+            "    \"hot_path_functions\": {},\n",
+            self.metrics.hot_path_functions
+        ));
+        s.push_str("    \"findings_per_lint\": {");
+        for (i, (id, count)) in self.metrics.findings_per_lint.iter().enumerate() {
+            s.push_str(&format!(
+                "{}{}: {}",
+                if i == 0 { "" } else { ", " },
+                json_string(id),
+                count
+            ));
+        }
+        s.push_str("}\n  },\n  \"lints\": [\n");
         for (i, (id, desc)) in LINTS.iter().enumerate() {
             s.push_str(&format!(
                 "    {{\"id\": {}, \"description\": {}}}{}\n",
@@ -112,7 +225,7 @@ impl LintReport {
 }
 
 /// Escapes `v` as a JSON string literal.
-fn json_string(v: &str) -> String {
+pub(crate) fn json_string(v: &str) -> String {
     let mut out = String::with_capacity(v.len() + 2);
     out.push('"');
     for c in v.chars() {
@@ -128,33 +241,6 @@ fn json_string(v: &str) -> String {
     }
     out.push('"');
     out
-}
-
-/// A function item extracted from one source file.
-#[derive(Debug)]
-struct FnInfo {
-    name: String,
-    is_pub: bool,
-    /// 1-based line of the `fn` keyword.
-    line: usize,
-    /// Masked body text (empty for bodyless trait-method declarations).
-    body: String,
-    /// Innermost `impl` type owning this fn, if any.
-    owner: Option<String>,
-    /// Doc-comment text collected from the lines directly above.
-    doc: String,
-    /// Lints suppressed at this item via `audit:allow(..)`.
-    allowed: Vec<String>,
-}
-
-/// Per-file analysis: masked source plus extracted items.
-struct FileAnalysis {
-    rel: String,
-    original_lines: Vec<String>,
-    masked_lines: Vec<String>,
-    /// True for lines inside a `#[cfg(test)]` region.
-    test_line: Vec<bool>,
-    fns: Vec<FnInfo>,
 }
 
 /// Runs every lint over `root` (the workspace directory containing `crates/`).
@@ -174,6 +260,7 @@ pub fn run_lints(root: &Path) -> Result<LintReport, String> {
     }
     // Gradient-check sites live in src trees and in crates/*/tests.
     let site_text = gradcheck_site_text(root)?;
+    let graph = CallGraph::build(&analyses);
 
     let mut violations = Vec::new();
     for fa in &analyses {
@@ -182,11 +269,26 @@ pub fn run_lints(root: &Path) -> Result<LintReport, String> {
         lint_fw003(fa, &site_text, &mut violations);
         lint_fw004(fa, &mut violations);
         lint_fw005(fa, &mut violations);
+        lint_fw006(fa, &mut violations);
+        lint_fw009(fa, &mut violations);
+        lint_fw010(fa, &mut violations);
     }
-    violations.sort_by(|a, b| {
-        (&a.file, a.line, &a.lint).cmp(&(&b.file, b.line, &b.lint))
-    });
-    Ok(LintReport { files_checked: analyses.len(), violations })
+    let hot = lint_fw007(&graph, &analyses, &mut violations);
+    lint_fw008(&graph, &analyses, &mut violations);
+    violations.sort_by(|a, b| (&a.file, a.line, &a.lint).cmp(&(&b.file, b.line, &b.lint)));
+
+    let findings_per_lint = LINTS
+        .iter()
+        .map(|(id, _)| (id.to_string(), violations.iter().filter(|v| v.lint == *id).count()))
+        .collect();
+    let metrics = LintMetrics {
+        files_scanned: analyses.len(),
+        callgraph_functions: graph.nodes.len(),
+        callgraph_edges: graph.edges.iter().map(Vec::len).sum(),
+        hot_path_functions: hot,
+        findings_per_lint,
+    };
+    Ok(LintReport { files_checked: analyses.len(), violations, metrics })
 }
 
 /// `root`-relative path with `/` separators.
@@ -264,511 +366,23 @@ fn gradcheck_site_text(root: &Path) -> Result<String, String> {
     Ok(text)
 }
 
-// ---------------------------------------------------------------------------
-// Source masking: blank out comments, string and char literals while keeping
-// the line structure, so lints only ever match real code tokens.
-// ---------------------------------------------------------------------------
-
-fn mask_source(src: &str) -> String {
-    let b: Vec<char> = src.chars().collect();
-    let n = b.len();
-    let mut out = String::with_capacity(src.len());
-    let push_masked = |out: &mut String, c: char| {
-        out.push(if c == '\n' { '\n' } else { ' ' });
-    };
-    let mut i = 0usize;
-    while i < n {
-        let c = b[i];
-        match c {
-            '/' if i + 1 < n && b[i + 1] == '/' => {
-                while i < n && b[i] != '\n' {
-                    out.push(' ');
-                    i += 1;
-                }
-            }
-            '/' if i + 1 < n && b[i + 1] == '*' => {
-                let mut depth = 1usize;
-                out.push_str("  ");
-                i += 2;
-                while i < n && depth > 0 {
-                    if i + 1 < n && b[i] == '/' && b[i + 1] == '*' {
-                        depth += 1;
-                        out.push_str("  ");
-                        i += 2;
-                    } else if i + 1 < n && b[i] == '*' && b[i + 1] == '/' {
-                        depth -= 1;
-                        out.push_str("  ");
-                        i += 2;
-                    } else {
-                        push_masked(&mut out, b[i]);
-                        i += 1;
-                    }
-                }
-            }
-            '"' => {
-                out.push(' ');
-                i += 1;
-                while i < n {
-                    if b[i] == '\\' && i + 1 < n {
-                        out.push_str("  ");
-                        i += 2;
-                    } else if b[i] == '"' {
-                        out.push(' ');
-                        i += 1;
-                        break;
-                    } else {
-                        push_masked(&mut out, b[i]);
-                        i += 1;
-                    }
-                }
-            }
-            'r' | 'b' if is_raw_string_start(&b, i) => {
-                // r"..."  r#"..."#  br"..."  etc.
-                let mut j = i + 1;
-                if b[j] == '#' || (b[j] == 'r' || b[j] == '"') {
-                    // advance past optional second prefix char (`br`)
-                }
-                if b[i] == 'b' && j < n && b[j] == 'r' {
-                    out.push(' ');
-                    j += 1;
-                }
-                out.push(' ');
-                let mut hashes = 0usize;
-                while j < n && b[j] == '#' {
-                    hashes += 1;
-                    out.push(' ');
-                    j += 1;
-                }
-                // opening quote
-                out.push(' ');
-                j += 1;
-                while j < n {
-                    if b[j] == '"' {
-                        let mut k = 0usize;
-                        while k < hashes && j + 1 + k < n && b[j + 1 + k] == '#' {
-                            k += 1;
-                        }
-                        if k == hashes {
-                            for _ in 0..(hashes + 1) {
-                                out.push(' ');
-                            }
-                            j += hashes + 1;
-                            break;
-                        }
-                    }
-                    push_masked(&mut out, b[j]);
-                    j += 1;
-                }
-                i = j;
-            }
-            '\'' => {
-                // Lifetime (`'a`) vs char literal (`'x'`, `'\n'`).
-                let is_lifetime = i + 1 < n
-                    && (b[i + 1].is_alphabetic() || b[i + 1] == '_')
-                    && b[i + 1] != '\\'
-                    && !(i + 2 < n && b[i + 2] == '\'');
-                if is_lifetime {
-                    out.push('\'');
-                    i += 1;
-                } else {
-                    out.push(' ');
-                    i += 1;
-                    while i < n {
-                        if b[i] == '\\' && i + 1 < n {
-                            out.push_str("  ");
-                            i += 2;
-                        } else if b[i] == '\'' {
-                            out.push(' ');
-                            i += 1;
-                            break;
-                        } else {
-                            push_masked(&mut out, b[i]);
-                            i += 1;
-                        }
-                    }
-                }
-            }
-            _ => {
-                out.push(c);
-                i += 1;
-            }
-        }
-    }
-    out
-}
-
-fn is_raw_string_start(b: &[char], i: usize) -> bool {
-    // Must not be the tail of an identifier (`for`, `attr`, ...).
-    if i > 0 && (b[i - 1].is_alphanumeric() || b[i - 1] == '_') {
-        return false;
-    }
-    let n = b.len();
-    match b[i] {
-        'r' => {
-            let mut j = i + 1;
-            while j < n && b[j] == '#' {
-                j += 1;
-            }
-            j < n && b[j] == '"' && (j > i + 1 || b[i + 1] == '"' || b[i + 1] == '#')
-        }
-        'b' => {
-            if i + 1 < n && b[i + 1] == '"' {
-                return true;
-            }
-            if i + 1 < n && b[i + 1] == 'r' {
-                let mut j = i + 2;
-                while j < n && b[j] == '#' {
-                    j += 1;
-                }
-                return j < n && b[j] == '"';
-            }
-            false
-        }
-        _ => false,
-    }
-}
-
-fn is_ident_char(c: char) -> bool {
-    c.is_alphanumeric() || c == '_'
-}
-
-// ---------------------------------------------------------------------------
-// Item extraction over the masked text.
-// ---------------------------------------------------------------------------
-
-/// Byte offset of each line start in `text` (index 0 = line 1).
-fn line_starts(text: &str) -> Vec<usize> {
-    let mut starts = vec![0usize];
-    for (i, c) in text.char_indices() {
-        if c == '\n' {
-            starts.push(i + 1);
-        }
-    }
-    starts
-}
-
-/// 1-based line of byte offset `pos`.
-fn line_of(starts: &[usize], pos: usize) -> usize {
-    match starts.binary_search(&pos) {
-        Ok(i) => i + 1,
-        Err(i) => i,
-    }
-}
-
-/// Offset of the matching `}` for the `{` at `open` (byte offsets into
-/// `masked`), or `None` when unbalanced.
-fn match_brace(masked: &[u8], open: usize) -> Option<usize> {
-    let mut depth = 0i64;
-    let mut i = open;
-    while i < masked.len() {
-        match masked[i] {
-            b'{' => depth += 1,
-            b'}' => {
-                depth -= 1;
-                if depth == 0 {
-                    return Some(i);
-                }
-            }
-            _ => {}
-        }
-        i += 1;
-    }
-    None
-}
-
-/// Marks lines covered by `#[cfg(test)] { .. }` regions.
-fn test_lines(masked: &str, starts: &[usize], num_lines: usize) -> Vec<bool> {
-    let bytes = masked.as_bytes();
-    let mut flags = vec![false; num_lines + 2];
-    let needle = "#[cfg(test)]";
-    let mut from = 0usize;
-    while let Some(found) = masked[from..].find(needle) {
-        let at = from + found;
-        from = at + needle.len();
-        // The region is the next `{ .. }` block unless a `;` ends the item
-        // first (e.g. a cfg'd `use`).
-        let mut i = from;
-        let mut open = None;
-        while i < bytes.len() {
-            match bytes[i] {
-                b'{' => {
-                    open = Some(i);
-                    break;
-                }
-                b';' => break,
-                _ => {}
-            }
-            i += 1;
-        }
-        if let Some(open) = open {
-            if let Some(close) = match_brace(bytes, open) {
-                let first = line_of(starts, at);
-                let last = line_of(starts, close);
-                for line in first..=last {
-                    if line < flags.len() {
-                        flags[line] = true;
-                    }
-                }
-            }
-        }
-    }
-    flags
-}
-
-/// `impl` blocks with their owning type name and body byte range.
-fn impl_blocks(masked: &str) -> Vec<(usize, usize, String)> {
-    let bytes = masked.as_bytes();
-    let chars: Vec<char> = masked.chars().collect();
-    let mut blocks = Vec::new();
-    let mut from = 0usize;
-    while let Some(found) = masked[from..].find("impl") {
-        let at = from + found;
-        from = at + 4;
-        // Token boundary on both sides.
-        let before_ok = at == 0 || !is_ident_char(masked[..at].chars().next_back().unwrap_or(' '));
-        let after = masked[at + 4..].chars().next().unwrap_or(' ');
-        if !before_ok || is_ident_char(after) {
-            continue;
-        }
-        // Collect header text up to the opening brace (or `;`).
-        let mut i = at + 4;
-        let mut header = String::new();
-        let mut open = None;
-        while i < bytes.len() {
-            match bytes[i] {
-                b'{' => {
-                    open = Some(i);
-                    break;
-                }
-                b';' => break,
-                _ => header.push(bytes[i] as char),
-            }
-            i += 1;
-        }
-        let Some(open) = open else { continue };
-        let Some(close) = match_brace(bytes, open) else { continue };
-        let _ = &chars;
-        if let Some(name) = impl_type_name(&header) {
-            blocks.push((open, close, name));
-        }
-    }
-    blocks
-}
-
-/// Extracts the implemented type's final identifier from an `impl` header,
-/// e.g. `<T: Rng> Display for graph::Graph<T>` → `Graph`.
-fn impl_type_name(header: &str) -> Option<String> {
-    let mut rest = header.trim();
-    // Skip leading generic parameter list.
-    if rest.starts_with('<') {
-        let mut depth = 0i64;
-        let mut cut = rest.len();
-        for (i, c) in rest.char_indices() {
-            match c {
-                '<' => depth += 1,
-                '>' => {
-                    depth -= 1;
-                    if depth == 0 {
-                        cut = i + 1;
-                        break;
-                    }
-                }
-                _ => {}
-            }
-        }
-        rest = rest[cut..].trim();
-    }
-    // `impl Trait for Type` → the part after `for`.
-    if let Some(pos) = find_token(rest, "for") {
-        rest = rest[pos + 3..].trim();
-    }
-    // Drop generic arguments and `where` clauses, take the last path segment.
-    let end = rest.find(['<', ' ', '\n']).unwrap_or(rest.len());
-    let path = &rest[..end];
-    let seg = path.rsplit("::").next().unwrap_or(path);
-    let name: String = seg.chars().filter(|c| is_ident_char(*c)).collect();
-    if name.is_empty() {
-        None
-    } else {
-        Some(name)
-    }
-}
-
-/// Position of `word` as a standalone token in `s`.
-fn find_token(s: &str, word: &str) -> Option<usize> {
-    let mut from = 0usize;
-    while let Some(found) = s[from..].find(word) {
-        let at = from + found;
-        from = at + word.len();
-        let before_ok = at == 0 || !is_ident_char(s[..at].chars().next_back().unwrap_or(' '));
-        let after_ok = !s[at + word.len()..]
-            .chars()
-            .next()
-            .map(is_ident_char)
-            .unwrap_or(false);
-        if before_ok && after_ok {
-            return Some(at);
-        }
-    }
-    None
-}
-
-/// Collects doc comments and `audit:allow` annotations from the comment /
-/// attribute block directly above `line` (1-based).
-fn collect_doc_and_allows(original_lines: &[String], line: usize) -> (String, Vec<String>) {
-    let mut doc = String::new();
-    let mut allowed = Vec::new();
-    // The signature line itself may carry a trailing annotation.
-    if line >= 1 && line <= original_lines.len() {
-        parse_allows(&original_lines[line - 1], &mut allowed);
-    }
-    let mut i = line.saturating_sub(1); // index of the line above, 1-based - 1
-    while i >= 1 {
-        let text = original_lines[i - 1].trim();
-        if text.starts_with("///") || text.starts_with("//") || text.starts_with("#[") || text.starts_with("#!") {
-            if let Some(stripped) = text.strip_prefix("///") {
-                doc.insert_str(0, stripped);
-                doc.insert(0, '\n');
-            }
-            parse_allows(text, &mut allowed);
-            i -= 1;
-        } else {
-            break;
-        }
-    }
-    (doc, allowed)
-}
-
-/// Appends every `FWxxx` id named in `audit:allow(...)` markers on `line`.
-fn parse_allows(line: &str, out: &mut Vec<String>) {
-    let mut from = 0usize;
-    while let Some(found) = line[from..].find("audit:allow(") {
-        let at = from + found + "audit:allow(".len();
-        from = at;
-        if let Some(close) = line[at..].find(')') {
-            for id in line[at..at + close].split(',') {
-                let id = id.trim().to_string();
-                if !id.is_empty() {
-                    out.push(id);
-                }
-            }
-        }
-    }
-}
-
-/// Parses one source file into masked lines, test regions, and fn items.
-fn analyze_file(rel: &str, src: &str) -> FileAnalysis {
-    let masked = mask_source(src);
-    let starts = line_starts(&masked);
-    let original_lines: Vec<String> = src.lines().map(|l| l.to_string()).collect();
-    let masked_lines: Vec<String> = masked.lines().map(|l| l.to_string()).collect();
-    let test_line = test_lines(&masked, &starts, original_lines.len());
-    let impls = impl_blocks(&masked);
-    let bytes = masked.as_bytes();
-
-    let mut fns = Vec::new();
-    let mut from = 0usize;
-    while let Some(found) = masked[from..].find("fn ") {
-        let at = from + found;
-        from = at + 3;
-        let before_ok = at == 0 || !is_ident_char(masked[..at].chars().next_back().unwrap_or(' '));
-        if !before_ok {
-            continue;
-        }
-        // Function name.
-        let mut i = at + 3;
-        while i < bytes.len() && (bytes[i] as char).is_whitespace() {
-            i += 1;
-        }
-        let name_start = i;
-        while i < bytes.len() && is_ident_char(bytes[i] as char) {
-            i += 1;
-        }
-        if i == name_start {
-            continue;
-        }
-        let name = masked[name_start..i].to_string();
-        // Find the body: first `{` at paren depth 0, unless `;` ends the
-        // declaration first.
-        let mut paren = 0i64;
-        let mut body = String::new();
-        let mut open = None;
-        while i < bytes.len() {
-            match bytes[i] {
-                b'(' => paren += 1,
-                b')' => paren -= 1,
-                b'{' if paren == 0 => {
-                    open = Some(i);
-                    break;
-                }
-                b';' if paren == 0 => break,
-                _ => {}
-            }
-            i += 1;
-        }
-        if let Some(open) = open {
-            if let Some(close) = match_brace(bytes, open) {
-                body = masked[open..=close].to_string();
-                from = close + 1;
-            }
-        }
-        let line = line_of(&starts, at);
-        // Visibility: the tokens on the line before the `fn` keyword.
-        let line_start = starts[line - 1];
-        let prefix = &masked[line_start..at];
-        let is_pub = prefix.split_whitespace().any(|t| t == "pub");
-        let owner = impls
-            .iter()
-            .filter(|(o, c, _)| *o < at && at < *c)
-            .max_by_key(|(o, _, _)| *o)
-            .map(|(_, _, n)| n.clone());
-        let (doc, allowed) = collect_doc_and_allows(&original_lines, line);
-        fns.push(FnInfo { name, is_pub, line, body, owner, doc, allowed });
-    }
-
-    FileAnalysis {
-        rel: rel.to_string(),
-        original_lines,
-        masked_lines,
-        test_line,
-        fns,
-    }
+fn in_roots(rel: &str, roots: &[&str]) -> bool {
+    roots.iter().any(|r| rel.starts_with(r))
 }
 
 // ---------------------------------------------------------------------------
 // The lints themselves.
 // ---------------------------------------------------------------------------
 
-/// True when `line` (1-based) carries an `audit:allow(lint)` marker, either
-/// on the line itself or anywhere above it within the same statement. The
-/// upward scan stops once a masked line ends the previous statement (`;`,
-/// `{`, or `}`), so a marker placed above a statement stays effective even
-/// after rustfmt wraps the flagged token onto a later line.
-fn line_allows(fa: &FileAnalysis, line: usize, lint: &str) -> bool {
-    let mut allowed = Vec::new();
-    if line >= 1 && line <= fa.original_lines.len() {
-        parse_allows(&fa.original_lines[line - 1], &mut allowed);
-    }
-    let floor = line.saturating_sub(16).max(1);
-    for l in (floor..line).rev() {
-        parse_allows(&fa.original_lines[l - 1], &mut allowed);
-        let masked = fa.masked_lines.get(l - 1).map_or("", |s| s.trim_end());
-        if masked.ends_with([';', '{', '}']) {
-            break;
-        }
-    }
-    allowed.iter().any(|a| a == lint)
-}
-
 /// FW001: `.unwrap()` / `.expect(` in non-test code.
 fn lint_fw001(fa: &FileAnalysis, out: &mut Vec<Violation>) {
     for (idx, masked) in fa.masked_lines.iter().enumerate() {
         let line = idx + 1;
-        if *fa.test_line.get(line).unwrap_or(&false) {
+        if fa.is_test_line(line) {
             continue;
         }
         for pattern in [".unwrap()", ".expect("] {
-            if masked.contains(pattern) && !line_allows(fa, line, "FW001") {
+            if masked.contains(pattern) && !fa.line_allows(line, "FW001") {
                 out.push(Violation {
                     lint: "FW001".to_string(),
                     file: fa.rel.clone(),
@@ -791,7 +405,7 @@ fn lint_fw002(fa: &FileAnalysis, out: &mut Vec<Violation>) {
     for f in &fa.fns {
         if !f.is_pub
             || f.body.is_empty()
-            || *fa.test_line.get(f.line).unwrap_or(&false)
+            || fa.is_test_line(f.line)
             || f.allowed.iter().any(|a| a == "FW002")
         {
             continue;
@@ -803,7 +417,7 @@ fn lint_fw002(fa: &FileAnalysis, out: &mut Vec<Violation>) {
                 let at = from + found;
                 from = at + 1;
                 let prev = f.body[..at].chars().next_back().unwrap_or(' ');
-                if !is_ident_char(prev) && prev != '_' {
+                if !crate::lexer::is_ident_char(prev) && prev != '_' {
                     return true;
                 }
             }
@@ -829,7 +443,7 @@ fn lint_fw002(fa: &FileAnalysis, out: &mut Vec<Violation>) {
 /// FW003: backward fns in nn/core must have a gradient-check site naming
 /// their owning type.
 fn lint_fw003(fa: &FileAnalysis, site_text: &str, out: &mut Vec<Violation>) {
-    if !FW003_ROOTS.iter().any(|r| fa.rel.starts_with(r)) {
+    if !in_roots(&fa.rel, FW003_ROOTS) {
         return;
     }
     for f in &fa.fns {
@@ -839,7 +453,7 @@ fn lint_fw003(fa: &FileAnalysis, site_text: &str, out: &mut Vec<Violation>) {
         if !is_backward
             || !f.is_pub
             || f.body.is_empty()
-            || *fa.test_line.get(f.line).unwrap_or(&false)
+            || fa.is_test_line(f.line)
             || f.allowed.iter().any(|a| a == "FW003")
         {
             continue;
@@ -876,7 +490,7 @@ fn lint_fw003(fa: &FileAnalysis, site_text: &str, out: &mut Vec<Violation>) {
 fn lint_fw004(fa: &FileAnalysis, out: &mut Vec<Violation>) {
     for f in &fa.fns {
         if f.body.is_empty()
-            || *fa.test_line.get(f.line).unwrap_or(&false)
+            || fa.is_test_line(f.line)
             || f.allowed.iter().any(|a| a == "FW004")
         {
             continue;
@@ -902,16 +516,16 @@ fn lint_fw004(fa: &FileAnalysis, out: &mut Vec<Violation>) {
 /// anchors one process-wide `Instant` so every timestamp is comparable;
 /// every other crate must stay clock-free for reproducibility.
 fn lint_fw005(fa: &FileAnalysis, out: &mut Vec<Violation>) {
-    if FW005_ALLOWED_ROOTS.iter().any(|r| fa.rel.starts_with(r)) {
+    if in_roots(&fa.rel, FW005_ALLOWED_ROOTS) {
         return;
     }
     for (idx, masked) in fa.masked_lines.iter().enumerate() {
         let line = idx + 1;
-        if *fa.test_line.get(line).unwrap_or(&false) {
+        if fa.is_test_line(line) {
             continue;
         }
         for pattern in ["Instant::now", "SystemTime::now"] {
-            if masked.contains(pattern) && !line_allows(fa, line, "FW005") {
+            if masked.contains(pattern) && !fa.line_allows(line, "FW005") {
                 out.push(Violation {
                     lint: "FW005".to_string(),
                     file: fa.rel.clone(),
@@ -921,6 +535,249 @@ fn lint_fw005(fa: &FileAnalysis, out: &mut Vec<Violation>) {
                          fairwos_obs::span or add `audit:allow(FW005): reason`"
                     ),
                 });
+            }
+        }
+    }
+}
+
+/// FW006: unordered containers in result-affecting crates. `HashMap`
+/// iteration order is randomized per process (`RandomState`), so any sum,
+/// edge list, or report built by iterating one is nondeterministic across
+/// runs — exactly the class of silent drift the determinism suite guards
+/// against at runtime.
+fn lint_fw006(fa: &FileAnalysis, out: &mut Vec<Violation>) {
+    if !in_roots(&fa.rel, RESULT_ROOTS) {
+        return;
+    }
+    for (idx, masked) in fa.masked_lines.iter().enumerate() {
+        let line = idx + 1;
+        if fa.is_test_line(line) {
+            continue;
+        }
+        for token in FW006_TOKENS {
+            if find_token(masked, token).is_some() && !fa.line_allows(line, "FW006") {
+                out.push(Violation {
+                    lint: "FW006".to_string(),
+                    file: fa.rel.clone(),
+                    line,
+                    message: format!(
+                        "`{token}` in a result-affecting crate: iteration order is \
+                         nondeterministic; use BTreeMap/BTreeSet or sort explicitly, \
+                         or add `audit:allow(FW006): reason`"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// True when `name` marks a hot-path entry point.
+fn is_hot_entry(name: &str) -> bool {
+    HOT_ENTRY_PREFIXES.iter().any(|p| {
+        name == *p || name.strip_prefix(p).map(|r| r.starts_with('_')).unwrap_or(false)
+    })
+}
+
+/// FW007: allocating constructors reachable from the hot-path entry points.
+/// Returns the number of hot-path functions (for the metrics block).
+fn lint_fw007(
+    graph: &CallGraph,
+    analyses: &[FileAnalysis],
+    out: &mut Vec<Violation>,
+) -> usize {
+    let by_rel: std::collections::BTreeMap<&str, &FileAnalysis> =
+        analyses.iter().map(|fa| (fa.rel.as_str(), fa)).collect();
+    let entries = graph.find(|n| {
+        n.is_pub && is_hot_entry(&n.name) && in_roots(&n.file, RESULT_ROOTS)
+    });
+    let origin = graph.reachable_from(&entries);
+    let mut hot = 0usize;
+    let mut seen = BTreeSet::new();
+    for (i, node) in graph.nodes.iter().enumerate() {
+        if origin[i].is_none()
+            || node.in_test
+            || !in_roots(&node.file, RESULT_ROOTS)
+            || FW007_EXEMPT_FILES.contains(&node.file.as_str())
+        {
+            continue;
+        }
+        hot += 1;
+        if node.allowed.iter().any(|a| a == "FW007") {
+            continue;
+        }
+        let Some(fa) = by_rel.get(node.file.as_str()) else { continue };
+        for (off, body_line) in node.body.lines().enumerate() {
+            let line = node.body_line + off;
+            for pattern in FW007_ALLOC_PATTERNS {
+                if body_line.contains(pattern) && !fa.line_allows(line, "FW007") {
+                    // One finding per (fn, pattern, line-site); the key
+                    // (file, message) multiset keeps the baseline stable.
+                    if seen.insert((i, *pattern, line)) {
+                        out.push(Violation {
+                            lint: "FW007".to_string(),
+                            file: node.file.clone(),
+                            line,
+                            message: format!(
+                                "hot-path fn `{}` allocates via `{pattern}`; route the \
+                                 buffer through Workspace or add `audit:allow(FW007): reason`",
+                                node.name
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    hot
+}
+
+/// FW008: obs coverage of the public training/inference surface. A public
+/// `fit*`/`forward*`/`backward*` fn in core/nn passes when it — or any
+/// function it can reach in the call graph — opens a span or feeds a
+/// counter; otherwise the fn is invisible to the observability story.
+fn lint_fw008(graph: &CallGraph, _analyses: &[FileAnalysis], out: &mut Vec<Violation>) {
+    for (i, node) in graph.nodes.iter().enumerate() {
+        if !node.is_pub
+            || node.in_test
+            || node.body.is_empty()
+            || !in_roots(&node.file, FW008_ROOTS)
+            || !is_hot_entry(&node.name)
+            || node.name.starts_with("spmm")
+            || node.allowed.iter().any(|a| a == "FW008")
+        {
+            continue;
+        }
+        if !graph.observable(i) {
+            out.push(Violation {
+                lint: "FW008".to_string(),
+                file: node.file.clone(),
+                line: node.line,
+                message: format!(
+                    "public fn `{}{}` opens no span and feeds no counter (directly or via \
+                     callees); instrument it or add `audit:allow(FW008): reason`",
+                    node.owner.as_deref().map(|o| format!("{o}::")).unwrap_or_default(),
+                    node.name
+                ),
+            });
+        }
+    }
+}
+
+/// FW009: checkpoint-field parity. Applies to any scanned file that
+/// declares `struct TrainingCheckpoint`; its field list must match the
+/// string entries of the `TRAINING_CHECKPOINT_MANIFEST` const declared in
+/// the same file, so new mutable trainer state is forced through an
+/// explicit "is this persisted?" decision.
+fn lint_fw009(fa: &FileAnalysis, out: &mut Vec<Violation>) {
+    let masked_text = fa.masked_lines.join("\n");
+    let needle = format!("struct {FW009_STRUCT}");
+    let Some(at) = find_token(&masked_text, &needle) else { return };
+    let struct_line = masked_text[..at].matches('\n').count() + 1;
+    let bytes = masked_text.as_bytes();
+    let Some(open_rel) = masked_text[at..].find('{') else { return };
+    let open = at + open_rel;
+    let Some(close) = crate::lexer::match_brace(bytes, open) else { return };
+    let mut fields = Vec::new();
+    for line in masked_text[open + 1..close].lines() {
+        let t = line.trim();
+        let rest = t.strip_prefix("pub ").unwrap_or(t);
+        if let Some(colon) = rest.find(':') {
+            let name: String = rest[..colon].trim().to_string();
+            if !name.is_empty() && name.chars().all(crate::lexer::is_ident_char) {
+                fields.push(name);
+            }
+        }
+    }
+    // The manifest lives in the ORIGINAL text (its entries are string
+    // literals, which masking blanks).
+    let original = fa.original_lines.join("\n");
+    let Some(m_at) = find_token(&original, FW009_MANIFEST) else {
+        out.push(Violation {
+            lint: "FW009".to_string(),
+            file: fa.rel.clone(),
+            line: struct_line,
+            message: format!(
+                "`{FW009_STRUCT}` has no `{FW009_MANIFEST}` const beside it; declare the \
+                 trainer-state manifest so checkpoint coverage is auditable"
+            ),
+        });
+        return;
+    };
+    // Skip past `=` first: the const's *type* (`&[&str]`) also contains a
+    // `[`, and the manifest entries live in the initializer.
+    let Some(eq_rel) = original[m_at..].find('=') else { return };
+    let eq = m_at + eq_rel;
+    let Some(lb_rel) = original[eq..].find('[') else { return };
+    let lb = eq + lb_rel;
+    let rb = original[lb..].find(']').map(|r| lb + r).unwrap_or(original.len());
+    let mut manifest = Vec::new();
+    let mut rest = &original[lb..rb];
+    while let Some(q) = rest.find('"') {
+        let tail = &rest[q + 1..];
+        let Some(q2) = tail.find('"') else { break };
+        manifest.push(tail[..q2].to_string());
+        rest = &tail[q2 + 1..];
+    }
+    let fields_set: BTreeSet<&String> = fields.iter().collect();
+    let manifest_set: BTreeSet<&String> = manifest.iter().collect();
+    for missing in fields_set.difference(&manifest_set) {
+        out.push(Violation {
+            lint: "FW009".to_string(),
+            file: fa.rel.clone(),
+            line: struct_line,
+            message: format!(
+                "checkpoint field `{missing}` is not declared in {FW009_MANIFEST}; new \
+                 trainer state must be explicitly added to the crash-recovery manifest"
+            ),
+        });
+    }
+    for extra in manifest_set.difference(&fields_set) {
+        out.push(Violation {
+            lint: "FW009".to_string(),
+            file: fa.rel.clone(),
+            line: struct_line,
+            message: format!(
+                "{FW009_MANIFEST} names `{extra}` but `{FW009_STRUCT}` has no such field; \
+                 remove the stale manifest entry"
+            ),
+        });
+    }
+}
+
+/// FW010: truncating index casts in kernel crates. `expr as usize` /
+/// `expr as u32` silently wraps on overflow; index math in the kernels must
+/// carry a bounds guard (any assert) in the same function, or an
+/// annotation explaining why the cast cannot truncate.
+fn lint_fw010(fa: &FileAnalysis, out: &mut Vec<Violation>) {
+    if !in_roots(&fa.rel, FW010_ROOTS) {
+        return;
+    }
+    for f in &fa.fns {
+        if f.body.is_empty()
+            || fa.is_test_line(f.line)
+            || f.allowed.iter().any(|a| a == "FW010")
+        {
+            continue;
+        }
+        if f.body.contains("assert") {
+            continue;
+        }
+        for (off, body_line) in f.body.lines().enumerate() {
+            let line = f.body_line + off;
+            for cast in FW010_CASTS {
+                if body_line.contains(cast) && !fa.line_allows(line, "FW010") {
+                    out.push(Violation {
+                        lint: "FW010".to_string(),
+                        file: fa.rel.clone(),
+                        line,
+                        message: format!(
+                            "fn `{}` uses a truncating `{}` cast with no bounds guard in \
+                             the same function; add an assert or `audit:allow(FW010): reason`",
+                            f.name,
+                            cast.trim_start()
+                        ),
+                    });
+                }
             }
         }
     }

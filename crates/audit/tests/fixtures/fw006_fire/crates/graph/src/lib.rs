@@ -1,0 +1,10 @@
+//! FW006 fire fixture: a `HashMap` iterated into a floating-point sum in a
+//! result-affecting crate — the iteration order (and hence the rounding of
+//! the sum) varies run to run.
+
+use std::collections::HashMap;
+
+/// Sums the values of an unordered histogram.
+pub fn unordered_total(counts: &HashMap<usize, f64>) -> f64 {
+    counts.values().sum()
+}

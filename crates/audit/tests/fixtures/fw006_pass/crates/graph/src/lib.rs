@@ -1,0 +1,20 @@
+//! FW006 pass fixture: ordered containers in library code; unordered ones
+//! only inside the test region, which the lint must skip.
+
+use std::collections::BTreeMap;
+
+/// Sums the values of an ordered histogram — iteration order is fixed.
+pub fn ordered_total(counts: &BTreeMap<usize, f64>) -> f64 {
+    counts.values().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashSet;
+
+    #[test]
+    fn tests_may_use_unordered_containers() {
+        let mut seen = HashSet::new();
+        assert!(seen.insert(1));
+    }
+}

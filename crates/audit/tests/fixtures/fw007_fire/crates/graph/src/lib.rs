@@ -1,0 +1,20 @@
+//! FW007 fire fixture: the hot entry point reaches an allocating helper
+//! through the call graph — the allocation site itself is two hops from the
+//! `spmm` entry, so only a reachability analysis can see it.
+
+/// Hot entry point.
+pub fn spmm(values: &[f32]) -> Vec<f32> {
+    stage(values)
+}
+
+/// Middle hop: no allocation of its own.
+fn stage(values: &[f32]) -> Vec<f32> {
+    scratch(values.len())
+}
+
+/// Allocates a buffer per call — on the hot path, the lint must flag this.
+fn scratch(n: usize) -> Vec<f32> {
+    let mut out = Vec::with_capacity(n);
+    out.resize(n, 0.0);
+    out
+}

@@ -1,0 +1,14 @@
+//! FW008 fire fixture: a public forward entry that neither opens a span nor
+//! feeds a counter, directly or via any callee — invisible to telemetry.
+
+/// Public forward pass with no observability anywhere beneath it.
+pub fn forward_step(xs: &mut [f32]) {
+    kernel(xs);
+}
+
+/// Inner kernel: does the work silently.
+fn kernel(xs: &mut [f32]) {
+    for x in xs {
+        *x += 1.0;
+    }
+}

@@ -1,0 +1,15 @@
+//! FW008 pass fixture: the public forward entry is observable transitively —
+//! its kernel feeds an obs counter, so the wrapper itself needs no span.
+
+/// Public forward pass; observability comes from the kernel it calls.
+pub fn forward_step(xs: &mut [f32]) {
+    kernel(xs);
+}
+
+/// Inner kernel: counts its work through the obs layer.
+fn kernel(xs: &mut [f32]) {
+    fairwos_obs::counter_add("fixture/kernel_calls", 1);
+    for x in xs {
+        *x += 1.0;
+    }
+}

@@ -1,0 +1,16 @@
+//! FW009 fire fixture: the manifest drifted — the struct gained `epoch`
+//! without a manifest entry, and the manifest still names a removed `rng`
+//! field. Both directions must be reported.
+
+/// Trainer state persisted across crashes.
+pub struct TrainingCheckpoint {
+    /// Format version.
+    pub version: u32,
+    /// Run seed.
+    pub seed: u64,
+    /// Next epoch to run — missing from the manifest below.
+    pub epoch: usize,
+}
+
+/// Stale field manifest: no `epoch`, and `rng` no longer exists.
+pub const TRAINING_CHECKPOINT_MANIFEST: &[&str] = &["version", "seed", "rng"];

@@ -1,0 +1,15 @@
+//! FW009 pass fixture: the checkpoint struct and its manifest agree field
+//! for field.
+
+/// Trainer state persisted across crashes.
+pub struct TrainingCheckpoint {
+    /// Format version.
+    pub version: u32,
+    /// Run seed.
+    pub seed: u64,
+    /// Next epoch to run.
+    pub epoch: usize,
+}
+
+/// Field manifest audited against the struct above.
+pub const TRAINING_CHECKPOINT_MANIFEST: &[&str] = &["version", "seed", "epoch"];

@@ -1,0 +1,12 @@
+//! FW010 fire fixture: a truncating `as usize` cast in kernel index math
+//! with no assertion anywhere in the function.
+
+/// Converts a u64 row index to usize, silently wrapping on 32-bit targets.
+fn unchecked_row(idx: u64) -> usize {
+    idx as usize
+}
+
+/// Reads one element through the unguarded index path.
+pub fn at(data: &[f32], idx: u64) -> f32 {
+    data[unchecked_row(idx)]
+}

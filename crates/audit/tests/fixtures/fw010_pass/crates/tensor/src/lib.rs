@@ -1,0 +1,13 @@
+//! FW010 pass fixture: the truncating cast is guarded by an assertion in
+//! the same function, so the wrap-around case cannot go unnoticed.
+
+/// Converts a u64 row index to usize under an explicit bound.
+fn checked_row(idx: u64, rows: usize) -> usize {
+    debug_assert!(idx < rows as u64, "row {idx} out of bounds ({rows} rows)");
+    idx as usize
+}
+
+/// Reads one element through the guarded index path.
+pub fn at(data: &[f32], idx: u64) -> f32 {
+    data[checked_row(idx, data.len())]
+}

@@ -1,7 +1,8 @@
 //! Integration tests for the FW lint engine: JSON schema round-trip, a
-//! clean-tree run over the real workspace, and seeded-violation detection
-//! over a synthetic tree.
+//! clean-modulo-baseline run over the real workspace, and seeded-violation
+//! detection over a synthetic tree.
 
+use fairwos_audit::baseline::Baseline;
 use fairwos_audit::lints::{run_lints, LINTS};
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -44,15 +45,36 @@ fn workspace_root() -> PathBuf {
 }
 
 #[test]
-fn workspace_tree_is_clean() {
-    let report = run_lints(&workspace_root()).expect("lint run succeeds");
-    let pretty: Vec<String> = report
-        .violations
+fn workspace_tree_is_clean_modulo_baseline() {
+    let root = workspace_root();
+    let report = run_lints(&root).expect("lint run succeeds");
+    let baseline = Baseline::load(&root.join("results/lint_baseline.json"))
+        .expect("baseline parses")
+        .expect("results/lint_baseline.json exists");
+    let diff = baseline.diff(&report);
+    let pretty: Vec<String> = diff
+        .new
         .iter()
         .map(|v| format!("{}:{} [{}] {}", v.file, v.line, v.lint, v.message))
         .collect();
-    assert!(report.ok(), "workspace has lint violations:\n{}", pretty.join("\n"));
+    assert!(
+        diff.new.is_empty(),
+        "workspace has lint violations not pinned by the baseline:\n{}",
+        pretty.join("\n")
+    );
+    let stale: Vec<String> =
+        diff.stale.iter().map(|(k, c)| format!("{k} (x{c})")).collect();
+    assert!(
+        diff.stale.is_empty(),
+        "stale baseline entries — shrink the ratchet with --update-baseline:\n{}",
+        stale.join("\n")
+    );
     assert!(report.files_checked > 50, "only {} files scanned", report.files_checked);
+    assert!(
+        report.metrics.callgraph_functions > 500,
+        "call graph implausibly small: {} fns",
+        report.metrics.callgraph_functions
+    );
 }
 
 #[test]
@@ -154,8 +176,15 @@ fn lint_json_round_trips_through_serde() {
     let value: serde_json::Value = serde_json::from_str(&json).expect("report JSON parses");
 
     assert_eq!(value["tool"], "fairwos-audit");
-    assert_eq!(value["schema_version"], 1);
+    assert_eq!(value["schema_version"], 2);
     assert_eq!(value["files_checked"], report.files_checked as u64);
+    let metrics = value["metrics"].as_object().expect("metrics object");
+    assert_eq!(metrics["files_scanned"], report.metrics.files_scanned as u64);
+    assert_eq!(metrics["callgraph_functions"], report.metrics.callgraph_functions as u64);
+    assert_eq!(metrics["callgraph_edges"], report.metrics.callgraph_edges as u64);
+    assert_eq!(metrics["hot_path_functions"], report.metrics.hot_path_functions as u64);
+    let per_lint = metrics["findings_per_lint"].as_object().expect("findings_per_lint map");
+    assert_eq!(per_lint.len(), LINTS.len());
     let lints = value["lints"].as_array().expect("lints array");
     assert_eq!(lints.len(), LINTS.len());
     let violations = value["violations"].as_array().expect("violations array");

@@ -1,0 +1,109 @@
+//! Property tests for the audit lexer: masking must preserve line
+//! structure and never invent content, and the token stream must carry
+//! line numbers consistent with the masked text — on arbitrary source,
+//! including adversarial mixes of strings, comments, and nesting.
+
+use fairwos_audit::lexer::{lex, line_of, line_starts, mask_source, match_brace, TokenKind};
+use proptest::prelude::*;
+
+/// Source-ish text: identifiers, punctuation, string/comment openers,
+/// escapes, and newlines in arbitrary interleavings.
+fn source_strategy() -> impl Strategy<Value = String> {
+    let fragment = prop_oneof![
+        "[a-zA-Z_][a-zA-Z0-9_]{0,6}",
+        Just("\"lit\\\"eral\"".to_string()),
+        Just("'c'".to_string()),
+        Just("'a".to_string()), // lifetime, not a char literal
+        Just("// line comment {\"".to_string()),
+        Just("/* block /* nested */ still */".to_string()),
+        Just("r#\"raw \" string\"#".to_string()),
+        Just("\\".to_string()),
+        Just("\n".to_string()),
+        Just("{".to_string()),
+        Just("}".to_string()),
+        Just("(".to_string()),
+        Just(")".to_string()),
+        Just("::".to_string()),
+        Just("->".to_string()),
+        Just(" ".to_string()),
+        Just("\"unterminated".to_string()),
+        Just("/* unterminated".to_string()),
+    ];
+    prop::collection::vec(fragment, 0..40).prop_map(|v| v.join(""))
+}
+
+proptest! {
+    /// Masking never changes the number or byte-length of lines — every
+    /// lint report line number stays valid in the original file.
+    #[test]
+    fn masking_preserves_line_structure(src in source_strategy()) {
+        let masked = mask_source(&src);
+        let src_lines: Vec<&str> = src.split('\n').collect();
+        let masked_lines: Vec<&str> = masked.split('\n').collect();
+        prop_assert_eq!(src_lines.len(), masked_lines.len());
+        for (s, m) in src_lines.iter().zip(&masked_lines) {
+            prop_assert_eq!(s.chars().count(), m.chars().count());
+        }
+    }
+
+    /// Masking is idempotent: a masked file contains no comment or string
+    /// content left to blank.
+    #[test]
+    fn masking_is_idempotent(src in source_strategy()) {
+        let masked = mask_source(&src);
+        prop_assert_eq!(mask_source(&masked).as_str(), masked.as_str());
+    }
+
+    /// Every token's recorded line agrees with where its text actually
+    /// occurs in the masked source.
+    #[test]
+    fn token_lines_are_consistent(src in source_strategy()) {
+        let masked = mask_source(&src);
+        let starts = line_starts(&masked);
+        let mut cursor = 0usize;
+        for tok in lex(&masked) {
+            let at = masked[cursor..].find(&tok.text).map(|r| cursor + r);
+            prop_assert!(at.is_some(), "token {:?} not found after byte {cursor}", tok.text);
+            let at = at.unwrap();
+            prop_assert_eq!(line_of(&starts, at), tok.line, "token {:?}", tok.text);
+            cursor = at + tok.text.len();
+        }
+    }
+
+    /// Identifier tokens survive masking verbatim: masking only blanks
+    /// strings and comments, never code.
+    #[test]
+    fn identifiers_outside_strings_survive(ident in "[a-zA-Z_][a-zA-Z0-9_]{0,8}") {
+        let src = format!("fn {ident}() {{}}\n");
+        let masked = mask_source(&src);
+        let toks = lex(&masked);
+        prop_assert!(
+            toks.iter().any(|t| t.kind == TokenKind::Ident && t.text == ident),
+            "identifier {ident:?} lost by masking: {masked:?}"
+        );
+    }
+
+    /// `match_brace` on a masked balanced block finds a `}` strictly after
+    /// the `{`, and the span between them is brace-balanced.
+    #[test]
+    fn match_brace_is_balanced(body in source_strategy()) {
+        let src = format!("fn f() {{{body}}}\n");
+        let masked = mask_source(&src);
+        let open = masked.find('{').unwrap();
+        if let Some(close) = match_brace(masked.as_bytes(), open) {
+            prop_assert!(close > open);
+            prop_assert_eq!(masked.as_bytes()[close], b'}');
+            let inner = &masked[open + 1..close];
+            let mut depth = 0i64;
+            for b in inner.bytes() {
+                match b {
+                    b'{' => depth += 1,
+                    b'}' => depth -= 1,
+                    _ => {}
+                }
+                prop_assert!(depth >= 0);
+            }
+            prop_assert_eq!(depth, 0);
+        }
+    }
+}

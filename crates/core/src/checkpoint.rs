@@ -116,6 +116,34 @@ pub struct TrainingCheckpoint {
     pub watchdog_window: Vec<f64>,
 }
 
+/// The trainer-state manifest: every field of [`TrainingCheckpoint`], by
+/// name. Audit lint FW009 diffs this list against the struct definition,
+/// so adding trainer state without also extending the crash-recovery
+/// surface (capture, restore, serde round-trip) fails CI instead of
+/// silently resuming with stale state.
+pub const TRAINING_CHECKPOINT_MANIFEST: &[&str] = &[
+    "version",
+    "seed",
+    "config",
+    "stage",
+    "epoch",
+    "lr_scale",
+    "rng",
+    "encoder_weights",
+    "encoder_losses",
+    "gnn_weights",
+    "opt",
+    "lambda",
+    "classifier_losses",
+    "best_val",
+    "best_params",
+    "since_best",
+    "pseudo_labels",
+    "finetune",
+    "cf",
+    "watchdog_window",
+];
+
 /// Serializes and seals a checkpoint into an opaque store blob.
 ///
 /// # Errors
@@ -549,6 +577,19 @@ mod tests {
 
     fn recovery() -> RecoveryConfig {
         RecoveryConfig::default()
+    }
+
+    #[test]
+    fn manifest_matches_serialized_fields() {
+        // The FW009 manifest must name exactly the fields serde persists;
+        // drift either way means resume would silently lose trainer state.
+        let json = serde_json::to_value(dummy_ckpt(0, 2, 0)).expect("encodes");
+        let persisted: std::collections::BTreeSet<&str> =
+            json.as_object().expect("checkpoint is an object").keys().map(String::as_str).collect();
+        let manifest: std::collections::BTreeSet<&str> =
+            TRAINING_CHECKPOINT_MANIFEST.iter().copied().collect();
+        assert_eq!(manifest.len(), TRAINING_CHECKPOINT_MANIFEST.len(), "duplicate manifest entry");
+        assert_eq!(manifest, persisted);
     }
 
     #[test]

@@ -147,6 +147,8 @@ fn sample_indices(total: usize, p: f64, rng: &mut impl Rng) -> Vec<usize> {
         if idx > total as u64 {
             break;
         }
+        // idx ≤ total ≤ usize::MAX here, so the cast cannot truncate.
+        debug_assert!(idx - 1 < total as u64);
         out.push((idx - 1) as usize);
     }
     out
@@ -182,7 +184,7 @@ mod tests {
     #[test]
     fn pair_from_index_enumerates_all_pairs() {
         let n = 6;
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for idx in 0..n * (n - 1) / 2 {
             let (u, v) = pair_from_index(n, idx);
             assert!(u < v && v < n);

@@ -127,6 +127,8 @@ impl Dropout {
     }
 
     /// Inference-mode forward: identity (inverted dropout).
+    // audit:allow(FW008): pure identity — a span here would only record that
+    // nothing happened; inference telemetry lives on the layer wrappers.
     pub fn forward_inference(&self, x: &Matrix) -> Matrix {
         x.clone()
     }
