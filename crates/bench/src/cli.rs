@@ -19,16 +19,26 @@ impl Args {
     /// Parses `--scale`, `--runs`, `--seed`, `--out` from `std::env::args`,
     /// falling back to the given defaults. Unknown flags abort with usage.
     pub fn parse(default_scale: f64, default_runs: usize) -> Self {
-        Self::parse_from(std::env::args().skip(1).collect(), default_scale, default_runs)
+        Self::parse_from(
+            std::env::args().skip(1).collect(),
+            default_scale,
+            default_runs,
+        )
     }
 
     /// Testable core of [`Args::parse`].
     pub fn parse_from(argv: Vec<String>, default_scale: f64, default_runs: usize) -> Self {
-        let mut args = Self { scale: default_scale, runs: default_runs, seed: 2025, out: None };
+        let mut args = Self {
+            scale: default_scale,
+            runs: default_runs,
+            seed: 2025,
+            out: None,
+        };
         let mut it = argv.into_iter();
         while let Some(flag) = it.next() {
             let mut value = |name: &str| {
-                it.next().unwrap_or_else(|| panic!("missing value for {name}"))
+                it.next()
+                    .unwrap_or_else(|| panic!("missing value for {name}"))
             };
             match flag.as_str() {
                 "--scale" => args.scale = value("--scale").parse().expect("--scale takes a float"),
@@ -76,7 +86,13 @@ mod tests {
 
     #[test]
     fn flags_override() {
-        let a = Args::parse_from(argv(&["--scale", "0.5", "--runs", "10", "--seed", "7", "--out", "x.json"]), 0.05, 3);
+        let a = Args::parse_from(
+            argv(&[
+                "--scale", "0.5", "--runs", "10", "--seed", "7", "--out", "x.json",
+            ]),
+            0.05,
+            3,
+        );
         assert_eq!(a.scale, 0.5);
         assert_eq!(a.runs, 10);
         assert_eq!(a.seed, 7);

@@ -61,7 +61,12 @@ impl MethodKind {
 /// a CPU-sized schedule and a regularization weight calibrated to our
 /// per-pair-normalized distance (see EXPERIMENTS.md, "α correspondence").
 pub fn fairwos_config(backbone: Backbone) -> FairwosConfig {
-    FairwosConfig { alpha: 2.0, top_k: 2, finetune_epochs: 40, ..FairwosConfig::fast(backbone) }
+    FairwosConfig {
+        alpha: 2.0,
+        top_k: 2,
+        finetune_epochs: 40,
+        ..FairwosConfig::fast(backbone)
+    }
 }
 
 /// Builds a ready-to-run method. RemoveR and FairRF receive the dataset's
@@ -111,7 +116,10 @@ pub fn run_method(method: &dyn FairMethod, ds: &FairGraphDataset, seed: u64) -> 
     let test_probs: Vec<f32> = ds.split.test.iter().map(|&v| probs[v]).collect();
     let test_labels = ds.labels_of(&ds.split.test);
     let test_sens = ds.sensitive_of(&ds.split.test);
-    (EvalReport::compute(&test_probs, &test_labels, &test_sens), secs)
+    (
+        EvalReport::compute(&test_probs, &test_labels, &test_sens),
+        secs,
+    )
 }
 
 /// Aggregated result of `runs` repetitions of one method on one dataset.
@@ -156,12 +164,22 @@ impl MethodRun {
                 ));
             }
         }
-        Self { name: method.name(), agg, times, pipeline }
+        Self {
+            name: method.name(),
+            agg,
+            times,
+            pipeline,
+        }
     }
 
     /// A Table-II-style text row: `ACC ΔDP ΔEO`, percent, mean±std.
     pub fn table_row(&self) -> String {
-        let cell = |m: &str| self.agg.mean_std(m).expect("metric recorded").percent_cell();
+        let cell = |m: &str| {
+            self.agg
+                .mean_std(m)
+                .expect("metric recorded")
+                .percent_cell()
+        };
         format!(
             "{:<12} | {:>14} | {:>14} | {:>14}",
             self.name,
@@ -180,7 +198,10 @@ impl MethodRun {
     pub fn record(&self, dataset: &str, backbone: Backbone) -> RunRecord {
         let mut metrics = BTreeMap::new();
         for m in self.agg.metrics() {
-            metrics.insert(m.to_string(), self.agg.mean_std(m).expect("metric recorded"));
+            metrics.insert(
+                m.to_string(),
+                self.agg.mean_std(m).expect("metric recorded"),
+            );
         }
         RunRecord {
             dataset: dataset.to_string(),
@@ -279,7 +300,10 @@ mod tests {
             let m = build_method(kind, Backbone::Gcn, &ds);
             assert!(!m.name().is_empty());
         }
-        assert_eq!(build_method(MethodKind::FairwosWoE, Backbone::Gcn, &ds).name(), "Fwos w/o E");
+        assert_eq!(
+            build_method(MethodKind::FairwosWoE, Backbone::Gcn, &ds).name(),
+            "Fwos w/o E"
+        );
     }
 
     #[test]

@@ -12,6 +12,12 @@
 //! | `exp_fig7_tsne` | Fig. 7 — t-SNE of pseudo-sensitive attributes |
 //! | `exp_fig8_runtime` | Fig. 8 — runtime comparison on NBA |
 //!
+//! Extension binaries go beyond the paper: `exp_ablation_cf` (search vs
+//! perturbation counterfactuals), `exp_ablation_lambda` (λ-update
+//! direction), and `exp_minibatch` (full-batch vs neighbor-sampled
+//! mini-batch training — wall time, utility/fairness, and a release-mode
+//! re-assertion of the bitwise equivalence contract of `docs/SCALING.md`).
+//!
 //! Two instrumentation binaries ride along (most useful with `--features
 //! obs`): `exp_fig5_convergence` traces one full Fairwos fit and exports
 //! `results/trace.json` (Chrome trace, loadable in `ui.perfetto.dev`) plus

@@ -60,9 +60,43 @@ pub struct CfSnapshot {
     pub sets: Vec<Vec<Vec<usize>>>,
 }
 
+/// Partial-epoch cursor for the mini-batch path: everything the resumed
+/// run needs to re-enter an interrupted epoch at the next batch and finish
+/// it bit-identically (see `docs/SCALING.md`).
+///
+/// The per-batch aggregates travel with the cursor because the epoch's
+/// history entries (loss, fine-tune stats) are only emitted once the epoch
+/// completes — a resume must not recompute the already-processed batches.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BatchCursor {
+    /// Index (in the epoch's batch order) of the next batch to process.
+    pub batch: usize,
+    /// Sampler RNG state at the *start* of the interrupted epoch, before
+    /// the epoch salt and shuffle draws — resume redraws them to recover
+    /// the identical batch order and subgraphs.
+    pub epoch_rng: RngState,
+    /// The epoch-start full-graph validation accuracy, when it was
+    /// computed before the interruption (`None` = derive from the epoch
+    /// loss as the full-batch path does without a validation split).
+    pub val_acc: Option<f64>,
+    /// Per-contributing-batch `(utility loss, train-node count)` pairs
+    /// accumulated so far this epoch.
+    pub utility: Vec<(f32, u64)>,
+    /// Per-contributing-batch fairness losses (stage 3) so far this epoch.
+    pub fairness: Vec<f32>,
+    /// Per-contributing-batch per-attribute counterfactual distances
+    /// (stage 3) so far this epoch.
+    pub attr_d: Vec<Vec<f32>>,
+    /// Largest per-batch gradient norm seen so far this epoch.
+    pub grad_max: f32,
+}
+
 /// Everything needed to resume training bit-identically. `stage`/`epoch`
 /// name the *next* epoch to run: a checkpoint with `stage: 2, epoch: 40`
-/// resumes by executing stage-2 epoch 40.
+/// resumes by executing stage-2 epoch 40. Exception: when
+/// [`TrainingCheckpoint::batch_cursor`] is present (mini-batch mid-epoch
+/// checkpoints), `epoch` names the epoch *in progress* and resume re-enters
+/// it at the cursor's batch.
 ///
 /// Derived artifacts that are pure functions of persisted state (X⁰, the
 /// median bits, the graph context) are recomputed on resume rather than
@@ -114,6 +148,15 @@ pub struct TrainingCheckpoint {
     pub cf: Option<CfSnapshot>,
     /// The divergence watchdog's trailing-loss window for the active stage.
     pub watchdog_window: Vec<f64>,
+    /// Mini-batch sampler RNG position (the state from which the next
+    /// epoch's salt/shuffle draws happen). `None` on the full-batch path
+    /// and in pre-mini-batch checkpoints.
+    #[serde(default)]
+    pub sampler_rng: Option<RngState>,
+    /// Mid-epoch batch cursor (mini-batch path only); `None` for
+    /// epoch-boundary checkpoints.
+    #[serde(default)]
+    pub batch_cursor: Option<BatchCursor>,
 }
 
 /// The trainer-state manifest: every field of [`TrainingCheckpoint`], by
@@ -142,6 +185,8 @@ pub const TRAINING_CHECKPOINT_MANIFEST: &[&str] = &[
     "finetune",
     "cf",
     "watchdog_window",
+    "sampler_rng",
+    "batch_cursor",
 ];
 
 /// Serializes and seals a checkpoint into an opaque store blob.
@@ -314,10 +359,13 @@ impl CheckpointStore for MemoryCheckpointStore {
     }
 
     fn read(&mut self, generation: u64) -> Result<Vec<u8>, PersistError> {
-        self.slots.get(&generation).cloned().ok_or_else(|| PersistError::Io {
-            path: format!("memory://ckpt/{generation}"),
-            source: std::io::Error::new(std::io::ErrorKind::NotFound, "no such generation"),
-        })
+        self.slots
+            .get(&generation)
+            .cloned()
+            .ok_or_else(|| PersistError::Io {
+                path: format!("memory://ckpt/{generation}"),
+                source: std::io::Error::new(std::io::ErrorKind::NotFound, "no such generation"),
+            })
     }
 
     fn generations(&mut self) -> Result<Vec<u64>, PersistError> {
@@ -358,7 +406,11 @@ pub struct FaultyCheckpointStore<S: CheckpointStore> {
 impl<S: CheckpointStore> FaultyCheckpointStore<S> {
     /// Wraps `inner` with the given fault schedule.
     pub fn new(inner: S, plan: FaultPlan) -> Self {
-        Self { inner, plan, writes_seen: 0 }
+        Self {
+            inner,
+            plan,
+            writes_seen: 0,
+        }
     }
 
     /// How many write attempts the store has seen (for asserting retry
@@ -572,6 +624,8 @@ mod tests {
             finetune: Vec::new(),
             cf: None,
             watchdog_window: vec![0.7],
+            sampler_rng: None,
+            batch_cursor: None,
         }
     }
 
@@ -584,12 +638,53 @@ mod tests {
         // The FW009 manifest must name exactly the fields serde persists;
         // drift either way means resume would silently lose trainer state.
         let json = serde_json::to_value(dummy_ckpt(0, 2, 0)).expect("encodes");
-        let persisted: std::collections::BTreeSet<&str> =
-            json.as_object().expect("checkpoint is an object").keys().map(String::as_str).collect();
+        let persisted: std::collections::BTreeSet<&str> = json
+            .as_object()
+            .expect("checkpoint is an object")
+            .keys()
+            .map(String::as_str)
+            .collect();
         let manifest: std::collections::BTreeSet<&str> =
             TRAINING_CHECKPOINT_MANIFEST.iter().copied().collect();
-        assert_eq!(manifest.len(), TRAINING_CHECKPOINT_MANIFEST.len(), "duplicate manifest entry");
+        assert_eq!(
+            manifest.len(),
+            TRAINING_CHECKPOINT_MANIFEST.len(),
+            "duplicate manifest entry"
+        );
         assert_eq!(manifest, persisted);
+    }
+
+    #[test]
+    fn legacy_checkpoints_without_minibatch_fields_still_decode() {
+        // Checkpoints written before the mini-batch path existed lack the
+        // sampler/cursor keys; serde defaults must fill them as None.
+        let mut json = serde_json::to_value(dummy_ckpt(0, 2, 0)).expect("encodes");
+        let obj = json.as_object_mut().expect("object");
+        obj.remove("sampler_rng");
+        obj.remove("batch_cursor");
+        let legacy: TrainingCheckpoint =
+            serde_json::from_value(json).expect("legacy checkpoint decodes");
+        assert_eq!(legacy.sampler_rng, None);
+        assert_eq!(legacy.batch_cursor, None);
+    }
+
+    #[test]
+    fn batch_cursor_round_trips_through_the_sealed_format() {
+        let mut ckpt = dummy_ckpt(2, 3, 4);
+        ckpt.sampler_rng = Some(export_rng_state(&seeded_rng(99)));
+        ckpt.batch_cursor = Some(BatchCursor {
+            batch: 3,
+            epoch_rng: export_rng_state(&seeded_rng(98)),
+            val_acc: Some(0.75),
+            utility: vec![(0.5, 12), (0.4, 9)],
+            fairness: vec![0.1, 0.2],
+            attr_d: vec![vec![1.0, 2.0], vec![3.0, 4.0]],
+            grad_max: 1.5,
+        });
+        let bytes = encode_checkpoint(&ckpt).expect("encodes");
+        let back = decode_checkpoint(&bytes).expect("decodes");
+        assert_eq!(back.sampler_rng, ckpt.sampler_rng);
+        assert_eq!(back.batch_cursor, ckpt.batch_cursor);
     }
 
     #[test]
@@ -625,7 +720,10 @@ mod tests {
         for i in (0..bytes.len()).step_by(7) {
             let mut bad = bytes.clone();
             bad[i] ^= 0x20;
-            assert!(decode_checkpoint(&bad).is_err(), "flip at byte {i} went undetected");
+            assert!(
+                decode_checkpoint(&bad).is_err(),
+                "flip at byte {i} went undetected"
+            );
         }
     }
 
@@ -646,14 +744,21 @@ mod tests {
     #[test]
     fn log_assigns_increasing_generations_and_prunes() {
         let mut store = MemoryCheckpointStore::new();
-        let policy = RecoveryConfig { retain: 2, ..recovery() };
+        let policy = RecoveryConfig {
+            retain: 2,
+            ..recovery()
+        };
         let mut log = CheckpointLog::new(&mut store, policy);
         for epoch in 0..5 {
             let generation = log.save(&dummy_ckpt(0, 2, epoch)).expect("save succeeds");
             assert_eq!(generation, epoch as u64 + 1);
         }
         let gens = store.generations().expect("enumerable");
-        assert_eq!(gens, vec![4, 5], "only the newest `retain` generations survive");
+        assert_eq!(
+            gens,
+            vec![4, 5],
+            "only the newest `retain` generations survive"
+        );
     }
 
     #[test]
@@ -692,7 +797,10 @@ mod tests {
 
     #[test]
     fn transient_write_failure_is_retried() {
-        let plan = FaultPlan { fail_writes: vec![1], ..FaultPlan::default() };
+        let plan = FaultPlan {
+            fail_writes: vec![1],
+            ..FaultPlan::default()
+        };
         let mut store = FaultyCheckpointStore::new(MemoryCheckpointStore::new(), plan);
         let mut log = CheckpointLog::new(&mut store, recovery());
         log.save(&dummy_ckpt(0, 2, 0)).expect("retry succeeds");
@@ -701,9 +809,15 @@ mod tests {
 
     #[test]
     fn persistent_write_failure_surfaces_after_budget() {
-        let plan = FaultPlan { fail_writes: vec![1, 2, 3], ..FaultPlan::default() };
+        let plan = FaultPlan {
+            fail_writes: vec![1, 2, 3],
+            ..FaultPlan::default()
+        };
         let mut store = FaultyCheckpointStore::new(MemoryCheckpointStore::new(), plan);
-        let policy = RecoveryConfig { write_attempts: 3, ..recovery() };
+        let policy = RecoveryConfig {
+            write_attempts: 3,
+            ..recovery()
+        };
         let mut log = CheckpointLog::new(&mut store, policy);
         match log.save(&dummy_ckpt(0, 2, 0)) {
             Err(PersistError::Io { .. }) => {}
@@ -723,8 +837,10 @@ mod tests {
         let mut store = FaultyCheckpointStore::new(MemoryCheckpointStore::new(), plan);
         let mut log = CheckpointLog::new(&mut store, recovery());
         log.save(&dummy_ckpt(0, 2, 10)).expect("save succeeds");
-        log.save(&dummy_ckpt(0, 2, 20)).expect("save reports success despite tear");
-        log.save(&dummy_ckpt(0, 2, 30)).expect("save reports success despite corruption");
+        log.save(&dummy_ckpt(0, 2, 20))
+            .expect("save reports success despite tear");
+        log.save(&dummy_ckpt(0, 2, 30))
+            .expect("save reports success despite corruption");
         let cfg = FairwosConfig::paper_default(Backbone::Gcn);
         let (generation, ckpt) = log
             .load_latest(0, &cfg)
@@ -736,7 +852,10 @@ mod tests {
 
     #[test]
     fn vanished_reads_are_skipped_on_load() {
-        let plan = FaultPlan { vanish_reads: vec![2], ..FaultPlan::default() };
+        let plan = FaultPlan {
+            vanish_reads: vec![2],
+            ..FaultPlan::default()
+        };
         let mut store = FaultyCheckpointStore::new(MemoryCheckpointStore::new(), plan);
         let mut log = CheckpointLog::new(&mut store, recovery());
         log.save(&dummy_ckpt(0, 2, 10)).expect("save succeeds");
@@ -754,7 +873,10 @@ mod tests {
         let dir = std::env::temp_dir().join("fairwos_fs_ckpt_store_test");
         let _ = std::fs::remove_dir_all(&dir);
         let mut store = FsCheckpointStore::new(&dir);
-        assert!(store.generations().expect("missing dir is empty").is_empty());
+        assert!(store
+            .generations()
+            .expect("missing dir is empty")
+            .is_empty());
         store.write(3, b"three").expect("write succeeds");
         store.write(1, b"one").expect("write succeeds");
         assert_eq!(store.generations().expect("enumerable"), vec![1, 3]);

@@ -124,6 +124,47 @@ impl Default for RecoveryConfig {
     }
 }
 
+/// Mini-batch neighbor-sampled training knobs (see `docs/SCALING.md`).
+///
+/// When present on [`FairwosConfig::minibatch`], stages 1–3 train on
+/// BFS-partitioned node blocks over deterministically sampled subgraphs
+/// instead of the full graph. With `batch_nodes ≥ num_nodes` and an
+/// all-zero `fanout` the single batch *is* the full graph and training is
+/// bit-for-bit identical to the full-batch path.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MinibatchConfig {
+    /// Maximum nodes per BFS partition block (one block = one batch).
+    /// Must be ≥ 1.
+    pub batch_nodes: usize,
+    /// Per-layer neighbor fanout for the classifier's sampler; `0` means
+    /// *all* neighbors (infinite fanout). Length must equal
+    /// [`FairwosConfig::num_layers`]; the single-layer encoder sampler uses
+    /// `fanout[0]`.
+    pub fanout: Vec<usize>,
+    /// Write a mid-epoch checkpoint (with the batch cursor) every this many
+    /// processed batches; `0` disables mid-epoch checkpoints. Only consulted
+    /// by the `fit_resumable` entry points.
+    #[serde(default)]
+    pub checkpoint_batches: usize,
+    /// Shuffle the batch order each epoch (drawn from the checkpointed
+    /// sampler RNG, so shuffled runs stay resumable and seed-deterministic).
+    #[serde(default)]
+    pub shuffle: bool,
+}
+
+impl MinibatchConfig {
+    /// Blocks of `batch_nodes` seeds with the given per-layer fanout, no
+    /// mid-epoch checkpoints, and a fixed (unshuffled) batch order.
+    pub fn new(batch_nodes: usize, fanout: Vec<usize>) -> Self {
+        Self {
+            batch_nodes,
+            fanout,
+            checkpoint_batches: 0,
+            shuffle: false,
+        }
+    }
+}
+
 /// All hyper-parameters of Algorithm 1, including the ablation switches
 /// used by the Fig. 4 experiment.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -190,6 +231,10 @@ pub struct FairwosConfig {
     /// by the `fit_resumable` entry points.
     #[serde(default)]
     pub recovery: RecoveryConfig,
+    /// Mini-batch neighbor-sampled training (see [`MinibatchConfig`]);
+    /// `None` (the default) trains full-batch.
+    #[serde(default)]
+    pub minibatch: Option<MinibatchConfig>,
 }
 
 fn default_cf_refresh_interval() -> usize {
@@ -227,6 +272,7 @@ impl FairwosConfig {
             eval_interval: 1,
             watchdog: WatchdogConfig::default(),
             recovery: RecoveryConfig::default(),
+            minibatch: None,
         }
     }
 
@@ -294,6 +340,19 @@ impl FairwosConfig {
             self.recovery.lr_backoff > 0.0 && self.recovery.lr_backoff <= 1.0,
             "recovery.lr_backoff must be in (0, 1]"
         );
+        if let Some(mb) = &self.minibatch {
+            assert!(mb.batch_nodes >= 1, "minibatch.batch_nodes must be ≥ 1");
+            assert_eq!(
+                mb.fanout.len(),
+                self.num_layers,
+                "minibatch.fanout must have one entry per classifier layer"
+            );
+            assert_eq!(
+                self.counterfactual,
+                CfStrategy::SearchReal,
+                "minibatch training supports CfStrategy::SearchReal only"
+            );
+        }
     }
 
     /// The ablation variant names used in Fig. 4 / Fig. 8.
@@ -433,6 +492,71 @@ mod tests {
                 lr_backoff: 1.5,
                 ..RecoveryConfig::default()
             },
+            ..FairwosConfig::paper_default(Backbone::Gcn)
+        }
+        .validate();
+    }
+
+    #[test]
+    fn minibatch_defaults_to_none_when_absent_from_serialized_config() {
+        // Configs serialized before mini-batch training existed must still
+        // load (as full-batch configs).
+        let cfg = FairwosConfig::paper_default(Backbone::Gcn);
+        let mut json: serde_json::Value = serde_json::to_value(&cfg).expect("config serializes");
+        json.as_object_mut().expect("object").remove("minibatch");
+        let restored: FairwosConfig =
+            serde_json::from_value(json).expect("config without the field deserializes");
+        assert_eq!(restored.minibatch, None);
+        restored.validate();
+    }
+
+    #[test]
+    fn minibatch_config_round_trips_and_validates() {
+        let cfg = FairwosConfig {
+            minibatch: Some(MinibatchConfig {
+                batch_nodes: 64,
+                fanout: vec![5],
+                checkpoint_batches: 3,
+                shuffle: true,
+            }),
+            ..FairwosConfig::paper_default(Backbone::Gcn)
+        };
+        cfg.validate();
+        let json = serde_json::to_string(&cfg).expect("config serializes");
+        let back: FairwosConfig = serde_json::from_str(&json).expect("config deserializes");
+        assert_eq!(back.minibatch, cfg.minibatch);
+        // The ergonomic constructor defaults the optional knobs off.
+        let mb = MinibatchConfig::new(32, vec![0]);
+        assert_eq!(mb.checkpoint_batches, 0);
+        assert!(!mb.shuffle);
+    }
+
+    #[test]
+    #[should_panic(expected = "minibatch.batch_nodes must be ≥ 1")]
+    fn validate_rejects_zero_batch_nodes() {
+        FairwosConfig {
+            minibatch: Some(MinibatchConfig::new(0, vec![0])),
+            ..FairwosConfig::paper_default(Backbone::Gcn)
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "one entry per classifier layer")]
+    fn validate_rejects_fanout_layer_mismatch() {
+        FairwosConfig {
+            minibatch: Some(MinibatchConfig::new(32, vec![5, 5])),
+            ..FairwosConfig::paper_default(Backbone::Gcn)
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "SearchReal only")]
+    fn validate_rejects_minibatch_with_perturbation() {
+        FairwosConfig {
+            minibatch: Some(MinibatchConfig::new(32, vec![0])),
+            counterfactual: CfStrategy::PerturbAttribute,
             ..FairwosConfig::paper_default(Backbone::Gcn)
         }
         .validate();

@@ -264,6 +264,28 @@ pub fn search_topk(space: &SearchSpace<'_>, queries: &[usize], k: usize) -> Coun
     CounterfactualSets::new(queries.to_vec(), sets)
 }
 
+/// Per-batch mode of the top-K search: `space` and `queries` are expressed
+/// in the *local* ids of one sampled mini-batch subgraph, so the search is
+/// restricted to the sampled frontier (the candidates present in the batch)
+/// instead of the full training set.
+///
+/// The selection semantics are exactly [`search_topk`]'s — over a
+/// single-block, infinite-fanout batch (local ids = global ids, candidates
+/// = the full training set) the two are bit-identical. The returned sets
+/// speak local ids; they are consumed against the batch's local embeddings
+/// and never persisted (mini-batch checkpoints re-search on resume).
+///
+/// # Panics
+/// As for [`search_topk`].
+pub fn search_topk_batch(
+    space: &SearchSpace<'_>,
+    queries: &[usize],
+    k: usize,
+) -> CounterfactualSets {
+    let _obs = fairwos_obs::span("core/cf_search_batch");
+    search_topk(space, queries, k)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -471,6 +493,49 @@ mod tests {
                         "query {q} attr {attr} k {k}"
                     );
                 }
+            }
+        }
+    }
+
+    /// Batch-local search over a gathered subspace must equal the global
+    /// search restricted to the same candidate pool, after id remapping.
+    #[test]
+    fn batch_local_search_matches_remapped_global_search() {
+        let (emb, labels, bits) = toy_space();
+        // The "sampled subgraph": global nodes 1, 3, 4, 5 (local 0..4).
+        let nodes = [1usize, 3, 4, 5];
+        let local_emb = Matrix::from_rows(&nodes.iter().map(|&v| emb.row(v)).collect::<Vec<_>>());
+        let local_labels: Vec<bool> = nodes.iter().map(|&v| labels[v]).collect();
+        let local_bits: Vec<Vec<bool>> = nodes.iter().map(|&v| bits[v].clone()).collect();
+        let local_candidates: Vec<usize> = (0..nodes.len()).collect();
+        let local = search_topk_batch(
+            &SearchSpace {
+                embeddings: &local_emb,
+                pseudo_labels: &local_labels,
+                pseudo_sensitive: &local_bits,
+                candidates: &local_candidates,
+            },
+            &local_candidates,
+            2,
+        );
+        let global = search_topk(
+            &SearchSpace {
+                embeddings: &emb,
+                pseudo_labels: &labels,
+                pseudo_sensitive: &bits,
+                candidates: &nodes,
+            },
+            &nodes,
+            2,
+        );
+        assert_eq!(local.num_attrs(), global.num_attrs());
+        for attr in 0..global.num_attrs() {
+            for (q_idx, expect) in global.for_attr(attr).iter().enumerate() {
+                let got: Vec<usize> = local.for_attr(attr)[q_idx]
+                    .iter()
+                    .map(|&lu| nodes[lu])
+                    .collect();
+                assert_eq!(&got, expect, "attr {attr} query {q_idx}");
             }
         }
     }

@@ -1,11 +1,12 @@
 //! The encoder module (paper §III-B, Eq. 4–6): learns low-dimensional node
 //! attributes `X⁰` whose dimensions serve as pseudo-sensitive attributes.
 
+use crate::minibatch::{gather_rows, weighted_mean, BatchPlan};
 use crate::persist::PersistError;
 use crate::TrainInput;
 use fairwos_nn::loss::softmax_cross_entropy_masked_ws;
 use fairwos_nn::{Adam, GcnConv, GraphContext, Linear, Optimizer, Workspace};
-use fairwos_tensor::Matrix;
+use fairwos_tensor::{FairRng, Matrix};
 use rand::Rng;
 
 /// A GCN encoder with a linear softmax head, pre-trained on the node
@@ -78,6 +79,83 @@ impl Encoder {
             let mut params = conv.params_mut();
             params.extend(head.params_mut());
             opt.step(&mut params);
+        }
+        Self { conv, head, losses }
+    }
+
+    /// [`Encoder::pretrain`] over a mini-batch schedule: one Adam step per
+    /// sampled block, with the same weight-init draws from `rng` (so the
+    /// single-block infinite-fanout schedule reproduces the full-batch
+    /// encoder bit for bit). `srng` is the dedicated stage-1 scheduler
+    /// stream; `X⁰` extraction stays full-graph either way.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn pretrain_minibatch(
+        input: &TrainInput<'_>,
+        ctx_full: &GraphContext,
+        dim: usize,
+        epochs: usize,
+        lr: f32,
+        rng: &mut impl Rng,
+        plan: &BatchPlan,
+        srng: &mut FairRng,
+    ) -> Self {
+        input.assert_valid();
+        let mut conv = GcnConv::new(input.features.cols(), dim, rng);
+        let mut head = Linear::new(dim, 2, rng);
+        let mut opt = Adam::new(lr);
+        let mut losses = Vec::with_capacity(epochs);
+        let mut ws = Workspace::new();
+        let mut mask: Vec<bool> = Vec::new();
+        for epoch in 0..epochs {
+            fairwos_obs::journal_epoch(1, epoch as u64);
+            let _obs = fairwos_obs::span("train/stage1/epoch");
+            let (salt, order) = plan.epoch_begin(srng);
+            let batches = plan.prepare_epoch(input, ctx_full, salt, &order);
+            let mut agg: Vec<(f32, u64)> = Vec::new();
+            for b in &batches {
+                if b.train_locals.is_empty() {
+                    continue;
+                }
+                let _obs = fairwos_obs::span("train/minibatch/batch");
+                fairwos_obs::counter_add("minibatch/batches", 1);
+                conv.zero_grad();
+                head.zero_grad();
+                let x_local = gather_rows(input.features, b.sub.nodes(), &mut ws);
+                let mut h = conv.forward_ws(&b.ctx, &x_local, &mut ws);
+                mask.clear();
+                mask.extend(h.as_slice().iter().map(|&v| v > 0.0));
+                h.map_assign(|v| v.max(0.0));
+                let logits = head.forward_ws(&h, &mut ws);
+                let labels_local: Vec<usize> = b
+                    .labels_local
+                    .iter()
+                    .map(|&y| (y >= 0.5) as usize)
+                    .collect();
+                let (loss, dlogits) = softmax_cross_entropy_masked_ws(
+                    &logits,
+                    &labels_local,
+                    &b.train_locals,
+                    &mut ws,
+                );
+                agg.push((loss, b.train_locals.len() as u64));
+                let mut dh = head.backward_ws(&dlogits, &mut ws);
+                ws.give(dlogits);
+                for (g, &m) in dh.as_mut_slice().iter_mut().zip(&mask) {
+                    if !m {
+                        *g = 0.0;
+                    }
+                }
+                let dx = conv.backward_ws(&b.ctx, &dh, &mut ws);
+                ws.give(dx);
+                ws.give(dh);
+                ws.give(logits);
+                ws.give(h);
+                ws.give(x_local);
+                let mut params = conv.params_mut();
+                params.extend(head.params_mut());
+                opt.step(&mut params);
+            }
+            losses.push(weighted_mean(&agg));
         }
         Self { conv, head, losses }
     }

@@ -22,7 +22,7 @@ pub fn project_to_simplex(v: &[f32]) -> Vec<f32> {
     assert!(!v.is_empty(), "cannot project an empty vector");
     let mut sorted: Vec<f32> = v.to_vec();
     sorted.sort_by(|a, b| b.total_cmp(a)); // descending
-    // Find ρ = max { j : sorted[j] − (Σ_{i≤j} sorted[i] − 1)/(j+1) > 0 }.
+                                           // Find ρ = max { j : sorted[j] − (Σ_{i≤j} sorted[i] − 1)/(j+1) > 0 }.
     let mut cumsum = 0.0f32;
     let mut rho = 0usize;
     let mut rho_cumsum = 0.0f32;
@@ -85,8 +85,8 @@ pub fn update_lambda_paper_form(d: &[f32], alpha: f32) -> Vec<f32> {
     let scaled: Vec<f32> = d.iter().map(|&x| alpha * x).collect();
     let mut order: Vec<usize> = (0..scaled.len()).collect();
     order.sort_by(|&a, &b| scaled[b].total_cmp(&scaled[a])); // descending D'
-    // Try support sets of the j..I smallest-D attributes (descending list
-    // indices j..I), i.e. the paper's assumption b ∈ [−D'_{j−1}, −D'_j].
+                                                             // Try support sets of the j..I smallest-D attributes (descending list
+                                                             // indices j..I), i.e. the paper's assumption b ∈ [−D'_{j−1}, −D'_j].
     let i_total = scaled.len();
     for j in 0..i_total {
         let tail: f32 = order[j..].iter().map(|&i| scaled[i]).sum();
@@ -149,7 +149,10 @@ mod tests {
         // Paper §III-E: small Dᵢ ⇒ large λᵢ.
         let lambda = update_lambda(&[5.0, 1.0, 3.0], 1.0);
         assert!(is_simplex(&lambda));
-        assert!(lambda[1] > lambda[2] && lambda[2] >= lambda[0], "{lambda:?}");
+        assert!(
+            lambda[1] > lambda[2] && lambda[2] >= lambda[0],
+            "{lambda:?}"
+        );
     }
 
     #[test]

@@ -47,19 +47,23 @@ pub mod counterfactual;
 mod encoder;
 pub mod lambda;
 mod method;
+mod minibatch;
 pub mod persist;
 mod trainer;
 mod workspace;
 
 pub use checkpoint::{
-    CheckpointLog, CheckpointStore, FaultPlan, FaultyCheckpointStore, FsCheckpointStore,
-    MemoryCheckpointStore, TrainingCheckpoint,
+    BatchCursor, CheckpointLog, CheckpointStore, FaultPlan, FaultyCheckpointStore,
+    FsCheckpointStore, MemoryCheckpointStore, TrainingCheckpoint,
 };
-pub use config::{CfStrategy, FairwosConfig, RecoveryConfig, WatchdogConfig, WeightMode};
+pub use config::{
+    CfStrategy, FairwosConfig, MinibatchConfig, RecoveryConfig, WatchdogConfig, WeightMode,
+};
 pub use counterfactual::{CounterfactualSets, SearchSpace};
 pub use encoder::Encoder;
 pub use lambda::{lambda_feasible, project_to_simplex, update_lambda};
 pub use method::{FairMethod, InputError, TrainInput};
+pub use minibatch::BatchPlan;
 pub use persist::{FairwosModelFile, PersistError};
 pub use trainer::{
     FairwosTrainer, FinetuneEpochStats, TelemetryEval, TrainError, TrainProbe, TrainedFairwos,

@@ -45,8 +45,15 @@ pub enum InputError {
 impl std::fmt::Display for InputError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            InputError::ShapeMismatch { what, expected, found } => {
-                write!(f, "shape mismatch ({what}): expected {expected}, found {found}")
+            InputError::ShapeMismatch {
+                what,
+                expected,
+                found,
+            } => {
+                write!(
+                    f,
+                    "shape mismatch ({what}): expected {expected}, found {found}"
+                )
             }
             InputError::EmptyTrainSplit => write!(f, "no training nodes"),
             InputError::SplitIndexOutOfRange { index, nodes } => {
@@ -171,7 +178,13 @@ mod tests {
         let g = GraphBuilder::new(3).edge(0, 1).build();
         let x = Matrix::ones(3, 2);
         let labels = [1.0, 0.0, 1.0];
-        let input = TrainInput { graph: &g, features: &x, labels: &labels, train: &[0, 1], val: &[2] };
+        let input = TrainInput {
+            graph: &g,
+            features: &x,
+            labels: &labels,
+            train: &[0, 1],
+            val: &[2],
+        };
         input.validate().expect("consistent input");
         input.assert_valid();
         assert_eq!(input.train_labels(), vec![1.0, 0.0]);
@@ -182,9 +195,15 @@ mod tests {
         let g = GraphBuilder::new(2).build();
         let x = Matrix::ones(2, 1);
         let labels = [0.0, 1.0];
-        let err = TrainInput { graph: &g, features: &x, labels: &labels, train: &[], val: &[] }
-            .validate()
-            .expect_err("empty train split must fail");
+        let err = TrainInput {
+            graph: &g,
+            features: &x,
+            labels: &labels,
+            train: &[],
+            val: &[],
+        }
+        .validate()
+        .expect_err("empty train split must fail");
         assert_eq!(err, InputError::EmptyTrainSplit);
         assert_eq!(err.to_string(), "no training nodes");
     }
@@ -194,11 +213,21 @@ mod tests {
         let g = GraphBuilder::new(2).build();
         let x = Matrix::ones(3, 1);
         let labels = [0.0, 1.0];
-        let err = TrainInput { graph: &g, features: &x, labels: &labels, train: &[0], val: &[] }
-            .validate()
-            .expect_err("wrong feature row count must fail");
+        let err = TrainInput {
+            graph: &g,
+            features: &x,
+            labels: &labels,
+            train: &[0],
+            val: &[],
+        }
+        .validate()
+        .expect_err("wrong feature row count must fail");
         match err {
-            InputError::ShapeMismatch { what, expected, found } => {
+            InputError::ShapeMismatch {
+                what,
+                expected,
+                found,
+            } => {
                 assert_eq!(what, "feature rows vs nodes");
                 assert_eq!((expected, found), (2, 3));
             }
@@ -211,9 +240,15 @@ mod tests {
         let g = GraphBuilder::new(2).build();
         let x = Matrix::ones(2, 1);
         let labels = [0.0, 1.0];
-        let err = TrainInput { graph: &g, features: &x, labels: &labels, train: &[0], val: &[5] }
-            .validate()
-            .expect_err("out-of-range val index must fail");
+        let err = TrainInput {
+            graph: &g,
+            features: &x,
+            labels: &labels,
+            train: &[0],
+            val: &[5],
+        }
+        .validate()
+        .expect_err("out-of-range val index must fail");
         assert_eq!(err, InputError::SplitIndexOutOfRange { index: 5, nodes: 2 });
     }
 
@@ -223,22 +258,39 @@ mod tests {
         let mut x = Matrix::ones(2, 2);
         x.set(1, 0, f32::NAN);
         let labels = [0.0, 1.0];
-        let err = TrainInput { graph: &g, features: &x, labels: &labels, train: &[0], val: &[] }
-            .validate()
-            .expect_err("NaN feature must fail");
+        let err = TrainInput {
+            graph: &g,
+            features: &x,
+            labels: &labels,
+            train: &[0],
+            val: &[],
+        }
+        .validate()
+        .expect_err("NaN feature must fail");
         assert_eq!(err, InputError::NonFiniteFeature { row: 1, col: 0 });
 
         let ok = Matrix::ones(2, 2);
         let bad_labels = [0.0, f32::INFINITY];
-        let err =
-            TrainInput { graph: &g, features: &ok, labels: &bad_labels, train: &[0, 1], val: &[] }
-                .validate()
-                .expect_err("infinite train label must fail");
+        let err = TrainInput {
+            graph: &g,
+            features: &ok,
+            labels: &bad_labels,
+            train: &[0, 1],
+            val: &[],
+        }
+        .validate()
+        .expect_err("infinite train label must fail");
         assert_eq!(err, InputError::NonFiniteLabel { index: 1 });
         // A non-finite label outside every split is never read, so it passes.
-        TrainInput { graph: &g, features: &ok, labels: &bad_labels, train: &[0], val: &[] }
-            .validate()
-            .expect("unused label is not validated");
+        TrainInput {
+            graph: &g,
+            features: &ok,
+            labels: &bad_labels,
+            train: &[0],
+            val: &[],
+        }
+        .validate()
+        .expect("unused label is not validated");
     }
 
     #[test]
@@ -247,7 +299,13 @@ mod tests {
         let g = GraphBuilder::new(2).build();
         let x = Matrix::ones(2, 1);
         let labels = [0.0, 1.0];
-        TrainInput { graph: &g, features: &x, labels: &labels, train: &[], val: &[] }
-            .assert_valid();
+        TrainInput {
+            graph: &g,
+            features: &x,
+            labels: &labels,
+            train: &[],
+            val: &[],
+        }
+        .assert_valid();
     }
 }

@@ -1,0 +1,998 @@
+//! Mini-batch neighbor-sampled training: the GraphSAGE-style alternative
+//! driver behind every `fit*` entry point when
+//! [`FairwosConfig::minibatch`](crate::MinibatchConfig) is set.
+//!
+//! Each epoch of every stage shards the node set into BFS partition blocks
+//! (see [`fairwos_graph::sampling`]), samples each block's layered
+//! computation subgraph with deterministic per-node fanout, and runs
+//! forward/backward/Adam per block over *restrictions* of the full graph's
+//! propagation matrices. See `docs/SCALING.md` for the knobs and the full
+//! determinism contract; the load-bearing pieces are:
+//!
+//! * **Restriction, not renormalization** — local propagation matrices keep
+//!   the full matrix's values verbatim on the sampled (symmetrized) edge
+//!   set, so with one block covering every node at infinite fanout each
+//!   kernel call is bit-identical to the full-batch path, and
+//!   `tests/minibatch_equiv.rs` pins full-batch ≡ mini-batch bit for bit.
+//! * **Dedicated sampler RNG streams** — batch salts and shuffles draw from
+//!   their own ChaCha streams, never the main training stream, so enabling
+//!   mini-batching does not perturb weight initialization.
+//! * **Per-epoch aggregates** — losses/distances are aggregated across
+//!   batches weighted by train-node count, with a single contributing batch
+//!   reported verbatim (no `(x·k)/k` rounding), so histories, telemetry,
+//!   and the divergence watchdog keep their full-batch semantics.
+//! * **Mid-epoch cursors** — with
+//!   [`MinibatchConfig::checkpoint_batches`](crate::MinibatchConfig) > 0 a
+//!   resumable run also checkpoints inside an epoch; the
+//!   [`BatchCursor`](crate::checkpoint::BatchCursor) re-enters the epoch at
+//!   the exact batch, bit-identically (`tests/checkpoint_faults.rs`).
+//!
+//! Deviations from the full-batch path, by design: the counterfactual top-K
+//! search runs per batch over the sampled frontier (so
+//! [`FairwosConfig::cf_refresh_interval`](crate::FairwosConfig) > 1 is
+//! ignored and checkpoints carry no `cf` snapshot), and λ updates once per
+//! batch rather than once per epoch (identical when one block covers the
+//! graph).
+
+use crate::checkpoint::{BatchCursor, CheckpointLog, TrainingCheckpoint};
+use crate::counterfactual::{search_topk_batch, SearchSpace};
+use crate::encoder::{binarize_at_medians, Encoder};
+use crate::lambda::{update_lambda, update_lambda_proportional};
+use crate::persist::import_gnn_weights;
+use crate::trainer::{
+    capture_checkpoint, eval_split_metrics, journal_divergence, restore, snapshot, CounterDeltas,
+    FinetuneEpochStats, TrainProbe, TrainedFairwos, TrainingHistory,
+};
+use crate::workspace::TrainerWorkspace;
+use crate::{CfStrategy, FairwosConfig, TrainError, TrainInput, WeightMode};
+use fairwos_fairness::accuracy;
+use fairwos_graph::{AdjacencyCache, Graph, NeighborSampler, SubgraphSample};
+use fairwos_nn::loss::{bce_with_logits_masked_ws, sigmoid, weighted_sq_l2_rows_acc};
+use fairwos_nn::{Adam, Gnn, GnnConfig, GraphContext, Optimizer, Workspace};
+use fairwos_obs::{Divergence, EpochRecord, Watchdog};
+use fairwos_tensor::{export_rng_state, restore_rng, seeded_rng, FairRng, Matrix, RngState};
+use rand::Rng;
+use rayon::prelude::*;
+
+/// ChaCha stream id of the stage-2/3 batch scheduler (per-epoch salts and
+/// optional shuffles). Distinct from the main training stream (0) and from
+/// every per-node sampling stream, so scheduling draws never perturb weight
+/// initialization or dropout.
+const SAMPLER_STREAM: u64 = 0x4657_5342_4154_4348;
+
+/// ChaCha stream id of the stage-1 (encoder) batch scheduler. Stage 1
+/// always completes before the first checkpoint, so this stream is never
+/// persisted.
+const ENCODER_SAMPLER_STREAM: u64 = 0x4657_5345_4e43_5331;
+
+/// The per-run batching schedule: a BFS partition of the node set plus the
+/// deterministic neighbor sampler that expands each block into its
+/// computation subgraph.
+pub struct BatchPlan {
+    blocks: Vec<Vec<usize>>,
+    sampler: NeighborSampler,
+    shuffle: bool,
+}
+
+/// One prepared mini-batch: the sampled subgraph, its propagation context
+/// (restricted from the full graph's matrices), and the batch's slice of
+/// the training split in local ids.
+pub(crate) struct PreparedBatch {
+    /// The sampled computation subgraph (global↔local remapping).
+    pub(crate) sub: SubgraphSample,
+    /// Propagation context over the restricted matrices.
+    pub(crate) ctx: GraphContext,
+    /// Local ids of the block's train nodes, in `input.train` order.
+    pub(crate) train_locals: Vec<usize>,
+    /// Labels of every subgraph node, indexed by local id.
+    pub(crate) labels_local: Vec<f32>,
+}
+
+impl BatchPlan {
+    /// Partitions `graph` into blocks of at most `batch_nodes` nodes and
+    /// pairs them with `sampler`.
+    ///
+    /// # Panics
+    /// If `batch_nodes` is zero (checked by
+    /// [`FairwosConfig::validate`](crate::FairwosConfig)).
+    pub fn new(graph: &Graph, batch_nodes: usize, sampler: NeighborSampler, shuffle: bool) -> Self {
+        Self {
+            blocks: fairwos_graph::partition(graph, batch_nodes),
+            sampler,
+            shuffle,
+        }
+    }
+
+    /// Number of mini-batches per epoch.
+    pub fn num_batches(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Draws the epoch's sampling salt (and, with shuffling enabled, the
+    /// batch visit order) from the dedicated scheduler stream.
+    pub(crate) fn epoch_begin(&self, rng: &mut FairRng) -> (u64, Vec<usize>) {
+        let salt = rng.gen::<u64>();
+        let mut order: Vec<usize> = (0..self.blocks.len()).collect();
+        if self.shuffle {
+            for i in (1..order.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                order.swap(i, j);
+            }
+        }
+        (salt, order)
+    }
+
+    /// Samples and prepares every batch of one epoch, in `order`, in
+    /// parallel (rayon). Preparation is read-only over the full graph and
+    /// per-batch independent, so the parallel result is order-preserving
+    /// and identical to a serial loop; the sequential training loop then
+    /// consumes the batches in the same fixed order, keeping gradient
+    /// accumulation deterministic.
+    pub(crate) fn prepare_epoch(
+        &self,
+        input: &TrainInput<'_>,
+        ctx_full: &GraphContext,
+        salt: u64,
+        order: &[usize],
+    ) -> Vec<PreparedBatch> {
+        let _obs = fairwos_obs::span("train/minibatch/prepare");
+        order
+            .par_iter()
+            .map(|&bi| self.prepare_one(input, ctx_full, salt, bi))
+            .collect()
+    }
+
+    fn prepare_one(
+        &self,
+        input: &TrainInput<'_>,
+        ctx_full: &GraphContext,
+        salt: u64,
+        bi: usize,
+    ) -> PreparedBatch {
+        let block = &self.blocks[bi];
+        let sub = self.sampler.sample_block(input.graph, salt, block);
+        fairwos_obs::counter_add("minibatch/sampled_nodes", sub.num_nodes() as u64);
+        // Restrict all four propagation matrices: the batch context must
+        // serve whichever normalization the backbone (and the stage-1 GCN
+        // encoder) asks for. The full matrices are built lazily once per
+        // run by the shared cache; restriction keeps their values verbatim.
+        let gcn = sub.restrict(ctx_full.gcn_adj());
+        let sum = sub.restrict(ctx_full.sum_adj());
+        let mean = sub.restrict(ctx_full.mean_adj());
+        let mean_t = sub.restrict(ctx_full.mean_adj_t());
+        let ctx = GraphContext::from_cache(AdjacencyCache::with_prebuilt(
+            sub.local_graph(),
+            gcn,
+            sum,
+            mean,
+            mean_t,
+        ));
+        let labels_local: Vec<f32> = sub.nodes().iter().map(|&v| input.labels[v]).collect();
+        let mut train_locals = Vec::new();
+        for &v in input.train {
+            if block.binary_search(&v).is_ok() {
+                // audit:allow(FW001): block nodes are always in the subgraph
+                train_locals.push(sub.local_of(v).expect("block node sampled"));
+            }
+        }
+        PreparedBatch {
+            sub,
+            ctx,
+            train_locals,
+            labels_local,
+        }
+    }
+}
+
+/// Copies the given global rows of `src` into a pooled local matrix
+/// (`Workspace::take` + row fill — `Matrix::select_rows` would allocate
+/// outside the pool on every batch).
+pub(crate) fn gather_rows(src: &Matrix, nodes: &[usize], ws: &mut Workspace) -> Matrix {
+    let mut out = ws.take(nodes.len(), src.cols());
+    for (l, &v) in nodes.iter().enumerate() {
+        out.row_mut(l).copy_from_slice(src.row(v));
+    }
+    out
+}
+
+/// Train-count-weighted mean of per-batch `(value, count)` losses. A single
+/// contributing batch is reported verbatim — no `(x·k)/k` f32 rounding —
+/// which is what makes the one-block mini-batch epoch bit-identical to a
+/// full-batch epoch.
+pub(crate) fn weighted_mean(parts: &[(f32, u64)]) -> f32 {
+    match parts {
+        [] => 0.0,
+        [(value, _)] => *value,
+        _ => {
+            let total: u64 = parts.iter().map(|&(_, c)| c).sum();
+            parts.iter().map(|&(v, c)| v * c as f32).sum::<f32>() / total as f32
+        }
+    }
+}
+
+/// [`weighted_mean`] for a value series parallel to the `(value, count)`
+/// utility series (fairness losses share the utility batches' weights).
+fn weighted_mean_with(values: &[f32], weights: &[(f32, u64)]) -> f32 {
+    match values.len() {
+        0 => 0.0,
+        1 => values[0],
+        _ => {
+            let total: u64 = weights.iter().map(|&(_, c)| c).sum();
+            values
+                .iter()
+                .zip(weights)
+                .map(|(&v, &(_, c))| v * c as f32)
+                .sum::<f32>()
+                / total as f32
+        }
+    }
+}
+
+/// Componentwise [`weighted_mean_with`] over per-batch attribute-distance
+/// vectors.
+fn weighted_mean_rows(rows: &[Vec<f32>], weights: &[(f32, u64)]) -> Vec<f32> {
+    match rows.len() {
+        0 => Vec::new(),
+        1 => rows[0].clone(),
+        _ => {
+            let total: u64 = weights.iter().map(|&(_, c)| c).sum();
+            let dim = rows[0].len();
+            (0..dim)
+                .map(|i| {
+                    rows.iter()
+                        .zip(weights)
+                        .map(|(r, &(_, c))| r[i] * c as f32)
+                        .sum::<f32>()
+                        / total as f32
+                })
+                .collect()
+        }
+    }
+}
+
+/// The mini-batch counterpart of `FairwosTrainer::run`: same stages, same
+/// checkpoint/resume/telemetry/watchdog semantics, with every θ-step driven
+/// by one sampled block instead of the whole graph. Dispatched to by `run`
+/// when [`FairwosConfig::minibatch`](crate::MinibatchConfig) is set.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_minibatch(
+    cfg: &FairwosConfig,
+    input: &TrainInput<'_>,
+    seed: u64,
+    tws: &mut TrainerWorkspace,
+    probe: &mut TrainProbe<'_>,
+    mut persist: Option<&mut CheckpointLog<'_>>,
+    resume: Option<TrainingCheckpoint>,
+    lr_scale: f32,
+) -> Result<TrainedFairwos, TrainError> {
+    input.validate()?;
+    if let Some(c) = resume.as_ref() {
+        if c.stage != 2 && c.stage != 3 {
+            return Err(TrainError::Persist(crate::persist::PersistError::Parse(
+                format!("checkpoint stage {} is not resumable", c.stage),
+            )));
+        }
+    }
+    if let Some(ev) = &probe.eval {
+        assert_eq!(
+            ev.nodes.len(),
+            ev.sens.len(),
+            "telemetry eval nodes vs sens length"
+        );
+        assert!(!ev.nodes.is_empty(), "telemetry eval split is empty");
+    }
+    // audit:allow(FW001): `run` dispatches here only when the config is Some
+    let mb = cfg.minibatch.as_ref().expect("mini-batch config present");
+    let lr = cfg.learning_rate * lr_scale;
+    let ft_lr = cfg.finetune_learning_rate * lr_scale;
+    let resumed_any = resume.is_some();
+    let mut rng = seeded_rng(seed);
+    fairwos_obs::scale_max("train/nodes", input.graph.num_nodes() as u64);
+    fairwos_obs::scale_max("train/edges", input.graph.num_edges() as u64);
+    let ctx = {
+        let _obs = fairwos_obs::span("train/graph_context");
+        GraphContext::new(input.graph)
+    };
+    let plan = BatchPlan::new(
+        input.graph,
+        mb.batch_nodes,
+        NeighborSampler::new(seed, mb.fanout.clone()),
+        mb.shuffle,
+    );
+    fairwos_obs::scale_max("minibatch/batches_per_epoch", plan.num_batches() as u64);
+    // Scheduler RNGs: one per sampled stage, on dedicated streams of the
+    // run seed. The stage-2/3 stream is the one checkpoints persist.
+    let mut srng = seeded_rng(seed);
+    srng.set_stream(SAMPLER_STREAM);
+
+    // Stage 1: encoder pre-training over mini-batches (resume rebuilds the
+    // frozen encoder from stored weights exactly like the full-batch path).
+    let mut resume = resume;
+    let (mut encoder, x0, encoder_losses) = if let Some(c) = resume.as_mut() {
+        let stored = c.encoder_weights.take();
+        let losses = std::mem::take(&mut c.encoder_losses);
+        match stored {
+            Some(w) => {
+                let enc = Encoder::from_weights(input.features.cols(), cfg.encoder_dim, &w)
+                    .map_err(TrainError::Persist)?;
+                let x0 = enc.extract(&ctx, input.features);
+                (Some(enc), x0, losses)
+            }
+            None => (None, input.features.clone(), losses),
+        }
+    } else if cfg.use_encoder {
+        let _obs = fairwos_obs::span("train/stage1_encoder");
+        // The 1-layer GCN encoder samples with the first classifier fanout.
+        let enc_plan = BatchPlan::new(
+            input.graph,
+            mb.batch_nodes,
+            NeighborSampler::new(seed, vec![mb.fanout[0]]),
+            mb.shuffle,
+        );
+        let mut enc_srng = seeded_rng(seed);
+        enc_srng.set_stream(ENCODER_SAMPLER_STREAM);
+        let enc = Encoder::pretrain_minibatch(
+            input,
+            &ctx,
+            cfg.encoder_dim,
+            cfg.encoder_epochs,
+            lr,
+            &mut rng,
+            &enc_plan,
+            &mut enc_srng,
+        );
+        let x0 = enc.extract(&ctx, input.features);
+        let losses = enc.losses.clone();
+        (Some(enc), x0, losses)
+    } else {
+        (None, input.features.clone(), Vec::new())
+    };
+    if let Some((epoch, &loss)) = encoder_losses
+        .iter()
+        .enumerate()
+        .find(|(_, l)| !l.is_finite())
+    {
+        let reason = Divergence::NonFiniteLoss { loss: loss as f64 };
+        return Err(journal_divergence(1, epoch, reason).into());
+    }
+
+    let num_attrs = x0.cols();
+    let mut lambda = match resume.as_mut() {
+        Some(c) => std::mem::take(&mut c.lambda),
+        None => vec![1.0 / num_attrs as f32; num_attrs],
+    };
+
+    let gnn_cfg = GnnConfig {
+        backbone: cfg.backbone,
+        in_dim: x0.cols(),
+        hidden_dim: cfg.hidden_dim,
+        num_layers: cfg.num_layers,
+        dropout: 0.0,
+    };
+    let mut gnn = if resume.is_some() {
+        Gnn::new(gnn_cfg, &mut seeded_rng(0))
+    } else {
+        Gnn::new(gnn_cfg, &mut rng)
+    };
+    if let Some(c) = resume.as_ref() {
+        import_gnn_weights(&mut gnn, &c.gnn_weights).map_err(TrainError::Persist)?;
+        rng = restore_rng(&c.rng);
+        if let Some(s) = &c.sampler_rng {
+            srng = restore_rng(s);
+        }
+    }
+    let rng_state = export_rng_state(&rng);
+    let enc_weights: Option<Vec<Matrix>> = if persist.is_some() {
+        encoder.as_mut().map(Encoder::export_weights)
+    } else {
+        None
+    };
+
+    let mut opt = Adam::new(lr);
+    let mut classifier_losses = Vec::new();
+    let mut best_val = f64::NEG_INFINITY;
+    let mut best_params: Vec<Matrix> = Vec::new();
+    let mut since_best = 0usize;
+    let mut stage2_start = 0usize;
+    let mut cursor_resume: Option<BatchCursor> = None;
+    let mut pseudo_from_resume: Option<Vec<bool>> = None;
+    let mut finetune_resume: Vec<FinetuneEpochStats> = Vec::new();
+    let mut stage3_resume: Option<(
+        usize,
+        crate::checkpoint::AdamSnapshot,
+        Vec<f64>,
+        Option<BatchCursor>,
+    )> = None;
+    let ws = &mut tws.nn;
+    let mut deltas = probe.telemetry.is_some().then(CounterDeltas::new);
+    let mut watchdog = Watchdog::new(cfg.watchdog.policy());
+    match resume.take() {
+        Some(c) if c.stage == 2 => {
+            opt.import_state(c.opt.t, c.opt.m, c.opt.v);
+            classifier_losses = c.classifier_losses;
+            best_val = c.best_val.unwrap_or(f64::NEG_INFINITY);
+            best_params = c.best_params;
+            since_best = c.since_best;
+            watchdog.restore_window(&c.watchdog_window);
+            stage2_start = c.epoch;
+            cursor_resume = c.batch_cursor;
+        }
+        Some(c) => {
+            classifier_losses = c.classifier_losses;
+            stage2_start = cfg.classifier_epochs;
+            pseudo_from_resume = Some(c.pseudo_labels);
+            finetune_resume = c.finetune;
+            stage3_resume = Some((c.epoch, c.opt, c.watchdog_window, c.batch_cursor));
+        }
+        None => {}
+    }
+    if !resumed_any {
+        if let Some(log) = persist.as_mut() {
+            let ckpt = capture_checkpoint(
+                seed,
+                cfg,
+                2,
+                0,
+                lr_scale,
+                &rng_state,
+                &enc_weights,
+                &encoder_losses,
+                &mut gnn,
+                &opt,
+                &lambda,
+                &classifier_losses,
+                best_val,
+                &best_params,
+                since_best,
+                &[],
+                &[],
+                None,
+                Some(export_rng_state(&srng)),
+                None,
+                &watchdog,
+            );
+            log.save(&ckpt).map_err(TrainError::Persist)?;
+        }
+    }
+
+    // Stage 2: classifier pre-training, one Adam step per block.
+    let obs_stage2 = fairwos_obs::span("train/stage2_classifier");
+    for epoch in stage2_start..cfg.classifier_epochs {
+        if since_best >= cfg.patience.max(1) {
+            break;
+        }
+        fairwos_obs::journal_epoch(2, epoch as u64);
+        let _obs = fairwos_obs::span("train/stage2/epoch");
+        let cursor = cursor_resume.take();
+        let epoch_rng = match &cursor {
+            // Mid-epoch resume: rewind the scheduler to the epoch start so
+            // the salt/order draws below replay exactly.
+            Some(cu) => {
+                srng = restore_rng(&cu.epoch_rng);
+                cu.epoch_rng.clone()
+            }
+            None => export_rng_state(&srng),
+        };
+        let (salt, order) = plan.epoch_begin(&mut srng);
+        let eval_due =
+            probe.telemetry.is_some() && probe.eval.is_some() && epoch % cfg.eval_interval == 0;
+        // Full-graph logits at the epoch start (θ_e) supply validation
+        // accuracy and eval metrics — the mini-batch counterpart of the
+        // full-batch path's pre-step logits. Dropout is 0 in this
+        // architecture, so the forward draws nothing from the RNG stream.
+        // A mid-epoch resume skips this (θ is already past some steps) and
+        // uses the value the cursor carried instead.
+        let probs = if cursor.is_none() && (!input.val.is_empty() || eval_due) {
+            let out = gnn.forward_train_ws(&ctx, &x0, &mut rng, ws);
+            let p = sigmoid(&out.logits).col(0);
+            ws.give(out.logits);
+            ws.give(out.embeddings);
+            Some(p)
+        } else {
+            None
+        };
+        let mut val_acc_held: Option<f64> = cursor.as_ref().and_then(|c| c.val_acc);
+        if let Some(p) = &probs {
+            if !input.val.is_empty() {
+                let val_probs: Vec<f32> = input.val.iter().map(|&v| p[v]).collect();
+                let val_labels: Vec<f32> = input.val.iter().map(|&v| input.labels[v]).collect();
+                val_acc_held = Some(accuracy(&val_probs, &val_labels));
+            }
+        }
+        let batches = plan.prepare_epoch(input, &ctx, salt, &order);
+        let start_batch = cursor.as_ref().map_or(0, |c| c.batch);
+        let mut agg_u: Vec<(f32, u64)> =
+            cursor.as_ref().map_or_else(Vec::new, |c| c.utility.clone());
+        let mut grad_max: f32 = cursor.as_ref().map_or(0.0, |c| c.grad_max);
+        for (bi, b) in batches.iter().enumerate() {
+            if bi < start_batch || b.train_locals.is_empty() {
+                continue;
+            }
+            let _obs = fairwos_obs::span("train/minibatch/batch");
+            fairwos_obs::counter_add("minibatch/batches", 1);
+            gnn.zero_grad();
+            let x_local = gather_rows(&x0, b.sub.nodes(), ws);
+            let out = gnn.forward_train_ws(&b.ctx, &x_local, &mut rng, ws);
+            let (loss, dlogits) =
+                bce_with_logits_masked_ws(&out.logits, &b.labels_local, &b.train_locals, ws);
+            agg_u.push((loss, b.train_locals.len() as u64));
+            gnn.backward_ws(&b.ctx, &dlogits, None, ws);
+            ws.give(dlogits);
+            grad_max = grad_max.max(gnn.grad_norm());
+            opt.step(&mut gnn.params_mut());
+            ws.give(out.logits);
+            ws.give(out.embeddings);
+            ws.give(x_local);
+            if let Some(log) = persist.as_mut() {
+                if mb.checkpoint_batches > 0
+                    && (bi + 1) % mb.checkpoint_batches == 0
+                    && bi + 1 < batches.len()
+                {
+                    let cu = BatchCursor {
+                        batch: bi + 1,
+                        epoch_rng: epoch_rng.clone(),
+                        val_acc: val_acc_held,
+                        utility: agg_u.clone(),
+                        fairness: Vec::new(),
+                        attr_d: Vec::new(),
+                        grad_max,
+                    };
+                    let ckpt = capture_checkpoint(
+                        seed,
+                        cfg,
+                        2,
+                        epoch,
+                        lr_scale,
+                        &rng_state,
+                        &enc_weights,
+                        &encoder_losses,
+                        &mut gnn,
+                        &opt,
+                        &lambda,
+                        &classifier_losses,
+                        best_val,
+                        &best_params,
+                        since_best,
+                        &[],
+                        &[],
+                        None,
+                        Some(epoch_rng.clone()),
+                        Some(cu),
+                        &watchdog,
+                    );
+                    log.save(&ckpt).map_err(TrainError::Persist)?;
+                }
+            }
+        }
+        let epoch_loss = weighted_mean(&agg_u);
+        classifier_losses.push(epoch_loss);
+        let val_acc = val_acc_held.unwrap_or(-(epoch_loss as f64));
+        if let (Some(sink), Some(deltas)) = (probe.telemetry.as_deref_mut(), deltas.as_mut()) {
+            let eval = probe
+                .eval
+                .filter(|_| eval_due)
+                .zip(probs.as_ref())
+                .map(|(ev, p)| eval_split_metrics(p, input.labels, &ev));
+            sink.push(EpochRecord {
+                stage: 2,
+                epoch: epoch as u64,
+                loss_cls: epoch_loss as f64,
+                loss_inv: 0.0,
+                loss_suf: 0.0,
+                lambda: Vec::new(),
+                grad_norm: grad_max as f64,
+                counters: deltas.tick(),
+                eval,
+            });
+        }
+        if let Some(reason) = watchdog.check(epoch_loss as f64, grad_max as f64, None) {
+            return Err(journal_divergence(2, epoch, reason).into());
+        }
+        if val_acc > best_val {
+            best_val = val_acc;
+            best_params = snapshot(&mut gnn);
+            since_best = 0;
+        } else {
+            since_best += 1;
+        }
+        if let Some(log) = persist.as_mut() {
+            if (epoch + 1) % cfg.recovery.checkpoint_interval == 0 {
+                let ckpt = capture_checkpoint(
+                    seed,
+                    cfg,
+                    2,
+                    epoch + 1,
+                    lr_scale,
+                    &rng_state,
+                    &enc_weights,
+                    &encoder_losses,
+                    &mut gnn,
+                    &opt,
+                    &lambda,
+                    &classifier_losses,
+                    best_val,
+                    &best_params,
+                    since_best,
+                    &[],
+                    &[],
+                    None,
+                    Some(export_rng_state(&srng)),
+                    None,
+                    &watchdog,
+                );
+                log.save(&ckpt).map_err(TrainError::Persist)?;
+            }
+        }
+    }
+    if !best_params.is_empty() {
+        restore(&mut gnn, &best_params);
+    }
+    drop(obs_stage2);
+
+    // Pseudo-labels from the full graph, exactly as in the full-batch path.
+    let pseudo_labels = match pseudo_from_resume.take() {
+        Some(labels) => labels,
+        None => {
+            let probs = sigmoid(&gnn.forward_inference(&ctx, &x0).logits).col(0);
+            let mut labels: Vec<bool> = probs.iter().map(|&p| p >= 0.5).collect();
+            for &v in input.train {
+                labels[v] = input.labels[v] >= 0.5;
+            }
+            labels
+        }
+    };
+    let bits = binarize_at_medians(&x0);
+
+    // Stage 3: fine-tuning with a per-batch counterfactual search over the
+    // sampled frontier and per-batch λ updates.
+    let mut finetune = finetune_resume;
+    if cfg.use_fairness && cfg.alpha > 0.0 {
+        let _obs = fairwos_obs::span("train/stage3_finetune");
+        debug_assert_eq!(
+            cfg.counterfactual,
+            CfStrategy::SearchReal,
+            "validate() rejects perturbation counterfactuals under mini-batching"
+        );
+        let mut opt = Adam::new(ft_lr);
+        let mut watchdog = Watchdog::new(cfg.watchdog.policy());
+        let mut stage3_start = 0usize;
+        let mut cursor_resume: Option<BatchCursor> = None;
+        match stage3_resume.take() {
+            Some((epoch0, snap, window, cur)) => {
+                stage3_start = epoch0;
+                opt.import_state(snap.t, snap.m, snap.v);
+                watchdog.restore_window(&window);
+                cursor_resume = cur;
+            }
+            None => {
+                if let Some(log) = persist.as_mut() {
+                    let ckpt = capture_checkpoint(
+                        seed,
+                        cfg,
+                        3,
+                        0,
+                        lr_scale,
+                        &rng_state,
+                        &enc_weights,
+                        &encoder_losses,
+                        &mut gnn,
+                        &opt,
+                        &lambda,
+                        &classifier_losses,
+                        f64::NEG_INFINITY,
+                        &[],
+                        0,
+                        &pseudo_labels,
+                        &finetune,
+                        None,
+                        Some(export_rng_state(&srng)),
+                        None,
+                        &watchdog,
+                    );
+                    log.save(&ckpt).map_err(TrainError::Persist)?;
+                }
+            }
+        }
+        for epoch in stage3_start..cfg.finetune_epochs {
+            fairwos_obs::journal_epoch(3, epoch as u64);
+            let _obs = fairwos_obs::span("train/stage3/epoch");
+            let cursor = cursor_resume.take();
+            let epoch_rng = match &cursor {
+                Some(cu) => {
+                    srng = restore_rng(&cu.epoch_rng);
+                    cu.epoch_rng.clone()
+                }
+                None => export_rng_state(&srng),
+            };
+            let (salt, order) = plan.epoch_begin(&mut srng);
+            let eval_due =
+                probe.telemetry.is_some() && probe.eval.is_some() && epoch % cfg.eval_interval == 0;
+            let probs = (cursor.is_none() && eval_due).then(|| {
+                let out = gnn.forward_train_ws(&ctx, &x0, &mut rng, ws);
+                let p = sigmoid(&out.logits).col(0);
+                ws.give(out.logits);
+                ws.give(out.embeddings);
+                p
+            });
+            let batches = plan.prepare_epoch(input, &ctx, salt, &order);
+            let start_batch = cursor.as_ref().map_or(0, |c| c.batch);
+            let mut agg_u: Vec<(f32, u64)> =
+                cursor.as_ref().map_or_else(Vec::new, |c| c.utility.clone());
+            let mut agg_f: Vec<f32> = cursor
+                .as_ref()
+                .map_or_else(Vec::new, |c| c.fairness.clone());
+            let mut agg_d: Vec<Vec<f32>> =
+                cursor.as_ref().map_or_else(Vec::new, |c| c.attr_d.clone());
+            let mut grad_max: f32 = cursor.as_ref().map_or(0.0, |c| c.grad_max);
+            for (bi, b) in batches.iter().enumerate() {
+                if bi < start_batch || b.train_locals.is_empty() {
+                    continue;
+                }
+                let _obs = fairwos_obs::span("train/minibatch/batch");
+                fairwos_obs::counter_add("minibatch/batches", 1);
+                gnn.zero_grad();
+                let x_local = gather_rows(&x0, b.sub.nodes(), ws);
+                let out = gnn.forward_train_ws(&b.ctx, &x_local, &mut rng, ws);
+                let (loss_u, dlogits) =
+                    bce_with_logits_masked_ws(&out.logits, &b.labels_local, &b.train_locals, ws);
+                let h_scale = {
+                    let s: f32 = b
+                        .train_locals
+                        .iter()
+                        .map(|&v| out.embeddings.row(v).iter().map(|x| x * x).sum::<f32>())
+                        .sum();
+                    (s / b.train_locals.len() as f32).max(1e-6)
+                };
+                // The top-K search runs per batch over the sampled frontier
+                // (batch train nodes, local ids) — the per-batch mode of
+                // the counterfactual module. Refreshed every batch:
+                // `cf_refresh_interval` is a full-batch knob and is ignored
+                // here (local ids are not stable across batches).
+                let pl_local: Vec<bool> = b.sub.nodes().iter().map(|&v| pseudo_labels[v]).collect();
+                let bits_local: Vec<Vec<bool>> =
+                    b.sub.nodes().iter().map(|&v| bits[v].clone()).collect();
+                let space = SearchSpace {
+                    embeddings: &out.embeddings,
+                    pseudo_labels: &pl_local,
+                    pseudo_sensitive: &bits_local,
+                    candidates: &b.train_locals,
+                };
+                let sets = search_topk_batch(&space, &b.train_locals, cfg.top_k);
+                let d: Vec<f32> = sets
+                    .attr_distances(&out.embeddings)
+                    .iter()
+                    .map(|&x| x / h_scale)
+                    .collect();
+                let mut dh = ws.take(out.embeddings.rows(), out.embeddings.cols());
+                let mut loss_fair = 0.0f32;
+                for (i, &li) in lambda.iter().enumerate() {
+                    let pairs = sets.flat_pairs(i);
+                    if li > 0.0 && !pairs.is_empty() {
+                        let w = cfg.alpha * li / h_scale / pairs.len() as f32;
+                        loss_fair += weighted_sq_l2_rows_acc(
+                            &out.embeddings,
+                            &out.embeddings,
+                            pairs,
+                            w,
+                            &mut dh,
+                        );
+                    }
+                }
+                gnn.backward_ws(&b.ctx, &dlogits, Some(&dh), ws);
+                ws.give(dh);
+                ws.give(dlogits);
+                grad_max = grad_max.max(gnn.grad_norm());
+                opt.step(&mut gnn.params_mut());
+                if cfg.use_weight_update {
+                    let _obs = fairwos_obs::span("train/stage3/lambda_update");
+                    lambda = match cfg.weight_mode {
+                        WeightMode::KktClosedForm => update_lambda(&d, cfg.alpha),
+                        WeightMode::ProportionalToDistance => update_lambda_proportional(&d),
+                    };
+                }
+                agg_u.push((loss_u, b.train_locals.len() as u64));
+                agg_f.push(loss_fair);
+                agg_d.push(d);
+                ws.give(out.logits);
+                ws.give(out.embeddings);
+                ws.give(x_local);
+                if let Some(log) = persist.as_mut() {
+                    if mb.checkpoint_batches > 0
+                        && (bi + 1) % mb.checkpoint_batches == 0
+                        && bi + 1 < batches.len()
+                    {
+                        let cu = BatchCursor {
+                            batch: bi + 1,
+                            epoch_rng: epoch_rng.clone(),
+                            val_acc: None,
+                            utility: agg_u.clone(),
+                            fairness: agg_f.clone(),
+                            attr_d: agg_d.clone(),
+                            grad_max,
+                        };
+                        let ckpt = capture_checkpoint(
+                            seed,
+                            cfg,
+                            3,
+                            epoch,
+                            lr_scale,
+                            &rng_state,
+                            &enc_weights,
+                            &encoder_losses,
+                            &mut gnn,
+                            &opt,
+                            &lambda,
+                            &classifier_losses,
+                            f64::NEG_INFINITY,
+                            &[],
+                            0,
+                            &pseudo_labels,
+                            &finetune,
+                            None,
+                            Some(epoch_rng.clone()),
+                            Some(cu),
+                            &watchdog,
+                        );
+                        log.save(&ckpt).map_err(TrainError::Persist)?;
+                    }
+                }
+            }
+            let loss_u = weighted_mean(&agg_u);
+            let loss_fair = weighted_mean_with(&agg_f, &agg_u);
+            let d_epoch = weighted_mean_rows(&agg_d, &agg_u);
+            if let (Some(sink), Some(deltas)) = (probe.telemetry.as_deref_mut(), deltas.as_mut()) {
+                let eval = probe
+                    .eval
+                    .filter(|_| eval_due)
+                    .zip(probs.as_ref())
+                    .map(|(ev, p)| eval_split_metrics(p, input.labels, &ev));
+                let loss_suf = if d_epoch.is_empty() {
+                    0.0
+                } else {
+                    d_epoch.iter().map(|&x| x as f64).sum::<f64>() / d_epoch.len() as f64
+                };
+                sink.push(EpochRecord {
+                    stage: 3,
+                    epoch: epoch as u64,
+                    loss_cls: loss_u as f64,
+                    loss_inv: loss_fair as f64,
+                    loss_suf,
+                    lambda: lambda.iter().map(|&l| l as f64).collect(),
+                    grad_norm: grad_max as f64,
+                    counters: deltas.tick(),
+                    eval,
+                });
+            }
+            if let Some(reason) = watchdog.check(
+                (loss_u + loss_fair) as f64,
+                grad_max as f64,
+                Some(lambda.as_slice()),
+            ) {
+                return Err(journal_divergence(3, epoch, reason).into());
+            }
+            finetune.push(FinetuneEpochStats {
+                utility_loss: loss_u,
+                fairness_loss: loss_fair,
+                attr_distances: d_epoch,
+                lambda: lambda.clone(),
+            });
+            if let Some(log) = persist.as_mut() {
+                if (epoch + 1) % cfg.recovery.checkpoint_interval == 0 {
+                    let ckpt = capture_checkpoint(
+                        seed,
+                        cfg,
+                        3,
+                        epoch + 1,
+                        lr_scale,
+                        &rng_state,
+                        &enc_weights,
+                        &encoder_losses,
+                        &mut gnn,
+                        &opt,
+                        &lambda,
+                        &classifier_losses,
+                        f64::NEG_INFINITY,
+                        &[],
+                        0,
+                        &pseudo_labels,
+                        &finetune,
+                        None,
+                        Some(export_rng_state(&srng)),
+                        None,
+                        &watchdog,
+                    );
+                    log.save(&ckpt).map_err(TrainError::Persist)?;
+                }
+            }
+        }
+    }
+
+    let mut trained = TrainedFairwos::from_parts(
+        cfg.clone(),
+        ctx,
+        encoder,
+        gnn,
+        x0,
+        lambda,
+        pseudo_labels,
+        bits,
+    );
+    trained.history = TrainingHistory {
+        encoder_losses,
+        classifier_losses,
+        finetune,
+    };
+    Ok(trained)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairwos_graph::GraphBuilder;
+
+    fn ring(n: usize) -> Graph {
+        let mut b = GraphBuilder::new(n);
+        for v in 0..n {
+            b.add_edge(v, (v + 1) % n);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn plan_covers_every_node_in_fixed_order() {
+        let g = ring(10);
+        let plan = BatchPlan::new(&g, 4, NeighborSampler::new(7, vec![2]), false);
+        assert_eq!(plan.num_batches(), 3);
+        let mut srng = seeded_rng(7);
+        srng.set_stream(SAMPLER_STREAM);
+        let (_, order) = plan.epoch_begin(&mut srng);
+        assert_eq!(order, vec![0, 1, 2], "unshuffled order must be identity");
+        let covered: usize = plan.blocks.iter().map(Vec::len).sum();
+        assert_eq!(covered, 10);
+    }
+
+    #[test]
+    fn shuffled_plans_replay_deterministically() {
+        let g = ring(24);
+        let plan = BatchPlan::new(&g, 5, NeighborSampler::new(3, vec![2]), true);
+        let run = |seed: u64| {
+            let mut srng = seeded_rng(seed);
+            srng.set_stream(SAMPLER_STREAM);
+            (0..4)
+                .map(|_| plan.epoch_begin(&mut srng))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(5), run(5), "same seed must replay salts and orders");
+        assert_ne!(run(5), run(6), "different seeds must schedule differently");
+        for (_, order) in run(5) {
+            let mut sorted = order.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, vec![0, 1, 2, 3, 4], "shuffle must be a permutation");
+        }
+    }
+
+    #[test]
+    fn weighted_aggregates_keep_single_batches_verbatim() {
+        assert_eq!(weighted_mean(&[]), 0.0);
+        assert_eq!(weighted_mean(&[(0.3333333, 7)]), 0.3333333);
+        let two = weighted_mean(&[(1.0, 1), (4.0, 3)]);
+        assert!((two - 3.25).abs() < 1e-6);
+        assert_eq!(weighted_mean_with(&[0.125], &[(9.0, 5)]), 0.125);
+        assert_eq!(
+            weighted_mean_rows(&[vec![0.5, 0.25]], &[(0.0, 3)]),
+            vec![0.5, 0.25]
+        );
+        let rows = weighted_mean_rows(&[vec![1.0], vec![3.0]], &[(0.0, 1), (0.0, 3)]);
+        assert!((rows[0] - 2.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gather_rows_copies_the_requested_rows() {
+        let src = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let mut ws = Workspace::new();
+        let got = gather_rows(&src, &[2, 0], &mut ws);
+        assert_eq!(got.row(0), &[5.0, 6.0]);
+        assert_eq!(got.row(1), &[1.0, 2.0]);
+        ws.give(got);
+    }
+}

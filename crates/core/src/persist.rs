@@ -78,14 +78,24 @@ impl std::fmt::Display for PersistError {
             PersistError::Serialize(e) => write!(f, "model file serialization failed: {e}"),
             PersistError::Parse(e) => write!(f, "model file parse failed: {e}"),
             PersistError::UnsupportedVersion { found, expected } => {
-                write!(f, "unsupported model file version {found} (expected {expected})")
+                write!(
+                    f,
+                    "unsupported model file version {found} (expected {expected})"
+                )
             }
             PersistError::Io { path, source } => write!(f, "model file I/O on {path}: {source}"),
             PersistError::Corrupt { what, detail } => {
                 write!(f, "corrupt persisted data ({what}): {detail}")
             }
-            PersistError::ShapeMismatch { what, expected, found } => {
-                write!(f, "model shape mismatch ({what}): expected {expected}, found {found}")
+            PersistError::ShapeMismatch {
+                what,
+                expected,
+                found,
+            } => {
+                write!(
+                    f,
+                    "model shape mismatch ({what}): expected {expected}, found {found}"
+                )
             }
         }
     }
@@ -145,7 +155,10 @@ pub(crate) fn has_footer(bytes: &[u8]) -> bool {
 /// [`PersistError::Corrupt`] with its own context).
 pub(crate) fn unseal(bytes: &[u8]) -> Result<&[u8], String> {
     if bytes.len() < FOOTER_LEN {
-        return Err(format!("{} bytes is too short for the integrity footer", bytes.len()));
+        return Err(format!(
+            "{} bytes is too short for the integrity footer",
+            bytes.len()
+        ));
     }
     let (payload, footer) = bytes.split_at(bytes.len() - FOOTER_LEN);
     if footer[..8] != FOOTER_MAGIC {
@@ -245,8 +258,10 @@ impl FairwosModelFile {
     pub fn save(&self, path: impl AsRef<std::path::Path>) -> Result<(), PersistError> {
         let path = path.as_ref();
         let sealed = seal(self.to_json()?.into_bytes());
-        atomic_write(path, &sealed)
-            .map_err(|e| PersistError::Io { path: path.display().to_string(), source: e })
+        atomic_write(path, &sealed).map_err(|e| PersistError::Io {
+            path: path.display().to_string(),
+            source: e,
+        })
     }
 
     /// Reads and parses a model from `path`, verifying the integrity footer
@@ -258,8 +273,10 @@ impl FairwosModelFile {
     /// check, or the [`FairwosModelFile::from_json`] errors.
     pub fn load(path: impl AsRef<std::path::Path>) -> Result<Self, PersistError> {
         let path = path.as_ref();
-        let bytes = std::fs::read(path)
-            .map_err(|e| PersistError::Io { path: path.display().to_string(), source: e })?;
+        let bytes = std::fs::read(path).map_err(|e| PersistError::Io {
+            path: path.display().to_string(),
+            source: e,
+        })?;
         let payload: &[u8] = if has_footer(&bytes) {
             unseal(&bytes).map_err(|detail| PersistError::Corrupt {
                 what: path.display().to_string(),
@@ -386,7 +403,9 @@ mod tests {
             train: &ds.split.train,
             val: &ds.split.val,
         };
-        let mut trained = FairwosTrainer::new(quick_config()).fit(&input, 0).expect("training converges");
+        let mut trained = FairwosTrainer::new(quick_config())
+            .fit(&input, 0)
+            .expect("training converges");
         let file = trained.to_model_file();
         let json = file.to_json().expect("model serializes");
         let restored = FairwosModelFile::from_json(&json)
@@ -395,7 +414,10 @@ mod tests {
             .expect("restore succeeds");
         assert_eq!(restored.predict_probs(), trained.predict_probs());
         assert_eq!(restored.lambda(), trained.lambda());
-        assert_eq!(restored.pseudo_sensitive_attributes(), trained.pseudo_sensitive_attributes());
+        assert_eq!(
+            restored.pseudo_sensitive_attributes(),
+            trained.pseudo_sensitive_attributes()
+        );
     }
 
     #[test]
@@ -408,7 +430,9 @@ mod tests {
             train: &ds.split.train,
             val: &ds.split.val,
         };
-        let mut trained = FairwosTrainer::new(quick_config()).fit(&input, 0).expect("training converges");
+        let mut trained = FairwosTrainer::new(quick_config())
+            .fit(&input, 0)
+            .expect("training converges");
         let file = trained.to_model_file();
         let path = std::env::temp_dir().join("fairwos_persist_roundtrip_test.json");
         file.save(&path).expect("save succeeds");
@@ -441,8 +465,13 @@ mod tests {
             train: &ds.split.train,
             val: &ds.split.val,
         };
-        let cfg = FairwosConfig { use_encoder: false, ..quick_config() };
-        let mut trained = FairwosTrainer::new(cfg).fit(&input, 0).expect("training converges");
+        let cfg = FairwosConfig {
+            use_encoder: false,
+            ..quick_config()
+        };
+        let mut trained = FairwosTrainer::new(cfg)
+            .fit(&input, 0)
+            .expect("training converges");
         let restored = trained
             .to_model_file()
             .restore(&ds.graph, &ds.features)
@@ -476,7 +505,9 @@ mod tests {
             train: &ds.split.train,
             val: &ds.split.val,
         };
-        let mut trained = FairwosTrainer::new(quick_config()).fit(&input, 0).expect("training converges");
+        let mut trained = FairwosTrainer::new(quick_config())
+            .fit(&input, 0)
+            .expect("training converges");
         let mut file = trained.to_model_file();
         file.version = MODEL_FILE_VERSION + 1;
         let json = file.to_json().expect("model serializes");
@@ -499,7 +530,9 @@ mod tests {
             train: &ds.split.train,
             val: &ds.split.val,
         };
-        let mut trained = FairwosTrainer::new(quick_config()).fit(&input, 0).expect("training converges");
+        let mut trained = FairwosTrainer::new(quick_config())
+            .fit(&input, 0)
+            .expect("training converges");
         let wrong = fairwos_tensor::Matrix::zeros(ds.num_nodes(), 2);
         let err = trained
             .to_model_file()
@@ -524,7 +557,9 @@ mod tests {
             train: &ds.split.train,
             val: &ds.split.val,
         };
-        let mut trained = FairwosTrainer::new(quick_config()).fit(&input, 0).expect("training converges");
+        let mut trained = FairwosTrainer::new(quick_config())
+            .fit(&input, 0)
+            .expect("training converges");
         let file = trained.to_model_file();
 
         let mut short = file.clone();
@@ -595,7 +630,9 @@ mod tests {
             train: &ds.split.train,
             val: &ds.split.val,
         };
-        let mut trained = FairwosTrainer::new(quick_config()).fit(&input, 0).expect("training converges");
+        let mut trained = FairwosTrainer::new(quick_config())
+            .fit(&input, 0)
+            .expect("training converges");
         let file = trained.to_model_file();
         let path = std::env::temp_dir().join("fairwos_persist_corruption_test.json");
         file.save(&path).expect("save succeeds");
@@ -623,7 +660,9 @@ mod tests {
             train: &ds.split.train,
             val: &ds.split.val,
         };
-        let mut trained = FairwosTrainer::new(quick_config()).fit(&input, 0).expect("training converges");
+        let mut trained = FairwosTrainer::new(quick_config())
+            .fit(&input, 0)
+            .expect("training converges");
         let file = trained.to_model_file();
         let path = std::env::temp_dir().join("fairwos_persist_legacy_test.json");
         std::fs::write(&path, file.to_json().expect("model serializes")).expect("plain write");

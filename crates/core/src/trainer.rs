@@ -16,7 +16,7 @@
 use std::collections::BTreeMap;
 
 use crate::checkpoint::{
-    AdamSnapshot, CfSnapshot, CheckpointLog, CheckpointStore, TrainingCheckpoint,
+    AdamSnapshot, BatchCursor, CfSnapshot, CheckpointLog, CheckpointStore, TrainingCheckpoint,
     CHECKPOINT_VERSION,
 };
 use crate::counterfactual::{search_topk, CounterfactualSets, SearchSpace};
@@ -306,18 +306,18 @@ pub struct TrainProbe<'a> {
 /// Diffs cumulative kernel-counter totals into per-epoch deltas, mirroring
 /// each total into the event journal as a `CounterSnapshot`. Totals only
 /// grow, so `saturating_sub` is just defense against a mid-run `reset()`.
-struct CounterDeltas {
+pub(crate) struct CounterDeltas {
     prev: BTreeMap<String, u64>,
 }
 
 impl CounterDeltas {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         Self {
             prev: fairwos_obs::counter_totals().into_iter().collect(),
         }
     }
 
-    fn tick(&mut self) -> Vec<(String, u64)> {
+    pub(crate) fn tick(&mut self) -> Vec<(String, u64)> {
         let totals = fairwos_obs::counter_totals();
         let mut deltas = Vec::with_capacity(totals.len());
         for (label, total) in totals {
@@ -330,7 +330,11 @@ impl CounterDeltas {
     }
 }
 
-fn eval_split_metrics(probs: &[f32], labels: &[f32], eval: &TelemetryEval<'_>) -> EvalMetrics {
+pub(crate) fn eval_split_metrics(
+    probs: &[f32],
+    labels: &[f32],
+    eval: &TelemetryEval<'_>,
+) -> EvalMetrics {
     let p: Vec<f32> = eval.nodes.iter().map(|&v| probs[v]).collect();
     let y: Vec<f32> = eval.nodes.iter().map(|&v| labels[v]).collect();
     EvalMetrics {
@@ -341,9 +345,13 @@ fn eval_split_metrics(probs: &[f32], labels: &[f32], eval: &TelemetryEval<'_>) -
     }
 }
 
-fn journal_divergence(stage: u8, epoch: usize, reason: Divergence) -> TrainingDiverged {
+pub(crate) fn journal_divergence(stage: u8, epoch: usize, reason: Divergence) -> TrainingDiverged {
     fairwos_obs::journal_alert(reason.code(), &reason.to_string());
-    TrainingDiverged { stage, epoch, reason }
+    TrainingDiverged {
+        stage,
+        epoch,
+        reason,
+    }
 }
 
 /// Builder/driver for Algorithm 1.
@@ -525,6 +533,21 @@ impl FairwosTrainer {
         resume: Option<TrainingCheckpoint>,
         lr_scale: f32,
     ) -> Result<TrainedFairwos, TrainError> {
+        // With a mini-batch schedule configured, every `fit*` entry point
+        // runs the neighbor-sampled driver instead (same stages, same
+        // checkpoint/telemetry semantics, one θ-step per sampled block).
+        if self.config.minibatch.is_some() {
+            return crate::minibatch::run_minibatch(
+                &self.config,
+                input,
+                seed,
+                tws,
+                probe,
+                persist,
+                resume,
+                lr_scale,
+            );
+        }
         input.validate()?;
         if let Some(c) = resume.as_ref() {
             if c.stage != 2 && c.stage != 3 {
@@ -692,6 +715,8 @@ impl FairwosTrainer {
                     &[],
                     &[],
                     None,
+                    None,
+                    None,
                     &watchdog,
                 );
                 log.save(&ckpt).map_err(TrainError::Persist)?;
@@ -717,22 +742,18 @@ impl FairwosTrainer {
             let grad_norm = gnn.grad_norm();
             opt.step(&mut gnn.params_mut());
 
-            let eval_due = probe.telemetry.is_some()
-                && probe.eval.is_some()
-                && epoch % cfg.eval_interval == 0;
-            let probs =
-                (!input.val.is_empty() || eval_due).then(|| sigmoid(&out.logits).col(0));
+            let eval_due =
+                probe.telemetry.is_some() && probe.eval.is_some() && epoch % cfg.eval_interval == 0;
+            let probs = (!input.val.is_empty() || eval_due).then(|| sigmoid(&out.logits).col(0));
             let val_acc = match &probs {
                 Some(probs) if !input.val.is_empty() => {
                     let val_probs: Vec<f32> = input.val.iter().map(|&v| probs[v]).collect();
-                    let val_labels: Vec<f32> =
-                        input.val.iter().map(|&v| input.labels[v]).collect();
+                    let val_labels: Vec<f32> = input.val.iter().map(|&v| input.labels[v]).collect();
                     accuracy(&val_probs, &val_labels)
                 }
                 _ => -(loss as f64),
             };
-            if let (Some(sink), Some(deltas)) = (probe.telemetry.as_deref_mut(), deltas.as_mut())
-            {
+            if let (Some(sink), Some(deltas)) = (probe.telemetry.as_deref_mut(), deltas.as_mut()) {
                 let eval = probe
                     .eval
                     .filter(|_| eval_due)
@@ -784,6 +805,8 @@ impl FairwosTrainer {
                         since_best,
                         &[],
                         &[],
+                        None,
+                        None,
                         None,
                         &watchdog,
                     );
@@ -860,6 +883,8 @@ impl FairwosTrainer {
                             0,
                             &pseudo_labels,
                             &finetune,
+                            None,
+                            None,
                             None,
                             &watchdog,
                         );
@@ -1051,6 +1076,8 @@ impl FairwosTrainer {
                             &pseudo_labels,
                             &finetune,
                             cf,
+                            None,
+                            None,
                             &watchdog,
                         );
                         log.save(&ckpt).map_err(TrainError::Persist)?;
@@ -1098,7 +1125,7 @@ impl FairMethod for FairwosTrainer {
 /// boundaries both are freshly constructed, so their exported state is
 /// empty — exactly what a resume should start from.
 #[allow(clippy::too_many_arguments)]
-fn capture_checkpoint(
+pub(crate) fn capture_checkpoint(
     seed: u64,
     cfg: &FairwosConfig,
     stage: u8,
@@ -1117,6 +1144,8 @@ fn capture_checkpoint(
     pseudo_labels: &[bool],
     finetune: &[FinetuneEpochStats],
     cf: Option<CfSnapshot>,
+    sampler_rng: Option<RngState>,
+    batch_cursor: Option<BatchCursor>,
     watchdog: &Watchdog,
 ) -> TrainingCheckpoint {
     let (t, m, v) = opt.export_state();
@@ -1142,15 +1171,17 @@ fn capture_checkpoint(
         pseudo_labels: pseudo_labels.to_vec(),
         finetune: finetune.to_vec(),
         cf,
+        sampler_rng,
+        batch_cursor,
         watchdog_window: watchdog.export_window(),
     }
 }
 
-fn snapshot(gnn: &mut Gnn) -> Vec<Matrix> {
+pub(crate) fn snapshot(gnn: &mut Gnn) -> Vec<Matrix> {
     gnn.params_mut().iter().map(|p| p.value.clone()).collect()
 }
 
-fn restore(gnn: &mut Gnn, params: &[Matrix]) {
+pub(crate) fn restore(gnn: &mut Gnn, params: &[Matrix]) {
     for (p, saved) in gnn.params_mut().into_iter().zip(params) {
         p.value = saved.clone();
     }
@@ -1191,7 +1222,9 @@ mod tests {
     #[test]
     fn fit_produces_consistent_artifacts() {
         let ds = small_dataset();
-        let trained = FairwosTrainer::new(fast_config(Backbone::Gcn)).fit(&input_of(&ds), 0).expect("training converges");
+        let trained = FairwosTrainer::new(fast_config(Backbone::Gcn))
+            .fit(&input_of(&ds), 0)
+            .expect("training converges");
         let n = ds.num_nodes();
         assert_eq!(trained.predict_probs().len(), n);
         assert_eq!(trained.embeddings().rows(), n);
@@ -1212,7 +1245,9 @@ mod tests {
     #[test]
     fn learns_better_than_chance() {
         let ds = small_dataset();
-        let trained = FairwosTrainer::new(fast_config(Backbone::Gcn)).fit(&input_of(&ds), 1).expect("training converges");
+        let trained = FairwosTrainer::new(fast_config(Backbone::Gcn))
+            .fit(&input_of(&ds), 1)
+            .expect("training converges");
         let probs = trained.predict_probs();
         let test_probs: Vec<f32> = ds.split.test.iter().map(|&v| probs[v]).collect();
         let test_labels = ds.labels_of(&ds.split.test);
@@ -1228,7 +1263,9 @@ mod tests {
             finetune_epochs: 2,
             ..fast_config(Backbone::Gcn)
         };
-        let trained = FairwosTrainer::new(cfg).fit(&input_of(&ds), 2).expect("training converges");
+        let trained = FairwosTrainer::new(cfg)
+            .fit(&input_of(&ds), 2)
+            .expect("training converges");
         assert!(!trained.has_encoder());
         assert_eq!(
             trained.pseudo_sensitive_attributes().cols(),
@@ -1245,7 +1282,9 @@ mod tests {
             use_fairness: false,
             ..fast_config(Backbone::Gcn)
         };
-        let trained = FairwosTrainer::new(cfg).fit(&input_of(&ds), 3).expect("training converges");
+        let trained = FairwosTrainer::new(cfg)
+            .fit(&input_of(&ds), 3)
+            .expect("training converges");
         assert!(trained.history.finetune.is_empty());
     }
 
@@ -1256,7 +1295,9 @@ mod tests {
             use_weight_update: false,
             ..fast_config(Backbone::Gcn)
         };
-        let trained = FairwosTrainer::new(cfg).fit(&input_of(&ds), 4).expect("training converges");
+        let trained = FairwosTrainer::new(cfg)
+            .fit(&input_of(&ds), 4)
+            .expect("training converges");
         for &l in trained.lambda() {
             assert!(
                 (l - 1.0 / 8.0).abs() < 1e-6,
@@ -1264,7 +1305,9 @@ mod tests {
             );
         }
         // With weight updates λ moves away from uniform.
-        let trained2 = FairwosTrainer::new(fast_config(Backbone::Gcn)).fit(&input_of(&ds), 4).expect("training converges");
+        let trained2 = FairwosTrainer::new(fast_config(Backbone::Gcn))
+            .fit(&input_of(&ds), 4)
+            .expect("training converges");
         let uniform_dev: f32 = trained2
             .lambda()
             .iter()
@@ -1280,7 +1323,9 @@ mod tests {
     #[test]
     fn gin_backbone_works() {
         let ds = small_dataset();
-        let trained = FairwosTrainer::new(fast_config(Backbone::Gin)).fit(&input_of(&ds), 5).expect("training converges");
+        let trained = FairwosTrainer::new(fast_config(Backbone::Gin))
+            .fit(&input_of(&ds), 5)
+            .expect("training converges");
         assert_eq!(trained.predict_probs().len(), ds.num_nodes());
     }
 
@@ -1292,7 +1337,9 @@ mod tests {
             finetune_epochs: 5,
             ..fast_config(Backbone::Gcn)
         };
-        let trained = FairwosTrainer::new(cfg).fit(&input_of(&ds), 8).expect("training converges");
+        let trained = FairwosTrainer::new(cfg)
+            .fit(&input_of(&ds), 8)
+            .expect("training converges");
         assert_eq!(trained.history.finetune.len(), 5);
         let probs = trained.predict_probs();
         assert!(probs
@@ -1305,7 +1352,9 @@ mod tests {
     #[test]
     fn sage_backbone_works() {
         let ds = small_dataset();
-        let trained = FairwosTrainer::new(fast_config(Backbone::Sage)).fit(&input_of(&ds), 5).expect("training converges");
+        let trained = FairwosTrainer::new(fast_config(Backbone::Sage))
+            .fit(&input_of(&ds), 5)
+            .expect("training converges");
         let probs = trained.predict_probs();
         assert_eq!(probs.len(), ds.num_nodes());
         assert!(probs.iter().all(|p| p.is_finite()));
@@ -1314,7 +1363,9 @@ mod tests {
     #[test]
     fn gat_backbone_works() {
         let ds = small_dataset();
-        let trained = FairwosTrainer::new(fast_config(Backbone::Gat)).fit(&input_of(&ds), 5).expect("training converges");
+        let trained = FairwosTrainer::new(fast_config(Backbone::Gat))
+            .fit(&input_of(&ds), 5)
+            .expect("training converges");
         let probs = trained.predict_probs();
         assert_eq!(probs.len(), ds.num_nodes());
         assert!(probs.iter().all(|p| p.is_finite()));
@@ -1323,8 +1374,12 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let ds = small_dataset();
-        let a = FairwosTrainer::new(fast_config(Backbone::Gcn)).fit(&input_of(&ds), 9).expect("training converges");
-        let b = FairwosTrainer::new(fast_config(Backbone::Gcn)).fit(&input_of(&ds), 9).expect("training converges");
+        let a = FairwosTrainer::new(fast_config(Backbone::Gcn))
+            .fit(&input_of(&ds), 9)
+            .expect("training converges");
+        let b = FairwosTrainer::new(fast_config(Backbone::Gcn))
+            .fit(&input_of(&ds), 9)
+            .expect("training converges");
         assert_eq!(a.predict_probs(), b.predict_probs());
         assert_eq!(a.lambda(), b.lambda());
     }
@@ -1336,7 +1391,9 @@ mod tests {
         let trainer = FairwosTrainer::new(fast_config(Backbone::Gcn));
         let pooled = trainer.fit(&input_of(&ds), 11).expect("training converges");
         let mut tws = crate::TrainerWorkspace::disposable();
-        let allocating = trainer.fit_with(&input_of(&ds), 11, &mut tws).expect("training converges");
+        let allocating = trainer
+            .fit_with(&input_of(&ds), 11, &mut tws)
+            .expect("training converges");
         assert_eq!(
             tws.idle_buffers(),
             0,
@@ -1352,9 +1409,13 @@ mod tests {
         let ds = small_dataset();
         let trainer = FairwosTrainer::new(fast_config(Backbone::Gcn));
         let mut tws = crate::TrainerWorkspace::new();
-        let a = trainer.fit_with(&input_of(&ds), 12, &mut tws).expect("training converges");
+        let a = trainer
+            .fit_with(&input_of(&ds), 12, &mut tws)
+            .expect("training converges");
         assert!(tws.idle_buffers() > 0, "pool retained nothing after a fit");
-        let b = trainer.fit_with(&input_of(&ds), 12, &mut tws).expect("training converges");
+        let b = trainer
+            .fit_with(&input_of(&ds), 12, &mut tws)
+            .expect("training converges");
         assert_eq!(a.predict_probs(), b.predict_probs());
         assert_eq!(a.lambda(), b.lambda());
     }
@@ -1367,7 +1428,9 @@ mod tests {
             finetune_epochs: 8,
             ..fast_config(Backbone::Gcn)
         };
-        let trained = FairwosTrainer::new(cfg).fit(&input_of(&ds), 13).expect("training converges");
+        let trained = FairwosTrainer::new(cfg)
+            .fit(&input_of(&ds), 13)
+            .expect("training converges");
         assert_eq!(trained.history.finetune.len(), 8);
         let probs = trained.predict_probs();
         assert!(probs
@@ -1395,7 +1458,9 @@ mod tests {
             finetune_epochs: 10,
             ..fast_config(Backbone::Gcn)
         };
-        let trained = FairwosTrainer::new(cfg).fit(&input_of(&ds), 7).expect("training converges");
+        let trained = FairwosTrainer::new(cfg)
+            .fit(&input_of(&ds), 7)
+            .expect("training converges");
         let first: f32 = trained
             .history
             .finetune
@@ -1430,7 +1495,9 @@ mod tests {
         let err = FairwosTrainer::new(cfg)
             .fit(&input_of(&ds), 0)
             .expect_err("explosive learning rate must trip the watchdog");
-        let d = err.divergence().expect("a watchdog trip, not another error");
+        let d = err
+            .divergence()
+            .expect("a watchdog trip, not another error");
         assert_eq!(d.stage, 2, "diverged in the wrong stage: {err}");
         assert!(
             d.epoch < 1 + FairwosConfig::paper_default(Backbone::Gcn).watchdog.window,
@@ -1453,7 +1520,9 @@ mod tests {
         let err = FairwosTrainer::new(cfg)
             .fit(&input_of(&ds), 0)
             .expect_err("explosive fine-tuning rate must trip the watchdog");
-        let d = err.divergence().expect("a watchdog trip, not another error");
+        let d = err
+            .divergence()
+            .expect("a watchdog trip, not another error");
         assert_eq!(d.stage, 3, "diverged in the wrong stage: {err}");
     }
 
@@ -1472,7 +1541,10 @@ mod tests {
             resumable.predict_probs(),
             "checkpoint writes must not perturb training"
         );
-        assert_eq!(plain.history.classifier_losses, resumable.history.classifier_losses);
+        assert_eq!(
+            plain.history.classifier_losses,
+            resumable.history.classifier_losses
+        );
         assert!(
             !store.is_empty(),
             "a resumable run must leave checkpoints behind"
@@ -1561,7 +1633,9 @@ mod tests {
         let err = FairwosTrainer::new(cfg)
             .fit_resumable(&input_of(&ds), 0, &mut store)
             .expect_err("every retry diverges");
-        let d = err.divergence().expect("budget exhaustion surfaces the divergence");
+        let d = err
+            .divergence()
+            .expect("budget exhaustion surfaces the divergence");
         assert_eq!(d.stage, 2, "diverged in the wrong stage: {err}");
         let generations = store.generations().expect("in-memory store is infallible");
         assert_eq!(
@@ -1581,7 +1655,10 @@ mod tests {
         let sens = ds.sensitive_of(&ds.split.test);
         let mut probe = TrainProbe {
             telemetry: Some(&mut sink),
-            eval: Some(TelemetryEval { nodes: &ds.split.test, sens: &sens }),
+            eval: Some(TelemetryEval {
+                nodes: &ds.split.test,
+                sens: &sens,
+            }),
         };
         let mut tws = crate::TrainerWorkspace::new();
         let observed = trainer
@@ -1605,7 +1682,10 @@ mod tests {
         // the metric series, with fairness gaps in range.
         for r in &stage3 {
             assert_eq!(r.lambda.len(), 8);
-            let ev = r.eval.as_ref().unwrap_or_else(|| panic!("missing eval: {r:?}"));
+            let ev = r
+                .eval
+                .as_ref()
+                .unwrap_or_else(|| panic!("missing eval: {r:?}"));
             assert!((0.0..=1.0).contains(&ev.accuracy));
             assert!((0.0..=1.0).contains(&ev.delta_sp));
             assert!((0.0..=1.0).contains(&ev.delta_eo));
@@ -1629,7 +1709,10 @@ mod tests {
         let sens = ds.sensitive_of(&ds.split.test);
         let mut probe = TrainProbe {
             telemetry: Some(&mut sink),
-            eval: Some(TelemetryEval { nodes: &ds.split.test, sens: &sens }),
+            eval: Some(TelemetryEval {
+                nodes: &ds.split.test,
+                sens: &sens,
+            }),
         };
         let mut tws = crate::TrainerWorkspace::new();
         FairwosTrainer::new(cfg)

@@ -37,6 +37,31 @@ impl AdjacencyCache {
         }
     }
 
+    /// A cache whose four propagation matrices are already built —
+    /// used by the mini-batch path, which *restricts* the full graph's
+    /// normalized matrices to a sampled subgraph instead of renormalizing
+    /// (see `fairwos_graph::sampling::SubgraphSample::restrict`).
+    pub fn with_prebuilt(
+        graph: Graph,
+        gcn: CsrMatrix,
+        sum: CsrMatrix,
+        mean: CsrMatrix,
+        mean_t: CsrMatrix,
+    ) -> Self {
+        let cache = AdjacencyCache {
+            graph,
+            gcn: OnceLock::new(),
+            sum: OnceLock::new(),
+            mean: OnceLock::new(),
+            mean_t: OnceLock::new(),
+        };
+        let _ = cache.gcn.set(gcn);
+        let _ = cache.sum.set(sum);
+        let _ = cache.mean.set(mean);
+        let _ = cache.mean_t.set(mean_t);
+        cache
+    }
+
     /// Number of nodes of the underlying graph.
     pub fn num_nodes(&self) -> usize {
         self.graph.num_nodes()

@@ -122,7 +122,13 @@ pub fn sample_pairs_within(nodes: &[usize], p: f64, rng: &mut impl Rng, b: &mut 
 
 /// Samples Bernoulli(`p`) edges among all pairs between the disjoint node
 /// sets `a` and `c`, adding them to `b`.
-pub fn sample_pairs_between(a: &[usize], c: &[usize], p: f64, rng: &mut impl Rng, b: &mut GraphBuilder) {
+pub fn sample_pairs_between(
+    a: &[usize],
+    c: &[usize],
+    p: f64,
+    rng: &mut impl Rng,
+    b: &mut GraphBuilder,
+) {
     if a.is_empty() || c.is_empty() || p <= 0.0 {
         return;
     }

@@ -42,7 +42,11 @@ impl Graph {
     /// If `v` is out of range.
     #[inline]
     pub fn neighbors(&self, v: usize) -> &[usize] {
-        assert!(v < self.num_nodes, "node {v} out of {} nodes", self.num_nodes);
+        assert!(
+            v < self.num_nodes,
+            "node {v} out of {} nodes",
+            self.num_nodes
+        );
         &self.col_idx[self.row_ptr[v]..self.row_ptr[v + 1]]
     }
 
@@ -68,8 +72,12 @@ impl Graph {
 
     /// Iterator over each undirected edge once, as `(u, v)` with `u < v`.
     pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
-        (0..self.num_nodes)
-            .flat_map(move |u| self.neighbors(u).iter().filter(move |&&v| u < v).map(move |&v| (u, v)))
+        (0..self.num_nodes).flat_map(move |u| {
+            self.neighbors(u)
+                .iter()
+                .filter(move |&&v| u < v)
+                .map(move |&v| (u, v))
+        })
     }
 
     /// The raw CSR row-pointer array.
@@ -95,7 +103,11 @@ impl Graph {
         keep.dedup();
         let mut old_to_new = vec![usize::MAX; self.num_nodes];
         for (new, &old) in keep.iter().enumerate() {
-            assert!(old < self.num_nodes, "node {old} out of {} nodes", self.num_nodes);
+            assert!(
+                old < self.num_nodes,
+                "node {old} out of {} nodes",
+                self.num_nodes
+            );
             old_to_new[old] = new;
         }
         let mut b = GraphBuilder::new(keep.len());
@@ -133,7 +145,10 @@ pub struct GraphBuilder {
 impl GraphBuilder {
     /// A builder for a graph over `num_nodes` nodes and no edges yet.
     pub fn new(num_nodes: usize) -> Self {
-        Self { num_nodes, edges: Vec::new() }
+        Self {
+            num_nodes,
+            edges: Vec::new(),
+        }
     }
 
     /// Adds the undirected edge `{u, v}` (by value, chainable).
@@ -213,7 +228,11 @@ impl GraphBuilder {
             }
             new_ptr[v + 1] = new_col.len();
         }
-        Graph { num_nodes: n, row_ptr: new_ptr, col_idx: new_col }
+        Graph {
+            num_nodes: n,
+            row_ptr: new_ptr,
+            col_idx: new_col,
+        }
     }
 }
 
@@ -222,7 +241,11 @@ mod tests {
     use super::*;
 
     fn triangle() -> Graph {
-        GraphBuilder::new(3).edge(0, 1).edge(1, 2).edge(2, 0).build()
+        GraphBuilder::new(3)
+            .edge(0, 1)
+            .edge(1, 2)
+            .edge(2, 0)
+            .build()
     }
 
     #[test]
@@ -236,7 +259,11 @@ mod tests {
 
     #[test]
     fn neighbors_sorted() {
-        let g = GraphBuilder::new(4).edge(2, 0).edge(2, 3).edge(2, 1).build();
+        let g = GraphBuilder::new(4)
+            .edge(2, 0)
+            .edge(2, 3)
+            .edge(2, 1)
+            .build();
         assert_eq!(g.neighbors(2), &[0, 1, 3]);
         assert_eq!(g.degree(2), 3);
         assert_eq!(g.degree(0), 1);
@@ -275,7 +302,12 @@ mod tests {
 
     #[test]
     fn induced_subgraph_remaps() {
-        let g = GraphBuilder::new(5).edge(0, 1).edge(1, 2).edge(2, 3).edge(3, 4).build();
+        let g = GraphBuilder::new(5)
+            .edge(0, 1)
+            .edge(1, 2)
+            .edge(2, 3)
+            .edge(3, 4)
+            .build();
         let (sub, map) = g.induced_subgraph(&[1, 3, 2]);
         assert_eq!(map, vec![1, 2, 3]);
         assert_eq!(sub.num_nodes(), 3);
@@ -288,7 +320,11 @@ mod tests {
 
     #[test]
     fn degree_histogram_tail_bucket() {
-        let g = GraphBuilder::new(4).edge(0, 1).edge(0, 2).edge(0, 3).build();
+        let g = GraphBuilder::new(4)
+            .edge(0, 1)
+            .edge(0, 2)
+            .edge(0, 3)
+            .build();
         // degrees: 3,1,1,1
         assert_eq!(g.degree_histogram(2), vec![0, 3, 1]);
     }

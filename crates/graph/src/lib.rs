@@ -33,9 +33,11 @@ pub mod generate;
 mod graph;
 pub mod metrics;
 mod norm;
+pub mod sampling;
 pub mod traversal;
 
 pub use cache::AdjacencyCache;
 pub use csr::CsrMatrix;
 pub use graph::{Graph, GraphBuilder};
 pub use norm::{gcn_normalized_adjacency, row_normalized_adjacency, sum_adjacency};
+pub use sampling::{partition, NeighborSampler, SubgraphSample};

@@ -100,21 +100,33 @@ mod tests {
 
     #[test]
     fn density_known() {
-        let g = GraphBuilder::new(4).edge(0, 1).edge(1, 2).edge(2, 3).build();
+        let g = GraphBuilder::new(4)
+            .edge(0, 1)
+            .edge(1, 2)
+            .edge(2, 3)
+            .build();
         assert_eq!(density(&g), 3.0 / 6.0);
         assert_eq!(density(&GraphBuilder::new(1).build()), 0.0);
     }
 
     #[test]
     fn triangle_has_full_clustering() {
-        let g = GraphBuilder::new(3).edge(0, 1).edge(1, 2).edge(2, 0).build();
+        let g = GraphBuilder::new(3)
+            .edge(0, 1)
+            .edge(1, 2)
+            .edge(2, 0)
+            .build();
         assert_eq!(clustering_coefficient(&g, 0), 1.0);
         assert_eq!(average_clustering(&g), 1.0);
     }
 
     #[test]
     fn path_has_zero_clustering() {
-        let g = GraphBuilder::new(4).edge(0, 1).edge(1, 2).edge(2, 3).build();
+        let g = GraphBuilder::new(4)
+            .edge(0, 1)
+            .edge(1, 2)
+            .edge(2, 3)
+            .build();
         assert_eq!(average_clustering(&g), 0.0);
     }
 
@@ -122,7 +134,13 @@ mod tests {
     fn square_with_diagonal_clustering() {
         // 4-cycle + diagonal 0–2: node 0 sees neighbours {1, 2, 3} with the
         // pairs (1,2) and (2,3) closed — 2 of 3; node 1 sees {0, 2}, closed.
-        let g = GraphBuilder::new(4).edge(0, 1).edge(1, 2).edge(2, 3).edge(3, 0).edge(0, 2).build();
+        let g = GraphBuilder::new(4)
+            .edge(0, 1)
+            .edge(1, 2)
+            .edge(2, 3)
+            .edge(3, 0)
+            .edge(0, 2)
+            .build();
         assert!((clustering_coefficient(&g, 0) - 2.0 / 3.0).abs() < 1e-12);
         assert!((clustering_coefficient(&g, 1) - 1.0).abs() < 1e-12);
     }
@@ -138,7 +156,12 @@ mod tests {
     #[test]
     fn assortativity_bipartite_is_minus_one() {
         // Every edge crosses groups.
-        let g = GraphBuilder::new(4).edge(0, 2).edge(0, 3).edge(1, 2).edge(1, 3).build();
+        let g = GraphBuilder::new(4)
+            .edge(0, 2)
+            .edge(0, 3)
+            .edge(1, 2)
+            .edge(1, 3)
+            .build();
         let attr = [false, false, true, true];
         assert!((sensitive_assortativity(&g, &attr) + 1.0).abs() < 1e-12);
     }
@@ -151,7 +174,10 @@ mod tests {
         let attr: Vec<bool> = (0..n).map(|_| rng.gen_bool(0.5)).collect();
         let g = crate::generate::erdos_renyi(n, 0.02, &mut rng);
         let r = sensitive_assortativity(&g, &attr);
-        assert!(r.abs() < 0.05, "assortativity {r} should be ~0 for ER mixing");
+        assert!(
+            r.abs() < 0.05,
+            "assortativity {r} should be ~0 for ER mixing"
+        );
     }
 
     #[test]

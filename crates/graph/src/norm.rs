@@ -11,8 +11,9 @@ use crate::{CsrMatrix, Graph};
 /// the same matrix.
 pub fn gcn_normalized_adjacency(g: &Graph) -> CsrMatrix {
     let n = g.num_nodes();
-    let inv_sqrt: Vec<f32> =
-        (0..n).map(|v| 1.0 / ((g.degree(v) + 1) as f32).sqrt()).collect();
+    let inv_sqrt: Vec<f32> = (0..n)
+        .map(|v| 1.0 / ((g.degree(v) + 1) as f32).sqrt())
+        .collect();
     let mut triplets = Vec::with_capacity(g.num_arcs() + n);
     for u in 0..n {
         // Self-loop term.
@@ -76,7 +77,14 @@ mod tests {
 
     #[test]
     fn gcn_norm_is_symmetric() {
-        let g = GraphBuilder::new(5).edge(0, 1).edge(1, 2).edge(2, 3).edge(3, 4).edge(4, 0).edge(1, 3).build();
+        let g = GraphBuilder::new(5)
+            .edge(0, 1)
+            .edge(1, 2)
+            .edge(2, 3)
+            .edge(3, 4)
+            .edge(4, 0)
+            .edge(1, 3)
+            .build();
         let a = gcn_normalized_adjacency(&g);
         assert!(a.is_symmetric(1e-6));
     }

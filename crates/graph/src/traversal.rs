@@ -14,7 +14,11 @@ use std::collections::VecDeque;
 /// # Panics
 /// If `source` is out of range.
 pub fn khop_nodes(g: &Graph, source: usize, k: usize) -> Vec<usize> {
-    assert!(source < g.num_nodes(), "source {source} out of {} nodes", g.num_nodes());
+    assert!(
+        source < g.num_nodes(),
+        "source {source} out of {} nodes",
+        g.num_nodes()
+    );
     let mut dist = vec![usize::MAX; g.num_nodes()];
     let mut order = Vec::new();
     let mut queue = VecDeque::new();
@@ -44,7 +48,10 @@ pub fn khop_subgraph(g: &Graph, source: usize, k: usize) -> (Graph, Vec<usize>, 
     let nodes = khop_nodes(g, source, k);
     let (sub, map) = g.induced_subgraph(&nodes);
     // audit:allow(FW001): khop_nodes always includes source, so the lookup cannot fail
-    let center = map.iter().position(|&old| old == source).expect("source is in its own k-hop set");
+    let center = map
+        .iter()
+        .position(|&old| old == source)
+        .expect("source is in its own k-hop set");
     (sub, map, center)
 }
 
@@ -97,7 +104,11 @@ mod tests {
 
     /// 0-1-2-3 path plus isolated node 4.
     fn path_plus_isolate() -> Graph {
-        GraphBuilder::new(5).edge(0, 1).edge(1, 2).edge(2, 3).build()
+        GraphBuilder::new(5)
+            .edge(0, 1)
+            .edge(1, 2)
+            .edge(2, 3)
+            .build()
     }
 
     #[test]
@@ -138,7 +149,12 @@ mod tests {
 
     #[test]
     fn single_component_cycle() {
-        let g = GraphBuilder::new(4).edge(0, 1).edge(1, 2).edge(2, 3).edge(3, 0).build();
+        let g = GraphBuilder::new(4)
+            .edge(0, 1)
+            .edge(1, 2)
+            .edge(2, 3)
+            .edge(3, 0)
+            .build();
         let (count, _) = connected_components(&g);
         assert_eq!(count, 1);
         // Whole graph reachable in 2 hops from any node of a 4-cycle.

@@ -23,6 +23,14 @@ impl GraphContext {
         }
     }
 
+    /// Wraps an already-populated cache — the mini-batch path builds one
+    /// per sampled subgraph via [`AdjacencyCache::with_prebuilt`], with the
+    /// propagation matrices *restricted* from the full graph's rather than
+    /// renormalized.
+    pub fn from_cache(cache: AdjacencyCache) -> Self {
+        Self { cache }
+    }
+
     /// Number of nodes in the underlying graph.
     pub fn num_nodes(&self) -> usize {
         self.cache.num_nodes()

@@ -102,6 +102,22 @@ impl Workspace {
                 return Matrix::from_vec(rows, cols, buf);
             }
             fairwos_obs::counter_add("tensor/pool/misses", 1);
+            // Pool miss on a pooling workspace: allocate with the capacity
+            // rounded up to the next power of two. Mini-batch buffers vary
+            // slightly in shape from epoch to epoch (neighbor sampling), and
+            // exact-size buffers would miss again on every marginally larger
+            // request; pow2 classes make the pool converge to a fixed set of
+            // buffers. The counter mirrors `Matrix::full`'s accounting
+            // (`from_vec` bypasses that funnel) but charges the capacity
+            // actually reserved.
+            let cap = need.next_power_of_two();
+            fairwos_obs::counter_add(
+                "tensor/alloc/bytes",
+                (cap * std::mem::size_of::<f32>()) as u64,
+            );
+            let mut buf = Vec::with_capacity(cap);
+            buf.resize(need, 0.0);
+            return Matrix::from_vec(rows, cols, buf);
         }
         Matrix::zeros(rows, cols)
     }
@@ -171,6 +187,35 @@ mod tests {
         let remaining = ws.take(10, 10);
         assert_eq!(remaining.len(), 100);
         assert_eq!(ws.idle_buffers(), 0);
+    }
+
+    #[test]
+    fn pool_misses_round_capacity_up_to_a_power_of_two() {
+        let mut ws = Workspace::new();
+        // 5×5 = 25 elements → capacity rounds up to 32.
+        let a = ws.take(5, 5);
+        assert_eq!(a.len(), 25);
+        ws.give(a);
+        // A slightly larger request still fits the pow2 buffer: no new
+        // allocation, the idle buffer is recycled.
+        let b = ws.take(5, 6);
+        assert_eq!(b.len(), 30);
+        assert_eq!(ws.idle_buffers(), 0, "pow2 headroom was not recycled");
+        ws.give(b);
+        // Beyond the pow2 class (33 > 32) a fresh buffer is allocated.
+        let c = ws.take(33, 1);
+        assert_eq!(ws.idle_buffers(), 1, "expected a fresh allocation");
+        ws.give(c);
+    }
+
+    #[test]
+    fn disposable_pool_allocations_stay_exact() {
+        // The disposable (reference) path must keep `Matrix::zeros`
+        // semantics: no pow2 headroom, bit-identical to the legacy path.
+        let mut ws = Workspace::disposable();
+        let a = ws.take(5, 5);
+        assert_eq!(a.len(), 25);
+        assert!(a.as_slice().iter().all(|&v| v == 0.0));
     }
 
     #[test]

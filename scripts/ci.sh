@@ -46,6 +46,10 @@ test -s results/telemetry.jsonl
 echo "==> trace/telemetry artifact validation"
 cargo run --release -p fairwos-bench --bin trace_check
 
+echo "==> mini-batch comparison artifact (results/minibatch.json)"
+cargo run --release -p fairwos-bench --bin exp_minibatch -- --scale 0.3 --runs 1 --out results/minibatch.json
+test -s results/minibatch.json
+
 echo "==> bench wall-clock regression gate (results/bench_baseline.json)"
 cargo run --release -p fairwos-bench --bin bench_check
 

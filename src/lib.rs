@@ -67,8 +67,8 @@ pub use fairwos_tensor as tensor;
 
 pub use fairwos_core::{
     CheckpointStore, FairMethod, FairwosConfig, FairwosTrainer, FsCheckpointStore, InputError,
-    MemoryCheckpointStore, RecoveryConfig, TrainError, TrainInput, TrainProbe, TrainedFairwos,
-    TrainerWorkspace, TrainingCheckpoint, TrainingDiverged,
+    MemoryCheckpointStore, MinibatchConfig, RecoveryConfig, TrainError, TrainInput, TrainProbe,
+    TrainedFairwos, TrainerWorkspace, TrainingCheckpoint, TrainingDiverged,
 };
 pub use fairwos_datasets::{DatasetSpec, FairGraphDataset};
 pub use fairwos_fairness::EvalReport;
@@ -79,10 +79,10 @@ pub use fairwos_tensor::Matrix;
 pub mod prelude {
     pub use crate::baselines::{FairGkd, FairRF, KSmote, RemoveR, Vanilla};
     pub use crate::core::{
-        CheckpointStore, Divergence, FairMethod, FairwosConfig, FairwosTrainer,
-        FsCheckpointStore, InputError, MemoryCheckpointStore, RecoveryConfig, TelemetryEval,
-        TrainError, TrainInput, TrainProbe, TrainedFairwos, TrainerWorkspace,
-        TrainingCheckpoint, TrainingDiverged, WatchdogConfig,
+        CheckpointStore, Divergence, FairMethod, FairwosConfig, FairwosTrainer, FsCheckpointStore,
+        InputError, MemoryCheckpointStore, MinibatchConfig, RecoveryConfig, TelemetryEval,
+        TrainError, TrainInput, TrainProbe, TrainedFairwos, TrainerWorkspace, TrainingCheckpoint,
+        TrainingDiverged, WatchdogConfig,
     };
     pub use crate::datasets::{DatasetSpec, DatasetStats, FairGraphDataset, Split};
     pub use crate::fairness::{accuracy, delta_eo, delta_sp, EvalReport, MeanStd, RunAggregator};

@@ -1,0 +1,82 @@
+//! Steady-state allocation budget for the *mini-batch* training hot path.
+//!
+//! Same differential methodology as `tests/alloc_budget.rs` (two fits that
+//! differ only in `finetune_epochs`, the byte delta is the cost of the
+//! extra steady-state epochs), but on the neighbor-sampled path, which is
+//! the harder case for the workspace pool: subgraph buffer shapes vary
+//! from epoch to epoch (each epoch resamples neighborhoods under a fresh
+//! salt), so exact-size recycling would miss on every marginally larger
+//! request. The pool's power-of-two capacity classes are what make the
+//! buffer set converge; this test is the regression guard for that.
+//!
+//! This binary holds only this test: the obs registry is process-global,
+//! and any other obs-reset test in the same binary would race the counters.
+
+use fairwos::obs;
+use fairwos::prelude::*;
+
+fn config(finetune_epochs: usize) -> FairwosConfig {
+    FairwosConfig {
+        encoder_epochs: 30,
+        classifier_epochs: 40,
+        finetune_epochs,
+        learning_rate: 0.01,
+        patience: 20,
+        encoder_dim: 8,
+        alpha: 0.5,
+        // Four-ish blocks of ≤ 48 seeds with two sampled neighbors per
+        // node: genuinely variable per-epoch subgraph shapes.
+        minibatch: Some(MinibatchConfig::new(48, vec![2])),
+        ..FairwosConfig::paper_default(Backbone::Gcn)
+    }
+}
+
+/// Runs a full mini-batch fit and returns its `tensor/alloc/bytes` total.
+fn alloc_bytes_of_fit(ds: &FairGraphDataset, finetune_epochs: usize, seed: u64) -> u64 {
+    let input = TrainInput {
+        graph: &ds.graph,
+        features: &ds.features,
+        labels: &ds.labels,
+        train: &ds.split.train,
+        val: &ds.split.val,
+    };
+    obs::reset();
+    let _ = FairwosTrainer::new(config(finetune_epochs))
+        .fit(&input, seed)
+        .expect("training converges");
+    let metrics = obs::RunMetrics::capture("Fairwos", "alloc-budget-minibatch", "GCN", seed, 0.0);
+    metrics
+        .counters
+        .iter()
+        .find(|c| c.label == "tensor/alloc/bytes")
+        .map_or(0, |c| c.total)
+}
+
+#[test]
+fn minibatch_steady_state_epochs_stay_within_alloc_budget() {
+    if !obs::is_enabled() {
+        eprintln!("alloc_budget_minibatch: skipped (build without the `obs` feature)");
+        return;
+    }
+    let ds = FairGraphDataset::generate(&DatasetSpec::nba().scaled(0.4), 5);
+    let short = alloc_bytes_of_fit(&ds, 3, 7);
+    let long = alloc_bytes_of_fit(&ds, 8, 7);
+    assert!(
+        long >= short,
+        "longer run allocated less ({long} < {short}); the runs are not comparable"
+    );
+    // 5 extra steady-state fine-tuning epochs, each preparing ~4 sampled
+    // subgraph batches. The full-batch budget is kept as-is: once the pow2
+    // capacity classes are warm, resampled shapes must recycle, not
+    // allocate.
+    let steady = long - short;
+    const BUDGET: u64 = 64 * 1024;
+    assert!(
+        steady <= BUDGET,
+        "5 steady-state mini-batch fine-tuning epochs allocated {steady} \
+         bytes (budget {BUDGET}); variable-shaped batch buffers are no \
+         longer absorbed by the workspace pool's pow2 classes"
+    );
+
+    assert!(short > 0, "tensor/alloc/bytes counter recorded nothing");
+}

@@ -47,11 +47,16 @@ fn input_of(ds: &FairGraphDataset) -> TrainInput<'_> {
 fn transient_write_failures_heal_within_the_retry_budget() {
     let ds = small_dataset();
     let cfg = recovery_config();
-    let plain = FairwosTrainer::new(cfg.clone()).fit(&input_of(&ds), 5).expect("training converges");
+    let plain = FairwosTrainer::new(cfg.clone())
+        .fit(&input_of(&ds), 5)
+        .expect("training converges");
 
     // Attempts 1 and 5 fail transiently; with write_attempts = 3 both
     // saves succeed on their next attempt without the trainer noticing.
-    let plan = FaultPlan { fail_writes: vec![1, 5], ..FaultPlan::default() };
+    let plan = FaultPlan {
+        fail_writes: vec![1, 5],
+        ..FaultPlan::default()
+    };
     let mut store = FaultyCheckpointStore::new(MemoryCheckpointStore::new(), plan);
     let trained = FairwosTrainer::new(cfg)
         .fit_resumable(&input_of(&ds), 5, &mut store)
@@ -71,16 +76,29 @@ fn transient_write_failures_heal_within_the_retry_budget() {
 fn exhausted_write_budget_surfaces_a_typed_persist_error() {
     let ds = small_dataset();
     let cfg = recovery_config(); // write_attempts = 3
-    let plan = FaultPlan { fail_writes: vec![1, 2, 3], ..FaultPlan::default() };
+    let plan = FaultPlan {
+        fail_writes: vec![1, 2, 3],
+        ..FaultPlan::default()
+    };
     let mut store = FaultyCheckpointStore::new(MemoryCheckpointStore::new(), plan);
     let err = FairwosTrainer::new(cfg)
         .fit_resumable(&input_of(&ds), 5, &mut store)
         .expect_err("a persistently failing store must abort training");
 
-    assert!(matches!(err, TrainError::Persist(_)), "expected a persistence error, got: {err}");
+    assert!(
+        matches!(err, TrainError::Persist(_)),
+        "expected a persistence error, got: {err}"
+    );
     assert!(err.divergence().is_none());
-    assert_eq!(store.writes_seen(), 3, "the retry loop stops at the configured budget");
-    assert!(store.inner().is_empty(), "no generation ever reached the store");
+    assert_eq!(
+        store.writes_seen(),
+        3,
+        "the retry loop stops at the configured budget"
+    );
+    assert!(
+        store.inner().is_empty(),
+        "no generation ever reached the store"
+    );
 }
 
 #[test]
@@ -91,16 +109,23 @@ fn resume_skips_torn_corrupt_and_vanished_generations() {
 
     // Harvest the checkpoint sequence of a clean resumable run.
     let mut clean = MemoryCheckpointStore::new();
-    trainer.fit_resumable(&input_of(&ds), 5, &mut clean).expect("training converges");
+    trainer
+        .fit_resumable(&input_of(&ds), 5, &mut clean)
+        .expect("training converges");
     let generations = clean.generations().expect("in-memory store is infallible");
     let n = generations.len();
-    assert!(n >= 4, "need several generations to corrupt, got {generations:?}");
+    assert!(
+        n >= 4,
+        "need several generations to corrupt, got {generations:?}"
+    );
 
     // Rebuild a crashed store whose newest three generations are a torn
     // write, footer bit rot, and a file that vanished before the read.
     let mut inner = MemoryCheckpointStore::new();
     for &generation in &generations {
-        let mut blob = clean.read(generation).expect("in-memory store is infallible");
+        let mut blob = clean
+            .read(generation)
+            .expect("in-memory store is infallible");
         if generation == generations[n - 1] {
             blob.truncate(blob.len() / 2);
         }
@@ -108,9 +133,14 @@ fn resume_skips_torn_corrupt_and_vanished_generations() {
             let last = blob.len() - 1;
             blob[last] ^= 0xFF;
         }
-        inner.write(generation, &blob).expect("in-memory store is infallible");
+        inner
+            .write(generation, &blob)
+            .expect("in-memory store is infallible");
     }
-    let plan = FaultPlan { vanish_reads: vec![generations[n - 3]], ..FaultPlan::default() };
+    let plan = FaultPlan {
+        vanish_reads: vec![generations[n - 3]],
+        ..FaultPlan::default()
+    };
     let mut crashed = FaultyCheckpointStore::new(inner, plan);
 
     // Resume must fall back to the newest intact generation and still end
@@ -120,7 +150,10 @@ fn resume_skips_torn_corrupt_and_vanished_generations() {
         .expect("resume heals by falling back to an older generation");
     assert_eq!(full.predict_probs(), resumed.predict_probs());
     assert_eq!(full.lambda(), resumed.lambda());
-    assert_eq!(full.history.classifier_losses, resumed.history.classifier_losses);
+    assert_eq!(
+        full.history.classifier_losses,
+        resumed.history.classifier_losses
+    );
 }
 
 #[test]
@@ -133,7 +166,9 @@ fn fs_store_resumes_after_the_newest_file_is_truncated() {
     let full = trainer.fit(&input_of(&ds), 5).expect("training converges");
 
     let mut store = FsCheckpointStore::new(dir.clone());
-    trainer.fit_resumable(&input_of(&ds), 5, &mut store).expect("training converges");
+    trainer
+        .fit_resumable(&input_of(&ds), 5, &mut store)
+        .expect("training converges");
     let generations = store.generations().expect("checkpoint dir is listable");
     assert!(!generations.is_empty());
 
@@ -151,6 +186,128 @@ fn fs_store_resumes_after_the_newest_file_is_truncated() {
     assert_eq!(full.predict_probs(), resumed.predict_probs());
 
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The recovery schedule on the mini-batch path: three blocks of ≤ 40
+/// seeds per epoch (nba × 0.3 ≈ 120 nodes), finite fanout, and a cursor
+/// checkpoint after every batch.
+fn minibatch_recovery_config() -> FairwosConfig {
+    FairwosConfig {
+        minibatch: Some(MinibatchConfig {
+            checkpoint_batches: 1,
+            ..MinibatchConfig::new(40, vec![3])
+        }),
+        ..recovery_config()
+    }
+}
+
+#[test]
+fn mid_epoch_resume_is_bit_identical_to_uninterrupted() {
+    use fairwos::core::checkpoint::decode_checkpoint;
+
+    let ds = small_dataset();
+    let trainer = FairwosTrainer::new(minibatch_recovery_config());
+    let full = trainer.fit(&input_of(&ds), 5).expect("training converges");
+
+    // Harvest the generation sequence of a clean resumable run. Mid-epoch
+    // generations are exactly the ones whose decoded blob carries a batch
+    // cursor.
+    let mut clean = MemoryCheckpointStore::new();
+    trainer
+        .fit_resumable(&input_of(&ds), 5, &mut clean)
+        .expect("training converges");
+    let generations = clean.generations().expect("in-memory store is infallible");
+    let mid: Vec<u64> = generations
+        .iter()
+        .copied()
+        .filter(|&g| {
+            let blob = clean.read(g).expect("in-memory store is infallible");
+            decode_checkpoint(&blob)
+                .expect("clean blobs decode")
+                .batch_cursor
+                .is_some()
+        })
+        .collect();
+    assert!(
+        mid.len() >= 2,
+        "checkpoint_batches = 1 over ≥ 2 batches/epoch must leave mid-epoch \
+         generations, got {generations:?}"
+    );
+
+    // Crash immediately after a mid-epoch write — once at the oldest
+    // retained cursor and once at the newest (which lands inside the
+    // stage-3 fine-tune on this schedule) — and resume from a store that
+    // holds nothing newer. Resume restarts the epoch's remaining batches
+    // from the cursor and must end bit-identical to the uninterrupted fit.
+    for &cut in &[mid[0], mid[mid.len() - 1]] {
+        let mut crashed = MemoryCheckpointStore::new();
+        for &g in generations.iter().filter(|&&g| g <= cut) {
+            let blob = clean.read(g).expect("in-memory store is infallible");
+            crashed
+                .write(g, &blob)
+                .expect("in-memory store is infallible");
+        }
+        let resumed = trainer
+            .fit_resumable(&input_of(&ds), 5, &mut crashed)
+            .expect("mid-epoch resume converges");
+        assert_eq!(
+            full.predict_probs(),
+            resumed.predict_probs(),
+            "resume from mid-epoch generation {cut} diverged"
+        );
+        assert_eq!(full.lambda(), resumed.lambda());
+        assert_eq!(
+            full.history.classifier_losses,
+            resumed.history.classifier_losses
+        );
+        assert_eq!(full.history.finetune.len(), resumed.history.finetune.len());
+    }
+}
+
+#[test]
+fn minibatch_checkpoint_fields_survive_the_serde_round_trip() {
+    use fairwos::core::checkpoint::{decode_checkpoint, encode_checkpoint};
+
+    // FW009 keeps the manifest in sync with the struct; this pins the other
+    // half of the contract — the new mini-batch fields actually travel
+    // through the sealed-blob round trip instead of deserializing to their
+    // `#[serde(default)]` of `None`.
+    let ds = small_dataset();
+    let mut store = MemoryCheckpointStore::new();
+    FairwosTrainer::new(minibatch_recovery_config())
+        .fit_resumable(&input_of(&ds), 5, &mut store)
+        .expect("training converges");
+    let generations = store.generations().expect("in-memory store is infallible");
+
+    let ckpt = generations
+        .iter()
+        .rev()
+        .find_map(|&g| {
+            let blob = store.read(g).expect("in-memory store is infallible");
+            let c = decode_checkpoint(&blob).expect("clean blobs decode");
+            c.batch_cursor.is_some().then_some(c)
+        })
+        .expect("the schedule writes at least one mid-epoch generation");
+    assert!(
+        ckpt.sampler_rng.is_some(),
+        "mini-batch checkpoints must carry the sampler RNG position"
+    );
+
+    let blob = encode_checkpoint(&ckpt).expect("checkpoint re-encodes");
+    assert!(
+        String::from_utf8_lossy(&blob).contains("\"sampler_rng\"")
+            && String::from_utf8_lossy(&blob).contains("\"batch_cursor\""),
+        "the new manifest fields must be spelled out in the stored JSON"
+    );
+    let back = decode_checkpoint(&blob).expect("re-encoded checkpoint decodes");
+    assert_eq!(
+        back.sampler_rng, ckpt.sampler_rng,
+        "sampler RNG state lost in round trip"
+    );
+    assert_eq!(
+        back.batch_cursor, ckpt.batch_cursor,
+        "batch cursor lost in round trip"
+    );
 }
 
 #[test]
@@ -176,7 +333,9 @@ fn divergence_rolls_back_and_retries_with_scaled_lr() {
         .fit_resumable(&input_of(&ds), 7, &mut store)
         .expect("rollback with a backed-off learning rate must converge");
     let probs = trained.predict_probs();
-    assert!(probs.iter().all(|p| p.is_finite() && (0.0..=1.0).contains(p)));
+    assert!(probs
+        .iter()
+        .all(|p| p.is_finite() && (0.0..=1.0).contains(p)));
     assert!(!store.is_empty());
 }
 
@@ -188,6 +347,9 @@ fn invalid_input_is_a_typed_error_not_a_panic() {
     let err = FairwosTrainer::new(recovery_config())
         .fit(&input, 0)
         .expect_err("an empty train split cannot be fitted");
-    assert!(matches!(err, TrainError::Input(InputError::EmptyTrainSplit)), "{err}");
+    assert!(
+        matches!(err, TrainError::Input(InputError::EmptyTrainSplit)),
+        "{err}"
+    );
     assert!(err.divergence().is_none());
 }

@@ -46,7 +46,9 @@ fn run_pipeline(ds: &FairGraphDataset, seed: u64) -> (Vec<f32>, EvalReport) {
         train: &ds.split.train,
         val: &ds.split.val,
     };
-    let trained = FairwosTrainer::new(config()).fit(&input, seed).expect("training converges");
+    let trained = FairwosTrainer::new(config())
+        .fit(&input, seed)
+        .expect("training converges");
     let probs = trained.predict_probs();
     let test_probs: Vec<f32> = ds.split.test.iter().map(|&v| probs[v]).collect();
     let report = EvalReport::compute(
@@ -96,7 +98,9 @@ fn buffer_reuse_matches_allocating_path() {
     let trainer = FairwosTrainer::new(config());
     let pooled = trainer.fit(&input, 42).expect("training converges");
     let mut tws = TrainerWorkspace::disposable();
-    let allocating = trainer.fit_with(&input, 42, &mut tws).expect("training converges");
+    let allocating = trainer
+        .fit_with(&input, 42, &mut tws)
+        .expect("training converges");
 
     let probs_pooled = pooled.predict_probs();
     let probs_alloc = allocating.predict_probs();
@@ -122,6 +126,52 @@ fn buffer_reuse_matches_allocating_path() {
         pooled.lambda(),
         allocating.lambda(),
         "λ diverged between buffer paths"
+    );
+}
+
+#[test]
+fn same_seed_minibatch_is_bit_identical() {
+    // The mini-batch path adds three new sources of nondeterminism risk:
+    // rayon-parallel batch preparation, the per-epoch salt/shuffle draws,
+    // and per-batch counterfactual search. Same seed must still mean
+    // byte-for-byte equal models — at *finite* fanout and with several
+    // blocks per epoch, where all of that machinery genuinely runs.
+    let ds = dataset();
+    let minibatch = MinibatchConfig {
+        shuffle: true,
+        ..MinibatchConfig::new(64, vec![4])
+    };
+    let cfg = FairwosConfig {
+        minibatch: Some(minibatch),
+        ..config()
+    };
+    let input = TrainInput {
+        graph: &ds.graph,
+        features: &ds.features,
+        labels: &ds.labels,
+        train: &ds.split.train,
+        val: &ds.split.val,
+    };
+    let a = FairwosTrainer::new(cfg.clone())
+        .fit(&input, 42)
+        .expect("training converges");
+    let b = FairwosTrainer::new(cfg)
+        .fit(&input, 42)
+        .expect("training converges");
+    assert_eq!(
+        a.predict_probs(),
+        b.predict_probs(),
+        "same-seed mini-batch runs diverged in predictions"
+    );
+    assert_eq!(
+        a.lambda(),
+        b.lambda(),
+        "same-seed mini-batch runs diverged in λ"
+    );
+    assert_eq!(
+        serde_json::to_string(&a.history).expect("history serializes"),
+        serde_json::to_string(&b.history).expect("history serializes"),
+        "same-seed mini-batch runs diverged in training history"
     );
 }
 

@@ -1,0 +1,176 @@
+//! Property tests for the mini-batch sampling layer (`fairwos_graph::sampling`).
+//!
+//! These pin the three invariants the mini-batch trainer builds on:
+//!
+//! 1. **Structural validity** — [`partition`] is a disjoint sorted cover of
+//!    the node set within the batch budget, and every [`SubgraphSample`]
+//!    round-trips its global↔local remapping, carries only real edges of
+//!    the parent graph, and respects the per-layer fanout bound.
+//! 2. **Purity** — a neighbor sample is a function of
+//!    `(seed, salt, layer, node)` alone: repeating a draw, interleaving
+//!    draws of other nodes, or reversing the call order never changes it.
+//! 3. **Schedule independence** — sampling a whole epoch's blocks through
+//!    rayon (any thread count, any work-stealing order) produces exactly
+//!    the per-block subgraphs of the serial loop, which is what lets
+//!    `BatchPlan::prepare_epoch` parallelize without a determinism caveat.
+
+use fairwos::graph::generate::{erdos_renyi, sensitive_sbm};
+use fairwos::graph::{partition, Graph, NeighborSampler};
+use fairwos::tensor::seeded_rng;
+use proptest::prelude::*;
+use rayon::prelude::*;
+
+/// One random sampling instance: a generated graph plus sampler knobs.
+#[derive(Debug)]
+struct Instance {
+    graph: Graph,
+    sampler_seed: u64,
+    salt: u64,
+    fanout: Vec<usize>,
+    batch_nodes: usize,
+}
+
+fn instance() -> impl Strategy<Value = Instance> {
+    (
+        4usize..40,
+        0u64..1000,
+        any::<u64>(),
+        any::<u64>(),
+        prop::collection::vec(0usize..5, 1..4),
+        1usize..20,
+        any::<bool>(),
+    )
+        .prop_map(
+            |(n, graph_seed, sampler_seed, salt, fanout, batch_nodes, use_sbm)| {
+                let mut rng = seeded_rng(graph_seed);
+                let graph = if use_sbm {
+                    let sens: Vec<bool> = (0..n).map(|v| v % 3 == 0).collect();
+                    sensitive_sbm(&sens, 0.3, 0.08, &mut rng)
+                } else {
+                    erdos_renyi(n, 0.15, &mut rng)
+                };
+                Instance {
+                    graph,
+                    sampler_seed,
+                    salt,
+                    fanout,
+                    batch_nodes,
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Partition blocks are sorted, disjoint, within budget, and cover
+    /// every node exactly once.
+    #[test]
+    fn partition_is_a_sorted_disjoint_cover(inst in instance()) {
+        let g = &inst.graph;
+        let blocks = partition(g, inst.batch_nodes);
+        let mut owner = vec![usize::MAX; g.num_nodes()];
+        for (bi, block) in blocks.iter().enumerate() {
+            prop_assert!(!block.is_empty(), "empty block");
+            prop_assert!(block.len() <= inst.batch_nodes, "block over budget");
+            prop_assert!(block.windows(2).all(|w| w[0] < w[1]), "block not sorted");
+            for &v in block {
+                prop_assert_eq!(owner[v], usize::MAX, "node {} in two blocks", v);
+                owner[v] = bi;
+            }
+        }
+        prop_assert!(owner.iter().all(|&o| o != usize::MAX), "a node was dropped");
+    }
+
+    /// Every sampled subgraph is structurally valid: no dangling local ids,
+    /// the global↔local remap round-trips, targets mirror the block, every
+    /// sampled edge exists in the parent graph, and each expanded node's
+    /// *outgoing* sample respects the layer fanout (the symmetrized
+    /// neighbor lists may be larger — they also carry reverse edges).
+    #[test]
+    fn sampled_subgraphs_are_valid(inst in instance()) {
+        let g = &inst.graph;
+        let sampler = NeighborSampler::new(inst.sampler_seed, inst.fanout.clone());
+        for block in &partition(g, inst.batch_nodes) {
+            let sub = sampler.sample_block(g, inst.salt, block);
+            prop_assert!(sub.num_nodes() >= block.len());
+            for local in 0..sub.num_nodes() {
+                let global = sub.global_of(local);
+                prop_assert!(global < g.num_nodes(), "dangling global id");
+                prop_assert_eq!(sub.local_of(global), Some(local), "remap round-trip");
+                for &lu in sub.neighbors_of(local) {
+                    prop_assert!(lu < sub.num_nodes(), "dangling local id");
+                    prop_assert!(
+                        g.has_edge(global, sub.global_of(lu)),
+                        "sampled edge {}-{} is not a parent edge",
+                        global,
+                        sub.global_of(lu)
+                    );
+                }
+            }
+            prop_assert_eq!(sub.targets().len(), block.len());
+            for (&t, &v) in sub.targets().iter().zip(block) {
+                prop_assert_eq!(sub.global_of(t), v, "target remap");
+            }
+        }
+        // The fanout bound holds per (layer, node) draw.
+        for (layer, &f) in inst.fanout.iter().enumerate() {
+            for v in 0..g.num_nodes() {
+                let picks = sampler.sample_neighbors(g, inst.salt, layer, v);
+                let bound = if f == 0 { g.degree(v) } else { f.min(g.degree(v)) };
+                prop_assert_eq!(picks.len(), bound, "fanout bound at node {}", v);
+                prop_assert!(picks.windows(2).all(|w| w[0] < w[1]), "not sorted");
+            }
+        }
+    }
+
+    /// Sampling is a pure function of `(seed, salt, layer, node)`: repeated
+    /// draws, draws interleaved with other nodes, and draws in reverse node
+    /// order all agree.
+    #[test]
+    fn sampling_is_pure_and_call_order_independent(inst in instance()) {
+        let g = &inst.graph;
+        let sampler = NeighborSampler::new(inst.sampler_seed, inst.fanout.clone());
+        let layer = inst.fanout.len() - 1;
+        let forward: Vec<Vec<usize>> = (0..g.num_nodes())
+            .map(|v| sampler.sample_neighbors(g, inst.salt, layer, v))
+            .collect();
+        let mut reverse: Vec<Vec<usize>> = (0..g.num_nodes()).rev()
+            .map(|v| sampler.sample_neighbors(g, inst.salt, layer, v))
+            .collect();
+        reverse.reverse();
+        prop_assert_eq!(&forward, &reverse, "call order changed a sample");
+        // Interleave with fresh sampler clones: still identical.
+        let again: Vec<Vec<usize>> = (0..g.num_nodes())
+            .map(|v| {
+                let _noise = sampler.sample_neighbors(
+                    g,
+                    inst.salt,
+                    layer,
+                    (v + 1) % g.num_nodes(),
+                );
+                sampler.clone().sample_neighbors(g, inst.salt, layer, v)
+            })
+            .collect();
+        prop_assert_eq!(&forward, &again, "interleaved draws changed a sample");
+    }
+
+    /// An epoch's block samples are identical whether the blocks are
+    /// expanded serially or through rayon's work-stealing pool — the
+    /// property `BatchPlan::prepare_epoch` relies on.
+    #[test]
+    fn block_sampling_is_thread_schedule_independent(inst in instance()) {
+        let g = &inst.graph;
+        let sampler = NeighborSampler::new(inst.sampler_seed, inst.fanout.clone());
+        let blocks = partition(g, inst.batch_nodes);
+        let serial: Vec<_> = blocks
+            .iter()
+            .map(|b| sampler.sample_block(g, inst.salt, b))
+            .collect();
+        let parallel: Vec<_> = blocks
+            .par_iter()
+            .map(|b| sampler.sample_block(g, inst.salt, b))
+            .collect();
+        prop_assert_eq!(serial, parallel, "rayon schedule changed a subgraph");
+    }
+}
