@@ -25,12 +25,13 @@
 //   order, breaking bit-reproducibility. Use `BTreeMap`/`BTreeSet` or an
 //   explicit sort, or annotate with a reason.
 // * FW007 — no allocating constructors in functions reachable (via the
-//   workspace call graph) from the `fit*`/`forward*`/`backward*`/`spmm*`
-//   entry points; the training hot loop must route buffers through
-//   `Workspace` (PR 3's alloc-budget invariant, made static).
-// * FW008 — every public `fit*`/`forward*`/`backward*` in core/nn must be
-//   observable: it (or a callee, transitively) opens an obs span or feeds
-//   an obs counter, or is explicitly exempted.
+//   workspace call graph) from the `fit*`/`forward*`/`backward*`/`spmm*`/
+//   `query*` entry points; the training and serving hot loops must route
+//   buffers through `Workspace` (PR 3's alloc-budget invariant, made
+//   static).
+// * FW008 — every public `fit*`/`forward*`/`backward*`/`query*` in
+//   core/nn/serve must be observable: it (or a callee, transitively) opens
+//   an obs span or feeds an obs counter, or is explicitly exempted.
 // * FW009 — the fields of `TrainingCheckpoint` must stay in sync with the
 //   `TRAINING_CHECKPOINT_MANIFEST` declared next to it, so new mutable
 //   trainer state cannot silently escape crash recovery.
@@ -56,8 +57,8 @@ pub const LINTS: &[(&str, &str)] = &[
     ("FW004", "raw Matrix buffer indexing requires a shape assertion in the same function"),
     ("FW005", "no Instant::now()/SystemTime::now() outside crates/obs and crates/bench"),
     ("FW006", "no HashMap/HashSet (unordered iteration) in result-affecting crates"),
-    ("FW007", "no allocating constructors in call paths reachable from fit/forward/backward/spmm"),
-    ("FW008", "public fit/forward/backward fns in core/nn must open a span or feed a counter"),
+    ("FW007", "no allocating constructors reachable from fit/forward/backward/spmm/query"),
+    ("FW008", "public fit/forward/backward/query fns in core/nn/serve must reach a span/counter"),
     ("FW009", "TrainingCheckpoint fields must match the declared trainer-state manifest"),
     ("FW010", "truncating as-usize/as-u32 casts in kernel index math need a bounds guard"),
 ];
@@ -85,6 +86,7 @@ const RESULT_ROOTS: &[&str] = &[
     "crates/fairness/",
     "crates/datasets/",
     "crates/analysis/",
+    "crates/serve/",
 ];
 
 /// Unordered container tokens FW006 rejects.
@@ -92,7 +94,7 @@ const FW006_TOKENS: &[&str] = &["HashMap", "HashSet"];
 
 /// Function-name prefixes that anchor the FW007 hot-path reachability sweep
 /// and the FW008 observability check.
-const HOT_ENTRY_PREFIXES: &[&str] = &["fit", "forward", "backward", "spmm"];
+const HOT_ENTRY_PREFIXES: &[&str] = &["fit", "forward", "backward", "spmm", "query"];
 
 /// Allocating constructors FW007 rejects on the hot path. Matched against
 /// masked body lines.
@@ -110,8 +112,9 @@ const FW007_ALLOC_PATTERNS: &[&str] = &[
 /// allocator, so its own internals may allocate.
 const FW007_EXEMPT_FILES: &[&str] = &["crates/tensor/src/pool.rs"];
 
-/// Crate roots whose public `fit*`/`forward*`/`backward*` fns FW008 audits.
-const FW008_ROOTS: &[&str] = &["crates/nn/src", "crates/core/src"];
+/// Crate roots whose public `fit*`/`forward*`/`backward*`/`query*` fns
+/// FW008 audits.
+const FW008_ROOTS: &[&str] = &["crates/nn/src", "crates/core/src", "crates/serve/src"];
 
 /// Kernel crates whose index casts FW010 audits.
 const FW010_ROOTS: &[&str] = &["crates/tensor/", "crates/graph/"];

@@ -16,7 +16,10 @@
 //! perturbation counterfactuals), `exp_ablation_lambda` (λ-update
 //! direction), and `exp_minibatch` (full-batch vs neighbor-sampled
 //! mini-batch training — wall time, utility/fairness, and a release-mode
-//! re-assertion of the bitwise equivalence contract of `docs/SCALING.md`).
+//! re-assertion of the bitwise equivalence contract of `docs/SCALING.md`),
+//! and `exp_serving` (serving throughput/latency through `fairwos-serve`:
+//! cached single-node queries, batched queries, and hot reload under load,
+//! gated at ≥100k single-node queries/sec — see `docs/SERVING.md`).
 //!
 //! Two instrumentation binaries ride along (most useful with `--features
 //! obs`): `exp_fig5_convergence` traces one full Fairwos fit and exports

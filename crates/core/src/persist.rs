@@ -277,13 +277,29 @@ impl FairwosModelFile {
             path: path.display().to_string(),
             source: e,
         })?;
-        let payload: &[u8] = if has_footer(&bytes) {
-            unseal(&bytes).map_err(|detail| PersistError::Corrupt {
-                what: path.display().to_string(),
+        Self::from_bytes(&bytes, &path.display().to_string())
+    }
+
+    /// Decodes a model from raw bytes — sealed (footer-verified) or legacy
+    /// plain JSON — without touching the filesystem. `what` labels the byte
+    /// source in error messages (a path, `"memory model source"`, …).
+    ///
+    /// This is the read-side hook the serving layer's hot-reload path uses:
+    /// a [`crate::PersistError`] here means the candidate artifact is torn,
+    /// truncated, or bit-flipped and the previous model generation must keep
+    /// serving.
+    ///
+    /// # Errors
+    /// [`PersistError::Corrupt`] on a failed footer check, or the
+    /// [`FairwosModelFile::from_json`] errors.
+    pub fn from_bytes(bytes: &[u8], what: &str) -> Result<Self, PersistError> {
+        let payload: &[u8] = if has_footer(bytes) {
+            unseal(bytes).map_err(|detail| PersistError::Corrupt {
+                what: what.to_owned(),
                 detail,
             })?
         } else {
-            &bytes
+            bytes
         };
         let json = std::str::from_utf8(payload).map_err(|e| PersistError::Parse(e.to_string()))?;
         Self::from_json(json)
@@ -309,26 +325,11 @@ impl FairwosModelFile {
             });
         }
         let ctx = GraphContext::new(graph);
-        let (encoder, x0) = match &self.encoder_weights {
-            Some(w) => {
-                let enc = Encoder::from_weights(self.in_dim, self.config.encoder_dim, w)?;
-                let x0 = enc.extract(&ctx, features);
-                (Some(enc), x0)
-            }
-            None => (None, features.clone()),
+        let (encoder, gnn) = self.build_modules()?;
+        let x0 = match &encoder {
+            Some(enc) => enc.extract(&ctx, features),
+            None => features.clone(),
         };
-        let mut gnn = Gnn::new(
-            GnnConfig {
-                backbone: self.config.backbone,
-                in_dim: x0.cols(),
-                hidden_dim: self.config.hidden_dim,
-                num_layers: self.config.num_layers,
-                dropout: 0.0,
-            },
-            &mut seeded_rng(0),
-        );
-        import_gnn_weights(&mut gnn, &self.gnn_weights)?;
-
         let probs = sigmoid(&gnn.forward_inference(&ctx, &x0).logits).col(0);
         let pseudo_labels: Vec<bool> = probs.iter().map(|&p| p >= 0.5).collect();
         let bits = binarize_at_medians(&x0);
@@ -342,6 +343,45 @@ impl FairwosModelFile {
             pseudo_labels,
             bits,
         ))
+    }
+
+    /// Rebuilds the stored modules — the optional encoder and the
+    /// shape-checked classifier GNN — without binding them to a graph.
+    ///
+    /// [`FairwosModelFile::restore`] composes this with the derived-artifact
+    /// recomputation; the serving layer calls it directly because it
+    /// precomputes embeddings against its own long-lived
+    /// [`fairwos_nn::GraphContext`].
+    ///
+    /// # Errors
+    /// [`PersistError::ShapeMismatch`] when a stored weight count or shape
+    /// disagrees with the stored config's architecture.
+    pub fn build_modules(&self) -> Result<(Option<Encoder>, Gnn), PersistError> {
+        let encoder = match &self.encoder_weights {
+            Some(w) => Some(Encoder::from_weights(
+                self.in_dim,
+                self.config.encoder_dim,
+                w,
+            )?),
+            None => None,
+        };
+        let gnn_in_dim = if encoder.is_some() {
+            self.config.encoder_dim
+        } else {
+            self.in_dim
+        };
+        let mut gnn = Gnn::new(
+            GnnConfig {
+                backbone: self.config.backbone,
+                in_dim: gnn_in_dim,
+                hidden_dim: self.config.hidden_dim,
+                num_layers: self.config.num_layers,
+                dropout: 0.0,
+            },
+            &mut seeded_rng(0),
+        );
+        import_gnn_weights(&mut gnn, &self.gnn_weights)?;
+        Ok((encoder, gnn))
     }
 }
 

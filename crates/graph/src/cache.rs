@@ -96,6 +96,20 @@ impl AdjacencyCache {
     pub fn mean_t(&self) -> &CsrMatrix {
         self.mean_t.get_or_init(|| self.mean().transpose())
     }
+
+    /// Eagerly builds all four propagation matrices.
+    ///
+    /// Training never calls this — laziness is the point of the cache. The
+    /// serving layer does: it warms the cache once at startup so that no
+    /// query (and no hot-reloaded model, whatever backbone its config
+    /// names) ever pays a lazy CSR build on the request path.
+    pub fn warm_all(&self) {
+        let _s = fairwos_obs::span("graph/adjacency/warm");
+        let _ = self.gcn();
+        let _ = self.sum();
+        let _ = self.mean();
+        let _ = self.mean_t();
+    }
 }
 
 #[cfg(test)]

@@ -90,8 +90,8 @@ mod registry;
 #[cfg(feature = "enabled")]
 pub use registry::{
     counter_add, counter_totals, journal_alert, journal_checkpoint, journal_counter_snapshot,
-    journal_epoch, journal_events, journal_record, journal_rollback, reset, scale_max,
-    set_journal_capacity, span, SpanGuard,
+    journal_epoch, journal_events, journal_record, journal_rollback, monotonic_ns, reset,
+    scale_max, set_journal_capacity, span, SpanGuard,
 };
 
 #[cfg(not(feature = "enabled"))]
@@ -161,13 +161,20 @@ mod noop {
     /// Resizes the journal ring (no-op in this build).
     #[inline(always)]
     pub fn set_journal_capacity(_capacity: usize) {}
+
+    /// Monotonic timestamp (always `0` in this build, so latency deltas
+    /// computed from it are `0` and downstream histograms stay empty).
+    #[inline(always)]
+    pub fn monotonic_ns() -> u64 {
+        0
+    }
 }
 
 #[cfg(not(feature = "enabled"))]
 pub use noop::{
     counter_add, counter_totals, journal_alert, journal_checkpoint, journal_counter_snapshot,
-    journal_epoch, journal_events, journal_record, journal_rollback, reset, scale_max,
-    set_journal_capacity, span, SpanGuard,
+    journal_epoch, journal_events, journal_record, journal_rollback, monotonic_ns, reset,
+    scale_max, set_journal_capacity, span, SpanGuard,
 };
 
 #[cfg(test)]

@@ -76,6 +76,17 @@ fn journal_anchor() -> Instant {
     *ANCHOR.get_or_init(Instant::now)
 }
 
+/// Nanoseconds elapsed since the process-wide journal anchor.
+///
+/// This is the sanctioned monotonic clock for instrumented subsystems that
+/// need raw timestamps (e.g. `fairwos-serve` latency histograms) without
+/// owning an `Instant` of their own — the audit lint FW005 confines
+/// `Instant::now()` to this crate. Values are comparable with the `ts_ns`
+/// field of journal events because both share the same anchor.
+pub fn monotonic_ns() -> u64 {
+    journal_anchor().elapsed().as_nanos() as u64
+}
+
 /// Dense per-process thread id, assigned in first-recording order.
 fn current_tid() -> u64 {
     static NEXT_TID: AtomicU64 = AtomicU64::new(0);

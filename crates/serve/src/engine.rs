@@ -1,0 +1,428 @@
+//! The serving engine: a fixed worker pool draining a bounded queue in
+//! coalesced batches, with generation-swapped hot reload.
+//!
+//! # Determinism contract
+//!
+//! Every response is a pure function of `(node, generation)`: workers answer
+//! each drained batch against one [`ServableModel`] snapshot whose
+//! probability table was frozen at build time. Arrival interleaving, batch
+//! boundaries, worker count, and thread scheduling therefore cannot change
+//! any response — replaying a query log against the same generation with
+//! [`replay`] reproduces every response bit-for-bit.
+//!
+//! # Zero-drop contract
+//!
+//! A query either fails fast (queue closed, node out of range) or is
+//! answered exactly once: producers block instead of dropping when the
+//! queue is full, workers drain remaining requests even after shutdown
+//! begins, and a reload never interrupts a batch in flight (the old
+//! generation's `Arc` lives until its last response is sent).
+
+use crate::model::{ServableModel, ServeData};
+use crate::queue::BoundedQueue;
+use crate::source::ModelSource;
+use crate::stats::{ServeStats, StatsInner};
+use crate::swap::EpochSwap;
+use fairwos_core::{FairwosModelFile, PersistError};
+use fairwos_tensor::Workspace;
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{mpsc, Arc, Mutex, PoisonError};
+use std::thread::JoinHandle;
+
+/// One classification response.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Prediction {
+    /// The queried node.
+    pub node: usize,
+    /// Predicted probability `σ(logit)` of the positive class.
+    pub prob: f32,
+    /// `prob >= 0.5`.
+    pub label: bool,
+    /// The model generation that produced this response.
+    pub generation: u64,
+}
+
+/// Errors surfaced by the serving API.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The queried node does not exist in the served graph.
+    NodeOutOfRange {
+        /// The requested node id.
+        node: usize,
+        /// Number of servable nodes.
+        nodes: usize,
+    },
+    /// The engine is shutting down; the request was not enqueued (or its
+    /// worker is gone).
+    Closed,
+    /// A (re)load failed: fetching or decoding the artifact, or rebuilding
+    /// the modules. On reload the previous generation keeps serving.
+    Reload(PersistError),
+    /// A worker thread could not be spawned at startup.
+    WorkerSpawn(std::io::Error),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::NodeOutOfRange { node, nodes } => {
+                write!(f, "node {node} out of range ({nodes} servable nodes)")
+            }
+            ServeError::Closed => write!(f, "serving engine is shut down"),
+            ServeError::Reload(e) => write!(f, "model (re)load rejected: {e}"),
+            ServeError::WorkerSpawn(e) => write!(f, "serving worker spawn failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Reload(e) => Some(e),
+            ServeError::WorkerSpawn(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// Sizing knobs for [`ServeEngine::start`]. Zeroes are clamped to 1.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeConfig {
+    /// Worker threads draining the queue.
+    pub workers: usize,
+    /// Bounded queue capacity; producers block (backpressure) when full.
+    pub queue_capacity: usize,
+    /// Most requests a worker answers per drain, against one snapshot.
+    pub max_batch: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 2,
+            queue_capacity: 1024,
+            max_batch: 256,
+        }
+    }
+}
+
+/// One queued single-node request.
+struct Request {
+    node: usize,
+    enqueued_ns: u64,
+    reply: Sender<Prediction>,
+}
+
+/// State shared between the engine handle and its workers.
+struct EngineShared {
+    swap: EpochSwap<ServableModel>,
+    queue: BoundedQueue<Request>,
+    stats: StatsInner,
+    max_batch: usize,
+}
+
+/// Reload-side state, serialized under one mutex so generations are
+/// assigned in reload order.
+struct ModelHost {
+    source: Box<dyn ModelSource + Send>,
+    next_generation: u64,
+}
+
+/// A pending [`ServeEngine::query_async`] response.
+pub struct Ticket {
+    rx: Receiver<Prediction>,
+}
+
+impl Ticket {
+    /// Blocks until the response arrives.
+    ///
+    /// # Errors
+    /// [`ServeError::Closed`] when the engine shut down before answering —
+    /// impossible for requests accepted before [`ServeEngine::shutdown`].
+    pub fn wait(self) -> Result<Prediction, ServeError> {
+        self.rx.recv().map_err(|_| ServeError::Closed)
+    }
+}
+
+/// The serving engine (see module docs). Dropping it shuts down and joins
+/// the workers, answering everything already accepted.
+pub struct ServeEngine {
+    shared: Arc<EngineShared>,
+    host: Mutex<ModelHost>,
+    data: ServeData,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServeEngine {
+    /// Loads the initial model from `source`, precomputes generation 0, and
+    /// spawns the worker pool.
+    ///
+    /// # Errors
+    /// [`ServeError::Reload`] when the initial artifact cannot be fetched,
+    /// decoded, or rebuilt; [`ServeError::WorkerSpawn`] when a worker
+    /// thread cannot start.
+    pub fn start(
+        data: ServeData,
+        mut source: Box<dyn ModelSource + Send>,
+        config: ServeConfig,
+    ) -> Result<Self, ServeError> {
+        let model = load_generation(source.as_mut(), &data, 0).map_err(ServeError::Reload)?;
+        let shared = Arc::new(EngineShared {
+            swap: EpochSwap::new(Arc::new(model)),
+            queue: BoundedQueue::new(config.queue_capacity),
+            stats: StatsInner::new(),
+            max_batch: config.max_batch.max(1),
+        });
+        let mut workers = Vec::with_capacity(config.workers.max(1));
+        for i in 0..config.workers.max(1) {
+            let worker_shared = Arc::clone(&shared);
+            let handle = std::thread::Builder::new()
+                .name(format!("fairwos-serve-{i}"))
+                .spawn(move || worker_loop(&worker_shared))
+                .map_err(ServeError::WorkerSpawn)?;
+            workers.push(handle);
+        }
+        Ok(ServeEngine {
+            shared,
+            host: Mutex::new(ModelHost {
+                source,
+                next_generation: 1,
+            }),
+            data,
+            workers,
+        })
+    }
+
+    /// Number of servable nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.data.num_nodes()
+    }
+
+    /// Generation currently being served.
+    pub fn generation(&self) -> u64 {
+        self.shared.swap.load().generation()
+    }
+
+    fn check_node(&self, node: usize) -> Result<(), ServeError> {
+        let nodes = self.data.num_nodes();
+        if node >= nodes {
+            return Err(ServeError::NodeOutOfRange { node, nodes });
+        }
+        Ok(())
+    }
+
+    /// Answers one node through the coalescing queue, blocking until the
+    /// response arrives.
+    ///
+    /// The reply channel is thread-local and reused, so a caller thread's
+    /// steady-state query performs no allocation.
+    ///
+    /// # Errors
+    /// [`ServeError::NodeOutOfRange`] or [`ServeError::Closed`].
+    pub fn query(&self, node: usize) -> Result<Prediction, ServeError> {
+        self.check_node(node)?;
+        thread_local! {
+            static REPLY: (Sender<Prediction>, Receiver<Prediction>) = mpsc::channel();
+        }
+        REPLY.with(|(tx, rx)| {
+            let request = Request {
+                node,
+                enqueued_ns: fairwos_obs::monotonic_ns(),
+                reply: tx.clone(),
+            };
+            self.shared
+                .queue
+                .push(request)
+                .map_err(|_| ServeError::Closed)?;
+            fairwos_obs::counter_add("serve/enqueued", 1);
+            rx.recv().map_err(|_| ServeError::Closed)
+        })
+    }
+
+    /// Enqueues one node and returns a [`Ticket`] immediately, so a caller
+    /// can keep a window of requests in flight (pipelining).
+    ///
+    /// # Errors
+    /// [`ServeError::NodeOutOfRange`] or [`ServeError::Closed`].
+    pub fn query_async(&self, node: usize) -> Result<Ticket, ServeError> {
+        self.check_node(node)?;
+        let (tx, rx) = mpsc::channel();
+        let request = Request {
+            node,
+            enqueued_ns: fairwos_obs::monotonic_ns(),
+            reply: tx,
+        };
+        self.shared
+            .queue
+            .push(request)
+            .map_err(|_| ServeError::Closed)?;
+        fairwos_obs::counter_add("serve/enqueued", 1);
+        Ok(Ticket { rx })
+    }
+
+    /// Answers a batch directly against the current snapshot (bypassing the
+    /// queue), appending to `out` in input order. The whole batch is
+    /// answered by **one** generation, returned for attribution. Buffers
+    /// are caller-owned, so the steady-state path is allocation-free.
+    ///
+    /// # Errors
+    /// [`ServeError::NodeOutOfRange`] when any node is out of range (the
+    /// batch is then not answered at all).
+    pub fn query_batch_into(
+        &self,
+        nodes: &[usize],
+        ws: &mut Workspace,
+        out: &mut Vec<Prediction>,
+    ) -> Result<u64, ServeError> {
+        for &node in nodes {
+            self.check_node(node)?;
+        }
+        let model = self.shared.swap.load();
+        model.query_batch_into(nodes, ws, out);
+        self.shared.stats.record_batch(nodes.len());
+        Ok(model.generation())
+    }
+
+    /// Allocating convenience wrapper over [`ServeEngine::query_batch_into`].
+    ///
+    /// # Errors
+    /// [`ServeError::NodeOutOfRange`] when any node is out of range.
+    pub fn query_batch(&self, nodes: &[usize]) -> Result<Vec<Prediction>, ServeError> {
+        let mut ws = Workspace::disposable();
+        let mut out = Vec::with_capacity(nodes.len());
+        self.query_batch_into(nodes, &mut ws, &mut out)?;
+        Ok(out)
+    }
+
+    /// Fetches the artifact from the source again and, if it decodes and
+    /// rebuilds cleanly, atomically publishes it as the next generation —
+    /// without blocking or dropping in-flight requests.
+    ///
+    /// On success journals a `serve/reload` event and returns the new
+    /// generation. On failure journals `serve/reload_rejected`, leaves the
+    /// previous generation serving, and does **not** consume a generation
+    /// number.
+    ///
+    /// # Errors
+    /// [`ServeError::Reload`] wrapping the fetch/decode/rebuild failure.
+    pub fn reload(&self) -> Result<u64, ServeError> {
+        let mut host = self.host.lock().unwrap_or_else(PoisonError::into_inner);
+        let generation = host.next_generation;
+        let describe = host.source.describe();
+        match load_generation(host.source.as_mut(), &self.data, generation) {
+            Ok(model) => {
+                self.shared.swap.store(Arc::new(model));
+                host.next_generation += 1;
+                self.shared.stats.reloads.fetch_add(1, Ordering::Relaxed);
+                fairwos_obs::journal_alert(
+                    "serve/reload",
+                    &format!("generation {generation} published from {describe}"),
+                );
+                fairwos_obs::counter_add("serve/reloads", 1);
+                Ok(generation)
+            }
+            Err(e) => {
+                self.shared
+                    .stats
+                    .reloads_rejected
+                    .fetch_add(1, Ordering::Relaxed);
+                fairwos_obs::journal_alert(
+                    "serve/reload_rejected",
+                    &format!("kept generation {} serving: {e} ({describe})", {
+                        self.shared.swap.load().generation()
+                    }),
+                );
+                fairwos_obs::counter_add("serve/reloads_rejected", 1);
+                Err(ServeError::Reload(e))
+            }
+        }
+    }
+
+    /// Snapshots serving metrics (and publishes the obs latency gauges).
+    pub fn stats(&self) -> ServeStats {
+        self.shared.stats.snapshot(self.generation())
+    }
+
+    /// Graceful shutdown: rejects new queries, answers everything already
+    /// queued, then joins the workers. Equivalent to dropping the engine,
+    /// but explicit at call sites.
+    pub fn shutdown(mut self) {
+        self.shutdown_in_place();
+    }
+
+    fn shutdown_in_place(&mut self) {
+        self.shared.queue.close();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ServeEngine {
+    fn drop(&mut self) {
+        self.shutdown_in_place();
+    }
+}
+
+/// Fetches + decodes + precomputes one generation — shared by startup and
+/// reload so both reject exactly the same artifacts.
+fn load_generation(
+    source: &mut (dyn ModelSource + Send),
+    data: &ServeData,
+    generation: u64,
+) -> Result<ServableModel, PersistError> {
+    let bytes = source.fetch()?;
+    let file = FairwosModelFile::from_bytes(&bytes, &source.describe())?;
+    ServableModel::build(&file, data, generation)
+}
+
+/// Worker body: drain a batch, snapshot the model once, answer the batch
+/// from the frozen table through pooled staging buffers, reply in arrival
+/// order. Exits when the queue is closed *and* empty.
+fn worker_loop(shared: &EngineShared) {
+    let mut ws = Workspace::new();
+    let mut requests: Vec<Request> = Vec::new();
+    let mut nodes: Vec<usize> = Vec::new();
+    let mut predictions: Vec<Prediction> = Vec::new();
+    loop {
+        requests.clear();
+        fairwos_obs::scale_max("serve/queue/depth", shared.queue.len() as u64);
+        if !shared.queue.drain_into(shared.max_batch, &mut requests) {
+            return;
+        }
+        // One snapshot per batch: every response in it is attributable to
+        // exactly this generation.
+        let model = shared.swap.load();
+        nodes.clear();
+        nodes.extend(requests.iter().map(|r| r.node));
+        predictions.clear();
+        model.query_batch_into(&nodes, &mut ws, &mut predictions);
+        shared.stats.record_batch(requests.len());
+        let answered_ns = fairwos_obs::monotonic_ns();
+        for (request, prediction) in requests.drain(..).zip(&predictions) {
+            shared
+                .stats
+                .latency
+                .record(answered_ns.saturating_sub(request.enqueued_ns));
+            // A send fails only when the querying thread gave up (e.g. its
+            // thread-local channel died with the thread); the request was
+            // still answered.
+            let _ = request.reply.send(*prediction);
+        }
+    }
+}
+
+/// Replays a query log against one frozen model generation, in
+/// `max_batch`-sized batches through the same pooled batch path the workers
+/// use. Because responses are pure per `(node, generation)`, the result is
+/// bit-identical to what any live interleaving of the same queries received
+/// from that generation — the deterministic-replay contract.
+pub fn replay(model: &ServableModel, log: &[usize], max_batch: usize) -> Vec<Prediction> {
+    let mut ws = Workspace::new();
+    let mut out = Vec::with_capacity(log.len());
+    for chunk in log.chunks(max_batch.max(1)) {
+        model.query_batch_into(chunk, &mut ws, &mut out);
+    }
+    out
+}

@@ -1,0 +1,270 @@
+//! One immutable, fully precomputed model generation.
+//!
+//! A [`ServableModel`] is built once per (re)load: the stored encoder/GNN
+//! weights are rebuilt via [`FairwosModelFile::build_modules`], run forward
+//! over the whole graph **once** (`forward_inference` — the same
+//! deterministic float program the restore path uses), and the resulting
+//! per-node probabilities are frozen. Answering a query is then a pure table
+//! lookup: bit-identical for a given `(node, generation)` no matter which
+//! thread answers it, when, or in which batch — the foundation of the
+//! engine's deterministic-replay contract (`docs/SERVING.md`).
+
+use crate::engine::Prediction;
+use fairwos_core::{FairwosModelFile, PersistError};
+use fairwos_graph::{AdjacencyCache, Graph};
+use fairwos_nn::loss::sigmoid;
+use fairwos_nn::GraphContext;
+use fairwos_tensor::{Matrix, Workspace};
+
+/// The long-lived request-time data: one graph with warmed propagation
+/// matrices plus the node feature matrix, shared by every model generation.
+pub struct ServeData {
+    ctx: GraphContext,
+    features: Matrix,
+}
+
+impl ServeData {
+    /// Binds `graph` and `features` for serving, eagerly building all four
+    /// normalized adjacencies ([`AdjacencyCache::warm_all`]) so no query or
+    /// reload — whatever backbone a future model file names — pays a lazy
+    /// CSR build.
+    pub fn new(graph: &Graph, features: Matrix) -> Self {
+        let cache = AdjacencyCache::new(graph);
+        cache.warm_all();
+        ServeData {
+            ctx: GraphContext::from_cache(cache),
+            features,
+        }
+    }
+
+    /// Number of servable nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.ctx.num_nodes()
+    }
+
+    /// The propagation context models precompute against.
+    pub fn ctx(&self) -> &GraphContext {
+        &self.ctx
+    }
+
+    /// The node features models precompute from.
+    pub fn features(&self) -> &Matrix {
+        &self.features
+    }
+}
+
+/// One generation of precomputed predictions (see module docs).
+pub struct ServableModel {
+    generation: u64,
+    /// `σ(logits)[v]` for every node `v`, frozen at build time.
+    probs: Vec<f32>,
+    /// Final-layer node embeddings, kept for downstream fairness monitors.
+    embeddings: Matrix,
+}
+
+impl ServableModel {
+    /// Precomputes a generation from a decoded model file.
+    ///
+    /// Runs encoder extraction (when present) and one whole-graph
+    /// `forward_inference`, exactly as `FairwosModelFile::restore` would —
+    /// the proptest suite pins this equivalence bit-for-bit.
+    ///
+    /// # Errors
+    /// [`PersistError::ShapeMismatch`] when the stored weights disagree with
+    /// the stored architecture or `data`'s feature width.
+    pub fn build(
+        file: &FairwosModelFile,
+        data: &ServeData,
+        generation: u64,
+    ) -> Result<Self, PersistError> {
+        let _s = fairwos_obs::span("serve/precompute");
+        if data.features.cols() != file.in_dim {
+            return Err(PersistError::ShapeMismatch {
+                what: "feature columns vs model in_dim".to_owned(),
+                expected: file.in_dim.to_string(),
+                found: data.features.cols().to_string(),
+            });
+        }
+        let (encoder, gnn) = file.build_modules()?;
+        let x0 = match &encoder {
+            Some(enc) => enc.extract(&data.ctx, &data.features),
+            None => data.features.clone(),
+        };
+        let out = gnn.forward_inference(&data.ctx, &x0);
+        let probs = sigmoid(&out.logits).col(0);
+        fairwos_obs::scale_max("serve/precompute/nodes", probs.len() as u64);
+        Ok(ServableModel {
+            generation,
+            probs,
+            embeddings: out.embeddings,
+        })
+    }
+
+    /// The generation stamp every response from this model carries.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Number of nodes this model can answer for.
+    pub fn num_nodes(&self) -> usize {
+        self.probs.len()
+    }
+
+    /// Final-layer embedding of `node` (for fairness monitors), or `None`
+    /// out of range.
+    pub fn embedding(&self, node: usize) -> Option<&[f32]> {
+        if node < self.embeddings.rows() {
+            Some(self.embeddings.row(node))
+        } else {
+            None
+        }
+    }
+
+    /// Answers one node: a pure lookup into the frozen probability table.
+    ///
+    /// # Panics
+    /// When `node` is out of range — the engine validates before enqueueing,
+    /// so its serving paths never trip this.
+    pub fn query_one(&self, node: usize) -> Prediction {
+        assert!(
+            node < self.probs.len(),
+            "node {node} out of range for {} servable nodes",
+            self.probs.len()
+        );
+        let prob = self.probs[node];
+        fairwos_obs::counter_add("serve/queries", 1);
+        Prediction {
+            node,
+            prob,
+            label: prob >= 0.5,
+            generation: self.generation,
+        }
+    }
+
+    /// Answers a batch under this one generation, appending one
+    /// [`Prediction`] per input node (same order) to `out`.
+    ///
+    /// The probabilities are first gathered into a `Workspace`-pooled
+    /// staging row, so the steady-state path performs no allocation beyond
+    /// the caller-reused buffers: the pool recycles the staging row and
+    /// `out` amortizes to its high-water capacity.
+    ///
+    /// # Panics
+    /// When any node is out of range — the engine validates before
+    /// enqueueing, so its serving paths never trip this.
+    pub fn query_batch_into(&self, nodes: &[usize], ws: &mut Workspace, out: &mut Vec<Prediction>) {
+        assert!(
+            nodes.iter().all(|&n| n < self.probs.len()),
+            "batch names a node out of range for {} servable nodes",
+            self.probs.len()
+        );
+        let mut staged = ws.take(1, nodes.len().max(1));
+        {
+            let row = staged.row_mut(0);
+            for (i, &n) in nodes.iter().enumerate() {
+                row[i] = self.probs[n];
+            }
+            for (&n, &prob) in nodes.iter().zip(row.iter()) {
+                out.push(Prediction {
+                    node: n,
+                    prob,
+                    label: prob >= 0.5,
+                    generation: self.generation,
+                });
+            }
+        }
+        ws.give(staged);
+        fairwos_obs::counter_add("serve/queries", nodes.len() as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairwos_core::{FairwosConfig, FairwosTrainer, TrainInput};
+    use fairwos_datasets::{DatasetSpec, FairGraphDataset};
+    use fairwos_nn::Backbone;
+
+    fn quick_dataset_and_file() -> (FairGraphDataset, FairwosModelFile) {
+        let ds = FairGraphDataset::generate(&DatasetSpec::nba().scaled(0.3), 5);
+        let cfg = FairwosConfig {
+            encoder_epochs: 30,
+            classifier_epochs: 40,
+            finetune_epochs: 3,
+            encoder_dim: 6,
+            ..FairwosConfig::fast(Backbone::Gcn)
+        };
+        let mut trained = FairwosTrainer::new(cfg)
+            .fit(
+                &TrainInput {
+                    graph: &ds.graph,
+                    features: &ds.features,
+                    labels: &ds.labels,
+                    train: &ds.split.train,
+                    val: &ds.split.val,
+                },
+                0,
+            )
+            .expect("training converges");
+        let file = trained.to_model_file();
+        (ds, file)
+    }
+
+    #[test]
+    fn precompute_matches_restore_path_bitwise() {
+        let (ds, file) = quick_dataset_and_file();
+        let data = ServeData::new(&ds.graph, ds.features.clone());
+        let model = ServableModel::build(&file, &data, 3).expect("build succeeds");
+        let restored = file
+            .restore(&ds.graph, &ds.features)
+            .expect("restore succeeds");
+        let expected = restored.predict_probs();
+        assert_eq!(model.num_nodes(), expected.len());
+        for v in 0..model.num_nodes() {
+            let pred = model.query_one(v);
+            assert_eq!(pred.prob, expected[v], "node {v}");
+            assert_eq!(pred.generation, 3);
+            assert_eq!(pred.label, expected[v] >= 0.5);
+        }
+    }
+
+    #[test]
+    fn batch_path_equals_single_path_in_input_order() {
+        let (ds, file) = quick_dataset_and_file();
+        let data = ServeData::new(&ds.graph, ds.features.clone());
+        let model = ServableModel::build(&file, &data, 0).expect("build succeeds");
+        let nodes = [3usize, 0, 3, 7, 1];
+        let mut ws = Workspace::new();
+        let mut out = Vec::new();
+        model.query_batch_into(&nodes, &mut ws, &mut out);
+        assert_eq!(out.len(), nodes.len());
+        for (pred, &n) in out.iter().zip(&nodes) {
+            assert_eq!(*pred, model.query_one(n));
+        }
+    }
+
+    #[test]
+    fn build_rejects_wrong_feature_width() {
+        let (ds, file) = quick_dataset_and_file();
+        let data = ServeData::new(&ds.graph, Matrix::zeros(ds.num_nodes(), 2));
+        let err = ServableModel::build(&file, &data, 0)
+            .err()
+            .expect("wrong feature width must fail");
+        match err {
+            PersistError::ShapeMismatch { what, .. } => {
+                assert_eq!(what, "feature columns vs model in_dim");
+            }
+            other => panic!("expected ShapeMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn embeddings_are_exposed_per_node() {
+        let (ds, file) = quick_dataset_and_file();
+        let data = ServeData::new(&ds.graph, ds.features.clone());
+        let model = ServableModel::build(&file, &data, 0).expect("build succeeds");
+        let emb = model.embedding(0).expect("node 0 exists");
+        assert!(!emb.is_empty());
+        assert!(model.embedding(model.num_nodes()).is_none());
+    }
+}

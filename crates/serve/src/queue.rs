@@ -1,0 +1,170 @@
+//! The bounded MPSC request queue behind the serving thread pool.
+//!
+//! Producers block when the queue is full (backpressure, never silent
+//! drops); workers drain up to a batch-size cap per wakeup, so queries that
+//! arrive together are answered together against one model snapshot
+//! (*coalescing*). After [`BoundedQueue::close`], pushes fail fast but
+//! drains keep returning the remaining items — every request accepted
+//! before shutdown is answered, which is the queue half of the engine's
+//! zero-dropped-requests guarantee.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, PoisonError};
+
+/// Queue interior: the FIFO buffer plus the closed flag, guarded together
+/// so "empty and closed" is one consistent observation.
+struct QueueState<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A blocking bounded FIFO for multi-producer, multi-worker batch draining.
+pub struct BoundedQueue<T> {
+    state: Mutex<QueueState<T>>,
+    /// Signaled on push and on close: wakes workers waiting to drain.
+    not_empty: Condvar,
+    /// Signaled on drain and on close: wakes producers waiting for room.
+    not_full: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue holding at most `capacity` items (clamped to at least 1).
+    pub fn new(capacity: usize) -> Self {
+        BoundedQueue {
+            state: Mutex::new(QueueState {
+                items: VecDeque::with_capacity(capacity.max(1)),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, QueueState<T>> {
+        // The state is never left half-updated, so a poisoned lock (a
+        // panicking producer) does not invalidate it.
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Enqueues `item`, blocking while the queue is full.
+    ///
+    /// # Errors
+    /// Returns the item back when the queue has been closed — the caller
+    /// owns it again and knows it was never enqueued.
+    pub fn push(&self, item: T) -> Result<(), T> {
+        let mut state = self.lock();
+        while state.items.len() >= self.capacity && !state.closed {
+            state = self
+                .not_full
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+        if state.closed {
+            return Err(item);
+        }
+        state.items.push_back(item);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until at least one item is available (or the queue is closed
+    /// *and* empty), then moves up to `max_batch` items into `out` in FIFO
+    /// order.
+    ///
+    /// Returns `false` only when the queue is closed and fully drained —
+    /// the worker's signal to exit. Items already accepted are always
+    /// handed out before that, even after close.
+    pub fn drain_into(&self, max_batch: usize, out: &mut Vec<T>) -> bool {
+        let mut state = self.lock();
+        while state.items.is_empty() && !state.closed {
+            state = self
+                .not_empty
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+        if state.items.is_empty() {
+            return false;
+        }
+        let take = state.items.len().min(max_batch.max(1));
+        out.extend(state.items.drain(..take));
+        self.not_full.notify_all();
+        true
+    }
+
+    /// Closes the queue: subsequent pushes fail, drains continue until the
+    /// buffer is empty. Idempotent.
+    pub fn close(&self) {
+        let mut state = self.lock();
+        state.closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Number of items currently queued (racy snapshot, for gauges).
+    pub fn len(&self) -> usize {
+        self.lock().items.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn fifo_order_and_batch_cap() {
+        let q = BoundedQueue::new(8);
+        for i in 0..5 {
+            q.push(i).unwrap();
+        }
+        let mut out = Vec::new();
+        assert!(q.drain_into(3, &mut out));
+        assert_eq!(out, vec![0, 1, 2]);
+        assert!(q.drain_into(3, &mut out));
+        assert_eq!(out, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn close_rejects_pushes_but_drains_remainder() {
+        let q = BoundedQueue::new(4);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        q.close();
+        assert_eq!(q.push(3), Err(3));
+        let mut out = Vec::new();
+        assert!(q.drain_into(16, &mut out));
+        assert_eq!(out, vec![1, 2]);
+        assert!(!q.drain_into(16, &mut out));
+    }
+
+    #[test]
+    fn full_queue_blocks_until_drained() {
+        let q = Arc::new(BoundedQueue::new(2));
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        let q2 = Arc::clone(&q);
+        let producer = thread::spawn(move || q2.push(3));
+        // The producer is blocked on capacity; draining frees a slot.
+        thread::sleep(std::time::Duration::from_millis(20));
+        let mut out = Vec::new();
+        assert!(q.drain_into(1, &mut out));
+        assert_eq!(producer.join().unwrap(), Ok(()));
+        assert!(q.drain_into(2, &mut out));
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn close_unblocks_a_full_queue_producer() {
+        let q = Arc::new(BoundedQueue::new(1));
+        q.push(1).unwrap();
+        let q2 = Arc::clone(&q);
+        let producer = thread::spawn(move || q2.push(2));
+        thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        assert_eq!(producer.join().unwrap(), Err(2));
+        assert_eq!(q.len(), 1);
+    }
+}

@@ -1,0 +1,200 @@
+//! Where model bytes come from: the reload path's pluggable artifact source.
+//!
+//! The engine never trusts a source — every fetch goes through
+//! [`fairwos_core::FairwosModelFile::from_bytes`], whose integrity footer
+//! rejects torn/truncated/bit-flipped artifacts, and a rejected fetch leaves
+//! the previous model generation serving. [`FaultyModelSource`] injects
+//! exactly those failure modes for the fault tests, mirroring the
+//! `FaultyCheckpointStore` pattern from `fairwos-core`'s checkpoint suite.
+
+use fairwos_core::PersistError;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// A supplier of model artifacts (sealed or legacy plain-JSON bytes).
+///
+/// `fetch` is called once per reload attempt; errors are reported, journaled
+/// as `serve/reload_rejected`, and leave the serving generation unchanged.
+pub trait ModelSource {
+    /// Reads the current model artifact's raw bytes.
+    ///
+    /// # Errors
+    /// [`PersistError::Io`] (or any other variant) when the artifact cannot
+    /// be read; the engine treats every error as "keep the old model".
+    fn fetch(&mut self) -> Result<Vec<u8>, PersistError>;
+
+    /// Human-readable description of the source for errors and journal
+    /// messages (a path, `"memory model source"`, …).
+    fn describe(&self) -> String;
+}
+
+/// Reads the artifact from a filesystem path on every fetch — the
+/// production source: an external trainer atomically rewrites the file, the
+/// engine reloads it.
+pub struct FsModelSource {
+    path: PathBuf,
+}
+
+impl FsModelSource {
+    /// A source reading `path` on each fetch.
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        FsModelSource { path: path.into() }
+    }
+}
+
+impl ModelSource for FsModelSource {
+    fn fetch(&mut self) -> Result<Vec<u8>, PersistError> {
+        std::fs::read(&self.path).map_err(|e| PersistError::Io {
+            path: self.path.display().to_string(),
+            source: e,
+        })
+    }
+
+    fn describe(&self) -> String {
+        self.path.display().to_string()
+    }
+}
+
+/// Serves bytes from shared memory; a [`MemorySourceHandle`] lets a test (or
+/// an in-process trainer) publish a new artifact for the next reload.
+pub struct MemoryModelSource {
+    bytes: Arc<Mutex<Vec<u8>>>,
+}
+
+/// Writer handle paired with a [`MemoryModelSource`].
+#[derive(Clone)]
+pub struct MemorySourceHandle {
+    bytes: Arc<Mutex<Vec<u8>>>,
+}
+
+impl MemoryModelSource {
+    /// A source initially serving `bytes`, plus the handle that replaces
+    /// them.
+    pub fn new(bytes: Vec<u8>) -> (Self, MemorySourceHandle) {
+        let shared = Arc::new(Mutex::new(bytes));
+        (
+            MemoryModelSource {
+                bytes: Arc::clone(&shared),
+            },
+            MemorySourceHandle { bytes: shared },
+        )
+    }
+}
+
+impl MemorySourceHandle {
+    /// Replaces the artifact the paired source will serve next.
+    pub fn set(&self, bytes: Vec<u8>) {
+        *self.bytes.lock().unwrap_or_else(PoisonError::into_inner) = bytes;
+    }
+}
+
+impl ModelSource for MemoryModelSource {
+    fn fetch(&mut self) -> Result<Vec<u8>, PersistError> {
+        Ok(self
+            .bytes
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone())
+    }
+
+    fn describe(&self) -> String {
+        "memory model source".to_owned()
+    }
+}
+
+/// Which fetches of a [`FaultyModelSource`] misbehave, and how.
+///
+/// Fetches are numbered from 1. The faults model the ways a concurrently
+/// rewritten artifact can be observed broken: torn (a prefix of the real
+/// bytes), corrupt (one flipped bit), or vanished (unlinked mid-swap).
+#[derive(Clone, Debug, Default)]
+pub struct SourceFaultPlan {
+    /// Fetches that return only the first half of the artifact.
+    pub torn_fetches: Vec<usize>,
+    /// Fetches that return the artifact with one bit flipped mid-payload.
+    pub corrupt_fetches: Vec<usize>,
+    /// Fetches that fail with a `NotFound` I/O error.
+    pub vanish_fetches: Vec<usize>,
+}
+
+/// Wraps any source and injects [`SourceFaultPlan`] failures by fetch
+/// index — the serve-side analogue of `FaultyCheckpointStore`.
+pub struct FaultyModelSource<S: ModelSource> {
+    inner: S,
+    plan: SourceFaultPlan,
+    fetches: usize,
+}
+
+impl<S: ModelSource> FaultyModelSource<S> {
+    /// Wraps `inner`, misbehaving on the fetches named by `plan`.
+    pub fn new(inner: S, plan: SourceFaultPlan) -> Self {
+        FaultyModelSource {
+            inner,
+            plan,
+            fetches: 0,
+        }
+    }
+}
+
+impl<S: ModelSource> ModelSource for FaultyModelSource<S> {
+    fn fetch(&mut self) -> Result<Vec<u8>, PersistError> {
+        self.fetches += 1;
+        let n = self.fetches;
+        if self.plan.vanish_fetches.contains(&n) {
+            return Err(PersistError::Io {
+                path: self.describe(),
+                source: std::io::Error::new(
+                    std::io::ErrorKind::NotFound,
+                    "artifact vanished mid-swap (injected)",
+                ),
+            });
+        }
+        let mut bytes = self.inner.fetch()?;
+        if self.plan.torn_fetches.contains(&n) {
+            bytes.truncate(bytes.len() / 2);
+        }
+        if self.plan.corrupt_fetches.contains(&n) {
+            let mid = bytes.len() / 2;
+            if let Some(b) = bytes.get_mut(mid) {
+                *b ^= 0x20;
+            }
+        }
+        Ok(bytes)
+    }
+
+    fn describe(&self) -> String {
+        format!("faulty({})", self.inner.describe())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_source_roundtrips_and_updates() {
+        let (mut src, handle) = MemoryModelSource::new(b"one".to_vec());
+        assert_eq!(src.fetch().expect("fetch"), b"one");
+        handle.set(b"two".to_vec());
+        assert_eq!(src.fetch().expect("fetch"), b"two");
+    }
+
+    #[test]
+    fn faulty_source_applies_plan_by_fetch_index() {
+        let (src, _handle) = MemoryModelSource::new(vec![7u8; 8]);
+        let mut faulty = FaultyModelSource::new(
+            src,
+            SourceFaultPlan {
+                torn_fetches: vec![1],
+                corrupt_fetches: vec![2],
+                vanish_fetches: vec![3],
+            },
+        );
+        assert_eq!(faulty.fetch().expect("torn still returns bytes").len(), 4);
+        let corrupt = faulty.fetch().expect("corrupt still returns bytes");
+        assert_eq!(corrupt.len(), 8);
+        assert_ne!(corrupt, vec![7u8; 8]);
+        assert!(matches!(faulty.fetch(), Err(PersistError::Io { .. })));
+        assert_eq!(faulty.fetch().expect("healthy again"), vec![7u8; 8]);
+    }
+}

@@ -1,0 +1,176 @@
+//! Serving metrics: lock-free counters and a log₂-bucketed latency
+//! histogram, snapshotted into [`ServeStats`] and mirrored to `fairwos-obs`
+//! gauges.
+//!
+//! Latencies are stamped with [`fairwos_obs::monotonic_ns`], which reads `0`
+//! in uninstrumented builds — the histogram then only ever sees zeros, so
+//! p50/p99 report 0 and the counters remain the meaningful signal. With the
+//! `obs` feature on, `serve/latency/p50_ns` and `serve/latency/p99_ns` are
+//! published as scale gauges on every snapshot.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of log₂ buckets: covers 1ns..=2⁶³ns, i.e. any `u64` latency.
+const BUCKETS: usize = 64;
+
+/// A fixed-size power-of-two latency histogram on relaxed atomics.
+///
+/// Bucket `i` holds samples with `floor(log2(ns.max(1))) == i`; percentile
+/// queries return the bucket's upper bound, a ≤2× overestimate — the right
+/// bias for a latency SLO gauge.
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Records one sample of `ns` nanoseconds.
+    pub fn record(&self, ns: u64) {
+        let idx = 63 - (ns | 1).leading_zeros() as usize;
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total recorded samples.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`) as the upper bound of the bucket
+    /// containing that rank, or 0 when the histogram is empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return if i >= 63 {
+                    u64::MAX
+                } else {
+                    (1u64 << (i + 1)) - 1
+                };
+            }
+        }
+        u64::MAX
+    }
+}
+
+/// Engine-internal counters, all updated lock-free on the serving path.
+pub(crate) struct StatsInner {
+    pub(crate) queries: AtomicU64,
+    pub(crate) batches: AtomicU64,
+    pub(crate) reloads: AtomicU64,
+    pub(crate) reloads_rejected: AtomicU64,
+    pub(crate) max_batch_seen: AtomicU64,
+    pub(crate) latency: LatencyHistogram,
+}
+
+impl StatsInner {
+    pub(crate) fn new() -> Self {
+        StatsInner {
+            queries: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            reloads: AtomicU64::new(0),
+            reloads_rejected: AtomicU64::new(0),
+            max_batch_seen: AtomicU64::new(0),
+            latency: LatencyHistogram::new(),
+        }
+    }
+
+    /// Records one drained batch of `n` requests answered in one snapshot.
+    pub(crate) fn record_batch(&self, n: usize) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.queries.fetch_add(n as u64, Ordering::Relaxed);
+        self.max_batch_seen.fetch_max(n as u64, Ordering::Relaxed);
+    }
+
+    /// Snapshots every counter and publishes the latency gauges.
+    pub(crate) fn snapshot(&self, generation: u64) -> ServeStats {
+        let stats = ServeStats {
+            generation,
+            queries: self.queries.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            reloads: self.reloads.load(Ordering::Relaxed),
+            reloads_rejected: self.reloads_rejected.load(Ordering::Relaxed),
+            max_batch_seen: self.max_batch_seen.load(Ordering::Relaxed),
+            latency_samples: self.latency.count(),
+            p50_latency_ns: self.latency.quantile(0.50),
+            p99_latency_ns: self.latency.quantile(0.99),
+        };
+        fairwos_obs::scale_max("serve/latency/p50_ns", stats.p50_latency_ns);
+        fairwos_obs::scale_max("serve/latency/p99_ns", stats.p99_latency_ns);
+        fairwos_obs::scale_max("serve/batch/max", stats.max_batch_seen);
+        stats
+    }
+}
+
+/// A point-in-time view of the engine's serving metrics.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeStats {
+    /// Generation currently being served.
+    pub generation: u64,
+    /// Queries answered through the coalescing queue.
+    pub queries: u64,
+    /// Drained batches those queries were grouped into.
+    pub batches: u64,
+    /// Successful hot reloads.
+    pub reloads: u64,
+    /// Reloads rejected (torn/corrupt/vanished artifact); the previous
+    /// generation kept serving each time.
+    pub reloads_rejected: u64,
+    /// Largest coalesced batch observed.
+    pub max_batch_seen: u64,
+    /// Latency samples recorded (0 without the `obs` clock).
+    pub latency_samples: u64,
+    /// p50 queue-to-response latency in ns (bucket upper bound; 0 without
+    /// the `obs` clock).
+    pub p50_latency_ns: u64,
+    /// p99 queue-to-response latency in ns (bucket upper bound; 0 without
+    /// the `obs` clock).
+    pub p99_latency_ns: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_walk_the_buckets() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.quantile(0.5), 0);
+        for ns in [1u64, 2, 3, 4, 100, 1000] {
+            h.record(ns);
+        }
+        assert_eq!(h.count(), 6);
+        // Ranks: bucket0 {1}, bucket1 {2,3}, bucket2 {4}, bucket6 {100},
+        // bucket9 {1000}. The median (rank 3) lands in bucket 1 → bound 3.
+        assert_eq!(h.quantile(0.5), 3);
+        // p99 (rank 6) lands in bucket 9 → bound 1023.
+        assert_eq!(h.quantile(0.99), 1023);
+        assert_eq!(h.quantile(0.0), 1);
+    }
+
+    #[test]
+    fn zero_latency_samples_stay_in_bucket_zero() {
+        let h = LatencyHistogram::new();
+        for _ in 0..100 {
+            h.record(0);
+        }
+        assert_eq!(h.quantile(0.5), 1);
+        assert_eq!(h.quantile(0.99), 1);
+    }
+}

@@ -15,6 +15,8 @@
 //! * [`obs`] — training-pipeline observability (spans, counters,
 //!   `RunMetrics` JSON); armed by the `obs` cargo feature, otherwise a
 //!   set of no-ops. See `docs/OBSERVABILITY.md`.
+//! * [`serve`] — concurrent model serving: precomputed embeddings, batched
+//!   queries, hot reload. See `docs/SERVING.md`.
 //!
 //! # End-to-end example
 //!
@@ -63,6 +65,7 @@ pub use fairwos_fairness as fairness;
 pub use fairwos_graph as graph;
 pub use fairwos_nn as nn;
 pub use fairwos_obs as obs;
+pub use fairwos_serve as serve;
 pub use fairwos_tensor as tensor;
 
 pub use fairwos_core::{
@@ -88,5 +91,6 @@ pub mod prelude {
     pub use crate::fairness::{accuracy, delta_eo, delta_sp, EvalReport, MeanStd, RunAggregator};
     pub use crate::graph::{Graph, GraphBuilder};
     pub use crate::nn::Backbone;
+    pub use crate::serve::{Prediction, ServeConfig, ServeData, ServeEngine};
     pub use crate::tensor::Matrix;
 }

@@ -1,0 +1,124 @@
+//! Serving determinism property (`fairwos-serve`): the precomputed
+//! probability table a [`ServableModel`] freezes at build time is
+//! **bit-for-bit** the per-query forward pass — on random Erdős–Rényi
+//! graphs, random feature matrices, randomly initialized weights, and all
+//! four backbones. Equivalently: precompute ≡ per-query forward ≡ the
+//! independently implemented restore path (`FairwosModelFile::restore`).
+
+use fairwos::core::persist::MODEL_FILE_VERSION;
+use fairwos::core::{FairwosConfig, FairwosModelFile};
+use fairwos::graph::generate::erdos_renyi;
+use fairwos::graph::Graph;
+use fairwos::nn::loss::sigmoid;
+use fairwos::nn::{Backbone, Gnn, GnnConfig, GraphContext};
+use fairwos::serve::{replay, ServableModel, ServeData};
+use fairwos::tensor::{seeded_rng, Matrix};
+use proptest::prelude::*;
+use rand::Rng;
+
+const BACKBONES: [Backbone; 4] = [Backbone::Gcn, Backbone::Gin, Backbone::Sage, Backbone::Gat];
+
+/// A model file with genuinely random (freshly initialized) weights whose
+/// shapes match `config` by construction: the weights are exported from the
+/// same `Gnn` the loader will rebuild.
+fn random_model_file(config: &FairwosConfig, in_dim: usize, weight_seed: u64) -> FairwosModelFile {
+    let mut gnn = Gnn::new(
+        GnnConfig {
+            backbone: config.backbone,
+            in_dim,
+            hidden_dim: config.hidden_dim,
+            num_layers: config.num_layers,
+            dropout: 0.0,
+        },
+        &mut seeded_rng(weight_seed),
+    );
+    let gnn_weights: Vec<Matrix> = gnn.params_mut().iter().map(|p| p.value.clone()).collect();
+    FairwosModelFile {
+        version: MODEL_FILE_VERSION,
+        config: config.clone(),
+        in_dim,
+        encoder_weights: None,
+        gnn_weights,
+        lambda: vec![0.5, 0.5],
+    }
+}
+
+/// Random node features in `[-1, 1]`.
+fn random_features(n: usize, d: usize, seed: u64) -> Matrix {
+    let mut rng = seeded_rng(seed);
+    let data: Vec<f32> = (0..n * d).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+    Matrix::from_vec(n, d, data)
+}
+
+/// The per-query forward pass, written out independently of the serve
+/// crate: rebuild the modules, run one inference, squash to probabilities.
+fn forward_reference(file: &FairwosModelFile, graph: &Graph, features: &Matrix) -> Vec<f32> {
+    let (encoder, gnn) = file.build_modules().expect("modules rebuild");
+    assert!(encoder.is_none(), "these files carry no encoder");
+    let ctx = GraphContext::new(graph);
+    sigmoid(&gnn.forward_inference(&ctx, features).logits).col(0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn precompute_is_bitwise_the_per_query_forward(
+        n in 8usize..32,
+        d in 2usize..6,
+        edge_p in 0.05f64..0.4,
+        backbone_idx in 0usize..4,
+        graph_seed in 0u64..1_000,
+        weight_seed in 0u64..1_000,
+    ) {
+        let backbone = BACKBONES[backbone_idx];
+        let config = FairwosConfig { hidden_dim: 5, num_layers: 2, ..FairwosConfig::fast(backbone) };
+        let graph = erdos_renyi(n, edge_p, &mut seeded_rng(graph_seed));
+        let features = random_features(n, d, graph_seed.wrapping_add(1));
+        let file = random_model_file(&config, d, weight_seed);
+
+        let expected = forward_reference(&file, &graph, &features);
+        prop_assert_eq!(expected.len(), n);
+        // Bitwise comparison below needs comparable floats (NaN != NaN);
+        // fresh random weights keep everything finite in practice.
+        prop_assume!(expected.iter().all(|p| p.is_finite()));
+
+        // 1. Serve precompute ≡ per-query forward, bit for bit, node by node.
+        let data = ServeData::new(&graph, features.clone());
+        let model = ServableModel::build(&file, &data, 9).expect("build succeeds");
+        prop_assert_eq!(model.num_nodes(), n);
+        for v in 0..n {
+            let pred = model.query_one(v);
+            prop_assert_eq!(pred.prob, expected[v], "node {} backbone {:?}", v, backbone);
+            prop_assert_eq!(pred.label, expected[v] >= 0.5);
+            prop_assert_eq!(pred.generation, 9);
+        }
+
+        // 2. …and ≡ the restore path's probabilities.
+        let restored = file.restore(&graph, &features).expect("restore succeeds");
+        prop_assert_eq!(restored.predict_probs(), expected.clone());
+
+        // 3. The batched replay path answers the same table in any batching.
+        let log: Vec<usize> = (0..n).chain((0..n).rev()).collect();
+        let out = replay(&model, &log, 5);
+        prop_assert_eq!(out.len(), log.len());
+        for (pred, &v) in out.iter().zip(&log) {
+            prop_assert_eq!(pred.prob, expected[v]);
+        }
+    }
+
+    #[test]
+    fn feature_width_mismatch_is_always_a_typed_rejection(
+        n in 8usize..24,
+        d in 2usize..6,
+        wrong_d in 2usize..8,
+        seed in 0u64..500,
+    ) {
+        prop_assume!(wrong_d != d);
+        let config = FairwosConfig { hidden_dim: 4, num_layers: 2, ..FairwosConfig::fast(Backbone::Gcn) };
+        let graph = erdos_renyi(n, 0.2, &mut seeded_rng(seed));
+        let file = random_model_file(&config, d, seed);
+        let data = ServeData::new(&graph, random_features(n, wrong_d, seed));
+        prop_assert!(ServableModel::build(&file, &data, 0).is_err());
+    }
+}

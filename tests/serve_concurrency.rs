@@ -1,0 +1,246 @@
+//! Serving-under-load contracts (`fairwos-serve`, see `docs/SERVING.md`):
+//!
+//! * **Zero drops** — client threads hammer the engine while a reloader
+//!   swaps models; every accepted query is answered, none error.
+//! * **Generation attribution** — every response carries exactly one
+//!   generation stamp, and its probability bit-equals that generation's
+//!   reference table (`FairwosModelFile::restore` + `predict_probs`), so a
+//!   response can never mix two models.
+//! * **Deterministic replay** — replaying a query log against a generation
+//!   is bit-identical to what any live interleaving (any thread count,
+//!   batch size, or arrival order) received from that generation.
+
+use fairwos::core::{FairwosConfig, FairwosModelFile, FairwosTrainer, TrainInput};
+use fairwos::prelude::*;
+use fairwos::serve::{
+    replay, MemoryModelSource, ServableModel, ServeConfig, ServeData, ServeEngine,
+};
+use std::sync::Arc;
+use std::thread;
+
+/// Trains one quick model on `ds` from `seed`; different seeds give
+/// genuinely different weights, so the per-generation tables differ.
+fn train_file(ds: &FairGraphDataset, seed: u64) -> FairwosModelFile {
+    let cfg = FairwosConfig {
+        encoder_epochs: 25,
+        classifier_epochs: 35,
+        finetune_epochs: 3,
+        encoder_dim: 6,
+        ..FairwosConfig::fast(Backbone::Gcn)
+    };
+    let input = TrainInput {
+        graph: &ds.graph,
+        features: &ds.features,
+        labels: &ds.labels,
+        train: &ds.split.train,
+        val: &ds.split.val,
+    };
+    FairwosTrainer::new(cfg)
+        .fit(&input, seed)
+        .expect("training converges")
+        .to_model_file()
+}
+
+/// Sealed on-disk bytes for `file` (save + read back a temp sibling).
+fn sealed_bytes(file: &FairwosModelFile, tag: &str) -> Vec<u8> {
+    let path = std::env::temp_dir().join(format!(
+        "fairwos-serve-conc-{tag}-{}.fwm",
+        std::process::id()
+    ));
+    file.save(&path).expect("save succeeds");
+    let bytes = std::fs::read(&path).expect("saved model readable");
+    let _ = std::fs::remove_file(&path);
+    bytes
+}
+
+/// Reference probability table for `file`: the independently implemented
+/// restore path, which the serve precompute must match bit-for-bit.
+fn reference_probs(file: &FairwosModelFile, ds: &FairGraphDataset) -> Vec<f32> {
+    file.restore(&ds.graph, &ds.features)
+        .expect("restore succeeds")
+        .predict_probs()
+}
+
+#[test]
+fn hot_reload_under_load_drops_nothing_and_attributes_every_response() {
+    let ds = FairGraphDataset::generate(&DatasetSpec::nba().scaled(0.3), 11);
+    let files: Vec<FairwosModelFile> = (0..3).map(|s| train_file(&ds, s)).collect();
+    let tables: Vec<Vec<f32>> = files.iter().map(|f| reference_probs(f, &ds)).collect();
+    // The attribution check below is only meaningful if generations differ.
+    assert!(
+        tables[0] != tables[1] && tables[1] != tables[2],
+        "differently seeded models must predict differently"
+    );
+
+    let (source, handle) = MemoryModelSource::new(sealed_bytes(&files[0], "g0"));
+    let engine = Arc::new(
+        ServeEngine::start(
+            ServeData::new(&ds.graph, ds.features.clone()),
+            Box::new(source),
+            ServeConfig {
+                workers: 3,
+                queue_capacity: 64,
+                max_batch: 16,
+            },
+        )
+        .expect("initial load"),
+    );
+    let nodes = engine.num_nodes();
+
+    const CLIENTS: usize = 4;
+    const QUERIES_PER_CLIENT: usize = 400;
+    const RELOADS: usize = 6;
+
+    let clients: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            let engine = Arc::clone(&engine);
+            thread::spawn(move || {
+                let mut responses = Vec::with_capacity(QUERIES_PER_CLIENT);
+                for i in 0..QUERIES_PER_CLIENT {
+                    let node = (c * 131 + i * 17) % nodes;
+                    // Zero-drop: every accepted query must be answered.
+                    let pred = engine.query(node).expect("query answered");
+                    responses.push(pred);
+                }
+                responses
+            })
+        })
+        .collect();
+
+    // Reload while the clients hammer: cycle through the three artifacts.
+    let mut published = vec![0u64];
+    for r in 0..RELOADS {
+        let next = (r + 1) % files.len();
+        handle.set(sealed_bytes(&files[next], "swap"));
+        let generation = engine.reload().expect("healthy reload succeeds");
+        assert_eq!(generation, r as u64 + 1, "generations are sequential");
+        published.push(generation);
+        thread::sleep(std::time::Duration::from_millis(5));
+    }
+
+    let mut answered = 0usize;
+    for client in clients {
+        for pred in client.join().expect("client thread finishes") {
+            answered += 1;
+            // Attribution: the stamp names a generation that was actually
+            // published, and the probability bit-equals that generation's
+            // reference table — the response belongs to exactly one model.
+            assert!(
+                published.contains(&pred.generation),
+                "unknown generation {}",
+                pred.generation
+            );
+            let file_idx = pred.generation as usize % files.len();
+            assert_eq!(
+                pred.prob, tables[file_idx][pred.node],
+                "node {} under generation {} mismatches its table",
+                pred.node, pred.generation
+            );
+            assert_eq!(pred.label, pred.prob >= 0.5);
+        }
+    }
+    assert_eq!(
+        answered,
+        CLIENTS * QUERIES_PER_CLIENT,
+        "a response was dropped"
+    );
+
+    let stats = engine.stats();
+    assert_eq!(stats.reloads, RELOADS as u64);
+    assert_eq!(stats.reloads_rejected, 0);
+    assert!(
+        stats.queries >= (CLIENTS * QUERIES_PER_CLIENT) as u64,
+        "stats undercount: {} queries",
+        stats.queries
+    );
+    let final_generation = engine.generation();
+    assert_eq!(final_generation, RELOADS as u64);
+    Arc::try_unwrap(engine)
+        .unwrap_or_else(|_| panic!("all client clones joined"))
+        .shutdown();
+}
+
+#[test]
+fn batched_queries_are_answered_under_exactly_one_generation() {
+    let ds = FairGraphDataset::generate(&DatasetSpec::nba().scaled(0.3), 12);
+    let file = train_file(&ds, 0);
+    let (source, _handle) = MemoryModelSource::new(sealed_bytes(&file, "batch"));
+    let engine = ServeEngine::start(
+        ServeData::new(&ds.graph, ds.features.clone()),
+        Box::new(source),
+        ServeConfig::default(),
+    )
+    .expect("initial load");
+
+    let nodes: Vec<usize> = (0..engine.num_nodes()).rev().collect();
+    let batch = engine.query_batch(&nodes).expect("batch answered");
+    assert_eq!(batch.len(), nodes.len());
+    let table = reference_probs(&file, &ds);
+    for (pred, &n) in batch.iter().zip(&nodes) {
+        assert_eq!(pred.node, n, "input order preserved");
+        assert_eq!(pred.generation, 0, "one generation per batch");
+        assert_eq!(pred.prob, table[n]);
+    }
+    engine.shutdown();
+}
+
+#[test]
+fn replaying_a_query_log_is_bit_identical_to_any_live_interleaving() {
+    let ds = FairGraphDataset::generate(&DatasetSpec::nba().scaled(0.3), 13);
+    let file = train_file(&ds, 0);
+    let data = ServeData::new(&ds.graph, ds.features.clone());
+    let n = data.num_nodes();
+    let log: Vec<usize> = (0..1500).map(|i| (i * 37 + 11) % n).collect();
+
+    // The offline replay: one frozen generation, arbitrary batch size.
+    let model = ServableModel::build(&file, &data, 0).expect("build succeeds");
+    let baseline = replay(&model, &log, 16);
+    assert_eq!(baseline.len(), log.len());
+
+    // Replay is invariant to batch boundaries…
+    for max_batch in [1usize, 7, 64, 4096] {
+        assert_eq!(replay(&model, &log, max_batch), baseline);
+    }
+
+    // …and a live engine — different worker counts, different arrival
+    // interleavings through the coalescing queue — answers the same log
+    // with bit-identical responses.
+    for workers in [1usize, 4] {
+        let (source, _handle) = MemoryModelSource::new(sealed_bytes(&file, "replay"));
+        let engine = Arc::new(
+            ServeEngine::start(
+                ServeData::new(&ds.graph, ds.features.clone()),
+                Box::new(source),
+                ServeConfig {
+                    workers,
+                    queue_capacity: 32,
+                    max_batch: 8,
+                },
+            )
+            .expect("initial load"),
+        );
+        let mid = log.len() / 2;
+        let halves: Vec<Vec<usize>> = vec![log[..mid].to_vec(), log[mid..].to_vec()];
+        let mut live: Vec<Vec<_>> = halves
+            .into_iter()
+            .map(|half| {
+                let engine = Arc::clone(&engine);
+                thread::spawn(move || {
+                    half.iter()
+                        .map(|&node| engine.query(node).expect("query answered"))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().expect("half finishes"))
+            .collect();
+        let second = live.pop().expect("two halves");
+        let mut answers = live.pop().expect("two halves");
+        answers.extend(second);
+        assert_eq!(answers, baseline, "live serving diverged from replay");
+        Arc::try_unwrap(engine)
+            .unwrap_or_else(|_| panic!("all clones joined"))
+            .shutdown();
+    }
+}

@@ -1,0 +1,221 @@
+//! Reload fault injection (`fairwos-serve`): a torn, bit-flipped, or
+//! vanished model artifact must never reach serving — the reload is
+//! rejected with a typed error, journaled as `serve/reload_rejected`, and
+//! the previous generation keeps answering bit-identically. Mirrors the
+//! `FaultyCheckpointStore` suite on the training side.
+//!
+//! Also pins the legacy read path: a plain-JSON (pre-footer) artifact loads
+//! and serves through the same engine.
+
+use fairwos::core::{FairwosConfig, FairwosModelFile, FairwosTrainer, TrainInput};
+use fairwos::obs;
+use fairwos::prelude::*;
+use fairwos::serve::{
+    FaultyModelSource, FsModelSource, MemoryModelSource, ServeConfig, ServeData, ServeEngine,
+    ServeError, SourceFaultPlan,
+};
+
+fn quick_dataset_and_file(seed: u64) -> (FairGraphDataset, FairwosModelFile) {
+    let ds = FairGraphDataset::generate(&DatasetSpec::nba().scaled(0.3), seed);
+    let cfg = FairwosConfig {
+        encoder_epochs: 25,
+        classifier_epochs: 35,
+        finetune_epochs: 3,
+        encoder_dim: 6,
+        ..FairwosConfig::fast(Backbone::Gcn)
+    };
+    let input = TrainInput {
+        graph: &ds.graph,
+        features: &ds.features,
+        labels: &ds.labels,
+        train: &ds.split.train,
+        val: &ds.split.val,
+    };
+    let file = FairwosTrainer::new(cfg)
+        .fit(&input, seed)
+        .expect("training converges")
+        .to_model_file();
+    (ds, file)
+}
+
+fn sealed_bytes(file: &FairwosModelFile, tag: &str) -> Vec<u8> {
+    let path = std::env::temp_dir().join(format!(
+        "fairwos-serve-faults-{tag}-{}.fwm",
+        std::process::id()
+    ));
+    file.save(&path).expect("save succeeds");
+    let bytes = std::fs::read(&path).expect("saved model readable");
+    let _ = std::fs::remove_file(&path);
+    bytes
+}
+
+fn reference_probs(file: &FairwosModelFile, ds: &FairGraphDataset) -> Vec<f32> {
+    file.restore(&ds.graph, &ds.features)
+        .expect("restore succeeds")
+        .predict_probs()
+}
+
+#[test]
+fn broken_artifacts_keep_the_old_generation_serving() {
+    let (ds, file) = quick_dataset_and_file(21);
+    let table = reference_probs(&file, &ds);
+
+    // Fetch 1 (startup) is healthy; fetches 2–4 observe the artifact torn,
+    // bit-flipped, and vanished mid-swap; fetch 5 is healthy again.
+    let (inner, handle) = MemoryModelSource::new(sealed_bytes(&file, "base"));
+    let faulty = FaultyModelSource::new(
+        inner,
+        SourceFaultPlan {
+            torn_fetches: vec![2],
+            corrupt_fetches: vec![3],
+            vanish_fetches: vec![4],
+        },
+    );
+    let engine = ServeEngine::start(
+        ServeData::new(&ds.graph, ds.features.clone()),
+        Box::new(faulty),
+        ServeConfig::default(),
+    )
+    .expect("healthy initial load");
+
+    let check_serving_unchanged = |engine: &ServeEngine| {
+        for node in [0usize, 3, 17] {
+            let pred = engine.query(node).expect("query answered");
+            assert_eq!(pred.generation, 0, "old generation must keep serving");
+            assert_eq!(pred.prob, table[node], "old table must keep answering");
+        }
+    };
+
+    for (attempt, kind) in ["torn", "corrupt", "vanished"].iter().enumerate() {
+        let err = engine
+            .reload()
+            .expect_err("broken artifact must be rejected");
+        assert!(
+            matches!(err, ServeError::Reload(_)),
+            "attempt {attempt} ({kind}): expected ServeError::Reload, got {err:?}"
+        );
+        assert_eq!(
+            engine.generation(),
+            0,
+            "{kind} artifact changed the generation"
+        );
+        check_serving_unchanged(&engine);
+        assert_eq!(engine.stats().reloads_rejected, attempt as u64 + 1);
+        assert_eq!(engine.stats().reloads, 0);
+    }
+
+    // A rejected reload consumes no generation number: the next healthy
+    // artifact publishes generation 1, not 4.
+    let (_, file2) = quick_dataset_and_file(22);
+    handle.set(sealed_bytes(&file2, "healthy"));
+    assert_eq!(engine.reload().expect("healthy reload succeeds"), 1);
+    let table2 = reference_probs(&file2, &ds);
+    let pred = engine.query(5).expect("query answered");
+    assert_eq!(pred.generation, 1);
+    assert_eq!(pred.prob, table2[5]);
+
+    // With obs armed, every rejection was journaled. The journal is
+    // process-global and tests run in parallel, so filter to this engine's
+    // source description rather than counting all serve alerts.
+    if obs::is_enabled() {
+        let events = obs::journal_events();
+        let ours = "faulty(memory model source)";
+        let rejected = events
+            .iter()
+            .filter(|e| {
+                matches!(&e.event, obs::Event::Alert { code, message }
+                    if code == "serve/reload_rejected" && message.contains(ours))
+            })
+            .count();
+        assert_eq!(
+            rejected, 3,
+            "each rejection must journal serve/reload_rejected"
+        );
+        let published = events
+            .iter()
+            .filter(|e| {
+                matches!(&e.event, obs::Event::Alert { code, message }
+                    if code == "serve/reload" && message.contains(ours))
+            })
+            .count();
+        assert_eq!(published, 1, "the healthy reload must journal serve/reload");
+    }
+
+    engine.shutdown();
+}
+
+#[test]
+fn a_corrupt_initial_artifact_refuses_to_start() {
+    let (ds, file) = quick_dataset_and_file(23);
+    let mut bytes = sealed_bytes(&file, "corrupt-start");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x01;
+    let (source, _handle) = MemoryModelSource::new(bytes);
+    let err = ServeEngine::start(
+        ServeData::new(&ds.graph, ds.features.clone()),
+        Box::new(source),
+        ServeConfig::default(),
+    )
+    .err()
+    .expect("corrupt artifact must not start serving");
+    assert!(matches!(err, ServeError::Reload(_)), "got {err:?}");
+}
+
+#[test]
+fn legacy_plain_json_artifacts_serve_identically_to_sealed_ones() {
+    let (ds, file) = quick_dataset_and_file(24);
+    let table = reference_probs(&file, &ds);
+
+    // The pre-footer format: the JSON payload alone, no integrity trailer.
+    let legacy = file.to_json().expect("serializes").into_bytes();
+    let (source, _handle) = MemoryModelSource::new(legacy);
+    let engine = ServeEngine::start(
+        ServeData::new(&ds.graph, ds.features.clone()),
+        Box::new(source),
+        ServeConfig::default(),
+    )
+    .expect("legacy artifact loads");
+    for node in 0..engine.num_nodes() {
+        assert_eq!(engine.query(node).expect("answered").prob, table[node]);
+    }
+    engine.shutdown();
+}
+
+#[test]
+fn fs_source_reload_picks_up_an_atomically_rewritten_file() {
+    let (ds, file) = quick_dataset_and_file(25);
+    let (_, file2) = quick_dataset_and_file(26);
+    let path = std::env::temp_dir().join(format!(
+        "fairwos-serve-fs-reload-{}.fwm",
+        std::process::id()
+    ));
+    file.save(&path).expect("save succeeds");
+
+    let engine = ServeEngine::start(
+        ServeData::new(&ds.graph, ds.features.clone()),
+        Box::new(FsModelSource::new(&path)),
+        ServeConfig::default(),
+    )
+    .expect("initial load");
+    assert_eq!(
+        engine.query(0).expect("answered").prob,
+        reference_probs(&file, &ds)[0]
+    );
+
+    // An external trainer atomically rewrites the artifact; reload serves it.
+    file2.save(&path).expect("rewrite succeeds");
+    assert_eq!(engine.reload().expect("reload succeeds"), 1);
+    assert_eq!(
+        engine.query(0).expect("answered").prob,
+        reference_probs(&file2, &ds)[0]
+    );
+
+    // Unlinking the artifact breaks the *next* reload but not serving.
+    std::fs::remove_file(&path).expect("unlink succeeds");
+    assert!(
+        engine.reload().is_err(),
+        "vanished file must reject the reload"
+    );
+    assert_eq!(engine.generation(), 1, "generation 1 keeps serving");
+    engine.shutdown();
+}
