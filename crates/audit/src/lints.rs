@@ -29,9 +29,10 @@
 //   `query*` entry points; the training and serving hot loops must route
 //   buffers through `Workspace` (PR 3's alloc-budget invariant, made
 //   static).
-// * FW008 — every public `fit*`/`forward*`/`backward*`/`query*` in
-//   core/nn/serve must be observable: it (or a callee, transitively) opens
-//   an obs span or feeds an obs counter, or is explicitly exempted.
+// * FW008 — every public `fit*`/`forward*`/`backward*`/`query*` (and, in
+//   the serve admin plane, `handle*`) in core/nn/serve must be observable:
+//   it (or a callee, transitively) opens an obs span or feeds an obs
+//   counter, or is explicitly exempted.
 // * FW009 — the fields of `TrainingCheckpoint` must stay in sync with the
 //   `TRAINING_CHECKPOINT_MANIFEST` declared next to it, so new mutable
 //   trainer state cannot silently escape crash recovery.
@@ -58,7 +59,7 @@ pub const LINTS: &[(&str, &str)] = &[
     ("FW005", "no Instant::now()/SystemTime::now() outside crates/obs and crates/bench"),
     ("FW006", "no HashMap/HashSet (unordered iteration) in result-affecting crates"),
     ("FW007", "no allocating constructors reachable from fit/forward/backward/spmm/query"),
-    ("FW008", "public fit/forward/backward/query fns in core/nn/serve must reach a span/counter"),
+    ("FW008", "public fit/forward/backward/query/handle fns in core/nn/serve must reach a span/counter"),
     ("FW009", "TrainingCheckpoint fields must match the declared trainer-state manifest"),
     ("FW010", "truncating as-usize/as-u32 casts in kernel index math need a bounds guard"),
 ];
@@ -95,6 +96,12 @@ const FW006_TOKENS: &[&str] = &["HashMap", "HashSet"];
 /// Function-name prefixes that anchor the FW007 hot-path reachability sweep
 /// and the FW008 observability check.
 const HOT_ENTRY_PREFIXES: &[&str] = &["fit", "forward", "backward", "spmm", "query"];
+
+/// Extra prefixes FW008 audits beyond [`HOT_ENTRY_PREFIXES`]: admin-plane
+/// request handlers. FW008-only on purpose — a handler builds its response
+/// body, so FW007's no-allocation sweep must not anchor on it, but an
+/// unobservable endpoint (no scrape counter) is still a blind spot.
+const FW008_HANDLER_PREFIXES: &[&str] = &["handle"];
 
 /// Allocating constructors FW007 rejects on the hot path. Matched against
 /// masked body lines.
@@ -574,11 +581,22 @@ fn lint_fw006(fa: &FileAnalysis, out: &mut Vec<Violation>) {
     }
 }
 
-/// True when `name` marks a hot-path entry point.
-fn is_hot_entry(name: &str) -> bool {
-    HOT_ENTRY_PREFIXES.iter().any(|p| {
+/// True when `name` equals one of `prefixes` or extends it with `_…`.
+fn matches_entry_prefix(name: &str, prefixes: &[&str]) -> bool {
+    prefixes.iter().any(|p| {
         name == *p || name.strip_prefix(p).map(|r| r.starts_with('_')).unwrap_or(false)
     })
+}
+
+/// True when `name` marks a hot-path entry point.
+fn is_hot_entry(name: &str) -> bool {
+    matches_entry_prefix(name, HOT_ENTRY_PREFIXES)
+}
+
+/// True when `name` is in FW008's audited surface: the hot-path entries
+/// plus the admin request handlers.
+fn is_fw008_entry(name: &str) -> bool {
+    is_hot_entry(name) || matches_entry_prefix(name, FW008_HANDLER_PREFIXES)
 }
 
 /// FW007: allocating constructors reachable from the hot-path entry points.
@@ -634,17 +652,18 @@ fn lint_fw007(
     hot
 }
 
-/// FW008: obs coverage of the public training/inference surface. A public
-/// `fit*`/`forward*`/`backward*` fn in core/nn passes when it — or any
-/// function it can reach in the call graph — opens a span or feeds a
-/// counter; otherwise the fn is invisible to the observability story.
+/// FW008: obs coverage of the public training/inference/admin surface. A
+/// public `fit*`/`forward*`/`backward*`/`query*` fn in core/nn/serve — or
+/// a `handle*` admin endpoint in serve — passes when it, or any function
+/// it can reach in the call graph, opens a span or feeds a counter;
+/// otherwise the fn is invisible to the observability story.
 fn lint_fw008(graph: &CallGraph, _analyses: &[FileAnalysis], out: &mut Vec<Violation>) {
     for (i, node) in graph.nodes.iter().enumerate() {
         if !node.is_pub
             || node.in_test
             || node.body.is_empty()
             || !in_roots(&node.file, FW008_ROOTS)
-            || !is_hot_entry(&node.name)
+            || !is_fw008_entry(&node.name)
             || node.name.starts_with("spmm")
             || node.allowed.iter().any(|a| a == "FW008")
         {

@@ -1,0 +1,15 @@
+//! FW008 fire fixture, admin-handler surface: a public `handle_*` endpoint
+//! that neither opens a span nor feeds a counter, directly or via any
+//! callee — a scrape target invisible to its own telemetry.
+
+/// Public admin endpoint with no observability anywhere beneath it.
+pub fn handle_status() -> String {
+    render_status()
+}
+
+/// Builds the response body silently.
+fn render_status() -> String {
+    let mut body = String::new();
+    body.push_str("ok");
+    body
+}

@@ -66,9 +66,22 @@ fn fw007_hot_path_allocation_via_call_graph() {
 #[test]
 fn fw008_obs_coverage_is_transitive() {
     // The pass fixture's wrapper has no span of its own — its kernel feeds
-    // a counter, which must satisfy the lint through the call graph.
+    // a counter, which must satisfy the lint through the call graph. Its
+    // serve crate also holds an *allocating* `handle_*` endpoint whose
+    // renderer counts scrapes: silence here pins that the handler prefix
+    // anchors FW008 only, never FW007's no-allocation sweep.
     assert_silent("fw008_pass");
     assert_fires("fw008_fire", "FW008");
+    // Both audited surfaces must be reported on the fire fixture: the dark
+    // forward entry (hot-path prefix) and the dark admin handler.
+    let report = run_lints(&fixture("fw008_fire")).expect("fixture lint run succeeds");
+    for entry in ["forward_step", "handle_status"] {
+        assert!(
+            report.violations.iter().any(|v| v.message.contains(entry)),
+            "expected an FW008 finding on `{entry}`, got {:?}",
+            report.violations
+        );
+    }
 }
 
 #[test]

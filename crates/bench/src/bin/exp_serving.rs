@@ -12,21 +12,34 @@
 //! 3. **Hot reload under load** — a client hammers queries while the model
 //!    artifact is atomically rewritten and reloaded; zero dropped queries.
 //!
+//! An [`AdminServer`] rides alongside for the whole run, scraped at 10 Hz
+//! (`/metrics` + `/readyz`) by a background client, so the throughput gate
+//! prices in the cost of live telemetry (`docs/OBSERVABILITY.md`).
+//!
 //! CI runs this with `--out results/serving.json`.
 
 use fairwos_bench::Args;
 use fairwos_core::{FairwosConfig, FairwosTrainer, TrainInput};
 use fairwos_datasets::{DatasetSpec, FairGraphDataset};
 use fairwos_nn::Backbone;
-use fairwos_serve::{FsModelSource, Prediction, ServeConfig, ServeData, ServeEngine};
+use fairwos_serve::{
+    http_get, AdminConfig, AdminServer, FsModelSource, Prediction, ServeConfig, ServeData,
+    ServeEngine,
+};
 use fairwos_tensor::Workspace;
 use serde::Serialize;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Tickets kept in flight during the single-node throughput phase.
 const PIPELINE_WINDOW: usize = 512;
+
+/// Scrape cadence for the background admin client (10 Hz).
+const SCRAPE_INTERVAL: Duration = Duration::from_millis(100);
+
+/// Per-request timeout for the background admin client.
+const SCRAPE_TIMEOUT: Duration = Duration::from_secs(5);
 
 #[derive(Serialize)]
 struct ServingReport {
@@ -46,6 +59,11 @@ struct ServingReport {
     reloads: u64,
     /// Queries answered concurrently with those reloads (all verified).
     queries_during_reloads: u64,
+    /// `/metrics` + `/readyz` scrapes completed by the 10 Hz admin client
+    /// running concurrently with every measured phase.
+    admin_scrapes: u64,
+    /// Scrapes that failed or returned a non-200 status (must be 0).
+    scrape_failures: u64,
     /// Throughput gate: `single_qps >= min_qps` (or the gate was disabled).
     min_qps: f64,
     pass: bool,
@@ -137,6 +155,32 @@ fn main() {
         .expect("initial load"),
     );
 
+    // Live telemetry plane: scrape /metrics and /readyz at 10 Hz for the
+    // whole run, so every measured number includes the admin-plane cost.
+    let admin = AdminServer::start(&engine, AdminConfig::default()).expect("admin starts");
+    let admin_addr = admin.local_addr();
+    let scrape_stop = Arc::new(AtomicBool::new(false));
+    let scrape_failures = Arc::new(AtomicU64::new(0));
+    let scraper = {
+        let stop = Arc::clone(&scrape_stop);
+        let failures = Arc::clone(&scrape_failures);
+        std::thread::spawn(move || {
+            let mut scrapes = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                for path in ["/metrics", "/readyz"] {
+                    match http_get(admin_addr, path, SCRAPE_TIMEOUT) {
+                        Ok((200, _)) => scrapes += 1,
+                        Ok(_) | Err(_) => {
+                            failures.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+                std::thread::sleep(SCRAPE_INTERVAL);
+            }
+            scrapes
+        })
+    };
+
     // Phase 1: cached single-node throughput (with a short warmup).
     measure_single_qps(&engine, 20_000);
     let single_qps = measure_single_qps(&engine, 200_000);
@@ -184,6 +228,15 @@ fn main() {
         "hot reload:  {reloads} reloads with {queries_during_reloads} concurrent queries, zero drops"
     );
 
+    scrape_stop.store(true, Ordering::Relaxed);
+    let admin_scrapes = scraper.join().expect("scraper thread finishes");
+    let scrape_failures = scrape_failures.load(Ordering::Relaxed);
+    drop(admin);
+    println!(
+        "admin plane: {admin_scrapes} scrapes at 10 Hz, {scrape_failures} failures"
+    );
+    assert_eq!(scrape_failures, 0, "admin scrapes must all succeed under load");
+
     let stats = engine.stats();
     let p50_latency_us = stats.p50_latency_ns as f64 / 1_000.0;
     let p99_latency_us = stats.p99_latency_ns as f64 / 1_000.0;
@@ -198,7 +251,7 @@ fn main() {
     let pass = min_qps <= 0.0 || single_qps >= min_qps;
 
     args.write_out(&ServingReport {
-        schema_version: 1,
+        schema_version: 2,
         dataset: ds.spec.name.clone(),
         nodes: ds.num_nodes(),
         workers: 4,
@@ -208,6 +261,8 @@ fn main() {
         p99_latency_us,
         reloads,
         queries_during_reloads,
+        admin_scrapes,
+        scrape_failures,
         min_qps,
         pass,
     });

@@ -60,7 +60,7 @@ pub use config::{
     CfStrategy, FairwosConfig, MinibatchConfig, RecoveryConfig, WatchdogConfig, WeightMode,
 };
 pub use counterfactual::{CounterfactualSets, SearchSpace};
-pub use encoder::Encoder;
+pub use encoder::{binarize_at_medians, Encoder};
 pub use lambda::{lambda_feasible, project_to_simplex, update_lambda};
 pub use method::{FairMethod, InputError, TrainInput};
 pub use minibatch::BatchPlan;

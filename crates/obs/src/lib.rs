@@ -23,7 +23,18 @@
 //!   accumulates a total and a call count per label. Used by the matmul /
 //!   SPMM kernels and the matrix allocator.
 //! * **Scales** — `scale_max("train/nodes", n)` keeps the per-run maximum,
-//!   recording the peak problem size a run touched.
+//!   recording the peak problem size a run touched. Its sibling
+//!   `gauge_set("serve/latency/p50_ns", v)` keeps the **last** value
+//!   instead — the right kind for quantities a live scraper watches, which
+//!   must be able to go back down.
+//!
+//! # Live export
+//!
+//! [`MetricsSnapshot::capture`] copies the whole registry (plus the event
+//! journal's occupancy and drop counter) at any moment, and
+//! [`prometheus_text`] renders it in Prometheus text exposition — the
+//! payload behind `fairwos-serve`'s admin `GET /metrics` endpoint
+//! (`docs/OBSERVABILITY.md`).
 //!
 //! # Run lifecycle
 //!
@@ -51,15 +62,19 @@
 
 mod event;
 mod json;
+mod prometheus;
 mod report;
+mod snapshot;
 mod telemetry;
 mod trace;
 pub mod watchdog;
 
 pub use event::{Event, EventRing, TimedEvent, DEFAULT_JOURNAL_CAPACITY};
+pub use prometheus::{prometheus_text, validate_prometheus_text, PROMETHEUS_CONTENT_TYPE};
 pub use report::{
     pipeline_json, write_pipeline_json, CounterMetric, RunMetrics, ScaleMetric, SpanMetric,
 };
+pub use snapshot::{GaugeMetric, JournalStats, MetricsSnapshot};
 pub use telemetry::{EpochRecord, EvalMetrics, TelemetrySink, TELEMETRY_SCHEMA_VERSION};
 pub use trace::{trace_json, write_trace_json, TRACE_SCHEMA_VERSION};
 pub use watchdog::{lambda_in_simplex, Divergence, Watchdog, WatchdogPolicy};
@@ -89,9 +104,9 @@ mod registry;
 
 #[cfg(feature = "enabled")]
 pub use registry::{
-    counter_add, counter_totals, journal_alert, journal_checkpoint, journal_counter_snapshot,
-    journal_epoch, journal_events, journal_record, journal_rollback, monotonic_ns, reset,
-    scale_max, set_journal_capacity, span, SpanGuard,
+    counter_add, counter_totals, gauge_set, gauge_values, journal_alert, journal_checkpoint,
+    journal_counter_snapshot, journal_epoch, journal_events, journal_record, journal_rollback,
+    journal_stats, monotonic_ns, reset, scale_max, set_journal_capacity, span, SpanGuard,
 };
 
 #[cfg(not(feature = "enabled"))]
@@ -117,6 +132,22 @@ mod noop {
     /// Records a peak value (no-op in this build).
     #[inline(always)]
     pub fn scale_max(_label: &str, _value: u64) {}
+
+    /// Sets a last-value gauge (no-op in this build).
+    #[inline(always)]
+    pub fn gauge_set(_label: &str, _value: u64) {}
+
+    /// Last-value gauge snapshot (always empty in this build).
+    #[inline(always)]
+    pub fn gauge_values() -> Vec<crate::GaugeMetric> {
+        Vec::new()
+    }
+
+    /// Journal occupancy (always zero in this build).
+    #[inline(always)]
+    pub fn journal_stats() -> crate::JournalStats {
+        crate::JournalStats::default()
+    }
 
     /// Clears the registry (no-op in this build).
     #[inline(always)]
@@ -172,9 +203,9 @@ mod noop {
 
 #[cfg(not(feature = "enabled"))]
 pub use noop::{
-    counter_add, counter_totals, journal_alert, journal_checkpoint, journal_counter_snapshot,
-    journal_epoch, journal_events, journal_record, journal_rollback, monotonic_ns, reset,
-    scale_max, set_journal_capacity, span, SpanGuard,
+    counter_add, counter_totals, gauge_set, gauge_values, journal_alert, journal_checkpoint,
+    journal_counter_snapshot, journal_epoch, journal_events, journal_record, journal_rollback,
+    journal_stats, monotonic_ns, reset, scale_max, set_journal_capacity, span, SpanGuard,
 };
 
 #[cfg(test)]

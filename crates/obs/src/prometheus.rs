@@ -1,0 +1,281 @@
+//! Prometheus text exposition (format version 0.0.4) for a
+//! [`MetricsSnapshot`], plus a small structural validator so CI can check a
+//! scraped payload without an external `promtool`.
+//!
+//! # Encoding scheme
+//!
+//! The registry's `/`-separated labels are flattened into metric *names*
+//! (every non-`[a-zA-Z0-9_]` byte becomes `_`, so `serve/latency/p50_ns` →
+//! `fairwos_serve_latency_p50_ns`) rather than into Prometheus labels: each
+//! registry label is one time series, a one-to-one mapping with nothing to
+//! quote or escape. Per instrument:
+//!
+//! | registry kind | exposition |
+//! |---|---|
+//! | counter | `fairwos_<l>_total` (counter) + `fairwos_<l>_calls_total` (counter) |
+//! | span | `fairwos_span_<l>_count` (counter), `_seconds_total` (counter), `_seconds_min` / `_seconds_max` (gauges) |
+//! | scale (`scale_max`) | `fairwos_scale_<l>_max` (gauge) |
+//! | gauge (`gauge_set`) | `fairwos_gauge_<l>` (gauge) |
+//! | journal | `fairwos_journal_events` / `_capacity` (gauges), `fairwos_journal_dropped_total` (counter) |
+//!
+//! The output is **byte-stable** for a given snapshot: the snapshot's
+//! vectors come label-sorted from the registry's `BTreeMap`s, floats render
+//! with Rust's shortest round-trip formatting, and every section is emitted
+//! in a fixed order. `tests/golden_prometheus.rs` pins the exact bytes.
+
+use crate::snapshot::MetricsSnapshot;
+
+/// The `Content-Type` an HTTP endpoint should declare for
+/// [`prometheus_text`] output.
+pub const PROMETHEUS_CONTENT_TYPE: &str = "text/plain; version=0.0.4";
+
+/// Appends `label` with every byte outside `[a-zA-Z0-9_]` replaced by `_`.
+/// In particular the registry's `/` separators become `_`.
+fn push_sanitized(out: &mut String, label: &str) {
+    for c in label.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+}
+
+/// Appends one `# TYPE` header plus one sample line for the metric named
+/// `prefix + sanitize(label) + suffix`.
+fn push_sample(out: &mut String, prefix: &str, label: &str, suffix: &str, kind: &str, value: &str) {
+    let mut name = String::with_capacity(prefix.len() + label.len() + suffix.len());
+    name.push_str(prefix);
+    push_sanitized(&mut name, label);
+    name.push_str(suffix);
+    out.push_str("# TYPE ");
+    out.push_str(&name);
+    out.push(' ');
+    out.push_str(kind);
+    out.push('\n');
+    out.push_str(&name);
+    out.push(' ');
+    out.push_str(value);
+    out.push('\n');
+}
+
+/// Shortest round-trip decimal for an f64 (Prometheus values are floats;
+/// non-finite values cannot come from the registry's u64/ns aggregates).
+fn fmt_f64(v: f64) -> String {
+    format!("{v:?}")
+}
+
+/// Renders `snap` as Prometheus text exposition, deterministically: the
+/// same snapshot always produces the same bytes.
+pub fn prometheus_text(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for c in &snap.counters {
+        push_sample(&mut out, "fairwos_", &c.label, "_total", "counter", &c.total.to_string());
+        push_sample(
+            &mut out,
+            "fairwos_",
+            &c.label,
+            "_calls_total",
+            "counter",
+            &c.calls.to_string(),
+        );
+    }
+    for s in &snap.spans {
+        push_sample(&mut out, "fairwos_span_", &s.label, "_count", "counter", &s.count.to_string());
+        push_sample(
+            &mut out,
+            "fairwos_span_",
+            &s.label,
+            "_seconds_total",
+            "counter",
+            &fmt_f64(s.total_secs),
+        );
+        push_sample(
+            &mut out,
+            "fairwos_span_",
+            &s.label,
+            "_seconds_min",
+            "gauge",
+            &fmt_f64(s.min_secs),
+        );
+        push_sample(
+            &mut out,
+            "fairwos_span_",
+            &s.label,
+            "_seconds_max",
+            "gauge",
+            &fmt_f64(s.max_secs),
+        );
+    }
+    for s in &snap.scales {
+        push_sample(&mut out, "fairwos_scale_", &s.label, "_max", "gauge", &s.max.to_string());
+    }
+    for g in &snap.gauges {
+        push_sample(&mut out, "fairwos_gauge_", &g.label, "", "gauge", &g.value.to_string());
+    }
+    push_sample(&mut out, "fairwos_", "journal_events", "", "gauge", &snap.journal.len.to_string());
+    push_sample(
+        &mut out,
+        "fairwos_",
+        "journal_dropped",
+        "_total",
+        "counter",
+        &snap.journal.dropped.to_string(),
+    );
+    push_sample(
+        &mut out,
+        "fairwos_",
+        "journal_capacity",
+        "",
+        "gauge",
+        &snap.journal.capacity.to_string(),
+    );
+    out
+}
+
+/// True for a valid Prometheus metric name: `[a-zA-Z_:][a-zA-Z0-9_:]*`.
+fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// Structurally validates a text-exposition payload — the promtool-free
+/// check CI's scrape smoke test runs on a live `GET /metrics` body:
+///
+/// * every line is `# TYPE <name> <counter|gauge>`, a `# HELP`/comment, or
+///   a `<name> <float>` sample;
+/// * every sample's name was declared by a preceding `# TYPE` line;
+/// * no `# TYPE` is declared twice, and none is left sample-less;
+/// * metric names are lexically valid and sample values parse as `f64`.
+///
+/// Returns the number of samples.
+///
+/// # Errors
+/// A description of the first malformed line.
+pub fn validate_prometheus_text(text: &str) -> Result<usize, String> {
+    let mut declared: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+    let mut sampled: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+    let mut samples = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        let n = i + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split(' ');
+            let (name, kind) = match (parts.next(), parts.next(), parts.next()) {
+                (Some(name), Some(kind), None) => (name, kind),
+                _ => return Err(format!("line {n}: malformed # TYPE line: {line:?}")),
+            };
+            if !valid_metric_name(name) {
+                return Err(format!("line {n}: invalid metric name {name:?}"));
+            }
+            if !matches!(kind, "counter" | "gauge" | "histogram" | "summary" | "untyped") {
+                return Err(format!("line {n}: unknown metric type {kind:?}"));
+            }
+            if !declared.insert(name.to_owned()) {
+                return Err(format!("line {n}: duplicate # TYPE for {name:?}"));
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split(' ');
+        let (name, value) = match (parts.next(), parts.next(), parts.next()) {
+            (Some(name), Some(value), None) => (name, value),
+            _ => return Err(format!("line {n}: malformed sample line: {line:?}")),
+        };
+        // Strip an optional {labels} block (this crate never emits one, but
+        // the validator should accept general exposition).
+        let name = name.split('{').next().unwrap_or(name);
+        if !valid_metric_name(name) {
+            return Err(format!("line {n}: invalid metric name {name:?}"));
+        }
+        if value.parse::<f64>().is_err() {
+            return Err(format!("line {n}: sample value {value:?} is not a float"));
+        }
+        if !declared.contains(name) {
+            return Err(format!("line {n}: sample {name:?} has no preceding # TYPE"));
+        }
+        sampled.insert(name.to_owned());
+        samples += 1;
+    }
+    if let Some(orphan) = declared.iter().find(|d| !sampled.contains(d.as_str())) {
+        return Err(format!("# TYPE {orphan:?} declared but never sampled"));
+    }
+    Ok(samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::{CounterMetric, ScaleMetric, SpanMetric};
+    use crate::snapshot::{GaugeMetric, JournalStats};
+
+    fn sample_snapshot() -> MetricsSnapshot {
+        MetricsSnapshot {
+            spans: vec![SpanMetric {
+                label: "serve/precompute".to_owned(),
+                count: 2,
+                total_secs: 0.5,
+                min_secs: 0.125,
+                max_secs: 0.375,
+            }],
+            counters: vec![CounterMetric {
+                label: "serve/queries".to_owned(),
+                calls: 7,
+                total: 420,
+            }],
+            scales: vec![ScaleMetric { label: "serve/batch/max".to_owned(), max: 64 }],
+            gauges: vec![GaugeMetric { label: "serve/latency/p50_ns".to_owned(), value: 2047 }],
+            journal: JournalStats { len: 9, dropped: 3, capacity: 65536 },
+        }
+    }
+
+    #[test]
+    fn labels_sanitize_slashes_to_underscores() {
+        let text = prometheus_text(&sample_snapshot());
+        assert!(text.contains("fairwos_serve_queries_total 420\n"), "{text}");
+        assert!(text.contains("fairwos_gauge_serve_latency_p50_ns 2047\n"), "{text}");
+        assert!(!text.contains('/'), "no registry separator may survive: {text}");
+    }
+
+    #[test]
+    fn every_metric_has_a_type_line_and_validates() {
+        let text = prometheus_text(&sample_snapshot());
+        let samples = validate_prometheus_text(&text).expect("own output must validate");
+        // 2 per counter + 4 per span + 1 scale + 1 gauge + 3 journal.
+        assert_eq!(samples, 11);
+        assert!(text.contains("# TYPE fairwos_journal_dropped_total counter\n"));
+        assert!(text.contains("fairwos_journal_dropped_total 3\n"));
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        assert_eq!(prometheus_text(&sample_snapshot()), prometheus_text(&sample_snapshot()));
+    }
+
+    #[test]
+    fn validator_rejects_malformed_payloads() {
+        assert!(validate_prometheus_text("fairwos_x 1\n").is_err(), "sample without TYPE");
+        assert!(
+            validate_prometheus_text("# TYPE fairwos_x counter\nfairwos_x one\n").is_err(),
+            "non-float value"
+        );
+        assert!(
+            validate_prometheus_text("# TYPE fairwos_x counter\n").is_err(),
+            "TYPE without sample"
+        );
+        assert!(
+            validate_prometheus_text("# TYPE 9bad gauge\n9bad 1\n").is_err(),
+            "invalid name"
+        );
+        let ok = "# TYPE x_total counter\nx_total{path=\"/metrics\"} 4\n";
+        assert_eq!(validate_prometheus_text(ok), Ok(1), "labelled samples accepted");
+    }
+}

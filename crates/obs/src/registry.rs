@@ -15,6 +15,7 @@ use std::time::Instant;
 
 use crate::event::{Event, EventRing, TimedEvent, DEFAULT_JOURNAL_CAPACITY};
 use crate::report::{CounterMetric, ScaleMetric, SpanMetric};
+use crate::snapshot::{GaugeMetric, JournalStats};
 
 #[derive(Default)]
 struct SpanAgg {
@@ -35,6 +36,7 @@ struct Tables {
     spans: BTreeMap<String, SpanAgg>,
     counters: BTreeMap<String, CounterAgg>,
     scales: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, u64>,
 }
 
 fn tables() -> &'static Mutex<Tables> {
@@ -211,6 +213,20 @@ pub fn scale_max(label: &str, value: u64) {
     });
 }
 
+/// Sets the last-value gauge `label` to `value`, overwriting any previous
+/// reading.
+///
+/// Unlike [`scale_max`], which ratchets and therefore can never show a
+/// quantity *improving* (a single latency spike pins the gauge forever), a
+/// last-value gauge tracks the current state of the world — the right kind
+/// for anything a live scraper watches: latency quantiles, queue depths,
+/// fairness drift estimates.
+pub fn gauge_set(label: &str, value: u64) {
+    with_tables(|t| {
+        t.gauges.insert(label.to_owned(), value);
+    });
+}
+
 /// Clears every table *and* the event journal. Harnesses call this at the
 /// start of each run so a subsequent [`crate::RunMetrics::capture`] (or
 /// [`journal_events`] export) sees only that run. The journal's capacity
@@ -220,6 +236,7 @@ pub fn reset() {
         t.spans.clear();
         t.counters.clear();
         t.scales.clear();
+        t.gauges.clear();
     });
     with_journal(EventRing::clear);
 }
@@ -232,6 +249,28 @@ pub fn counter_totals() -> Vec<(String, u64)> {
         t.counters
             .iter()
             .map(|(label, a)| (label.clone(), a.total))
+            .collect()
+    })
+}
+
+/// Point-in-time occupancy of the event journal: retained events, evictions
+/// since the last [`reset`], and the ring's capacity. This is how silent
+/// journal truncation (oldest-first eviction under event pressure) becomes
+/// visible to a metrics scraper.
+pub fn journal_stats() -> JournalStats {
+    with_journal(|j| JournalStats {
+        len: j.len() as u64,
+        dropped: j.dropped(),
+        capacity: j.capacity() as u64,
+    })
+}
+
+/// Current `(label, value)` of every last-value gauge, sorted by label.
+pub fn gauge_values() -> Vec<GaugeMetric> {
+    with_tables(|t| {
+        t.gauges
+            .iter()
+            .map(|(label, &value)| GaugeMetric { label: label.clone(), value })
             .collect()
     })
 }

@@ -1,0 +1,96 @@
+//! [`MetricsSnapshot`] — the live-telemetry export of the whole registry.
+//!
+//! [`crate::RunMetrics`] is the *post-hoc* view: one training run's
+//! aggregates, captured after the run ends and written to a results file.
+//! A deployed serving process needs the *live* view instead: everything the
+//! registry currently holds — spans, counters, ratchet scales, last-value
+//! gauges — **plus** the event journal's occupancy, so that oldest-first
+//! eviction (silent truncation of the timeline) is a scrapeable number
+//! rather than an invisible loss. `MetricsSnapshot::capture` is that view;
+//! [`crate::prometheus_text`] renders it in Prometheus text exposition for
+//! the `fairwos-serve` admin endpoint's `GET /metrics`.
+//!
+//! Like every schema type in this crate, the structs compile in both build
+//! modes; without the `enabled` feature `capture()` returns an empty
+//! snapshot (all vectors empty, journal stats zero).
+
+use crate::report::{CounterMetric, ScaleMetric, SpanMetric};
+
+/// Current value of one last-value gauge (set via [`crate::gauge_set`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GaugeMetric {
+    /// Gauge label, e.g. `serve/latency/p50_ns`.
+    pub label: String,
+    /// Most recently written value.
+    pub value: u64,
+}
+
+/// Occupancy of the bounded event journal at capture time.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct JournalStats {
+    /// Events currently retained in the ring.
+    pub len: u64,
+    /// Events evicted oldest-first since the last `reset()` — nonzero means
+    /// the journal has silently truncated its own history.
+    pub dropped: u64,
+    /// Maximum events the ring retains.
+    pub capacity: u64,
+}
+
+/// A point-in-time copy of the whole registry plus journal occupancy,
+/// every vector sorted by label (the registry's `BTreeMap` order), so two
+/// captures of the same state render byte-identically.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Span aggregates, sorted by label.
+    pub spans: Vec<SpanMetric>,
+    /// Counter totals, sorted by label.
+    pub counters: Vec<CounterMetric>,
+    /// Ratchet-gauge maxima ([`crate::scale_max`]), sorted by label.
+    pub scales: Vec<ScaleMetric>,
+    /// Last-value gauges ([`crate::gauge_set`]), sorted by label.
+    pub gauges: Vec<GaugeMetric>,
+    /// Event-journal occupancy, including the eviction (drop) counter.
+    pub journal: JournalStats,
+}
+
+impl MetricsSnapshot {
+    /// Copies the global registry and journal stats. Nothing is drained:
+    /// the registry keeps every aggregate until the next `reset()`, so
+    /// consecutive captures are monotone in counters and journal drops.
+    ///
+    /// Without the `enabled` feature the snapshot is empty.
+    pub fn capture() -> Self {
+        #[cfg(feature = "enabled")]
+        {
+            let (spans, counters, scales) = crate::registry::snapshot();
+            MetricsSnapshot {
+                spans,
+                counters,
+                scales,
+                gauges: crate::registry::gauge_values(),
+                journal: crate::registry::journal_stats(),
+            }
+        }
+        #[cfg(not(feature = "enabled"))]
+        {
+            MetricsSnapshot::default()
+        }
+    }
+}
+
+// Armed-mode semantics (last-value vs max, journal drop visibility) are
+// pinned in `tests/registry_semantics.rs`, whose file-local mutex
+// serializes them against the process-global registry; unit tests here
+// would race the lib tests sharing this process.
+#[cfg(all(test, not(feature = "enabled")))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_capture_is_empty() {
+        crate::gauge_set("snap_test/gauge", 2);
+        crate::counter_add("snap_test/counter", 3);
+        assert_eq!(MetricsSnapshot::capture(), MetricsSnapshot::default());
+    }
+}

@@ -1,0 +1,107 @@
+//! Byte-pins the Prometheus text exposition for a deterministic
+//! [`MetricsSnapshot`] — the admin endpoint's `GET /metrics` payload is a
+//! stable contract exactly like the `RunMetrics` JSON and the Chrome trace.
+//!
+//! The snapshot is hand-constructed (not captured from the global
+//! registry), so the expected bytes are exact in both build modes.
+
+use fairwos_obs::{
+    prometheus_text, validate_prometheus_text, CounterMetric, GaugeMetric, JournalStats,
+    MetricsSnapshot, ScaleMetric, SpanMetric,
+};
+
+fn fixture_snapshot() -> MetricsSnapshot {
+    MetricsSnapshot {
+        spans: vec![
+            SpanMetric {
+                label: "serve/precompute".to_owned(),
+                count: 2,
+                total_secs: 0.5,
+                min_secs: 0.125,
+                max_secs: 0.375,
+            },
+            SpanMetric {
+                label: "train/stage1_encoder".to_owned(),
+                count: 1,
+                total_secs: 1.25,
+                min_secs: 1.25,
+                max_secs: 1.25,
+            },
+        ],
+        counters: vec![
+            CounterMetric { label: "serve/queries".to_owned(), calls: 7, total: 420 },
+            CounterMetric { label: "tensor/matmul/flops".to_owned(), calls: 3, total: 600 },
+        ],
+        scales: vec![ScaleMetric { label: "serve/batch/max".to_owned(), max: 64 }],
+        gauges: vec![
+            GaugeMetric { label: "serve/fairness/delta_sp_ppm".to_owned(), value: 81250 },
+            GaugeMetric { label: "serve/latency/p50_ns".to_owned(), value: 2047 },
+        ],
+        journal: JournalStats { len: 9, dropped: 3, capacity: 65536 },
+    }
+}
+
+const EXPECTED: &str = "\
+# TYPE fairwos_serve_queries_total counter
+fairwos_serve_queries_total 420
+# TYPE fairwos_serve_queries_calls_total counter
+fairwos_serve_queries_calls_total 7
+# TYPE fairwos_tensor_matmul_flops_total counter
+fairwos_tensor_matmul_flops_total 600
+# TYPE fairwos_tensor_matmul_flops_calls_total counter
+fairwos_tensor_matmul_flops_calls_total 3
+# TYPE fairwos_span_serve_precompute_count counter
+fairwos_span_serve_precompute_count 2
+# TYPE fairwos_span_serve_precompute_seconds_total counter
+fairwos_span_serve_precompute_seconds_total 0.5
+# TYPE fairwos_span_serve_precompute_seconds_min gauge
+fairwos_span_serve_precompute_seconds_min 0.125
+# TYPE fairwos_span_serve_precompute_seconds_max gauge
+fairwos_span_serve_precompute_seconds_max 0.375
+# TYPE fairwos_span_train_stage1_encoder_count counter
+fairwos_span_train_stage1_encoder_count 1
+# TYPE fairwos_span_train_stage1_encoder_seconds_total counter
+fairwos_span_train_stage1_encoder_seconds_total 1.25
+# TYPE fairwos_span_train_stage1_encoder_seconds_min gauge
+fairwos_span_train_stage1_encoder_seconds_min 1.25
+# TYPE fairwos_span_train_stage1_encoder_seconds_max gauge
+fairwos_span_train_stage1_encoder_seconds_max 1.25
+# TYPE fairwos_scale_serve_batch_max_max gauge
+fairwos_scale_serve_batch_max_max 64
+# TYPE fairwos_gauge_serve_fairness_delta_sp_ppm gauge
+fairwos_gauge_serve_fairness_delta_sp_ppm 81250
+# TYPE fairwos_gauge_serve_latency_p50_ns gauge
+fairwos_gauge_serve_latency_p50_ns 2047
+# TYPE fairwos_journal_events gauge
+fairwos_journal_events 9
+# TYPE fairwos_journal_dropped_total counter
+fairwos_journal_dropped_total 3
+# TYPE fairwos_journal_capacity gauge
+fairwos_journal_capacity 65536
+";
+
+#[test]
+fn exposition_bytes_are_pinned() {
+    assert_eq!(prometheus_text(&fixture_snapshot()), EXPECTED);
+}
+
+#[test]
+fn pinned_fixture_passes_the_validator() {
+    let samples = validate_prometheus_text(EXPECTED).expect("golden payload must validate");
+    assert_eq!(samples, 18);
+}
+
+#[test]
+fn empty_snapshot_still_exposes_journal_health() {
+    let text = prometheus_text(&MetricsSnapshot::default());
+    assert_eq!(
+        text,
+        "# TYPE fairwos_journal_events gauge\n\
+         fairwos_journal_events 0\n\
+         # TYPE fairwos_journal_dropped_total counter\n\
+         fairwos_journal_dropped_total 0\n\
+         # TYPE fairwos_journal_capacity gauge\n\
+         fairwos_journal_capacity 0\n"
+    );
+    assert_eq!(validate_prometheus_text(&text), Ok(3));
+}

@@ -179,6 +179,73 @@ fn spans_feed_the_journal_and_reset_clears_it() {
 }
 
 #[test]
+fn gauge_keeps_last_value_while_scale_ratchets() {
+    let _g = lock();
+    obs::reset();
+    // Identical write sequence to both kinds; only the fold differs.
+    for v in [3u64, 11, 4] {
+        obs::gauge_set("sem/kind_probe", v);
+        obs::scale_max("sem/kind_probe", v);
+    }
+    let snap = obs::MetricsSnapshot::capture();
+    let gauge = snap
+        .gauges
+        .iter()
+        .find(|g| g.label == "sem/kind_probe")
+        .unwrap_or_else(|| panic!("gauge missing from {:?}", snap.gauges));
+    assert_eq!(gauge.value, 4, "a gauge must follow the value back down");
+    let scale = snap
+        .scales
+        .iter()
+        .find(|s| s.label == "sem/kind_probe")
+        .unwrap_or_else(|| panic!("scale missing"));
+    assert_eq!(scale.max, 11, "a scale must ratchet at the peak");
+
+    obs::reset();
+    assert!(
+        obs::MetricsSnapshot::capture().gauges.is_empty(),
+        "reset must clear gauges"
+    );
+}
+
+#[test]
+fn snapshot_surfaces_journal_drops_and_gauges_without_touching_run_metrics() {
+    let _g = lock();
+    obs::reset();
+    obs::set_journal_capacity(2);
+    // 5 events into a 2-slot ring: 3 oldest-first evictions.
+    for epoch in 0..5 {
+        obs::journal_epoch(1, epoch);
+    }
+    obs::gauge_set("sem/drop_probe", 7);
+
+    let snap = obs::MetricsSnapshot::capture();
+    assert_eq!(snap.journal.capacity, 2);
+    assert_eq!(snap.journal.len, 2);
+    assert_eq!(
+        snap.journal.dropped, 3,
+        "oldest-first eviction must be a scrapeable number"
+    );
+
+    // The exposition carries the drop counter end to end.
+    let text = obs::prometheus_text(&snap);
+    assert!(text.contains("fairwos_journal_dropped_total 3\n"), "{text}");
+    assert!(text.contains("fairwos_gauge_sem_drop_probe 7\n"), "{text}");
+    obs::validate_prometheus_text(&text).expect("live capture must validate");
+
+    // Gauges are a live-export concern only: the byte-pinned RunMetrics
+    // schema must not grow a gauges section.
+    let json = obs::pipeline_json(&[obs::RunMetrics::capture("m", "d", "b", 0, 0.0)]);
+    assert!(!json.contains("\"gauges\""), "RunMetrics JSON must stay gauge-free");
+
+    obs::set_journal_capacity(obs::DEFAULT_JOURNAL_CAPACITY);
+    obs::reset();
+    let after = obs::MetricsSnapshot::capture();
+    assert_eq!(after.journal.dropped, 0, "reset must clear the drop counter");
+    assert_eq!(after.journal.capacity, obs::DEFAULT_JOURNAL_CAPACITY as u64);
+}
+
+#[test]
 fn counter_totals_snapshot_diffs() {
     let _g = lock();
     obs::reset();

@@ -1,0 +1,349 @@
+//! The opt-in HTTP admin plane: live metrics, health, readiness, and stats
+//! for one [`ServeEngine`], on `std::net::TcpListener` alone.
+//!
+//! # Design
+//!
+//! Two dedicated threads, fully decoupled from the serving worker pool:
+//!
+//! * the **listener** thread accepts connections and admits them into a
+//!   bounded [`BoundedQueue`] via `try_push` — when the queue is full the
+//!   connection is answered `503` immediately instead of parking (a scraper
+//!   prefers a fast failure over a stale payload, and a misbehaving peer
+//!   cannot queue unbounded work);
+//! * the **handler** thread drains admitted connections one at a time, puts
+//!   a read timeout on each socket, parses the request, and routes it.
+//!
+//! The server holds only a `Weak` reference to the engine, so it never
+//! keeps a shut-down engine alive; once the engine is dropped, `/readyz`
+//! and `/stats` answer `503` while `/healthz` and `/metrics` keep working
+//! (the process is still alive and its registry still worth scraping).
+//! Dropping the [`AdminServer`] shuts both threads down and joins them.
+//!
+//! # Routes
+//!
+//! | route | payload |
+//! |---|---|
+//! | `GET /metrics` | Prometheus text exposition of the whole obs registry |
+//! | `GET /healthz` | `200 ok` whenever the admin plane itself is alive |
+//! | `GET /readyz` | `200` once the engine has ≥ 1 published generation; `503` otherwise |
+//! | `GET /stats` | [`ServeStats`] as a JSON object |
+
+use crate::engine::ServeEngine;
+use crate::http::{read_request, write_response, HttpRequest};
+use crate::queue::BoundedQueue;
+use fairwos_obs::{prometheus_text, MetricsSnapshot, PROMETHEUS_CONTENT_TYPE};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Weak};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Sizing knobs for [`AdminServer::start`].
+#[derive(Clone, Debug)]
+pub struct AdminConfig {
+    /// Bind address. The default `127.0.0.1:0` picks an ephemeral loopback
+    /// port — read it back with [`AdminServer::local_addr`].
+    pub addr: String,
+    /// Accepted-but-unhandled connection bound; connections beyond it are
+    /// answered `503` immediately (clamped to at least 1).
+    pub max_pending: usize,
+    /// Per-socket read timeout: a peer that stops sending mid-request
+    /// fails with a timeout instead of parking the handler thread.
+    pub read_timeout_ms: u64,
+}
+
+impl Default for AdminConfig {
+    fn default() -> Self {
+        AdminConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            max_pending: 32,
+            read_timeout_ms: 2_000,
+        }
+    }
+}
+
+/// One routed admin response, ready for [`write_response`].
+#[derive(Clone, Debug)]
+pub struct AdminResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// Status reason phrase.
+    pub reason: &'static str,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body.
+    pub body: String,
+}
+
+/// The admin HTTP server (see module docs). Dropping it stops accepting,
+/// answers already-admitted connections, and joins both threads.
+pub struct AdminServer {
+    local_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    connections: Arc<BoundedQueue<TcpStream>>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl AdminServer {
+    /// Binds `config.addr` and spawns the listener + handler threads,
+    /// serving telemetry for `engine` (held weakly).
+    ///
+    /// # Errors
+    /// Any bind/spawn failure as-is.
+    pub fn start(engine: &Arc<ServeEngine>, config: AdminConfig) -> io::Result<Self> {
+        let listener = TcpListener::bind(config.addr.as_str())?;
+        let local_addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let connections = Arc::new(BoundedQueue::new(config.max_pending));
+
+        let accept_shutdown = Arc::clone(&shutdown);
+        let accept_queue = Arc::clone(&connections);
+        let listener_thread = std::thread::Builder::new()
+            .name("fairwos-admin-accept".to_owned())
+            .spawn(move || accept_loop(&listener, &accept_queue, &accept_shutdown))?;
+
+        let handler_engine = Arc::downgrade(engine);
+        let handler_queue = Arc::clone(&connections);
+        let read_timeout = Duration::from_millis(config.read_timeout_ms.max(1));
+        let handler_thread = std::thread::Builder::new()
+            .name("fairwos-admin-handle".to_owned())
+            .spawn(move || handler_loop(&handler_queue, &handler_engine, read_timeout))?;
+
+        Ok(AdminServer {
+            local_addr,
+            shutdown,
+            connections,
+            threads: vec![listener_thread, handler_thread],
+        })
+    }
+
+    /// The bound address (the actual port when `addr` asked for `:0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+}
+
+impl Drop for AdminServer {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.connections.close();
+        // `accept()` only notices the flag on its next wakeup; a throwaway
+        // self-connection provides exactly one.
+        let _ = TcpStream::connect_timeout(&self.local_addr, Duration::from_secs(1));
+        for handle in self.threads.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Listener body: admit connections into the bounded queue, shedding with
+/// an immediate `503` when it is full.
+fn accept_loop(
+    listener: &TcpListener,
+    connections: &BoundedQueue<TcpStream>,
+    shutdown: &AtomicBool,
+) {
+    loop {
+        let accepted = listener.accept();
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok((stream, _peer)) = accepted else {
+            // Transient accept errors (peer reset mid-handshake) are not
+            // fatal to the admin plane.
+            continue;
+        };
+        fairwos_obs::counter_add("serve/admin/accepted", 1);
+        if let Err(mut shed) = connections.try_push(stream) {
+            fairwos_obs::counter_add("serve/admin/shed", 1);
+            let _ = shed.set_write_timeout(Some(Duration::from_millis(200)));
+            let _ = write_response(&mut shed, 503, "Service Unavailable", "text/plain", b"busy\n");
+        }
+    }
+}
+
+/// Handler body: drain admitted connections until the queue closes.
+fn handler_loop(
+    connections: &BoundedQueue<TcpStream>,
+    engine: &Weak<ServeEngine>,
+    read_timeout: Duration,
+) {
+    let mut batch: Vec<TcpStream> = Vec::new();
+    loop {
+        batch.clear();
+        if !connections.drain_into(1, &mut batch) {
+            return;
+        }
+        for mut stream in batch.drain(..) {
+            let _ = stream.set_read_timeout(Some(read_timeout));
+            let _ = stream.set_write_timeout(Some(read_timeout));
+            let response = match read_request(&mut stream) {
+                Ok(request) => route(&request, engine),
+                Err(_) => AdminResponse {
+                    status: 400,
+                    reason: "Bad Request",
+                    content_type: "text/plain",
+                    body: "malformed request\n".to_owned(),
+                },
+            };
+            let _ = write_response(
+                &mut stream,
+                response.status,
+                response.reason,
+                response.content_type,
+                response.body.as_bytes(),
+            );
+        }
+    }
+}
+
+/// Routes one parsed request to its handler.
+fn route(request: &HttpRequest, engine: &Weak<ServeEngine>) -> AdminResponse {
+    if request.method != "GET" {
+        return AdminResponse {
+            status: 405,
+            reason: "Method Not Allowed",
+            content_type: "text/plain",
+            body: "only GET is served\n".to_owned(),
+        };
+    }
+    match request.path.as_str() {
+        "/metrics" => handle_metrics(),
+        "/healthz" => handle_healthz(),
+        "/readyz" => handle_readyz(engine),
+        "/stats" => handle_stats(engine),
+        _ => AdminResponse {
+            status: 404,
+            reason: "Not Found",
+            content_type: "text/plain",
+            body: "unknown route\n".to_owned(),
+        },
+    }
+}
+
+/// `GET /metrics`: the whole obs registry (plus journal occupancy) in
+/// Prometheus text exposition. Works even without a live engine — the
+/// registry is process-global and outlives it.
+pub fn handle_metrics() -> AdminResponse {
+    fairwos_obs::counter_add("serve/admin/scrapes", 1);
+    AdminResponse {
+        status: 200,
+        reason: "OK",
+        content_type: PROMETHEUS_CONTENT_TYPE,
+        body: prometheus_text(&MetricsSnapshot::capture()),
+    }
+}
+
+/// `GET /healthz`: liveness of the admin plane itself — always `200` while
+/// the handler thread runs.
+pub fn handle_healthz() -> AdminResponse {
+    fairwos_obs::counter_add("serve/admin/health_checks", 1);
+    AdminResponse {
+        status: 200,
+        reason: "OK",
+        content_type: "text/plain",
+        body: "ok\n".to_owned(),
+    }
+}
+
+/// `GET /readyz`: `200` once the engine is alive with at least one
+/// published generation, `503` otherwise (never published, or already shut
+/// down). This is the signal a load balancer gates traffic on.
+pub fn handle_readyz(engine: &Weak<ServeEngine>) -> AdminResponse {
+    fairwos_obs::counter_add("serve/admin/ready_checks", 1);
+    match engine.upgrade() {
+        Some(engine) if engine.generations_published() >= 1 => AdminResponse {
+            status: 200,
+            reason: "OK",
+            content_type: "text/plain",
+            body: format!("ready generation={}\n", engine.generation()),
+        },
+        Some(_) => AdminResponse {
+            status: 503,
+            reason: "Service Unavailable",
+            content_type: "text/plain",
+            body: "no generation published\n".to_owned(),
+        },
+        None => AdminResponse {
+            status: 503,
+            reason: "Service Unavailable",
+            content_type: "text/plain",
+            body: "engine gone\n".to_owned(),
+        },
+    }
+}
+
+/// `GET /stats`: the engine's [`crate::ServeStats`] snapshot as JSON
+/// (hand-rolled — every field is an integer, so no escaping is needed).
+pub fn handle_stats(engine: &Weak<ServeEngine>) -> AdminResponse {
+    fairwos_obs::counter_add("serve/admin/stats_reads", 1);
+    let Some(engine) = engine.upgrade() else {
+        return AdminResponse {
+            status: 503,
+            reason: "Service Unavailable",
+            content_type: "application/json",
+            body: "{\"error\":\"engine gone\"}\n".to_owned(),
+        };
+    };
+    let stats = engine.stats();
+    AdminResponse {
+        status: 200,
+        reason: "OK",
+        content_type: "application/json",
+        body: format!(
+            "{{\"generation\":{},\"queries\":{},\"batches\":{},\"reloads\":{},\
+             \"reloads_rejected\":{},\"max_batch_seen\":{},\"latency_samples\":{},\
+             \"p50_latency_ns\":{},\"p99_latency_ns\":{}}}\n",
+            stats.generation,
+            stats.queries,
+            stats.batches,
+            stats.reloads,
+            stats.reloads_rejected,
+            stats.max_batch_seen,
+            stats.latency_samples,
+            stats.p50_latency_ns,
+            stats.p99_latency_ns,
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The engine-free handlers are pure enough to test without sockets.
+    #[test]
+    fn healthz_is_always_ok_and_metrics_validate() {
+        let health = handle_healthz();
+        assert_eq!((health.status, health.body.as_str()), (200, "ok\n"));
+        let metrics = handle_metrics();
+        assert_eq!(metrics.status, 200);
+        assert_eq!(metrics.content_type, PROMETHEUS_CONTENT_TYPE);
+        fairwos_obs::validate_prometheus_text(&metrics.body).expect("scrape body validates");
+    }
+
+    #[test]
+    fn dead_engine_answers_503_on_ready_and_stats() {
+        let gone: Weak<ServeEngine> = Weak::new();
+        assert_eq!(handle_readyz(&gone).status, 503);
+        let stats = handle_stats(&gone);
+        assert_eq!(stats.status, 503);
+        assert_eq!(stats.content_type, "application/json");
+    }
+
+    #[test]
+    fn routing_rejects_unknown_paths_and_methods() {
+        let gone: Weak<ServeEngine> = Weak::new();
+        let not_found = route(
+            &HttpRequest { method: "GET".into(), path: "/nope".into() },
+            &gone,
+        );
+        assert_eq!(not_found.status, 404);
+        let post = route(
+            &HttpRequest { method: "POST".into(), path: "/metrics".into() },
+            &gone,
+        );
+        assert_eq!(post.status, 405);
+    }
+}

@@ -19,6 +19,7 @@
 //! generation's `Arc` lives until its last response is sent).
 
 use crate::model::{ServableModel, ServeData};
+use crate::monitor::FairnessMonitor;
 use crate::queue::BoundedQueue;
 use crate::source::ModelSource;
 use crate::stats::{ServeStats, StatsInner};
@@ -120,6 +121,9 @@ struct EngineShared {
     queue: BoundedQueue<Request>,
     stats: StatsInner,
     max_batch: usize,
+    /// Optional fairness drift monitor; both query paths fold every
+    /// answered prediction into it.
+    monitor: Option<FairnessMonitor>,
 }
 
 /// Reload-side state, serialized under one mutex so generations are
@@ -164,8 +168,23 @@ impl ServeEngine {
     /// thread cannot start.
     pub fn start(
         data: ServeData,
+        source: Box<dyn ModelSource + Send>,
+        config: ServeConfig,
+    ) -> Result<Self, ServeError> {
+        Self::start_with_monitor(data, source, config, None)
+    }
+
+    /// [`ServeEngine::start`], optionally attaching a [`FairnessMonitor`]
+    /// that every answered prediction — queued or direct-batch — is folded
+    /// into.
+    ///
+    /// # Errors
+    /// Same as [`ServeEngine::start`].
+    pub fn start_with_monitor(
+        data: ServeData,
         mut source: Box<dyn ModelSource + Send>,
         config: ServeConfig,
+        monitor: Option<FairnessMonitor>,
     ) -> Result<Self, ServeError> {
         let model = load_generation(source.as_mut(), &data, 0).map_err(ServeError::Reload)?;
         let shared = Arc::new(EngineShared {
@@ -173,6 +192,7 @@ impl ServeEngine {
             queue: BoundedQueue::new(config.queue_capacity),
             stats: StatsInner::new(),
             max_batch: config.max_batch.max(1),
+            monitor,
         });
         let mut workers = Vec::with_capacity(config.workers.max(1));
         for i in 0..config.workers.max(1) {
@@ -202,6 +222,21 @@ impl ServeEngine {
     /// Generation currently being served.
     pub fn generation(&self) -> u64 {
         self.shared.swap.load().generation()
+    }
+
+    /// Generations published so far (1 after the initial load) — the
+    /// admin `/readyz` readiness signal.
+    pub fn generations_published(&self) -> u64 {
+        self.host
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .next_generation
+    }
+
+    /// The attached fairness monitor, when one was passed to
+    /// [`ServeEngine::start_with_monitor`].
+    pub fn monitor(&self) -> Option<&FairnessMonitor> {
+        self.shared.monitor.as_ref()
     }
 
     fn check_node(&self, node: usize) -> Result<(), ServeError> {
@@ -279,8 +314,12 @@ impl ServeEngine {
             self.check_node(node)?;
         }
         let model = self.shared.swap.load();
+        let answered_from = out.len();
         model.query_batch_into(nodes, ws, out);
         self.shared.stats.record_batch(nodes.len());
+        if let Some(monitor) = &self.shared.monitor {
+            monitor.observe_batch(&model, &out[answered_from..]);
+        }
         Ok(model.generation())
     }
 
@@ -399,6 +438,9 @@ fn worker_loop(shared: &EngineShared) {
         predictions.clear();
         model.query_batch_into(&nodes, &mut ws, &mut predictions);
         shared.stats.record_batch(requests.len());
+        if let Some(monitor) = &shared.monitor {
+            monitor.observe_batch(&model, &predictions);
+        }
         let answered_ns = fairwos_obs::monotonic_ns();
         for (request, prediction) in requests.drain(..).zip(&predictions) {
             shared

@@ -1,0 +1,172 @@
+//! Minimal HTTP/1.1 plumbing for the admin plane — `std::net` only.
+//!
+//! This is deliberately not a web framework: the admin surface is four
+//! fixed `GET` routes serving small generated payloads to trusted scrapers,
+//! so all that is needed is a bounded request reader (header block capped at
+//! [`MAX_REQUEST_BYTES`], socket read timeout set by the caller) and a
+//! `Connection: close` response writer. Anything malformed gets a 4xx and
+//! the connection is dropped.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+
+/// Upper bound on the request head (request line + headers). Admin requests
+/// are a few hundred bytes; anything larger is rejected as malformed.
+pub const MAX_REQUEST_BYTES: usize = 8 * 1024;
+
+/// The parsed request line of one admin request. Headers are read (to drain
+/// the socket) but not retained — no admin route depends on them.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HttpRequest {
+    /// Request method, e.g. `GET`.
+    pub method: String,
+    /// Request target, e.g. `/metrics`.
+    pub path: String,
+}
+
+/// Reads one request head from `stream` (until the `\r\n\r\n` terminator)
+/// and parses its request line. The caller is responsible for having set a
+/// read timeout on the stream; a slow-loris peer then fails with a timeout
+/// error instead of parking the handler thread.
+///
+/// # Errors
+/// `InvalidData` on a malformed or oversized head; any socket error as-is.
+pub fn read_request(stream: &mut TcpStream) -> io::Result<HttpRequest> {
+    let mut head = Vec::with_capacity(256);
+    let mut chunk = [0u8; 512];
+    while !head.ends_with(b"\r\n\r\n") {
+        if head.len() >= MAX_REQUEST_BYTES {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "request head exceeds MAX_REQUEST_BYTES",
+            ));
+        }
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed mid-request",
+            ));
+        }
+        head.extend_from_slice(&chunk[..n]);
+    }
+    let text = std::str::from_utf8(&head)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "request head is not UTF-8"))?;
+    let request_line = text
+        .lines()
+        .next()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "empty request"))?;
+    let mut parts = request_line.split(' ');
+    match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(method), Some(path), Some(version), None)
+            if !method.is_empty() && path.starts_with('/') && version.starts_with("HTTP/") =>
+        {
+            Ok(HttpRequest {
+                method: method.to_owned(),
+                path: path.to_owned(),
+            })
+        }
+        _ => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("malformed request line: {request_line:?}"),
+        )),
+    }
+}
+
+/// Writes one complete `Connection: close` response.
+///
+/// # Errors
+/// Any socket write error as-is.
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    body: &[u8],
+) -> io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\n\
+         Content-Type: {content_type}\r\n\
+         Content-Length: {}\r\n\
+         Connection: close\r\n\
+         \r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// One-shot `GET` client: connects, requests `path`, returns
+/// `(status, body)`. Used by the CI scrape smoke test and the serving
+/// benchmark's scraper thread; `timeout` bounds connect, read, and write.
+///
+/// # Errors
+/// Connection/socket errors as-is; `InvalidData` on a malformed response.
+pub fn http_get(
+    addr: std::net::SocketAddr,
+    path: &str,
+    timeout: std::time::Duration,
+) -> io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect_timeout(&addr, timeout)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    stream.write_all(format!("GET {path} HTTP/1.1\r\nHost: fairwos-admin\r\n\r\n").as_bytes())?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    let status: u16 = response
+        .strip_prefix("HTTP/1.1 ")
+        .and_then(|rest| rest.get(..3))
+        .and_then(|code| code.parse().ok())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "malformed status line"))?;
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, body)| body.to_owned())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "missing header terminator"))?;
+    Ok((status, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+    use std::time::Duration;
+
+    /// Round-trips one request/response pair over a real localhost socket.
+    #[test]
+    fn request_and_response_round_trip() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().expect("accept");
+            stream
+                .set_read_timeout(Some(Duration::from_secs(5)))
+                .expect("timeout");
+            let request = read_request(&mut stream).expect("parse");
+            assert_eq!(request, HttpRequest { method: "GET".into(), path: "/healthz".into() });
+            write_response(&mut stream, 200, "OK", "text/plain", b"ok\n").expect("respond");
+        });
+        let (status, body) =
+            http_get(addr, "/healthz", Duration::from_secs(5)).expect("round trip");
+        assert_eq!(status, 200);
+        assert_eq!(body, "ok\n");
+        server.join().expect("server thread");
+    }
+
+    #[test]
+    fn malformed_request_lines_are_rejected() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().expect("accept");
+            stream
+                .set_read_timeout(Some(Duration::from_secs(5)))
+                .expect("timeout");
+            read_request(&mut stream).expect_err("garbage must not parse")
+        });
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.write_all(b"NOT A REQUEST\r\n\r\n").expect("write");
+        let err = server.join().expect("server thread");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+}

@@ -22,6 +22,13 @@
 //!   torn/corrupt/vanished artifact is rejected (journaled as
 //!   `serve/reload_rejected`) and the previous generation keeps serving.
 //!
+//! An opt-in admin plane rides alongside: [`AdminServer`] serves
+//! `GET /metrics` (Prometheus text), `/healthz`, `/readyz`, and `/stats`
+//! from its own listener thread, and a [`FairnessMonitor`] attached via
+//! [`ServeEngine::start_with_monitor`] folds every answered prediction into
+//! a windowed online ΔSP estimate, alerting when it drifts from the
+//! generation's training-time baseline (`docs/OBSERVABILITY.md`).
+//!
 //! ```
 //! use fairwos_core::{FairwosConfig, FairwosTrainer, TrainInput};
 //! use fairwos_datasets::{DatasetSpec, FairGraphDataset};
@@ -64,15 +71,24 @@
 //! # let _ = std::fs::remove_file(&path);
 //! ```
 
+mod admin;
 mod engine;
+mod http;
 mod model;
+mod monitor;
 mod queue;
 mod source;
 mod stats;
 mod swap;
 
+pub use admin::{
+    handle_healthz, handle_metrics, handle_readyz, handle_stats, AdminConfig, AdminResponse,
+    AdminServer,
+};
 pub use engine::{replay, Prediction, ServeConfig, ServeEngine, ServeError, Ticket};
+pub use http::{http_get, read_request, write_response, HttpRequest, MAX_REQUEST_BYTES};
 pub use model::{ServableModel, ServeData};
+pub use monitor::{FairnessMonitor, MonitorConfig, MonitorReport};
 pub use queue::BoundedQueue;
 pub use source::{
     FaultyModelSource, FsModelSource, MemoryModelSource, MemorySourceHandle, ModelSource,

@@ -10,7 +10,8 @@
 //! engine's deterministic-replay contract (`docs/SERVING.md`).
 
 use crate::engine::Prediction;
-use fairwos_core::{FairwosModelFile, PersistError};
+use fairwos_core::{binarize_at_medians, FairwosModelFile, PersistError};
+use fairwos_fairness::delta_sp;
 use fairwos_graph::{AdjacencyCache, Graph};
 use fairwos_nn::loss::sigmoid;
 use fairwos_nn::GraphContext;
@@ -60,6 +61,13 @@ pub struct ServableModel {
     probs: Vec<f32>,
     /// Final-layer node embeddings, kept for downstream fairness monitors.
     embeddings: Matrix,
+    /// Per-node proxy group: the median bit of pseudo-sensitive attribute 0
+    /// of `x⁰` — the same discretization the training-time counterfactual
+    /// constraint uses, since the true sensitive attribute is unavailable.
+    groups: Vec<bool>,
+    /// ΔSP of the whole frozen probability table under `groups` — the
+    /// training-time fairness baseline the drift monitor compares against.
+    baseline_delta_sp: f64,
 }
 
 impl ServableModel {
@@ -92,11 +100,15 @@ impl ServableModel {
         };
         let out = gnn.forward_inference(&data.ctx, &x0);
         let probs = sigmoid(&out.logits).col(0);
+        let groups: Vec<bool> = binarize_at_medians(&x0).iter().map(|bits| bits[0]).collect();
+        let baseline_delta_sp = delta_sp(&probs, &groups);
         fairwos_obs::scale_max("serve/precompute/nodes", probs.len() as u64);
         Ok(ServableModel {
             generation,
             probs,
             embeddings: out.embeddings,
+            groups,
+            baseline_delta_sp,
         })
     }
 
@@ -118,6 +130,18 @@ impl ServableModel {
         } else {
             None
         }
+    }
+
+    /// Proxy-group bit of `node` (median split of pseudo-sensitive
+    /// attribute 0 of `x⁰`), or `None` out of range.
+    pub fn group(&self, node: usize) -> Option<bool> {
+        self.groups.get(node).copied()
+    }
+
+    /// Whole-table ΔSP under the proxy groups, frozen at build time — the
+    /// baseline the [`crate::FairnessMonitor`] measures drift against.
+    pub fn baseline_delta_sp(&self) -> f64 {
+        self.baseline_delta_sp
     }
 
     /// Answers one node: a pure lookup into the frozen probability table.
@@ -256,6 +280,22 @@ mod tests {
             }
             other => panic!("expected ShapeMismatch, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn proxy_groups_and_baseline_are_frozen_at_build() {
+        let (ds, file) = quick_dataset_and_file();
+        let data = ServeData::new(&ds.graph, ds.features.clone());
+        let model = ServableModel::build(&file, &data, 0).expect("build succeeds");
+        assert!(model.group(model.num_nodes()).is_none());
+        let groups: Vec<bool> = (0..model.num_nodes())
+            .map(|v| model.group(v).expect("in range"))
+            .collect();
+        // The baseline is exactly delta_sp of the frozen table under the
+        // frozen groups — recomputing it from the public surface agrees.
+        let probs: Vec<f32> = (0..model.num_nodes()).map(|v| model.query_one(v).prob).collect();
+        assert_eq!(model.baseline_delta_sp(), delta_sp(&probs, &groups));
+        assert!((0.0..=1.0).contains(&model.baseline_delta_sp()));
     }
 
     #[test]

@@ -1,0 +1,192 @@
+//! Online fairness drift monitoring over served predictions.
+//!
+//! The paper's setting has no sensitive attributes at serving time, so the
+//! monitor uses the same proxy the training pipeline's counterfactual
+//! constraint uses: the median split of pseudo-sensitive attribute 0 of the
+//! encoder output `x⁰` ([`fairwos_core::binarize_at_medians`]), frozen into
+//! each [`ServableModel`] at build time along with that generation's
+//! *baseline* ΔSP (the statistical-parity gap of the full precomputed
+//! probability table).
+//!
+//! At query time the engine folds every answered prediction into a tumbling
+//! window of per-group positive-rate counts. Each time the window fills, the
+//! monitor computes the window's ΔSP, publishes it as `fairwos-obs`
+//! last-value gauges, and — when the estimate departs the baseline by more
+//! than the configured margin — journals a `fairness/drift` alert. Drift
+//! here means the *served traffic mix* is fairness-skewed relative to the
+//! whole-graph baseline (e.g. one proxy group dominating positive answers),
+//! which the model's own training-time evaluation can never see.
+
+use crate::engine::Prediction;
+use crate::model::ServableModel;
+use std::sync::{Mutex, PoisonError};
+
+/// Sizing knobs for a [`FairnessMonitor`].
+#[derive(Clone, Copy, Debug)]
+pub struct MonitorConfig {
+    /// Predictions per tumbling window; each full window yields one ΔSP
+    /// estimate. Clamped to at least 2 (one per group is the minimum that
+    /// can ever produce a two-sided rate).
+    pub window: usize,
+    /// Allowed |ΔSP_window − ΔSP_baseline| before a window is journaled as
+    /// a `fairness/drift` alert.
+    pub margin: f64,
+}
+
+impl Default for MonitorConfig {
+    fn default() -> Self {
+        MonitorConfig {
+            window: 1024,
+            margin: 0.10,
+        }
+    }
+}
+
+/// Tumbling-window accumulator, guarded by the monitor's mutex.
+#[derive(Default)]
+struct WindowState {
+    /// Predictions seen, per proxy group (`[false, true]`).
+    total: [u64; 2],
+    /// Positive labels among them, per proxy group.
+    positive: [u64; 2],
+    /// Completed windows.
+    windows: u64,
+    /// Windows whose estimate departed the baseline by more than the margin.
+    drift_alerts: u64,
+    /// Most recent completed window's ΔSP estimate.
+    last_delta_sp: f64,
+    /// Most recent completed window's |ΔSP − baseline|.
+    last_drift: f64,
+}
+
+/// Everything a completed window leaves behind, for tests and dashboards
+/// that want numbers rather than scraped gauges.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct MonitorReport {
+    /// Completed windows so far.
+    pub windows: u64,
+    /// Windows that tripped the drift margin.
+    pub drift_alerts: u64,
+    /// ΔSP estimate of the most recent completed window (0 before the
+    /// first window completes).
+    pub last_delta_sp: f64,
+    /// |ΔSP − baseline| of the most recent completed window.
+    pub last_drift: f64,
+}
+
+/// Folds served predictions into windowed ΔSP estimates (see module docs).
+///
+/// One mutex acquisition per *batch* — the counters are four `u64`s, so the
+/// critical section is a handful of adds and stays invisible next to the
+/// batch's own work.
+pub struct FairnessMonitor {
+    config: MonitorConfig,
+    state: Mutex<WindowState>,
+}
+
+impl FairnessMonitor {
+    /// A monitor with no observations yet.
+    pub fn new(config: MonitorConfig) -> Self {
+        FairnessMonitor {
+            config: MonitorConfig {
+                window: config.window.max(2),
+                margin: config.margin,
+            },
+            state: Mutex::new(WindowState::default()),
+        }
+    }
+
+    /// Current window/alert totals and the latest completed estimate.
+    pub fn report(&self) -> MonitorReport {
+        let state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        MonitorReport {
+            windows: state.windows,
+            drift_alerts: state.drift_alerts,
+            last_delta_sp: state.last_delta_sp,
+            last_drift: state.last_drift,
+        }
+    }
+
+    /// Folds one answered batch into the window, attributing each
+    /// prediction to its node's proxy group under `model` (the same
+    /// generation that answered it). Completes the window — estimate,
+    /// gauges, drift check — as many times as the batch fills it.
+    pub(crate) fn observe_batch(&self, model: &ServableModel, predictions: &[Prediction]) {
+        if predictions.is_empty() {
+            return;
+        }
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        for prediction in predictions {
+            let group = usize::from(model.group(prediction.node).unwrap_or(false));
+            state.total[group] += 1;
+            state.positive[group] += u64::from(prediction.label);
+            if state.total[0] + state.total[1] >= self.config.window as u64 {
+                self.complete_window(&mut state, model.baseline_delta_sp());
+            }
+        }
+    }
+
+    /// Closes the current window: ΔSP estimate, gauge publication, drift
+    /// alert, counter reset.
+    fn complete_window(&self, state: &mut WindowState, baseline: f64) {
+        // Same convention as `fairwos_fairness::delta_sp`: a window that
+        // never saw one of the groups has no measurable gap.
+        let delta_sp = if state.total[0] == 0 || state.total[1] == 0 {
+            0.0
+        } else {
+            let rate0 = state.positive[0] as f64 / state.total[0] as f64;
+            let rate1 = state.positive[1] as f64 / state.total[1] as f64;
+            (rate0 - rate1).abs()
+        };
+        let drift = (delta_sp - baseline).abs();
+        state.windows += 1;
+        state.last_delta_sp = delta_sp;
+        state.last_drift = drift;
+
+        fairwos_obs::gauge_set("serve/fairness/delta_sp_ppm", to_ppm(delta_sp));
+        fairwos_obs::gauge_set("serve/fairness/baseline_delta_sp_ppm", to_ppm(baseline));
+        fairwos_obs::gauge_set("serve/fairness/drift_ppm", to_ppm(drift));
+        fairwos_obs::gauge_set("serve/fairness/windows", state.windows);
+        if drift > self.config.margin {
+            state.drift_alerts += 1;
+            fairwos_obs::counter_add("serve/fairness/drift_alerts", 1);
+            fairwos_obs::journal_alert(
+                "fairness/drift",
+                &format!(
+                    "window {}: delta_sp {delta_sp:.4} departs baseline {baseline:.4} by \
+                     {drift:.4} (margin {:.4})",
+                    state.windows, self.config.margin
+                ),
+            );
+        }
+
+        state.total = [0, 0];
+        state.positive = [0, 0];
+    }
+}
+
+/// Rates are published as parts-per-million so they fit the registry's
+/// integer gauges with more than enough resolution for a [0, 1] quantity.
+fn to_ppm(rate: f64) -> u64 {
+    (rate.clamp(0.0, 1.0) * 1e6).round() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn to_ppm_clamps_and_rounds() {
+        assert_eq!(to_ppm(0.0), 0);
+        assert_eq!(to_ppm(1.0), 1_000_000);
+        assert_eq!(to_ppm(0.08125), 81_250);
+        assert_eq!(to_ppm(-0.5), 0);
+        assert_eq!(to_ppm(7.0), 1_000_000);
+    }
+
+    #[test]
+    fn window_clamps_to_two() {
+        let m = FairnessMonitor::new(MonitorConfig { window: 0, margin: 0.1 });
+        assert_eq!(m.config.window, 2);
+    }
+}

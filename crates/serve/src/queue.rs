@@ -69,6 +69,24 @@ impl<T> BoundedQueue<T> {
         Ok(())
     }
 
+    /// Enqueues `item` only if there is room right now — never blocks.
+    ///
+    /// This is the admission policy for work where shedding beats queueing
+    /// (e.g. admin connections: a scraper would rather get an immediate 503
+    /// than a stale payload after an unbounded wait).
+    ///
+    /// # Errors
+    /// Returns the item back when the queue is full or closed.
+    pub fn try_push(&self, item: T) -> Result<(), T> {
+        let mut state = self.lock();
+        if state.closed || state.items.len() >= self.capacity {
+            return Err(item);
+        }
+        state.items.push_back(item);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
     /// Blocks until at least one item is available (or the queue is closed
     /// *and* empty), then moves up to `max_batch` items into `out` in FIFO
     /// order.
@@ -154,6 +172,18 @@ mod tests {
         assert_eq!(producer.join().unwrap(), Ok(()));
         assert!(q.drain_into(2, &mut out));
         assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn try_push_sheds_instead_of_blocking() {
+        let q = BoundedQueue::new(1);
+        assert_eq!(q.try_push(1), Ok(()));
+        assert_eq!(q.try_push(2), Err(2), "full queue sheds immediately");
+        let mut out = Vec::new();
+        assert!(q.drain_into(4, &mut out));
+        assert_eq!(q.try_push(3), Ok(()), "room again after drain");
+        q.close();
+        assert_eq!(q.try_push(4), Err(4), "closed queue sheds");
     }
 
     #[test]

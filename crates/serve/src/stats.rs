@@ -6,7 +6,8 @@
 //! in uninstrumented builds — the histogram then only ever sees zeros, so
 //! p50/p99 report 0 and the counters remain the meaningful signal. With the
 //! `obs` feature on, `serve/latency/p50_ns` and `serve/latency/p99_ns` are
-//! published as scale gauges on every snapshot.
+//! published as last-value gauges on every snapshot (so they can fall back
+//! down after a spike), and `serve/batch/max` as a ratchet scale.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -43,12 +44,14 @@ impl LatencyHistogram {
 
     /// The `q`-quantile (`0.0..=1.0`) as the upper bound of the bucket
     /// containing that rank, or 0 when the histogram is empty.
+    ///
+    /// Allocation-free: the bucket counts are copied to the stack so the
+    /// rank walk sees one consistent snapshot even while recorders race.
     pub fn quantile(&self, q: f64) -> u64 {
-        let counts: Vec<u64> = self
-            .buckets
-            .iter()
-            .map(|b| b.load(Ordering::Relaxed))
-            .collect();
+        let mut counts = [0u64; BUCKETS];
+        for (slot, bucket) in counts.iter_mut().zip(&self.buckets) {
+            *slot = bucket.load(Ordering::Relaxed);
+        }
         let total: u64 = counts.iter().sum();
         if total == 0 {
             return 0;
@@ -111,8 +114,11 @@ impl StatsInner {
             p50_latency_ns: self.latency.quantile(0.50),
             p99_latency_ns: self.latency.quantile(0.99),
         };
-        fairwos_obs::scale_max("serve/latency/p50_ns", stats.p50_latency_ns);
-        fairwos_obs::scale_max("serve/latency/p99_ns", stats.p99_latency_ns);
+        // Quantiles are *current-state* readings — a scraper must see them
+        // recover after a spike, so they are last-value gauges. The peak
+        // batch size is a genuine per-run maximum and stays a ratchet.
+        fairwos_obs::gauge_set("serve/latency/p50_ns", stats.p50_latency_ns);
+        fairwos_obs::gauge_set("serve/latency/p99_ns", stats.p99_latency_ns);
         fairwos_obs::scale_max("serve/batch/max", stats.max_batch_seen);
         stats
     }
@@ -172,5 +178,28 @@ mod tests {
         }
         assert_eq!(h.quantile(0.5), 1);
         assert_eq!(h.quantile(0.99), 1);
+    }
+
+    #[test]
+    fn max_latency_saturates_the_top_bucket() {
+        let h = LatencyHistogram::new();
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 1);
+        // Bucket 63 has no representable upper bound (2⁶⁴−1 < 2⁶⁴), so any
+        // quantile landing there must saturate rather than wrap to 0.
+        assert_eq!(h.quantile(0.5), u64::MAX);
+        assert_eq!(h.quantile(1.0), u64::MAX);
+        // A large-but-sub-top sample still reports its own bucket's bound.
+        h.record(1u64 << 62);
+        assert_eq!(h.quantile(0.0), (1u64 << 63) - 1);
+    }
+
+    #[test]
+    fn full_quantile_of_a_single_sample_is_its_bucket_bound() {
+        let h = LatencyHistogram::new();
+        h.record(700);
+        // rank = ceil(1.0 * 1) = 1 → bucket 9 (512..1023) → bound 1023.
+        assert_eq!(h.quantile(1.0), 1023);
+        assert_eq!(h.quantile(0.0), h.quantile(1.0), "one sample, one answer");
     }
 }

@@ -1,0 +1,66 @@
+//! Property-based tests for the log₂-bucketed [`LatencyHistogram`].
+
+use fairwos_serve::LatencyHistogram;
+use proptest::prelude::*;
+
+proptest! {
+    /// The quantile function is monotone non-decreasing in `q` for any
+    /// sample set — a rank walk over cumulative bucket counts can never
+    /// step backwards.
+    #[test]
+    fn quantile_is_monotone_in_q(
+        samples in prop::collection::vec(any::<u64>(), 1..200),
+        qs in prop::collection::vec(0.0f64..=1.0, 2..10),
+    ) {
+        let h = LatencyHistogram::new();
+        for &ns in &samples {
+            h.record(ns);
+        }
+        let mut sorted = qs;
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        for pair in sorted.windows(2) {
+            let (lo, hi) = (h.quantile(pair[0]), h.quantile(pair[1]));
+            prop_assert!(
+                lo <= hi,
+                "quantile({}) = {lo} > quantile({}) = {hi}",
+                pair[0],
+                pair[1]
+            );
+        }
+    }
+
+    /// Every quantile answer is a valid bucket upper bound at or above the
+    /// sample's own bucket floor: at least the smallest recorded sample's
+    /// bucket bound, at most the largest's.
+    #[test]
+    fn quantile_brackets_the_recorded_range(
+        samples in prop::collection::vec(any::<u64>(), 1..200),
+        q in 0.0f64..=1.0,
+    ) {
+        let h = LatencyHistogram::new();
+        for &ns in &samples {
+            h.record(ns);
+        }
+        let bound = |ns: u64| {
+            let idx = 63 - (ns | 1).leading_zeros() as usize;
+            if idx >= 63 { u64::MAX } else { (1u64 << (idx + 1)) - 1 }
+        };
+        let lo = samples.iter().map(|&s| bound(s)).min().unwrap();
+        let hi = samples.iter().map(|&s| bound(s)).max().unwrap();
+        let v = h.quantile(q);
+        prop_assert!((lo..=hi).contains(&v), "quantile({q}) = {v} outside [{lo}, {hi}]");
+    }
+
+    /// `count()` is exact regardless of the sample values, and quantiles of
+    /// an out-of-range `q` clamp instead of panicking.
+    #[test]
+    fn count_is_exact_and_q_clamps(samples in prop::collection::vec(any::<u64>(), 0..100)) {
+        let h = LatencyHistogram::new();
+        for &ns in &samples {
+            h.record(ns);
+        }
+        prop_assert_eq!(h.count(), samples.len() as u64);
+        prop_assert_eq!(h.quantile(-1.0), h.quantile(0.0));
+        prop_assert_eq!(h.quantile(2.0), h.quantile(1.0));
+    }
+}

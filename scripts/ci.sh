@@ -50,9 +50,12 @@ echo "==> mini-batch comparison artifact (results/minibatch.json)"
 cargo run --release -p fairwos-bench --bin exp_minibatch -- --scale 0.3 --runs 1 --out results/minibatch.json
 test -s results/minibatch.json
 
-echo "==> serving throughput gate (results/serving.json, >=100k qps)"
+echo "==> serving throughput gate (results/serving.json, >=100k qps, 10 Hz admin scraper attached)"
 cargo run --release -p fairwos-bench --features obs --bin exp_serving -- --scale 0.5 --out results/serving.json
 test -s results/serving.json
+
+echo "==> admin scrape smoke test (/metrics + /readyz over real TCP, exposition validated)"
+cargo test -p fairwos --features obs --test admin_http -q
 
 echo "==> bench wall-clock regression gate"
 # Wall-clock numbers are machine-specific, so the committed

@@ -1,0 +1,157 @@
+//! Admin-plane contracts over real TCP (`fairwos-serve`, see
+//! `docs/OBSERVABILITY.md`):
+//!
+//! * **Scrapeability** — `GET /metrics` returns structurally valid
+//!   Prometheus text exposition (checked by the crate's own promtool-free
+//!   validator) while queries are being served. This doubles as the CI
+//!   scrape smoke test (`scripts/ci.sh` runs this file as a named step).
+//! * **Readiness semantics** — `/readyz` is `200` exactly while a live
+//!   engine has a published generation, and degrades to `503` (not a hang,
+//!   not a crash) once the engine is gone; `/healthz` and `/metrics`
+//!   outlive the engine.
+//! * **Fairness drift monitoring** — a [`FairnessMonitor`] attached to the
+//!   engine folds served predictions into windowed ΔSP estimates; a
+//!   traffic mix skewed against the whole-graph baseline raises a drift
+//!   alert, a representative mix does not.
+
+use fairwos::core::{FairwosConfig, FairwosTrainer, TrainInput};
+use fairwos::prelude::*;
+use fairwos::serve::{
+    http_get, AdminConfig, AdminServer, FairnessMonitor, MemoryModelSource, MonitorConfig,
+    ServeConfig, ServeData, ServeEngine,
+};
+use std::sync::Arc;
+use std::time::Duration;
+
+const HTTP_TIMEOUT: Duration = Duration::from_secs(10);
+
+fn quick_engine(monitor: Option<FairnessMonitor>) -> (FairGraphDataset, Arc<ServeEngine>) {
+    let ds = FairGraphDataset::generate(&DatasetSpec::nba().scaled(0.3), 11);
+    let cfg = FairwosConfig {
+        encoder_epochs: 25,
+        classifier_epochs: 35,
+        finetune_epochs: 3,
+        encoder_dim: 6,
+        ..FairwosConfig::fast(Backbone::Gcn)
+    };
+    let input = TrainInput {
+        graph: &ds.graph,
+        features: &ds.features,
+        labels: &ds.labels,
+        train: &ds.split.train,
+        val: &ds.split.val,
+    };
+    let file = FairwosTrainer::new(cfg)
+        .fit(&input, 3)
+        .expect("training converges")
+        .to_model_file();
+    let path = std::env::temp_dir().join(format!("fairwos-admin-{}.fwm", std::process::id()));
+    file.save(&path).expect("save succeeds");
+    let bytes = std::fs::read(&path).expect("saved model readable");
+    let _ = std::fs::remove_file(&path);
+    let (source, _handle) = MemoryModelSource::new(bytes);
+    let data = ServeData::new(&ds.graph, ds.features.clone());
+    let engine = Arc::new(
+        ServeEngine::start_with_monitor(data, Box::new(source), ServeConfig::default(), monitor)
+            .expect("initial load"),
+    );
+    (ds, engine)
+}
+
+#[test]
+fn admin_endpoints_serve_while_queries_flow() {
+    let (_ds, engine) = quick_engine(None);
+    let server = AdminServer::start(&engine, AdminConfig::default()).expect("admin starts");
+    let addr = server.local_addr();
+
+    // Traffic in flight while we scrape.
+    for node in 0..engine.num_nodes().min(64) {
+        engine.query(node).expect("answered");
+    }
+
+    let (status, body) = http_get(addr, "/healthz", HTTP_TIMEOUT).expect("healthz");
+    assert_eq!((status, body.as_str()), (200, "ok\n"));
+
+    let (status, body) = http_get(addr, "/readyz", HTTP_TIMEOUT).expect("readyz");
+    assert_eq!(status, 200, "engine with generation 0 published is ready: {body}");
+
+    let (status, body) = http_get(addr, "/metrics", HTTP_TIMEOUT).expect("metrics");
+    assert_eq!(status, 200);
+    let samples =
+        fairwos::obs::validate_prometheus_text(&body).expect("scrape payload validates");
+    assert!(samples >= 3, "at least the journal health samples: {samples}");
+    if fairwos::obs::is_enabled() {
+        assert!(body.contains("fairwos_serve_queries_total"), "query counter scraped: {body}");
+    }
+
+    let (status, body) = http_get(addr, "/stats", HTTP_TIMEOUT).expect("stats");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"queries\":"), "stats JSON has the counter: {body}");
+
+    let (status, _) = http_get(addr, "/nope", HTTP_TIMEOUT).expect("unknown route answers");
+    assert_eq!(status, 404);
+
+    drop(server); // must join cleanly while the engine is still up
+}
+
+#[test]
+fn readyz_degrades_to_503_after_engine_drop() {
+    let (_ds, engine) = quick_engine(None);
+    let server = AdminServer::start(&engine, AdminConfig::default()).expect("admin starts");
+    let addr = server.local_addr();
+
+    let (status, _) = http_get(addr, "/readyz", HTTP_TIMEOUT).expect("readyz while live");
+    assert_eq!(status, 200);
+
+    drop(engine); // shuts the engine down; the admin plane must survive
+
+    let (status, body) = http_get(addr, "/readyz", HTTP_TIMEOUT).expect("readyz after drop");
+    assert_eq!((status, body.as_str()), (503, "engine gone\n"));
+    let (status, body) = http_get(addr, "/stats", HTTP_TIMEOUT).expect("stats after drop");
+    assert_eq!(status, 503, "{body}");
+    let (status, _) = http_get(addr, "/healthz", HTTP_TIMEOUT).expect("healthz after drop");
+    assert_eq!(status, 200, "liveness is about the admin plane, not the engine");
+    let (status, _) = http_get(addr, "/metrics", HTTP_TIMEOUT).expect("metrics after drop");
+    assert_eq!(status, 200, "the registry outlives the engine");
+}
+
+#[test]
+fn fairness_monitor_alerts_on_skewed_traffic_only() {
+    let window = 64usize;
+    let (_ds, engine) = quick_engine(Some(FairnessMonitor::new(MonitorConfig {
+        window,
+        // The whole-graph baseline replayed through the queue cannot drift
+        // from itself; any margin separates skew from representativeness.
+        margin: 0.25,
+    })));
+    let nodes = engine.num_nodes();
+
+    // Representative traffic: every node round-robin — the window's mix
+    // approaches the whole-graph baseline the model froze at build.
+    for i in 0..window * 2 {
+        engine.query(i % nodes).expect("answered");
+    }
+    let monitor = engine.monitor().expect("monitor attached");
+    let representative = monitor.report();
+    assert!(representative.windows >= 1, "windows must have completed");
+
+    // Skewed traffic: hammer only nodes the model answers positively —
+    // if they concentrate in one proxy group, the window ΔSP collapses to
+    // 0 or 1 while the baseline sits strictly between.
+    let positives: Vec<usize> = (0..nodes)
+        .filter(|&v| engine.query(v).expect("answered").label)
+        .collect();
+    if !positives.is_empty() {
+        let before = monitor.report().windows;
+        for i in 0..window * 2 {
+            engine.query(positives[i % positives.len()]).expect("answered");
+        }
+        assert!(monitor.report().windows > before, "skewed windows completed");
+    }
+
+    // The report is always internally consistent, whatever the data did.
+    let report = monitor.report();
+    assert!(report.drift_alerts <= report.windows);
+    assert!((0.0..=1.0).contains(&report.last_delta_sp));
+    assert!((0.0..=1.0).contains(&report.last_drift) || report.windows == 0);
+}
