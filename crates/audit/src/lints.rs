@@ -72,9 +72,11 @@ const PATH_ALLOWLIST: &[&str] = &["crates/bench/", "/src/bin/"];
 const FW003_ROOTS: &[&str] = &["crates/nn/src", "crates/core/src"];
 
 /// Roots where FW005 permits wall-clock reads: the observability layer owns
-/// the process's single time anchor. (`crates/bench/` is already outside the
-/// scan via [`PATH_ALLOWLIST`].)
-const FW005_ALLOWED_ROOTS: &[&str] = &["crates/obs/"];
+/// the process's single time anchor, and `fairwos-chaos` anchors the one
+/// sanctioned monotonic clock outside it (the serve-side reload breaker
+/// needs elapsed time even in obs-off builds). (`crates/bench/` is already
+/// outside the scan via [`PATH_ALLOWLIST`].)
+const FW005_ALLOWED_ROOTS: &[&str] = &["crates/obs/", "crates/chaos/"];
 
 /// Result-affecting crates: anything whose iteration or accumulation order
 /// can reach a reported number. FW006 bans unordered containers here, and

@@ -145,6 +145,7 @@ fn main() {
         workers: 4,
         queue_capacity: 4096,
         max_batch: 256,
+        ..ServeConfig::default()
     };
     let engine = Arc::new(
         ServeEngine::start(

@@ -1,0 +1,105 @@
+//! The global failpoint registry, compiled only with the `enabled` feature.
+//!
+//! One process-wide armed [`ScheduleRunner`] drives every `failpoint!` call
+//! site. The fast path is a single relaxed atomic load when nothing is
+//! armed, so even chaos-enabled builds pay almost nothing outside a soak.
+//!
+//! `Delay` actions are returned to the call site (which sleeps via
+//! [`FaultAction::delay`]) rather than slept here, so the registry mutex is
+//! never held across an injected latency.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+use crate::{FaultAction, FaultSchedule, InjectedFault, ScheduleRunner};
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static RUNNER: Mutex<Option<ScheduleRunner>> = Mutex::new(None);
+
+fn runner() -> MutexGuard<'static, Option<ScheduleRunner>> {
+    RUNNER.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Arms the registry with `schedule`, replacing any previous runner (its
+/// log is discarded — call [`disarm`] first to keep it).
+pub fn arm(schedule: FaultSchedule) {
+    let mut guard = runner();
+    *guard = Some(ScheduleRunner::new(schedule));
+    ARMED.store(true, Ordering::SeqCst);
+}
+
+/// Disarms the registry and returns the injection log of the retired
+/// runner (empty if none was armed).
+pub fn disarm() -> Vec<InjectedFault> {
+    let mut guard = runner();
+    ARMED.store(false, Ordering::SeqCst);
+    guard
+        .take()
+        .map(ScheduleRunner::into_log)
+        .unwrap_or_default()
+}
+
+/// Evaluates the failpoint `point` against the armed schedule.
+///
+/// Returns `None` when nothing is armed or no rule fires. Call sites honor
+/// the returned action (`Delay` is slept by the caller).
+pub fn eval(point: &str) -> Option<FaultAction> {
+    if !ARMED.load(Ordering::Relaxed) {
+        return None;
+    }
+    runner().as_mut()?.fire(point)
+}
+
+/// Like [`eval`], but matches `Key` triggers against `key` (e.g. a
+/// checkpoint generation number).
+pub fn eval_keyed(point: &str, key: u64) -> Option<FaultAction> {
+    if !ARMED.load(Ordering::Relaxed) {
+        return None;
+    }
+    runner().as_mut()?.fire_keyed(point, key)
+}
+
+/// A snapshot of every fault injected since the registry was last armed.
+pub fn injection_log() -> Vec<InjectedFault> {
+    runner()
+        .as_ref()
+        .map(|r| r.log().to_vec())
+        .unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Trigger;
+    use std::sync::Mutex as StdMutex;
+
+    // The registry is process-global; serialize the tests that arm it.
+    static GATE: StdMutex<()> = StdMutex::new(());
+
+    #[test]
+    fn armed_schedule_drives_eval_and_disarm_returns_the_log() {
+        let _gate = GATE.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut schedule = FaultSchedule::new(1);
+        schedule.rule("reg/test/op", Trigger::Nth(vec![2]), FaultAction::Fail);
+        arm(schedule);
+        assert_eq!(eval("reg/test/op"), None);
+        assert_eq!(eval("reg/test/op"), Some(FaultAction::Fail));
+        assert_eq!(eval("reg/other/op"), None);
+        assert_eq!(injection_log().len(), 1);
+        let log = disarm();
+        assert_eq!(log.len(), 1);
+        assert_eq!(log[0].point, "reg/test/op");
+        assert_eq!(eval("reg/test/op"), None, "disarmed registry is inert");
+    }
+
+    #[test]
+    fn keyed_eval_matches_key_triggers() {
+        let _gate = GATE.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut schedule = FaultSchedule::new(2);
+        schedule.rule("reg/test/read", Trigger::Key(vec![9]), FaultAction::Vanish);
+        arm(schedule);
+        assert_eq!(eval_keyed("reg/test/read", 8), None);
+        assert_eq!(eval_keyed("reg/test/read", 9), Some(FaultAction::Vanish));
+        disarm();
+    }
+}

@@ -1,0 +1,217 @@
+//! The shared retry/backoff policy: bounded exponential backoff with
+//! deterministic seeded jitter and a cumulative-delay deadline.
+//!
+//! Replaces the bespoke retry loops that `CheckpointLog` and `FsModelSource`
+//! each used to carry. The whole delay plan is a pure function of the policy
+//! ([`RetryPolicy::delays_us`]), so tests can assert the exact backoff
+//! sequence without clocks: the *deadline* bounds the **sum of planned
+//! sleeps**, not wall time, keeping the policy free of wall-clock reads
+//! (FW005) and bit-reproducible across machines.
+
+use crate::rng::{mix, ChaCha};
+
+/// Salt mixed into `jitter_seed` so retry jitter and failpoint streams
+/// derived from the same seed never share a keystream.
+const JITTER_SALT: u64 = 0x7265_7472_795f_6a69; // "retry_ji"
+
+/// A bounded retry policy: up to `max_attempts` tries with exponential
+/// backoff between them.
+///
+/// `delay_k = min(base_delay_us << k, max_delay_us) * jitter_k` for the
+/// sleep after attempt `k+1`, with `jitter_k` drawn uniformly from
+/// `[0.5, 1.0)` out of a ChaCha stream keyed by `jitter_seed` — so two
+/// policies with the same fields plan byte-identical delays. A non-zero
+/// `deadline_us` caps the *cumulative* planned delay.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (`0` behaves as `1`).
+    pub max_attempts: u32,
+    /// First backoff in microseconds; `0` disables sleeping entirely.
+    pub base_delay_us: u64,
+    /// Per-sleep cap in microseconds (applied before jitter).
+    pub max_delay_us: u64,
+    /// Cap on the cumulative planned delay; `0` means uncapped.
+    pub deadline_us: u64,
+    /// Seed of the deterministic jitter stream.
+    pub jitter_seed: u64,
+}
+
+impl RetryPolicy {
+    /// `n` attempts with no backoff between them.
+    pub const fn attempts(n: u32) -> Self {
+        Self {
+            max_attempts: n,
+            base_delay_us: 0,
+            max_delay_us: 0,
+            deadline_us: 0,
+            jitter_seed: 0,
+        }
+    }
+
+    /// `n` attempts with exponential backoff from `base_us` capped at
+    /// `max_us` per sleep.
+    pub const fn backoff(n: u32, base_us: u64, max_us: u64) -> Self {
+        Self {
+            max_attempts: n,
+            base_delay_us: base_us,
+            max_delay_us: max_us,
+            deadline_us: 0,
+            jitter_seed: 0,
+        }
+    }
+
+    /// Caps the cumulative planned delay at `deadline_us`.
+    pub const fn with_deadline_us(mut self, deadline_us: u64) -> Self {
+        self.deadline_us = deadline_us;
+        self
+    }
+
+    /// Keys the jitter stream (e.g. with a checkpoint generation) so
+    /// concurrent retriers decorrelate while each stays deterministic.
+    pub const fn with_jitter_seed(mut self, seed: u64) -> Self {
+        self.jitter_seed = seed;
+        self
+    }
+
+    /// The exact planned sleeps, in microseconds, between consecutive
+    /// attempts (length `max_attempts - 1`). Pure: same policy ⇒ same plan.
+    pub fn delays_us(&self) -> Vec<u64> {
+        let n = self.max_attempts.saturating_sub(1) as usize;
+        let mut rng = ChaCha::from_seed(mix(self.jitter_seed, JITTER_SALT));
+        let mut plan = Vec::with_capacity(n);
+        let mut total = 0u64;
+        for k in 0..n {
+            let exponential = if k >= 63 {
+                u64::MAX
+            } else {
+                self.base_delay_us.saturating_mul(1u64 << k)
+            };
+            let capped = exponential.min(self.max_delay_us);
+            let jittered = if capped == 0 {
+                0
+            } else {
+                let factor = 0.5 + rng.next_f64() * 0.5;
+                ((capped as f64 * factor) as u64).max(1)
+            };
+            let delay = if self.deadline_us > 0 {
+                jittered.min(self.deadline_us.saturating_sub(total))
+            } else {
+                jittered
+            };
+            total = total.saturating_add(delay);
+            plan.push(delay);
+        }
+        plan
+    }
+
+    /// Runs `op` up to `max_attempts` times (1-based attempt index),
+    /// sleeping the planned backoff between failures. `on_err` observes
+    /// every failed attempt (for journaling); the last error is returned
+    /// once the budget is exhausted.
+    pub fn run<T, E>(
+        &self,
+        mut op: impl FnMut(u32) -> Result<T, E>,
+        mut on_err: impl FnMut(u32, &E),
+    ) -> Result<T, E> {
+        let attempts = self.max_attempts.max(1);
+        let delays = self.delays_us();
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            match op(attempt) {
+                Ok(value) => return Ok(value),
+                Err(error) => {
+                    on_err(attempt, &error);
+                    if attempt >= attempts {
+                        return Err(error);
+                    }
+                    let sleep_us = delays.get(attempt as usize - 1).copied().unwrap_or(0);
+                    if sleep_us > 0 {
+                        std::thread::sleep(std::time::Duration::from_micros(sleep_us));
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attempts_policy_plans_no_sleeps() {
+        assert_eq!(RetryPolicy::attempts(3).delays_us(), vec![0, 0]);
+        assert_eq!(RetryPolicy::attempts(1).delays_us(), Vec::<u64>::new());
+        assert_eq!(RetryPolicy::attempts(0).delays_us(), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn backoff_grows_then_caps() {
+        let plan = RetryPolicy::backoff(6, 100, 400).delays_us();
+        assert_eq!(plan.len(), 5);
+        // Jitter keeps each delay in [raw/2, raw); raw doubles until the cap.
+        for (k, &d) in plan.iter().enumerate() {
+            let raw = (100u64 << k).min(400);
+            assert!(
+                d >= raw / 2 && d < raw,
+                "delay {d} outside [{}, {raw})",
+                raw / 2
+            );
+        }
+    }
+
+    #[test]
+    fn deadline_caps_cumulative_delay() {
+        let plan = RetryPolicy::backoff(8, 1_000, 10_000)
+            .with_deadline_us(2_500)
+            .delays_us();
+        assert!(plan.iter().sum::<u64>() <= 2_500);
+    }
+
+    #[test]
+    fn same_seed_plans_identically_and_seeds_decorrelate() {
+        let a = RetryPolicy::backoff(5, 100, 1_000).with_jitter_seed(9);
+        let b = RetryPolicy::backoff(5, 100, 1_000).with_jitter_seed(9);
+        assert_eq!(a.delays_us(), b.delays_us());
+        let c = RetryPolicy::backoff(5, 100, 1_000).with_jitter_seed(10);
+        assert_ne!(a.delays_us(), c.delays_us());
+    }
+
+    #[test]
+    fn run_retries_then_succeeds() {
+        let mut seen = Vec::new();
+        let result: Result<u32, &str> = RetryPolicy::attempts(3).run(
+            |attempt| {
+                if attempt < 3 {
+                    Err("transient")
+                } else {
+                    Ok(attempt)
+                }
+            },
+            |attempt, _| seen.push(attempt),
+        );
+        assert_eq!(result, Ok(3));
+        assert_eq!(seen, vec![1, 2]);
+    }
+
+    #[test]
+    fn run_surfaces_last_error_after_budget() {
+        let mut calls = 0u32;
+        let result: Result<(), String> = RetryPolicy::attempts(3).run(
+            |attempt| {
+                calls += 1;
+                Err(format!("boom {attempt}"))
+            },
+            |_, _| {},
+        );
+        assert_eq!(result, Err("boom 3".to_string()));
+        assert_eq!(calls, 3);
+    }
+
+    #[test]
+    fn zero_attempts_still_runs_once() {
+        let result: Result<u32, &str> = RetryPolicy::attempts(0).run(|_| Ok(7), |_, _| {});
+        assert_eq!(result, Ok(7));
+    }
+}

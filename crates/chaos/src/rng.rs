@@ -1,0 +1,167 @@
+//! Hand-rolled deterministic randomness for the fault engine: a ChaCha20
+//! keystream generator plus splitmix64-style mixing for deriving independent
+//! per-failpoint streams from one schedule seed.
+//!
+//! Nothing here is used for cryptography — ChaCha is chosen because its
+//! output is platform-independent, splittable (one 64-bit key per stream),
+//! and trivially reproducible from a printed seed, which is the whole point
+//! of replayable chaos runs.
+
+/// Finalizer of splitmix64: a strong 64→64 bit mixer.
+fn splitmix_finalize(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Mixes a seed with a salt into an independent derived seed.
+///
+/// Used to key one ChaCha stream per failpoint (`salt` = FNV-1a of the
+/// point name) so that adding a rule to one point never perturbs the
+/// probability draws of another.
+pub fn mix(seed: u64, salt: u64) -> u64 {
+    splitmix_finalize(seed.wrapping_add(0x9E37_79B9_7F4A_7C15).wrapping_add(salt))
+}
+
+/// FNV-1a 64-bit hash of a byte string (same constants as the checkpoint
+/// footer checksum in `fairwos-core`).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A ChaCha20 keystream generator keyed from a 64-bit seed.
+///
+/// The 256-bit key is expanded from the seed with a splitmix64 sequence;
+/// nonce is zero and the 64-bit block counter advances per block, so the
+/// stream is a pure function of the seed.
+#[derive(Clone, Debug)]
+pub struct ChaCha {
+    /// Input state for the next block (key/counter/nonce layout).
+    state: [u32; 16],
+    /// Current output block.
+    block: [u32; 16],
+    /// Next word to hand out from `block`; 16 forces a refill.
+    idx: usize,
+}
+
+/// "expand 32-byte k" — the standard ChaCha constant words.
+const SIGMA: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+fn quarter_round(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(16);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(12);
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(8);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(7);
+}
+
+impl ChaCha {
+    /// Creates a generator whose whole stream is determined by `seed`.
+    pub fn from_seed(seed: u64) -> Self {
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&SIGMA);
+        let mut x = seed;
+        for i in 0..4 {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let word = splitmix_finalize(x);
+            state[4 + 2 * i] = word as u32;
+            state[5 + 2 * i] = (word >> 32) as u32;
+        }
+        // Words 12..13 are the 64-bit block counter, 14..15 the nonce (zero).
+        Self {
+            state,
+            block: [0u32; 16],
+            idx: 16,
+        }
+    }
+
+    fn refill(&mut self) {
+        let mut working = self.state;
+        for _ in 0..10 {
+            quarter_round(&mut working, 0, 4, 8, 12);
+            quarter_round(&mut working, 1, 5, 9, 13);
+            quarter_round(&mut working, 2, 6, 10, 14);
+            quarter_round(&mut working, 3, 7, 11, 15);
+            quarter_round(&mut working, 0, 5, 10, 15);
+            quarter_round(&mut working, 1, 6, 11, 12);
+            quarter_round(&mut working, 2, 7, 8, 13);
+            quarter_round(&mut working, 3, 4, 9, 14);
+        }
+        for (out, inp) in working.iter_mut().zip(self.state.iter()) {
+            *out = out.wrapping_add(*inp);
+        }
+        self.block = working;
+        self.idx = 0;
+        // Advance the 64-bit block counter.
+        let counter = (u64::from(self.state[13]) << 32) | u64::from(self.state[12]);
+        let counter = counter.wrapping_add(1);
+        self.state[12] = counter as u32;
+        self.state[13] = (counter >> 32) as u32;
+    }
+
+    /// Next 32 bits of keystream.
+    pub fn next_u32(&mut self) -> u32 {
+        if self.idx >= 16 {
+            self.refill();
+        }
+        let w = self.block[self.idx];
+        self.idx += 1;
+        w
+    }
+
+    /// Next 64 bits of keystream.
+    pub fn next_u64(&mut self) -> u64 {
+        let lo = u64::from(self.next_u32());
+        let hi = u64::from(self.next_u32());
+        (hi << 32) | lo
+    }
+
+    /// Uniform draw in `[0, 1)` with 53 bits of precision.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = ChaCha::from_seed(7);
+        let mut b = ChaCha::from_seed(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = ChaCha::from_seed(1);
+        let mut b = ChaCha::from_seed(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0, "independent streams should not collide");
+    }
+
+    #[test]
+    fn f64_draws_are_in_unit_interval() {
+        let mut rng = ChaCha::from_seed(99);
+        for _ in 0..1000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x), "draw {x} outside [0,1)");
+        }
+    }
+
+    #[test]
+    fn mix_separates_salts() {
+        assert_ne!(mix(5, fnv1a64(b"a/b")), mix(5, fnv1a64(b"a/c")));
+    }
+}

@@ -1,0 +1,527 @@
+//! The fault engine: schedules (what should fail, when) and runners (the
+//! deterministic state machine that decides each hit).
+//!
+//! A [`FaultSchedule`] maps failpoint names to ordered [`FaultRule`]s; a
+//! [`ScheduleRunner`] owns the per-point hit counters and ChaCha streams and
+//! answers "does this hit inject, and what?" — always the same answer for
+//! the same schedule, seed, and call sequence. Everything here is compiled
+//! unconditionally (the `enabled` feature gates only the *global* registry),
+//! so test doubles like `FaultyCheckpointStore` can drive a local runner in
+//! default-feature builds.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::json::{push_f64, push_str_literal, Value};
+use crate::rng::{fnv1a64, mix, ChaCha};
+
+/// What an injected fault does at the seam that fired it.
+///
+/// Call sites honor the actions that make sense for them (a queue delay
+/// point ignores `Torn`); unhonored actions are documented per point in
+/// `docs/ROBUSTNESS.md`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FaultAction {
+    /// The operation fails with the seam's transient error.
+    Fail,
+    /// The operation is delayed by this many microseconds, then proceeds.
+    Delay {
+        /// Injected latency in microseconds.
+        micros: u64,
+    },
+    /// Byte payloads are truncated to their first half (a torn write/read).
+    Torn,
+    /// One mid-payload byte is flipped (`^ 0x20`), breaking any checksum.
+    Corrupt,
+    /// The artifact is reported missing (`NotFound`).
+    Vanish,
+}
+
+impl FaultAction {
+    /// Applies byte-mutating actions in place. Returns `true` if the buffer
+    /// was altered (`Torn`/`Corrupt` on a non-empty buffer).
+    pub fn apply_to_bytes(&self, bytes: &mut Vec<u8>) -> bool {
+        match self {
+            FaultAction::Torn => {
+                bytes.truncate(bytes.len() / 2);
+                true
+            }
+            FaultAction::Corrupt => {
+                if bytes.is_empty() {
+                    return false;
+                }
+                let mid = bytes.len() / 2;
+                bytes[mid] ^= 0x20;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// The injected latency, if this is a `Delay` action.
+    pub fn delay(&self) -> Option<std::time::Duration> {
+        match self {
+            FaultAction::Delay { micros } => Some(std::time::Duration::from_micros(*micros)),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for FaultAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultAction::Fail => write!(f, "fail"),
+            FaultAction::Delay { micros } => write!(f, "delay_us={micros}"),
+            FaultAction::Torn => write!(f, "torn"),
+            FaultAction::Corrupt => write!(f, "corrupt"),
+            FaultAction::Vanish => write!(f, "vanish"),
+        }
+    }
+}
+
+/// When a rule fires at its failpoint.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Trigger {
+    /// On exactly these 1-based hit indices.
+    Nth(Vec<u64>),
+    /// On every `n`-th hit (`hit % n == 0`); `Every(0)` never fires.
+    Every(u64),
+    /// With this probability per hit, drawn from the point's own seeded
+    /// ChaCha stream.
+    Prob(f64),
+    /// When the call site passes a matching key via
+    /// [`ScheduleRunner::fire_keyed`] (e.g. a checkpoint generation).
+    Key(Vec<u64>),
+}
+
+/// One trigger→action pair. The first matching rule at a point wins.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultRule {
+    /// When this rule fires.
+    pub trigger: Trigger,
+    /// What happens when it does.
+    pub action: FaultAction,
+}
+
+/// A named, seeded plan of injected faults: failpoint name → ordered rules.
+///
+/// Round-trips through JSON ([`FaultSchedule::to_json`] /
+/// [`FaultSchedule::from_json`]) so a failed soak can be reproduced from the
+/// schedule it printed.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultSchedule {
+    /// Master seed; each failpoint derives an independent ChaCha stream
+    /// from it, so per-point probability draws never interfere.
+    pub seed: u64,
+    rules: BTreeMap<String, Vec<FaultRule>>,
+}
+
+impl FaultSchedule {
+    /// An empty schedule with the given master seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            rules: BTreeMap::new(),
+        }
+    }
+
+    /// Appends a rule at `point` (rules are evaluated in insertion order;
+    /// the first match wins).
+    pub fn rule(&mut self, point: &str, trigger: Trigger, action: FaultAction) -> &mut Self {
+        self.rules
+            .entry(point.to_string())
+            .or_default()
+            .push(FaultRule { trigger, action });
+        self
+    }
+
+    /// Registers `point` with no rules, so a runner counts its hits (used
+    /// by test doubles that report attempt counts).
+    pub fn touch(&mut self, point: &str) -> &mut Self {
+        self.rules.entry(point.to_string()).or_default();
+        self
+    }
+
+    /// The scheduled failpoint names, in sorted order.
+    pub fn points(&self) -> impl Iterator<Item = &str> {
+        self.rules.keys().map(String::as_str)
+    }
+
+    /// The rules registered at `point` (empty if unscheduled).
+    pub fn rules_at(&self, point: &str) -> &[FaultRule] {
+        self.rules.get(point).map_or(&[], Vec::as_slice)
+    }
+
+    /// Serializes the schedule as compact JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\"seed\":");
+        out.push_str(&self.seed.to_string());
+        out.push_str(",\"rules\":{");
+        for (i, (point, rules)) in self.rules.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_str_literal(&mut out, point);
+            out.push_str(":[");
+            for (j, rule) in rules.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str("{\"trigger\":");
+                match &rule.trigger {
+                    Trigger::Nth(ns) => {
+                        out.push_str("{\"nth\":[");
+                        for (k, n) in ns.iter().enumerate() {
+                            if k > 0 {
+                                out.push(',');
+                            }
+                            out.push_str(&n.to_string());
+                        }
+                        out.push_str("]}");
+                    }
+                    Trigger::Every(n) => {
+                        out.push_str("{\"every\":");
+                        out.push_str(&n.to_string());
+                        out.push('}');
+                    }
+                    Trigger::Prob(p) => {
+                        out.push_str("{\"prob\":");
+                        push_f64(&mut out, *p);
+                        out.push('}');
+                    }
+                    Trigger::Key(ks) => {
+                        out.push_str("{\"key\":[");
+                        for (k, key) in ks.iter().enumerate() {
+                            if k > 0 {
+                                out.push(',');
+                            }
+                            out.push_str(&key.to_string());
+                        }
+                        out.push_str("]}");
+                    }
+                }
+                out.push_str(",\"action\":");
+                match rule.action {
+                    FaultAction::Fail => out.push_str("\"fail\""),
+                    FaultAction::Torn => out.push_str("\"torn\""),
+                    FaultAction::Corrupt => out.push_str("\"corrupt\""),
+                    FaultAction::Vanish => out.push_str("\"vanish\""),
+                    FaultAction::Delay { micros } => {
+                        out.push_str("{\"delay_us\":");
+                        out.push_str(&micros.to_string());
+                        out.push('}');
+                    }
+                }
+                out.push('}');
+            }
+            out.push(']');
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Parses a schedule previously produced by [`FaultSchedule::to_json`].
+    pub fn from_json(json: &str) -> Result<Self, String> {
+        let doc = Value::parse(json)?;
+        let seed = doc
+            .get("seed")
+            .and_then(Value::as_u64)
+            .ok_or("schedule missing integer 'seed'")?;
+        let mut schedule = FaultSchedule::new(seed);
+        let rules = doc
+            .get("rules")
+            .and_then(Value::as_obj)
+            .ok_or("schedule missing object 'rules'")?;
+        for (point, list) in rules {
+            let entry = schedule.rules.entry(point.clone()).or_default();
+            let list = list
+                .as_arr()
+                .ok_or_else(|| format!("rules for '{point}' must be an array"))?;
+            for item in list {
+                entry.push(parse_rule(point, item)?);
+            }
+        }
+        Ok(schedule)
+    }
+}
+
+fn parse_u64_list(v: &Value, what: &str) -> Result<Vec<u64>, String> {
+    v.as_arr()
+        .ok_or_else(|| format!("'{what}' must be an array"))?
+        .iter()
+        .map(|n| {
+            n.as_u64()
+                .ok_or_else(|| format!("'{what}' entries must be integers"))
+        })
+        .collect()
+}
+
+fn parse_rule(point: &str, item: &Value) -> Result<FaultRule, String> {
+    let trigger = item
+        .get("trigger")
+        .ok_or_else(|| format!("rule at '{point}' missing 'trigger'"))?;
+    let trigger = if let Some(ns) = trigger.get("nth") {
+        Trigger::Nth(parse_u64_list(ns, "nth")?)
+    } else if let Some(n) = trigger.get("every") {
+        Trigger::Every(n.as_u64().ok_or("'every' must be an integer")?)
+    } else if let Some(p) = trigger.get("prob") {
+        Trigger::Prob(p.as_f64().ok_or("'prob' must be a number")?)
+    } else if let Some(ks) = trigger.get("key") {
+        Trigger::Key(parse_u64_list(ks, "key")?)
+    } else {
+        return Err(format!("unknown trigger at '{point}'"));
+    };
+    let action = item
+        .get("action")
+        .ok_or_else(|| format!("rule at '{point}' missing 'action'"))?;
+    let action = match action.as_str() {
+        Some("fail") => FaultAction::Fail,
+        Some("torn") => FaultAction::Torn,
+        Some("corrupt") => FaultAction::Corrupt,
+        Some("vanish") => FaultAction::Vanish,
+        Some(other) => return Err(format!("unknown action '{other}' at '{point}'")),
+        None => {
+            let micros = action
+                .get("delay_us")
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("unknown action object at '{point}'"))?;
+            FaultAction::Delay { micros }
+        }
+    };
+    Ok(FaultRule { trigger, action })
+}
+
+/// One fault the runner injected, in injection order.
+#[derive(Clone, Debug, PartialEq)]
+pub struct InjectedFault {
+    /// 0-based injection sequence number across all points.
+    pub seq: u64,
+    /// The failpoint that fired.
+    pub point: String,
+    /// The 1-based hit index at that point.
+    pub hit: u64,
+    /// The action that was injected.
+    pub action: FaultAction,
+}
+
+impl fmt::Display for InjectedFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}#{}:{}",
+            self.seq, self.point, self.hit, self.action
+        )
+    }
+}
+
+#[derive(Clone, Debug)]
+struct PointState {
+    rules: Vec<FaultRule>,
+    hits: u64,
+    rng: ChaCha,
+}
+
+/// The deterministic per-run state machine over a [`FaultSchedule`].
+///
+/// Owns one hit counter and one derived ChaCha stream per scheduled point.
+/// Firing an unscheduled point is free (`None`, no allocation, no counter),
+/// so armed production seams off the schedule cost one map lookup.
+#[derive(Clone, Debug)]
+pub struct ScheduleRunner {
+    points: BTreeMap<String, PointState>,
+    log: Vec<InjectedFault>,
+    seq: u64,
+}
+
+impl ScheduleRunner {
+    /// Builds the per-point state for `schedule`.
+    pub fn new(schedule: FaultSchedule) -> Self {
+        let seed = schedule.seed;
+        let points = schedule
+            .rules
+            .into_iter()
+            .map(|(point, rules)| {
+                let stream = ChaCha::from_seed(mix(seed, fnv1a64(point.as_bytes())));
+                (
+                    point,
+                    PointState {
+                        rules,
+                        hits: 0,
+                        rng: stream,
+                    },
+                )
+            })
+            .collect();
+        Self {
+            points,
+            log: Vec::new(),
+            seq: 0,
+        }
+    }
+
+    /// Records a hit at `point` and returns the injected action, if any.
+    pub fn fire(&mut self, point: &str) -> Option<FaultAction> {
+        self.fire_inner(point, None)
+    }
+
+    /// Like [`ScheduleRunner::fire`], but also matches [`Trigger::Key`]
+    /// rules against `key` (e.g. a checkpoint generation number).
+    pub fn fire_keyed(&mut self, point: &str, key: u64) -> Option<FaultAction> {
+        self.fire_inner(point, Some(key))
+    }
+
+    fn fire_inner(&mut self, point: &str, key: Option<u64>) -> Option<FaultAction> {
+        let state = self.points.get_mut(point)?;
+        state.hits += 1;
+        let hit = state.hits;
+        let mut chosen = None;
+        for rule in &state.rules {
+            let matched = match &rule.trigger {
+                Trigger::Nth(ns) => ns.contains(&hit),
+                Trigger::Every(n) => *n > 0 && hit % *n == 0,
+                Trigger::Prob(p) => state.rng.next_f64() < *p,
+                Trigger::Key(ks) => key.is_some_and(|k| ks.contains(&k)),
+            };
+            if matched {
+                chosen = Some(rule.action);
+                break;
+            }
+        }
+        let action = chosen?;
+        let record = InjectedFault {
+            seq: self.seq,
+            point: point.to_string(),
+            hit,
+            action,
+        };
+        self.seq += 1;
+        fairwos_obs::counter_add("chaos/injected", 1);
+        fairwos_obs::counter_add(&format!("chaos/injected/{point}"), 1);
+        fairwos_obs::journal_alert("chaos/injected", &record.to_string());
+        self.log.push(record);
+        Some(action)
+    }
+
+    /// How many times `point` has been hit (scheduled points only).
+    pub fn hits(&self, point: &str) -> u64 {
+        self.points.get(point).map_or(0, |s| s.hits)
+    }
+
+    /// Every fault injected so far, in order.
+    pub fn log(&self) -> &[InjectedFault] {
+        &self.log
+    }
+
+    /// Consumes the runner, returning the injection log.
+    pub fn into_log(self) -> Vec<InjectedFault> {
+        self.log
+    }
+
+    /// The injection log rendered one fault per line — the replay-identity
+    /// fingerprint compared across soak runs with the same seed.
+    pub fn fault_sequence(&self) -> String {
+        let mut out = String::new();
+        for fault in &self.log {
+            out.push_str(&fault.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sched() -> FaultSchedule {
+        let mut s = FaultSchedule::new(42);
+        s.rule("a/b/write", Trigger::Nth(vec![2, 3]), FaultAction::Fail)
+            .rule("a/b/write", Trigger::Every(5), FaultAction::Torn)
+            .rule("a/b/read", Trigger::Key(vec![7]), FaultAction::Vanish)
+            .rule(
+                "a/b/push",
+                Trigger::Prob(0.5),
+                FaultAction::Delay { micros: 10 },
+            )
+            .touch("a/b/noop");
+        s
+    }
+
+    #[test]
+    fn nth_and_every_fire_on_schedule() {
+        let mut r = ScheduleRunner::new(sched());
+        let got: Vec<_> = (1..=10).map(|_| r.fire("a/b/write")).collect();
+        assert_eq!(got[0], None);
+        assert_eq!(got[1], Some(FaultAction::Fail));
+        assert_eq!(got[2], Some(FaultAction::Fail));
+        assert_eq!(got[3], None);
+        assert_eq!(got[4], Some(FaultAction::Torn));
+        assert_eq!(got[9], Some(FaultAction::Torn));
+        assert_eq!(r.hits("a/b/write"), 10);
+    }
+
+    #[test]
+    fn key_trigger_matches_the_passed_key_only() {
+        let mut r = ScheduleRunner::new(sched());
+        assert_eq!(r.fire_keyed("a/b/read", 6), None);
+        assert_eq!(r.fire_keyed("a/b/read", 7), Some(FaultAction::Vanish));
+        assert_eq!(r.fire("a/b/read"), None);
+    }
+
+    #[test]
+    fn unscheduled_points_are_free_and_uncounted() {
+        let mut r = ScheduleRunner::new(sched());
+        assert_eq!(r.fire("not/in/schedule"), None);
+        assert_eq!(r.hits("not/in/schedule"), 0);
+        assert_eq!(r.fire("a/b/noop"), None);
+        assert_eq!(r.hits("a/b/noop"), 1);
+    }
+
+    #[test]
+    fn same_seed_replays_identically() {
+        let mut a = ScheduleRunner::new(sched());
+        let mut b = ScheduleRunner::new(sched());
+        for _ in 0..200 {
+            assert_eq!(a.fire("a/b/push"), b.fire("a/b/push"));
+        }
+        assert_eq!(a.fault_sequence(), b.fault_sequence());
+        assert!(!a.log().is_empty(), "prob 0.5 over 200 hits must inject");
+    }
+
+    #[test]
+    fn json_round_trip_preserves_the_schedule() {
+        let s = sched();
+        let json = s.to_json();
+        let back = FaultSchedule::from_json(&json).unwrap_or_else(|e| panic!("parse: {e}"));
+        assert_eq!(s, back);
+        assert_eq!(back.to_json(), json);
+    }
+
+    #[test]
+    fn byte_mutations_match_the_documented_shapes() {
+        let mut torn = vec![0u8; 8];
+        assert!(FaultAction::Torn.apply_to_bytes(&mut torn));
+        assert_eq!(torn.len(), 4);
+        let mut corrupt = vec![0u8; 8];
+        assert!(FaultAction::Corrupt.apply_to_bytes(&mut corrupt));
+        assert_eq!(corrupt.len(), 8);
+        assert_eq!(corrupt[4], 0x20);
+        let mut empty: Vec<u8> = Vec::new();
+        assert!(!FaultAction::Corrupt.apply_to_bytes(&mut empty));
+    }
+
+    #[test]
+    fn injection_log_orders_and_numbers_faults() {
+        let mut r = ScheduleRunner::new(sched());
+        for _ in 0..5 {
+            r.fire("a/b/write");
+        }
+        let log = r.log();
+        assert_eq!(log.len(), 3);
+        assert_eq!(log[0].seq, 0);
+        assert_eq!(log[0].hit, 2);
+        assert_eq!(log[2].action, FaultAction::Torn);
+        assert_eq!(log[0].to_string(), "0:a/b/write#2:fail");
+    }
+}

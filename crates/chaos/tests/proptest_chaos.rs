@@ -1,0 +1,166 @@
+//! Property tests for the chaos engine: the retry plan is a pure, bounded
+//! function of the policy; fault schedules survive a JSON round trip
+//! byte-identically; and two runners built from the same schedule inject
+//! byte-identical fault sequences — the replay contract `exp_chaos` leans on.
+
+use fairwos_chaos::{FaultAction, FaultSchedule, RetryPolicy, ScheduleRunner, Trigger};
+use proptest::prelude::*;
+
+fn action_strategy() -> impl Strategy<Value = FaultAction> {
+    prop_oneof![
+        Just(FaultAction::Fail),
+        (1u64..1_000_000).prop_map(|micros| FaultAction::Delay { micros }),
+        Just(FaultAction::Torn),
+        Just(FaultAction::Corrupt),
+        Just(FaultAction::Vanish),
+    ]
+}
+
+fn trigger_strategy() -> impl Strategy<Value = Trigger> {
+    prop_oneof![
+        prop::collection::vec(1u64..64, 0..4).prop_map(Trigger::Nth),
+        (0u64..16).prop_map(Trigger::Every),
+        (0.0f64..1.0).prop_map(Trigger::Prob),
+        prop::collection::vec(0u64..64, 0..4).prop_map(Trigger::Key),
+    ]
+}
+
+/// Failpoint names in the repo's `<area>/<component>/<op>` convention.
+fn point_name() -> impl Strategy<Value = String> {
+    "[a-z]{1,6}(/[a-z]{1,6}){0,2}"
+}
+
+fn schedule_strategy() -> impl Strategy<Value = FaultSchedule> {
+    let rules = prop::collection::vec((trigger_strategy(), action_strategy()), 0..3);
+    (
+        any::<u64>(),
+        prop::collection::vec((point_name(), rules), 0..4),
+    )
+        .prop_map(|(seed, points)| {
+            let mut schedule = FaultSchedule::new(seed);
+            for (point, rules) in points {
+                // `touch` first so rule-less points stay registered (they
+                // count hits, which the round trip must also preserve).
+                schedule.touch(&point);
+                for (trigger, action) in rules {
+                    schedule.rule(&point, trigger, action);
+                }
+            }
+            schedule
+        })
+}
+
+proptest! {
+    #[test]
+    fn retry_plan_is_pure_bounded_and_deadline_capped(
+        attempts in 0u32..12,
+        base_us in 0u64..10_000,
+        max_us in 0u64..20_000,
+        deadline_us in 0u64..50_000,
+        seed in any::<u64>(),
+    ) {
+        let policy = RetryPolicy::backoff(attempts, base_us, max_us)
+            .with_deadline_us(deadline_us)
+            .with_jitter_seed(seed);
+        let plan = policy.delays_us();
+        // One planned sleep between each consecutive pair of attempts.
+        prop_assert_eq!(plan.len(), attempts.saturating_sub(1) as usize);
+        // Pure: the same policy always plans the same delays.
+        prop_assert_eq!(&plan, &policy.delays_us());
+        // Every sleep respects the per-sleep cap (jitter only shrinks it).
+        for &delay in &plan {
+            prop_assert!(delay <= max_us, "delay {delay} > cap {max_us}");
+        }
+        // A non-zero deadline bounds the *cumulative* planned delay.
+        if deadline_us > 0 {
+            let total: u64 = plan.iter().sum();
+            prop_assert!(total <= deadline_us, "total {total} > deadline {deadline_us}");
+        }
+    }
+
+    #[test]
+    fn retry_run_accounts_every_attempt(
+        budget in 1u32..10,
+        failures in 0u32..12,
+    ) {
+        let mut observed = Vec::new();
+        let result: Result<u32, String> = RetryPolicy::attempts(budget).run(
+            |attempt| {
+                if attempt <= failures {
+                    Err(format!("transient {attempt}"))
+                } else {
+                    Ok(attempt)
+                }
+            },
+            |attempt, _| observed.push(attempt),
+        );
+        if failures >= budget {
+            // Budget exhausted: the *last* error surfaces, every failed
+            // attempt was observed, and none ran past the budget.
+            prop_assert_eq!(result, Err(format!("transient {budget}")));
+            prop_assert_eq!(observed.len() as u32, budget);
+        } else {
+            prop_assert_eq!(result, Ok(failures + 1));
+            prop_assert_eq!(observed.len() as u32, failures);
+        }
+        for (i, &attempt) in observed.iter().enumerate() {
+            prop_assert_eq!(attempt, i as u32 + 1);
+        }
+    }
+
+    #[test]
+    fn schedule_round_trips_through_json(schedule in schedule_strategy()) {
+        let json = schedule.to_json();
+        let back = FaultSchedule::from_json(&json).unwrap_or_else(|e| panic!("parse: {e}"));
+        prop_assert_eq!(&back, &schedule);
+        // And the re-serialization is byte-identical, so a printed schedule
+        // is a stable reproduction artifact.
+        prop_assert_eq!(back.to_json(), json);
+    }
+
+    #[test]
+    fn same_schedule_runners_fire_identically(
+        schedule in schedule_strategy(),
+        calls in prop::collection::vec((any::<usize>(), prop::option::of(0u64..64)), 0..200),
+    ) {
+        let points: Vec<String> = schedule.points().map(str::to_string).collect();
+        let mut a = ScheduleRunner::new(schedule.clone());
+        let mut b = ScheduleRunner::new(schedule);
+        for (slot, key) in calls {
+            if points.is_empty() {
+                break;
+            }
+            let point = &points[slot % points.len()];
+            let (fired_a, fired_b) = match key {
+                Some(k) => (a.fire_keyed(point, k), b.fire_keyed(point, k)),
+                None => (a.fire(point), b.fire(point)),
+            };
+            prop_assert_eq!(fired_a, fired_b);
+            prop_assert_eq!(a.hits(point), b.hits(point));
+        }
+        // The replay fingerprint is byte-identical, and injections are
+        // numbered consecutively from zero.
+        prop_assert_eq!(a.fault_sequence(), b.fault_sequence());
+        for (i, fault) in a.log().iter().enumerate() {
+            prop_assert_eq!(fault.seq, i as u64);
+        }
+    }
+
+    #[test]
+    fn byte_mutations_keep_their_documented_shapes(
+        bytes in prop::collection::vec(any::<u8>(), 0..64),
+    ) {
+        // Torn keeps exactly the first half, unaltered.
+        let mut torn = bytes.clone();
+        FaultAction::Torn.apply_to_bytes(&mut torn);
+        prop_assert_eq!(torn.len(), bytes.len() / 2);
+        prop_assert_eq!(&torn[..], &bytes[..bytes.len() / 2]);
+        // Corrupt preserves length and flips exactly one byte.
+        let mut corrupt = bytes.clone();
+        let changed = FaultAction::Corrupt.apply_to_bytes(&mut corrupt);
+        prop_assert_eq!(changed, !bytes.is_empty());
+        prop_assert_eq!(corrupt.len(), bytes.len());
+        let diffs = corrupt.iter().zip(&bytes).filter(|(a, b)| a != b).count();
+        prop_assert_eq!(diffs, usize::from(!bytes.is_empty()));
+    }
+}

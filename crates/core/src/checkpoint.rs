@@ -13,15 +13,20 @@
 //! time.
 //!
 //! [`CheckpointLog`] layers policy on a store: monotonically increasing
-//! generation numbers, bounded attempt-count retries on transient write
-//! failures (no wall-clock backoff — the workspace bans clock reads outside
-//! the obs crate), retention pruning, and a latest-valid scan on load that
-//! skips corrupt, mismatched, or vanished generations with journaled
-//! alerts instead of failing the resume.
+//! generation numbers, bounded write retries through the shared
+//! [`fairwos_chaos::RetryPolicy`] (exponential backoff whose sleeps are
+//! *planned deterministically* from a seeded jitter stream — no wall-clock
+//! reads, which the workspace bans outside the obs/chaos crates), retention
+//! pruning, and a latest-valid scan on load that skips corrupt, mismatched,
+//! or vanished generations with journaled alerts instead of failing the
+//! resume.
 //!
 //! [`MemoryCheckpointStore`] and [`FaultyCheckpointStore`] are public test
 //! doubles: the fault-injection matrix in `tests/checkpoint_faults.rs`
-//! drives every failure mode deterministically through them.
+//! drives every failure mode deterministically through them. The faulty
+//! store is a thin shim over a local [`fairwos_chaos::ScheduleRunner`] —
+//! the same engine behind the global `failpoint!` registry
+//! (`docs/ROBUSTNESS.md`).
 
 use std::collections::BTreeMap;
 use std::path::PathBuf;
@@ -278,7 +283,24 @@ impl FsCheckpointStore {
 }
 
 impl CheckpointStore for FsCheckpointStore {
+    /// Failpoint: `ckpt/fs/write` (fail / delay, keyed by generation).
+    /// Torn and corrupt writes are injected one layer down, at
+    /// `persist/atomic/write`.
     fn write(&mut self, generation: u64, bytes: &[u8]) -> Result<(), PersistError> {
+        if let Some(action) = fairwos_chaos::failpoint!("ckpt/fs/write", generation) {
+            if let Some(d) = action.delay() {
+                std::thread::sleep(d);
+            }
+            if matches!(action, fairwos_chaos::FaultAction::Fail) {
+                return Err(self.io_err(
+                    generation,
+                    std::io::Error::new(
+                        std::io::ErrorKind::Interrupted,
+                        "injected checkpoint write failure",
+                    ),
+                ));
+            }
+        }
         std::fs::create_dir_all(&self.dir).map_err(|e| PersistError::Io {
             path: self.dir.display().to_string(),
             source: e,
@@ -286,8 +308,42 @@ impl CheckpointStore for FsCheckpointStore {
         atomic_write(&self.path_of(generation), bytes).map_err(|e| self.io_err(generation, e))
     }
 
+    /// Failpoint: `ckpt/fs/read` (fail / vanish / torn / corrupt / delay,
+    /// keyed by generation).
     fn read(&mut self, generation: u64) -> Result<Vec<u8>, PersistError> {
-        std::fs::read(self.path_of(generation)).map_err(|e| self.io_err(generation, e))
+        let fault = fairwos_chaos::failpoint!("ckpt/fs/read", generation);
+        if let Some(action) = fault {
+            if let Some(d) = action.delay() {
+                std::thread::sleep(d);
+            }
+            match action {
+                fairwos_chaos::FaultAction::Fail => {
+                    return Err(self.io_err(
+                        generation,
+                        std::io::Error::new(
+                            std::io::ErrorKind::Interrupted,
+                            "injected checkpoint read failure",
+                        ),
+                    ));
+                }
+                fairwos_chaos::FaultAction::Vanish => {
+                    return Err(self.io_err(
+                        generation,
+                        std::io::Error::new(
+                            std::io::ErrorKind::NotFound,
+                            "injected vanished checkpoint",
+                        ),
+                    ));
+                }
+                _ => {}
+            }
+        }
+        let mut bytes =
+            std::fs::read(self.path_of(generation)).map_err(|e| self.io_err(generation, e))?;
+        if let Some(action) = fault {
+            action.apply_to_bytes(&mut bytes);
+        }
+        Ok(bytes)
     }
 
     fn generations(&mut self) -> Result<Vec<u64>, PersistError> {
@@ -381,6 +437,11 @@ impl CheckpointStore for MemoryCheckpointStore {
 /// Deterministic fault schedule for [`FaultyCheckpointStore`]. Write
 /// indices are 1-based and count every `write` call on the faulty store
 /// (including retries), so a plan addresses exactly the n-th attempt.
+///
+/// This is a convenience front-end: [`FaultPlan::schedule`] lowers it onto
+/// a [`fairwos_chaos::FaultSchedule`] over the shim-internal failpoints
+/// `ckpt/store/write` and `ckpt/store/read`, so the test double runs on the
+/// same engine as the production `failpoint!` seams.
 #[derive(Clone, Debug, Default)]
 pub struct FaultPlan {
     /// Write attempts that fail with a transient I/O error.
@@ -388,19 +449,53 @@ pub struct FaultPlan {
     /// Write attempts whose payload is silently truncated to half — a torn
     /// write that reported success.
     pub torn_writes: Vec<usize>,
-    /// Write attempts whose final byte (inside the integrity footer) is
-    /// flipped — post-write on-disk corruption.
+    /// Write attempts with one mid-payload byte flipped — post-write
+    /// on-disk corruption the integrity footer must catch.
     pub corrupt_writes: Vec<usize>,
     /// Generations that are gone by the time they are read (NotFound).
     pub vanish_reads: Vec<u64>,
 }
 
+impl FaultPlan {
+    /// Lowers the plan onto the chaos engine's schedule form. Rule order
+    /// (fail, torn, corrupt) preserves the plan's precedence for attempt
+    /// indices scheduled in more than one list.
+    pub fn schedule(&self) -> fairwos_chaos::FaultSchedule {
+        use fairwos_chaos::{FaultAction, Trigger};
+        let nth = |v: &[usize]| Trigger::Nth(v.iter().map(|&n| n as u64).collect());
+        let mut schedule = fairwos_chaos::FaultSchedule::new(0);
+        schedule
+            .rule(
+                "ckpt/store/write",
+                nth(&self.fail_writes),
+                FaultAction::Fail,
+            )
+            .rule(
+                "ckpt/store/write",
+                nth(&self.torn_writes),
+                FaultAction::Torn,
+            )
+            .rule(
+                "ckpt/store/write",
+                nth(&self.corrupt_writes),
+                FaultAction::Corrupt,
+            )
+            .rule(
+                "ckpt/store/read",
+                Trigger::Key(self.vanish_reads.clone()),
+                FaultAction::Vanish,
+            )
+            .touch("ckpt/store/write");
+        schedule
+    }
+}
+
 /// A [`CheckpointStore`] wrapper that injects the faults scheduled in a
-/// [`FaultPlan`] while delegating everything else to the inner store.
+/// [`FaultPlan`] while delegating everything else to the inner store —
+/// a thin shim over a local [`fairwos_chaos::ScheduleRunner`].
 pub struct FaultyCheckpointStore<S: CheckpointStore> {
     inner: S,
-    plan: FaultPlan,
-    writes_seen: usize,
+    runner: fairwos_chaos::ScheduleRunner,
 }
 
 impl<S: CheckpointStore> FaultyCheckpointStore<S> {
@@ -408,15 +503,14 @@ impl<S: CheckpointStore> FaultyCheckpointStore<S> {
     pub fn new(inner: S, plan: FaultPlan) -> Self {
         Self {
             inner,
-            plan,
-            writes_seen: 0,
+            runner: fairwos_chaos::ScheduleRunner::new(plan.schedule()),
         }
     }
 
     /// How many write attempts the store has seen (for asserting retry
     /// counts).
     pub fn writes_seen(&self) -> usize {
-        self.writes_seen
+        self.runner.hits("ckpt/store/write") as usize
     }
 
     /// The wrapped store, for direct inspection.
@@ -427,32 +521,29 @@ impl<S: CheckpointStore> FaultyCheckpointStore<S> {
 
 impl<S: CheckpointStore> CheckpointStore for FaultyCheckpointStore<S> {
     fn write(&mut self, generation: u64, bytes: &[u8]) -> Result<(), PersistError> {
-        self.writes_seen += 1;
-        let n = self.writes_seen;
-        if self.plan.fail_writes.contains(&n) {
-            return Err(PersistError::Io {
+        match self.runner.fire("ckpt/store/write") {
+            Some(fairwos_chaos::FaultAction::Fail) => Err(PersistError::Io {
                 path: format!("fault://write/{generation}"),
                 source: std::io::Error::new(
                     std::io::ErrorKind::Interrupted,
                     "injected transient write failure",
                 ),
-            });
-        }
-        if self.plan.torn_writes.contains(&n) {
-            return self.inner.write(generation, &bytes[..bytes.len() / 2]);
-        }
-        if self.plan.corrupt_writes.contains(&n) {
-            let mut bad = bytes.to_vec();
-            if let Some(last) = bad.last_mut() {
-                *last ^= 0xFF;
+            }),
+            Some(action) => {
+                let mut bad = bytes.to_vec();
+                action.apply_to_bytes(&mut bad);
+                self.inner.write(generation, &bad)
             }
-            return self.inner.write(generation, &bad);
+            None => self.inner.write(generation, bytes),
         }
-        self.inner.write(generation, bytes)
     }
 
     fn read(&mut self, generation: u64) -> Result<Vec<u8>, PersistError> {
-        if self.plan.vanish_reads.contains(&generation) {
+        if self
+            .runner
+            .fire_keyed("ckpt/store/read", generation)
+            .is_some()
+        {
             return Err(PersistError::Io {
                 path: format!("fault://read/{generation}"),
                 source: std::io::Error::new(
@@ -489,40 +580,63 @@ impl<'a> CheckpointLog<'a> {
 
     /// Encodes and durably stores `ckpt` as the next generation, retrying
     /// transient write failures up to `recovery.write_attempts` times
-    /// (attempt-count bounded; no wall-clock backoff), journaling the
-    /// checkpoint event on success, and pruning generations beyond
-    /// `recovery.retain` (best-effort; prune failures are alerts, not
-    /// errors). Returns the generation written.
+    /// through the shared [`fairwos_chaos::RetryPolicy`] (bounded
+    /// exponential backoff with seeded jitter, planned deterministically —
+    /// no wall-clock reads), journaling the checkpoint event on success,
+    /// and pruning generations beyond `recovery.retain` (best-effort;
+    /// prune failures are alerts, not errors). Returns the generation
+    /// written.
     ///
     /// # Errors
     /// The last write error when every attempt failed, or an encode /
     /// store-enumeration error.
     pub fn save(&mut self, ckpt: &TrainingCheckpoint) -> Result<u64, PersistError> {
+        // Backoff plan for transient write failures. Deliberately NOT part
+        // of RecoveryConfig: resume compares configs by serialized form,
+        // so adding fields there would orphan existing checkpoints.
+        const WRITE_RETRY_BASE_US: u64 = 500;
+        const WRITE_RETRY_MAX_US: u64 = 5_000;
+        const WRITE_RETRY_DEADLINE_US: u64 = 20_000;
+
         let bytes = encode_checkpoint(ckpt)?;
         let generation = self.store.generations()?.last().copied().unwrap_or(0) + 1;
-        let attempts = self.recovery.write_attempts.max(1);
-        let mut last_err = None;
-        for attempt in 1..=attempts {
-            match self.store.write(generation, &bytes) {
-                Ok(()) => {
-                    last_err = None;
-                    break;
-                }
-                Err(e) => {
-                    fairwos_obs::journal_alert(
-                        "recovery/write_retry",
-                        &format!(
-                            "checkpoint generation {generation} write attempt \
-                             {attempt}/{attempts} failed: {e}"
-                        ),
-                    );
-                    last_err = Some(e);
-                }
+        if let Some(action) = fairwos_chaos::failpoint!("ckpt/log/save", generation) {
+            if let Some(d) = action.delay() {
+                std::thread::sleep(d);
+            }
+            if action == fairwos_chaos::FaultAction::Fail {
+                // A SIGKILL-style interrupt for the soak harness: the save
+                // aborts before any write attempt, as if the process died.
+                return Err(PersistError::Io {
+                    path: format!("chaos://ckpt/log/save/{generation}"),
+                    source: std::io::Error::new(
+                        std::io::ErrorKind::Interrupted,
+                        "injected checkpoint-save abort",
+                    ),
+                });
             }
         }
-        if let Some(e) = last_err {
-            return Err(e);
-        }
+        let attempts = self.recovery.write_attempts.max(1);
+        let policy = fairwos_chaos::RetryPolicy::backoff(
+            attempts as u32,
+            WRITE_RETRY_BASE_US,
+            WRITE_RETRY_MAX_US,
+        )
+        .with_deadline_us(WRITE_RETRY_DEADLINE_US)
+        .with_jitter_seed(generation);
+        let store = &mut *self.store;
+        policy.run(
+            |_attempt| store.write(generation, &bytes),
+            |attempt, e| {
+                fairwos_obs::journal_alert(
+                    "recovery/write_retry",
+                    &format!(
+                        "checkpoint generation {generation} write attempt \
+                         {attempt}/{attempts} failed: {e}"
+                    ),
+                );
+            },
+        )?;
         fairwos_obs::journal_checkpoint(generation, ckpt.stage, ckpt.epoch as u64);
         let gens = self.store.generations()?;
         let retain = self.recovery.retain.max(1);

@@ -185,26 +185,72 @@ pub(crate) fn unseal(bytes: &[u8]) -> Result<&[u8], String> {
 }
 
 /// Writes `bytes` to `path` crash-consistently: a temp sibling is written
-/// and fsynced, then renamed over `path`, then the directory is fsynced
-/// (best-effort), so a crash leaves either the old file or the new one —
-/// never a torn mixture.
+/// and fsynced, then renamed over `path`, then the parent directory is
+/// fsynced, so a crash leaves either the old file or the new one — never a
+/// torn mixture. The directory fsync is mandatory (a rename alone does not
+/// survive power loss on all filesystems), so its failure is reported
+/// rather than swallowed.
+///
+/// Failpoints: `persist/atomic/write` (fail / torn / delay),
+/// `persist/atomic/rename` (fail / delay), `persist/atomic/dir_fsync`
+/// (fail / delay). Inert without the `chaos` feature.
 pub(crate) fn atomic_write(path: &std::path::Path, bytes: &[u8]) -> std::io::Result<()> {
     use std::io::Write as _;
     let file_name = path
         .file_name()
         .map_or_else(String::new, |n| n.to_string_lossy().into_owned());
     let tmp = path.with_file_name(format!("{file_name}.tmp"));
+    let write_fault = fairwos_chaos::failpoint!("persist/atomic/write");
+    if let Some(action) = write_fault {
+        if let Some(d) = action.delay() {
+            std::thread::sleep(d);
+        }
+        if matches!(action, fairwos_chaos::FaultAction::Fail) {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::Interrupted,
+                "injected transient write failure",
+            ));
+        }
+    }
     {
         let mut f = std::fs::File::create(&tmp)?;
-        f.write_all(bytes)?;
+        // A `Torn` fault persists only the first half: the sync and rename
+        // below still succeed, leaving a torn-but-renamed artifact for the
+        // footer check to catch at load time.
+        let persisted = if matches!(write_fault, Some(fairwos_chaos::FaultAction::Torn)) {
+            &bytes[..bytes.len() / 2]
+        } else {
+            bytes
+        };
+        f.write_all(persisted)?;
         f.sync_all()?;
+    }
+    if let Some(action) = fairwos_chaos::failpoint!("persist/atomic/rename") {
+        if let Some(d) = action.delay() {
+            std::thread::sleep(d);
+        }
+        if matches!(action, fairwos_chaos::FaultAction::Fail) {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::Interrupted,
+                "injected rename failure",
+            ));
+        }
     }
     std::fs::rename(&tmp, path)?;
     if let Some(dir) = path.parent() {
         if !dir.as_os_str().is_empty() {
-            if let Ok(d) = std::fs::File::open(dir) {
-                let _ = d.sync_all();
+            if let Some(action) = fairwos_chaos::failpoint!("persist/atomic/dir_fsync") {
+                if let Some(d) = action.delay() {
+                    std::thread::sleep(d);
+                }
+                if matches!(action, fairwos_chaos::FaultAction::Fail) {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::Interrupted,
+                        "injected directory fsync failure",
+                    ));
+                }
             }
+            std::fs::File::open(dir)?.sync_all()?;
         }
     }
     Ok(())

@@ -154,6 +154,17 @@ fn accept_loop(
             // fatal to the admin plane.
             continue;
         };
+        if let Some(action) = fairwos_chaos::failpoint!("serve/admin/accept") {
+            if let Some(d) = action.delay() {
+                std::thread::sleep(d);
+            }
+            if action == fairwos_chaos::FaultAction::Fail {
+                // Injected accept-time reset: the connection is dropped
+                // unanswered, as if the peer vanished mid-handshake.
+                fairwos_obs::counter_add("serve/admin/accept_dropped", 1);
+                continue;
+            }
+        }
         fairwos_obs::counter_add("serve/admin/accepted", 1);
         if let Err(mut shed) = connections.try_push(stream) {
             fairwos_obs::counter_add("serve/admin/shed", 1);
@@ -178,15 +189,35 @@ fn handler_loop(
         for mut stream in batch.drain(..) {
             let _ = stream.set_read_timeout(Some(read_timeout));
             let _ = stream.set_write_timeout(Some(read_timeout));
-            let response = match read_request(&mut stream) {
-                Ok(request) => route(&request, engine),
-                Err(_) => AdminResponse {
-                    status: 400,
-                    reason: "Bad Request",
-                    content_type: "text/plain",
-                    body: "malformed request\n".to_owned(),
-                },
+            let read_fault = fairwos_chaos::failpoint!("serve/admin/read");
+            if let Some(d) = read_fault.and_then(|a| a.delay()) {
+                std::thread::sleep(d);
+            }
+            // The request is drained even under an injected read failure, so
+            // the error response is not raced by a TCP reset from unread
+            // bytes; the parse result is then discarded as if the read died.
+            let parsed = read_request(&mut stream);
+            let response = if read_fault == Some(fairwos_chaos::FaultAction::Fail) {
+                error_response(&io::Error::new(
+                    io::ErrorKind::ConnectionReset,
+                    "injected admin read failure",
+                ))
+            } else {
+                match parsed {
+                    Ok(request) => route(&request, engine),
+                    Err(e) => error_response(&e),
+                }
             };
+            let write_fault = fairwos_chaos::failpoint!("serve/admin/write");
+            if let Some(d) = write_fault.and_then(|a| a.delay()) {
+                std::thread::sleep(d);
+            }
+            if write_fault == Some(fairwos_chaos::FaultAction::Fail) {
+                // Injected peer-gone-mid-write: drop the connection without
+                // a response, as a real broken pipe would.
+                fairwos_obs::counter_add("serve/admin/write_dropped", 1);
+                continue;
+            }
             let _ = write_response(
                 &mut stream,
                 response.status,
@@ -195,6 +226,26 @@ fn handler_loop(
                 response.body.as_bytes(),
             );
         }
+    }
+}
+
+/// Maps a request-read failure to its admin response: an oversized head
+/// gets `431 Request Header Fields Too Large` (the peer can tell its
+/// request was understood but refused), everything else a generic `400`.
+fn error_response(error: &io::Error) -> AdminResponse {
+    if crate::http::is_oversized(error) {
+        return AdminResponse {
+            status: 431,
+            reason: "Request Header Fields Too Large",
+            content_type: "text/plain",
+            body: "request head too large\n".to_owned(),
+        };
+    }
+    AdminResponse {
+        status: 400,
+        reason: "Bad Request",
+        content_type: "text/plain",
+        body: "malformed request\n".to_owned(),
     }
 }
 
@@ -330,6 +381,22 @@ mod tests {
         let stats = handle_stats(&gone);
         assert_eq!(stats.status, 503);
         assert_eq!(stats.content_type, "application/json");
+    }
+
+    #[test]
+    fn read_failures_map_to_431_for_oversized_heads_and_400_otherwise() {
+        let oversized = error_response(&io::Error::new(
+            io::ErrorKind::InvalidData,
+            "request head exceeds MAX_REQUEST_BYTES",
+        ));
+        assert_eq!(oversized.status, 431);
+        let malformed = error_response(&io::Error::new(
+            io::ErrorKind::InvalidData,
+            "request head is not UTF-8",
+        ));
+        assert_eq!(malformed.status, 400);
+        let timeout = error_response(&io::Error::new(io::ErrorKind::WouldBlock, "timed out"));
+        assert_eq!(timeout.status, 400);
     }
 
     #[test]

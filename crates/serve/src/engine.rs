@@ -60,6 +60,14 @@ pub enum ServeError {
     /// A (re)load failed: fetching or decoding the artifact, or rebuilding
     /// the modules. On reload the previous generation keeps serving.
     Reload(PersistError),
+    /// The reload circuit breaker is open after too many consecutive
+    /// rejected artifacts: the reload was short-circuited without fetching
+    /// (and without consuming a generation number). The previous generation
+    /// keeps serving.
+    BreakerOpen {
+        /// Microseconds until the breaker admits the next probe reload.
+        retry_in_us: u64,
+    },
     /// A worker thread could not be spawned at startup.
     WorkerSpawn(std::io::Error),
 }
@@ -72,6 +80,10 @@ impl std::fmt::Display for ServeError {
             }
             ServeError::Closed => write!(f, "serving engine is shut down"),
             ServeError::Reload(e) => write!(f, "model (re)load rejected: {e}"),
+            ServeError::BreakerOpen { retry_in_us } => write!(
+                f,
+                "reload breaker open: next probe admitted in {retry_in_us}µs"
+            ),
             ServeError::WorkerSpawn(e) => write!(f, "serving worker spawn failed: {e}"),
         }
     }
@@ -87,7 +99,8 @@ impl std::error::Error for ServeError {
     }
 }
 
-/// Sizing knobs for [`ServeEngine::start`]. Zeroes are clamped to 1.
+/// Sizing knobs for [`ServeEngine::start`]. Zeroes are clamped to 1
+/// (except `breaker_threshold`, where 0 disables the breaker).
 #[derive(Clone, Copy, Debug)]
 pub struct ServeConfig {
     /// Worker threads draining the queue.
@@ -96,6 +109,14 @@ pub struct ServeConfig {
     pub queue_capacity: usize,
     /// Most requests a worker answers per drain, against one snapshot.
     pub max_batch: usize,
+    /// Consecutive rejected reloads that open the reload circuit breaker
+    /// (0 disables it). While open, [`ServeEngine::reload`] short-circuits
+    /// with [`ServeError::BreakerOpen`] instead of re-reading a source that
+    /// keeps producing bad artifacts.
+    pub breaker_threshold: usize,
+    /// Initial breaker cooldown in microseconds; each consecutive open
+    /// doubles it, up to 16× this base.
+    pub breaker_cooldown_us: u64,
 }
 
 impl Default for ServeConfig {
@@ -104,7 +125,70 @@ impl Default for ServeConfig {
             workers: 2,
             queue_capacity: 1024,
             max_batch: 256,
+            breaker_threshold: 5,
+            breaker_cooldown_us: 50_000,
         }
+    }
+}
+
+/// Reload circuit breaker state, owned by [`ModelHost`] (so it shares the
+/// reload mutex). Closed until `threshold` *consecutive* rejections, then
+/// open for a cooldown that doubles per consecutive open (capped at 16×
+/// base); after the cooldown one half-open probe is admitted — success
+/// closes the breaker, another rejection re-opens it immediately.
+struct ReloadBreaker {
+    threshold: usize,
+    base_cooldown_us: u64,
+    consecutive_rejections: usize,
+    open_until_us: Option<u64>,
+    opens: u32,
+}
+
+impl ReloadBreaker {
+    fn new(config: &ServeConfig) -> Self {
+        ReloadBreaker {
+            threshold: config.breaker_threshold,
+            base_cooldown_us: config.breaker_cooldown_us.max(1),
+            consecutive_rejections: 0,
+            open_until_us: None,
+            opens: 0,
+        }
+    }
+
+    /// Whether a reload at monotonic time `now_us` must be short-circuited;
+    /// returns the microseconds until the next admitted probe. Transitions
+    /// open → half-open (admitting the caller as the probe) when the
+    /// cooldown has elapsed.
+    fn check(&mut self, now_us: u64) -> Option<u64> {
+        let until = self.open_until_us?;
+        if now_us < until {
+            return Some(until - now_us);
+        }
+        self.open_until_us = None;
+        None
+    }
+
+    fn on_success(&mut self) {
+        self.consecutive_rejections = 0;
+        self.open_until_us = None;
+        self.opens = 0;
+        fairwos_obs::gauge_set("serve/reload_breaker/open", 0);
+    }
+
+    /// Records a rejection; when it opens (or re-opens) the breaker,
+    /// returns the cooldown chosen, for journaling.
+    fn on_rejection(&mut self, now_us: u64) -> Option<u64> {
+        self.consecutive_rejections += 1;
+        if self.threshold == 0 || self.consecutive_rejections < self.threshold {
+            return None;
+        }
+        // `consecutive_rejections` is deliberately not reset: a failed
+        // half-open probe re-opens immediately with a doubled cooldown.
+        let cooldown = self.base_cooldown_us.saturating_mul(1 << self.opens.min(4));
+        self.opens = self.opens.saturating_add(1);
+        self.open_until_us = Some(now_us.saturating_add(cooldown));
+        fairwos_obs::gauge_set("serve/reload_breaker/open", 1);
+        Some(cooldown)
     }
 }
 
@@ -131,6 +215,7 @@ struct EngineShared {
 struct ModelHost {
     source: Box<dyn ModelSource + Send>,
     next_generation: u64,
+    breaker: ReloadBreaker,
 }
 
 /// A pending [`ServeEngine::query_async`] response.
@@ -208,6 +293,7 @@ impl ServeEngine {
             host: Mutex::new(ModelHost {
                 source,
                 next_generation: 1,
+                breaker: ReloadBreaker::new(&config),
             }),
             data,
             workers,
@@ -343,16 +429,30 @@ impl ServeEngine {
     /// previous generation serving, and does **not** consume a generation
     /// number.
     ///
+    /// After `breaker_threshold` *consecutive* rejections the reload
+    /// circuit breaker opens: until its cooldown elapses, calls return
+    /// [`ServeError::BreakerOpen`] without touching the source (no fetch,
+    /// no generation consumed, no `reloads_rejected` increment). The first
+    /// call after the cooldown is admitted as a half-open probe; success
+    /// closes the breaker, another rejection re-opens it with a doubled
+    /// cooldown (capped at 16× `breaker_cooldown_us`).
+    ///
     /// # Errors
-    /// [`ServeError::Reload`] wrapping the fetch/decode/rebuild failure.
+    /// [`ServeError::Reload`] wrapping the fetch/decode/rebuild failure, or
+    /// [`ServeError::BreakerOpen`] while the breaker is open.
     pub fn reload(&self) -> Result<u64, ServeError> {
         let mut host = self.host.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(retry_in_us) = host.breaker.check(fairwos_chaos::monotonic_micros()) {
+            fairwos_obs::counter_add("serve/reload_breaker/short_circuit", 1);
+            return Err(ServeError::BreakerOpen { retry_in_us });
+        }
         let generation = host.next_generation;
         let describe = host.source.describe();
         match load_generation(host.source.as_mut(), &self.data, generation) {
             Ok(model) => {
                 self.shared.swap.store(Arc::new(model));
                 host.next_generation += 1;
+                host.breaker.on_success();
                 self.shared.stats.reloads.fetch_add(1, Ordering::Relaxed);
                 fairwos_obs::journal_alert(
                     "serve/reload",
@@ -373,6 +473,18 @@ impl ServeEngine {
                     }),
                 );
                 fairwos_obs::counter_add("serve/reloads_rejected", 1);
+                if let Some(cooldown_us) =
+                    host.breaker.on_rejection(fairwos_chaos::monotonic_micros())
+                {
+                    fairwos_obs::journal_alert(
+                        "serve/reload_breaker",
+                        &format!(
+                            "opened after {} consecutive rejected reloads; \
+                             cooling down {cooldown_us}µs",
+                            host.breaker.consecutive_rejections
+                        ),
+                    );
+                }
                 Err(ServeError::Reload(e))
             }
         }

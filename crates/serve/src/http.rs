@@ -24,22 +24,38 @@ pub struct HttpRequest {
     pub path: String,
 }
 
+/// Message marking an `InvalidData` error as an oversized request head, so
+/// the admin plane can answer `431 Request Header Fields Too Large` instead
+/// of a generic `400`.
+const OVERSIZED_HEAD: &str = "request head exceeds MAX_REQUEST_BYTES";
+
+/// Whether a [`read_request`] failure means the head outgrew
+/// [`MAX_REQUEST_BYTES`] (as opposed to being malformed or a socket error).
+pub fn is_oversized(error: &io::Error) -> bool {
+    error.kind() == io::ErrorKind::InvalidData && error.to_string().contains(OVERSIZED_HEAD)
+}
+
 /// Reads one request head from `stream` (until the `\r\n\r\n` terminator)
-/// and parses its request line. The caller is responsible for having set a
-/// read timeout on the stream; a slow-loris peer then fails with a timeout
-/// error instead of parking the handler thread.
+/// and parses its request line. The terminator is searched for anywhere in
+/// the buffered bytes, so a request whose body (or trailing garbage)
+/// arrives in the same TCP segment as the head still parses — and reads of
+/// any granularity, down to one byte per segment, reassemble correctly.
+/// The caller is responsible for having set a read timeout on the stream; a
+/// slow-loris peer then fails with a timeout error instead of parking the
+/// handler thread.
 ///
 /// # Errors
-/// `InvalidData` on a malformed or oversized head; any socket error as-is.
+/// `InvalidData` on a malformed or oversized head (distinguish the latter
+/// with [`is_oversized`]); any socket error as-is.
 pub fn read_request(stream: &mut TcpStream) -> io::Result<HttpRequest> {
     let mut head = Vec::with_capacity(256);
     let mut chunk = [0u8; 512];
-    while !head.ends_with(b"\r\n\r\n") {
+    let terminator = loop {
+        if let Some(pos) = head.windows(4).position(|w| w == b"\r\n\r\n") {
+            break pos;
+        }
         if head.len() >= MAX_REQUEST_BYTES {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                "request head exceeds MAX_REQUEST_BYTES",
-            ));
+            return Err(io::Error::new(io::ErrorKind::InvalidData, OVERSIZED_HEAD));
         }
         let n = stream.read(&mut chunk)?;
         if n == 0 {
@@ -49,7 +65,10 @@ pub fn read_request(stream: &mut TcpStream) -> io::Result<HttpRequest> {
             ));
         }
         head.extend_from_slice(&chunk[..n]);
-    }
+    };
+    // Anything past the terminator (a body we don't serve, pipelined
+    // bytes) is not part of the head and must not break its UTF-8 check.
+    head.truncate(terminator + 4);
     let text = std::str::from_utf8(&head)
         .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "request head is not UTF-8"))?;
     let request_line = text
@@ -151,6 +170,82 @@ mod tests {
         assert_eq!(status, 200);
         assert_eq!(body, "ok\n");
         server.join().expect("server thread");
+    }
+
+    /// One byte per TCP segment: the head must reassemble across reads of
+    /// any granularity.
+    #[test]
+    fn byte_at_a_time_requests_parse() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().expect("accept");
+            stream
+                .set_read_timeout(Some(Duration::from_secs(5)))
+                .expect("timeout");
+            read_request(&mut stream).expect("parse")
+        });
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.set_nodelay(true).expect("nodelay");
+        for byte in b"GET /stats HTTP/1.1\r\nHost: x\r\n\r\n" {
+            stream.write_all(&[*byte]).expect("write one byte");
+            stream.flush().expect("flush");
+        }
+        let request = server.join().expect("server thread");
+        assert_eq!(
+            request,
+            HttpRequest { method: "GET".into(), path: "/stats".into() }
+        );
+    }
+
+    /// A body (or trailing garbage, even non-UTF-8) landing in the same
+    /// segment as the head must not hide the terminator or break parsing —
+    /// the pre-fix reader hung here until the peer's timeout.
+    #[test]
+    fn body_in_the_same_segment_does_not_hide_the_terminator() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().expect("accept");
+            stream
+                .set_read_timeout(Some(Duration::from_secs(5)))
+                .expect("timeout");
+            read_request(&mut stream).expect("parse")
+        });
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .write_all(b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n\xFF\xFEextra-bytes")
+            .expect("write");
+        let request = server.join().expect("server thread");
+        assert_eq!(
+            request,
+            HttpRequest { method: "GET".into(), path: "/metrics".into() }
+        );
+    }
+
+    #[test]
+    fn oversized_heads_fail_with_a_distinguishable_error() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().expect("accept");
+            stream
+                .set_read_timeout(Some(Duration::from_secs(5)))
+                .expect("timeout");
+            read_request(&mut stream).expect_err("oversized head must not parse")
+        });
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        let huge = format!(
+            "GET / HTTP/1.1\r\nX-Pad: {}\r\n\r\n",
+            "a".repeat(MAX_REQUEST_BYTES)
+        );
+        let _ = stream.write_all(huge.as_bytes());
+        let err = server.join().expect("server thread");
+        assert!(is_oversized(&err), "got: {err}");
+        assert!(
+            !is_oversized(&io::Error::new(io::ErrorKind::InvalidData, "malformed")),
+            "only the oversized marker may map to 431"
+        );
     }
 
     #[test]

@@ -86,7 +86,9 @@ pub use admin::{
     AdminServer,
 };
 pub use engine::{replay, Prediction, ServeConfig, ServeEngine, ServeError, Ticket};
-pub use http::{http_get, read_request, write_response, HttpRequest, MAX_REQUEST_BYTES};
+pub use http::{
+    http_get, is_oversized, read_request, write_response, HttpRequest, MAX_REQUEST_BYTES,
+};
 pub use model::{ServableModel, ServeData};
 pub use monitor::{FairnessMonitor, MonitorConfig, MonitorReport};
 pub use queue::BoundedQueue;

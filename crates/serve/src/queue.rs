@@ -50,10 +50,17 @@ impl<T> BoundedQueue<T> {
 
     /// Enqueues `item`, blocking while the queue is full.
     ///
+    /// The `serve/queue/push` failpoint (Delay only — the queue's zero-drop
+    /// contract leaves no fault to inject, so other actions are ignored)
+    /// lets a chaos schedule stall producers before they take the lock.
+    ///
     /// # Errors
     /// Returns the item back when the queue has been closed — the caller
     /// owns it again and knows it was never enqueued.
     pub fn push(&self, item: T) -> Result<(), T> {
+        if let Some(d) = fairwos_chaos::failpoint!("serve/queue/push").and_then(|a| a.delay()) {
+            std::thread::sleep(d);
+        }
         let mut state = self.lock();
         while state.items.len() >= self.capacity && !state.closed {
             state = self
@@ -94,7 +101,14 @@ impl<T> BoundedQueue<T> {
     /// Returns `false` only when the queue is closed and fully drained —
     /// the worker's signal to exit. Items already accepted are always
     /// handed out before that, even after close.
+    ///
+    /// The `serve/queue/drain` failpoint (Delay only, like `push`) stalls a
+    /// worker before it drains — simulating a slow consumer so backpressure
+    /// paths can be soaked.
     pub fn drain_into(&self, max_batch: usize, out: &mut Vec<T>) -> bool {
+        if let Some(d) = fairwos_chaos::failpoint!("serve/queue/drain").and_then(|a| a.delay()) {
+            std::thread::sleep(d);
+        }
         let mut state = self.lock();
         while state.items.is_empty() && !state.closed {
             state = self

@@ -3,9 +3,15 @@
 //! The engine never trusts a source — every fetch goes through
 //! [`fairwos_core::FairwosModelFile::from_bytes`], whose integrity footer
 //! rejects torn/truncated/bit-flipped artifacts, and a rejected fetch leaves
-//! the previous model generation serving. [`FaultyModelSource`] injects
-//! exactly those failure modes for the fault tests, mirroring the
-//! `FaultyCheckpointStore` pattern from `fairwos-core`'s checkpoint suite.
+//! the previous model generation serving. [`FsModelSource`] retries
+//! transient read errors through the shared [`fairwos_chaos::RetryPolicy`]
+//! (the same bounded, deterministically jittered backoff the checkpoint log
+//! uses), and carries the `serve/source/fetch` failpoint so a chaos schedule
+//! can tear, corrupt, delay, or vanish an artifact mid-swap.
+//! [`FaultyModelSource`] injects exactly those failure modes for the fault
+//! tests as a thin shim over a local [`fairwos_chaos::ScheduleRunner`],
+//! mirroring the `FaultyCheckpointStore` pattern from `fairwos-core`'s
+//! checkpoint suite.
 
 use fairwos_core::PersistError;
 use std::path::PathBuf;
@@ -28,26 +34,90 @@ pub trait ModelSource {
     fn describe(&self) -> String;
 }
 
+/// Read attempts per [`FsModelSource::fetch`]; failures between attempts
+/// back off 200 µs → 2 ms (planned, jittered by a path-derived seed).
+const FETCH_ATTEMPTS: u32 = 3;
+const FETCH_RETRY_BASE_US: u64 = 200;
+const FETCH_RETRY_MAX_US: u64 = 2_000;
+
 /// Reads the artifact from a filesystem path on every fetch — the
 /// production source: an external trainer atomically rewrites the file, the
 /// engine reloads it.
+///
+/// A fetch survives transient read errors (an `EINTR`-style interruption, a
+/// momentarily vanished file mid-rename) by retrying under the shared
+/// [`fairwos_chaos::RetryPolicy`]; only the last attempt's error surfaces.
 pub struct FsModelSource {
     path: PathBuf,
+    retry: fairwos_chaos::RetryPolicy,
 }
 
 impl FsModelSource {
     /// A source reading `path` on each fetch.
     pub fn new(path: impl Into<PathBuf>) -> Self {
-        FsModelSource { path: path.into() }
+        let path = path.into();
+        let jitter_seed = fairwos_chaos::fnv1a64(path.display().to_string().as_bytes());
+        FsModelSource {
+            retry: fairwos_chaos::RetryPolicy::backoff(
+                FETCH_ATTEMPTS,
+                FETCH_RETRY_BASE_US,
+                FETCH_RETRY_MAX_US,
+            )
+            .with_jitter_seed(jitter_seed),
+            path,
+        }
     }
 }
 
 impl ModelSource for FsModelSource {
     fn fetch(&mut self) -> Result<Vec<u8>, PersistError> {
-        std::fs::read(&self.path).map_err(|e| PersistError::Io {
-            path: self.path.display().to_string(),
-            source: e,
-        })
+        let path = &self.path;
+        self.retry.run(
+            |_attempt| {
+                // The chaos seam: a schedule can delay the read, fail it,
+                // vanish the artifact, or (post-read) tear/corrupt the bytes
+                // the integrity footer must then reject.
+                let fault = fairwos_chaos::failpoint!("serve/source/fetch");
+                if let Some(d) = fault.and_then(|a| a.delay()) {
+                    std::thread::sleep(d);
+                }
+                match fault {
+                    Some(fairwos_chaos::FaultAction::Fail) => {
+                        return Err(PersistError::Io {
+                            path: path.display().to_string(),
+                            source: std::io::Error::new(
+                                std::io::ErrorKind::Interrupted,
+                                "injected artifact read failure",
+                            ),
+                        });
+                    }
+                    Some(fairwos_chaos::FaultAction::Vanish) => {
+                        return Err(PersistError::Io {
+                            path: path.display().to_string(),
+                            source: std::io::Error::new(
+                                std::io::ErrorKind::NotFound,
+                                "artifact vanished mid-swap (injected)",
+                            ),
+                        });
+                    }
+                    _ => {}
+                }
+                let mut bytes = std::fs::read(path).map_err(|e| PersistError::Io {
+                    path: path.display().to_string(),
+                    source: e,
+                })?;
+                if let Some(action) = fault {
+                    action.apply_to_bytes(&mut bytes);
+                }
+                Ok(bytes)
+            },
+            |attempt, e| {
+                fairwos_obs::journal_alert(
+                    "serve/fetch_retry",
+                    &format!("artifact fetch attempt {attempt}/{FETCH_ATTEMPTS} failed: {e}"),
+                );
+            },
+        )
     }
 
     fn describe(&self) -> String {
@@ -107,6 +177,10 @@ impl ModelSource for MemoryModelSource {
 /// Fetches are numbered from 1. The faults model the ways a concurrently
 /// rewritten artifact can be observed broken: torn (a prefix of the real
 /// bytes), corrupt (one flipped bit), or vanished (unlinked mid-swap).
+///
+/// Like `FaultPlan` on the checkpoint side, this is a convenience front-end
+/// that [`SourceFaultPlan::schedule`] lowers onto the chaos engine's
+/// schedule form over the shim-internal `serve/shim/fetch` point.
 #[derive(Clone, Debug, Default)]
 pub struct SourceFaultPlan {
     /// Fetches that return only the first half of the artifact.
@@ -117,12 +191,41 @@ pub struct SourceFaultPlan {
     pub vanish_fetches: Vec<usize>,
 }
 
+impl SourceFaultPlan {
+    /// Lowers the plan onto a [`fairwos_chaos::FaultSchedule`]. Vanish is
+    /// listed first so a fetch scheduled to both vanish and tear vanishes,
+    /// matching the plan's historical precedence.
+    pub fn schedule(&self) -> fairwos_chaos::FaultSchedule {
+        use fairwos_chaos::{FaultAction, Trigger};
+        let nth = |v: &[usize]| Trigger::Nth(v.iter().map(|&n| n as u64).collect());
+        let mut schedule = fairwos_chaos::FaultSchedule::new(0);
+        schedule
+            .rule(
+                "serve/shim/fetch",
+                nth(&self.vanish_fetches),
+                FaultAction::Vanish,
+            )
+            .rule(
+                "serve/shim/fetch",
+                nth(&self.torn_fetches),
+                FaultAction::Torn,
+            )
+            .rule(
+                "serve/shim/fetch",
+                nth(&self.corrupt_fetches),
+                FaultAction::Corrupt,
+            );
+        schedule
+    }
+}
+
 /// Wraps any source and injects [`SourceFaultPlan`] failures by fetch
-/// index — the serve-side analogue of `FaultyCheckpointStore`.
+/// index — the serve-side analogue of `FaultyCheckpointStore`, a thin shim
+/// over a local [`fairwos_chaos::ScheduleRunner`]. Deliberately retry-free:
+/// fault tests index fetches 1:1 with reload attempts.
 pub struct FaultyModelSource<S: ModelSource> {
     inner: S,
-    plan: SourceFaultPlan,
-    fetches: usize,
+    runner: fairwos_chaos::ScheduleRunner,
 }
 
 impl<S: ModelSource> FaultyModelSource<S> {
@@ -130,17 +233,15 @@ impl<S: ModelSource> FaultyModelSource<S> {
     pub fn new(inner: S, plan: SourceFaultPlan) -> Self {
         FaultyModelSource {
             inner,
-            plan,
-            fetches: 0,
+            runner: fairwos_chaos::ScheduleRunner::new(plan.schedule()),
         }
     }
 }
 
 impl<S: ModelSource> ModelSource for FaultyModelSource<S> {
     fn fetch(&mut self) -> Result<Vec<u8>, PersistError> {
-        self.fetches += 1;
-        let n = self.fetches;
-        if self.plan.vanish_fetches.contains(&n) {
+        let fault = self.runner.fire("serve/shim/fetch");
+        if fault == Some(fairwos_chaos::FaultAction::Vanish) {
             return Err(PersistError::Io {
                 path: self.describe(),
                 source: std::io::Error::new(
@@ -150,14 +251,8 @@ impl<S: ModelSource> ModelSource for FaultyModelSource<S> {
             });
         }
         let mut bytes = self.inner.fetch()?;
-        if self.plan.torn_fetches.contains(&n) {
-            bytes.truncate(bytes.len() / 2);
-        }
-        if self.plan.corrupt_fetches.contains(&n) {
-            let mid = bytes.len() / 2;
-            if let Some(b) = bytes.get_mut(mid) {
-                *b ^= 0x20;
-            }
+        if let Some(action) = fault {
+            action.apply_to_bytes(&mut bytes);
         }
         Ok(bytes)
     }

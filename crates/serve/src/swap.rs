@@ -118,7 +118,15 @@ impl<T> EpochSwap<T> {
     /// value is freed when the last such clone drops. Blocks only on other
     /// writers (mutex) and on draining readers *registered on the inactive
     /// slot* — a window of two atomic ops, so the spin is momentary.
+    ///
+    /// The `serve/swap/publish` failpoint (Delay only — the swap itself is
+    /// infallible by design, so other actions are ignored) stretches the
+    /// window between a reload's decode and its publication, letting a
+    /// chaos soak look for readers observing a half-published value.
     pub fn store(&self, new: Arc<T>) {
+        if let Some(d) = fairwos_chaos::failpoint!("serve/swap/publish").and_then(|a| a.delay()) {
+            std::thread::sleep(d);
+        }
         let _writer = self.writer.lock().unwrap_or_else(PoisonError::into_inner);
         let target = 1 - (self.active.load(Ordering::SeqCst) & 1);
         while self.slots[target].readers.load(Ordering::SeqCst) != 0 {

@@ -2,7 +2,8 @@
 # The full CI gate, runnable locally: formatting, release build, tests
 # (default features AND the checked+obs instrumented build), an obs-off
 # build proving the pipeline crates compile without the instrumentation
-# feature, the kill-and-resume crash-recovery smoke test, the FW static
+# feature, the kill-and-resume crash-recovery smoke test, the chaos-armed
+# build plus the exp_chaos fault-injection soak smoke, the FW static
 # lints, the finite-difference gradient sweep, and instrumented bench
 # smoke runs that must produce results/bench_pipeline.json plus the
 # trace/telemetry artifacts.
@@ -31,8 +32,16 @@ RAYON_NUM_THREADS=1 cargo test -p fairwos --test determinism -q
 echo "==> obs-off builds (pipeline crates must compile without the feature)"
 cargo build -p fairwos-tensor -p fairwos-nn -p fairwos-core --no-default-features
 
+echo "==> chaos-armed build + fairwos-chaos armed tests"
+cargo build --workspace --features fairwos/chaos,fairwos-bench/chaos
+cargo test -p fairwos-chaos --features enabled -q
+
 echo "==> kill-and-resume crash recovery smoke test"
 bash scripts/kill_and_resume.sh
+
+echo "==> chaos soak smoke (results/chaos.json; 3 pinned seeds, replay identity)"
+cargo run --release -p fairwos-bench --features chaos --bin exp_chaos -- --scale 0.3 --out results/chaos.json
+test -s results/chaos.json
 
 echo "==> instrumented bench smoke run (results/bench_pipeline.json)"
 cargo run --release -p fairwos-bench --features obs --bin exp_table2 -- --scale 0.02 --runs 1

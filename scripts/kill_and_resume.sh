@@ -24,15 +24,37 @@ cargo build --release --bin fairwos-cli
 "$BIN" train --data "$WORK/data.json" --seed 7 --checkpoint-interval 5 \
     --out "$WORK/model_uninterrupted.json"
 
+# Poll until $1 checkpoint files exist (or the victim exits on its own);
+# fail loudly on timeout instead of killing a checkpoint-less process and
+# reporting a confusing resume failure later.
+wait_for_checkpoints() {
+    local want=$1 deadline=$((SECONDS + 60))
+    while [ "$(compgen -G "$WORK/ckpts/ckpt-*.fwck" | wc -l)" -lt "$want" ]; do
+        # The victim finished (its model file is the last thing it writes) or
+        # died; either way stop polling — resume is still exercised below.
+        # (`kill -0` alone is not enough: an exited-but-unreaped child is a
+        # zombie and still answers signal 0.)
+        if [ -f "$WORK/model_resumed.json" ] || ! kill -0 "$PID" 2>/dev/null; then
+            return 0
+        fi
+        if [ "$SECONDS" -ge "$deadline" ]; then
+            echo "error: victim produced < $want checkpoints within 60s" >&2
+            kill -9 "$PID" 2>/dev/null || true
+            wait "$PID" 2>/dev/null || true
+            exit 1
+        fi
+        sleep 0.1
+    done
+}
+
 # The victim: checkpoints to disk, killed hard once checkpoints exist.
 "$BIN" train --data "$WORK/data.json" --seed 7 --checkpoint-interval 5 \
     --checkpoint-dir "$WORK/ckpts" --out "$WORK/model_resumed.json" &
 PID=$!
-for _ in $(seq 1 300); do
-    if compgen -G "$WORK/ckpts/ckpt-*.fwck" > /dev/null; then break; fi
-    sleep 0.1
-done
-sleep 0.3 # a few epochs past the first checkpoint, mid-stage-2
+# Wait for a *second* generation (bounded poll, not a fixed sleep) so the
+# kill lands mid-stage-2 with at least one intact checkpoint behind it.
+wait_for_checkpoints 1
+wait_for_checkpoints 2
 kill -9 "$PID" 2>/dev/null || true
 wait "$PID" 2>/dev/null || true
 if [ -f "$WORK/model_resumed.json" ]; then

@@ -59,6 +59,7 @@
 
 pub use fairwos_analysis as analysis;
 pub use fairwos_baselines as baselines;
+pub use fairwos_chaos as chaos;
 pub use fairwos_core as core;
 pub use fairwos_datasets as datasets;
 pub use fairwos_fairness as fairness;

@@ -81,6 +81,7 @@ fn hot_reload_under_load_drops_nothing_and_attributes_every_response() {
                 workers: 3,
                 queue_capacity: 64,
                 max_batch: 16,
+                ..ServeConfig::default()
             },
         )
         .expect("initial load"),
@@ -215,6 +216,7 @@ fn replaying_a_query_log_is_bit_identical_to_any_live_interleaving() {
                     workers,
                     queue_capacity: 32,
                     max_batch: 8,
+                    ..ServeConfig::default()
                 },
             )
             .expect("initial load"),
